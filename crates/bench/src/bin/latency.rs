@@ -1,0 +1,86 @@
+//! Generality beyond unit execution times: the timed model carries
+//! per-transition latencies (Appendix A.6 assigns each transition a
+//! deterministic integer time), so the same machinery schedules loops for
+//! machines with multi-cycle functional units. Sweeps a latency model
+//! (add/sub 1, multiply 3, divide 8, compare/select 1) over the kernels
+//! and reports optimal and achieved rates.
+//!
+//! Run: `cargo run -p tpn-bench --bin latency [-- --json]`
+
+use serde::Serialize;
+use tpn_bench::{emit, table};
+use tpn_dataflow::to_petri::to_petri;
+use tpn_dataflow::OpKind;
+use tpn_livermore::kernels;
+use tpn_petri::ratio::critical_ratio;
+use tpn_sched::frustum::detect_frustum_eager;
+
+#[derive(Clone, Debug, Serialize)]
+struct LatencyRow {
+    name: String,
+    unit_rate: String,
+    timed_rate: String,
+    timed_optimal: String,
+    time_optimal: bool,
+    period: u64,
+}
+
+fn main() {
+    let rows: Vec<LatencyRow> = kernels()
+        .iter()
+        .map(|k| {
+            let unit = k.sdsp();
+            let unit_pn = to_petri(&unit);
+            let unit_rate = critical_ratio(&unit_pn.net, &unit_pn.marking)
+                .expect("live")
+                .rate;
+            let timed = unit
+                .with_node_times(|_, node| match node.op {
+                    OpKind::Mul => 3,
+                    OpKind::Div => 8,
+                    _ => 1,
+                })
+                .expect("positive times");
+            let pn = to_petri(&timed);
+            let optimal = critical_ratio(&pn.net, &pn.marking).expect("live").rate;
+            let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000_000)
+                .expect("frustum");
+            let measured = f.rate_of(pn.transition_of[0]);
+            LatencyRow {
+                name: k.name.to_string(),
+                unit_rate: unit_rate.to_string(),
+                timed_rate: measured.to_string(),
+                timed_optimal: optimal.to_string(),
+                time_optimal: measured == optimal,
+                period: f.period(),
+            }
+        })
+        .collect();
+    emit(&rows, |rows| {
+        let mut out = String::from(
+            "Rates under a multi-cycle latency model (add 1, mul 3, div 8):\n",
+        );
+        out.push_str(&table::render(
+            &["loop", "unit rate", "timed rate", "timed bound", "optimal", "period"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.name.clone(),
+                        r.unit_rate.clone(),
+                        r.timed_rate.clone(),
+                        r.timed_optimal.clone(),
+                        if r.time_optimal { "yes" } else { "NO" }.into(),
+                        r.period.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        ));
+        out.push_str(
+            "\nThe earliest firing rule stays time-optimal under non-uniform latencies:\n\
+             every measured rate equals the critical-cycle bound of the timed net.\n",
+        );
+        out
+    });
+    assert!(rows.iter().all(|r| r.time_optimal));
+}

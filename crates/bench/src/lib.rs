@@ -1,0 +1,257 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! | Artefact | Binary | What it reproduces |
+//! |---|---|---|
+//! | Table 1 | `table1` | SDSP-PN simulation of the Livermore loops |
+//! | Table 2 | `table2` | SDSP-SCP-PN (8-stage pipeline) simulation |
+//! | Figure 1 | `figures fig1` | L1: graph → net → behaviour → frustum → schedule |
+//! | Figure 2 | `figures fig2` | L2 with loop-carried dependence |
+//! | Figure 3 | `figures fig3` | SDSP-SCP-PN construction and behaviour |
+//! | Figure 4 | `figures fig4` | storage minimisation on L2 |
+//! | §5 claim | `scaling` | O(n) frustum detection across loop sizes |
+//! | §4 bounds | `bounds_check` | polynomial bounds incl. multiple critical cycles |
+//! | §7 framing | `compare` | software pipelining vs classical baselines |
+//!
+//! Every binary accepts `--json` to emit machine-readable rows (serde)
+//! instead of the aligned text table.
+
+pub mod table;
+
+use serde::Serialize;
+use tpn_livermore::Kernel;
+use tpn_petri::rational::Ratio;
+use tpn_sched::bounds::{bd_scp, bd_sdsp};
+use tpn_sched::rate::{RateReport, ScpRateReport};
+use tpn_sched::LoopSchedule;
+use tpn::{CompiledLoop, Error};
+
+/// One row of Table 1 (SDSP-PN model).
+#[derive(Clone, Debug, Serialize)]
+pub struct Table1Row {
+    /// Kernel name.
+    pub name: String,
+    /// The paper's kernel description.
+    pub description: String,
+    /// Whether the loop carries a dependence.
+    pub lcd: bool,
+    /// Size of the loop body (`n`).
+    pub size: usize,
+    /// Start time: first occurrence of the repeated instantaneous state.
+    pub start_time: u64,
+    /// Repeat time: second occurrence.
+    pub repeat_time: u64,
+    /// Length of the frustum (`repeat − start`).
+    pub frustum_len: u64,
+    /// Occurrences of each transition in the frustum.
+    pub transition_count: u64,
+    /// Steady-state computation rate of every node.
+    pub rate: String,
+    /// The rate as a float, for plotting.
+    pub rate_f64: f64,
+    /// Whether the rate equals the critical-cycle optimum.
+    pub time_optimal: bool,
+    /// The empirical detection bound `BD = 2n`.
+    pub bd: u64,
+}
+
+/// One row of Table 2 (SDSP-SCP-PN model).
+#[derive(Clone, Debug, Serialize)]
+pub struct Table2Row {
+    /// Kernel name.
+    pub name: String,
+    /// Whether the loop carries a dependence.
+    pub lcd: bool,
+    /// Size of the loop body (`n`).
+    pub size: usize,
+    /// Pipeline depth `l`.
+    pub depth: u64,
+    /// Start time of the repeated state.
+    pub start_time: u64,
+    /// Repeat time.
+    pub repeat_time: u64,
+    /// Frustum length.
+    pub frustum_len: u64,
+    /// Issues of each instruction per frustum.
+    pub transition_count: u64,
+    /// Steady-state issue rate of every node.
+    pub rate: String,
+    /// The rate as a float.
+    pub rate_f64: f64,
+    /// Pipeline (processor) usage.
+    pub usage: String,
+    /// Usage as a float.
+    pub usage_f64: f64,
+    /// The resource ceiling `1/n` (Theorem 5.2.2), as a float.
+    pub bound_f64: f64,
+    /// The empirical detection bound `BD = 2·n·l`.
+    pub bd: u64,
+}
+
+/// Computes a Table 1 row for `kernel`.
+///
+/// # Errors
+///
+/// Pipeline errors from compilation or detection.
+pub fn table1_row(kernel: &Kernel) -> Result<Table1Row, Error> {
+    let lp = CompiledLoop::from_source(kernel.source)?;
+    let frustum = lp.frustum()?;
+    let report = RateReport::for_sdsp_pn(lp.petri_net(), &frustum).map_err(Error::Petri)?;
+    let count = frustum
+        .uniform_count()
+        .expect("marked-graph frustums fire uniformly");
+    Ok(Table1Row {
+        name: kernel.name.to_string(),
+        description: kernel.description.to_string(),
+        lcd: kernel.has_lcd,
+        size: lp.size(),
+        start_time: frustum.start_time,
+        repeat_time: frustum.repeat_time,
+        frustum_len: frustum.period(),
+        transition_count: count,
+        rate: report.measured.to_string(),
+        rate_f64: report.measured.to_f64(),
+        time_optimal: report.is_time_optimal(),
+        bd: bd_sdsp(lp.size()),
+    })
+}
+
+/// Computes a Table 2 row for `kernel` at pipeline depth `depth`.
+///
+/// # Errors
+///
+/// Pipeline errors from compilation or detection.
+pub fn table2_row(kernel: &Kernel, depth: u64) -> Result<Table2Row, Error> {
+    let lp = CompiledLoop::from_source(kernel.source)?;
+    let run = lp.scp(depth)?;
+    let n = lp.size();
+    let count = run.frustum.counts[run.model.transition_of[0].index()];
+    let rates: &ScpRateReport = &run.rates;
+    Ok(Table2Row {
+        name: kernel.name.to_string(),
+        lcd: kernel.has_lcd,
+        size: n,
+        depth,
+        start_time: run.frustum.start_time,
+        repeat_time: run.frustum.repeat_time,
+        frustum_len: run.frustum.period(),
+        transition_count: count,
+        rate: rates.measured.to_string(),
+        rate_f64: rates.measured.to_f64(),
+        usage: rates.utilization.to_string(),
+        usage_f64: rates.utilization.to_f64(),
+        bound_f64: rates.resource_bound.to_f64(),
+        bd: bd_scp(n, depth),
+    })
+}
+
+/// One row of the baseline comparison (§7 framing).
+#[derive(Clone, Debug, Serialize)]
+pub struct CompareRow {
+    /// Kernel name.
+    pub name: String,
+    /// `II` of sequential issue.
+    pub sequential: f64,
+    /// `II` of per-iteration list scheduling.
+    pub local_parallel: f64,
+    /// `II` of unroll-by-4 scheduling (4× code space and resource width).
+    pub unrolled4: f64,
+    /// `II` of the software-pipelined schedule.
+    pub pipelined: f64,
+    /// Speedup of pipelining over list scheduling (same resources).
+    pub speedup: f64,
+}
+
+/// Computes a baseline-comparison row for `kernel`.
+///
+/// # Errors
+///
+/// Pipeline errors from compilation or detection.
+pub fn compare_row(kernel: &Kernel) -> Result<CompareRow, Error> {
+    use tpn_sched::baseline::BaselineComparison;
+    let lp = CompiledLoop::from_source(kernel.source)?;
+    let schedule: LoopSchedule = lp.schedule()?;
+    let cmp = BaselineComparison::build(lp.sdsp(), schedule.initiation_interval(), &[4]);
+    Ok(CompareRow {
+        name: kernel.name.to_string(),
+        sequential: cmp.sequential.to_f64(),
+        local_parallel: cmp.local_parallel.to_f64(),
+        unrolled4: cmp.unrolled[0].1.to_f64(),
+        pipelined: cmp.pipelined.to_f64(),
+        speedup: cmp.speedup_vs_list(),
+    })
+}
+
+/// Ratio of repeat time to loop size — the §5 "detection is O(n)" metric.
+pub fn steps_per_node(repeat_time: u64, n: usize) -> Ratio {
+    Ratio::new(repeat_time, n as u64)
+}
+
+/// Whether `--json` was requested on the command line.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Prints rows either as JSON lines or via the provided text renderer.
+pub fn emit<T: Serialize>(rows: &[T], render_text: impl Fn(&[T]) -> String) {
+    if json_mode() {
+        for row in rows {
+            println!(
+                "{}",
+                serde_json::to_string(row).expect("rows serialise infallibly")
+            );
+        }
+    } else {
+        print!("{}", render_text(rows));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpn_livermore::kernels;
+
+    #[test]
+    fn table1_rows_for_all_kernels() {
+        for k in kernels() {
+            let row = table1_row(&k).unwrap();
+            assert_eq!(row.lcd, k.has_lcd);
+            assert!(row.time_optimal, "{} not time-optimal", k.name);
+            assert!(
+                row.repeat_time <= row.bd,
+                "{}: repeat {} exceeds BD {}",
+                k.name,
+                row.repeat_time,
+                row.bd
+            );
+        }
+    }
+
+    #[test]
+    fn table2_rows_respect_resource_bound() {
+        for k in kernels() {
+            let row = table2_row(&k, 8).unwrap();
+            assert!(
+                row.rate_f64 <= row.bound_f64 + 1e-12,
+                "{}: rate {} above 1/n",
+                k.name,
+                row.rate
+            );
+            assert!(row.usage_f64 <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn compare_rows_show_pipelining_never_loses_to_list_scheduling() {
+        for k in kernels() {
+            let row = compare_row(&k).unwrap();
+            assert!(
+                row.speedup >= 1.0 - 1e-12,
+                "{}: pipelining lost to list scheduling ({})",
+                k.name,
+                row.speedup
+            );
+            // The pipelined II never exceeds the loop body's critical path.
+            assert!(row.pipelined <= row.local_parallel + 1e-12);
+        }
+    }
+}

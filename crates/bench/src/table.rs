@@ -1,0 +1,79 @@
+//! Minimal aligned-text table rendering for the harness binaries.
+
+/// Renders `rows` of pre-formatted cells under `headers` with columns
+/// padded to their widest cell.
+///
+/// # Example
+///
+/// ```
+/// let text = tpn_bench::table::render(
+///     &["name", "n"],
+///     &[vec!["loop1".into(), "5".into()]],
+/// );
+/// assert!(text.contains("loop1"));
+/// assert!(text.lines().count() >= 3);
+/// ```
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            for _ in cell.len()..widths[i] {
+                out.push(' ');
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    );
+    let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    line(&mut out, &rule);
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::render;
+
+    #[test]
+    fn columns_align() {
+        let text = render(
+            &["a", "bbbb"],
+            &[
+                vec!["xx".into(), "1".into()],
+                vec!["y".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Second column starts at the same offset on every line.
+        let col = lines[0].find("bbbb").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+        assert_eq!(lines[3].find("22").unwrap(), col);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_panic() {
+        let _ = render(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

@@ -1,0 +1,386 @@
+//! Implementation of `tpnc`, the command-line driver.
+//!
+//! ```text
+//! tpnc analyze  <file>              critical cycles and the optimal rate
+//! tpnc schedule <file> [--scp L]    the time-optimal kernel (optionally on
+//!                                   an L-stage single-clean-pipeline machine)
+//! tpnc emit     <file> [--iterations N] [--scp L]
+//!                                   VLIW bundles over the loop's buffers
+//! tpnc dot      <file> [--pn]       Graphviz of the SDSP (or its SDSP-PN)
+//! tpnc behavior <file>              the behaviour graph up to the frustum
+//! tpnc storage  <file> [--balance]  minimise storage (or balance buffering)
+//! tpnc acode    <file>              dump the compiled SDSP as A-code
+//! ```
+//!
+//! `<file>` is a loop in the SISAL-flavoured language — or an A-code dump
+//! produced by `tpnc acode` (recognised by its `.sdsp` header), so
+//! compiled loops can be saved and re-analysed — or `-` for stdin.
+//! All logic lives here so it can be unit-tested; `main.rs` only forwards
+//! `std::env::args` and prints.
+
+use std::fmt::Write as _;
+
+use tpn::CompiledLoop;
+use tpn_sched::behavior::BehaviorGraph;
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Invocation {
+    /// The subcommand.
+    pub command: Command,
+    /// The input path (`-` for stdin).
+    pub input: String,
+    /// `--scp L`.
+    pub scp_depth: Option<u64>,
+    /// `--iterations N` (emit).
+    pub iterations: u64,
+    /// `--pn` (dot).
+    pub petri_form: bool,
+    /// `--balance` (storage).
+    pub balance: bool,
+}
+
+/// Subcommands of `tpnc`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Critical-cycle analysis.
+    Analyze,
+    /// Kernel derivation.
+    Schedule,
+    /// VLIW emission.
+    Emit,
+    /// Graphviz export.
+    Dot,
+    /// Behaviour graph.
+    Behavior,
+    /// Storage transformation.
+    Storage,
+    /// A-code dump of the compiled SDSP.
+    Acode,
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: tpnc <analyze|schedule|emit|dot|behavior|storage|acode> <file|-> \
+[--scp L] [--iterations N] [--pn] [--balance]";
+
+/// Parses a command line (without the leading program name).
+///
+/// # Errors
+///
+/// A usage message naming the offending argument.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation, String> {
+    let mut args = args.into_iter();
+    let command = match args.next().as_deref() {
+        Some("analyze") => Command::Analyze,
+        Some("schedule") => Command::Schedule,
+        Some("emit") => Command::Emit,
+        Some("dot") => Command::Dot,
+        Some("behavior") => Command::Behavior,
+        Some("storage") => Command::Storage,
+        Some("acode") => Command::Acode,
+        Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
+        None => return Err(USAGE.to_string()),
+    };
+    let mut invocation = Invocation {
+        command,
+        input: String::new(),
+        scp_depth: None,
+        iterations: 16,
+        petri_form: false,
+        balance: false,
+    };
+    let mut positional = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scp" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| "--scp needs a depth".to_string())?;
+                invocation.scp_depth =
+                    Some(v.parse().map_err(|_| format!("bad --scp value {v:?}"))?);
+            }
+            "--iterations" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| "--iterations needs a count".to_string())?;
+                invocation.iterations =
+                    v.parse().map_err(|_| format!("bad --iterations value {v:?}"))?;
+            }
+            "--pn" => invocation.petri_form = true,
+            "--balance" => invocation.balance = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}\n{USAGE}"))
+            }
+            _ => positional.push(arg),
+        }
+    }
+    match positional.len() {
+        0 => return Err(format!("missing input file\n{USAGE}")),
+        1 => invocation.input = positional.remove(0),
+        _ => return Err(format!("unexpected argument {:?}\n{USAGE}", positional[1])),
+    }
+    Ok(invocation)
+}
+
+/// Executes an invocation against already-loaded source text, returning
+/// the output text.
+///
+/// # Errors
+///
+/// Human-readable pipeline errors (with source positions for language
+/// diagnostics).
+pub fn execute(invocation: &Invocation, source: &str) -> Result<String, String> {
+    // A-code inputs (saved compiled loops) are recognised by their header.
+    let lp = if source.trim_start().starts_with(".sdsp") {
+        let sdsp = tpn::dataflow::acode::read(source).map_err(|e| e.to_string())?;
+        CompiledLoop::from_sdsp(sdsp)
+    } else {
+        CompiledLoop::from_source(source).map_err(|e| match e {
+            tpn::Error::Lang(ref le) => le.render(source),
+            other => other.to_string(),
+        })?
+    };
+    let mut out = String::new();
+    match invocation.command {
+        Command::Analyze => {
+            let a = lp.analyze().map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "loop body: {} instructions", lp.size());
+            let _ = writeln!(
+                out,
+                "input arrays: {:?}, parameters: {:?}",
+                lp.sdsp().input_arrays(),
+                lp.sdsp().params()
+            );
+            let _ = writeln!(
+                out,
+                "critical cycle: [{}], cycle time {}",
+                a.critical_nodes.join(" -> "),
+                a.cycle_time
+            );
+            let _ = writeln!(out, "optimal computation rate: {}", a.optimal_rate);
+            let _ = writeln!(
+                out,
+                "storage: {} locations",
+                lp.sdsp().storage_locations()
+            );
+        }
+        Command::Schedule => match invocation.scp_depth {
+            None => {
+                let s = lp.schedule().map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    out,
+                    "II = {} ({} iterations per {} cycles)",
+                    s.initiation_interval(),
+                    s.iterations_per_period(),
+                    s.period()
+                );
+                out.push_str(&s.render_kernel());
+            }
+            Some(depth) => {
+                let run = lp.scp(depth).map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    out,
+                    "SCP depth {}: II = {}, rate {} (bound 1/{}), usage {}",
+                    depth,
+                    run.schedule.initiation_interval(),
+                    run.rates.measured,
+                    lp.size(),
+                    run.rates.utilization
+                );
+                out.push_str(&run.schedule.render_kernel());
+            }
+        },
+        Command::Emit => {
+            let program = match invocation.scp_depth {
+                None => lp.emit(invocation.iterations).map_err(|e| e.to_string())?,
+                Some(depth) => {
+                    let run = lp.scp(depth).map_err(|e| e.to_string())?;
+                    tpn_codegen::emit(lp.sdsp(), &run.schedule, invocation.iterations)
+                }
+            };
+            let _ = writeln!(
+                out,
+                "; {} bundles, kernel {} cycles, peak width {}, compact size {} ops",
+                program.bundles.len(),
+                program.period,
+                program.max_width,
+                program.compact_size()
+            );
+            out.push_str(&program.render(lp.sdsp(), usize::MAX));
+        }
+        Command::Dot => {
+            if invocation.petri_form {
+                let pn = lp.petri_net();
+                out.push_str(&tpn_petri::dot::to_dot(&pn.net, &pn.marking));
+            } else {
+                out.push_str(&tpn_dataflow::dot::to_dot(lp.sdsp()));
+            }
+        }
+        Command::Behavior => {
+            let frustum = lp.frustum().map_err(|e| e.to_string())?;
+            let pn = lp.petri_net();
+            let bg = BehaviorGraph::build(&pn.net, &pn.marking, &frustum.steps);
+            out.push_str(&bg.render(&pn.net));
+            let _ = writeln!(
+                out,
+                "repeated instantaneous state: t={} and t={} (frustum length {})",
+                frustum.start_time,
+                frustum.repeat_time,
+                frustum.period()
+            );
+        }
+        Command::Acode => {
+            out.push_str(&tpn::dataflow::acode::write(lp.sdsp()));
+        }
+        Command::Storage => {
+            if invocation.balance {
+                let (_, report) = lp.balance().map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    out,
+                    "balanced: rate {} -> {}, storage {} -> {} locations",
+                    report.rate_before,
+                    report.rate_after,
+                    report.locations_before,
+                    report.locations_after
+                );
+            } else {
+                let (_, report) = lp.minimize_storage().map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    out,
+                    "minimised: storage {} -> {} locations (saving {}), rate {}",
+                    report.before,
+                    report.after,
+                    report.saving_fraction(),
+                    report.cycle_time.recip()
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L5: &str = "do i from 2 to n { X[i] := Z[i] * (Y[i] - X[i-1]); }";
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_subcommands_and_flags() {
+        let inv = parse_args(args("schedule foo.loop --scp 8")).unwrap();
+        assert_eq!(inv.command, Command::Schedule);
+        assert_eq!(inv.input, "foo.loop");
+        assert_eq!(inv.scp_depth, Some(8));
+        let inv = parse_args(args("emit - --iterations 5")).unwrap();
+        assert_eq!(inv.command, Command::Emit);
+        assert_eq!(inv.input, "-");
+        assert_eq!(inv.iterations, 5);
+        let inv = parse_args(args("dot x --pn")).unwrap();
+        assert!(inv.petri_form);
+        let inv = parse_args(args("storage x --balance")).unwrap();
+        assert!(inv.balance);
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(parse_args(args("")).is_err());
+        assert!(parse_args(args("frobnicate x")).is_err());
+        assert!(parse_args(args("analyze")).is_err());
+        assert!(parse_args(args("analyze a b")).is_err());
+        assert!(parse_args(args("schedule x --scp")).is_err());
+        assert!(parse_args(args("schedule x --scp many")).is_err());
+        assert!(parse_args(args("schedule x --wat")).is_err());
+    }
+
+    #[test]
+    fn analyze_reports_rate_and_storage() {
+        let inv = parse_args(args("analyze -")).unwrap();
+        let out = execute(&inv, L5).unwrap();
+        assert!(out.contains("optimal computation rate: 1/2"));
+        assert!(out.contains("2 instructions"));
+        assert!(out.contains("2 locations"));
+    }
+
+    #[test]
+    fn schedule_prints_kernel() {
+        let inv = parse_args(args("schedule -")).unwrap();
+        let out = execute(&inv, L5).unwrap();
+        assert!(out.contains("II = 2"));
+        assert!(out.contains("cycle"));
+    }
+
+    #[test]
+    fn scp_schedule_prints_bound() {
+        let mut inv = parse_args(args("schedule -")).unwrap();
+        inv.scp_depth = Some(4);
+        let out = execute(&inv, L5).unwrap();
+        assert!(out.contains("SCP depth 4"));
+        assert!(out.contains("bound 1/2"));
+    }
+
+    #[test]
+    fn emit_prints_bundles() {
+        let inv = parse_args(args("emit - --iterations 4")).unwrap();
+        let out = execute(&inv, L5).unwrap();
+        assert!(out.contains("bundles"));
+        assert!(out.contains("X@0"));
+    }
+
+    #[test]
+    fn dot_prints_both_forms() {
+        let inv = parse_args(args("dot -")).unwrap();
+        assert!(execute(&inv, L5).unwrap().contains("digraph sdsp"));
+        let inv = parse_args(args("dot - --pn")).unwrap();
+        assert!(execute(&inv, L5).unwrap().contains("digraph petri"));
+    }
+
+    #[test]
+    fn behavior_prints_frustum_bounds() {
+        let inv = parse_args(args("behavior -")).unwrap();
+        let out = execute(&inv, L5).unwrap();
+        assert!(out.contains("repeated instantaneous state"));
+    }
+
+    #[test]
+    fn storage_minimise_and_balance() {
+        let inv = parse_args(args("storage -")).unwrap();
+        assert!(execute(&inv, L5).unwrap().contains("minimised"));
+        let inv = parse_args(args("storage - --balance")).unwrap();
+        assert!(execute(&inv, L5).unwrap().contains("balanced"));
+    }
+
+    #[test]
+    fn acode_round_trips_through_the_cli() {
+        let dump = execute(&parse_args(args("acode -")).unwrap(), L5).unwrap();
+        assert!(dump.starts_with(".sdsp"));
+        // Feed the dump back in for analysis: same rate as from source.
+        let from_acode = execute(&parse_args(args("analyze -")).unwrap(), &dump).unwrap();
+        let from_source = execute(&parse_args(args("analyze -")).unwrap(), L5).unwrap();
+        assert_eq!(from_acode, from_source);
+        // And it schedules identically.
+        let s1 = execute(&parse_args(args("schedule -")).unwrap(), &dump).unwrap();
+        let s2 = execute(&parse_args(args("schedule -")).unwrap(), L5).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn malformed_acode_is_reported() {
+        let err = execute(&parse_args(args("analyze -")).unwrap(), ".sdsp
+wat
+.end
+")
+            .unwrap_err();
+        assert!(err.contains("line 2"), "got: {err}");
+    }
+
+    #[test]
+    fn language_errors_carry_positions() {
+        let inv = parse_args(args("analyze -")).unwrap();
+        let err = execute(&inv, "do i from 1 to n { A[i] := X[j]; }").unwrap_err();
+        assert!(err.contains("1:28"), "got: {err}");
+    }
+}

@@ -1,0 +1,40 @@
+//! `tpnc` — the command-line driver (logic in [`tpn_cli`]).
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let invocation = match tpn_cli::parse_args(std::env::args().skip(1)) {
+        Ok(inv) => inv,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = if invocation.input == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("error reading stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&invocation.input) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error reading {}: {e}", invocation.input);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    match tpn_cli::execute(&invocation, &source) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

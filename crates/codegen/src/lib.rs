@@ -1,0 +1,597 @@
+//! Code emission from timed Petri-net loop schedules.
+//!
+//! The paper's §2 sketch of how a compiler uses the cyclic frustum —
+//! "once this pattern is found, the compiler uses it to overlap operations
+//! from successive iterations of the loop body" — is made concrete here:
+//! a [`LoopSchedule`] is emitted as **VLIW bundles** (one bundle of
+//! parallel operations per machine cycle) addressing the SDSP's storage
+//! locations directly. Each acknowledgement group of the SDSP is one
+//! architectural buffer of `capacity` cells, matching §6's storage
+//! accounting; operands read from buffers, results write to them.
+//!
+//! The crate also contains a **verifying machine simulator**
+//! ([`run`]): it executes the emitted program cycle by cycle, enforcing
+//!
+//! * the machine's issue width,
+//! * buffer discipline — writing to a full buffer or reading from an
+//!   empty one is a runtime fault, so the §6 storage claims are checked
+//!   *dynamically*, not just by net analysis,
+//! * operation latencies (a result is visible only after the producing
+//!   node's execution time has elapsed),
+//!
+//! and returns the computed values for comparison against the reference
+//! interpreter.
+//!
+//! # Example
+//!
+//! ```
+//! use tpn_codegen::{emit, run};
+//! use tpn_dataflow::interp::{execute, Env};
+//! use tpn_dataflow::to_petri::to_petri;
+//! use tpn_sched::frustum::detect_frustum_eager;
+//! use tpn_sched::LoopSchedule;
+//!
+//! let sdsp = tpn_lang::compile(
+//!     "do i from 1 to n { X[i] := Z[i] * (Y[i] - X[i-1]); }",
+//! )?;
+//! let pn = to_petri(&sdsp);
+//! let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 10_000)?;
+//! let schedule = LoopSchedule::from_frustum(&sdsp, &pn, &f)?;
+//!
+//! let program = emit(&sdsp, &schedule, 32);
+//! let mut env = Env::new();
+//! env.insert("Z", (0..32).map(|i| 0.5 + i as f64 * 0.01).collect());
+//! env.insert("Y", (0..32).map(|i| 1.0 + i as f64).collect());
+//!
+//! let outcome = run(&program, &sdsp, &env)?;
+//! let reference = execute(&sdsp, &env, 32)?;
+//! let x = sdsp.names()["X"];
+//! assert_eq!(outcome.value(x, 31), reference.value(x, 31));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use tpn_dataflow::interp::Env;
+use tpn_dataflow::{AckId, ArcId, DataflowError, NodeId, OpKind, Operand, Sdsp};
+use tpn_sched::schedule::LoopSchedule;
+
+/// A source operand of an emitted operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Src {
+    /// Pop the front value in transit on a data arc. The arc's value
+    /// physically lives in the storage location of its acknowledgement
+    /// group; arcs of a coalesced chain share that location in sequence.
+    Arc(ArcId),
+    /// Stream element `array[i + offset]` for the instance's iteration
+    /// `i`.
+    Env {
+        /// Array name.
+        array: String,
+        /// Offset from the iteration counter.
+        offset: i64,
+    },
+    /// Loop-invariant scalar.
+    Param(String),
+    /// Immediate constant.
+    Lit(f64),
+    /// The instance's iteration number.
+    Index,
+}
+
+/// One operation instance in the program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Op {
+    /// The loop node this instance executes.
+    pub node: NodeId,
+    /// Which iteration of the loop it performs.
+    pub iteration: u64,
+    /// The operation.
+    pub kind: OpKind,
+    /// Source operands, in operation order.
+    pub srcs: Vec<Src>,
+    /// Destination arcs (one per consuming data arc).
+    pub dsts: Vec<ArcId>,
+}
+
+/// A VLIW bundle: the operations issued at one cycle.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Bundle {
+    /// Machine cycle of issue.
+    pub cycle: u64,
+    /// The operations issued together.
+    pub ops: Vec<Op>,
+}
+
+/// An emitted program: the flattened cycle-accurate bundle stream, plus
+/// the symbolic kernel for code-size reporting.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// All non-empty bundles, in cycle order (prologue, steady kernels,
+    /// epilogue drain).
+    pub bundles: Vec<Bundle>,
+    /// The kernel length in cycles (the schedule period).
+    pub period: u64,
+    /// Iterations per kernel instance.
+    pub iterations_per_period: u64,
+    /// Total loop iterations the program performs.
+    pub iterations: u64,
+    /// Buffer capacities, indexed by acknowledgement group.
+    pub buffer_capacity: Vec<u32>,
+    /// The widest bundle (peak issue width the machine needs).
+    pub max_width: usize,
+}
+
+impl Program {
+    /// Static code size if deployed as prologue + kernel loop: bundles
+    /// before the first full kernel plus one kernel instance (what the
+    /// paper's "highly compact object codes" refers to), in operations.
+    pub fn compact_size(&self) -> usize {
+        let kernel_ops = self
+            .iterations_per_period
+            .saturating_mul(self.num_nodes() as u64) as usize;
+        let prologue_ops: usize = self
+            .bundles
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter(|op| op.iteration < self.iterations_per_period)
+            .count();
+        prologue_ops + kernel_ops
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.bundles
+            .iter()
+            .flat_map(|b| &b.ops)
+            .map(|op| op.node.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders the program as readable assembly-like text (first
+    /// `max_cycles` bundles).
+    pub fn render(&self, sdsp: &Sdsp, max_cycles: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for bundle in self.bundles.iter().take(max_cycles) {
+            let _ = write!(out, "{:>5}: ", bundle.cycle);
+            let mut first = true;
+            for op in &bundle.ops {
+                if !first {
+                    let _ = write!(out, " || ");
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "{}@{} := {}",
+                    sdsp.node(op.node).name,
+                    op.iteration,
+                    op.kind
+                );
+                for (k, src) in op.srcs.iter().enumerate() {
+                    let sep = if k == 0 { " " } else { ", " };
+                    match src {
+                        Src::Arc(a) => {
+                            let _ = write!(out, "{sep}buf{}", sdsp.ack_of_arc(*a).index());
+                        }
+                        Src::Env { array, offset } => {
+                            let _ = write!(out, "{sep}{array}[i{offset:+}]");
+                        }
+                        Src::Param(p) => {
+                            let _ = write!(out, "{sep}{p}");
+                        }
+                        Src::Lit(v) => {
+                            let _ = write!(out, "{sep}#{v}");
+                        }
+                        Src::Index => {
+                            let _ = write!(out, "{sep}i");
+                        }
+                    }
+                }
+                if !op.dsts.is_empty() {
+                    let dsts: Vec<String> = op
+                        .dsts
+                        .iter()
+                        .map(|d| format!("buf{}", sdsp.ack_of_arc(*d).index()))
+                        .collect();
+                    let _ = write!(out, " -> {}", dsts.join(","));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Errors from the verifying simulator.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CodegenError {
+    /// An operation wrote to a buffer that had no free cell — a storage
+    /// allocation violation.
+    BufferOverflow {
+        /// The buffer.
+        buffer: AckId,
+        /// The writing instance.
+        writer: (NodeId, u64),
+        /// The buffer's capacity.
+        capacity: u32,
+    },
+    /// An operation read from an empty buffer — a scheduling violation.
+    BufferUnderflow {
+        /// The buffer.
+        buffer: AckId,
+        /// The reading instance.
+        reader: (NodeId, u64),
+    },
+    /// An operand was read before the producing operation's latency had
+    /// elapsed.
+    NotYetAvailable {
+        /// The buffer.
+        buffer: AckId,
+        /// The reading instance.
+        reader: (NodeId, u64),
+        /// The cycle of the premature read.
+        cycle: u64,
+        /// The cycle the value becomes visible.
+        available: u64,
+    },
+    /// A bundle exceeded the machine's issue width.
+    TooWide {
+        /// The offending cycle.
+        cycle: u64,
+        /// Operations in the bundle.
+        ops: usize,
+        /// The machine's width.
+        width: usize,
+    },
+    /// The environment lacked an input.
+    Env(DataflowError),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::BufferOverflow {
+                buffer,
+                writer,
+                capacity,
+            } => write!(
+                f,
+                "node {} iteration {} overflows buffer {} (capacity {})",
+                writer.0, writer.1, buffer, capacity
+            ),
+            CodegenError::BufferUnderflow { buffer, reader } => write!(
+                f,
+                "node {} iteration {} reads empty buffer {}",
+                reader.0, reader.1, buffer
+            ),
+            CodegenError::NotYetAvailable {
+                buffer,
+                reader,
+                cycle,
+                available,
+            } => write!(
+                f,
+                "node {} iteration {} reads buffer {} at cycle {} but the value lands at {}",
+                reader.0, reader.1, buffer, cycle, available
+            ),
+            CodegenError::TooWide { cycle, ops, width } => {
+                write!(f, "bundle at cycle {cycle} has {ops} ops on a width-{width} machine")
+            }
+            CodegenError::Env(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+impl From<DataflowError> for CodegenError {
+    fn from(e: DataflowError) -> Self {
+        CodegenError::Env(e)
+    }
+}
+
+/// Emits the cycle-accurate VLIW program for `iterations` iterations of
+/// `schedule`.
+///
+/// # Panics
+///
+/// Panics if the schedule does not cover the SDSP (mismatched node
+/// counts).
+pub fn emit(sdsp: &Sdsp, schedule: &LoopSchedule, iterations: u64) -> Program {
+    assert_eq!(
+        schedule.num_nodes(),
+        sdsp.num_nodes(),
+        "schedule and SDSP disagree on the loop body"
+    );
+    emit_from_starts(
+        sdsp,
+        |node, iter| schedule.start_time(node, iter),
+        iterations,
+        schedule.period(),
+        schedule.iterations_per_period(),
+    )
+}
+
+/// Emits a program from an arbitrary start-time function — e.g. a modulo
+/// schedule's `σ(v) + II·i` — rather than a Petri-net-derived
+/// [`LoopSchedule`]. The buffer capacities default to the SDSP's
+/// allocation; schedules with deeper pipelining (more values in flight)
+/// should overwrite [`Program::buffer_capacity`] with their own
+/// requirements before running.
+pub fn emit_from_starts(
+    sdsp: &Sdsp,
+    start_time: impl Fn(NodeId, u64) -> u64,
+    iterations: u64,
+    period: u64,
+    iterations_per_period: u64,
+) -> Program {
+    // Destination arcs per node: one per outgoing data arc.
+    let mut dsts_of: Vec<Vec<ArcId>> = vec![Vec::new(); sdsp.num_nodes()];
+    for (arc_id, arc) in sdsp.arcs() {
+        dsts_of[arc.from.index()].push(arc_id);
+    }
+    // Source per operand.
+    let src_of = |node: NodeId, slot: usize, operand: &Operand| -> Src {
+        match operand {
+            Operand::Node { .. } => Src::Arc(
+                sdsp.arc_of_operand(node, slot)
+                    .expect("node operands have arcs"),
+            ),
+            Operand::Env { array, offset } => Src::Env {
+                array: array.clone(),
+                offset: *offset,
+            },
+            Operand::Param(p) => Src::Param(p.clone()),
+            Operand::Lit(v) => Src::Lit(*v),
+            Operand::Index => Src::Index,
+        }
+    };
+
+    let mut by_cycle: HashMap<u64, Vec<Op>> = HashMap::new();
+    for (node, data) in sdsp.nodes() {
+        for iteration in 0..iterations {
+            let cycle = start_time(node, iteration);
+            let op = Op {
+                node,
+                iteration,
+                kind: data.op,
+                srcs: data
+                    .operands
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, operand)| src_of(node, slot, operand))
+                    .collect(),
+                dsts: dsts_of[node.index()].clone(),
+            };
+            by_cycle.entry(cycle).or_default().push(op);
+        }
+    }
+    let mut cycles: Vec<u64> = by_cycle.keys().copied().collect();
+    cycles.sort_unstable();
+    let bundles: Vec<Bundle> = cycles
+        .into_iter()
+        .map(|cycle| {
+            let mut ops = by_cycle.remove(&cycle).expect("key exists");
+            ops.sort_by_key(|op| (op.node, op.iteration));
+            Bundle { cycle, ops }
+        })
+        .collect();
+    let max_width = bundles.iter().map(|b| b.ops.len()).max().unwrap_or(0);
+    Program {
+        bundles,
+        period,
+        iterations_per_period,
+        iterations,
+        buffer_capacity: sdsp.acks().map(|(_, a)| a.capacity).collect(),
+        max_width,
+    }
+}
+
+/// The values a program run produced, per node and iteration.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    values: Vec<HashMap<u64, f64>>,
+    /// Cycles the program took (last bundle cycle + 1).
+    pub cycles: u64,
+}
+
+impl RunOutcome {
+    /// The value node `n` produced in iteration `iter`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance was not executed.
+    pub fn value(&self, n: NodeId, iter: u64) -> f64 {
+        self.values[n.index()][&iter]
+    }
+}
+
+/// A value in transit on a data arc.
+#[derive(Clone, Copy, Debug)]
+struct Cell {
+    value: f64,
+    /// Cycle at which the value becomes readable (write cycle + producer
+    /// latency — the Petri net deposits the data token at completion).
+    available: u64,
+}
+
+/// The machine state of one acknowledgement group (storage location set).
+///
+/// Petri-net timing: the chain-head producer takes a free slot at its
+/// **issue** (it consumes an acknowledgement token when it starts firing)
+/// and the slot frees at the chain-tail consumer's **completion** (the
+/// token returns when that firing ends). Intermediate chain hops reuse the
+/// slot in place and touch neither count.
+#[derive(Clone, Debug, Default)]
+struct Group {
+    free: u32,
+    /// Cycles at which drained slots return.
+    releasing: Vec<u64>,
+}
+
+impl Group {
+    fn reclaim(&mut self, cycle: u64) {
+        let before = self.releasing.len();
+        self.releasing.retain(|&f| f > cycle);
+        self.free += (before - self.releasing.len()) as u32;
+    }
+}
+
+/// Executes `program` on the verifying machine with unlimited width.
+///
+/// # Errors
+///
+/// Any [`CodegenError`]: buffer overflow/underflow, premature reads, or
+/// missing environment inputs.
+pub fn run(program: &Program, sdsp: &Sdsp, env: &Env) -> Result<RunOutcome, CodegenError> {
+    run_with_width(program, sdsp, env, None)
+}
+
+/// Executes `program`, additionally enforcing an issue width.
+///
+/// # Errors
+///
+/// Same as [`run`], plus [`CodegenError::TooWide`].
+pub fn run_with_width(
+    program: &Program,
+    sdsp: &Sdsp,
+    env: &Env,
+    width: Option<usize>,
+) -> Result<RunOutcome, CodegenError> {
+    // Per-arc transport queues, seeded with loop-carried initial values.
+    let mut arc_queues: Vec<std::collections::VecDeque<Cell>> =
+        vec![Default::default(); sdsp.arcs().count()];
+    for (arc_id, arc) in sdsp.arcs() {
+        if arc.initial_tokens() > 0 {
+            arc_queues[arc_id.index()].push_back(Cell {
+                value: sdsp.node(arc.from).initial_value,
+                available: 0,
+            });
+        }
+    }
+    // Per-group slot semaphores. A group whose chain closes on itself
+    // (self-feedback) has no acknowledgement place: skip its semaphore,
+    // exactly as the SDSP-PN translation does.
+    let mut groups: Vec<Option<Group>> = sdsp
+        .acks()
+        .map(|(ack_id, ack)| {
+            if ack.from == ack.to {
+                return None;
+            }
+            let used: u32 = ack
+                .covers
+                .iter()
+                .map(|&a| sdsp.arc(a).initial_tokens())
+                .sum();
+            // The program's capacities govern (they may widen the SDSP's
+            // allocation, e.g. for modulo schedules' register pressure).
+            let capacity = program.buffer_capacity[ack_id.index()];
+            Some(Group {
+                free: capacity.saturating_sub(used),
+                releasing: Vec::new(),
+            })
+        })
+        .collect();
+    // Which arcs acquire (chain head) and release (chain tail) each group.
+    let num_arcs = sdsp.arcs().count();
+    let mut acquiring_group: Vec<Option<AckId>> = vec![None; num_arcs];
+    let mut releasing_group: Vec<Option<AckId>> = vec![None; num_arcs];
+    for (ack_id, ack) in sdsp.acks() {
+        let head = *ack.covers.first().expect("validated chains are nonempty");
+        let tail = *ack.covers.last().expect("validated chains are nonempty");
+        acquiring_group[head.index()] = Some(ack_id);
+        releasing_group[tail.index()] = Some(ack_id);
+    }
+
+    let mut values: Vec<HashMap<u64, f64>> = vec![HashMap::new(); sdsp.num_nodes()];
+    let mut args = Vec::new();
+    for bundle in &program.bundles {
+        if let Some(w) = width {
+            if bundle.ops.len() > w {
+                return Err(CodegenError::TooWide {
+                    cycle: bundle.cycle,
+                    ops: bundle.ops.len(),
+                    width: w,
+                });
+            }
+        }
+        // VLIW semantics: all reads of a bundle precede all writes.
+        let mut writes: Vec<(ArcId, Cell, (NodeId, u64))> = Vec::new();
+        for op in &bundle.ops {
+            args.clear();
+            let latency = sdsp.node(op.node).time;
+            for src in &op.srcs {
+                let v = match src {
+                    Src::Arc(a) => {
+                        let Some(cell) = arc_queues[a.index()].front().copied() else {
+                            return Err(CodegenError::BufferUnderflow {
+                                buffer: sdsp.ack_of_arc(*a),
+                                reader: (op.node, op.iteration),
+                            });
+                        };
+                        if cell.available > bundle.cycle {
+                            return Err(CodegenError::NotYetAvailable {
+                                buffer: sdsp.ack_of_arc(*a),
+                                reader: (op.node, op.iteration),
+                                cycle: bundle.cycle,
+                                available: cell.available,
+                            });
+                        }
+                        arc_queues[a.index()].pop_front();
+                        if let Some(gid) = releasing_group[a.index()] {
+                            if let Some(group) = groups[gid.index()].as_mut() {
+                                group.releasing.push(bundle.cycle + latency);
+                            }
+                        }
+                        cell.value
+                    }
+                    Src::Env { array, offset } => {
+                        env.get(array, op.iteration as i64 + offset)?
+                    }
+                    Src::Param(p) => env.scalar(p)?,
+                    Src::Lit(v) => *v,
+                    Src::Index => op.iteration as f64,
+                };
+                args.push(v);
+            }
+            let out = op.kind.eval(&args);
+            values[op.node.index()].insert(op.iteration, out);
+            for &dst in &op.dsts {
+                writes.push((
+                    dst,
+                    Cell {
+                        value: out,
+                        available: bundle.cycle + latency,
+                    },
+                    (op.node, op.iteration),
+                ));
+            }
+        }
+        for (dst, cell, writer) in writes {
+            if let Some(gid) = acquiring_group[dst.index()] {
+                if let Some(group) = groups[gid.index()].as_mut() {
+                    group.reclaim(bundle.cycle);
+                    if group.free == 0 {
+                        return Err(CodegenError::BufferOverflow {
+                            buffer: gid,
+                            writer,
+                            capacity: program.buffer_capacity[gid.index()],
+                        });
+                    }
+                    group.free -= 1;
+                }
+            }
+            arc_queues[dst.index()].push_back(cell);
+        }
+    }
+    let cycles = program.bundles.last().map(|b| b.cycle + 1).unwrap_or(0);
+    Ok(RunOutcome { values, cycles })
+}
+
+pub mod shape;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,240 @@
+//! The deployed shape of software-pipelined code: prologue + kernel loop.
+//!
+//! [`emit`](crate::emit) produces the fully unrolled cycle-accurate bundle
+//! stream — exact, but linear in the iteration count. Real compilers emit
+//! the paper's "highly compact object codes": a **prologue** that fills
+//! the pipeline once, then a **kernel** of `period` cycles executed in a
+//! loop, each op's iteration advancing by `k` per trip (plus a ragged
+//! epilogue to drain). [`CodeShape`] is that form; its
+//! [`instantiate`](CodeShape::instantiate) method re-expands it for any
+//! iteration count and — the correctness argument — produces *exactly*
+//! the bundles of the unrolled emitter, which the tests check bundle for
+//! bundle.
+
+use tpn_dataflow::{NodeId, Sdsp};
+use tpn_sched::schedule::LoopSchedule;
+
+use crate::{Bundle, Op, Program, Src};
+
+/// One kernel operation with its iteration anchored to kernel instance 0.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelOp {
+    /// The loop node.
+    pub node: NodeId,
+    /// The iteration this op performs in kernel instance 0; instance `k`
+    /// performs `iteration_base + k · iterations_per_period`.
+    pub iteration_base: u64,
+    /// The operation (sources/destinations as in the unrolled form).
+    pub kind: tpn_dataflow::OpKind,
+    /// Source operands.
+    pub srcs: Vec<Src>,
+    /// Destination arcs.
+    pub dsts: Vec<tpn_dataflow::ArcId>,
+}
+
+/// One cycle of the kernel.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct KernelBundle {
+    /// Cycle within the kernel, `0 .. period`.
+    pub slot: u64,
+    /// Operations issued at this slot, every instance.
+    pub ops: Vec<KernelOp>,
+}
+
+/// Prologue + kernel-loop form of a schedule.
+#[derive(Clone, Debug)]
+pub struct CodeShape {
+    /// Pipeline-fill bundles at absolute cycles (before the first kernel
+    /// instance).
+    pub prologue: Vec<Bundle>,
+    /// The kernel, one entry per non-empty slot.
+    pub kernel: Vec<KernelBundle>,
+    /// Absolute cycle at which kernel instance 0's slot 0 sits.
+    pub kernel_base_cycle: u64,
+    /// Kernel length in cycles.
+    pub period: u64,
+    /// Iterations completed per kernel instance.
+    pub iterations_per_period: u64,
+    /// Buffer capacities (as in [`Program`]).
+    pub buffer_capacity: Vec<u32>,
+}
+
+impl CodeShape {
+    /// Builds the compact form of a Petri-net-derived schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule does not cover the SDSP.
+    pub fn from_schedule(sdsp: &Sdsp, schedule: &LoopSchedule) -> CodeShape {
+        assert_eq!(
+            schedule.num_nodes(),
+            sdsp.num_nodes(),
+            "schedule and SDSP disagree on the loop body"
+        );
+        let k = schedule.iterations_per_period();
+        // Enough iterations to cover the prologue and one full kernel
+        // window for every node.
+        let horizon: u64 = sdsp
+            .node_ids()
+            .map(|n| schedule.recorded_iterations(n) as u64)
+            .max()
+            .unwrap_or(0);
+        let reference = crate::emit(sdsp, schedule, horizon.max(k));
+        // The kernel window of node n covers its final k recorded
+        // iterations; everything earlier is prologue.
+        let kernel_start_iter =
+            |n: NodeId| schedule.recorded_iterations(n) as u64 - k;
+        let kernel_base_cycle = sdsp
+            .node_ids()
+            .map(|n| schedule.start_time(n, kernel_start_iter(n)))
+            .min()
+            .unwrap_or(0);
+        // Align the base so slots are stable: take the cycle of the
+        // earliest kernel-window op.
+        let mut prologue = Vec::new();
+        let mut kernel: Vec<KernelBundle> = Vec::new();
+        for bundle in &reference.bundles {
+            let mut pro = Vec::new();
+            for op in &bundle.ops {
+                let ks = kernel_start_iter(op.node);
+                if op.iteration < ks {
+                    pro.push(op.clone());
+                } else if op.iteration < ks + k {
+                    let slot = (bundle.cycle - kernel_base_cycle) % schedule.period();
+                    let entry = KernelOp {
+                        node: op.node,
+                        iteration_base: op.iteration,
+                        kind: op.kind,
+                        srcs: op.srcs.clone(),
+                        dsts: op.dsts.clone(),
+                    };
+                    match kernel.iter_mut().find(|b| b.slot == slot) {
+                        Some(b) => b.ops.push(entry),
+                        None => kernel.push(KernelBundle {
+                            slot,
+                            ops: vec![entry],
+                        }),
+                    }
+                }
+                // Ops beyond the first kernel window are periodic repeats;
+                // ignored here.
+            }
+            if !pro.is_empty() {
+                prologue.push(Bundle {
+                    cycle: bundle.cycle,
+                    ops: pro,
+                });
+            }
+        }
+        kernel.sort_by_key(|b| b.slot);
+        for b in &mut kernel {
+            b.ops.sort_by_key(|op| (op.node, op.iteration_base));
+        }
+        CodeShape {
+            prologue,
+            kernel,
+            kernel_base_cycle,
+            period: schedule.period(),
+            iterations_per_period: k,
+            buffer_capacity: reference.buffer_capacity,
+        }
+    }
+
+    /// Static code size in operations: prologue + one kernel copy (what
+    /// gets emitted to memory, regardless of trip count).
+    pub fn static_ops(&self) -> usize {
+        self.prologue.iter().map(|b| b.ops.len()).sum::<usize>()
+            + self.kernel.iter().map(|b| b.ops.len()).sum::<usize>()
+    }
+
+    /// Re-expands the compact form into the cycle-accurate program for
+    /// `iterations` iterations (per-op predication handles the ragged
+    /// tail, standing in for a specialised epilogue).
+    pub fn instantiate(&self, iterations: u64) -> Program {
+        let mut bundles: Vec<Bundle> = Vec::new();
+        for bundle in &self.prologue {
+            let ops: Vec<Op> = bundle
+                .ops
+                .iter()
+                .filter(|op| op.iteration < iterations)
+                .cloned()
+                .collect();
+            if !ops.is_empty() {
+                bundles.push(Bundle {
+                    cycle: bundle.cycle,
+                    ops,
+                });
+            }
+        }
+        let k = self.iterations_per_period;
+        let mut instance = 0u64;
+        loop {
+            let mut any = false;
+            for kb in &self.kernel {
+                let cycle = self.kernel_base_cycle + instance * self.period + kb.slot;
+                let ops: Vec<Op> = kb
+                    .ops
+                    .iter()
+                    .filter(|op| op.iteration_base + instance * k < iterations)
+                    .map(|op| Op {
+                        node: op.node,
+                        iteration: op.iteration_base + instance * k,
+                        kind: op.kind,
+                        srcs: op.srcs.clone(),
+                        dsts: op.dsts.clone(),
+                    })
+                    .collect();
+                if !ops.is_empty() {
+                    any = true;
+                    bundles.push(Bundle { cycle, ops });
+                }
+            }
+            if !any {
+                break;
+            }
+            instance += 1;
+        }
+        bundles.sort_by_key(|b| b.cycle);
+        // Merge bundles that landed on the same cycle (prologue tail can
+        // overlap the first kernel instance on ragged shapes).
+        let mut merged: Vec<Bundle> = Vec::new();
+        for bundle in bundles {
+            match merged.last_mut() {
+                Some(last) if last.cycle == bundle.cycle => last.ops.extend(bundle.ops),
+                _ => merged.push(bundle),
+            }
+        }
+        for bundle in &mut merged {
+            bundle.ops.sort_by_key(|op| (op.node, op.iteration));
+        }
+        let max_width = merged.iter().map(|b| b.ops.len()).max().unwrap_or(0);
+        Program {
+            bundles: merged,
+            period: self.period,
+            iterations_per_period: k,
+            iterations,
+            buffer_capacity: self.buffer_capacity.clone(),
+            max_width,
+        }
+    }
+}
+
+/// Convenience: proves the compact form equivalent to the unrolled
+/// emitter for a given iteration count (used by tests and callers that
+/// want the check inline).
+///
+/// # Panics
+///
+/// Panics if the two forms diverge — that would be a bug in this module.
+pub fn assert_shape_matches_unrolled(sdsp: &Sdsp, schedule: &LoopSchedule, iterations: u64) {
+    let unrolled = crate::emit(sdsp, schedule, iterations);
+    let shaped = CodeShape::from_schedule(sdsp, schedule).instantiate(iterations);
+    assert_eq!(
+        unrolled.bundles.len(),
+        shaped.bundles.len(),
+        "bundle count mismatch"
+    );
+    for (a, b) in unrolled.bundles.iter().zip(&shaped.bundles) {
+        assert_eq!(a, b, "bundle at cycle {} differs", a.cycle);
+    }
+}

@@ -1,0 +1,415 @@
+//! Tests for emission and the verifying simulator.
+
+use super::*;
+use tpn_dataflow::interp::execute;
+use tpn_dataflow::to_petri::to_petri;
+use tpn_dataflow::Sdsp;
+use tpn_livermore::kernels;
+use tpn_sched::frustum::detect_frustum_eager;
+
+fn schedule_of(sdsp: &Sdsp) -> LoopSchedule {
+    let pn = to_petri(sdsp);
+    let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 100_000).unwrap();
+    LoopSchedule::from_frustum(sdsp, &pn, &f).unwrap()
+}
+
+const L2: &str = "do i from 1 to n {\
+    A[i] := X[i] + 5;\
+    B[i] := Y[i] + A[i];\
+    C[i] := A[i] + E[i-1];\
+    D[i] := B[i] + C[i];\
+    E[i] := W[i] + D[i];\
+}";
+
+#[test]
+fn emitted_l2_matches_the_interpreter() {
+    let sdsp = tpn_lang::compile(L2).unwrap();
+    let schedule = schedule_of(&sdsp);
+    let program = emit(&sdsp, &schedule, 50);
+    let env = Env::ramp(&["X", "Y", "W"], 64, |ai, i| ai as f64 + i as f64 * 0.5);
+    let outcome = run(&program, &sdsp, &env).unwrap();
+    let reference = execute(&sdsp, &env, 50).unwrap();
+    for (nid, _) in sdsp.nodes() {
+        for iter in 0..50u64 {
+            assert_eq!(
+                outcome.value(nid, iter).to_bits(),
+                reference.value(nid, iter as usize).to_bits(),
+                "node {nid} iteration {iter}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_kernels_emit_and_run_cleanly() {
+    for kernel in kernels() {
+        let sdsp = kernel.sdsp();
+        let schedule = schedule_of(&sdsp);
+        let program = emit(&sdsp, &schedule, 40);
+        let env = kernel.env(64);
+        let outcome = run(&program, &sdsp, &env)
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        let reference = execute(&sdsp, &env, 40).unwrap();
+        for (nid, _) in sdsp.nodes() {
+            assert_eq!(
+                outcome.value(nid, 39).to_bits(),
+                reference.value(nid, 39).to_bits(),
+                "{}: node {nid}",
+                kernel.name
+            );
+        }
+    }
+}
+
+#[test]
+fn program_shape_reflects_the_schedule() {
+    let sdsp = tpn_lang::compile(L2).unwrap();
+    let schedule = schedule_of(&sdsp);
+    let program = emit(&sdsp, &schedule, 30);
+    assert_eq!(program.period, schedule.period());
+    assert_eq!(program.iterations, 30);
+    assert_eq!(
+        program.buffer_capacity.len(),
+        sdsp.acks().count()
+    );
+    // Total ops = nodes × iterations.
+    let total: usize = program.bundles.iter().map(|b| b.ops.len()).sum();
+    assert_eq!(total, sdsp.num_nodes() * 30);
+    // Bundles are strictly ordered by cycle.
+    assert!(program
+        .bundles
+        .windows(2)
+        .all(|w| w[0].cycle < w[1].cycle));
+    assert!(program.max_width >= 1);
+}
+
+#[test]
+fn compact_size_is_small_relative_to_unrolled() {
+    let sdsp = tpn_lang::compile(L2).unwrap();
+    let schedule = schedule_of(&sdsp);
+    let program = emit(&sdsp, &schedule, 100);
+    // Deployed as prologue + kernel loop, the code is a few copies of the
+    // body — far less than 100 unrolled iterations.
+    assert!(program.compact_size() <= 3 * sdsp.num_nodes());
+}
+
+#[test]
+fn render_mentions_buffers_and_nodes() {
+    let sdsp = tpn_lang::compile(L2).unwrap();
+    let schedule = schedule_of(&sdsp);
+    let program = emit(&sdsp, &schedule, 5);
+    let text = program.render(&sdsp, 10);
+    assert!(text.contains("A@0"));
+    assert!(text.contains("buf"));
+    assert!(text.contains("||") || text.lines().count() > 1);
+    assert!(text.contains("X[i+0]"));
+}
+
+#[test]
+fn coalesced_storage_executes_correctly() {
+    // After §6 minimisation, chains share one location; the semaphore
+    // model must still produce identical values.
+    let sdsp = tpn_lang::compile(L2).unwrap();
+    let (optimised, report) = tpn_storage::minimize_storage(&sdsp).unwrap();
+    assert!(report.after < report.before);
+    let schedule = schedule_of(&optimised);
+    let program = emit(&optimised, &schedule, 40);
+    let env = Env::ramp(&["X", "Y", "W"], 64, |ai, i| ai as f64 * 2.0 + i as f64);
+    let outcome = run(&program, &optimised, &env).unwrap();
+    let reference = execute(&optimised, &env, 40).unwrap();
+    let names = optimised.names();
+    assert_eq!(
+        outcome.value(names["E"], 39).to_bits(),
+        reference.value(names["E"], 39).to_bits()
+    );
+}
+
+#[test]
+fn balanced_storage_executes_correctly() {
+    // Capacity-2 buffers (the FIFO extension) double-buffer the DOALL
+    // kernels; values must still match.
+    let sdsp = tpn_lang::compile(
+        "doall i from 1 to n { A[i] := X[i] + 1; B[i] := A[i] * 2; }",
+    )
+    .unwrap();
+    let (balanced, report) = tpn_storage::balance(&sdsp).unwrap();
+    assert_eq!(report.rate_after, tpn_petri::Ratio::ONE);
+    let schedule = schedule_of(&balanced);
+    assert_eq!(schedule.rate(), tpn_petri::Ratio::ONE);
+    let program = emit(&balanced, &schedule, 40);
+    let mut env = Env::new();
+    env.insert("X", (0..64).map(|i| i as f64).collect());
+    let outcome = run(&program, &balanced, &env).unwrap();
+    let names = balanced.names();
+    assert_eq!(outcome.value(names["B"], 39), (39.0 + 1.0) * 2.0);
+}
+
+#[test]
+fn width_limit_is_enforced() {
+    // L2's kernel issues several ops per cycle; a width-1 machine must
+    // reject it.
+    let sdsp = tpn_lang::compile(L2).unwrap();
+    let schedule = schedule_of(&sdsp);
+    let program = emit(&sdsp, &schedule, 20);
+    let env = Env::ramp(&["X", "Y", "W"], 32, |_, i| i as f64);
+    assert!(matches!(
+        run_with_width(&program, &sdsp, &env, Some(1)),
+        Err(CodegenError::TooWide { width: 1, .. })
+    ));
+    // The SCP schedule, by contrast, fits width 1.
+    let lp = tpn::CompiledLoop::from_sdsp(sdsp.clone());
+    let scp = lp.scp(4).unwrap();
+    let scp_program = emit(&sdsp, &scp.schedule, 20);
+    // Pipeline transit: operand availability in the simulator uses node
+    // latency only, while the SCP schedule waits the full pipe — so the
+    // run is conservative and must succeed.
+    run_with_width(&scp_program, &sdsp, &env, Some(1)).unwrap();
+}
+
+#[test]
+fn corrupted_schedule_is_caught_by_the_simulator() {
+    // Hand-build a program that reads B's input before A wrote it.
+    let sdsp = tpn_lang::compile(
+        "doall i from 1 to n { A[i] := X[i] + 1; B[i] := A[i] * 2; }",
+    )
+    .unwrap();
+    let names = sdsp.names();
+    let (a, b) = (names["A"], names["B"]);
+    let arc = sdsp.arc_of_operand(b, 0).unwrap();
+    let bad = Program {
+        bundles: vec![
+            Bundle {
+                cycle: 0,
+                ops: vec![Op {
+                    node: b,
+                    iteration: 0,
+                    kind: sdsp.node(b).op,
+                    srcs: vec![Src::Arc(arc), Src::Lit(2.0)],
+                    dsts: vec![],
+                }],
+            },
+            Bundle {
+                cycle: 1,
+                ops: vec![Op {
+                    node: a,
+                    iteration: 0,
+                    kind: sdsp.node(a).op,
+                    srcs: vec![
+                        Src::Env {
+                            array: "X".into(),
+                            offset: 0,
+                        },
+                        Src::Lit(1.0),
+                    ],
+                    dsts: vec![arc],
+                }],
+            },
+        ],
+        period: 2,
+        iterations_per_period: 1,
+        iterations: 1,
+        buffer_capacity: sdsp.acks().map(|(_, k)| k.capacity).collect(),
+        max_width: 1,
+    };
+    let mut env = Env::new();
+    env.insert("X", vec![1.0]);
+    assert!(matches!(
+        run(&bad, &sdsp, &env),
+        Err(CodegenError::BufferUnderflow { .. })
+    ));
+}
+
+#[test]
+fn premature_read_is_caught() {
+    // A valid order but a read one cycle too early for a 3-cycle multiply.
+    let mut b = tpn_dataflow::SdspBuilder::new();
+    let a = b.node(
+        "A",
+        OpKind::Mul,
+        [Operand::env("X", 0), Operand::lit(2.0)],
+    );
+    let c = b.node("C", OpKind::Neg, [Operand::node(a)]);
+    b.set_time(a, 3);
+    let sdsp = b.finish().unwrap();
+    let arc = sdsp.arc_of_operand(c, 0).unwrap();
+    let program = Program {
+        bundles: vec![
+            Bundle {
+                cycle: 0,
+                ops: vec![Op {
+                    node: a,
+                    iteration: 0,
+                    kind: OpKind::Mul,
+                    srcs: vec![
+                        Src::Env {
+                            array: "X".into(),
+                            offset: 0,
+                        },
+                        Src::Lit(2.0),
+                    ],
+                    dsts: vec![arc],
+                }],
+            },
+            Bundle {
+                cycle: 2, // too early: available at 3
+                ops: vec![Op {
+                    node: c,
+                    iteration: 0,
+                    kind: OpKind::Neg,
+                    srcs: vec![Src::Arc(arc)],
+                    dsts: vec![],
+                }],
+            },
+        ],
+        period: 3,
+        iterations_per_period: 1,
+        iterations: 1,
+        buffer_capacity: sdsp.acks().map(|(_, k)| k.capacity).collect(),
+        max_width: 1,
+    };
+    let mut env = Env::new();
+    env.insert("X", vec![1.0]);
+    assert!(matches!(
+        run(&program, &sdsp, &env),
+        Err(CodegenError::NotYetAvailable { available: 3, .. })
+    ));
+}
+
+#[test]
+fn overflow_is_caught() {
+    // Two writes into a capacity-1 buffer with no intervening read.
+    let mut b = tpn_dataflow::SdspBuilder::new();
+    let a = b.node("A", OpKind::Neg, [Operand::env("X", 0)]);
+    let c = b.node("C", OpKind::Neg, [Operand::node(a)]);
+    let sdsp = b.finish().unwrap();
+    let arc = sdsp.arc_of_operand(c, 0).unwrap();
+    let write_a = |cycle: u64, iteration: u64| Bundle {
+        cycle,
+        ops: vec![Op {
+            node: a,
+            iteration,
+            kind: OpKind::Neg,
+            srcs: vec![Src::Env {
+                array: "X".into(),
+                offset: 0,
+            }],
+            dsts: vec![arc],
+        }],
+    };
+    let program = Program {
+        bundles: vec![write_a(0, 0), write_a(1, 1)],
+        period: 2,
+        iterations_per_period: 1,
+        iterations: 2,
+        buffer_capacity: sdsp.acks().map(|(_, k)| k.capacity).collect(),
+        max_width: 1,
+    };
+    let mut env = Env::new();
+    env.insert("X", vec![1.0, 2.0]);
+    assert!(matches!(
+        run(&program, &sdsp, &env),
+        Err(CodegenError::BufferOverflow { capacity: 1, .. })
+    ));
+}
+
+#[test]
+fn errors_render() {
+    let e = CodegenError::TooWide {
+        cycle: 3,
+        ops: 4,
+        width: 2,
+    };
+    assert!(e.to_string().contains("width-2"));
+    let e = CodegenError::BufferUnderflow {
+        buffer: AckId::from_index(1),
+        reader: (NodeId::from_index(0), 2),
+    };
+    assert!(e.to_string().contains("empty buffer"));
+}
+
+mod shape_tests {
+    use super::*;
+    use crate::shape::{assert_shape_matches_unrolled, CodeShape};
+    use tpn_livermore::synth::{generate, SynthConfig};
+
+    #[test]
+    fn compact_form_matches_unrolled_on_all_kernels() {
+        for kernel in tpn_livermore::kernels() {
+            let sdsp = kernel.sdsp();
+            let schedule = schedule_of(&sdsp);
+            for iterations in [1u64, 2, 7, 40] {
+                assert_shape_matches_unrolled(&sdsp, &schedule, iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn compact_form_matches_unrolled_on_random_bodies() {
+        for seed in 0..24u64 {
+            let sdsp = generate(&SynthConfig {
+                nodes: 3 + (seed as usize % 10),
+                forward_density: 0.55,
+                recurrences: (seed % 3) as usize,
+                distance: 1,
+                seed,
+            });
+            let pn = tpn_dataflow::to_petri::to_petri(&sdsp);
+            let f = tpn_sched::frustum::detect_frustum_eager(&pn.net, pn.marking.clone(), 2_000_000)
+                .unwrap();
+            let Ok(schedule) = LoopSchedule::from_frustum(&sdsp, &pn, &f) else {
+                continue; // disconnected body
+            };
+            assert_shape_matches_unrolled(&sdsp, &schedule, 30);
+        }
+    }
+
+    #[test]
+    fn static_size_is_independent_of_trip_count() {
+        let sdsp = tpn_lang::compile(L2).unwrap();
+        let schedule = schedule_of(&sdsp);
+        let shape = CodeShape::from_schedule(&sdsp, &schedule);
+        // Static footprint: prologue + one kernel copy only.
+        assert!(shape.static_ops() <= 3 * sdsp.num_nodes());
+        // Instantiations of any length agree with the static form.
+        let p10 = shape.instantiate(10);
+        let p100 = shape.instantiate(100);
+        assert_eq!(p10.bundles.iter().map(|b| b.ops.len()).sum::<usize>(), 50);
+        assert_eq!(p100.bundles.iter().map(|b| b.ops.len()).sum::<usize>(), 500);
+    }
+
+    #[test]
+    fn instantiated_shape_runs_on_the_machine() {
+        let sdsp = tpn_lang::compile(L2).unwrap();
+        let schedule = schedule_of(&sdsp);
+        let shape = CodeShape::from_schedule(&sdsp, &schedule);
+        let program = shape.instantiate(25);
+        let env = Env::ramp(&["X", "Y", "W"], 40, |ai, i| ai as f64 + i as f64);
+        let outcome = run(&program, &sdsp, &env).unwrap();
+        let reference = tpn_dataflow::interp::execute(&sdsp, &env, 25).unwrap();
+        let e = sdsp.names()["E"];
+        assert_eq!(
+            outcome.value(e, 24).to_bits(),
+            reference.value(e, 24).to_bits()
+        );
+    }
+
+    #[test]
+    fn fractional_ii_shapes_round_trip() {
+        // The 5-transition, 2-token cycle: period 5, 2 iterations per
+        // kernel instance.
+        use tpn_dataflow::{OpKind, Operand, SdspBuilder};
+        let mut b = SdspBuilder::new();
+        let u = b.node("u", OpKind::Id, [Operand::lit(0.0)]);
+        let v1 = b.node("v1", OpKind::Id, [Operand::node(u)]);
+        let v2 = b.node("v2", OpKind::Id, [Operand::node(v1)]);
+        let v3 = b.node("v3", OpKind::Id, [Operand::node(v2)]);
+        let w = b.node("w", OpKind::Id, [Operand::feedback(v3, 1)]);
+        b.set_operand(u, 0, Operand::feedback(w, 1));
+        let sdsp = b.finish().unwrap();
+        let schedule = schedule_of(&sdsp);
+        assert_eq!(schedule.iterations_per_period(), 2);
+        for iterations in [1u64, 2, 3, 9, 20] {
+            assert_shape_matches_unrolled(&sdsp, &schedule, iterations);
+        }
+    }
+}

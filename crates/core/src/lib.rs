@@ -1,0 +1,353 @@
+//! End-to-end pipeline for timed Petri-net fine-grain loop scheduling.
+//!
+//! A reproduction of *"A Timed Petri-Net Model for Fine-Grain Loop
+//! Scheduling"* (Gao, Wong & Ning, PLDI 1991). This crate is the façade:
+//! it wires the front-end ([`tpn_lang`]), the dataflow representation
+//! ([`tpn_dataflow`]), the Petri-net substrate ([`tpn_petri`]), the
+//! scheduler ([`tpn_sched`]) and the storage optimiser ([`tpn_storage`])
+//! into one pipeline:
+//!
+//! ```text
+//! loop source ──parse/lower──▶ SDSP ──to_petri──▶ SDSP-PN
+//!      ──earliest firing──▶ cyclic frustum ──▶ time-optimal schedule
+//! ```
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tpn::CompiledLoop;
+//!
+//! // Livermore loop 5: a first-order recurrence.
+//! let lp = CompiledLoop::from_source(
+//!     "do i from 2 to n { X[i] := Z[i] * (Y[i] - X[i-1]); }",
+//! )?;
+//!
+//! // The recurrence bounds the loop at one iteration every 2 cycles, and
+//! // the earliest-firing schedule attains exactly that.
+//! let analysis = lp.analyze()?;
+//! assert_eq!(analysis.optimal_rate.to_string(), "1/2");
+//!
+//! let schedule = lp.schedule()?;
+//! assert_eq!(schedule.initiation_interval().to_string(), "2");
+//!
+//! // On a machine with a single clean 8-stage pipeline:
+//! let scp = lp.scp(8)?;
+//! assert!(scp.rates.respects_resource_bound());
+//! # Ok::<(), tpn::Error>(())
+//! ```
+
+use std::fmt;
+
+pub use tpn_codegen as codegen;
+pub use tpn_dataflow as dataflow;
+pub use tpn_lang as lang;
+pub use tpn_petri as petri;
+pub use tpn_sched as sched;
+pub use tpn_storage as storage;
+
+use tpn_dataflow::to_petri::{to_petri, SdspPn};
+use tpn_dataflow::{DataflowError, Sdsp};
+use tpn_lang::LangError;
+use tpn_petri::ratio::{critical_ratio, CriticalWitness};
+use tpn_petri::rational::Ratio;
+use tpn_petri::PetriError;
+use tpn_sched::frustum::{detect_frustum, detect_frustum_eager, FrustumReport};
+use tpn_sched::policy::FifoPolicy;
+use tpn_sched::rate::{RateReport, ScpRateReport};
+use tpn_sched::schedule::LoopSchedule;
+use tpn_sched::scp::{build_scp, ScpPn};
+use tpn_sched::SchedError;
+use tpn_storage::{minimize_storage, StorageError, StorageReport};
+
+/// Unified error type of the pipeline.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Front-end (parse / semantic) failure.
+    Lang(LangError),
+    /// SDSP construction or interpretation failure.
+    Dataflow(DataflowError),
+    /// Petri-net analysis failure.
+    Petri(PetriError),
+    /// Frustum detection or schedule derivation failure.
+    Sched(SchedError),
+    /// Storage optimisation failure.
+    Storage(StorageError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lang(e) => write!(f, "{e}"),
+            Error::Dataflow(e) => write!(f, "{e}"),
+            Error::Petri(e) => write!(f, "{e}"),
+            Error::Sched(e) => write!(f, "{e}"),
+            Error::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+macro_rules! impl_from_error {
+    ($($variant:ident($ty:ty)),* $(,)?) => {
+        $(impl From<$ty> for Error {
+            fn from(e: $ty) -> Self {
+                Error::$variant(e)
+            }
+        })*
+    };
+}
+
+impl_from_error!(
+    Lang(LangError),
+    Dataflow(DataflowError),
+    Petri(PetriError),
+    Sched(SchedError),
+    Storage(StorageError),
+);
+
+impl std::error::Error for Error {}
+
+/// Critical-cycle analysis of a compiled loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Analysis {
+    /// The critical cycle time `α* = max Ω(C)/M(C)`.
+    pub cycle_time: Ratio,
+    /// The optimal computation rate `1/α*`.
+    pub optimal_rate: Ratio,
+    /// Names of the loop nodes on a critical cycle (empty if the bound
+    /// comes from a single slow node's non-reentrance).
+    pub critical_nodes: Vec<String>,
+}
+
+/// A loop compiled through the full pipeline, with cached SDSP and
+/// SDSP-PN forms.
+#[derive(Clone, Debug)]
+pub struct CompiledLoop {
+    sdsp: Sdsp,
+    pn: SdspPn,
+}
+
+/// An SCP (single-clean-pipeline) execution of a compiled loop.
+#[derive(Clone, Debug)]
+pub struct ScpRun {
+    /// The SDSP-SCP-PN model.
+    pub model: ScpPn,
+    /// The detected cyclic frustum.
+    pub frustum: FrustumReport,
+    /// The issue schedule derived from it.
+    pub schedule: LoopSchedule,
+    /// Rates and pipeline utilisation (Table 2's columns).
+    pub rates: ScpRateReport,
+}
+
+impl CompiledLoop {
+    /// Compiles loop source text through the front-end.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Lang`] for parse or semantic failures.
+    pub fn from_source(source: &str) -> Result<Self, Error> {
+        Ok(Self::from_sdsp(tpn_lang::compile(source)?))
+    }
+
+    /// Wraps an already-built SDSP.
+    pub fn from_sdsp(sdsp: Sdsp) -> Self {
+        let pn = to_petri(&sdsp);
+        CompiledLoop { sdsp, pn }
+    }
+
+    /// The loop's dataflow graph.
+    pub fn sdsp(&self) -> &Sdsp {
+        &self.sdsp
+    }
+
+    /// The loop's SDSP-PN.
+    pub fn petri_net(&self) -> &SdspPn {
+        &self.pn
+    }
+
+    /// Loop body size `n` (number of instructions).
+    pub fn size(&self) -> usize {
+        self.sdsp.num_nodes()
+    }
+
+    /// A sensible frustum-detection budget: detection is empirically
+    /// `O(n)` (§5), so a generous multiple of the `2n` bound plus slack.
+    pub fn default_budget(&self) -> u64 {
+        (64 * self.size() as u64).max(100_000)
+    }
+
+    /// Critical-cycle analysis: cycle time, optimal rate, and the nodes on
+    /// a critical cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Petri`] for malformed or dead nets.
+    pub fn analyze(&self) -> Result<Analysis, Error> {
+        let r = critical_ratio(&self.pn.net, &self.pn.marking)?;
+        let critical_nodes = match &r.witness {
+            CriticalWitness::Cycle(c) => c
+                .transitions()
+                .iter()
+                .map(|&t| self.pn.net.transition(t).name().to_string())
+                .collect(),
+            CriticalWitness::SelfLoop(_) => Vec::new(),
+        };
+        Ok(Analysis {
+            cycle_time: r.cycle_time,
+            optimal_rate: r.rate,
+            critical_nodes,
+        })
+    }
+
+    /// Detects the cyclic frustum of the SDSP-PN under the earliest firing
+    /// rule, with the default budget.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sched`] if the budget is exhausted (or the net deadlocks).
+    pub fn frustum(&self) -> Result<FrustumReport, Error> {
+        Ok(detect_frustum_eager(
+            &self.pn.net,
+            self.pn.marking.clone(),
+            self.default_budget(),
+        )?)
+    }
+
+    /// Derives the time-optimal software-pipelining schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sched`] on detection or derivation failure.
+    pub fn schedule(&self) -> Result<LoopSchedule, Error> {
+        let f = self.frustum()?;
+        Ok(LoopSchedule::from_frustum(&self.sdsp, &self.pn, &f)?)
+    }
+
+    /// Measures the frustum rate against the critical-cycle bound.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sched`] / [`Error::Petri`] from detection or analysis.
+    pub fn rate_report(&self) -> Result<RateReport, Error> {
+        let f = self.frustum()?;
+        RateReport::for_sdsp_pn(&self.pn, &f).map_err(Error::Petri)
+    }
+
+    /// Builds and runs the SDSP-SCP-PN model with an `l`-stage pipeline
+    /// under the FIFO issue policy.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sched`] on detection or derivation failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn scp(&self, depth: u64) -> Result<ScpRun, Error> {
+        let model = build_scp(&self.pn, depth);
+        let budget = self.default_budget().saturating_mul(depth.max(1));
+        let frustum = detect_frustum(
+            &model.net,
+            model.marking.clone(),
+            FifoPolicy::new(&model),
+            budget,
+        )?;
+        let schedule = LoopSchedule::from_scp_frustum(&self.sdsp, &model, &frustum)?;
+        let rates = ScpRateReport::for_scp(&model, &frustum);
+        Ok(ScpRun {
+            model,
+            frustum,
+            schedule,
+            rates,
+        })
+    }
+
+    /// Runs the §6 storage optimiser and returns the optimised loop with
+    /// its report.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Storage`] on analysis failure.
+    pub fn minimize_storage(&self) -> Result<(CompiledLoop, StorageReport), Error> {
+        let (optimised, report) = minimize_storage(&self.sdsp)?;
+        Ok((CompiledLoop::from_sdsp(optimised), report))
+    }
+
+    /// Emits the time-optimal schedule as a VLIW program over the loop's
+    /// storage locations, for `iterations` iterations (see
+    /// [`tpn_codegen`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sched`] on detection or derivation failure.
+    pub fn emit(&self, iterations: u64) -> Result<tpn_codegen::Program, Error> {
+        let schedule = self.schedule()?;
+        Ok(tpn_codegen::emit(&self.sdsp, &schedule, iterations))
+    }
+
+    /// Balances the loop's buffering (the FIFO-queued extension of §7):
+    /// raises acknowledgement capacities until the rate reaches the
+    /// data-dependence bound. The inverse trade-off to
+    /// [`minimize_storage`](Self::minimize_storage).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Storage`] on analysis failure.
+    pub fn balance(&self) -> Result<(CompiledLoop, tpn_storage::BalanceReport), Error> {
+        let (balanced, report) = tpn_storage::balance(&self.sdsp)?;
+        Ok((CompiledLoop::from_sdsp(balanced), report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L2: &str = "do i from 1 to n {\
+        A[i] := X[i] + 5;\
+        B[i] := Y[i] + A[i];\
+        C[i] := A[i] + E[i-1];\
+        D[i] := B[i] + C[i];\
+        E[i] := W[i] + D[i];\
+    }";
+
+    #[test]
+    fn end_to_end_l2() {
+        let lp = CompiledLoop::from_source(L2).unwrap();
+        assert_eq!(lp.size(), 5);
+        let analysis = lp.analyze().unwrap();
+        assert_eq!(analysis.optimal_rate, Ratio::new(1, 3));
+        assert_eq!(analysis.critical_nodes.len(), 3);
+        let schedule = lp.schedule().unwrap();
+        assert_eq!(schedule.rate(), Ratio::new(1, 3));
+        let report = lp.rate_report().unwrap();
+        assert!(report.is_time_optimal());
+    }
+
+    #[test]
+    fn end_to_end_scp() {
+        let lp = CompiledLoop::from_source(L2).unwrap();
+        let run = lp.scp(8).unwrap();
+        assert!(run.rates.respects_resource_bound());
+        assert_eq!(run.model.depth, 8);
+        assert!(run.schedule.period() > 0);
+    }
+
+    #[test]
+    fn end_to_end_storage() {
+        let lp = CompiledLoop::from_source(L2).unwrap();
+        let (optimised, report) = lp.minimize_storage().unwrap();
+        assert!(report.after < report.before);
+        // The optimised loop still schedules at the optimal rate.
+        let schedule = optimised.schedule().unwrap();
+        assert_eq!(schedule.rate(), Ratio::new(1, 3));
+    }
+
+    #[test]
+    fn error_conversions() {
+        let err = CompiledLoop::from_source("garbage").unwrap_err();
+        assert!(matches!(err, Error::Lang(_)));
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,0 +1,558 @@
+//! A textual dataflow assembly for SDSP graphs ("A-code").
+//!
+//! The paper's testbed exchanged loops between the compiler and the
+//! simulator as *A-code*, a dataflow assembly. This module provides the
+//! equivalent for this reproduction: a line-oriented, human-readable,
+//! exactly round-tripping serialization of a compiled [`Sdsp`] — including
+//! coalesced acknowledgement chains and FIFO capacities, so optimised
+//! storage allocations survive the trip.
+//!
+//! ```text
+//! .sdsp
+//! actor 0 "A" add time=1 init=0 env:X@+0 lit:5
+//! actor 1 "B" add time=1 init=0 env:Y@+0 n0@0
+//! ack 1 -> 0 cap=1 covers=a0
+//! .end
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use tpn_dataflow::acode;
+//! let sdsp = tpn_lang::compile("do i from 1 to n { Q := old Q + Z[i] * X[i]; }")?;
+//! let text = acode::write(&sdsp);
+//! let back = acode::read(&text)?;
+//! assert_eq!(back.num_nodes(), sdsp.num_nodes());
+//! assert_eq!(back.arcs().count(), sdsp.arcs().count());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::builder::SdspBuilder;
+use crate::error::DataflowError;
+use crate::graph::{AckArc, ArcId, NodeId, Operand, Sdsp};
+use crate::ops::{CmpOp, OpKind};
+
+/// Errors from parsing A-code text.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum AcodeError {
+    /// A line did not match the expected grammar.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The reconstructed graph failed validation.
+    Invalid(DataflowError),
+}
+
+impl std::fmt::Display for AcodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AcodeError::Malformed { line, message } => write!(f, "line {line}: {message}"),
+            AcodeError::Invalid(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AcodeError {}
+
+impl From<DataflowError> for AcodeError {
+    fn from(e: DataflowError) -> Self {
+        AcodeError::Invalid(e)
+    }
+}
+
+fn op_name(op: OpKind) -> &'static str {
+    match op {
+        OpKind::Add => "add",
+        OpKind::Sub => "sub",
+        OpKind::Mul => "mul",
+        OpKind::Div => "div",
+        OpKind::Min => "min",
+        OpKind::Max => "max",
+        OpKind::Neg => "neg",
+        OpKind::Id => "id",
+        OpKind::Cmp(CmpOp::Lt) => "cmplt",
+        OpKind::Cmp(CmpOp::Le) => "cmple",
+        OpKind::Cmp(CmpOp::Gt) => "cmpgt",
+        OpKind::Cmp(CmpOp::Ge) => "cmpge",
+        OpKind::Cmp(CmpOp::Eq) => "cmpeq",
+        OpKind::Cmp(CmpOp::Ne) => "cmpne",
+        OpKind::Switch => "switch",
+        OpKind::Merge => "merge",
+    }
+}
+
+fn op_from_name(name: &str) -> Option<OpKind> {
+    Some(match name {
+        "add" => OpKind::Add,
+        "sub" => OpKind::Sub,
+        "mul" => OpKind::Mul,
+        "div" => OpKind::Div,
+        "min" => OpKind::Min,
+        "max" => OpKind::Max,
+        "neg" => OpKind::Neg,
+        "id" => OpKind::Id,
+        "cmplt" => OpKind::Cmp(CmpOp::Lt),
+        "cmple" => OpKind::Cmp(CmpOp::Le),
+        "cmpgt" => OpKind::Cmp(CmpOp::Gt),
+        "cmpge" => OpKind::Cmp(CmpOp::Ge),
+        "cmpeq" => OpKind::Cmp(CmpOp::Eq),
+        "cmpne" => OpKind::Cmp(CmpOp::Ne),
+        "switch" => OpKind::Switch,
+        "merge" => OpKind::Merge,
+        _ => return None,
+    })
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::from("\"");
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            _ => out.push(ch),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serialises an SDSP to A-code text.
+pub fn write(sdsp: &Sdsp) -> String {
+    let mut out = String::from(".sdsp\n");
+    for (id, node) in sdsp.nodes() {
+        let _ = write!(
+            out,
+            "actor {} {} {} time={} init={:?}",
+            id.index(),
+            quote(&node.name),
+            op_name(node.op),
+            node.time,
+            node.initial_value
+        );
+        for operand in &node.operands {
+            match operand {
+                Operand::Node { node, distance } => {
+                    let _ = write!(out, " n{}@{}", node.index(), distance);
+                }
+                Operand::Env { array, offset } => {
+                    let _ = write!(out, " env:{}@{:+}", quote(array), offset);
+                }
+                Operand::Param(name) => {
+                    let _ = write!(out, " param:{}", quote(name));
+                }
+                Operand::Lit(v) => {
+                    let _ = write!(out, " lit:{v:?}");
+                }
+                Operand::Index => out.push_str(" index"),
+            }
+        }
+        out.push('\n');
+    }
+    for (_, ack) in sdsp.acks() {
+        let _ = write!(
+            out,
+            "ack {} -> {} cap={} covers=",
+            ack.from.index(),
+            ack.to.index(),
+            ack.capacity
+        );
+        let covers: Vec<String> = ack.covers.iter().map(|a| format!("a{}", a.index())).collect();
+        out.push_str(&covers.join(","));
+        out.push('\n');
+    }
+    out.push_str(".end\n");
+    out
+}
+
+/// Splits a line into whitespace-separated tokens, honouring quotes.
+fn tokens(line: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        match ch {
+            '"' => {
+                in_quotes = !in_quotes;
+                cur.push(ch);
+            }
+            '\\' if in_quotes => {
+                cur.push(ch);
+                if let Some(next) = chars.next() {
+                    cur.push(next);
+                }
+            }
+            c if c.is_whitespace() && !in_quotes => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quote".to_string());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+/// Extracts a quoted name from a token (possibly with a prefix already
+/// stripped).
+fn unquote(token: &str) -> Result<String, String> {
+    let inner = token
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted name, found {token:?}"))?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(ch) = chars.next() {
+        if ch == '\\' {
+            match chars.next() {
+                Some(c) => out.push(c),
+                None => return Err("dangling escape".to_string()),
+            }
+        } else {
+            out.push(ch);
+        }
+    }
+    Ok(out)
+}
+
+/// Parses A-code text back into a validated SDSP.
+///
+/// # Errors
+///
+/// [`AcodeError::Malformed`] with a line number for syntax problems;
+/// [`AcodeError::Invalid`] if the reconstructed graph fails validation.
+pub fn read(text: &str) -> Result<Sdsp, AcodeError> {
+    let mut builder = SdspBuilder::new();
+    let mut acks: Vec<AckArc> = Vec::new();
+    let mut saw_header = false;
+    let mut saw_end = false;
+    let mut pending_ops: Vec<(NodeId, Vec<Operand>)> = Vec::new();
+
+    let err = |line: usize, message: String| AcodeError::Malformed { line, message };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line_no = lineno + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ".sdsp" {
+            saw_header = true;
+            continue;
+        }
+        if line == ".end" {
+            saw_end = true;
+            continue;
+        }
+        if !saw_header {
+            return Err(err(line_no, "missing .sdsp header".to_string()));
+        }
+        let toks = tokens(line).map_err(|m| err(line_no, m))?;
+        match toks.first().map(String::as_str) {
+            Some("actor") => {
+                if toks.len() < 6 {
+                    return Err(err(line_no, "actor needs id, name, op, time, init".into()));
+                }
+                let idx: usize = toks[1]
+                    .parse()
+                    .map_err(|_| err(line_no, format!("bad actor id {:?}", toks[1])))?;
+                if idx != builder.len() {
+                    return Err(err(line_no, "actor ids must be consecutive from 0".into()));
+                }
+                let name = unquote(&toks[2]).map_err(|m| err(line_no, m))?;
+                let op = op_from_name(&toks[3])
+                    .ok_or_else(|| err(line_no, format!("unknown op {:?}", toks[3])))?;
+                let time: u64 = toks[4]
+                    .strip_prefix("time=")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(line_no, format!("bad time {:?}", toks[4])))?;
+                let init: f64 = toks[5]
+                    .strip_prefix("init=")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(line_no, format!("bad init {:?}", toks[5])))?;
+                let mut operands = Vec::new();
+                for tok in &toks[6..] {
+                    operands.push(parse_operand(tok).map_err(|m| err(line_no, m))?);
+                }
+                // Node references may be forward; add with placeholders
+                // and patch below.
+                let placeholders: Vec<Operand> =
+                    operands.iter().map(|_| Operand::lit(0.0)).collect();
+                let id = builder.node(name, op, placeholders);
+                builder.set_time(id, time).set_initial(id, init);
+                pending_ops.push((id, operands));
+            }
+            Some("ack") => {
+                // ack FROM -> TO cap=N covers=aI,aJ
+                if toks.len() != 6 || toks[2] != "->" {
+                    return Err(err(line_no, "ack needs `from -> to cap=N covers=...`".into()));
+                }
+                let from: usize = toks[1]
+                    .parse()
+                    .map_err(|_| err(line_no, format!("bad node id {:?}", toks[1])))?;
+                let to: usize = toks[3]
+                    .parse()
+                    .map_err(|_| err(line_no, format!("bad node id {:?}", toks[3])))?;
+                let capacity: u32 = toks[4]
+                    .strip_prefix("cap=")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(line_no, format!("bad capacity {:?}", toks[4])))?;
+                let covers_text = toks[5]
+                    .strip_prefix("covers=")
+                    .ok_or_else(|| err(line_no, format!("bad covers {:?}", toks[5])))?;
+                let mut covers = Vec::new();
+                for part in covers_text.split(',') {
+                    let idx: usize = part
+                        .strip_prefix('a')
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err(line_no, format!("bad arc id {part:?}")))?;
+                    covers.push(ArcId::from_index(idx));
+                }
+                acks.push(AckArc {
+                    from: NodeId::from_index(from),
+                    to: NodeId::from_index(to),
+                    covers,
+                    capacity,
+                });
+            }
+            _ => return Err(err(line_no, format!("unknown directive {:?}", toks[0]))),
+        }
+    }
+    if !saw_header || !saw_end {
+        return Err(AcodeError::Malformed {
+            line: text.lines().count(),
+            message: "missing .sdsp/.end delimiters".to_string(),
+        });
+    }
+    for (id, operands) in pending_ops {
+        for (slot, operand) in operands.into_iter().enumerate() {
+            builder.set_operand(id, slot, operand);
+        }
+    }
+    let sdsp = builder.finish()?;
+    if acks.is_empty() {
+        Ok(sdsp)
+    } else {
+        Ok(sdsp.with_acks(acks)?)
+    }
+}
+
+fn parse_operand(tok: &str) -> Result<Operand, String> {
+    if tok == "index" {
+        return Ok(Operand::Index);
+    }
+    if let Some(rest) = tok.strip_prefix("env:") {
+        let at = rest
+            .rfind('@')
+            .ok_or_else(|| format!("env operand needs @offset: {tok:?}"))?;
+        let name = unquote(&rest[..at])?;
+        let offset: i64 = rest[at + 1..]
+            .parse()
+            .map_err(|_| format!("bad env offset in {tok:?}"))?;
+        return Ok(Operand::Env {
+            array: name,
+            offset,
+        });
+    }
+    if let Some(rest) = tok.strip_prefix("param:") {
+        return Ok(Operand::Param(unquote(rest)?));
+    }
+    if let Some(rest) = tok.strip_prefix("lit:") {
+        let v: f64 = rest.parse().map_err(|_| format!("bad literal {tok:?}"))?;
+        return Ok(Operand::Lit(v));
+    }
+    if let Some(rest) = tok.strip_prefix('n') {
+        let at = rest
+            .find('@')
+            .ok_or_else(|| format!("node operand needs @distance: {tok:?}"))?;
+        let node: usize = rest[..at]
+            .parse()
+            .map_err(|_| format!("bad node id in {tok:?}"))?;
+        let distance: u32 = rest[at + 1..]
+            .parse()
+            .map_err(|_| format!("bad distance in {tok:?}"))?;
+        return Ok(Operand::Node {
+            node: NodeId::from_index(node),
+            distance,
+        });
+    }
+    Err(format!("unknown operand {tok:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ArcKind;
+
+    fn round_trip(sdsp: &Sdsp) -> Sdsp {
+        let text = write(sdsp);
+        read(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"))
+    }
+
+    fn structurally_equal(a: &Sdsp, b: &Sdsp) -> bool {
+        a.num_nodes() == b.num_nodes()
+            && a.nodes().zip(b.nodes()).all(|((_, x), (_, y))| {
+                x.name == y.name
+                    && x.op == y.op
+                    && x.operands == y.operands
+                    && x.time == y.time
+                    && x.initial_value == y.initial_value
+            })
+            && a.arcs().count() == b.arcs().count()
+            && a.arcs()
+                .zip(b.arcs())
+                .all(|((_, x), (_, y))| x.from == y.from && x.to == y.to && x.kind == y.kind)
+            && a.acks().count() == b.acks().count()
+            && a.acks().zip(b.acks()).all(|((_, x), (_, y))| x == y)
+    }
+
+    #[test]
+    fn l2_round_trips_exactly() {
+        let sdsp = tpn_lang_compile(
+            "do i from 1 to n {\
+               A[i] := X[i] + 5;\
+               B[i] := Y[i] + A[i];\
+               C[i] := A[i] + E[i-1];\
+               D[i] := B[i] + C[i];\
+               E[i] := W[i] + D[i];\
+             }",
+        );
+        let back = round_trip(&sdsp);
+        assert!(structurally_equal(&sdsp, &back));
+        // The text itself is stable under a second trip.
+        assert_eq!(write(&sdsp), write(&back));
+    }
+
+    // A tiny local "compile" to avoid a circular dev-dependency on
+    // tpn-lang: builds the graphs directly.
+    fn tpn_lang_compile(_src: &str) -> Sdsp {
+        use crate::graph::Operand as O;
+        use crate::ops::OpKind as K;
+        let mut b = SdspBuilder::new();
+        let a = b.node("A", K::Add, [O::env("X", 0), O::lit(5.0)]);
+        let bb = b.node("B", K::Add, [O::env("Y", 0), O::node(a)]);
+        let c = b.node("C", K::Add, [O::node(a), O::lit(0.0)]);
+        let d = b.node("D", K::Add, [O::node(bb), O::node(c)]);
+        let e = b.node("E", K::Add, [O::env("W", 0), O::node(d)]);
+        b.set_operand(c, 1, O::feedback(e, 1));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn capacities_and_coalesced_chains_survive() {
+        let sdsp = tpn_lang_compile("");
+        // Coalesce A->B with B->D and double another buffer.
+        let names = sdsp.names();
+        let (a, b, d) = (names["A"], names["B"], names["D"]);
+        let mut ab = None;
+        let mut bd = None;
+        for (id, arc) in sdsp.arcs() {
+            if arc.from == a && arc.to == b {
+                ab = Some(id);
+            }
+            if arc.from == b && arc.to == d {
+                bd = Some(id);
+            }
+        }
+        let (ab, bd) = (ab.unwrap(), bd.unwrap());
+        let mut acks: Vec<AckArc> = sdsp
+            .acks()
+            .filter(|(_, k)| !k.covers.contains(&ab) && !k.covers.contains(&bd))
+            .map(|(_, k)| k.clone())
+            .collect();
+        acks[0].capacity = 3;
+        acks.push(AckArc {
+            from: d,
+            to: a,
+            covers: vec![ab, bd],
+            capacity: 2,
+        });
+        let custom = sdsp.with_acks(acks).unwrap();
+        let back = round_trip(&custom);
+        assert!(structurally_equal(&custom, &back));
+        assert!(back.acks().any(|(_, k)| k.covers.len() == 2 && k.capacity == 2));
+        assert!(back.acks().any(|(_, k)| k.capacity == 3));
+    }
+
+    #[test]
+    fn special_operands_round_trip() {
+        use crate::graph::Operand as O;
+        let mut b = SdspBuilder::new();
+        let q = b.node(
+            "odd name \"x\"",
+            OpKind::Merge,
+            [O::index(), O::param("R coef"), O::lit(-1.5e-3)],
+        );
+        b.set_operand(q, 0, O::feedback(q, 1));
+        b.set_initial(q, 2.5);
+        b.set_time(q, 4);
+        let sdsp = b.finish().unwrap();
+        let back = round_trip(&sdsp);
+        assert!(structurally_equal(&sdsp, &back));
+        let (_, node) = back.nodes().next().unwrap();
+        assert_eq!(node.name, "odd name \"x\"");
+        assert_eq!(node.time, 4);
+        assert_eq!(node.initial_value, 2.5);
+    }
+
+    #[test]
+    fn feedback_arcs_survive_as_feedback() {
+        let sdsp = tpn_lang_compile("");
+        let back = round_trip(&sdsp);
+        assert_eq!(
+            back.arcs().filter(|(_, a)| a.kind == ArcKind::Feedback).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let sdsp = tpn_lang_compile("");
+        let mut text = String::from("; header comment\n\n");
+        text.push_str(&write(&sdsp));
+        text.push_str("\n; trailing\n");
+        let back = read(&text).unwrap();
+        assert!(structurally_equal(&sdsp, &back));
+    }
+
+    #[test]
+    fn malformed_inputs_report_lines() {
+        assert!(matches!(
+            read("actor 0 \"x\" add time=1 init=0\n"),
+            Err(AcodeError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            read(".sdsp\nactor 5 \"x\" add time=1 init=0\n.end\n"),
+            Err(AcodeError::Malformed { line: 2, .. })
+        ));
+        assert!(matches!(
+            read(".sdsp\nwat 0\n.end\n"),
+            Err(AcodeError::Malformed { line: 2, .. })
+        ));
+        assert!(matches!(
+            read(".sdsp\nactor 0 \"x\" frob time=1 init=0\n.end\n"),
+            Err(AcodeError::Malformed { line: 2, .. })
+        ));
+        assert!(matches!(read(".sdsp\n"), Err(AcodeError::Malformed { .. })));
+    }
+
+    #[test]
+    fn unknown_operand_rejected() {
+        assert!(matches!(
+            read(".sdsp\nactor 0 \"x\" neg time=1 init=0 blob\n.end\n"),
+            Err(AcodeError::Malformed { line: 2, .. })
+        ));
+    }
+}

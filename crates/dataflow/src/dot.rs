@@ -1,0 +1,87 @@
+//! Graphviz export of SDSP graphs (forward, feedback and acknowledgement
+//! arcs rendered in the style of the paper's figures).
+
+use std::fmt::Write as _;
+
+use crate::graph::{ArcKind, Sdsp};
+
+/// Renders the SDSP in Graphviz dot format: solid edges for forward data
+/// arcs, bold dashed edges for feedback arcs (labelled with the initial
+/// token), dotted edges for acknowledgement arcs.
+///
+/// # Example
+///
+/// ```
+/// use tpn_dataflow::{SdspBuilder, OpKind, Operand};
+/// use tpn_dataflow::dot::to_dot;
+///
+/// let mut b = SdspBuilder::new();
+/// let a = b.node("A", OpKind::Neg, [Operand::env("X", 0)]);
+/// let _c = b.node("B", OpKind::Neg, [Operand::node(a)]);
+/// let dot = to_dot(&b.finish()?);
+/// assert!(dot.contains("digraph sdsp"));
+/// # Ok::<(), tpn_dataflow::DataflowError>(())
+/// ```
+pub fn to_dot(sdsp: &Sdsp) -> String {
+    let mut out = String::from("digraph sdsp {\n  rankdir=TB;\n");
+    for (id, node) in sdsp.nodes() {
+        let _ = writeln!(
+            out,
+            "  {id} [shape=ellipse, label=\"{} [{}]\"];",
+            escape(&node.name),
+            node.op
+        );
+    }
+    for (_, arc) in sdsp.arcs() {
+        match arc.kind {
+            ArcKind::Forward => {
+                let _ = writeln!(out, "  {} -> {};", arc.from, arc.to);
+            }
+            ArcKind::Feedback => {
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [style=dashed, penwidth=2, label=\"\u{25CF}\"];",
+                    arc.from, arc.to
+                );
+            }
+        }
+    }
+    for (_, ack) in sdsp.acks() {
+        if ack.from == ack.to {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {} -> {} [style=dotted, color=gray];",
+            ack.from, ack.to
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SdspBuilder;
+    use crate::graph::Operand;
+    use crate::ops::OpKind;
+
+    #[test]
+    fn renders_all_arc_kinds() {
+        let mut b = SdspBuilder::new();
+        let a = b.node("A", OpKind::Neg, [Operand::env("X", 0)]);
+        let c = b.node("C", OpKind::Add, [Operand::node(a), Operand::lit(0.0)]);
+        b.set_operand(c, 1, Operand::feedback(c, 1));
+        let s = b.finish().unwrap();
+        let dot = to_dot(&s);
+        assert!(dot.contains("style=dashed")); // feedback
+        assert!(dot.contains("style=dotted")); // ack
+        assert!(dot.contains("n0 -> n1;")); // forward
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Error types for SDSP construction, validation and interpretation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::{ArcId, NodeId};
+
+/// Errors produced while building, validating or interpreting an SDSP.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum DataflowError {
+    /// An operand list does not match the operation's arity.
+    WrongArity {
+        /// The offending node.
+        node: NodeId,
+        /// What the operation requires.
+        expected: usize,
+        /// What was supplied.
+        found: usize,
+    },
+    /// An operand references a node id that does not exist.
+    UnknownNode {
+        /// The referencing node.
+        node: NodeId,
+        /// The dangling reference.
+        reference: NodeId,
+    },
+    /// The forward arcs contain a cycle, so the loop body is not a
+    /// well-formed dataflow graph (same-iteration dependences must be
+    /// acyclic; cyclic dependences must be loop-carried).
+    ForwardCycle {
+        /// Nodes along a witnessing forward cycle.
+        cycle: Vec<NodeId>,
+    },
+    /// An acknowledgement arc does not cover a contiguous chain of data
+    /// arcs.
+    BrokenAckChain {
+        /// The data arcs of the offending acknowledgement group.
+        covers: Vec<ArcId>,
+    },
+    /// A data arc is covered by no acknowledgement arc, or by more than
+    /// one.
+    AckCoverage {
+        /// The arc with wrong coverage.
+        arc: ArcId,
+        /// How many acknowledgement groups cover it.
+        count: usize,
+    },
+    /// An acknowledgement group's chain initially holds more than one data
+    /// token, exceeding its single storage location.
+    AckOverfull {
+        /// The data arcs of the offending group.
+        covers: Vec<ArcId>,
+        /// The number of initial tokens on the chain.
+        tokens: u32,
+    },
+    /// A node's execution time is zero.
+    ZeroTime {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The interpreter read outside a provided input array.
+    EnvOutOfRange {
+        /// The array name.
+        array: String,
+        /// The requested index.
+        index: i64,
+        /// The array length.
+        len: usize,
+    },
+    /// The interpreter needed an input array that was not provided.
+    MissingArray {
+        /// The array name.
+        array: String,
+    },
+    /// The interpreter needed a scalar parameter that was not provided.
+    MissingParam {
+        /// The parameter name.
+        param: String,
+    },
+}
+
+impl fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataflowError::WrongArity {
+                node,
+                expected,
+                found,
+            } => write!(
+                f,
+                "node {node} supplies {found} operands but its operation takes {expected}"
+            ),
+            DataflowError::UnknownNode { node, reference } => {
+                write!(f, "node {node} references unknown node {reference}")
+            }
+            DataflowError::ForwardCycle { cycle } => {
+                write!(f, "same-iteration dependences form a cycle: ")?;
+                for (i, n) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                Ok(())
+            }
+            DataflowError::BrokenAckChain { covers } => write!(
+                f,
+                "acknowledgement arc covers {} data arcs that do not form a chain",
+                covers.len()
+            ),
+            DataflowError::AckCoverage { arc, count } => write!(
+                f,
+                "data arc {arc} is covered by {count} acknowledgement arcs (expected exactly 1)"
+            ),
+            DataflowError::AckOverfull { covers, tokens } => write!(
+                f,
+                "acknowledgement chain of {} arcs initially holds {tokens} tokens but has one storage location",
+                covers.len()
+            ),
+            DataflowError::ZeroTime { node } => {
+                write!(f, "node {node} has execution time 0")
+            }
+            DataflowError::EnvOutOfRange { array, index, len } => write!(
+                f,
+                "read of {array}[{index}] is outside the provided array of length {len}"
+            ),
+            DataflowError::MissingArray { array } => {
+                write!(f, "input array {array} was not provided")
+            }
+            DataflowError::MissingParam { param } => {
+                write!(f, "scalar parameter {param} was not provided")
+            }
+        }
+    }
+}
+
+impl Error for DataflowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_nonempty() {
+        let errs: Vec<DataflowError> = vec![
+            DataflowError::WrongArity {
+                node: NodeId::from_index(0),
+                expected: 2,
+                found: 1,
+            },
+            DataflowError::ForwardCycle {
+                cycle: vec![NodeId::from_index(0), NodeId::from_index(1)],
+            },
+            DataflowError::MissingArray {
+                array: "X".to_string(),
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

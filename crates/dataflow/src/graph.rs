@@ -1,0 +1,852 @@
+//! The SDSP graph structure: nodes, data arcs, acknowledgement arcs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::DataflowError;
+use crate::ops::OpKind;
+
+/// Identifier of a node (actor) in an [`Sdsp`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub(crate) u32);
+
+/// Identifier of a data arc in an [`Sdsp`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ArcId(pub(crate) u32);
+
+/// Identifier of an acknowledgement arc in an [`Sdsp`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AckId(pub(crate) u32);
+
+macro_rules! impl_id {
+    ($ty:ident, $prefix:literal) => {
+        impl $ty {
+            /// Arena index of this id.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Reconstructs an id from an arena index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                $ty(u32::try_from(index).expect("index overflows u32"))
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+impl_id!(NodeId, "n");
+impl_id!(ArcId, "a");
+impl_id!(AckId, "k");
+
+/// Where a node's operand value comes from.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Operand {
+    /// The value produced by another node, `distance` iterations ago.
+    /// `distance == 0` is a same-iteration (forward) dependence;
+    /// `distance >= 1` is loop-carried (feedback).
+    Node {
+        /// The producing node.
+        node: NodeId,
+        /// The dependence distance in iterations.
+        distance: u32,
+    },
+    /// An element of an input array from the environment: `array[i + offset]`
+    /// where `i` is the (0-based) iteration counter. Environment reads are
+    /// always available and impose no scheduling constraint (§2: successive
+    /// waves of array elements are fetched and fed into the pipeline).
+    Env {
+        /// The array name.
+        array: String,
+        /// The constant offset from the iteration counter.
+        offset: i64,
+    },
+    /// A literal constant.
+    Lit(f64),
+    /// A loop-invariant scalar supplied by the environment (e.g. the `Q`,
+    /// `R`, `T` coefficients of the Livermore kernels). Like array reads,
+    /// parameters are always available and impose no scheduling
+    /// constraint.
+    Param(String),
+    /// The (0-based) iteration counter itself.
+    Index,
+}
+
+impl Operand {
+    /// Same-iteration reference to `node`'s value.
+    pub fn node(node: NodeId) -> Self {
+        Operand::Node { node, distance: 0 }
+    }
+
+    /// Loop-carried reference to `node`'s value `distance` iterations back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance == 0` (use [`Operand::node`]).
+    pub fn feedback(node: NodeId, distance: u32) -> Self {
+        assert!(distance > 0, "feedback distance must be positive");
+        Operand::Node { node, distance }
+    }
+
+    /// Environment array element `array[i + offset]`.
+    pub fn env(array: impl Into<String>, offset: i64) -> Self {
+        Operand::Env {
+            array: array.into(),
+            offset,
+        }
+    }
+
+    /// Literal constant.
+    pub fn lit(value: f64) -> Self {
+        Operand::Lit(value)
+    }
+
+    /// Loop-invariant environment scalar.
+    pub fn param(name: impl Into<String>) -> Self {
+        Operand::Param(name.into())
+    }
+
+    /// The iteration counter.
+    pub fn index() -> Self {
+        Operand::Index
+    }
+}
+
+/// An actor of the SDSP: one machine instruction of the loop body.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Human-readable name (usually the defined variable).
+    pub name: String,
+    /// The operation performed.
+    pub op: OpKind,
+    /// Operand sources, in operation order.
+    pub operands: Vec<Operand>,
+    /// Execution time in cycles (≥ 1).
+    pub time: u64,
+    /// Value seen by loop-carried consumers before the first iteration has
+    /// produced one (the initial token of the feedback arc; `t[i]` in
+    /// Figure 2 of the paper).
+    pub initial_value: f64,
+}
+
+/// Whether a data arc carries a same-iteration or loop-carried dependence.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ArcKind {
+    /// Same-iteration dependence; initially empty.
+    Forward,
+    /// Loop-carried dependence of distance 1; initially holds one token
+    /// (the value for the first iteration).
+    Feedback,
+}
+
+/// A data arc of the SDSP: the producer→consumer edge induced by a
+/// node-to-node operand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataArc {
+    /// The producing node.
+    pub from: NodeId,
+    /// The consuming node.
+    pub to: NodeId,
+    /// Forward or feedback.
+    pub kind: ArcKind,
+}
+
+impl DataArc {
+    /// Tokens initially on this arc: 1 for feedback arcs (the loop-carried
+    /// initial value), 0 for forward arcs.
+    pub fn initial_tokens(&self) -> u32 {
+        match self.kind {
+            ArcKind::Forward => 0,
+            ArcKind::Feedback => 1,
+        }
+    }
+}
+
+/// An acknowledgement arc: the consumer-side signal that a storage
+/// location of a chain of data arcs is free again.
+///
+/// In the default SDSP every data arc `u → v` has its own acknowledgement
+/// arc `v → u` with **capacity 1** (one storage location per arc — the
+/// paper's static-dataflow model). Two transformations adjust the
+/// structure:
+///
+/// * the §6 storage optimiser coalesces the acknowledgements of a *chain*
+///   of data arcs `u → … → w` into a single arc `w → u`, so one location
+///   serves the whole chain;
+/// * the FIFO-queued extension the paper's §7 points to raises `capacity`
+///   above 1, letting `capacity` values of the chain be outstanding at
+///   once (a bounded FIFO queue per arc) — this is what lifts the
+///   acknowledgement round-trip limit on DOALL loops.
+///
+/// The acknowledgement place holds `capacity − (tokens on the chain)`
+/// tokens: the number of free slots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AckArc {
+    /// The node that releases a location (last consumer of the chain).
+    pub from: NodeId,
+    /// The node that waits for a location (producer at the chain head).
+    pub to: NodeId,
+    /// The data arcs sharing this location, in chain order.
+    pub covers: Vec<ArcId>,
+    /// The number of storage locations (FIFO slots) backing the chain
+    /// (≥ 1; 1 is the paper's one-token-per-arc model).
+    pub capacity: u32,
+}
+
+impl AckArc {
+    /// The single-arc, capacity-1 acknowledgement for `arc`.
+    pub fn single(arc_id: ArcId, arc: &DataArc) -> Self {
+        AckArc {
+            from: arc.to,
+            to: arc.from,
+            covers: vec![arc_id],
+            capacity: 1,
+        }
+    }
+
+    /// This acknowledgement with a different capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(mut self, capacity: u32) -> Self {
+        assert!(capacity >= 1, "a buffer has at least one slot");
+        self.capacity = capacity;
+        self
+    }
+}
+
+/// A static dataflow software pipeline: the validated loop-body graph.
+///
+/// Construct via [`crate::SdspBuilder`]; modify acknowledgement structure
+/// via [`Sdsp::with_acks`] (used by the storage optimiser).
+#[derive(Clone, Debug)]
+pub struct Sdsp {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) arcs: Vec<DataArc>,
+    pub(crate) acks: Vec<AckArc>,
+}
+
+impl Sdsp {
+    /// Number of nodes — the paper's `n`, the size of the loop body.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterates `(id, node)` in arena order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId::from_index(i), n))
+    }
+
+    /// All node ids in arena order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + 'static {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Looks up a data arc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn arc(&self, id: ArcId) -> &DataArc {
+        &self.arcs[id.index()]
+    }
+
+    /// Iterates `(id, arc)` in arena order.
+    pub fn arcs(&self) -> impl Iterator<Item = (ArcId, &DataArc)> {
+        self.arcs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (ArcId::from_index(i), a))
+    }
+
+    /// Looks up an acknowledgement arc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn ack(&self, id: AckId) -> &AckArc {
+        &self.acks[id.index()]
+    }
+
+    /// Iterates `(id, ack)` in arena order.
+    pub fn acks(&self) -> impl Iterator<Item = (AckId, &AckArc)> {
+        self.acks
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AckId::from_index(i), a))
+    }
+
+    /// Number of storage locations allocated to the loop: the summed
+    /// capacities of the acknowledgement arcs (§6 of the paper; with the
+    /// default capacity-1 allocation this is one location per data arc).
+    pub fn storage_locations(&self) -> usize {
+        self.acks.iter().map(|a| a.capacity as usize).sum()
+    }
+
+    /// Whether any dependence is loop-carried.
+    pub fn has_loop_carried_dependence(&self) -> bool {
+        self.arcs.iter().any(|a| a.kind == ArcKind::Feedback)
+    }
+
+    /// Whether the nodes form a single weakly-connected component under
+    /// the data arcs.
+    ///
+    /// Connectivity is the paper's implicit well-formedness assumption for
+    /// an SDSP (one pipeline per loop): on a connected body every node
+    /// fires equally often in steady state, which underpins both the
+    /// single-kernel schedule (Theorem A.5.3) and the per-node SCP rate
+    /// bound of Theorem 5.2.2. Disconnected bodies remain executable, but
+    /// their components proceed at independent rates.
+    pub fn is_weakly_connected(&self) -> bool {
+        let n = self.nodes.len();
+        if n <= 1 {
+            return true;
+        }
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for arc in &self.arcs {
+            let a = find(&mut parent, arc.from.index());
+            let b = find(&mut parent, arc.to.index());
+            parent[a] = b;
+        }
+        let root = find(&mut parent, 0);
+        (0..n).all(|i| find(&mut parent, i) == root)
+    }
+
+    /// A topological order of the nodes w.r.t. forward arcs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forward arcs are cyclic (validated graphs never are).
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        self.try_topo_order()
+            .expect("validated SDSP has acyclic forward arcs")
+    }
+
+    fn try_topo_order(&self) -> Result<Vec<NodeId>, DataflowError> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for arc in &self.arcs {
+            if arc.kind == ArcKind::Forward {
+                indeg[arc.to.index()] += 1;
+                succ[arc.from.index()].push(arc.to.index());
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        ready.sort_unstable_by(|a, b| b.cmp(a)); // pop smallest first
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = ready.pop() {
+            order.push(NodeId::from_index(v));
+            for &w in &succ[v] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    // Keep the ready list sorted descending so that pop()
+                    // yields the smallest id: a deterministic order.
+                    let pos = ready.partition_point(|&x| x > w);
+                    ready.insert(pos, w);
+                }
+            }
+        }
+        if order.len() < n {
+            // Extract a witness cycle among nodes with indeg > 0.
+            let cycle = self.forward_cycle_witness();
+            return Err(DataflowError::ForwardCycle { cycle });
+        }
+        Ok(order)
+    }
+
+    fn forward_cycle_witness(&self) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for arc in &self.arcs {
+            if arc.kind == ArcKind::Forward {
+                succ[arc.from.index()].push(arc.to.index());
+            }
+        }
+        let mut colour = vec![0u8; n];
+        let mut parent = vec![usize::MAX; n];
+        for root in 0..n {
+            if colour[root] != 0 {
+                continue;
+            }
+            let mut stack = vec![(root, 0usize)];
+            colour[root] = 1;
+            while let Some(&mut (v, ref mut ei)) = stack.last_mut() {
+                if *ei < succ[v].len() {
+                    let w = succ[v][*ei];
+                    *ei += 1;
+                    match colour[w] {
+                        0 => {
+                            colour[w] = 1;
+                            parent[w] = v;
+                            stack.push((w, 0));
+                        }
+                        1 => {
+                            let mut cycle = vec![NodeId::from_index(v)];
+                            let mut cur = v;
+                            while cur != w {
+                                cur = parent[cur];
+                                cycle.push(NodeId::from_index(cur));
+                            }
+                            cycle.reverse();
+                            return cycle;
+                        }
+                        _ => {}
+                    }
+                } else {
+                    colour[v] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    /// The data arc feeding operand `slot` of `node`, if that operand is a
+    /// node reference (arcs are created in node order, operand order, so
+    /// the mapping is positional).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `slot` is out of range.
+    pub fn arc_of_operand(&self, node: NodeId, slot: usize) -> Option<ArcId> {
+        let mut arc_idx = 0usize;
+        for (nid, n) in self.nodes() {
+            for (s, operand) in n.operands.iter().enumerate() {
+                if let Operand::Node { .. } = operand {
+                    if nid == node && s == slot {
+                        return Some(ArcId::from_index(arc_idx));
+                    }
+                    arc_idx += 1;
+                }
+            }
+            if nid == node {
+                assert!(
+                    slot < n.operands.len(),
+                    "node {node} has no operand slot {slot}"
+                );
+                return None; // the slot is an env/lit/param/index operand
+            }
+        }
+        panic!("unknown node {node}");
+    }
+
+    /// The acknowledgement group (storage location set) covering `arc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arc` is out of range (validated graphs cover every arc).
+    pub fn ack_of_arc(&self, arc: ArcId) -> AckId {
+        assert!(arc.index() < self.arcs.len(), "unknown arc {arc}");
+        self.acks()
+            .find(|(_, a)| a.covers.contains(&arc))
+            .map(|(id, _)| id)
+            .expect("validated SDSPs cover every arc exactly once")
+    }
+
+    /// Consumers of each node via data arcs: `(arc, consumer)` pairs.
+    pub fn consumers(&self, node: NodeId) -> impl Iterator<Item = (ArcId, NodeId)> + '_ {
+        self.arcs().filter_map(move |(id, a)| {
+            if a.from == node {
+                Some((id, a.to))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Returns a copy of this SDSP with node execution times replaced by
+    /// `time(id, node)` — e.g. to model multi-cycle multiplies or divides
+    /// on a machine with non-uniform functional-unit latencies.
+    ///
+    /// # Errors
+    ///
+    /// [`DataflowError::ZeroTime`] if the function returns 0 for some
+    /// node.
+    pub fn with_node_times(
+        &self,
+        time: impl Fn(NodeId, &Node) -> u64,
+    ) -> Result<Sdsp, DataflowError> {
+        let mut candidate = self.clone();
+        for (i, node) in candidate.nodes.iter_mut().enumerate() {
+            node.time = time(NodeId::from_index(i), node);
+        }
+        candidate.validate()?;
+        Ok(candidate)
+    }
+
+    /// Replaces the acknowledgement structure (storage allocation) and
+    /// revalidates.
+    ///
+    /// # Errors
+    ///
+    /// Any validation error of the resulting graph, in particular
+    /// [`DataflowError::AckCoverage`] / [`DataflowError::BrokenAckChain`] /
+    /// [`DataflowError::AckOverfull`] for malformed allocations.
+    pub fn with_acks(&self, acks: Vec<AckArc>) -> Result<Sdsp, DataflowError> {
+        let candidate = Sdsp {
+            nodes: self.nodes.clone(),
+            arcs: self.arcs.clone(),
+            acks,
+        };
+        candidate.validate()?;
+        Ok(candidate)
+    }
+
+    /// Full structural validation; builders call this before handing out an
+    /// `Sdsp`.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a [`DataflowError`].
+    pub fn validate(&self) -> Result<(), DataflowError> {
+        // Node-level checks.
+        for (id, node) in self.nodes() {
+            if node.operands.len() != node.op.arity() {
+                return Err(DataflowError::WrongArity {
+                    node: id,
+                    expected: node.op.arity(),
+                    found: node.operands.len(),
+                });
+            }
+            if node.time == 0 {
+                return Err(DataflowError::ZeroTime { node: id });
+            }
+            for operand in &node.operands {
+                if let Operand::Node { node: m, .. } = operand {
+                    if m.index() >= self.nodes.len() {
+                        return Err(DataflowError::UnknownNode {
+                            node: id,
+                            reference: *m,
+                        });
+                    }
+                }
+            }
+        }
+        // Forward acyclicity.
+        self.try_topo_order()?;
+        // Acknowledgement coverage: each data arc in exactly one group.
+        let mut coverage = vec![0usize; self.arcs.len()];
+        for ack in &self.acks {
+            for arc in &ack.covers {
+                if arc.index() >= self.arcs.len() {
+                    return Err(DataflowError::BrokenAckChain {
+                        covers: ack.covers.clone(),
+                    });
+                }
+                coverage[arc.index()] += 1;
+            }
+        }
+        for (i, &count) in coverage.iter().enumerate() {
+            if count != 1 {
+                return Err(DataflowError::AckCoverage {
+                    arc: ArcId::from_index(i),
+                    count,
+                });
+            }
+        }
+        // Chain structure and token budget per group.
+        for ack in &self.acks {
+            if ack.covers.is_empty() {
+                return Err(DataflowError::BrokenAckChain {
+                    covers: ack.covers.clone(),
+                });
+            }
+            let first = self.arc(ack.covers[0]);
+            if first.from != ack.to {
+                return Err(DataflowError::BrokenAckChain {
+                    covers: ack.covers.clone(),
+                });
+            }
+            for w in ack.covers.windows(2) {
+                if self.arc(w[0]).to != self.arc(w[1]).from {
+                    return Err(DataflowError::BrokenAckChain {
+                        covers: ack.covers.clone(),
+                    });
+                }
+            }
+            let last = self.arc(*ack.covers.last().expect("nonempty"));
+            if last.to != ack.from {
+                return Err(DataflowError::BrokenAckChain {
+                    covers: ack.covers.clone(),
+                });
+            }
+            if ack.capacity == 0 {
+                return Err(DataflowError::AckOverfull {
+                    covers: ack.covers.clone(),
+                    tokens: 0,
+                });
+            }
+            let tokens: u32 = ack
+                .covers
+                .iter()
+                .map(|&a| self.arc(a).initial_tokens())
+                .sum();
+            if tokens > ack.capacity {
+                return Err(DataflowError::AckOverfull {
+                    covers: ack.covers.clone(),
+                    tokens,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The names of all environment arrays read by the loop, sorted and
+    /// deduplicated.
+    pub fn input_arrays(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.operands.iter())
+            .filter_map(|o| match o {
+                Operand::Env { array, .. } => Some(array.clone()),
+                _ => None,
+            })
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// The names of all loop-invariant scalar parameters read by the loop,
+    /// sorted and deduplicated.
+    pub fn params(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.operands.iter())
+            .filter_map(|o| match o {
+                Operand::Param(name) => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Map from node name to id (first occurrence wins for duplicates).
+    pub fn names(&self) -> HashMap<String, NodeId> {
+        let mut map = HashMap::new();
+        for (id, node) in self.nodes() {
+            map.entry(node.name.clone()).or_insert(id);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SdspBuilder;
+
+    fn l1() -> Sdsp {
+        let mut b = SdspBuilder::new();
+        let a = b.node("A", OpKind::Add, [Operand::env("X", 0), Operand::lit(5.0)]);
+        let bb = b.node("B", OpKind::Add, [Operand::env("Y", 0), Operand::node(a)]);
+        let c = b.node("C", OpKind::Add, [Operand::node(a), Operand::env("Z", 0)]);
+        let d = b.node("D", OpKind::Add, [Operand::node(bb), Operand::node(c)]);
+        let _e = b.node("E", OpKind::Add, [Operand::env("W", 0), Operand::node(d)]);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn l1_structure() {
+        let s = l1();
+        assert_eq!(s.num_nodes(), 5);
+        assert_eq!(s.arcs().count(), 5); // A->B, A->C, B->D, C->D, D->E
+        assert_eq!(s.storage_locations(), 5);
+        assert!(!s.has_loop_carried_dependence());
+        assert_eq!(s.input_arrays(), vec!["W", "X", "Y", "Z"]);
+    }
+
+    #[test]
+    fn topo_order_respects_forward_arcs() {
+        let s = l1();
+        let order = s.topo_order();
+        let pos: HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for (_, arc) in s.arcs() {
+            if arc.kind == ArcKind::Forward {
+                assert!(pos[&arc.from] < pos[&arc.to]);
+            }
+        }
+    }
+
+    #[test]
+    fn feedback_does_not_block_topo_order() {
+        // Loop 5-like: X[i] = Z[i] * (Y[i] - X[i-1]).
+        let mut b = SdspBuilder::new();
+        let sub = b.node("sub", OpKind::Sub, [Operand::env("Y", 0), Operand::lit(0.0)]);
+        let mul = b.node(
+            "X",
+            OpKind::Mul,
+            [Operand::env("Z", 0), Operand::node(sub)],
+        );
+        b.set_operand(sub, 1, Operand::feedback(mul, 1));
+        let s = b.finish().unwrap();
+        assert!(s.has_loop_carried_dependence());
+        assert_eq!(s.topo_order(), vec![sub, mul]);
+    }
+
+    #[test]
+    fn forward_cycle_is_rejected() {
+        let mut b = SdspBuilder::new();
+        let x = b.node("x", OpKind::Add, [Operand::lit(0.0), Operand::lit(0.0)]);
+        let y = b.node("y", OpKind::Add, [Operand::node(x), Operand::lit(0.0)]);
+        b.set_operand(x, 0, Operand::node(y));
+        match b.finish() {
+            Err(DataflowError::ForwardCycle { cycle }) => {
+                assert_eq!(cycle.len(), 2);
+            }
+            other => panic!("expected ForwardCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_acks_accepts_valid_chain() {
+        let s = l1();
+        // Coalesce acks of A->B (arc to B) and B->D into one D->A ack.
+        let mut ab = None;
+        let mut bd = None;
+        for (id, arc) in s.arcs() {
+            let from = s.node(arc.from).name.clone();
+            let to = s.node(arc.to).name.clone();
+            if from == "A" && to == "B" {
+                ab = Some(id);
+            }
+            if from == "B" && to == "D" {
+                bd = Some(id);
+            }
+        }
+        let (ab, bd) = (ab.unwrap(), bd.unwrap());
+        let mut acks: Vec<AckArc> = s
+            .acks()
+            .filter(|(_, k)| !k.covers.contains(&ab) && !k.covers.contains(&bd))
+            .map(|(_, k)| k.clone())
+            .collect();
+        acks.push(AckArc {
+            from: s.arc(bd).to,
+            to: s.arc(ab).from,
+            covers: vec![ab, bd],
+            capacity: 1,
+        });
+        let optimised = s.with_acks(acks).unwrap();
+        assert_eq!(optimised.storage_locations(), 4);
+    }
+
+    #[test]
+    fn with_acks_rejects_non_chain() {
+        let s = l1();
+        // A->B and C->D are not consecutive.
+        let mut ab = None;
+        let mut cd = None;
+        for (id, arc) in s.arcs() {
+            let from = s.node(arc.from).name.clone();
+            let to = s.node(arc.to).name.clone();
+            if from == "A" && to == "B" {
+                ab = Some(id);
+            }
+            if from == "C" && to == "D" {
+                cd = Some(id);
+            }
+        }
+        let (ab, cd) = (ab.unwrap(), cd.unwrap());
+        let mut acks: Vec<AckArc> = s
+            .acks()
+            .filter(|(_, k)| !k.covers.contains(&ab) && !k.covers.contains(&cd))
+            .map(|(_, k)| k.clone())
+            .collect();
+        acks.push(AckArc {
+            from: s.arc(cd).to,
+            to: s.arc(ab).from,
+            covers: vec![ab, cd],
+            capacity: 1,
+        });
+        assert!(matches!(
+            s.with_acks(acks),
+            Err(DataflowError::BrokenAckChain { .. })
+        ));
+    }
+
+    #[test]
+    fn with_acks_rejects_missing_coverage() {
+        let s = l1();
+        let acks: Vec<AckArc> = s.acks().skip(1).map(|(_, k)| k.clone()).collect();
+        assert!(matches!(
+            s.with_acks(acks),
+            Err(DataflowError::AckCoverage { count: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn names_map_finds_nodes() {
+        let s = l1();
+        let names = s.names();
+        assert_eq!(s.node(names["D"]).name, "D");
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn operand_constructors() {
+        let n = NodeId::from_index(3);
+        assert_eq!(Operand::node(n), Operand::Node { node: n, distance: 0 });
+        assert_eq!(
+            Operand::feedback(n, 2),
+            Operand::Node { node: n, distance: 2 }
+        );
+        assert_eq!(
+            Operand::env("X", -1),
+            Operand::Env {
+                array: "X".into(),
+                offset: -1
+            }
+        );
+        assert_eq!(Operand::lit(2.0), Operand::Lit(2.0));
+        assert_eq!(Operand::index(), Operand::Index);
+    }
+
+    #[test]
+    #[should_panic(expected = "feedback distance must be positive")]
+    fn zero_distance_feedback_panics() {
+        let _ = Operand::feedback(NodeId::from_index(0), 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! A functional interpreter for SDSP graphs.
+//!
+//! Executes the loop body iteration by iteration on real input arrays,
+//! following the dataflow semantics: same-iteration operands read this
+//! iteration's values (nodes are evaluated in topological order of the
+//! forward arcs), loop-carried operands read values from earlier
+//! iterations, with each node's `initial_value` standing in before the loop
+//! has produced one.
+//!
+//! The interpreter is the semantic oracle of the reproduction: the
+//! scheduling layer replays derived schedules against it to demonstrate
+//! that time-optimal software pipelining (and the storage optimisation of
+//! §6) preserve loop results.
+
+use std::collections::HashMap;
+
+use crate::error::DataflowError;
+use crate::graph::{NodeId, Operand, Sdsp};
+
+/// Input arrays provided by the environment.
+///
+/// # Example
+///
+/// ```
+/// use tpn_dataflow::interp::Env;
+/// let mut env = Env::new();
+/// env.insert("X", vec![1.0, 2.0, 3.0]);
+/// assert_eq!(env.get("X", 1).unwrap(), 2.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Env {
+    arrays: HashMap<String, Vec<f64>>,
+    scalars: HashMap<String, f64>,
+}
+
+impl Env {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) an input array.
+    pub fn insert(&mut self, name: impl Into<String>, values: Vec<f64>) -> &mut Self {
+        self.arrays.insert(name.into(), values);
+        self
+    }
+
+    /// Adds (or replaces) a loop-invariant scalar parameter.
+    pub fn insert_scalar(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        self.scalars.insert(name.into(), value);
+        self
+    }
+
+    /// Reads a scalar parameter.
+    ///
+    /// # Errors
+    ///
+    /// [`DataflowError::MissingParam`] if the scalar was never inserted.
+    pub fn scalar(&self, name: &str) -> Result<f64, DataflowError> {
+        self.scalars
+            .get(name)
+            .copied()
+            .ok_or_else(|| DataflowError::MissingParam {
+                param: name.to_string(),
+            })
+    }
+
+    /// Reads `name[index]`.
+    ///
+    /// # Errors
+    ///
+    /// [`DataflowError::MissingArray`] if the array was never inserted,
+    /// [`DataflowError::EnvOutOfRange`] if `index` is outside it.
+    pub fn get(&self, name: &str, index: i64) -> Result<f64, DataflowError> {
+        let arr = self
+            .arrays
+            .get(name)
+            .ok_or_else(|| DataflowError::MissingArray {
+                array: name.to_string(),
+            })?;
+        usize::try_from(index)
+            .ok()
+            .and_then(|i| arr.get(i))
+            .copied()
+            .ok_or_else(|| DataflowError::EnvOutOfRange {
+                array: name.to_string(),
+                index,
+                len: arr.len(),
+            })
+    }
+
+    /// Builds an environment where every named array is `ramp` applied to
+    /// `0..len` — convenient for tests and benchmarks.
+    pub fn ramp(names: &[&str], len: usize, ramp: impl Fn(usize, usize) -> f64) -> Self {
+        let mut env = Env::new();
+        for (ai, &name) in names.iter().enumerate() {
+            env.insert(name, (0..len).map(|i| ramp(ai, i)).collect());
+        }
+        env
+    }
+}
+
+/// The per-node, per-iteration values computed by [`execute`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    values: Vec<Vec<f64>>,
+    iterations: usize,
+}
+
+impl Trace {
+    /// The value node `n` produced in iteration `iter` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `iter` is out of range.
+    pub fn value(&self, n: NodeId, iter: usize) -> f64 {
+        self.values[n.index()][iter]
+    }
+
+    /// All values of node `n`, one per iteration.
+    pub fn series(&self, n: NodeId) -> &[f64] {
+        &self.values[n.index()]
+    }
+
+    /// The number of iterations executed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+/// Executes `sdsp` for `iterations` iterations against `env`.
+///
+/// # Errors
+///
+/// Environment access errors ([`DataflowError::MissingArray`] /
+/// [`DataflowError::EnvOutOfRange`]).
+///
+/// # Example
+///
+/// ```
+/// use tpn_dataflow::{SdspBuilder, OpKind, Operand};
+/// use tpn_dataflow::interp::{execute, Env};
+///
+/// // Q += Z[i] * X[i]  (Livermore loop 3: inner product)
+/// let mut b = SdspBuilder::new();
+/// let mul = b.node("m", OpKind::Mul, [Operand::env("Z", 0), Operand::env("X", 0)]);
+/// let q = b.node("Q", OpKind::Add, [Operand::lit(0.0), Operand::node(mul)]);
+/// b.set_operand(q, 0, Operand::feedback(q, 1));
+/// let sdsp = b.finish()?;
+///
+/// let mut env = Env::new();
+/// env.insert("Z", vec![1.0, 2.0, 3.0]);
+/// env.insert("X", vec![4.0, 5.0, 6.0]);
+/// let trace = execute(&sdsp, &env, 3)?;
+/// assert_eq!(trace.value(q, 2), 1.0 * 4.0 + 2.0 * 5.0 + 3.0 * 6.0);
+/// # Ok::<(), tpn_dataflow::DataflowError>(())
+/// ```
+pub fn execute(sdsp: &Sdsp, env: &Env, iterations: usize) -> Result<Trace, DataflowError> {
+    let order = sdsp.topo_order();
+    let mut values = vec![Vec::with_capacity(iterations); sdsp.num_nodes()];
+    let mut args = Vec::new();
+    for iter in 0..iterations {
+        for &nid in &order {
+            let node = sdsp.node(nid);
+            args.clear();
+            for operand in &node.operands {
+                let v = match operand {
+                    Operand::Node { node: m, distance } => {
+                        let d = *distance as usize;
+                        if iter >= d {
+                            values[m.index()][iter - d]
+                        } else {
+                            sdsp.node(*m).initial_value
+                        }
+                    }
+                    Operand::Env { array, offset } => env.get(array, iter as i64 + offset)?,
+                    Operand::Lit(v) => *v,
+                    Operand::Param(name) => env.scalar(name)?,
+                    Operand::Index => iter as f64,
+                };
+                args.push(v);
+            }
+            let out = node.op.eval(&args);
+            values[nid.index()].push(out);
+        }
+    }
+    Ok(Trace { values, iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SdspBuilder;
+    use crate::ops::{CmpOp, OpKind};
+
+    #[test]
+    fn doall_loop_computes_elementwise() {
+        // A[i] = X[i] + 5; B[i] = A[i] * 2
+        let mut b = SdspBuilder::new();
+        let a = b.node("A", OpKind::Add, [Operand::env("X", 0), Operand::lit(5.0)]);
+        let bb = b.node("B", OpKind::Mul, [Operand::node(a), Operand::lit(2.0)]);
+        let s = b.finish().unwrap();
+        let mut env = Env::new();
+        env.insert("X", vec![1.0, 2.0, 3.0]);
+        let t = execute(&s, &env, 3).unwrap();
+        assert_eq!(t.series(a), &[6.0, 7.0, 8.0]);
+        assert_eq!(t.series(bb), &[12.0, 14.0, 16.0]);
+        assert_eq!(t.iterations(), 3);
+    }
+
+    #[test]
+    fn recurrence_uses_initial_value() {
+        // X[i] = X[i-1] * 2, X[0-before] = 1 => 2, 4, 8, ...
+        let mut b = SdspBuilder::new();
+        let x = b.node("X", OpKind::Mul, [Operand::lit(2.0), Operand::lit(0.0)]);
+        b.set_operand(x, 1, Operand::feedback(x, 1));
+        b.set_initial(x, 1.0);
+        let s = b.finish().unwrap();
+        let t = execute(&s, &Env::new(), 4).unwrap();
+        assert_eq!(t.series(x), &[2.0, 4.0, 8.0, 16.0]);
+    }
+
+    #[test]
+    fn distance_two_recurrence_through_buffers() {
+        // Fibonacci-ish: F[i] = F[i-1] + F[i-2], both seeds 1.
+        let mut b = SdspBuilder::new();
+        let f = b.node("F", OpKind::Add, [Operand::lit(0.0), Operand::lit(0.0)]);
+        b.set_operand(f, 0, Operand::feedback(f, 1));
+        b.set_operand(f, 1, Operand::feedback(f, 2));
+        b.set_initial(f, 1.0);
+        let s = b.finish().unwrap();
+        let t = execute(&s, &Env::new(), 6).unwrap();
+        // iter0: f(-1)+f(-2) = 1+1 = 2  (buffer initial = 1)
+        // iter1: f(0)+f(-1) = 2+1 = 3; then 5, 8, 13, 21
+        assert_eq!(t.series(f), &[2.0, 3.0, 5.0, 8.0, 13.0, 21.0]);
+    }
+
+    #[test]
+    fn env_offsets_shift_reads() {
+        // D[i] = Y[i+1] - Y[i]  (Livermore loop 12: first difference)
+        let mut b = SdspBuilder::new();
+        let d = b.node("D", OpKind::Sub, [Operand::env("Y", 1), Operand::env("Y", 0)]);
+        let s = b.finish().unwrap();
+        let mut env = Env::new();
+        env.insert("Y", vec![1.0, 4.0, 9.0, 16.0]);
+        let t = execute(&s, &env, 3).unwrap();
+        assert_eq!(t.series(d), &[3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn index_operand_counts_iterations() {
+        let mut b = SdspBuilder::new();
+        let n = b.node("i2", OpKind::Mul, [Operand::index(), Operand::index()]);
+        let s = b.finish().unwrap();
+        let t = execute(&s, &Env::new(), 4).unwrap();
+        assert_eq!(t.series(n), &[0.0, 1.0, 4.0, 9.0]);
+    }
+
+    #[test]
+    fn conditional_via_merge() {
+        // R[i] = if X[i] > 0 then X[i] else -X[i]  (absolute value)
+        let mut b = SdspBuilder::new();
+        let c = b.node(
+            "c",
+            OpKind::Cmp(CmpOp::Gt),
+            [Operand::env("X", 0), Operand::lit(0.0)],
+        );
+        let neg = b.node("neg", OpKind::Neg, [Operand::env("X", 0)]);
+        let r = b.node(
+            "R",
+            OpKind::Merge,
+            [Operand::node(c), Operand::env("X", 0), Operand::node(neg)],
+        );
+        let s = b.finish().unwrap();
+        let mut env = Env::new();
+        env.insert("X", vec![-2.0, 3.0, -4.0]);
+        let t = execute(&s, &env, 3).unwrap();
+        assert_eq!(t.series(r), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn missing_array_is_reported() {
+        let mut b = SdspBuilder::new();
+        b.node("A", OpKind::Neg, [Operand::env("X", 0)]);
+        let s = b.finish().unwrap();
+        assert!(matches!(
+            execute(&s, &Env::new(), 1),
+            Err(DataflowError::MissingArray { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_read_is_reported() {
+        let mut b = SdspBuilder::new();
+        b.node("A", OpKind::Neg, [Operand::env("X", 2)]);
+        let s = b.finish().unwrap();
+        let mut env = Env::new();
+        env.insert("X", vec![1.0, 2.0]);
+        match execute(&s, &env, 1) {
+            Err(DataflowError::EnvOutOfRange { index: 2, len: 2, .. }) => {}
+            other => panic!("expected out-of-range, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ramp_env_builder() {
+        let env = Env::ramp(&["X", "Y"], 3, |ai, i| (ai * 10 + i) as f64);
+        assert_eq!(env.get("X", 2).unwrap(), 2.0);
+        assert_eq!(env.get("Y", 0).unwrap(), 10.0);
+    }
+}

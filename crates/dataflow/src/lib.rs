@@ -1,0 +1,62 @@
+//! Static dataflow software pipelines (SDSP) — §3.2 of the paper.
+//!
+//! An SDSP is the dataflow-graph form of a non-nested loop body: one node
+//! (actor) per machine instruction, *forward* data arcs for same-iteration
+//! dependences, *feedback* data arcs for loop-carried dependences, and an
+//! *acknowledgement* arc for every data arc implementing the static-dataflow
+//! one-token-per-arc rule (each forward/acknowledgement pair corresponds to
+//! one storage location).
+//!
+//! This crate provides:
+//!
+//! * [`Sdsp`] / [`SdspBuilder`] — construction and validation of SDSP
+//!   graphs, including conditional actors (the paper's switch/merge nodes
+//!   under the dummy-token firing rule, which makes them behave as ordinary
+//!   nodes — §3.2).
+//! * [`interp`] — a token-pushing functional interpreter that executes an
+//!   SDSP on real input arrays. It stands in for the McGill A-code
+//!   simulator testbed of §5 and lets the scheduling layer prove that a
+//!   derived schedule preserves loop semantics.
+//! * [`to_petri`] — the SDSP → SDSP-PN translation of §3.2: one place per
+//!   arc, with the initial marking induced by the arcs that initially hold
+//!   tokens (feedback arcs carry the loop-carried value, acknowledgement
+//!   arcs of empty buffers carry the "slot free" token). The result is a
+//!   live, safe marked graph.
+//!
+//! # Example
+//!
+//! Loop L1 of the paper, `A[i] := X[i] + 5; B[i] := Y[i] + A[i]; ...`:
+//!
+//! ```
+//! use tpn_dataflow::{SdspBuilder, OpKind, Operand};
+//! use tpn_dataflow::to_petri::to_petri;
+//!
+//! let mut b = SdspBuilder::new();
+//! let a = b.node("A", OpKind::Add, [Operand::env("X", 0), Operand::lit(5.0)]);
+//! let bb = b.node("B", OpKind::Add, [Operand::env("Y", 0), Operand::node(a)]);
+//! let c = b.node("C", OpKind::Add, [Operand::node(a), Operand::env("Z", 0)]);
+//! let d = b.node("D", OpKind::Add, [Operand::node(bb), Operand::node(c)]);
+//! let _e = b.node("E", OpKind::Add, [Operand::env("W", 0), Operand::node(d)]);
+//! let sdsp = b.finish()?;
+//!
+//! assert_eq!(sdsp.num_nodes(), 5);
+//! assert!(!sdsp.has_loop_carried_dependence());
+//!
+//! let pn = to_petri(&sdsp);
+//! assert!(pn.net.is_marked_graph());
+//! # Ok::<(), tpn_dataflow::DataflowError>(())
+//! ```
+
+pub mod acode;
+pub mod builder;
+pub mod dot;
+pub mod error;
+pub mod graph;
+pub mod interp;
+pub mod ops;
+pub mod to_petri;
+
+pub use builder::SdspBuilder;
+pub use error::DataflowError;
+pub use graph::{AckArc, AckId, ArcId, ArcKind, DataArc, Node, NodeId, Operand, Sdsp};
+pub use ops::{CmpOp, OpKind};

@@ -1,0 +1,214 @@
+//! Actor operation kinds and their evaluation semantics.
+
+use std::fmt;
+
+/// Comparison operators for conditional dataflow graphs.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Evaluates the comparison, producing `1.0` (true) or `0.0` (false).
+    pub fn eval(self, a: f64, b: f64) -> f64 {
+        let r = match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        };
+        if r {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The operation performed by an SDSP actor.
+///
+/// Every kind fires like an ordinary dataflow node: it consumes one token
+/// per operand and produces one result token. This includes [`Switch`] and
+/// [`Merge`]: under the dummy-token firing rule of §3.2 of the paper both
+/// branches of a conditional always execute and the merge selects the live
+/// value, which is exactly the semantics implemented here.
+///
+/// [`Switch`]: OpKind::Switch
+/// [`Merge`]: OpKind::Merge
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum OpKind {
+    /// Binary addition.
+    Add,
+    /// Binary subtraction (`lhs - rhs`).
+    Sub,
+    /// Binary multiplication.
+    Mul,
+    /// Binary division (`lhs / rhs`).
+    Div,
+    /// Binary minimum.
+    Min,
+    /// Binary maximum.
+    Max,
+    /// Unary negation.
+    Neg,
+    /// Identity / buffer actor; used to expand loop-carried dependences of
+    /// distance greater than one into safe chains.
+    Id,
+    /// Comparison producing 1.0 / 0.0.
+    Cmp(CmpOp),
+    /// `(control, value)`: forwards `value` to both branch subgraphs; the
+    /// unselected branch computes on a dummy copy that the matching merge
+    /// discards.
+    Switch,
+    /// `(control, then_value, else_value)`: selects `then_value` when the
+    /// control token is nonzero.
+    Merge,
+}
+
+impl OpKind {
+    /// The number of operands the operation consumes.
+    pub fn arity(self) -> usize {
+        match self {
+            OpKind::Add
+            | OpKind::Sub
+            | OpKind::Mul
+            | OpKind::Div
+            | OpKind::Min
+            | OpKind::Max
+            | OpKind::Cmp(_)
+            | OpKind::Switch => 2,
+            OpKind::Neg | OpKind::Id => 1,
+            OpKind::Merge => 3,
+        }
+    }
+
+    /// Evaluates the operation on `args` (already in operand order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len() != self.arity()`.
+    pub fn eval(self, args: &[f64]) -> f64 {
+        assert_eq!(args.len(), self.arity(), "wrong arity for {self}");
+        match self {
+            OpKind::Add => args[0] + args[1],
+            OpKind::Sub => args[0] - args[1],
+            OpKind::Mul => args[0] * args[1],
+            OpKind::Div => args[0] / args[1],
+            OpKind::Min => args[0].min(args[1]),
+            OpKind::Max => args[0].max(args[1]),
+            OpKind::Neg => -args[0],
+            OpKind::Id => args[0],
+            OpKind::Cmp(op) => op.eval(args[0], args[1]),
+            OpKind::Switch => args[1],
+            OpKind::Merge => {
+                if args[0] != 0.0 {
+                    args[1]
+                } else {
+                    args[2]
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Add => f.write_str("+"),
+            OpKind::Sub => f.write_str("-"),
+            OpKind::Mul => f.write_str("*"),
+            OpKind::Div => f.write_str("/"),
+            OpKind::Min => f.write_str("min"),
+            OpKind::Max => f.write_str("max"),
+            OpKind::Neg => f.write_str("neg"),
+            OpKind::Id => f.write_str("id"),
+            OpKind::Cmp(op) => write!(f, "cmp{op}"),
+            OpKind::Switch => f.write_str("switch"),
+            OpKind::Merge => f.write_str("merge"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities() {
+        assert_eq!(OpKind::Add.arity(), 2);
+        assert_eq!(OpKind::Neg.arity(), 1);
+        assert_eq!(OpKind::Id.arity(), 1);
+        assert_eq!(OpKind::Merge.arity(), 3);
+        assert_eq!(OpKind::Switch.arity(), 2);
+        assert_eq!(OpKind::Cmp(CmpOp::Lt).arity(), 2);
+    }
+
+    #[test]
+    fn arithmetic_eval() {
+        assert_eq!(OpKind::Add.eval(&[2.0, 3.0]), 5.0);
+        assert_eq!(OpKind::Sub.eval(&[2.0, 3.0]), -1.0);
+        assert_eq!(OpKind::Mul.eval(&[2.0, 3.0]), 6.0);
+        assert_eq!(OpKind::Div.eval(&[3.0, 2.0]), 1.5);
+        assert_eq!(OpKind::Min.eval(&[3.0, 2.0]), 2.0);
+        assert_eq!(OpKind::Max.eval(&[3.0, 2.0]), 3.0);
+        assert_eq!(OpKind::Neg.eval(&[4.0]), -4.0);
+        assert_eq!(OpKind::Id.eval(&[4.0]), 4.0);
+    }
+
+    #[test]
+    fn comparisons_return_boolean_floats() {
+        assert_eq!(CmpOp::Lt.eval(1.0, 2.0), 1.0);
+        assert_eq!(CmpOp::Ge.eval(1.0, 2.0), 0.0);
+        assert_eq!(CmpOp::Eq.eval(2.0, 2.0), 1.0);
+        assert_eq!(CmpOp::Ne.eval(2.0, 2.0), 0.0);
+        assert_eq!(OpKind::Cmp(CmpOp::Gt).eval(&[5.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn switch_and_merge_semantics() {
+        assert_eq!(OpKind::Switch.eval(&[1.0, 42.0]), 42.0);
+        assert_eq!(OpKind::Switch.eval(&[0.0, 42.0]), 42.0);
+        assert_eq!(OpKind::Merge.eval(&[1.0, 10.0, 20.0]), 10.0);
+        assert_eq!(OpKind::Merge.eval(&[0.0, 10.0, 20.0]), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn wrong_arity_panics() {
+        OpKind::Add.eval(&[1.0]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(OpKind::Add.to_string(), "+");
+        assert_eq!(OpKind::Cmp(CmpOp::Le).to_string(), "cmp<=");
+        assert_eq!(OpKind::Merge.to_string(), "merge");
+    }
+}

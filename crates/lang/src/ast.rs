@@ -1,0 +1,209 @@
+//! Abstract syntax of the loop language.
+
+use crate::error::Span;
+
+/// Whether the loop promises the absence of loop-carried dependences.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum LoopKind {
+    /// `doall`: the lowering rejects any loop-carried reference.
+    Doall,
+    /// `do`: loop-carried references become feedback dependences.
+    Do,
+}
+
+/// A parsed loop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopAst {
+    /// `doall` or `do`.
+    pub kind: LoopKind,
+    /// The loop index variable.
+    pub index: String,
+    /// The statements of the body, in order.
+    pub body: Vec<Stmt>,
+}
+
+/// The left-hand side of an assignment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Target {
+    /// `A[i] := …` — defines one element of array `A` per iteration.
+    Array {
+        /// The array name.
+        name: String,
+    },
+    /// `q := …` — defines a scalar per iteration.
+    Scalar {
+        /// The scalar name.
+        name: String,
+    },
+}
+
+impl Target {
+    /// The defined name.
+    pub fn name(&self) -> &str {
+        match self {
+            Target::Array { name } | Target::Scalar { name } => name,
+        }
+    }
+}
+
+/// A statement of the loop body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// A single assignment.
+    Assign {
+        /// What is defined.
+        target: Target,
+        /// The defining expression.
+        value: Expr,
+        /// Source location of the whole statement.
+        span: Span,
+    },
+    /// A conditional block: `if c then … else … end`. Under the paper's
+    /// dummy-token treatment both branches execute every iteration and a
+    /// merge actor selects each defined variable's value, so the two
+    /// branches must define exactly the same names.
+    If {
+        /// The condition.
+        cond: Expr,
+        /// Statements of the `then` branch.
+        then: Vec<Stmt>,
+        /// Statements of the `else` branch.
+        els: Vec<Stmt>,
+        /// Source location of the whole statement.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// Source location of the statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. } | Stmt::If { span, .. } => *span,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A numeric literal.
+    Number {
+        /// The value.
+        value: f64,
+        /// Source location.
+        span: Span,
+    },
+    /// A scalar reference (`q`), possibly of the previous iteration
+    /// (`old q`).
+    Scalar {
+        /// The name.
+        name: String,
+        /// Whether the reference is `old` (previous iteration).
+        old: bool,
+        /// Source location.
+        span: Span,
+    },
+    /// An array reference `A[i + offset]`.
+    ArrayRef {
+        /// The array name.
+        array: String,
+        /// The subscript variable (validated against the loop index).
+        var: String,
+        /// The constant offset.
+        offset: i64,
+        /// Source location.
+        span: Span,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Unary negation.
+    Neg {
+        /// The operand.
+        expr: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `if cond then a else b end`.
+    If {
+        /// The condition.
+        cond: Box<Expr>,
+        /// The `then` value.
+        then: Box<Expr>,
+        /// The `else` value.
+        els: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// Source location of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Number { span, .. }
+            | Expr::Scalar { span, .. }
+            | Expr::ArrayRef { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Neg { span, .. }
+            | Expr::If { span, .. } => *span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_name() {
+        assert_eq!(Target::Array { name: "A".into() }.name(), "A");
+        assert_eq!(Target::Scalar { name: "q".into() }.name(), "q");
+    }
+
+    #[test]
+    fn expr_span_accessor() {
+        let e = Expr::Number {
+            value: 1.0,
+            span: Span::new(3, 4),
+        };
+        assert_eq!(e.span(), Span::new(3, 4));
+    }
+}

@@ -1,0 +1,236 @@
+//! Diagnostics for the loop language.
+
+use std::error::Error;
+use std::fmt;
+
+use tpn_dataflow::DataflowError;
+
+/// A half-open byte range into the source text.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// 1-based `(line, column)` of the span start within `source`.
+    pub fn line_col(self, source: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in source.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+/// Errors produced by the loop-language front-end.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum LangError {
+    /// A character the lexer does not understand.
+    UnexpectedChar {
+        /// The character.
+        ch: char,
+        /// Where it occurred.
+        span: Span,
+    },
+    /// A malformed number literal.
+    BadNumber {
+        /// The offending text.
+        text: String,
+        /// Where it occurred.
+        span: Span,
+    },
+    /// The parser expected something else.
+    Expected {
+        /// Description of what was expected.
+        expected: String,
+        /// Description of what was found.
+        found: String,
+        /// Where it occurred.
+        span: Span,
+    },
+    /// A subscript used a variable other than the loop index.
+    WrongIndexVariable {
+        /// The variable used.
+        found: String,
+        /// The loop index variable.
+        index: String,
+        /// Where it occurred.
+        span: Span,
+    },
+    /// A loop-defined array was read at a future iteration (`A[i+k]`).
+    FutureReference {
+        /// The array.
+        array: String,
+        /// Where it occurred.
+        span: Span,
+    },
+    /// A variable was assigned more than once (the language is single
+    /// assignment, following SISAL).
+    DoubleAssignment {
+        /// The variable.
+        name: String,
+        /// Where the second assignment occurred.
+        span: Span,
+    },
+    /// `old` was applied to a name the loop does not define.
+    OldOfUndefined {
+        /// The name.
+        name: String,
+        /// Where it occurred.
+        span: Span,
+    },
+    /// A loop-carried reference appeared inside a `doall` loop, which by
+    /// definition has none.
+    LoopCarriedInDoall {
+        /// The referenced name.
+        name: String,
+        /// Where it occurred.
+        span: Span,
+    },
+    /// A conditional statement defines a name in only one branch; under
+    /// the dummy-token treatment both branches execute and a merge actor
+    /// needs a value from each.
+    BranchDefinitionMismatch {
+        /// The one-sided name.
+        name: String,
+        /// The conditional's location.
+        span: Span,
+    },
+    /// An error from SDSP construction.
+    Dataflow(DataflowError),
+}
+
+impl LangError {
+    /// The source span of the diagnostic, when one applies.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            LangError::UnexpectedChar { span, .. }
+            | LangError::BadNumber { span, .. }
+            | LangError::Expected { span, .. }
+            | LangError::WrongIndexVariable { span, .. }
+            | LangError::FutureReference { span, .. }
+            | LangError::DoubleAssignment { span, .. }
+            | LangError::OldOfUndefined { span, .. }
+            | LangError::LoopCarriedInDoall { span, .. }
+            | LangError::BranchDefinitionMismatch { span, .. } => Some(*span),
+            LangError::Dataflow(_) => None,
+        }
+    }
+
+    /// Renders the diagnostic with a `line:column` prefix computed from
+    /// `source`.
+    pub fn render(&self, source: &str) -> String {
+        match self.span() {
+            Some(span) => {
+                let (line, col) = span.line_col(source);
+                format!("{line}:{col}: {self}")
+            }
+            None => self.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::UnexpectedChar { ch, .. } => write!(f, "unexpected character {ch:?}"),
+            LangError::BadNumber { text, .. } => write!(f, "malformed number literal {text:?}"),
+            LangError::Expected {
+                expected, found, ..
+            } => write!(f, "expected {expected}, found {found}"),
+            LangError::WrongIndexVariable { found, index, .. } => write!(
+                f,
+                "subscript variable {found:?} is not the loop index {index:?}"
+            ),
+            LangError::FutureReference { array, .. } => write!(
+                f,
+                "array {array} is defined by this loop and cannot be read at a future iteration"
+            ),
+            LangError::DoubleAssignment { name, .. } => {
+                write!(f, "{name} is assigned more than once")
+            }
+            LangError::OldOfUndefined { name, .. } => {
+                write!(f, "`old {name}` needs {name} to be defined by the loop")
+            }
+            LangError::LoopCarriedInDoall { name, .. } => write!(
+                f,
+                "loop-carried reference to {name} inside a doall loop; use `do` instead"
+            ),
+            LangError::BranchDefinitionMismatch { name, .. } => write!(
+                f,
+                "{name} is defined in only one branch of the conditional; both branches must define it"
+            ),
+            LangError::Dataflow(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for LangError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LangError::Dataflow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataflowError> for LangError {
+    fn from(e: DataflowError) -> Self {
+        LangError::Dataflow(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_counts_lines() {
+        let src = "ab\ncd\nef";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(3, 4).line_col(src), (2, 1));
+        assert_eq!(Span::new(7, 8).line_col(src), (3, 2));
+    }
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(3, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.merge(b), Span::new(3, 9));
+    }
+
+    #[test]
+    fn render_prefixes_position() {
+        let e = LangError::DoubleAssignment {
+            name: "A".into(),
+            span: Span::new(5, 6),
+        };
+        assert_eq!(e.render("a :=\nb"), "2:1: A is assigned more than once");
+    }
+}

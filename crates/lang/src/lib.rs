@@ -1,0 +1,63 @@
+//! A small SISAL-flavoured loop language.
+//!
+//! The paper's testbed compiles SISAL to dataflow code; this crate stands
+//! in for that front-end with a compact loop language that covers all the
+//! loop shapes of §2, §3 and the Livermore kernels of §5:
+//!
+//! ```text
+//! doall i from 1 to n {            // no loop-carried dependences
+//!     A[i] := X[i] + 5;
+//!     B[i] := Y[i] + A[i];
+//! }
+//!
+//! do i from 1 to n {               // loop-carried dependences allowed
+//!     Q := old Q + Z[i] * X[i];    // `old` reads last iteration's value
+//!     X2[i] := Z[i] * (Y[i] - X2[i-1]);
+//!     R[i] := if X[i] > 0 then X[i] else -X[i] end;
+//! }
+//! ```
+//!
+//! * Array references `A[i±k]` on arrays **defined in the loop** become
+//!   forward (`k = 0`) or feedback (`k ≥ 1`) dependences; on arrays the
+//!   loop does not define they are environment reads with arbitrary
+//!   offsets (e.g. `Z[i+10]` in Livermore loop 1).
+//! * Scalar names the loop does not define are loop-invariant parameters;
+//!   scalars it does define can be read same-iteration by name or
+//!   last-iteration via `old`.
+//! * Conditionals lower to the merge actor under the paper's dummy-token
+//!   treatment (both branches execute, the merge selects).
+//!
+//! The pipeline is [`parse`] → [`lower()`], or [`compile`] for both at once:
+//!
+//! ```
+//! let sdsp = tpn_lang::compile(
+//!     "do i from 1 to n { Q := old Q + Z[i] * X[i]; }",
+//! )?;
+//! assert_eq!(sdsp.num_nodes(), 2); // the multiply and the accumulate
+//! assert!(sdsp.has_loop_carried_dependence());
+//! # Ok::<(), tpn_lang::LangError>(())
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{BinOp, Expr, LoopAst, LoopKind, Stmt, Target};
+
+pub use error::LangError;
+pub use lower::lower;
+pub use parser::parse;
+
+use tpn_dataflow::Sdsp;
+
+/// Parses and lowers a loop in one step.
+///
+/// # Errors
+///
+/// Any [`LangError`] from parsing, semantic analysis, or lowering.
+pub fn compile(source: &str) -> Result<Sdsp, LangError> {
+    lower(&parse(source)?)
+}

@@ -1,0 +1,754 @@
+//! Lowering from the AST to an SDSP dataflow graph.
+//!
+//! One node per operation, exactly as the paper's figures draw them: the
+//! top operation of each statement carries the defined name (node `A` for
+//! `A[i] := X[i] + 5`), inner operations get derived names (`A.1`, …).
+//! Dependence analysis is the subscript test of §3.2: a reference to a
+//! loop-defined array at `[i]` is a forward (same-iteration) dependence, at
+//! `[i−k]` a feedback dependence of distance `k` (realised with one token,
+//! buffer actors are inserted by the builder for `k > 1`); `old x` is the
+//! scalar spelling of distance 1. References the loop does not define are
+//! environment reads and impose no arc.
+//!
+//! Conditional **statements** follow the paper's §3.2 treatment of
+//! well-formed conditional subgraphs: both branches execute every
+//! iteration (the unselected branch computes on dummy values) and one
+//! merge actor per defined variable selects the live result. The two
+//! branches must therefore define exactly the same names. Loop-carried
+//! references to an `if`-defined variable read last iteration's *merged*
+//! value; same-iteration references inside a branch read the branch-local
+//! value.
+
+use std::collections::{HashMap, HashSet};
+
+use tpn_dataflow::{CmpOp, NodeId, OpKind, Operand, Sdsp, SdspBuilder};
+
+use crate::ast::{BinOp, Expr, LoopAst, LoopKind, Stmt};
+use crate::error::LangError;
+
+/// Lowers a parsed loop to a validated SDSP.
+///
+/// # Errors
+///
+/// Semantic diagnostics ([`LangError::DoubleAssignment`],
+/// [`LangError::FutureReference`], [`LangError::WrongIndexVariable`],
+/// [`LangError::OldOfUndefined`], [`LangError::LoopCarriedInDoall`],
+/// [`LangError::BranchDefinitionMismatch`]) and SDSP validation failures
+/// (notably [`tpn_dataflow::DataflowError::ForwardCycle`] for
+/// same-iteration dependence cycles).
+///
+/// # Example
+///
+/// ```
+/// use tpn_lang::{parse, lower};
+/// let ast = parse("doall i from 1 to n { A[i] := X[i] + 5; B[i] := Y[i] + A[i]; }")?;
+/// let sdsp = lower(&ast)?;
+/// assert_eq!(sdsp.num_nodes(), 2);
+/// assert_eq!(sdsp.arcs().count(), 1); // A -> B
+/// # Ok::<(), tpn_lang::LangError>(())
+/// ```
+pub fn lower(ast: &LoopAst) -> Result<Sdsp, LangError> {
+    // Single-assignment and branch-shape pre-check; collects every name
+    // the loop defines.
+    let mut defined: HashSet<&str> = HashSet::new();
+    collect_defined(&ast.body, &mut defined)?;
+
+    let mut ctx = Lowering {
+        ast,
+        defined,
+        def_node: HashMap::new(),
+        scopes: Vec::new(),
+        builder: SdspBuilder::new(),
+        fixups: Vec::new(),
+        current_target: String::new(),
+        temp_counter: 0,
+        cond_counter: 0,
+    };
+
+    ctx.lower_stmts(&ast.body)?;
+
+    // Patch forward references now that every definition has a node.
+    for (node, slot, name, distance) in std::mem::take(&mut ctx.fixups) {
+        let def = ctx.def_node[&name];
+        let operand = if distance == 0 {
+            Operand::node(def)
+        } else {
+            Operand::feedback(def, distance)
+        };
+        ctx.builder.set_operand(node, slot, operand);
+    }
+
+    Ok(ctx.builder.finish()?)
+}
+
+/// Recursively checks single assignment and branch definition symmetry,
+/// accumulating the defined names.
+fn collect_defined<'a>(
+    stmts: &'a [Stmt],
+    out: &mut HashSet<&'a str>,
+) -> Result<(), LangError> {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Assign { target, span, .. } => {
+                if !out.insert(target.name()) {
+                    return Err(LangError::DoubleAssignment {
+                        name: target.name().to_string(),
+                        span: *span,
+                    });
+                }
+            }
+            Stmt::If {
+                then, els, span, ..
+            } => {
+                let mut t = HashSet::new();
+                collect_defined(then, &mut t)?;
+                let mut e = HashSet::new();
+                collect_defined(els, &mut e)?;
+                if let Some(&name) = t.symmetric_difference(&e).next() {
+                    return Err(LangError::BranchDefinitionMismatch {
+                        name: name.to_string(),
+                        span: *span,
+                    });
+                }
+                for name in t {
+                    if !out.insert(name) {
+                        return Err(LangError::DoubleAssignment {
+                            name: name.to_string(),
+                            span: *span,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Either a ready operand or a fixup for a not-yet-lowered definition.
+#[derive(Clone)]
+enum LoweredOperand {
+    Ready(Operand),
+    /// `(name, distance)` — resolved when the defining scope closes (for
+    /// same-iteration branch-local names) or after all statements are
+    /// lowered.
+    Pending(String, u32),
+}
+
+/// One branch scope: its tag (for derived node names) and local
+/// definitions.
+struct Scope {
+    tag: &'static str,
+    defs: HashMap<String, NodeId>,
+}
+
+struct Lowering<'a> {
+    ast: &'a LoopAst,
+    defined: HashSet<&'a str>,
+    def_node: HashMap<String, NodeId>,
+    scopes: Vec<Scope>,
+    builder: SdspBuilder,
+    /// `(consumer, slot, name, distance)`
+    fixups: Vec<(NodeId, usize, String, u32)>,
+    current_target: String,
+    temp_counter: u32,
+    cond_counter: u32,
+}
+
+impl<'a> Lowering<'a> {
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), LangError> {
+        for stmt in stmts {
+            self.lower_stmt(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), LangError> {
+        match stmt {
+            Stmt::Assign { target, value, .. } => {
+                let name = target.name().to_string();
+                self.current_target = format!("{name}{}", self.branch_tag());
+                self.temp_counter = 0;
+                let node = match self.lower_expr(value)? {
+                    ExprResult::Node(node) => node,
+                    // A bare reference or literal still occupies one
+                    // instruction: an identity (move) actor.
+                    ExprResult::Operand(op) => self.make_node(OpKind::Id, vec![op]),
+                };
+                // The statement's top operation carries the defined name
+                // (branch-tagged inside conditionals).
+                self.builder.set_name(node, self.current_target.clone());
+                self.define(name, node);
+                Ok(())
+            }
+            Stmt::If {
+                cond, then, els, ..
+            } => self.lower_if(cond, then, els),
+        }
+    }
+
+    fn lower_if(&mut self, cond: &Expr, then: &[Stmt], els: &[Stmt]) -> Result<(), LangError> {
+        // The condition is evaluated once per iteration.
+        self.cond_counter += 1;
+        self.current_target = format!("cond{}{}", self.cond_counter, self.branch_tag());
+        self.temp_counter = 0;
+        let cond_op = self.lower_operand(cond)?;
+
+        let then_defs = self.lower_branch(".t", then)?;
+        let else_defs = self.lower_branch(".e", els)?;
+
+        // One merge actor per defined name (the pre-check guarantees the
+        // two maps have equal key sets).
+        let mut names: Vec<String> = then_defs.keys().cloned().collect();
+        names.sort();
+        for name in names {
+            let t = then_defs[&name];
+            let e = else_defs[&name];
+            self.current_target = format!("{name}{}", self.branch_tag());
+            self.temp_counter = 0;
+            let merge = self.make_node(
+                OpKind::Merge,
+                vec![
+                    cond_op.clone(),
+                    LoweredOperand::Ready(Operand::node(t)),
+                    LoweredOperand::Ready(Operand::node(e)),
+                ],
+            );
+            self.builder.set_name(merge, self.current_target.clone());
+            self.define(name, merge);
+        }
+        Ok(())
+    }
+
+    /// Lowers one branch in its own scope; resolves same-iteration fixups
+    /// against the branch's local definitions on exit.
+    fn lower_branch(
+        &mut self,
+        tag: &'static str,
+        stmts: &[Stmt],
+    ) -> Result<HashMap<String, NodeId>, LangError> {
+        self.scopes.push(Scope {
+            tag,
+            defs: HashMap::new(),
+        });
+        let watermark = self.fixups.len();
+        let result = self.lower_stmts(stmts);
+        let scope = self.scopes.pop().expect("scope pushed above");
+        result?;
+        // Same-iteration forward references to branch-local names resolve
+        // to the branch's definition; everything else bubbles outward
+        // (loop-carried references always target the merged value).
+        let mut kept = Vec::new();
+        for fixup in self.fixups.drain(watermark..) {
+            let (node, slot, ref name, distance) = fixup;
+            if distance == 0 {
+                if let Some(&def) = scope.defs.get(name) {
+                    self.builder.set_operand(node, slot, Operand::node(def));
+                    continue;
+                }
+            }
+            kept.push(fixup);
+        }
+        self.fixups.extend(kept);
+        Ok(scope.defs)
+    }
+
+    fn branch_tag(&self) -> String {
+        self.scopes.iter().map(|s| s.tag).collect()
+    }
+
+    fn define(&mut self, name: String, node: NodeId) {
+        match self.scopes.last_mut() {
+            Some(scope) => {
+                scope.defs.insert(name, node);
+            }
+            None => {
+                self.def_node.insert(name, node);
+            }
+        }
+    }
+
+    fn make_node(&mut self, op: OpKind, operands: Vec<LoweredOperand>) -> NodeId {
+        self.temp_counter += 1;
+        let name = format!("{}.{}", self.current_target, self.temp_counter);
+        let resolved: Vec<Operand> = operands
+            .iter()
+            .map(|lo| match lo {
+                LoweredOperand::Ready(op) => op.clone(),
+                LoweredOperand::Pending(..) => Operand::lit(0.0), // patched later
+            })
+            .collect();
+        let node = self.builder.node(name, op, resolved);
+        for (slot, lo) in operands.into_iter().enumerate() {
+            if let LoweredOperand::Pending(name, distance) = lo {
+                self.fixups.push((node, slot, name, distance));
+            }
+        }
+        node
+    }
+
+    fn lower_expr(&mut self, expr: &Expr) -> Result<ExprResult, LangError> {
+        match expr {
+            Expr::Number { value, .. } => {
+                Ok(ExprResult::Operand(LoweredOperand::Ready(Operand::lit(*value))))
+            }
+            Expr::Scalar { name, old, span } => {
+                if name == &self.ast.index {
+                    if *old {
+                        return Err(LangError::OldOfUndefined {
+                            name: name.clone(),
+                            span: *span,
+                        });
+                    }
+                    return Ok(ExprResult::Operand(LoweredOperand::Ready(Operand::index())));
+                }
+                if *old {
+                    if !self.defined.contains(name.as_str()) {
+                        return Err(LangError::OldOfUndefined {
+                            name: name.clone(),
+                            span: *span,
+                        });
+                    }
+                    if self.ast.kind == LoopKind::Doall {
+                        return Err(LangError::LoopCarriedInDoall {
+                            name: name.clone(),
+                            span: *span,
+                        });
+                    }
+                    return Ok(ExprResult::Operand(self.reference(name, 1)));
+                }
+                if self.defined.contains(name.as_str()) {
+                    Ok(ExprResult::Operand(self.reference(name, 0)))
+                } else {
+                    Ok(ExprResult::Operand(LoweredOperand::Ready(Operand::param(
+                        name.clone(),
+                    ))))
+                }
+            }
+            Expr::ArrayRef {
+                array,
+                var,
+                offset,
+                span,
+            } => {
+                if var != &self.ast.index {
+                    return Err(LangError::WrongIndexVariable {
+                        found: var.clone(),
+                        index: self.ast.index.clone(),
+                        span: *span,
+                    });
+                }
+                if self.defined.contains(array.as_str()) {
+                    match *offset {
+                        0 => Ok(ExprResult::Operand(self.reference(array, 0))),
+                        o if o < 0 => {
+                            if self.ast.kind == LoopKind::Doall {
+                                return Err(LangError::LoopCarriedInDoall {
+                                    name: array.clone(),
+                                    span: *span,
+                                });
+                            }
+                            Ok(ExprResult::Operand(self.reference(array, (-o) as u32)))
+                        }
+                        _ => Err(LangError::FutureReference {
+                            array: array.clone(),
+                            span: *span,
+                        }),
+                    }
+                } else {
+                    Ok(ExprResult::Operand(LoweredOperand::Ready(Operand::env(
+                        array.clone(),
+                        *offset,
+                    ))))
+                }
+            }
+            Expr::Neg { expr, .. } => {
+                let inner = self.lower_operand(expr)?;
+                Ok(ExprResult::Node(self.make_node(OpKind::Neg, vec![inner])))
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let l = self.lower_operand(lhs)?;
+                let r = self.lower_operand(rhs)?;
+                let kind = match op {
+                    BinOp::Add => OpKind::Add,
+                    BinOp::Sub => OpKind::Sub,
+                    BinOp::Mul => OpKind::Mul,
+                    BinOp::Div => OpKind::Div,
+                    BinOp::Min => OpKind::Min,
+                    BinOp::Max => OpKind::Max,
+                    BinOp::Lt => OpKind::Cmp(CmpOp::Lt),
+                    BinOp::Le => OpKind::Cmp(CmpOp::Le),
+                    BinOp::Gt => OpKind::Cmp(CmpOp::Gt),
+                    BinOp::Ge => OpKind::Cmp(CmpOp::Ge),
+                    BinOp::Eq => OpKind::Cmp(CmpOp::Eq),
+                    BinOp::Ne => OpKind::Cmp(CmpOp::Ne),
+                };
+                Ok(ExprResult::Node(self.make_node(kind, vec![l, r])))
+            }
+            Expr::If {
+                cond, then, els, ..
+            } => {
+                let c = self.lower_operand(cond)?;
+                let t = self.lower_operand(then)?;
+                let e = self.lower_operand(els)?;
+                Ok(ExprResult::Node(self.make_node(OpKind::Merge, vec![c, t, e])))
+            }
+        }
+    }
+
+    /// Lowers a subexpression into an operand, materialising a node when
+    /// it is compound.
+    fn lower_operand(&mut self, expr: &Expr) -> Result<LoweredOperand, LangError> {
+        match self.lower_expr(expr)? {
+            ExprResult::Operand(op) => Ok(op),
+            ExprResult::Node(node) => Ok(LoweredOperand::Ready(Operand::node(node))),
+        }
+    }
+
+    fn reference(&self, name: &str, distance: u32) -> LoweredOperand {
+        // Same-iteration references see branch-local definitions first;
+        // loop-carried references always mean last iteration's merged
+        // value.
+        if distance == 0 {
+            for scope in self.scopes.iter().rev() {
+                if let Some(&node) = scope.defs.get(name) {
+                    return LoweredOperand::Ready(Operand::node(node));
+                }
+            }
+        }
+        match self.def_node.get(name) {
+            Some(&node) if distance == 0 => LoweredOperand::Ready(Operand::node(node)),
+            Some(&node) => LoweredOperand::Ready(Operand::feedback(node, distance)),
+            None => LoweredOperand::Pending(name.to_string(), distance),
+        }
+    }
+}
+
+enum ExprResult {
+    Node(NodeId),
+    Operand(LoweredOperand),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use tpn_dataflow::interp::{execute, Env};
+    use tpn_dataflow::ArcKind;
+
+    fn compile(src: &str) -> Result<Sdsp, LangError> {
+        lower(&parse(src)?)
+    }
+
+    #[test]
+    fn l1_lowers_to_five_nodes_and_five_arcs() {
+        let s = compile(
+            "doall i from 1 to n {\
+               A[i] := X[i] + 5;\
+               B[i] := Y[i] + A[i];\
+               C[i] := A[i] + Z[i];\
+               D[i] := B[i] + C[i];\
+               E[i] := W[i] + D[i];\
+             }",
+        )
+        .unwrap();
+        assert_eq!(s.num_nodes(), 5);
+        assert_eq!(s.arcs().count(), 5);
+        assert!(!s.has_loop_carried_dependence());
+        let names = s.names();
+        assert!(names.contains_key("A") && names.contains_key("E"));
+    }
+
+    #[test]
+    fn l2_lowers_with_one_feedback_arc() {
+        let s = compile(
+            "do i from 1 to n {\
+               A[i] := X[i] + 5;\
+               B[i] := Y[i] + A[i];\
+               C[i] := A[i] + E[i-1];\
+               D[i] := B[i] + C[i];\
+               E[i] := W[i] + D[i];\
+             }",
+        )
+        .unwrap();
+        assert_eq!(s.num_nodes(), 5);
+        let fb: Vec<_> = s
+            .arcs()
+            .filter(|(_, a)| a.kind == ArcKind::Feedback)
+            .collect();
+        assert_eq!(fb.len(), 1);
+        let names = s.names();
+        assert_eq!(fb[0].1.from, names["E"]);
+        assert_eq!(fb[0].1.to, names["C"]);
+    }
+
+    #[test]
+    fn intermediate_operations_get_derived_names() {
+        let s = compile(
+            "doall k from 1 to n { X2[k] := Q + Y[k] * (R * Z[k+10] + T * Z[k+11]); }",
+        )
+        .unwrap();
+        assert_eq!(s.num_nodes(), 5);
+        let names: Vec<_> = s.nodes().map(|(_, n)| n.name.clone()).collect();
+        assert!(names.contains(&"X2".to_string()));
+        assert!(names.iter().any(|n| n.starts_with("X2.")));
+    }
+
+    #[test]
+    fn scalar_accumulation_via_old() {
+        let s = compile("do i from 1 to n { Q := old Q + Z[i] * X[i]; }").unwrap();
+        assert_eq!(s.num_nodes(), 2);
+        assert!(s.has_loop_carried_dependence());
+        let mut env = Env::new();
+        env.insert("Z", vec![1.0, 2.0, 3.0]);
+        env.insert("X", vec![4.0, 5.0, 6.0]);
+        let q = s.names()["Q"];
+        let t = execute(&s, &env, 3).unwrap();
+        assert_eq!(t.value(q, 2), 32.0);
+    }
+
+    #[test]
+    fn copies_become_identity_nodes() {
+        let s = compile("doall i from 1 to n { A[i] := X[i]; B[i] := A[i]; }").unwrap();
+        assert_eq!(s.num_nodes(), 2);
+        assert!(s.nodes().all(|(_, n)| n.op == OpKind::Id));
+        assert_eq!(s.arcs().count(), 1);
+    }
+
+    #[test]
+    fn index_variable_reads_lower_to_index_operand() {
+        let s = compile("doall i from 1 to n { A[i] := i * 2; }").unwrap();
+        let a = s.names()["A"];
+        let t = execute(&s, &Env::new(), 3).unwrap();
+        assert_eq!(t.series(a), &[0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn free_scalars_become_params() {
+        let s = compile("doall i from 1 to n { A[i] := R * X[i]; }").unwrap();
+        let mut env = Env::new();
+        env.insert("X", vec![1.0, 2.0]);
+        env.insert_scalar("R", 10.0);
+        let a = s.names()["A"];
+        let t = execute(&s, &env, 2).unwrap();
+        assert_eq!(t.series(a), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn conditional_expressions_lower_to_merge() {
+        let s =
+            compile("do i from 1 to n { R2[i] := if X[i] > 0 then X[i] else -X[i] end; }").unwrap();
+        assert!(s.nodes().any(|(_, n)| n.op == OpKind::Merge));
+        let mut env = Env::new();
+        env.insert("X", vec![-3.0, 4.0]);
+        let r = s.names()["R2"];
+        let t = execute(&s, &env, 2).unwrap();
+        assert_eq!(t.series(r), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn forward_reference_to_later_statement_is_patched() {
+        let s = compile(
+            "doall i from 1 to n { A[i] := B[i] + 1; B[i] := X[i] * 2; }",
+        )
+        .unwrap();
+        let names = s.names();
+        let (_, arc) = s.arcs().next().unwrap();
+        assert_eq!(arc.from, names["B"]);
+        assert_eq!(arc.to, names["A"]);
+    }
+
+    #[test]
+    fn double_assignment_rejected() {
+        assert!(matches!(
+            compile("do i from 1 to n { A[i] := 1; A[i] := 2; }"),
+            Err(LangError::DoubleAssignment { .. })
+        ));
+    }
+
+    #[test]
+    fn future_reference_rejected() {
+        assert!(matches!(
+            compile("do i from 1 to n { A[i] := A[i+1]; }"),
+            Err(LangError::FutureReference { .. })
+        ));
+    }
+
+    #[test]
+    fn lcd_in_doall_rejected() {
+        assert!(matches!(
+            compile("doall i from 1 to n { A[i] := A[i-1] + 1; }"),
+            Err(LangError::LoopCarriedInDoall { .. })
+        ));
+        assert!(matches!(
+            compile("doall i from 1 to n { Q := old Q + 1; }"),
+            Err(LangError::LoopCarriedInDoall { .. })
+        ));
+    }
+
+    #[test]
+    fn old_of_undefined_rejected() {
+        assert!(matches!(
+            compile("do i from 1 to n { A[i] := old Zz + 1; }"),
+            Err(LangError::OldOfUndefined { .. })
+        ));
+        assert!(matches!(
+            compile("do i from 1 to n { A[i] := old i; }"),
+            Err(LangError::OldOfUndefined { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_subscript_variable_rejected() {
+        assert!(matches!(
+            compile("do i from 1 to n { A[i] := X[j]; }"),
+            Err(LangError::WrongIndexVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn same_iteration_cycle_rejected() {
+        assert!(matches!(
+            compile("do i from 1 to n { A[i] := B[i]; B[i] := A[i]; }"),
+            Err(LangError::Dataflow(
+                tpn_dataflow::DataflowError::ForwardCycle { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn distance_two_recurrence_gets_buffers() {
+        let s = compile("do i from 1 to n { F[i] := F[i-1] + F[i-2]; }").unwrap();
+        assert_eq!(s.num_nodes(), 3);
+        assert_eq!(s.nodes().filter(|(_, n)| n.op == OpKind::Id).count(), 2);
+        let s2 = compile("do i from 1 to n { F[i] := F[i-1] + F[i-2] + X[i]; }").unwrap();
+        let mut env = Env::new();
+        env.insert("X", vec![1.0, 0.0, 0.0, 0.0, 0.0]);
+        let f = s2.names()["F"];
+        let t = execute(&s2, &env, 5).unwrap();
+        assert_eq!(t.series(f), &[1.0, 1.0, 2.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn if_statement_merges_each_defined_name() {
+        // |X| via a conditional statement with two defs.
+        let s = compile(
+            r#"do i from 1 to n {
+               if X[i] > 0 then
+                 A[i] := X[i];
+                 B[i] := X[i] * 2;
+               else
+                 A[i] := -X[i];
+                 B[i] := 0 - X[i] * 2;
+               end
+               C[i] := A[i] + B[i];
+             }"#,
+        )
+        .unwrap();
+        // Merge actors for A and B exist; C reads the merged values.
+        assert_eq!(s.nodes().filter(|(_, n)| n.op == OpKind::Merge).count(), 2);
+        let mut env = Env::new();
+        env.insert("X", vec![-2.0, 3.0]);
+        let names = s.names();
+        let t = execute(&s, &env, 2).unwrap();
+        assert_eq!(t.value(names["A"], 0), 2.0);
+        assert_eq!(t.value(names["A"], 1), 3.0);
+        assert_eq!(t.value(names["C"], 0), 2.0 + 4.0);
+        assert_eq!(t.value(names["C"], 1), 3.0 + 6.0);
+    }
+
+    #[test]
+    fn branch_local_references_bind_to_their_branch() {
+        // T is used inside the same branch that defines it.
+        let s = compile(
+            r#"do i from 1 to n {
+               if X[i] > 0 then
+                 T[i] := X[i] * 2;
+                 U[i] := T[i] + 1;
+               else
+                 T[i] := 0 - X[i];
+                 U[i] := T[i] - 1;
+               end
+             }"#,
+        )
+        .unwrap();
+        let mut env = Env::new();
+        env.insert("X", vec![5.0, -5.0]);
+        let names = s.names();
+        let t = execute(&s, &env, 2).unwrap();
+        assert_eq!(t.value(names["U"], 0), 11.0); // 5*2 + 1
+        assert_eq!(t.value(names["U"], 1), 4.0); // 5 - 1
+    }
+
+    #[test]
+    fn loop_carried_reads_of_branch_defs_use_the_merge() {
+        // Running maximum via a conditional statement.
+        let s = compile(
+            r#"do i from 1 to n {
+               if X[i] > old S then
+                 S := X[i];
+               else
+                 S := old S;
+               end
+             }"#,
+        )
+        .unwrap();
+        let mut env = Env::new();
+        env.insert("X", vec![2.0, 7.0, 3.0, 9.0]);
+        let names = s.names();
+        let t = execute(&s, &env, 4).unwrap();
+        assert_eq!(t.series(names["S"]), &[2.0, 7.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn nested_if_statements_lower() {
+        let s = compile(
+            r#"do i from 1 to n {
+               if X[i] > 0 then
+                 if X[i] > 10 then V[i] := 2; else V[i] := 1; end
+               else
+                 V[i] := 0;
+               end
+             }"#,
+        )
+        .unwrap();
+        let mut env = Env::new();
+        env.insert("X", vec![20.0, 5.0, -1.0]);
+        let names = s.names();
+        let t = execute(&s, &env, 3).unwrap();
+        assert_eq!(t.series(names["V"]), &[2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn branch_mismatch_rejected() {
+        assert!(matches!(
+            compile(
+                "do i from 1 to n { if X[i] > 0 then A[i] := 1; else B[i] := 2; end }"
+            ),
+            Err(LangError::BranchDefinitionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn branch_and_toplevel_double_assignment_rejected() {
+        assert!(matches!(
+            compile(
+                "do i from 1 to n { A[i] := 1; if X[i] > 0 then A[i] := 2; else A[i] := 3; end }"
+            ),
+            Err(LangError::DoubleAssignment { .. })
+        ));
+    }
+
+    #[test]
+    fn if_statements_schedule_like_ordinary_nodes() {
+        use tpn_dataflow::to_petri::to_petri;
+        let s = compile(
+            r#"do i from 1 to n {
+               if X[i] > 0 then A[i] := X[i]; else A[i] := -X[i]; end
+               S := old S + A[i];
+             }"#,
+        )
+        .unwrap();
+        let pn = to_petri(&s);
+        assert!(tpn_petri::marked::check_live_safe(&pn.net, &pn.marking).is_ok());
+    }
+}

@@ -1,0 +1,270 @@
+//! Pretty-printing parsed loops back to source text.
+//!
+//! The printer emits fully parenthesised expressions, so
+//! `parse(print(ast))` reproduces the AST exactly (up to source spans) —
+//! the round-trip property the test suite checks on thousands of random
+//! programs. It is also the humane way to dump programmatically-built
+//! ASTs.
+
+use std::fmt::Write as _;
+
+use crate::ast::{BinOp, Expr, LoopAst, LoopKind, Stmt, Target};
+
+/// Renders a loop as parseable source text.
+///
+/// # Example
+///
+/// ```
+/// use tpn_lang::{parse, printer::print};
+/// let ast = parse("do i from 1 to n { Q := old Q + X[i]; }")?;
+/// let text = print(&ast);
+/// assert!(text.contains("old Q"));
+/// // The round trip is exact (spans aside).
+/// let again = parse(&text)?;
+/// assert_eq!(again.body.len(), ast.body.len());
+/// # Ok::<(), tpn_lang::LangError>(())
+/// ```
+pub fn print(ast: &LoopAst) -> String {
+    let mut out = String::new();
+    let kw = match ast.kind {
+        LoopKind::Doall => "doall",
+        LoopKind::Do => "do",
+    };
+    let _ = writeln!(out, "{kw} {} from 1 to n {{", ast.index);
+    for stmt in &ast.body {
+        print_stmt(&mut out, ast, stmt, 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmt(out: &mut String, ast: &LoopAst, stmt: &Stmt, depth: usize) {
+    match stmt {
+        Stmt::Assign { target, value, .. } => {
+            indent(out, depth);
+            match target {
+                Target::Array { name } => {
+                    let _ = write!(out, "{name}[{}]", ast.index);
+                }
+                Target::Scalar { name } => {
+                    let _ = write!(out, "{name}");
+                }
+            }
+            out.push_str(" := ");
+            print_expr(out, ast, value);
+            out.push_str(";\n");
+        }
+        Stmt::If {
+            cond, then, els, ..
+        } => {
+            indent(out, depth);
+            out.push_str("if ");
+            print_expr(out, ast, cond);
+            out.push_str(" then\n");
+            for s in then {
+                print_stmt(out, ast, s, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("else\n");
+            for s in els {
+                print_stmt(out, ast, s, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("end\n");
+        }
+    }
+}
+
+fn print_expr(out: &mut String, ast: &LoopAst, expr: &Expr) {
+    match expr {
+        Expr::Number { value, .. } => {
+            let _ = write!(out, "{value:?}");
+        }
+        Expr::Scalar { name, old, .. } => {
+            if *old {
+                out.push_str("old ");
+            }
+            out.push_str(name);
+        }
+        Expr::ArrayRef {
+            array, offset, ..
+        } => match offset {
+            0 => {
+                let _ = write!(out, "{array}[{}]", ast.index);
+            }
+            o if *o > 0 => {
+                let _ = write!(out, "{array}[{}+{o}]", ast.index);
+            }
+            o => {
+                let _ = write!(out, "{array}[{}-{}]", ast.index, -o);
+            }
+        },
+        Expr::Binary { op, lhs, rhs, .. } => match op {
+            BinOp::Min | BinOp::Max => {
+                out.push_str(if *op == BinOp::Min { "min(" } else { "max(" });
+                print_expr(out, ast, lhs);
+                out.push_str(", ");
+                print_expr(out, ast, rhs);
+                out.push(')');
+            }
+            _ => {
+                out.push('(');
+                print_expr(out, ast, lhs);
+                let sym = match op {
+                    BinOp::Add => " + ",
+                    BinOp::Sub => " - ",
+                    BinOp::Mul => " * ",
+                    BinOp::Div => " / ",
+                    BinOp::Lt => " < ",
+                    BinOp::Le => " <= ",
+                    BinOp::Gt => " > ",
+                    BinOp::Ge => " >= ",
+                    BinOp::Eq => " == ",
+                    BinOp::Ne => " != ",
+                    BinOp::Min | BinOp::Max => unreachable!("handled above"),
+                };
+                out.push_str(sym);
+                print_expr(out, ast, rhs);
+                out.push(')');
+            }
+        },
+        Expr::Neg { expr, .. } => {
+            out.push_str("(-");
+            print_expr(out, ast, expr);
+            out.push(')');
+        }
+        Expr::If {
+            cond, then, els, ..
+        } => {
+            out.push_str("(if ");
+            print_expr(out, ast, cond);
+            out.push_str(" then ");
+            print_expr(out, ast, then);
+            out.push_str(" else ");
+            print_expr(out, ast, els);
+            out.push_str(" end)");
+        }
+    }
+}
+
+/// Strips source spans (sets them to the default), for span-insensitive
+/// AST comparison.
+pub fn strip_spans(ast: &LoopAst) -> LoopAst {
+    LoopAst {
+        kind: ast.kind,
+        index: ast.index.clone(),
+        body: ast.body.iter().map(strip_stmt).collect(),
+    }
+}
+
+fn strip_stmt(stmt: &Stmt) -> Stmt {
+    match stmt {
+        Stmt::Assign { target, value, .. } => Stmt::Assign {
+            target: target.clone(),
+            value: strip_expr(value),
+            span: Default::default(),
+        },
+        Stmt::If {
+            cond, then, els, ..
+        } => Stmt::If {
+            cond: strip_expr(cond),
+            then: then.iter().map(strip_stmt).collect(),
+            els: els.iter().map(strip_stmt).collect(),
+            span: Default::default(),
+        },
+    }
+}
+
+fn strip_expr(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Number { value, .. } => Expr::Number {
+            value: *value,
+            span: Default::default(),
+        },
+        Expr::Scalar { name, old, .. } => Expr::Scalar {
+            name: name.clone(),
+            old: *old,
+            span: Default::default(),
+        },
+        Expr::ArrayRef {
+            array, var, offset, ..
+        } => Expr::ArrayRef {
+            array: array.clone(),
+            var: var.clone(),
+            offset: *offset,
+            span: Default::default(),
+        },
+        Expr::Binary { op, lhs, rhs, .. } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(strip_expr(lhs)),
+            rhs: Box::new(strip_expr(rhs)),
+            span: Default::default(),
+        },
+        Expr::Neg { expr, .. } => Expr::Neg {
+            expr: Box::new(strip_expr(expr)),
+            span: Default::default(),
+        },
+        Expr::If {
+            cond, then, els, ..
+        } => Expr::If {
+            cond: Box::new(strip_expr(cond)),
+            then: Box::new(strip_expr(then)),
+            els: Box::new(strip_expr(els)),
+            span: Default::default(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trips(src: &str) {
+        let ast = parse(src).unwrap();
+        let printed = print(&ast);
+        let again = parse(&printed).unwrap_or_else(|e| {
+            panic!("printed text failed to parse: {}\n{}", e.render(&printed), printed)
+        });
+        assert_eq!(
+            strip_spans(&ast),
+            strip_spans(&again),
+            "round trip changed the AST:\n{printed}"
+        );
+    }
+
+    #[test]
+    fn simple_loops_round_trip() {
+        round_trips("doall i from 1 to n { A[i] := X[i] + 5; }");
+        round_trips("do i from 1 to n { Q := old Q + Z[i] * X[i]; }");
+        round_trips("do i from 2 to n { X2[i] := Z[i] * (Y[i] - X2[i-1]); }");
+    }
+
+    #[test]
+    fn conditionals_round_trip() {
+        round_trips("do i from 1 to n { R[i] := if X[i] > 0 then X[i] else -X[i] end; }");
+        round_trips(
+            "do i from 1 to n { if X[i] > 0 then A[i] := 1; else A[i] := 2; end B[i] := A[i]; }",
+        );
+    }
+
+    #[test]
+    fn min_max_and_offsets_round_trip() {
+        round_trips("do k from 1 to n { M[k] := min(X[k+3], max(Y[k-1], 0)); }");
+    }
+
+    #[test]
+    fn printed_form_is_indented() {
+        let ast = parse("do i from 1 to n { if X[i] > 0 then A[i] := 1; else A[i] := 2; end }")
+            .unwrap();
+        let text = print(&ast);
+        assert!(text.contains("    if "));
+        assert!(text.contains("        A[i] := "));
+    }
+}

@@ -1,0 +1,248 @@
+//! The Livermore loop kernels of the paper's evaluation (§5), plus a
+//! synthetic loop generator for scaling studies.
+//!
+//! The paper simulates six Livermore loops written in SISAL:
+//!
+//! * without loop-carried dependence — loop 1 (hydro fragment),
+//!   loop 7 (equation of state fragment), loop 12 (first difference);
+//! * with loop-carried dependence — loop 3 (inner product),
+//!   loop 5 (tri-diagonal elimination, below the diagonal),
+//!   loop 9 (integrate predictors).
+//!
+//! Loop 9 is examined both ways, as in the paper's footnote: it *can* be a
+//! DOALL after subscript analysis of its second (column) subscript; without
+//! that analysis the conservative dependence makes it loop-carried. Our
+//! conservative variant models the unanalysed read of the predictor table
+//! as a distance-1 feedback on the written column (`PX1[i-1]`), which
+//! serialises the update chain exactly as a conservative compiler would.
+//!
+//! The kernels are expressed in the [`tpn_lang`] loop language; 2-D arrays
+//! (loop 9's `PX[i, k]`) become one named array per column, which is
+//! faithful because the column index is constant in every reference.
+
+pub mod synth;
+
+use tpn_dataflow::interp::Env;
+use tpn_dataflow::Sdsp;
+use tpn_lang::compile;
+
+/// One benchmark kernel.
+#[derive(Clone, Debug)]
+pub struct Kernel {
+    /// Short name, e.g. `"loop5"`.
+    pub name: &'static str,
+    /// The paper's description of the kernel.
+    pub description: &'static str,
+    /// Source text in the loop language.
+    pub source: &'static str,
+    /// Whether the kernel carries a dependence across iterations.
+    pub has_lcd: bool,
+}
+
+impl Kernel {
+    /// Compiles the kernel to its SDSP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the built-in source fails to compile (a bug; covered by
+    /// tests).
+    pub fn sdsp(&self) -> Sdsp {
+        match compile(self.source) {
+            Ok(s) => s,
+            Err(e) => panic!("kernel {} failed to compile: {}", self.name, e.render(self.source)),
+        }
+    }
+
+    /// A deterministic synthetic input environment sufficient for
+    /// `iterations` iterations (arrays are padded for the kernels' largest
+    /// positive subscript offsets).
+    pub fn env(&self, iterations: usize) -> Env {
+        let sdsp = self.sdsp();
+        let mut env = Env::new();
+        for (ai, array) in sdsp.input_arrays().into_iter().enumerate() {
+            let values = (0..iterations + 32)
+                .map(|i| 0.25 + (ai as f64 + 1.0) * 0.125 + (i as f64) * 0.001)
+                .collect();
+            env.insert(array, values);
+        }
+        for (pi, param) in sdsp.params().into_iter().enumerate() {
+            env.insert_scalar(param, 0.5 + pi as f64 * 0.25);
+        }
+        env
+    }
+}
+
+/// Livermore loop 1: hydro fragment (no LCD).
+pub const LOOP1: Kernel = Kernel {
+    name: "loop1",
+    description: "hydro fragment",
+    source: "doall k from 1 to n {\n\
+               X[k] := Q + Y[k] * (R * Z[k+10] + T * Z[k+11]);\n\
+             }",
+    has_lcd: false,
+};
+
+/// Livermore loop 7: equation of state fragment (no LCD).
+pub const LOOP7: Kernel = Kernel {
+    name: "loop7",
+    description: "equation of state fragment",
+    source: "doall k from 1 to n {\n\
+               X[k] := U[k] + R * (Z[k] + R * Y[k])\n\
+                       + T * (U[k+3] + R * (U[k+2] + R * U[k+1])\n\
+                              + T * (U[k+6] + Q * (U[k+5] + Q * U[k+4])));\n\
+             }",
+    has_lcd: false,
+};
+
+/// Livermore loop 12: first difference (no LCD).
+pub const LOOP12: Kernel = Kernel {
+    name: "loop12",
+    description: "first difference",
+    source: "doall k from 1 to n {\n\
+               X[k] := Y[k+1] - Y[k];\n\
+             }",
+    has_lcd: false,
+};
+
+/// Livermore loop 3: inner product (LCD: the scalar accumulator).
+pub const LOOP3: Kernel = Kernel {
+    name: "loop3",
+    description: "inner product",
+    source: "do k from 1 to n {\n\
+               Q := old Q + Z[k] * X[k];\n\
+             }",
+    has_lcd: true,
+};
+
+/// Livermore loop 5: tri-diagonal elimination, below the diagonal (LCD).
+pub const LOOP5: Kernel = Kernel {
+    name: "loop5",
+    description: "tri-diagonal elimination, below the diagonal",
+    source: "do i from 2 to n {\n\
+               X[i] := Z[i] * (Y[i] - X[i-1]);\n\
+             }",
+    has_lcd: true,
+};
+
+/// Livermore loop 9, conservative variant: integrate predictors with the
+/// unanalysed predictor-table read treated as a distance-1 feedback.
+pub const LOOP9: Kernel = Kernel {
+    name: "loop9",
+    description: "integrate predictors (conservative: LCD assumed)",
+    source: "do i from 1 to n {\n\
+               PX1[i] := PX1[i-1] + DM28 * PX13[i] + DM27 * PX12[i]\n\
+                       + DM26 * PX11[i] + DM25 * PX10[i] + DM24 * PX9[i]\n\
+                       + DM23 * PX8[i] + DM22 * PX7[i] + C0 * (PX5[i] + PX6[i]);\n\
+             }",
+    has_lcd: true,
+};
+
+/// Livermore loop 9 after subscript analysis: the column subscripts are
+/// distinct constants, so the loop is a DOALL.
+pub const LOOP9_DOALL: Kernel = Kernel {
+    name: "loop9-doall",
+    description: "integrate predictors (subscript analysis: DOALL)",
+    source: "doall i from 1 to n {\n\
+               PX1[i] := DM28 * PX13[i] + DM27 * PX12[i] + DM26 * PX11[i]\n\
+                       + DM25 * PX10[i] + DM24 * PX9[i] + DM23 * PX8[i]\n\
+                       + DM22 * PX7[i] + C0 * (PX5[i] + PX6[i]) + PX3[i];\n\
+             }",
+    has_lcd: false,
+};
+
+/// All kernels in the paper's Table 1 order: the three DOALL loops, then
+/// the three loops with loop-carried dependence, then the DOALL-ised
+/// loop 9.
+pub fn kernels() -> Vec<Kernel> {
+    vec![LOOP1, LOOP7, LOOP12, LOOP3, LOOP5, LOOP9, LOOP9_DOALL]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpn_dataflow::interp::execute;
+    use tpn_dataflow::to_petri::to_petri;
+    use tpn_petri::marked::check_live_safe;
+
+    #[test]
+    fn all_kernels_compile_to_live_safe_nets() {
+        for k in kernels() {
+            let sdsp = k.sdsp();
+            assert!(sdsp.num_nodes() >= 1, "{} is empty", k.name);
+            assert_eq!(sdsp.has_loop_carried_dependence(), k.has_lcd, "{}", k.name);
+            let pn = to_petri(&sdsp);
+            assert!(pn.net.is_marked_graph(), "{}", k.name);
+            assert!(check_live_safe(&pn.net, &pn.marking).is_ok(), "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn kernel_sizes_match_their_instruction_counts() {
+        assert_eq!(LOOP1.sdsp().num_nodes(), 5);
+        assert_eq!(LOOP12.sdsp().num_nodes(), 1);
+        assert_eq!(LOOP3.sdsp().num_nodes(), 2);
+        assert_eq!(LOOP5.sdsp().num_nodes(), 2);
+        assert_eq!(LOOP7.sdsp().num_nodes(), 16);
+        assert_eq!(LOOP9_DOALL.sdsp().num_nodes(), 17);
+    }
+
+    #[test]
+    fn environments_cover_all_inputs() {
+        for k in kernels() {
+            let sdsp = k.sdsp();
+            let env = k.env(50);
+            let trace = execute(&sdsp, &env, 50)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            assert_eq!(trace.iterations(), 50);
+        }
+    }
+
+    #[test]
+    fn loop3_computes_an_inner_product() {
+        let sdsp = LOOP3.sdsp();
+        let mut env = Env::new();
+        env.insert("Z", vec![1.0, 2.0, 3.0, 4.0]);
+        env.insert("X", vec![2.0, 2.0, 2.0, 2.0]);
+        let q = sdsp.names()["Q"];
+        let t = execute(&sdsp, &env, 4).unwrap();
+        assert_eq!(t.value(q, 3), 20.0);
+    }
+
+    #[test]
+    fn loop5_matches_direct_recurrence() {
+        let sdsp = LOOP5.sdsp();
+        let mut env = Env::new();
+        let z = vec![0.5, 0.25, 0.125, 0.5];
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        env.insert("Z", z.clone());
+        env.insert("Y", y.clone());
+        let x = sdsp.names()["X"];
+        let t = execute(&sdsp, &env, 4).unwrap();
+        let mut prev = 0.0;
+        for i in 0..4 {
+            let expect = z[i] * (y[i] - prev);
+            assert_eq!(t.value(x, i), expect);
+            prev = expect;
+        }
+    }
+
+    #[test]
+    fn doall_kernels_have_no_feedback_arcs() {
+        for k in [LOOP1, LOOP7, LOOP12, LOOP9_DOALL] {
+            assert!(!k.sdsp().has_loop_carried_dependence(), "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn conservative_loop9_serialises() {
+        use tpn_petri::ratio::critical_ratio;
+        let lcd = LOOP9.sdsp();
+        let pn = to_petri(&lcd);
+        let r = critical_ratio(&pn.net, &pn.marking).unwrap();
+        // The feedback chain through the whole sum makes the critical
+        // cycle much longer than the DOALL variant's fwd/ack cycles.
+        let doall_pn = to_petri(&LOOP9_DOALL.sdsp());
+        let r_doall = critical_ratio(&doall_pn.net, &doall_pn.marking).unwrap();
+        assert!(r.cycle_time > r_doall.cycle_time);
+    }
+}

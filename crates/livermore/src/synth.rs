@@ -1,0 +1,216 @@
+//! Synthetic loop bodies for scaling studies (§5's O(n) detection claim).
+//!
+//! The Livermore kernels fix six data points; to sweep loop-body size `n`
+//! over orders of magnitude the bench harness uses generated loops with
+//! controlled shape: random forward DAGs with tunable fan-in, optional
+//! loop-carried recurrences of configurable distance, deterministic by
+//! seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpn_dataflow::{OpKind, Operand, Sdsp, SdspBuilder};
+
+/// Configuration for [`generate`].
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    /// Number of loop-body nodes (before buffer expansion).
+    pub nodes: usize,
+    /// Probability that an operand references an earlier node rather than
+    /// the environment (controls forward-arc density).
+    pub forward_density: f64,
+    /// Number of loop-carried recurrences to plant (each links a late node
+    /// back to an earlier one at the given distance).
+    pub recurrences: usize,
+    /// Dependence distance of the planted recurrences.
+    pub distance: u32,
+    /// RNG seed; equal configs generate equal loops.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            nodes: 16,
+            forward_density: 0.6,
+            recurrences: 0,
+            distance: 1,
+            seed: 0xACA9,
+        }
+    }
+}
+
+/// Generates a random, valid SDSP according to `config`.
+///
+/// # Panics
+///
+/// Panics if `config.nodes == 0` or `config.distance == 0` when
+/// recurrences are requested.
+///
+/// # Example
+///
+/// ```
+/// use tpn_livermore::synth::{generate, SynthConfig};
+/// let sdsp = generate(&SynthConfig { nodes: 32, ..Default::default() });
+/// assert_eq!(sdsp.num_nodes(), 32);
+/// let same = generate(&SynthConfig { nodes: 32, ..Default::default() });
+/// assert_eq!(same.num_nodes(), 32); // deterministic by seed
+/// ```
+pub fn generate(config: &SynthConfig) -> Sdsp {
+    assert!(config.nodes > 0, "a loop body has at least one node");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = SdspBuilder::new();
+    let mut ids = Vec::with_capacity(config.nodes);
+    for i in 0..config.nodes {
+        let lhs = pick_operand(&mut rng, &ids, config.forward_density, i);
+        let rhs = pick_operand(&mut rng, &ids, config.forward_density, i);
+        ids.push(b.node(format!("n{i}"), OpKind::Add, [lhs, rhs]));
+    }
+    if config.recurrences > 0 {
+        assert!(config.distance > 0, "recurrences need a positive distance");
+        // Plant recurrences from late nodes back to early ones, spread
+        // across the body.
+        for r in 0..config.recurrences {
+            let to = ids[r % ids.len()];
+            let from = ids[ids.len() - 1 - (r % ids.len().max(1)).min(ids.len() - 1)];
+            b.set_operand(to, 0, Operand::feedback(from, config.distance));
+        }
+    }
+    b.finish().expect("synthetic loops are valid by construction")
+}
+
+fn pick_operand(rng: &mut StdRng, ids: &[tpn_dataflow::NodeId], density: f64, i: usize) -> Operand {
+    if !ids.is_empty() && rng.random_bool(density.clamp(0.0, 1.0)) {
+        // Bias toward recent producers for a realistic dependence window.
+        let lo = ids.len().saturating_sub(8);
+        let idx = rng.random_range(lo..ids.len());
+        Operand::node(ids[idx])
+    } else {
+        Operand::env(format!("X{}", i % 4), 0)
+    }
+}
+
+/// A straight dependence chain of `n` unit-time nodes (worst-case depth).
+pub fn chain(n: usize) -> Sdsp {
+    assert!(n > 0, "a loop body has at least one node");
+    let mut b = SdspBuilder::new();
+    let mut prev = None;
+    for i in 0..n {
+        let operand = match prev {
+            None => Operand::env("X", 0),
+            Some(p) => Operand::node(p),
+        };
+        prev = Some(b.node(format!("c{i}"), OpKind::Neg, [operand]));
+    }
+    b.finish().expect("chains are valid")
+}
+
+/// `n` fully independent nodes (maximum width, zero depth).
+pub fn wide(n: usize) -> Sdsp {
+    assert!(n > 0, "a loop body has at least one node");
+    let mut b = SdspBuilder::new();
+    for i in 0..n {
+        b.node(format!("w{i}"), OpKind::Neg, [Operand::env("X", i as i64)]);
+    }
+    b.finish().expect("independent nodes are valid")
+}
+
+/// A chain of `n` nodes whose tail feeds back to its head at distance 1:
+/// a single recurrence spanning the whole body (one long critical cycle).
+pub fn recurrence_ring(n: usize) -> Sdsp {
+    assert!(n > 0, "a loop body has at least one node");
+    let mut b = SdspBuilder::new();
+    let first = b.node("r0", OpKind::Add, [Operand::env("X", 0), Operand::lit(0.0)]);
+    let mut prev = first;
+    for i in 1..n {
+        prev = b.node(format!("r{i}"), OpKind::Neg, [Operand::node(prev)]);
+    }
+    b.set_operand(first, 1, Operand::feedback(prev, 1));
+    b.finish().expect("recurrence rings are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpn_dataflow::to_petri::to_petri;
+    use tpn_petri::marked::check_live_safe;
+    use tpn_petri::ratio::critical_ratio;
+    use tpn_petri::Ratio;
+
+    #[test]
+    fn generated_loops_are_valid_and_deterministic() {
+        let cfg = SynthConfig {
+            nodes: 24,
+            forward_density: 0.7,
+            recurrences: 2,
+            distance: 1,
+            seed: 42,
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.arcs().count(), b.arcs().count());
+        let pn = to_petri(&a);
+        assert!(check_live_safe(&pn.net, &pn.marking).is_ok());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SynthConfig { seed: 1, ..Default::default() });
+        let b = generate(&SynthConfig { seed: 2, ..Default::default() });
+        // Same node count but (almost surely) different wiring.
+        let arcs_a: Vec<_> = a.arcs().map(|(_, x)| (x.from, x.to)).collect();
+        let arcs_b: Vec<_> = b.arcs().map(|(_, x)| (x.from, x.to)).collect();
+        assert_ne!(arcs_a, arcs_b);
+    }
+
+    #[test]
+    fn recurrences_make_it_lcd() {
+        let cfg = SynthConfig {
+            nodes: 12,
+            recurrences: 1,
+            ..Default::default()
+        };
+        assert!(generate(&cfg).has_loop_carried_dependence());
+        let cfg0 = SynthConfig {
+            nodes: 12,
+            recurrences: 0,
+            ..Default::default()
+        };
+        assert!(!generate(&cfg0).has_loop_carried_dependence());
+    }
+
+    #[test]
+    fn shapes_have_expected_rates() {
+        // Chain: fwd/ack two-cycles dominate -> rate 1/2.
+        let pn = to_petri(&chain(10));
+        assert_eq!(
+            critical_ratio(&pn.net, &pn.marking).unwrap().rate,
+            Ratio::new(1, 2)
+        );
+        // Wide: no cycles at all -> rate 1.
+        let pn = to_petri(&wide(10));
+        assert_eq!(
+            critical_ratio(&pn.net, &pn.marking).unwrap().rate,
+            Ratio::ONE
+        );
+        // Recurrence ring of n nodes: critical cycle time n -> rate 1/n.
+        let pn = to_petri(&recurrence_ring(10));
+        assert_eq!(
+            critical_ratio(&pn.net, &pn.marking).unwrap().rate,
+            Ratio::new(1, 10)
+        );
+    }
+
+    #[test]
+    fn distance_two_recurrences_expand_buffers() {
+        let cfg = SynthConfig {
+            nodes: 8,
+            recurrences: 1,
+            distance: 3,
+            ..Default::default()
+        };
+        let s = generate(&cfg);
+        // distance-3 recurrence adds 2 buffer nodes.
+        assert_eq!(s.num_nodes(), 10);
+    }
+}

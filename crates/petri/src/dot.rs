@@ -1,0 +1,100 @@
+//! Graphviz export of nets and markings (for the paper's figures).
+
+use std::fmt::Write as _;
+
+use crate::marking::Marking;
+use crate::net::PetriNet;
+
+/// Renders `net` with `marking` in Graphviz dot format: places as circles
+/// (annotated with their token count), transitions as boxes (annotated with
+/// their execution time when it is not 1).
+///
+/// # Example
+///
+/// ```
+/// use tpn_petri::{PetriNet, Marking};
+/// use tpn_petri::dot::to_dot;
+///
+/// let mut net = PetriNet::new();
+/// let t = net.add_transition("A", 1);
+/// let p = net.add_place("out");
+/// net.connect_tp(t, p);
+/// let dot = to_dot(&net, &Marking::empty(&net));
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("\"A\""));
+/// ```
+pub fn to_dot(net: &PetriNet, marking: &Marking) -> String {
+    let mut out = String::from("digraph petri {\n  rankdir=TB;\n");
+    for (id, place) in net.places() {
+        let tokens = marking.tokens(id);
+        let label = if tokens == 0 {
+            place.name().to_string()
+        } else if tokens == 1 {
+            format!("{} \u{25CF}", place.name())
+        } else {
+            format!("{} \u{25CF}x{}", place.name(), tokens)
+        };
+        let _ = writeln!(
+            out,
+            "  {id} [shape=circle, label=\"{}\"];",
+            escape(&label)
+        );
+    }
+    for (id, transition) in net.transitions() {
+        let label = if transition.time() == 1 {
+            transition.name().to_string()
+        } else {
+            format!("{} ({})", transition.name(), transition.time())
+        };
+        let _ = writeln!(
+            out,
+            "  {id} [shape=box, style=filled, fillcolor=lightgray, label=\"{}\"];",
+            escape(&label)
+        );
+    }
+    for (tid, transition) in net.transitions() {
+        for &p in transition.outputs() {
+            let _ = writeln!(out, "  {tid} -> {p};");
+        }
+        for &p in transition.inputs() {
+            let _ = writeln!(out, "  {p} -> {tid};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_nodes_and_arcs() {
+        let mut net = PetriNet::new();
+        let a = net.add_transition("A", 1);
+        let b = net.add_transition("B", 2);
+        let p = net.add_place("fwd");
+        net.connect_tp(a, p);
+        net.connect_pt(p, b);
+        let m = Marking::from_pairs(&net, [(p, 1)]);
+        let dot = to_dot(&net, &m);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("t0 -> p0"));
+        assert!(dot.contains("p0 -> t1"));
+        assert!(dot.contains("B (2)"));
+        assert!(dot.contains('\u{25CF}'));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn names_with_quotes_are_escaped() {
+        let mut net = PetriNet::new();
+        net.add_transition("say \"hi\"", 1);
+        let dot = to_dot(&net, &Marking::empty(&net));
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+}

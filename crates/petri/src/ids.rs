@@ -1,0 +1,99 @@
+//! Typed indices for places and transitions.
+//!
+//! Nets store their components in arenas; these newtypes make it impossible
+//! to confuse a place index with a transition index (C-NEWTYPE).
+
+use std::fmt;
+
+/// Identifier of a place within a [`crate::PetriNet`].
+///
+/// Displayed as `p<index>`, matching the figures of the paper.
+///
+/// ```
+/// use tpn_petri::PetriNet;
+/// let mut net = tpn_petri::PetriNet::new();
+/// let p = net.add_place("buf");
+/// assert_eq!(p.to_string(), "p0");
+/// # let _ = net;
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PlaceId(pub(crate) u32);
+
+/// Identifier of a transition within a [`crate::PetriNet`].
+///
+/// Displayed as `t<index>`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TransitionId(pub(crate) u32);
+
+impl PlaceId {
+    /// Position of this place in the net's place arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an id from an arena index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        PlaceId(u32::try_from(index).expect("place index overflows u32"))
+    }
+}
+
+impl TransitionId {
+    /// Position of this transition in the net's transition arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an id from an arena index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        TransitionId(u32::try_from(index).expect("transition index overflows u32"))
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for TransitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_indices() {
+        let p = PlaceId::from_index(7);
+        assert_eq!(p.index(), 7);
+        let t = TransitionId::from_index(3);
+        assert_eq!(t.index(), 3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PlaceId::from_index(12).to_string(), "p12");
+        assert_eq!(TransitionId::from_index(0).to_string(), "t0");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(PlaceId::from_index(1) < PlaceId::from_index(2));
+        assert!(TransitionId::from_index(0) < TransitionId::from_index(9));
+    }
+}

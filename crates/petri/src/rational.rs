@@ -1,0 +1,255 @@
+//! A small exact rational type for cycle times and computation rates.
+//!
+//! The quantities of interest in the paper — cycle times `Ω(C)/M(C)` and
+//! computation rates `M(C)/Ω(C)` — are ratios of small integers, so we carry
+//! them exactly rather than as floats. The type is deliberately minimal: it
+//! supports exactly the operations the analyses need.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact non-negative rational number in lowest terms.
+///
+/// ```
+/// use tpn_petri::Ratio;
+/// let a = Ratio::new(4, 6);
+/// assert_eq!(a, Ratio::new(2, 3));
+/// assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+/// assert_eq!(a.to_string(), "2/3");
+/// assert_eq!(Ratio::new(6, 3).to_string(), "2");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Ratio {
+    num: u64,
+    den: u64,
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+impl Ratio {
+    /// The rational number zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// The rational number one.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Creates `num / den` reduced to lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: u64, den: u64) -> Self {
+        assert!(den != 0, "denominator must be nonzero");
+        let g = gcd(num, den);
+        Ratio {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    /// Creates the integer `n` as a rational.
+    pub const fn from_integer(n: u64) -> Self {
+        Ratio { num: n, den: 1 }
+    }
+
+    /// Numerator in lowest terms.
+    pub fn numer(self) -> u64 {
+        self.num
+    }
+
+    /// Denominator in lowest terms (always nonzero).
+    pub fn denom(self) -> u64 {
+        self.den
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    pub fn recip(self) -> Self {
+        assert!(self.num != 0, "cannot invert zero");
+        Ratio {
+            num: self.den,
+            den: self.num,
+        }
+    }
+
+    /// The value as an `f64`, for reporting only.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, other: Ratio) -> Option<Ratio> {
+        let num = (self.num as u128)
+            .checked_mul(other.den as u128)?
+            .checked_add((other.num as u128).checked_mul(self.den as u128)?)?;
+        let den = (self.den as u128).checked_mul(other.den as u128)?;
+        let g = gcd128(num, den);
+        Some(Ratio {
+            num: u64::try_from(num / g).ok()?,
+            den: u64::try_from(den / g).ok()?,
+        })
+    }
+
+    /// Checked multiplication.
+    pub fn checked_mul(self, other: Ratio) -> Option<Ratio> {
+        let num = (self.num as u128).checked_mul(other.num as u128)?;
+        let den = (self.den as u128).checked_mul(other.den as u128)?;
+        let g = gcd128(num, den);
+        Some(Ratio {
+            num: u64::try_from(num / g).ok()?,
+            den: u64::try_from(den / g).ok()?,
+        })
+    }
+
+    /// Whether `self` equals the integer `n`.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+}
+
+fn gcd128(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 && b == 0 {
+        return 1;
+    }
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    if a == 0 {
+        1
+    } else {
+        a
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let lhs = (self.num as u128) * (other.den as u128);
+        let rhs = (other.num as u128) * (self.den as u128);
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<u64> for Ratio {
+    fn from(n: u64) -> Self {
+        Ratio::from_integer(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_lowest_terms() {
+        let r = Ratio::new(12, 8);
+        assert_eq!(r.numer(), 3);
+        assert_eq!(r.denom(), 2);
+    }
+
+    #[test]
+    fn zero_numerator_normalises() {
+        let r = Ratio::new(0, 17);
+        assert_eq!(r, Ratio::ZERO);
+        assert_eq!(r.denom(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be nonzero")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    fn ordering_cross_multiplies() {
+        assert!(Ratio::new(1, 3) < Ratio::new(2, 5));
+        assert!(Ratio::new(7, 2) > Ratio::new(10, 3));
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn recip_swaps() {
+        assert_eq!(Ratio::new(3, 7).recip(), Ratio::new(7, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot invert zero")]
+    fn recip_zero_panics() {
+        let _ = Ratio::ZERO.recip();
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Ratio::new(1, 2);
+        let b = Ratio::new(1, 3);
+        assert_eq!(a.checked_add(b).unwrap(), Ratio::new(5, 6));
+        assert_eq!(a.checked_mul(b).unwrap(), Ratio::new(1, 6));
+    }
+
+    #[test]
+    fn display_integers_without_denominator() {
+        assert_eq!(Ratio::new(4, 2).to_string(), "2");
+        assert_eq!(Ratio::new(1, 2).to_string(), "1/2");
+        assert_eq!(Ratio::ZERO.to_string(), "0");
+    }
+
+    #[test]
+    fn to_f64_matches() {
+        assert!((Ratio::new(1, 4).to_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_integer_conversion() {
+        let r: Ratio = 5u64.into();
+        assert!(r.is_integer());
+        assert_eq!(r, Ratio::new(5, 1));
+    }
+
+    #[test]
+    fn checked_ops_survive_large_operands() {
+        // Large but representable: u128 intermediates reduce back to u64.
+        let big = Ratio::new(u64::MAX / 2, 3);
+        assert!(big.checked_add(Ratio::new(1, 3)).is_some());
+        assert!(big.checked_mul(Ratio::new(3, u64::MAX / 2)).is_some());
+        // Unreducible overflow reports None instead of wrapping.
+        let huge = Ratio::new(u64::MAX, 1);
+        assert_eq!(huge.checked_mul(huge), None);
+        assert_eq!(huge.checked_add(Ratio::new(1, 3)), None);
+    }
+
+    #[test]
+    fn ordering_is_total_on_extremes() {
+        let max = Ratio::new(u64::MAX, 1);
+        let min = Ratio::new(1, u64::MAX);
+        assert!(min < Ratio::ONE);
+        assert!(Ratio::ONE < max);
+        assert!(Ratio::ZERO < min);
+        assert_eq!(max.cmp(&max), std::cmp::Ordering::Equal);
+    }
+}

@@ -1,0 +1,523 @@
+//! Timed execution under the earliest firing rule (Appendix A.6).
+//!
+//! The state of a timed Petri net at an instant is an
+//! [`InstantaneousState`]: the current marking plus the *residual firing
+//! time vector* `R`, which records, for each transition, how many cycles of
+//! an ongoing firing remain (Chretienne). Execution proceeds in discrete
+//! unit time steps:
+//!
+//! 1. ongoing firings whose residual reaches zero **complete**, depositing
+//!    one token on each output place;
+//! 2. idle transitions whose input places are all marked **start**,
+//!    consuming their input tokens and setting their residual to `τ`
+//!    (Assumption A.6.2, the earliest firing rule).
+//!
+//! Assumption A.6.1 — distinct firings of a transition never overlap — is
+//! enforced directly by the residual vector instead of materialising the
+//! implicit self-loop place.
+//!
+//! For nets with structural conflicts (the run place of the SDSP-SCP-PN
+//! model of §5.2), the set of transitions to start is no longer unique; a
+//! [`ChoicePolicy`] resolves the choice deterministically, matching
+//! Assumption 5.2.1 ("the machine exhibits repeatable behavior"). The
+//! policy's internal state participates in state hashing via
+//! [`ChoicePolicy::fingerprint`], so cyclic-frustum detection remains sound.
+
+use std::hash::{Hash, Hasher};
+
+use crate::error::PetriError;
+use crate::ids::TransitionId;
+use crate::marking::Marking;
+use crate::net::PetriNet;
+
+/// Marking plus residual firing times: the full execution state at an
+/// instant.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct InstantaneousState {
+    /// Tokens on each place.
+    pub marking: Marking,
+    /// Remaining execution time per transition; `0` means idle.
+    pub residual: Vec<u64>,
+}
+
+impl InstantaneousState {
+    /// The initial state: `marking` with every transition idle.
+    pub fn initial(net: &PetriNet, marking: Marking) -> Self {
+        InstantaneousState {
+            marking,
+            residual: vec![0; net.num_transitions()],
+        }
+    }
+
+    /// Whether transition `t` is currently firing.
+    pub fn is_busy(&self, t: TransitionId) -> bool {
+        self.residual[t.index()] > 0
+    }
+
+    /// Whether no transition is currently firing.
+    pub fn all_idle(&self) -> bool {
+        self.residual.iter().all(|&r| r == 0)
+    }
+
+    /// Whether `t` can start now: idle, and every input place marked.
+    pub fn can_start(&self, net: &PetriNet, t: TransitionId) -> bool {
+        !self.is_busy(t) && self.marking.enables(net, t)
+    }
+
+    /// Transitions that can start now, in id order.
+    pub fn startable(&self, net: &PetriNet) -> Vec<TransitionId> {
+        net.transition_ids()
+            .filter(|&t| self.can_start(net, t))
+            .collect()
+    }
+}
+
+/// Everything a [`ChoicePolicy`] may inspect when resolving a choice.
+#[derive(Debug)]
+pub struct PolicyCtx<'a> {
+    /// The net being executed.
+    pub net: &'a PetriNet,
+    /// The current state (marking + residuals), mid-instant.
+    pub state: &'a InstantaneousState,
+    /// Transitions that can start right now, in id order.
+    pub startable: &'a [TransitionId],
+    /// The current instant.
+    pub time: u64,
+}
+
+/// Deterministic conflict resolution for nets with structural conflicts.
+///
+/// Within one instant the engine repeatedly asks the policy for the next
+/// transition to start; returning `None` ends the instant. Implementations
+/// must be deterministic functions of the observable history so that a
+/// repeated instantaneous state implies repeated behaviour (the paper's
+/// Assumption 5.2.1); any internal state must be exposed through
+/// [`fingerprint`](ChoicePolicy::fingerprint).
+pub trait ChoicePolicy {
+    /// Picks the next transition to start, from `ctx.startable` (never
+    /// empty). Returning `None` leaves the remaining startable transitions
+    /// idle this instant.
+    fn choose(&mut self, ctx: &PolicyCtx<'_>) -> Option<TransitionId>;
+
+    /// Notifies the policy that an instant ended (after all completions and
+    /// starts). Default: no-op.
+    fn on_instant_end(&mut self, _net: &PetriNet, _state: &InstantaneousState, _time: u64) {}
+
+    /// A digest of the policy's internal state, combined with the
+    /// instantaneous state when detecting repeated states. Stateless
+    /// policies return 0 (the default).
+    fn fingerprint(&self) -> u64 {
+        0
+    }
+}
+
+/// The maximally parallel policy: starts **every** startable transition.
+///
+/// On persistent nets (marked graphs) this is the unique earliest-firing
+/// behaviour; on nets with conflicts it greedily fires in transition-id
+/// order, which is deterministic but usually not what a resource model
+/// wants — use a queueing policy there.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EagerPolicy;
+
+impl ChoicePolicy for EagerPolicy {
+    fn choose(&mut self, ctx: &PolicyCtx<'_>) -> Option<TransitionId> {
+        ctx.startable.first().copied()
+    }
+}
+
+/// One executed instant: what completed, what started, and the state left
+/// behind.
+#[derive(Clone, Debug)]
+pub struct StepRecord {
+    /// The instant at which these events happened.
+    pub time: u64,
+    /// Transitions whose firing completed at this instant (tokens
+    /// deposited), in id order.
+    pub completed: Vec<TransitionId>,
+    /// Transitions that started firing at this instant (tokens consumed),
+    /// in start order.
+    pub started: Vec<TransitionId>,
+    /// The instantaneous state after all events of this instant.
+    pub state: InstantaneousState,
+    /// The policy fingerprint after this instant.
+    pub policy_fingerprint: u64,
+}
+
+impl StepRecord {
+    /// Hash of `(state, policy_fingerprint)`, the repetition key used for
+    /// cyclic-frustum detection.
+    pub fn state_key(&self) -> StateKey {
+        StateKey {
+            state: self.state.clone(),
+            policy_fingerprint: self.policy_fingerprint,
+        }
+    }
+}
+
+/// The repetition key for frustum detection: instantaneous state plus the
+/// conflict-resolution policy's internal state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StateKey {
+    /// Marking and residual firing times.
+    pub state: InstantaneousState,
+    /// Digest of the policy state.
+    pub policy_fingerprint: u64,
+}
+
+impl Hash for StateKey {
+    fn hash<H: Hasher>(&self, h: &mut H) {
+        self.state.hash(h);
+        self.policy_fingerprint.hash(h);
+    }
+}
+
+/// Discrete-time earliest-firing execution engine.
+///
+/// # Example
+///
+/// ```
+/// use tpn_petri::{PetriNet, Marking};
+/// use tpn_petri::timed::{Engine, EagerPolicy};
+///
+/// // A ring of two transitions: fires alternately forever.
+/// let mut net = PetriNet::new();
+/// let a = net.add_transition("A", 1);
+/// let b = net.add_transition("B", 1);
+/// let ab = net.add_place("ab");
+/// let ba = net.add_place("ba");
+/// net.connect_tp(a, ab);
+/// net.connect_pt(ab, b);
+/// net.connect_tp(b, ba);
+/// net.connect_pt(ba, a);
+/// let m = Marking::from_pairs(&net, [(ba, 1)]);
+///
+/// let mut engine = Engine::new(&net, m, EagerPolicy);
+/// assert_eq!(engine.start().started, vec![a]);
+/// assert_eq!(engine.tick().started, vec![b]);
+/// assert_eq!(engine.tick().started, vec![a]);
+/// ```
+#[derive(Debug)]
+pub struct Engine<'a, P> {
+    net: &'a PetriNet,
+    state: InstantaneousState,
+    time: u64,
+    policy: P,
+    started: bool,
+}
+
+impl<'a, P: ChoicePolicy> Engine<'a, P> {
+    /// Creates an engine over `net` at `initial_marking` with all
+    /// transitions idle, at time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some transition has execution time 0 (use
+    /// [`PetriNet::validate_times`] to check first).
+    pub fn new(net: &'a PetriNet, initial_marking: Marking, policy: P) -> Self {
+        net.validate_times()
+            .unwrap_or_else(|e| panic!("invalid net for timed execution: {e}"));
+        Engine {
+            net,
+            state: InstantaneousState::initial(net, initial_marking),
+            time: 0,
+            policy,
+            started: false,
+        }
+    }
+
+    /// Fallible constructor variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PetriError::ZeroExecutionTime`] if some transition has
+    /// `τ = 0`.
+    pub fn try_new(
+        net: &'a PetriNet,
+        initial_marking: Marking,
+        policy: P,
+    ) -> Result<Self, PetriError> {
+        net.validate_times()?;
+        Ok(Engine {
+            net,
+            state: InstantaneousState::initial(net, initial_marking),
+            time: 0,
+            policy,
+            started: false,
+        })
+    }
+
+    /// Executes instant 0: fires the initially enabled transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice, or after [`tick`](Self::tick).
+    pub fn start(&mut self) -> StepRecord {
+        assert!(!self.started, "start() must be the first step");
+        self.started = true;
+        let completed = Vec::new();
+        let started = self.fire_phase();
+        self.policy
+            .on_instant_end(self.net, &self.state, self.time);
+        StepRecord {
+            time: self.time,
+            completed,
+            started,
+            state: self.state.clone(),
+            policy_fingerprint: self.policy.fingerprint(),
+        }
+    }
+
+    /// Executes the next instant: completions, then earliest-rule starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`start`](Self::start) has not been called.
+    pub fn tick(&mut self) -> StepRecord {
+        assert!(self.started, "call start() before tick()");
+        self.time += 1;
+        let completed = self.complete_phase();
+        let started = self.fire_phase();
+        self.policy
+            .on_instant_end(self.net, &self.state, self.time);
+        StepRecord {
+            time: self.time,
+            completed,
+            started,
+            state: self.state.clone(),
+            policy_fingerprint: self.policy.fingerprint(),
+        }
+    }
+
+    /// Advances busy transitions by one cycle; completes those reaching 0.
+    fn complete_phase(&mut self) -> Vec<TransitionId> {
+        let mut completed = Vec::new();
+        for idx in 0..self.state.residual.len() {
+            if self.state.residual[idx] > 0 {
+                self.state.residual[idx] -= 1;
+                if self.state.residual[idx] == 0 {
+                    let t = TransitionId::from_index(idx);
+                    self.state.marking.produce_outputs(self.net, t);
+                    completed.push(t);
+                }
+            }
+        }
+        completed
+    }
+
+    /// Starts transitions under the earliest firing rule, consulting the
+    /// policy while choices remain.
+    fn fire_phase(&mut self) -> Vec<TransitionId> {
+        let mut started = Vec::new();
+        loop {
+            let startable = self.state.startable(self.net);
+            if startable.is_empty() {
+                break;
+            }
+            let ctx = PolicyCtx {
+                net: self.net,
+                state: &self.state,
+                startable: &startable,
+                time: self.time,
+            };
+            let Some(t) = self.policy.choose(&ctx) else {
+                break;
+            };
+            assert!(
+                startable.contains(&t),
+                "policy chose {t}, which cannot start now"
+            );
+            self.state.marking.consume_inputs(self.net, t);
+            self.state.residual[t.index()] = self.net.transition(t).time();
+            started.push(t);
+        }
+        started
+    }
+
+    /// The current instant (0 until the first [`tick`](Self::tick)).
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// The current instantaneous state.
+    pub fn state(&self) -> &InstantaneousState {
+        &self.state
+    }
+
+    /// The net being executed.
+    pub fn net(&self) -> &'a PetriNet {
+        self.net
+    }
+
+    /// The repetition key of the current state (see [`StateKey`]).
+    pub fn state_key(&self) -> StateKey {
+        StateKey {
+            state: self.state.clone(),
+            policy_fingerprint: self.policy.fingerprint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// L1-like diamond with acknowledgement arcs: A feeds B and C, both
+    /// feed D. All unit times.
+    fn diamond() -> (PetriNet, Marking, Vec<TransitionId>) {
+        let mut net = PetriNet::new();
+        let a = net.add_transition("A", 1);
+        let b = net.add_transition("B", 1);
+        let c = net.add_transition("C", 1);
+        let d = net.add_transition("D", 1);
+        let mut marking_pairs = Vec::new();
+        let wire = |net: &mut PetriNet, from: TransitionId, to: TransitionId| {
+            let fwd = net.add_place(format!("{from}->{to}"));
+            let ack = net.add_place(format!("{to}=>{from}"));
+            net.connect_tp(from, fwd);
+            net.connect_pt(fwd, to);
+            net.connect_tp(to, ack);
+            net.connect_pt(ack, from);
+            ack
+        };
+        for (x, y) in [(a, b), (a, c), (b, d), (c, d)] {
+            let ack = wire(&mut net, x, y);
+            marking_pairs.push((ack, 1));
+        }
+        let m = Marking::from_pairs(&net, marking_pairs);
+        (net, m, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn earliest_rule_fires_wavefronts() {
+        let (net, m, ts) = diamond();
+        let (a, b, c, d) = (ts[0], ts[1], ts[2], ts[3]);
+        let mut engine = Engine::new(&net, m, EagerPolicy);
+        assert_eq!(engine.start().started, vec![a]);
+        let s1 = engine.tick();
+        assert_eq!(s1.completed, vec![a]);
+        assert_eq!(s1.started, vec![b, c]);
+        let s2 = engine.tick();
+        // B and C complete; D starts, and A restarts (acks from B, C).
+        assert_eq!(s2.completed, vec![b, c]);
+        assert_eq!(s2.started, vec![a, d]);
+    }
+
+    #[test]
+    fn residuals_track_multi_cycle_transitions() {
+        let mut net = PetriNet::new();
+        let a = net.add_transition("slow", 3);
+        let p = net.add_place("self");
+        net.connect_tp(a, p);
+        net.connect_pt(p, a);
+        let m = Marking::from_pairs(&net, [(p, 1)]);
+        let mut engine = Engine::new(&net, m, EagerPolicy);
+        let s0 = engine.start();
+        assert_eq!(s0.started, vec![a]);
+        assert!(engine.state().is_busy(a));
+        let s1 = engine.tick();
+        assert!(s1.completed.is_empty() && s1.started.is_empty());
+        let s2 = engine.tick();
+        assert!(s2.completed.is_empty());
+        let s3 = engine.tick();
+        // Completes after exactly 3 cycles and immediately restarts.
+        assert_eq!(s3.completed, vec![a]);
+        assert_eq!(s3.started, vec![a]);
+        assert_eq!(engine.time(), 3);
+    }
+
+    #[test]
+    fn non_reentrance_is_enforced_without_self_loop() {
+        // A source-like transition (no inputs) must not overlap itself.
+        let mut net = PetriNet::new();
+        let src = net.add_transition("src", 2);
+        let sink = net.add_transition("sink", 1);
+        let p = net.add_place("p");
+        let back = net.add_place("back");
+        net.connect_tp(src, p);
+        net.connect_pt(p, sink);
+        net.connect_tp(sink, back);
+        net.connect_pt(back, src);
+        let m = Marking::from_pairs(&net, [(back, 1)]);
+        let mut engine = Engine::new(&net, m, EagerPolicy);
+        engine.start();
+        let s1 = engine.tick();
+        // src is mid-firing: nothing new starts even though it has no
+        // unmarked inputs (its only input is empty anyway here).
+        assert!(s1.started.is_empty());
+        let s2 = engine.tick();
+        assert_eq!(s2.completed, vec![src]);
+        assert_eq!(s2.started, vec![sink]);
+    }
+
+    #[test]
+    fn deterministic_replay_from_equal_states() {
+        let (net, m, _) = diamond();
+        let mut e1 = Engine::new(&net, m.clone(), EagerPolicy);
+        let mut e2 = Engine::new(&net, m, EagerPolicy);
+        e1.start();
+        e2.start();
+        for _ in 0..20 {
+            let s1 = e1.tick();
+            let s2 = e2.tick();
+            assert_eq!(s1.started, s2.started);
+            assert_eq!(s1.state, s2.state);
+        }
+    }
+
+    #[test]
+    fn state_key_distinguishes_policy_state() {
+        struct Counter(u64);
+        impl ChoicePolicy for Counter {
+            fn choose(&mut self, ctx: &PolicyCtx<'_>) -> Option<TransitionId> {
+                ctx.startable.first().copied()
+            }
+            fn on_instant_end(&mut self, _: &PetriNet, _: &InstantaneousState, _: u64) {
+                self.0 += 1;
+            }
+            fn fingerprint(&self) -> u64 {
+                self.0
+            }
+        }
+        let (net, m, _) = diamond();
+        let mut engine = Engine::new(&net, m, Counter(0));
+        let s0 = engine.start();
+        let s2 = {
+            engine.tick();
+            engine.tick()
+        };
+        assert_ne!(s0.state_key(), s2.state_key());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid net")]
+    fn zero_time_rejected_by_engine() {
+        let mut net = PetriNet::new();
+        net.add_transition("z", 0);
+        let m = Marking::empty(&net);
+        let _ = Engine::new(&net, m, EagerPolicy);
+    }
+
+    #[test]
+    fn try_new_reports_zero_time() {
+        let mut net = PetriNet::new();
+        let t = net.add_transition("z", 0);
+        let m = Marking::empty(&net);
+        match Engine::try_new(&net, m, EagerPolicy) {
+            Err(PetriError::ZeroExecutionTime { transition }) => assert_eq!(transition, t),
+            other => panic!("expected ZeroExecutionTime, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_net_idles_forever() {
+        let (net, _, _) = diamond();
+        let mut engine = Engine::new(&net, Marking::empty(&net), EagerPolicy);
+        assert!(engine.start().started.is_empty());
+        for _ in 0..5 {
+            let s = engine.tick();
+            assert!(s.started.is_empty() && s.completed.is_empty());
+        }
+        assert!(engine.state().all_idle());
+    }
+}

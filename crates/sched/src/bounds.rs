@@ -1,0 +1,139 @@
+//! Detection bounds (§4 and §5 of the paper).
+//!
+//! §4 proves polynomial worst-case bounds on when the cyclic frustum
+//! appears under the earliest firing rule:
+//!
+//! * one critical cycle: periodic firing for **all** nodes after O(n³)
+//!   iterations, i.e. O(n⁴) time steps (Theorems 4.1.1/4.1.2);
+//! * multiple critical cycles: periodic firing for nodes **on** critical
+//!   cycles after O(n²) iterations / O(n³) steps (Theorems 4.2.1/4.2.2);
+//!   off-cycle nodes remain open.
+//!
+//! §5 observes empirically that on real loops the frustum appears within
+//! `O(n)` steps — within `2n` for the SDSP-PN (Table 1) and within
+//! `2·n·l` for the SDSP-SCP-PN with an `l`-stage pipeline (Table 2's `BD`
+//! column). These are the bounds the bench harness checks.
+
+use tpn_petri::rational::Ratio;
+
+use crate::frustum::FrustumReport;
+
+/// The empirically tight detection bound for SDSP-PNs: `2n` time steps
+/// (Table 1).
+pub fn bd_sdsp(n: usize) -> u64 {
+    2 * n as u64
+}
+
+/// The empirically tight detection bound for SDSP-SCP-PNs: `2·n·l` time
+/// steps (Table 2, where `l = 8`).
+pub fn bd_scp(n: usize, depth: u64) -> u64 {
+    2 * n as u64 * depth
+}
+
+/// The proven worst-case step bound for nets with a single critical
+/// cycle: O(n⁴), here with constant 1 (Theorem 4.1.2).
+pub fn theoretical_steps_single_critical(n: usize) -> u64 {
+    (n as u64).pow(4)
+}
+
+/// The proven worst-case step bound for periodic firing of nodes **on**
+/// critical cycles with multiple critical cycles: O(n³)
+/// (Theorem 4.2.2).
+pub fn theoretical_steps_multiple_critical(n: usize) -> u64 {
+    (n as u64).pow(3)
+}
+
+/// How a measured detection compares against the paper's bounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundCheck {
+    /// Loop body size `n`.
+    pub n: usize,
+    /// Measured repeat time (when the terminal state was found).
+    pub repeat_time: u64,
+    /// The empirical `BD` bound for the model.
+    pub bd: u64,
+    /// The proven polynomial bound.
+    pub theoretical: u64,
+}
+
+impl BoundCheck {
+    /// Checks an SDSP-PN frustum against `2n` and `n⁴`.
+    pub fn sdsp(n: usize, frustum: &FrustumReport) -> Self {
+        BoundCheck {
+            n,
+            repeat_time: frustum.repeat_time,
+            bd: bd_sdsp(n),
+            theoretical: theoretical_steps_single_critical(n),
+        }
+    }
+
+    /// Checks an SDSP-SCP-PN frustum against `2·n·l` and `n⁴` scaled by
+    /// the pipeline depth.
+    pub fn scp(n: usize, depth: u64, frustum: &FrustumReport) -> Self {
+        BoundCheck {
+            n,
+            repeat_time: frustum.repeat_time,
+            bd: bd_scp(n, depth),
+            theoretical: theoretical_steps_single_critical(n).saturating_mul(depth),
+        }
+    }
+
+    /// Whether detection met the empirical linear bound.
+    pub fn within_bd(&self) -> bool {
+        self.repeat_time <= self.bd
+    }
+
+    /// Whether detection met the proven polynomial bound.
+    pub fn within_theoretical(&self) -> bool {
+        self.repeat_time <= self.theoretical
+    }
+
+    /// Detection cost normalised by loop size: `repeat_time / n`. The §5
+    /// claim is that this stays O(1).
+    pub fn steps_per_node(&self) -> Ratio {
+        Ratio::new(self.repeat_time, self.n as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frustum::detect_frustum_eager;
+    use tpn_dataflow::to_petri::to_petri;
+    use tpn_dataflow::{OpKind, Operand, SdspBuilder};
+
+    #[test]
+    fn bound_formulas() {
+        assert_eq!(bd_sdsp(5), 10);
+        assert_eq!(bd_scp(5, 8), 80);
+        assert_eq!(theoretical_steps_single_critical(5), 625);
+        assert_eq!(theoretical_steps_multiple_critical(5), 125);
+    }
+
+    #[test]
+    fn chain_loops_meet_bd() {
+        // Linear chains of varying length all detect within 2n.
+        for n in [2usize, 5, 10, 20, 40] {
+            let mut b = SdspBuilder::new();
+            let mut prev = None;
+            for i in 0..n {
+                let operand = match prev {
+                    None => Operand::env("X", 0),
+                    Some(p) => Operand::node(p),
+                };
+                prev = Some(b.node(format!("N{i}"), OpKind::Neg, [operand]));
+            }
+            let pn = to_petri(&b.finish().unwrap());
+            let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 10_000).unwrap();
+            let check = BoundCheck::sdsp(n, &f);
+            assert!(
+                check.within_bd(),
+                "n={n}: repeat at {} > {}",
+                check.repeat_time,
+                check.bd
+            );
+            assert!(check.within_theoretical());
+            assert!(check.steps_per_node() <= Ratio::from_integer(2));
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Cyclic-frustum detection (§3.3 of the paper).
+//!
+//! The behaviour graph of an SDSP-PN under the earliest firing rule is an
+//! infinite trace, but because the net is live and safe (and the choice
+//! policy deterministic), the instantaneous state — marking plus residual
+//! firing times plus policy state — ranges over a finite set, so some state
+//! repeats; from then on the whole trace repeats (Lemmas 3.3.1/3.3.2 and
+//! 5.2.1). The segment between the first repeated state's two occurrences
+//! is the **cyclic frustum**; its firing counts and length give the
+//! steady-state computation rate of every transition.
+//!
+//! §4 of the paper proves the repetition happens within a polynomial number
+//! of steps (O(n⁴) for a single critical cycle); §5 observes that on real
+//! loops it appears within `O(n)` steps. [`detect_frustum`] simply runs the
+//! engine with a step budget and hashes states.
+
+use std::collections::HashMap;
+
+use tpn_petri::rational::Ratio;
+use tpn_petri::timed::{ChoicePolicy, EagerPolicy, Engine, StepRecord};
+use tpn_petri::{Marking, PetriNet, TransitionId};
+
+use crate::error::SchedError;
+
+/// The detected cyclic frustum plus the full trace leading to it.
+#[derive(Clone, Debug)]
+pub struct FrustumReport {
+    /// The full trace: `steps[u]` is the record of instant `u`, for
+    /// `u = 0 ..= repeat_time`.
+    pub steps: Vec<StepRecord>,
+    /// Instant of the first occurrence of the repeated state (the *initial
+    /// instantaneous state* of Definition 3.3.1). `start time` in Table 1.
+    pub start_time: u64,
+    /// Instant of the second occurrence (the *terminal instantaneous
+    /// state*). `repeat time` in Table 1.
+    pub repeat_time: u64,
+    /// Firings of each transition within the frustum window
+    /// `(start_time, repeat_time]`.
+    pub counts: Vec<u64>,
+}
+
+impl FrustumReport {
+    /// The frustum length `repeat_time − start_time` (Table 1's "length of
+    /// frustum"). The steady state repeats with this period.
+    pub fn period(&self) -> u64 {
+        self.repeat_time - self.start_time
+    }
+
+    /// The steady-state computation rate of `t`: firings per cycle.
+    pub fn rate_of(&self, t: TransitionId) -> Ratio {
+        Ratio::new(self.counts[t.index()], self.period())
+    }
+
+    /// The per-transition firing count if it is the same for every
+    /// transition (always true for connected marked graphs, by
+    /// Theorem A.5.3), else `None`.
+    pub fn uniform_count(&self) -> Option<u64> {
+        let first = *self.counts.first()?;
+        self.counts.iter().all(|&c| c == first).then_some(first)
+    }
+
+    /// The steps inside the frustum window `(start_time, repeat_time]` —
+    /// the repeating kernel of the behaviour graph.
+    pub fn frustum_steps(&self) -> &[StepRecord] {
+        &self.steps[(self.start_time + 1) as usize..=(self.repeat_time as usize)]
+    }
+
+    /// The steps before the window (the pipeline fill / prologue).
+    pub fn prologue_steps(&self) -> &[StepRecord] {
+        &self.steps[..=(self.start_time as usize)]
+    }
+
+    /// Start instants of every firing of `t` recorded in the trace
+    /// (prologue and frustum), in increasing order.
+    pub fn start_times_of(&self, t: TransitionId) -> Vec<u64> {
+        self.steps
+            .iter()
+            .flat_map(|s| {
+                s.started
+                    .iter()
+                    .filter(move |&&x| x == t)
+                    .map(move |_| s.time)
+            })
+            .collect()
+    }
+
+    /// Total firings of `t` over the whole recorded trace.
+    pub fn total_starts_of(&self, t: TransitionId) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| s.started.iter().filter(|&&x| x == t).count() as u64)
+            .sum()
+    }
+}
+
+/// Runs `net` from `marking` under `policy` and the earliest firing rule
+/// until an instantaneous state repeats, within `max_steps` instants.
+///
+/// # Errors
+///
+/// * [`SchedError::FrustumNotFound`] if no state repeats within the budget.
+/// * [`SchedError::Deadlock`] if the net goes permanently idle (not
+///   possible for live markings).
+/// * [`SchedError::Petri`] for structurally invalid nets (zero execution
+///   times).
+///
+/// # Example
+///
+/// See [`detect_frustum_eager`] for the common persistent-net form.
+pub fn detect_frustum<P: ChoicePolicy>(
+    net: &PetriNet,
+    marking: Marking,
+    policy: P,
+    max_steps: u64,
+) -> Result<FrustumReport, SchedError> {
+    let mut engine = Engine::try_new(net, marking, policy)?;
+    let mut seen: HashMap<tpn_petri::timed::StateKey, u64> = HashMap::new();
+    let mut steps = Vec::new();
+
+    let first = engine.start();
+    seen.insert(first.state_key(), first.time);
+    steps.push(first);
+
+    loop {
+        let step = engine.tick();
+        let time = step.time;
+        if step.started.is_empty() && step.completed.is_empty() && step.state.all_idle() {
+            return Err(SchedError::Deadlock { time });
+        }
+        let key = step.state_key();
+        steps.push(step);
+        if let Some(&start_time) = seen.get(&key) {
+            let mut counts = vec![0u64; net.num_transitions()];
+            for s in &steps[(start_time + 1) as usize..=time as usize] {
+                for &t in &s.started {
+                    counts[t.index()] += 1;
+                }
+            }
+            return Ok(FrustumReport {
+                steps,
+                start_time,
+                repeat_time: time,
+                counts,
+            });
+        }
+        seen.insert(key, time);
+        if time >= max_steps {
+            return Err(SchedError::FrustumNotFound {
+                max_steps,
+            });
+        }
+    }
+}
+
+/// [`detect_frustum`] with the maximally parallel [`EagerPolicy`] — the
+/// earliest firing rule on persistent nets (plain SDSP-PNs).
+///
+/// # Errors
+///
+/// Same as [`detect_frustum`].
+///
+/// # Example
+///
+/// ```
+/// use tpn_dataflow::{SdspBuilder, OpKind, Operand};
+/// use tpn_dataflow::to_petri::to_petri;
+/// use tpn_sched::frustum::detect_frustum_eager;
+///
+/// let mut b = SdspBuilder::new();
+/// let a = b.node("A", OpKind::Add, [Operand::env("X", 0), Operand::lit(5.0)]);
+/// let _b2 = b.node("B", OpKind::Neg, [Operand::node(a)]);
+/// let pn = to_petri(&b.finish()?);
+/// let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000)?;
+/// // Both nodes settle into firing once every 2 cycles.
+/// assert_eq!(f.period(), 2);
+/// assert_eq!(f.uniform_count(), Some(1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn detect_frustum_eager(
+    net: &PetriNet,
+    marking: Marking,
+    max_steps: u64,
+) -> Result<FrustumReport, SchedError> {
+    detect_frustum(net, marking, EagerPolicy, max_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpn_dataflow::to_petri::to_petri;
+    use tpn_dataflow::{OpKind, Operand, Sdsp, SdspBuilder};
+
+    fn l1() -> Sdsp {
+        let mut b = SdspBuilder::new();
+        let a = b.node("A", OpKind::Add, [Operand::env("X", 0), Operand::lit(5.0)]);
+        let bb = b.node("B", OpKind::Add, [Operand::env("Y", 0), Operand::node(a)]);
+        let c = b.node("C", OpKind::Add, [Operand::node(a), Operand::env("Z", 0)]);
+        let d = b.node("D", OpKind::Add, [Operand::node(bb), Operand::node(c)]);
+        let _e = b.node("E", OpKind::Add, [Operand::env("W", 0), Operand::node(d)]);
+        b.finish().unwrap()
+    }
+
+    fn l2() -> Sdsp {
+        let mut b = SdspBuilder::new();
+        let a = b.node("A", OpKind::Add, [Operand::env("X", 0), Operand::lit(5.0)]);
+        let bb = b.node("B", OpKind::Add, [Operand::env("Y", 0), Operand::node(a)]);
+        let c = b.node("C", OpKind::Add, [Operand::node(a), Operand::lit(0.0)]);
+        let d = b.node("D", OpKind::Add, [Operand::node(bb), Operand::node(c)]);
+        let e = b.node("E", OpKind::Add, [Operand::env("W", 0), Operand::node(d)]);
+        b.set_operand(c, 1, Operand::feedback(e, 1));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn l1_frustum_has_rate_one_half() {
+        let pn = to_petri(&l1());
+        let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000).unwrap();
+        assert_eq!(f.period(), 2);
+        assert_eq!(f.uniform_count(), Some(1));
+        for t in pn.net.transition_ids() {
+            assert_eq!(f.rate_of(t), Ratio::new(1, 2));
+        }
+        // The paper observes detection within 2n steps.
+        assert!(f.repeat_time <= 2 * pn.net.num_transitions() as u64);
+    }
+
+    #[test]
+    fn l2_frustum_matches_critical_cycle_rate() {
+        let pn = to_petri(&l2());
+        let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000).unwrap();
+        let r = tpn_petri::ratio::critical_ratio(&pn.net, &pn.marking).unwrap();
+        for t in pn.net.transition_ids() {
+            assert_eq!(f.rate_of(t), r.rate, "transition {t}");
+        }
+        assert_eq!(f.rate_of(pn.transition_of[0]), Ratio::new(1, 3));
+    }
+
+    #[test]
+    fn frustum_repeats_forever() {
+        // Replay one more period and confirm the firing pattern repeats.
+        let pn = to_petri(&l2());
+        let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000).unwrap();
+        let mut engine =
+            Engine::new(&pn.net, pn.marking.clone(), EagerPolicy);
+        engine.start();
+        let horizon = f.repeat_time + 2 * f.period();
+        let mut trace = Vec::new();
+        for _ in 0..horizon {
+            trace.push(engine.tick().started);
+        }
+        let p = f.period() as usize;
+        let s = f.start_time as usize;
+        for u in s..(horizon as usize - p) {
+            assert_eq!(trace[u], trace[u + p], "instant {u} vs {}", u + p);
+        }
+    }
+
+    #[test]
+    fn trace_queries_are_consistent() {
+        let pn = to_petri(&l1());
+        let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000).unwrap();
+        for t in pn.net.transition_ids() {
+            let starts = f.start_times_of(t);
+            assert_eq!(starts.len() as u64, f.total_starts_of(t));
+            assert!(starts.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert_eq!(
+            f.frustum_steps().len() as u64 + f.prologue_steps().len() as u64,
+            f.repeat_time + 1
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let pn = to_petri(&l2());
+        assert!(matches!(
+            detect_frustum_eager(&pn.net, pn.marking.clone(), 1),
+            Err(SchedError::FrustumNotFound { max_steps: 1 })
+        ));
+    }
+
+    #[test]
+    fn dead_marking_reports_deadlock() {
+        let pn = to_petri(&l1());
+        let empty = Marking::empty(&pn.net);
+        assert!(matches!(
+            detect_frustum_eager(&pn.net, empty, 100),
+            Err(SchedError::Deadlock { time: 1 })
+        ));
+    }
+
+    #[test]
+    fn single_node_doall_fires_every_cycle() {
+        // Loop 12: one node, no arcs at all -> rate 1.
+        let mut b = SdspBuilder::new();
+        b.node("D", OpKind::Sub, [Operand::env("Y", 1), Operand::env("Y", 0)]);
+        let pn = to_petri(&b.finish().unwrap());
+        let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 100).unwrap();
+        assert_eq!(f.period(), 1);
+        assert_eq!(f.uniform_count(), Some(1));
+    }
+}

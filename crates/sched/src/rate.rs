@@ -1,0 +1,169 @@
+//! Computation rates, optimality and pipeline utilisation.
+//!
+//! Ties the measured steady-state behaviour (from the cyclic frustum) to
+//! the theory:
+//!
+//! * the optimal rate bound `γ = min M(C)/Ω(C)` over simple cycles
+//!   (Appendix A.7), which Theorem 4.1.1 shows the earliest firing rule
+//!   attains on SDSP-PNs;
+//! * the SCP resource bound `γ ≤ 1/n` (Theorem 5.2.2);
+//! * pipeline (processor) utilisation, the extra column of Table 2.
+
+use tpn_dataflow::to_petri::SdspPn;
+use tpn_petri::ratio::critical_ratio;
+use tpn_petri::rational::Ratio;
+use tpn_petri::PetriError;
+
+use crate::frustum::FrustumReport;
+use crate::scp::ScpPn;
+
+/// Measured-versus-optimal rate summary for a plain SDSP-PN run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RateReport {
+    /// The steady-state rate of every loop node (uniform on marked
+    /// graphs).
+    pub measured: Ratio,
+    /// The critical-cycle bound `min M(C)/Ω(C)`.
+    pub optimal: Ratio,
+}
+
+impl RateReport {
+    /// Measures the frustum rate of an SDSP-PN and compares with the
+    /// critical-cycle bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PetriError`] from the critical-cycle analysis.
+    pub fn for_sdsp_pn(pn: &SdspPn, frustum: &FrustumReport) -> Result<Self, PetriError> {
+        let optimal = critical_ratio(&pn.net, &pn.marking)?.rate;
+        let measured = frustum.rate_of(
+            *pn.transition_of
+                .first()
+                .expect("rate of an empty loop is undefined"),
+        );
+        Ok(RateReport { measured, optimal })
+    }
+
+    /// Whether the schedule attains the critical-cycle bound
+    /// (Theorem 4.1.1 guarantees it does).
+    pub fn is_time_optimal(&self) -> bool {
+        self.measured == self.optimal
+    }
+}
+
+/// Rate and utilisation summary for an SDSP-SCP-PN run (Table 2 columns).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScpRateReport {
+    /// Steady-state issue rate of each loop node.
+    pub measured: Ratio,
+    /// The resource ceiling `1/n` of Theorem 5.2.2.
+    pub resource_bound: Ratio,
+    /// Fraction of cycles the pipeline's issue slot is occupied
+    /// ("processor usage" in Table 2).
+    pub utilization: Ratio,
+}
+
+impl ScpRateReport {
+    /// Measures an SCP frustum.
+    pub fn for_scp(scp: &ScpPn, frustum: &FrustumReport) -> Self {
+        let n = scp.num_sdsp_transitions() as u64;
+        let measured = frustum.rate_of(
+            *scp.transition_of
+                .first()
+                .expect("rate of an empty loop is undefined"),
+        );
+        // Issue-slot occupancy: each SDSP firing holds the run token for
+        // its execution time.
+        let busy: u64 = scp
+            .sdsp_transitions()
+            .map(|t| frustum.counts[t.index()] * scp.net.transition(t).time())
+            .sum();
+        ScpRateReport {
+            measured,
+            resource_bound: Ratio::new(1, n),
+            utilization: Ratio::new(busy, frustum.period()),
+        }
+    }
+
+    /// Whether the measured rate respects Theorem 5.2.2.
+    pub fn respects_resource_bound(&self) -> bool {
+        self.measured <= self.resource_bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frustum::{detect_frustum, detect_frustum_eager};
+    use crate::policy::FifoPolicy;
+    use crate::scp::build_scp;
+    use tpn_dataflow::to_petri::to_petri;
+    use tpn_dataflow::{OpKind, Operand, Sdsp, SdspBuilder};
+
+    fn l2() -> Sdsp {
+        let mut b = SdspBuilder::new();
+        let a = b.node("A", OpKind::Add, [Operand::env("X", 0), Operand::lit(5.0)]);
+        let bb = b.node("B", OpKind::Add, [Operand::env("Y", 0), Operand::node(a)]);
+        let c = b.node("C", OpKind::Add, [Operand::node(a), Operand::lit(0.0)]);
+        let d = b.node("D", OpKind::Add, [Operand::node(bb), Operand::node(c)]);
+        let e = b.node("E", OpKind::Add, [Operand::env("W", 0), Operand::node(d)]);
+        b.set_operand(c, 1, Operand::feedback(e, 1));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn earliest_firing_is_time_optimal_on_l2() {
+        let pn = to_petri(&l2());
+        let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000).unwrap();
+        let report = RateReport::for_sdsp_pn(&pn, &f).unwrap();
+        assert!(report.is_time_optimal());
+        assert_eq!(report.measured, Ratio::new(1, 3));
+    }
+
+    #[test]
+    fn scp_respects_resource_bound_and_reports_utilization() {
+        let pn = to_petri(&l2());
+        let scp = build_scp(&pn, 8);
+        let f = detect_frustum(
+            &scp.net,
+            scp.marking.clone(),
+            FifoPolicy::new(&scp),
+            100_000,
+        )
+        .unwrap();
+        let report = ScpRateReport::for_scp(&scp, &f);
+        assert!(report.respects_resource_bound());
+        assert_eq!(report.resource_bound, Ratio::new(1, 5));
+        // Utilisation = n * rate for unit-time nodes.
+        assert_eq!(
+            report.utilization,
+            report
+                .measured
+                .checked_mul(Ratio::from_integer(5))
+                .unwrap()
+        );
+        assert!(report.utilization <= Ratio::ONE);
+    }
+
+    #[test]
+    fn scp_depth_one_without_lcd_saturates_pipe() {
+        // A wide DOALL body (independent nodes) keeps the issue slot busy
+        // every cycle at depth 1: utilisation 1.
+        let mut b = SdspBuilder::new();
+        for i in 0..4 {
+            b.node(format!("N{i}"), OpKind::Neg, [Operand::env("X", i)]);
+        }
+        let pn = to_petri(&b.finish().unwrap());
+        let scp = build_scp(&pn, 1);
+        let f = detect_frustum(
+            &scp.net,
+            scp.marking.clone(),
+            FifoPolicy::new(&scp),
+            10_000,
+        )
+        .unwrap();
+        let report = ScpRateReport::for_scp(&scp, &f);
+        assert_eq!(report.utilization, Ratio::ONE);
+        assert_eq!(report.measured, Ratio::new(1, 4));
+    }
+}

@@ -1,0 +1,239 @@
+//! The SDSP-SCP-PN resource model (§5.2 of the paper).
+//!
+//! Models executing an SDSP on a dataflow machine with a **single clean
+//! pipeline (SCP)** of `l` stages. Construction, exactly as in the paper:
+//!
+//! * **Series expansion** — every place of the SDSP-PN is split in two with
+//!   a *dummy transition* of execution time `l − 1` between the halves, so
+//!   a result issued into the pipeline reaches its consumer after the full
+//!   `l` cycles (issue takes 1 cycle; the dummy models the remaining
+//!   `l − 1` stages). When `l = 1` no dummies remain and the model
+//!   coincides with the SDSP-PN.
+//! * **Run-place introduction** — a single place `p_r`, holding one token,
+//!   is made both input and output of every **SDSP transition** (not of
+//!   the dummies, which represent in-flight pipeline stages rather than
+//!   issue slots). The run place is a structural conflict: enabled
+//!   instructions compete for the issue slot, resolved by the FIFO policy
+//!   of [`crate::policy`].
+//!
+//! Theorem 5.2.1: the result is live, safe and — given a deterministic
+//! choice policy — repeats its behaviour, so cyclic-frustum detection
+//! applies unchanged. Theorem 5.2.2: no SDSP transition's rate can exceed
+//! `1/n` where `n` is the number of SDSP transitions.
+
+use tpn_dataflow::to_petri::SdspPn;
+use tpn_dataflow::NodeId;
+use tpn_petri::{Marking, PetriNet, PlaceId, TransitionId};
+
+/// The SDSP-SCP-PN: the series-expanded, run-place-augmented image of an
+/// SDSP-PN, modelling an `l`-stage single clean pipeline.
+#[derive(Clone, Debug)]
+pub struct ScpPn {
+    /// The combined net (not a marked graph: the run place has `n`
+    /// consumers).
+    pub net: PetriNet,
+    /// Initial marking: the SDSP-PN tokens (on the post-halves of their
+    /// places) plus one token on the run place.
+    pub marking: Marking,
+    /// The run place `p_r` modelling the pipeline's issue slot.
+    pub run_place: PlaceId,
+    /// Transition of each SDSP node, indexed by node arena order.
+    pub transition_of: Vec<TransitionId>,
+    /// Whether each transition (by index) is an SDSP transition (`true`)
+    /// or a series-expansion dummy (`false`).
+    pub is_sdsp: Vec<bool>,
+    /// The pipeline depth `l`.
+    pub depth: u64,
+}
+
+impl ScpPn {
+    /// Number of SDSP (non-dummy) transitions — the paper's `n`.
+    pub fn num_sdsp_transitions(&self) -> usize {
+        self.is_sdsp.iter().filter(|&&b| b).count()
+    }
+
+    /// The SDSP node behind `t`, if `t` is a node transition.
+    pub fn node_of(&self, t: TransitionId) -> Option<NodeId> {
+        self.transition_of
+            .iter()
+            .position(|&x| x == t)
+            .map(NodeId::from_index)
+    }
+
+    /// Iterates over the SDSP transitions in node order.
+    pub fn sdsp_transitions(&self) -> impl Iterator<Item = TransitionId> + '_ {
+        self.transition_of.iter().copied()
+    }
+}
+
+/// Builds the SDSP-SCP-PN for pipeline depth `depth` from an SDSP-PN.
+///
+/// # Panics
+///
+/// Panics if `depth == 0` (a pipeline has at least one stage).
+///
+/// # Example
+///
+/// ```
+/// use tpn_dataflow::{SdspBuilder, OpKind, Operand};
+/// use tpn_dataflow::to_petri::to_petri;
+/// use tpn_sched::scp::build_scp;
+///
+/// let mut b = SdspBuilder::new();
+/// let a = b.node("A", OpKind::Add, [Operand::env("X", 0), Operand::lit(5.0)]);
+/// let _b2 = b.node("B", OpKind::Neg, [Operand::node(a)]);
+/// let pn = to_petri(&b.finish()?);
+///
+/// let scp = build_scp(&pn, 8);
+/// // 2 SDSP transitions + one dummy per original place (the A->B data
+/// // place and its acknowledgement).
+/// assert_eq!(scp.net.num_transitions(), 2 + 2);
+/// assert_eq!(scp.num_sdsp_transitions(), 2);
+/// assert!(scp.net.has_structural_conflict()); // the run place
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn build_scp(pn: &SdspPn, depth: u64) -> ScpPn {
+    assert!(depth >= 1, "pipeline depth must be at least 1");
+    let src = &pn.net;
+    let mut net = PetriNet::new();
+
+    // SDSP transitions, same ids/order as the source net.
+    for (_, t) in src.transitions() {
+        net.add_transition(t.name().to_string(), t.time());
+    }
+    let mut is_sdsp = vec![true; src.num_transitions()];
+    let mut marking_pairs: Vec<(PlaceId, u32)> = Vec::new();
+
+    // Series expansion: each original place becomes pre -> dummy -> post
+    // (or a single place when depth == 1).
+    for (pid, place) in src.places() {
+        let producer = place.preset()[0];
+        let consumer = place.postset()[0];
+        let tokens = pn.marking.tokens(pid);
+        if depth == 1 {
+            let p = net.add_place(place.name().to_string());
+            net.connect_tp(producer, p);
+            net.connect_pt(p, consumer);
+            if tokens > 0 {
+                marking_pairs.push((p, tokens));
+            }
+        } else {
+            let pre = net.add_place(format!("{}:pre", place.name()));
+            let post = net.add_place(format!("{}:post", place.name()));
+            let dummy = net.add_transition(format!("~{}", place.name()), depth - 1);
+            is_sdsp.push(false);
+            net.connect_tp(producer, pre);
+            net.connect_pt(pre, dummy);
+            net.connect_tp(dummy, post);
+            net.connect_pt(post, consumer);
+            // Initial tokens represent data already available to the
+            // consumer: they sit past the dummy.
+            if tokens > 0 {
+                marking_pairs.push((post, tokens));
+            }
+        }
+    }
+
+    // Run-place introduction: input and output of every SDSP transition.
+    let run_place = net.add_place("run");
+    for t in src.transition_ids() {
+        net.connect_pt(run_place, t);
+        net.connect_tp(t, run_place);
+    }
+    marking_pairs.push((run_place, 1));
+
+    let marking = Marking::from_pairs(&net, marking_pairs);
+    ScpPn {
+        net,
+        marking,
+        run_place,
+        transition_of: pn.transition_of.clone(),
+        is_sdsp,
+        depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpn_dataflow::to_petri::to_petri;
+    use tpn_dataflow::{OpKind, Operand, SdspBuilder};
+
+    fn two_node_pn() -> SdspPn {
+        let mut b = SdspBuilder::new();
+        let a = b.node("A", OpKind::Add, [Operand::env("X", 0), Operand::lit(5.0)]);
+        let _b2 = b.node("B", OpKind::Neg, [Operand::node(a)]);
+        to_petri(&b.finish().unwrap())
+    }
+
+    #[test]
+    fn depth_one_adds_only_run_place() {
+        let pn = two_node_pn();
+        let scp = build_scp(&pn, 1);
+        assert_eq!(scp.net.num_transitions(), pn.net.num_transitions());
+        assert_eq!(scp.net.num_places(), pn.net.num_places() + 1);
+        assert!(scp.is_sdsp.iter().all(|&b| b));
+        assert_eq!(scp.marking.tokens(scp.run_place), 1);
+    }
+
+    #[test]
+    fn series_expansion_doubles_places_and_adds_dummies() {
+        let pn = two_node_pn();
+        let scp = build_scp(&pn, 8);
+        // Each of the 2 original places -> pre + post; plus the run place.
+        assert_eq!(scp.net.num_places(), 2 * 2 + 1);
+        assert_eq!(scp.net.num_transitions(), 2 + 2);
+        let dummies: Vec<_> = scp
+            .net
+            .transitions()
+            .filter(|(id, _)| !scp.is_sdsp[id.index()])
+            .collect();
+        assert_eq!(dummies.len(), 2);
+        for (_, d) in dummies {
+            assert_eq!(d.time(), 7);
+        }
+    }
+
+    #[test]
+    fn tokens_sit_past_the_dummy() {
+        let pn = two_node_pn();
+        let scp = build_scp(&pn, 4);
+        // Initially marked places must all be named ":post" (or "run").
+        for (p, _) in scp.marking.marked_places() {
+            let name = scp.net.place(p).name();
+            assert!(
+                name.ends_with(":post") || name == "run",
+                "unexpected marked place {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_place_connects_only_sdsp_transitions() {
+        let pn = two_node_pn();
+        let scp = build_scp(&pn, 8);
+        let run = scp.net.place(scp.run_place);
+        assert_eq!(run.postset().len(), 2);
+        assert_eq!(run.preset().len(), 2);
+        for &t in run.postset() {
+            assert!(scp.is_sdsp[t.index()]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_depth_panics() {
+        let pn = two_node_pn();
+        let _ = build_scp(&pn, 0);
+    }
+
+    #[test]
+    fn node_mapping_survives() {
+        let pn = two_node_pn();
+        let scp = build_scp(&pn, 8);
+        assert_eq!(scp.num_sdsp_transitions(), 2);
+        assert_eq!(scp.node_of(scp.transition_of[1]), Some(NodeId::from_index(1)));
+        assert_eq!(scp.sdsp_transitions().count(), 2);
+        assert_eq!(scp.depth, 8);
+    }
+}

@@ -1,0 +1,625 @@
+//! Minimum storage allocation under time-optimal scheduling (§6).
+//!
+//! Each forward/feedback data arc of an SDSP is backed by one storage
+//! location, signalled free by its acknowledgement arc; the loop's storage
+//! allocation is the number of acknowledgement arcs. The *balancing ratio*
+//! of a cycle is `M(C)/Ω(C)` — tokens per cycle time — and the **critical
+//! cycles** (smallest balancing ratio) fix the loop's maximum computation
+//! rate. Cycles made entirely of data arcs cannot be changed without
+//! changing the program, but acknowledgement structure is free: §6 of the
+//! paper observes that the acknowledgements of consecutive data arcs on
+//! *non-critical* cycles can be coalesced — one location serving a chain —
+//! without lowering the computation rate, as long as no new cycle becomes
+//! more critical than the existing critical cycle.
+//!
+//! [`minimize_storage`] implements that optimisation as a greedy chain
+//! coalescer with **exact verification**: every candidate merge is
+//! accepted only if the resulting SDSP-PN's critical cycle time (computed
+//! by [`tpn_petri::ratio::critical_ratio`]) is unchanged. On the paper's
+//! loop L2 it reproduces Figure 4 exactly: the acknowledgements of `A→B`
+//! and `B→D` merge into one `D→A` arc, saving 1/6 of the storage at an
+//! unchanged rate of 1/3.
+
+use tpn_dataflow::to_petri::to_petri;
+use tpn_dataflow::{AckArc, DataflowError, NodeId, Sdsp};
+use tpn_petri::ratio::{analyze_cycles, critical_ratio};
+use tpn_petri::rational::Ratio;
+use tpn_petri::PetriError;
+
+/// Errors from storage analysis.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum StorageError {
+    /// The underlying net analysis failed (dead or malformed net).
+    Petri(PetriError),
+    /// Rewriting the acknowledgement structure failed.
+    Dataflow(DataflowError),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Petri(e) => write!(f, "{e}"),
+            StorageError::Dataflow(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<PetriError> for StorageError {
+    fn from(e: PetriError) -> Self {
+        StorageError::Petri(e)
+    }
+}
+
+impl From<DataflowError> for StorageError {
+    fn from(e: DataflowError) -> Self {
+        StorageError::Dataflow(e)
+    }
+}
+
+/// One cycle of the SDSP-PN mapped back to loop nodes, with its balancing
+/// ratio.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CycleReport {
+    /// The loop nodes on the cycle, in cycle order (acknowledgement hops
+    /// revisit nodes, so names may repeat).
+    pub nodes: Vec<NodeId>,
+    /// Token sum `M(C)`.
+    pub token_sum: u64,
+    /// Execution-time sum `Ω(C)`.
+    pub time_sum: u64,
+    /// The balancing ratio `M(C)/Ω(C)`.
+    pub ratio: Ratio,
+    /// Whether this cycle is critical (minimum balancing ratio).
+    pub critical: bool,
+}
+
+/// Enumerates every simple cycle of the loop's SDSP-PN with its balancing
+/// ratio (§6's analysis table).
+///
+/// # Errors
+///
+/// Analysis errors for malformed or dead nets, or
+/// [`PetriError::TooManyCycles`] beyond `limit`.
+pub fn balancing_report(sdsp: &Sdsp, limit: usize) -> Result<Vec<CycleReport>, StorageError> {
+    let pn = to_petri(sdsp);
+    let analysis = analyze_cycles(&pn.net, &pn.marking, limit)?;
+    Ok(analysis
+        .cycles
+        .iter()
+        .enumerate()
+        .map(|(i, info)| CycleReport {
+            nodes: info
+                .cycle
+                .transitions()
+                .iter()
+                .map(|t| NodeId::from_index(t.index()))
+                .collect(),
+            token_sum: info.token_sum,
+            time_sum: info.time_sum,
+            ratio: Ratio::new(info.token_sum, info.time_sum),
+            critical: analysis.critical.contains(&i),
+        })
+        .collect())
+}
+
+/// A merge performed by the optimiser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoalescedGroup {
+    /// The producer that now waits on the shared location.
+    pub to: NodeId,
+    /// The consumer that now releases it.
+    pub from: NodeId,
+    /// How many data arcs share the location.
+    pub arcs: usize,
+}
+
+/// The outcome of [`minimize_storage`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Locations before optimisation (one per data arc).
+    pub before: usize,
+    /// Locations after optimisation.
+    pub after: usize,
+    /// The multi-arc acknowledgement groups of the result.
+    pub groups: Vec<CoalescedGroup>,
+    /// The (unchanged) optimal cycle time.
+    pub cycle_time: Ratio,
+}
+
+impl StorageReport {
+    /// Locations saved.
+    pub fn saved(&self) -> usize {
+        self.before - self.after
+    }
+
+    /// Fraction of storage saved (the paper reports 1/6 for L2).
+    pub fn saving_fraction(&self) -> Ratio {
+        Ratio::new(self.saved() as u64, self.before as u64)
+    }
+}
+
+/// Minimises the loop's storage allocation without lowering its optimal
+/// computation rate.
+///
+/// Greedily merges acknowledgement groups of consecutive data arcs
+/// (`…→v` followed by `v→…`), accepting a merge only if the exact critical
+/// cycle time of the rewritten SDSP-PN is unchanged, until no merge is
+/// acceptable. Returns the optimised SDSP and a report.
+///
+/// The paper's Figure 4 illustrates a *single* such merge on loop L2
+/// (saving 1/6 of the storage); running the greedy loop to fixpoint
+/// typically saves more — on L2 it reaches 3 of 6 locations at the same
+/// rate of 1/3. Use [`minimize_storage_steps`] with `max_merges = 1` to
+/// reproduce the figure exactly.
+///
+/// # Errors
+///
+/// Analysis errors for malformed or dead nets.
+///
+/// # Example
+///
+/// Loop L2 (§6 of the paper):
+///
+/// ```
+/// use tpn_lang::compile;
+/// use tpn_storage::{minimize_storage, minimize_storage_steps};
+///
+/// let sdsp = compile(
+///     "do i from 1 to n {
+///        A[i] := X[i] + 5;
+///        B[i] := Y[i] + A[i];
+///        C[i] := A[i] + E[i-1];
+///        D[i] := B[i] + C[i];
+///        E[i] := W[i] + D[i];
+///      }",
+/// )?;
+/// // Figure 4: one merge, 6 -> 5 locations, 1/6 saved.
+/// let (_, fig4) = minimize_storage_steps(&sdsp, 1)?;
+/// assert_eq!((fig4.before, fig4.after), (6, 5));
+/// assert_eq!(fig4.saving_fraction().to_string(), "1/6");
+/// // Fixpoint: 6 -> 3 locations, rate still 1/3.
+/// let (optimised, full) = minimize_storage(&sdsp)?;
+/// assert_eq!(full.after, 3);
+/// assert_eq!(optimised.storage_locations(), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn minimize_storage(sdsp: &Sdsp) -> Result<(Sdsp, StorageReport), StorageError> {
+    minimize_storage_steps(sdsp, usize::MAX)
+}
+
+/// [`minimize_storage`] limited to at most `max_merges` accepted merges
+/// (with `1`, reproduces the paper's Figure 4 on loop L2).
+///
+/// # Errors
+///
+/// Analysis errors for malformed or dead nets.
+pub fn minimize_storage_steps(
+    sdsp: &Sdsp,
+    max_merges: usize,
+) -> Result<(Sdsp, StorageReport), StorageError> {
+    let before = sdsp.storage_locations();
+    let base_pn = to_petri(sdsp);
+    let target = critical_ratio(&base_pn.net, &base_pn.marking)?.cycle_time;
+
+    let mut current = sdsp.clone();
+    let mut merges = 0usize;
+    while merges < max_merges {
+        let mut merged = false;
+        let acks: Vec<AckArc> = current.acks().map(|(_, a)| a.clone()).collect();
+        'pairs: for i in 0..acks.len() {
+            for j in 0..acks.len() {
+                if i == j {
+                    continue;
+                }
+                // Chain i ends where chain j begins.
+                if acks[i].from != acks[j].to {
+                    continue;
+                }
+                let mut covers = acks[i].covers.clone();
+                covers.extend_from_slice(&acks[j].covers);
+                let tokens: u32 = covers
+                    .iter()
+                    .map(|&a| current.arc(a).initial_tokens())
+                    .sum();
+                if tokens > 1 {
+                    continue; // two live values cannot share one location
+                }
+                let candidate_ack = AckArc {
+                    from: acks[j].from,
+                    to: acks[i].to,
+                    covers,
+                    capacity: acks[i].capacity.min(acks[j].capacity),
+                };
+                let mut new_acks: Vec<AckArc> = acks
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| k != i && k != j)
+                    .map(|(_, a)| a.clone())
+                    .collect();
+                new_acks.push(candidate_ack);
+                let Ok(candidate) = current.with_acks(new_acks) else {
+                    continue;
+                };
+                let pn = to_petri(&candidate);
+                let Ok(ratio) = critical_ratio(&pn.net, &pn.marking) else {
+                    continue;
+                };
+                if ratio.cycle_time == target {
+                    current = candidate;
+                    merged = true;
+                    merges += 1;
+                    break 'pairs;
+                }
+            }
+        }
+        if !merged {
+            break;
+        }
+    }
+
+    let groups = current
+        .acks()
+        .filter(|(_, a)| a.covers.len() > 1)
+        .map(|(_, a)| CoalescedGroup {
+            to: a.to,
+            from: a.from,
+            arcs: a.covers.len(),
+        })
+        .collect();
+    let report = StorageReport {
+        before,
+        after: current.storage_locations(),
+        groups,
+        cycle_time: target,
+    };
+    Ok((current, report))
+}
+
+/// The outcome of [`balance`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BalanceReport {
+    /// The rate before balancing (single-buffered).
+    pub rate_before: Ratio,
+    /// The rate after balancing — the data-dependence bound.
+    pub rate_after: Ratio,
+    /// Storage locations before (Σ capacities).
+    pub locations_before: usize,
+    /// Storage locations after.
+    pub locations_after: usize,
+}
+
+/// Balances the loop's buffering: raises acknowledgement capacities (the
+/// FIFO-queued model of the paper's §7 future work) until the computation
+/// rate reaches the **data-dependence bound** — the critical ratio over
+/// cycles made of data arcs alone, which no buffering policy can beat.
+///
+/// With single buffering, a forward arc's acknowledgement round-trip caps
+/// every producer/consumer pair at one firing per `τ(u) + τ(v)` cycles
+/// (rate 1/2 for unit times) even in DOALL loops; double buffering lifts
+/// the cap. Balancing computes, per acknowledgement chain, the capacity
+/// needed for its cycle to meet the data bound, then repairs any remaining
+/// slow cycle found by exact analysis. The inverse trade-off to
+/// [`minimize_storage`]: spend locations to buy rate.
+///
+/// # Errors
+///
+/// Analysis errors for malformed or dead nets.
+///
+/// # Example
+///
+/// ```
+/// use tpn_lang::compile;
+/// use tpn_storage::balance;
+///
+/// // A DOALL chain is stuck at rate 1/2 with single buffering…
+/// let sdsp = compile("doall i from 1 to n { A[i] := X[i] + 1; B[i] := A[i] * 2; }")?;
+/// let (balanced, report) = balance(&sdsp)?;
+/// assert_eq!(report.rate_before.to_string(), "1/2");
+/// // …and reaches rate 1 with double buffering.
+/// assert_eq!(report.rate_after.to_string(), "1");
+/// assert_eq!(balanced.storage_locations(), 2); // one arc, capacity 2
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn balance(sdsp: &Sdsp) -> Result<(Sdsp, BalanceReport), StorageError> {
+    let before_pn = to_petri(sdsp);
+    let rate_before = critical_ratio(&before_pn.net, &before_pn.marking)?.rate;
+    let locations_before = sdsp.storage_locations();
+
+    // The data-dependence bound: critical ratio of the net with data arcs
+    // only (drop every acknowledgement).
+    let data_only = data_only_cycle_time(sdsp)?;
+
+    // First pass: size each acknowledgement chain so its own cycle meets
+    // the bound: (capacity + chain tokens) >= Ω(chain cycle) / α*.
+    let mut acks: Vec<AckArc> = sdsp.acks().map(|(_, a)| a.clone()).collect();
+    for ack in &mut acks {
+        if ack.from == ack.to {
+            continue; // the data cycle itself governs self-feedback
+        }
+        let mut omega: u64 = sdsp.node(ack.to).time;
+        let mut chain_tokens: u64 = 0;
+        for &arc in &ack.covers {
+            omega += sdsp.node(sdsp.arc(arc).to).time;
+            chain_tokens += sdsp.arc(arc).initial_tokens() as u64;
+        }
+        // required tokens m: Ω/m <= num/den  =>  m >= Ω·den/num.
+        let needed = (omega * data_only.denom()).div_ceil(data_only.numer());
+        let capacity = needed.saturating_sub(chain_tokens).max(1);
+        ack.capacity = u32::try_from(capacity).expect("capacities are small");
+    }
+    let mut current = sdsp.with_acks(acks)?;
+
+    // Repair pass: exact verification; bump a capacity on any remaining
+    // slow cycle (cannot loop forever — every bump strictly lowers that
+    // cycle's ratio toward the data bound).
+    loop {
+        let pn = to_petri(&current);
+        let r = critical_ratio(&pn.net, &pn.marking)?;
+        if r.cycle_time <= data_only {
+            let report = BalanceReport {
+                rate_before,
+                rate_after: r.rate,
+                locations_before,
+                locations_after: current.storage_locations(),
+            };
+            return Ok((current, report));
+        }
+        let tpn_petri::ratio::CriticalWitness::Cycle(cycle) = &r.witness else {
+            unreachable!("a self-loop bound never exceeds the data bound")
+        };
+        // Find an acknowledgement place on the witness cycle and widen it.
+        let mut acks: Vec<AckArc> = current.acks().map(|(_, a)| a.clone()).collect();
+        let ack_idx = cycle
+            .places()
+            .iter()
+            .find_map(|p| {
+                pn.place_of_ack
+                    .iter()
+                    .position(|&slot| slot == Some(*p))
+            })
+            .expect("a cycle above the data bound passes through an acknowledgement");
+        acks[ack_idx].capacity += 1;
+        current = current.with_acks(acks)?;
+    }
+}
+
+/// Critical cycle time over data arcs alone (the buffering-independent
+/// bound).
+fn data_only_cycle_time(sdsp: &Sdsp) -> Result<Ratio, StorageError> {
+    use tpn_petri::{Marking, PetriNet};
+    let mut net = PetriNet::new();
+    for (_, node) in sdsp.nodes() {
+        net.add_transition(node.name.clone(), node.time);
+    }
+    let mut pairs = Vec::new();
+    for (_, arc) in sdsp.arcs() {
+        let p = net.add_place("d");
+        net.connect_tp(tpn_petri::TransitionId::from_index(arc.from.index()), p);
+        net.connect_pt(p, tpn_petri::TransitionId::from_index(arc.to.index()));
+        if arc.initial_tokens() > 0 {
+            pairs.push((p, arc.initial_tokens()));
+        }
+    }
+    let marking = Marking::from_pairs(&net, pairs);
+    Ok(critical_ratio(&net, &marking)?.cycle_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpn_lang::compile;
+    use tpn_petri::marked::check_live_safe;
+
+    fn l2() -> Sdsp {
+        compile(
+            "do i from 1 to n {\
+               A[i] := X[i] + 5;\
+               B[i] := Y[i] + A[i];\
+               C[i] := A[i] + E[i-1];\
+               D[i] := B[i] + C[i];\
+               E[i] := W[i] + D[i];\
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn l2_balancing_report_identifies_cde_as_critical() {
+        let sdsp = l2();
+        let report = balancing_report(&sdsp, 256).unwrap();
+        let critical: Vec<_> = report.iter().filter(|c| c.critical).collect();
+        assert_eq!(critical.len(), 1);
+        assert_eq!(critical[0].ratio, Ratio::new(1, 3));
+        assert_eq!(critical[0].nodes.len(), 3);
+        // Non-critical 2-cycles have balancing ratio 1/2.
+        assert!(report
+            .iter()
+            .filter(|c| !c.critical && c.nodes.len() == 2)
+            .all(|c| c.ratio == Ratio::new(1, 2)));
+    }
+
+    #[test]
+    fn l2_single_step_reproduces_figure_4() {
+        // Figure 4: the acknowledgements of A->B and B->D merge into one
+        // D->A arc: 6 -> 5 locations, saving 1/6.
+        let sdsp = l2();
+        let (optimised, report) = minimize_storage_steps(&sdsp, 1).unwrap();
+        assert_eq!(report.before, 6);
+        assert_eq!(report.after, 5);
+        assert_eq!(report.saving_fraction(), Ratio::new(1, 6));
+        assert_eq!(report.cycle_time, Ratio::new(3, 1));
+        assert_eq!(report.groups.len(), 1);
+        assert_eq!(report.groups[0].arcs, 2);
+        let names = sdsp.names();
+        assert_eq!(report.groups[0].to, names["A"]);
+        assert_eq!(report.groups[0].from, names["D"]);
+        let pn = to_petri(&optimised);
+        assert!(check_live_safe(&pn.net, &pn.marking).is_ok());
+    }
+
+    #[test]
+    fn l2_fixpoint_saves_three_locations() {
+        let (optimised, report) = minimize_storage(&l2()).unwrap();
+        assert_eq!(report.before, 6);
+        assert_eq!(report.after, 3);
+        assert_eq!(report.saved(), 3);
+        assert_eq!(report.cycle_time, Ratio::new(3, 1));
+        assert!(!report.groups.is_empty());
+        // The optimised net is still a live safe marked graph at the same
+        // rate.
+        let pn = to_petri(&optimised);
+        assert!(check_live_safe(&pn.net, &pn.marking).is_ok());
+        assert_eq!(
+            critical_ratio(&pn.net, &pn.marking).unwrap().cycle_time,
+            Ratio::new(3, 1)
+        );
+    }
+
+    #[test]
+    fn doall_chain_coalesces_down_to_rate_limit() {
+        // A pure chain with no LCD: the fwd/ack 2-cycles (ratio 1/2) are
+        // critical, so no merge can keep the cycle time at 2 — a merged
+        // chain of 2 arcs has ratio 1/3 < 1/2. Nothing merges.
+        let sdsp = compile(
+            "doall i from 1 to n { A[i] := X[i] + 1; B[i] := A[i] + 1; C[i] := B[i] + 1; }",
+        )
+        .unwrap();
+        let (_, report) = minimize_storage(&sdsp).unwrap();
+        assert_eq!(report.before, 2);
+        assert_eq!(report.after, 2);
+        assert!(report.groups.is_empty());
+    }
+
+    #[test]
+    fn slow_recurrence_allows_deep_coalescing() {
+        // A 6-deep recurrence: critical cycle time 6 permits chains of up
+        // to 5 arcs per location on the forward path.
+        let sdsp = compile(
+            "do i from 1 to n {\
+               A[i] := F[i-1] + 1;\
+               B[i] := A[i] + 1;\
+               C[i] := B[i] + 1;\
+               D[i] := C[i] + 1;\
+               E[i] := D[i] + 1;\
+               F[i] := E[i] + 1;\
+             }",
+        )
+        .unwrap();
+        let (optimised, report) = minimize_storage(&sdsp).unwrap();
+        assert_eq!(report.before, 6);
+        assert!(report.after < report.before, "no saving found");
+        let pn = to_petri(&optimised);
+        assert_eq!(
+            critical_ratio(&pn.net, &pn.marking).unwrap().cycle_time,
+            Ratio::new(6, 1)
+        );
+        assert!(check_live_safe(&pn.net, &pn.marking).is_ok());
+    }
+
+    #[test]
+    fn single_node_loop_has_nothing_to_save() {
+        let sdsp = compile("doall i from 1 to n { D[i] := Y[i+1] - Y[i]; }").unwrap();
+        let (_, report) = minimize_storage(&sdsp).unwrap();
+        assert_eq!(report.before, 0);
+        assert_eq!(report.after, 0);
+    }
+
+    #[test]
+    fn balancing_l1_reaches_rate_one() {
+        // L1 is a DOALL: the data bound is 1 (only non-reentrance), while
+        // single buffering caps it at 1/2. Double buffering suffices.
+        let sdsp = compile(
+            "doall i from 1 to n {\
+               A[i] := X[i] + 5;\
+               B[i] := Y[i] + A[i];\
+               C[i] := A[i] + Z[i];\
+               D[i] := B[i] + C[i];\
+               E[i] := W[i] + D[i];\
+             }",
+        )
+        .unwrap();
+        let (balanced, report) = balance(&sdsp).unwrap();
+        assert_eq!(report.rate_before, Ratio::new(1, 2));
+        assert_eq!(report.rate_after, Ratio::ONE);
+        // 5 arcs at capacity 2.
+        assert_eq!(report.locations_after, 10);
+        assert!(balanced.acks().all(|(_, a)| a.capacity == 2));
+    }
+
+    #[test]
+    fn balancing_l2_reaches_the_recurrence_bound() {
+        // L2's data bound is the C->D->E recurrence: 1/3. Balancing must
+        // reach exactly 1/3, not more.
+        let (balanced, report) = balance(&l2()).unwrap();
+        assert_eq!(report.rate_before, Ratio::new(1, 3));
+        assert_eq!(report.rate_after, Ratio::new(1, 3));
+        // Already at the bound: capacities stay minimal (1 each).
+        assert_eq!(report.locations_after, report.locations_before);
+        let _ = balanced;
+    }
+
+    #[test]
+    fn balancing_inner_product_reaches_rate_one() {
+        // Loop 3: Q := old Q + Z*X. Data cycles: Q's self-loop (ratio 1).
+        // The mul->add acknowledgement needs capacity 2.
+        let sdsp = compile("do i from 1 to n { Q := old Q + Z[i] * X[i]; }").unwrap();
+        let (balanced, report) = balance(&sdsp).unwrap();
+        assert_eq!(report.rate_before, Ratio::new(1, 2));
+        assert_eq!(report.rate_after, Ratio::ONE);
+        let pn = to_petri(&balanced);
+        // The balanced net is 2-bounded, not safe: FIFO queues of depth 2.
+        assert!(check_live_safe(&pn.net, &pn.marking).is_err());
+        assert!(tpn_petri::marked::check_live(&pn.net, &pn.marking).is_ok());
+    }
+
+    #[test]
+    fn balanced_loop_actually_runs_at_the_data_bound() {
+        use tpn_sched::frustum::detect_frustum_eager;
+        let sdsp = compile(
+            "doall i from 1 to n { A[i] := X[i] + 1; B[i] := A[i] * 2; C[i] := B[i] - 1; }",
+        )
+        .unwrap();
+        let (balanced, report) = balance(&sdsp).unwrap();
+        let pn = to_petri(&balanced);
+        let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 100_000).unwrap();
+        for t in pn.net.transition_ids() {
+            assert_eq!(f.rate_of(t), report.rate_after);
+        }
+        assert_eq!(report.rate_after, Ratio::ONE);
+    }
+
+    #[test]
+    fn balancing_slow_nodes_respects_non_reentrance() {
+        // A node of time 3 bounds the rate at 1/3 regardless of buffering.
+        use tpn_dataflow::{OpKind, Operand, SdspBuilder};
+        let mut b = SdspBuilder::new();
+        let a = b.node("a", OpKind::Neg, [Operand::env("X", 0)]);
+        let c = b.node("c", OpKind::Neg, [Operand::node(a)]);
+        b.set_time(c, 3);
+        let sdsp = b.finish().unwrap();
+        let (_, report) = balance(&sdsp).unwrap();
+        assert_eq!(report.rate_after, Ratio::new(1, 3));
+    }
+
+    #[test]
+    fn optimised_schedule_preserves_semantics() {
+        use tpn_dataflow::interp::Env;
+        use tpn_sched::frustum::detect_frustum_eager;
+        use tpn_sched::validate::replay_semantics;
+        use tpn_sched::LoopSchedule;
+
+        let sdsp = l2();
+        let (optimised, _) = minimize_storage(&sdsp).unwrap();
+        let pn = to_petri(&optimised);
+        let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 10_000).unwrap();
+        let schedule = LoopSchedule::from_frustum(&optimised, &pn, &f).unwrap();
+        let env = Env::ramp(&["X", "Y", "W"], 64, |ai, i| ai as f64 + i as f64);
+        let outcome = replay_semantics(&optimised, &schedule, &env, 64).unwrap();
+        assert!(outcome.semantics_preserved());
+        // And the rate is still optimal.
+        assert_eq!(schedule.rate(), Ratio::new(1, 3));
+    }
+}

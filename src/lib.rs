@@ -1,0 +1,5 @@
+//! Workspace-level umbrella for the PLDI 1991 timed Petri-net loop-scheduling
+//! reproduction. The real functionality lives in the `tpn-*` crates; this
+//! package exists to host the repository-level `examples/` and `tests/`.
+
+pub use tpn;

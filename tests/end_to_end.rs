@@ -1,0 +1,141 @@
+//! Cross-crate integration: every Livermore kernel through the full
+//! pipeline on both machine models, with independent validation at each
+//! stage.
+
+use tpn::sched::steady::steady_state_net;
+use tpn::sched::validate::{check_schedule, replay_semantics};
+use tpn::CompiledLoop;
+use tpn_livermore::kernels;
+use tpn_petri::marked::check_live;
+use tpn_petri::ratio::critical_ratio;
+use tpn_petri::Ratio;
+
+const ITERS: u64 = 120;
+
+#[test]
+fn every_kernel_schedules_time_optimally() {
+    for kernel in kernels() {
+        let lp = CompiledLoop::from_source(kernel.source).expect(kernel.name);
+        let report = lp.rate_report().expect(kernel.name);
+        assert!(
+            report.is_time_optimal(),
+            "{}: measured {} != optimal {}",
+            kernel.name,
+            report.measured,
+            report.optimal
+        );
+    }
+}
+
+#[test]
+fn every_kernel_schedule_is_dependence_clean() {
+    for kernel in kernels() {
+        let lp = CompiledLoop::from_source(kernel.source).expect(kernel.name);
+        let schedule = lp.schedule().expect(kernel.name);
+        check_schedule(lp.sdsp(), &schedule, ITERS, None, 0)
+            .unwrap_or_else(|v| panic!("{}: {v}", kernel.name));
+    }
+}
+
+#[test]
+fn every_kernel_schedule_preserves_semantics() {
+    for kernel in kernels() {
+        let lp = CompiledLoop::from_source(kernel.source).expect(kernel.name);
+        let schedule = lp.schedule().expect(kernel.name);
+        let env = kernel.env(ITERS as usize);
+        let outcome = replay_semantics(lp.sdsp(), &schedule, &env, ITERS).expect(kernel.name);
+        assert!(
+            outcome.semantics_preserved(),
+            "{}: {} of {} values diverged",
+            kernel.name,
+            outcome.mismatches,
+            outcome.values_checked
+        );
+    }
+}
+
+#[test]
+fn every_kernel_scp_schedule_respects_machine_limits() {
+    for kernel in kernels() {
+        let lp = CompiledLoop::from_source(kernel.source).expect(kernel.name);
+        let run = lp.scp(8).expect(kernel.name);
+        assert!(run.rates.respects_resource_bound(), "{}", kernel.name);
+        // Width-1 issue, and operands wait the full pipeline transit.
+        check_schedule(lp.sdsp(), &run.schedule, ITERS, Some(1), 7)
+            .unwrap_or_else(|v| panic!("{} (SCP): {v}", kernel.name));
+        // SCP schedules also preserve semantics.
+        let env = kernel.env(ITERS as usize);
+        let outcome =
+            replay_semantics(lp.sdsp(), &run.schedule, &env, ITERS).expect(kernel.name);
+        assert!(outcome.semantics_preserved(), "{} (SCP)", kernel.name);
+    }
+}
+
+#[test]
+fn every_kernel_steady_net_reproduces_the_period() {
+    for kernel in kernels() {
+        let lp = CompiledLoop::from_source(kernel.source).expect(kernel.name);
+        let frustum = lp.frustum().expect(kernel.name);
+        let pn = lp.petri_net();
+        let steady = steady_state_net(&pn.net, &frustum);
+        assert!(steady.net.is_marked_graph(), "{}", kernel.name);
+        assert!(check_live(&steady.net, &steady.marking).is_ok(), "{}", kernel.name);
+        let r = critical_ratio(&steady.net, &steady.marking).expect(kernel.name);
+        assert_eq!(
+            r.cycle_time,
+            Ratio::from_integer(frustum.period()),
+            "{}: steady net period mismatch",
+            kernel.name
+        );
+    }
+}
+
+#[test]
+fn storage_minimisation_is_rate_and_semantics_neutral() {
+    for kernel in kernels() {
+        let lp = CompiledLoop::from_source(kernel.source).expect(kernel.name);
+        let before = lp.analyze().expect(kernel.name).optimal_rate;
+        let (optimised, report) = lp.minimize_storage().expect(kernel.name);
+        assert!(report.after <= report.before, "{}", kernel.name);
+        let schedule = optimised.schedule().expect(kernel.name);
+        assert_eq!(schedule.rate(), before, "{}: rate changed", kernel.name);
+        let env = kernel.env(ITERS as usize);
+        let outcome =
+            replay_semantics(optimised.sdsp(), &schedule, &env, ITERS).expect(kernel.name);
+        assert!(outcome.semantics_preserved(), "{} (optimised)", kernel.name);
+    }
+}
+
+#[test]
+fn scp_depth_one_matches_unit_pipeline_semantics() {
+    // At depth 1 the SCP model is the SDSP-PN plus only the run place: the
+    // rate can never exceed the unconstrained rate nor 1/n.
+    for kernel in kernels() {
+        let lp = CompiledLoop::from_source(kernel.source).expect(kernel.name);
+        let unconstrained = lp.rate_report().expect(kernel.name).measured;
+        let run = lp.scp(1).expect(kernel.name);
+        assert!(
+            run.rates.measured <= unconstrained,
+            "{}: SCP faster than unconstrained",
+            kernel.name
+        );
+        assert!(run.rates.respects_resource_bound(), "{}", kernel.name);
+    }
+}
+
+#[test]
+fn deadlock_prone_mixed_feedback_is_buffered_by_the_frontend() {
+    // E is read both same-iteration (Y) and loop-carried (V): the builder
+    // must insert the feedback buffer, keeping the net live.
+    let lp = CompiledLoop::from_source(
+        "do i from 1 to n { E[i] := S[i]; Y[i] := E[i] * 2; V[i] := E[i-1] + Y[i]; }",
+    )
+    .expect("compiles");
+    assert_eq!(lp.size(), 4); // E, Y, V + E~fb
+    let schedule = lp.schedule().expect("live, so schedulable");
+    check_schedule(lp.sdsp(), &schedule, 50, None, 0).expect("clean");
+    let mut env = tpn::dataflow::interp::Env::new();
+    env.insert("S", (0..60).map(|i| i as f64).collect());
+    let outcome = replay_semantics(lp.sdsp(), &schedule, &env, 50).expect("runs");
+    assert!(outcome.semantics_preserved());
+}

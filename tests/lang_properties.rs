@@ -1,0 +1,187 @@
+//! Property-based front-end tests: random ASTs print to source that
+//! parses back to the identical AST (spans aside), and random *valid*
+//! programs lower to live nets whose schedules preserve semantics.
+
+use proptest::prelude::*;
+use tpn_lang::printer::{print, strip_spans};
+use tpn_lang::{parse, BinOp, Expr, LoopAst, LoopKind, Stmt, Target};
+
+const INDEX: &str = "i";
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "A".to_string(),
+        "B2".to_string(),
+        "acc".to_string(),
+        "X".to_string(),
+        "Ytab".to_string(),
+        "q_r".to_string(),
+    ])
+}
+
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0.0f64..1_000.0).prop_map(|value| Expr::Number {
+            value,
+            span: Default::default(),
+        }),
+        name_strategy().prop_map(|name| Expr::Scalar {
+            name,
+            old: false,
+            span: Default::default(),
+        }),
+        name_strategy().prop_map(|name| Expr::Scalar {
+            name,
+            old: true,
+            span: Default::default(),
+        }),
+        prop::sample::select(vec![INDEX.to_string()]).prop_map(|name| Expr::Scalar {
+            name,
+            old: false,
+            span: Default::default(),
+        }),
+        (name_strategy(), -4i64..12).prop_map(|(array, offset)| Expr::ArrayRef {
+            array,
+            var: INDEX.to_string(),
+            offset,
+            span: Default::default(),
+        }),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    leaf_expr().prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (
+                prop::sample::select(vec![
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Min,
+                    BinOp::Max,
+                    BinOp::Lt,
+                    BinOp::Le,
+                    BinOp::Gt,
+                    BinOp::Ge,
+                    BinOp::Eq,
+                    BinOp::Ne,
+                ]),
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, lhs, rhs)| Expr::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    span: Default::default(),
+                }),
+            inner.clone().prop_map(|expr| Expr::Neg {
+                expr: Box::new(expr),
+                span: Default::default(),
+            }),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Expr::If {
+                cond: Box::new(c),
+                then: Box::new(t),
+                els: Box::new(e),
+                span: Default::default(),
+            }),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let assign = (name_strategy(), any::<bool>(), expr_strategy()).prop_map(
+        |(name, array, value)| Stmt::Assign {
+            target: if array {
+                Target::Array { name }
+            } else {
+                Target::Scalar { name }
+            },
+            value,
+            span: Default::default(),
+        },
+    );
+    assign.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            3 => (name_strategy(), expr_strategy()).prop_map(|(name, value)| Stmt::Assign {
+                target: Target::Array { name },
+                value,
+                span: Default::default(),
+            }),
+            1 => (
+                expr_strategy(),
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::collection::vec(inner, 1..3)
+            )
+                .prop_map(|(cond, then, els)| Stmt::If {
+                    cond,
+                    then,
+                    els,
+                    span: Default::default(),
+                }),
+        ]
+    })
+}
+
+fn loop_strategy() -> impl Strategy<Value = LoopAst> {
+    (any::<bool>(), prop::collection::vec(stmt_strategy(), 1..6)).prop_map(|(doall, body)| {
+        LoopAst {
+            kind: if doall { LoopKind::Doall } else { LoopKind::Do },
+            index: INDEX.to_string(),
+            body,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print → parse is the identity on ASTs (modulo spans).
+    #[test]
+    fn print_parse_round_trip(ast in loop_strategy()) {
+        let text = print(&ast);
+        let parsed = parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("{}\n{text}", e.render(&text))))?;
+        prop_assert_eq!(strip_spans(&ast), strip_spans(&parsed), "text was:\n{}", text);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Valid single-assignment accumulator programs compile, schedule, and
+    /// preserve semantics end to end (front-end to machine).
+    #[test]
+    fn generated_accumulators_run_end_to_end(
+        terms in prop::collection::vec((0u8..4, 1i64..6), 1..5),
+        seeds in prop::collection::vec(0.25f64..4.0, 3),
+    ) {
+        // Build: S := old S + <term0> ; T[i] := S * k ; ...
+        let mut body = String::from("S := old S");
+        for (kind, k) in &terms {
+            match kind {
+                0 => body.push_str(&format!(" + X[i+{k}]")),
+                1 => body.push_str(&format!(" + ({k} * Y[i])")),
+                2 => body.push_str(&format!(" + min(X[i], {k})")),
+                _ => body.push_str(&format!(" - Z[i] / {k}")),
+            }
+        }
+        body.push(';');
+        let src = format!("do i from 1 to n {{ {body} T[i] := S * 2; }}");
+        let lp = tpn::CompiledLoop::from_source(&src)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{src}")))?;
+        let schedule = lp.schedule().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let mut env = tpn::dataflow::interp::Env::new();
+        for name in lp.sdsp().input_arrays() {
+            env.insert(name, (0..64).map(|i| seeds[0] + i as f64 * seeds[1]).collect());
+        }
+        for p in lp.sdsp().params() {
+            env.insert_scalar(p, seeds[2]);
+        }
+        let outcome =
+            tpn::sched::validate::replay_semantics(lp.sdsp(), &schedule, &env, 32)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(outcome.semantics_preserved());
+    }
+}

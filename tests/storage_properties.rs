@@ -1,0 +1,109 @@
+//! Property-based tests of the §6 storage optimiser: minimisation never
+//! lowers the computation rate, never breaks liveness or safety, and the
+//! optimised loop computes identical values.
+
+use proptest::prelude::*;
+use tpn_dataflow::interp::Env;
+use tpn_dataflow::to_petri::to_petri;
+use tpn_livermore::synth::{generate, SynthConfig};
+use tpn_petri::marked::check_live_safe;
+use tpn_petri::ratio::critical_ratio;
+use tpn_sched::frustum::detect_frustum_eager;
+use tpn_sched::validate::replay_semantics;
+use tpn_sched::LoopSchedule;
+use tpn_storage::minimize_storage;
+
+fn synth_config() -> impl Strategy<Value = SynthConfig> {
+    (2usize..16, 0.0f64..1.0, 0usize..3, any::<u64>()).prop_map(
+        |(nodes, forward_density, recurrences, seed)| SynthConfig {
+            nodes,
+            forward_density,
+            recurrences,
+            distance: 1,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rate preservation: the exact critical cycle time is unchanged.
+    #[test]
+    fn minimisation_preserves_the_rate(config in synth_config()) {
+        let sdsp = generate(&config);
+        let before_pn = to_petri(&sdsp);
+        let before = critical_ratio(&before_pn.net, &before_pn.marking).unwrap();
+        let (optimised, report) = minimize_storage(&sdsp).unwrap();
+        prop_assert!(report.after <= report.before);
+        let after_pn = to_petri(&optimised);
+        let after = critical_ratio(&after_pn.net, &after_pn.marking).unwrap();
+        prop_assert_eq!(before.cycle_time, after.cycle_time);
+        prop_assert!(check_live_safe(&after_pn.net, &after_pn.marking).is_ok());
+    }
+
+    /// Semantics preservation: the optimised loop, under its own derived
+    /// schedule, computes the same values as the reference interpreter.
+    #[test]
+    fn minimisation_preserves_semantics(config in synth_config()) {
+        let sdsp = generate(&config);
+        let (optimised, _) = minimize_storage(&sdsp).unwrap();
+        let pn = to_petri(&optimised);
+        let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 2_000_000).unwrap();
+        let Ok(schedule) = LoopSchedule::from_frustum(&optimised, &pn, &f) else {
+            // Disconnected bodies have no single kernel; nothing to check.
+            return Ok(());
+        };
+        let arrays = optimised.input_arrays();
+        let names: Vec<&str> = arrays.iter().map(String::as_str).collect();
+        let env = Env::ramp(&names, 48, |ai, i| ai as f64 * 0.5 + i as f64 * 0.25);
+        let outcome = replay_semantics(&optimised, &schedule, &env, 32).unwrap();
+        prop_assert!(outcome.semantics_preserved());
+    }
+
+    /// Idempotence: a second optimisation pass finds nothing more.
+    #[test]
+    fn minimisation_is_idempotent(config in synth_config()) {
+        let sdsp = generate(&config);
+        let (once, first) = minimize_storage(&sdsp).unwrap();
+        let (_, second) = minimize_storage(&once).unwrap();
+        prop_assert_eq!(first.after, second.before);
+        prop_assert_eq!(second.after, second.before);
+    }
+
+    /// Balancing (the FIFO-queued extension) never lowers the rate, keeps
+    /// the net live, and the balanced loop actually runs at the reported
+    /// rate under the earliest firing rule.
+    #[test]
+    fn balancing_is_monotone_and_achieved(config in synth_config()) {
+        let sdsp = generate(&config);
+        let (balanced, report) = tpn_storage::balance(&sdsp).unwrap();
+        prop_assert!(report.rate_after >= report.rate_before);
+        let pn = to_petri(&balanced);
+        prop_assert!(tpn_petri::marked::check_live(&pn.net, &pn.marking).is_ok());
+        prop_assert_eq!(
+            critical_ratio(&pn.net, &pn.marking).unwrap().rate,
+            report.rate_after
+        );
+        let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 4_000_000).unwrap();
+        // The slowest transition attains the balanced bound (uniformly so
+        // on connected bodies).
+        let slowest = pn
+            .net
+            .transition_ids()
+            .map(|t| f.rate_of(t))
+            .min()
+            .unwrap();
+        prop_assert_eq!(slowest, report.rate_after);
+    }
+
+    /// Balancing then re-balancing changes nothing.
+    #[test]
+    fn balancing_is_idempotent(config in synth_config()) {
+        let sdsp = generate(&config);
+        let (once, first) = tpn_storage::balance(&sdsp).unwrap();
+        let (_, second) = tpn_storage::balance(&once).unwrap();
+        prop_assert_eq!(first.rate_after, second.rate_after);
+        prop_assert_eq!(first.locations_after, second.locations_after);
+    }
+}
