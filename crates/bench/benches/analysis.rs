@@ -25,7 +25,13 @@ fn analysis_kernels(c: &mut Criterion) {
     for kernel in kernels() {
         let pn = to_petri(&kernel.sdsp());
         group.bench_function(BenchmarkId::new("parametric", kernel.name), |b| {
-            b.iter(|| black_box(critical_ratio(&pn.net, &pn.marking).expect("live").cycle_time))
+            b.iter(|| {
+                black_box(
+                    critical_ratio(&pn.net, &pn.marking)
+                        .expect("live")
+                        .cycle_time,
+                )
+            })
         });
         group.bench_function(BenchmarkId::new("enumeration", kernel.name), |b| {
             b.iter(|| {
@@ -52,7 +58,13 @@ fn analysis_scaling(c: &mut Criterion) {
         });
         let pn = to_petri(&sdsp);
         group.bench_function(BenchmarkId::new("parametric", n), |b| {
-            b.iter(|| black_box(critical_ratio(&pn.net, &pn.marking).expect("live").cycle_time))
+            b.iter(|| {
+                black_box(
+                    critical_ratio(&pn.net, &pn.marking)
+                        .expect("live")
+                        .cycle_time,
+                )
+            })
         });
     }
     group.finish();

@@ -17,7 +17,8 @@ use std::hint::black_box;
 use tpn_dataflow::to_petri::to_petri;
 use tpn_livermore::kernels;
 use tpn_livermore::synth::{chain, recurrence_ring};
-use tpn_sched::frustum::{detect_frustum, detect_frustum_eager};
+use tpn_petri::timed::EagerPolicy;
+use tpn_sched::frustum::{detect_frustum, detect_frustum_eager, detect_frustum_reference};
 use tpn_sched::policy::FifoPolicy;
 use tpn_sched::scp::build_scp;
 
@@ -59,7 +60,7 @@ fn frustum_scp(c: &mut Criterion) {
 
 fn frustum_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("frustum_scaling");
-    for n in [16usize, 64, 256] {
+    for n in [16usize, 64, 256, 512] {
         let pn = to_petri(&chain(n));
         group.bench_function(BenchmarkId::new("chain", n), |b| {
             b.iter(|| {
@@ -84,9 +85,45 @@ fn frustum_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Digest-indexed detection versus the clone-heavy reference detector on
+/// the largest scaling nets — the speedup evidence for the zero-clone
+/// engine.
+fn frustum_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frustum_engine");
+    for n in [512usize] {
+        for (shape, sdsp) in [("chain", chain(n)), ("recurrence_ring", recurrence_ring(n))] {
+            let pn = to_petri(&sdsp);
+            group.bench_function(BenchmarkId::new(format!("digest_{shape}"), n), |b| {
+                b.iter(|| {
+                    black_box(
+                        detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000_000)
+                            .expect("frustum")
+                            .repeat_time,
+                    )
+                })
+            });
+            group.bench_function(BenchmarkId::new(format!("reference_{shape}"), n), |b| {
+                b.iter(|| {
+                    black_box(
+                        detect_frustum_reference(
+                            &pn.net,
+                            pn.marking.clone(),
+                            EagerPolicy,
+                            1_000_000,
+                        )
+                        .expect("frustum")
+                        .repeat_time,
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = frustum_sdsp, frustum_scp, frustum_scaling
+    targets = frustum_sdsp, frustum_scp, frustum_scaling, frustum_engine
 }
 criterion_main!(benches);

@@ -15,9 +15,9 @@ fn config() -> Criterion {
         .sample_size(20)
 }
 use std::hint::black_box;
+use tpn::CompiledLoop;
 use tpn_livermore::kernels;
 use tpn_storage::minimize_storage;
-use tpn::CompiledLoop;
 
 fn end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile_to_schedule");

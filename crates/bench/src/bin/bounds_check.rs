@@ -37,10 +37,11 @@ fn multi_critical(cycles: usize, len: usize) -> Sdsp {
     // Combine the recurrences so the net is one weakly-connected loop body.
     let mut acc = heads[0];
     for (i, &h) in heads.iter().enumerate().skip(1) {
-        acc = b.node(format!("join{i}"), OpKind::Add, [
-            Operand::node(acc),
-            Operand::node(h),
-        ]);
+        acc = b.node(
+            format!("join{i}"),
+            OpKind::Add,
+            [Operand::node(acc), Operand::node(h)],
+        );
     }
     b.finish().expect("multi-critical bodies are valid")
 }
@@ -106,7 +107,10 @@ fn check(case: String, sdsp: Sdsp) -> BoundsRow {
 fn main() {
     let mut rows = Vec::new();
     for len in [3usize, 5, 9] {
-        rows.push(check(format!("single critical (len {len})"), multi_critical(1, len)));
+        rows.push(check(
+            format!("single critical (len {len})"),
+            multi_critical(1, len),
+        ));
     }
     for cycles in [2usize, 3, 4] {
         rows.push(check(
@@ -117,7 +121,15 @@ fn main() {
     emit(&rows, |rows| {
         let mut out = String::from("Detection vs the proven §4 bounds:\n");
         out.push_str(&table::render(
-            &["case", "n", "#critical", "cycle time", "repeat", "bound", "periodic"],
+            &[
+                "case",
+                "n",
+                "#critical",
+                "cycle time",
+                "repeat",
+                "bound",
+                "periodic",
+            ],
             &rows
                 .iter()
                 .map(|r| {
@@ -140,7 +152,8 @@ fn main() {
         out
     });
     assert!(
-        rows.iter().all(|r| r.repeat_time <= r.bound && r.periodicity_ok),
+        rows.iter()
+            .all(|r| r.repeat_time <= r.bound && r.periodicity_ok),
         "a bound check failed"
     );
 }

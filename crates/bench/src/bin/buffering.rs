@@ -32,8 +32,7 @@ fn rate_with_uniform_capacity(sdsp: &tpn_dataflow::Sdsp, capacity: u32) -> Strin
         .collect();
     let widened = sdsp.with_acks(acks).expect("uniform widening is valid");
     let pn = to_petri(&widened);
-    let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000_000)
-        .expect("live nets repeat");
+    let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000_000).expect("live nets repeat");
     f.rate_of(pn.transition_of[0]).to_string()
 }
 

@@ -5,20 +5,22 @@
 //!
 //! Run: `cargo run -p tpn-bench --bin compare [-- --json]`
 
-use tpn_bench::{compare_row, emit, table, CompareRow};
+use tpn_bench::{compare_rows, emit, table, CompareRow};
 use tpn_livermore::kernels;
 
 fn main() {
-    let rows: Vec<CompareRow> = kernels()
-        .iter()
-        .map(|k| compare_row(k).unwrap_or_else(|e| panic!("{}: {e}", k.name)))
-        .collect();
+    let rows: Vec<CompareRow> = compare_rows(&kernels()).unwrap_or_else(|e| panic!("compare: {e}"));
     emit(&rows, |rows| {
-        let mut out = String::from(
-            "Initiation intervals (cycles/iteration; lower is better):\n",
-        );
+        let mut out = String::from("Initiation intervals (cycles/iteration; lower is better):\n");
         out.push_str(&table::render(
-            &["loop", "sequential", "list", "unroll x4*", "pipelined", "vs list"],
+            &[
+                "loop",
+                "sequential",
+                "list",
+                "unroll x4*",
+                "pipelined",
+                "vs list",
+            ],
             &rows
                 .iter()
                 .map(|r| {

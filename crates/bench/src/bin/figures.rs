@@ -3,11 +3,11 @@
 //!
 //! Run: `cargo run -p tpn-bench --bin figures -- <fig1|fig2|fig3|fig4|all>`
 
+use tpn::CompiledLoop;
 use tpn_dataflow::dot as sdsp_dot;
 use tpn_petri::dot as pn_dot;
 use tpn_sched::behavior::BehaviorGraph;
 use tpn_sched::steady::steady_state_net;
-use tpn::CompiledLoop;
 
 const L1: &str = "doall i from 1 to n {\n\
     A[i] := X[i] + 5;\n\
@@ -50,9 +50,15 @@ fn fig1() {
     println!("==== Figure 1: loop L1 (DOALL) ====\n");
     println!("(a) source:\n{L1}\n");
     let lp = CompiledLoop::from_source(L1).expect("L1 compiles");
-    println!("(b/c) static dataflow graph (Graphviz):\n{}", sdsp_dot::to_dot(lp.sdsp()));
+    println!(
+        "(b/c) static dataflow graph (Graphviz):\n{}",
+        sdsp_dot::to_dot(lp.sdsp())
+    );
     let pn = lp.petri_net();
-    println!("(d) SDSP-PN (Graphviz):\n{}", pn_dot::to_dot(&pn.net, &pn.marking));
+    println!(
+        "(d) SDSP-PN (Graphviz):\n{}",
+        pn_dot::to_dot(&pn.net, &pn.marking)
+    );
     let frustum = lp.frustum().expect("frustum");
     let bg = BehaviorGraph::build(&pn.net, &pn.marking, &frustum.steps);
     println!("(e) behaviour graph under the earliest firing rule:");
@@ -84,9 +90,15 @@ fn fig2() {
     println!("==== Figure 2: loop L2 (loop-carried dependence) ====\n");
     println!("(a) source:\n{L2}\n");
     let lp = CompiledLoop::from_source(L2).expect("L2 compiles");
-    println!("(b/c) SDSP with feedback arc (Graphviz):\n{}", sdsp_dot::to_dot(lp.sdsp()));
+    println!(
+        "(b/c) SDSP with feedback arc (Graphviz):\n{}",
+        sdsp_dot::to_dot(lp.sdsp())
+    );
     let pn = lp.petri_net();
-    println!("(d) SDSP-PN (Graphviz):\n{}", pn_dot::to_dot(&pn.net, &pn.marking));
+    println!(
+        "(d) SDSP-PN (Graphviz):\n{}",
+        pn_dot::to_dot(&pn.net, &pn.marking)
+    );
     let analysis = lp.analyze().expect("analysis");
     println!(
         "critical cycle {} with cycle time {} => optimal rate {}\n",

@@ -43,8 +43,7 @@ fn main() {
                 .expect("positive times");
             let pn = to_petri(&timed);
             let optimal = critical_ratio(&pn.net, &pn.marking).expect("live").rate;
-            let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000_000)
-                .expect("frustum");
+            let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000_000).expect("frustum");
             let measured = f.rate_of(pn.transition_of[0]);
             LatencyRow {
                 name: k.name.to_string(),
@@ -57,11 +56,17 @@ fn main() {
         })
         .collect();
     emit(&rows, |rows| {
-        let mut out = String::from(
-            "Rates under a multi-cycle latency model (add 1, mul 3, div 8):\n",
-        );
+        let mut out =
+            String::from("Rates under a multi-cycle latency model (add 1, mul 3, div 8):\n");
         out.push_str(&table::render(
-            &["loop", "unit rate", "timed rate", "timed bound", "optimal", "period"],
+            &[
+                "loop",
+                "unit rate",
+                "timed rate",
+                "timed bound",
+                "optimal",
+                "period",
+            ],
             &rows
                 .iter()
                 .map(|r| {

@@ -14,12 +14,12 @@
 //! Run: `cargo run --release -p tpn-bench --bin modulo [-- --json]`
 
 use serde::Serialize;
+use tpn::CompiledLoop;
 use tpn_bench::{emit as emit_rows, table};
 use tpn_codegen::{emit_from_starts, run_with_width};
 use tpn_dataflow::interp::execute;
 use tpn_livermore::kernels;
 use tpn_sched::modulo::{modulo_schedule, rec_mii, res_mii};
-use tpn::CompiledLoop;
 
 #[derive(Clone, Debug, Serialize)]
 struct ModuloRow {
@@ -55,8 +55,7 @@ fn main() {
             );
             program.buffer_capacity = w1.buffer_requirements(sdsp);
             let env = k.env(64);
-            let outcome =
-                run_with_width(&program, sdsp, &env, Some(1)).expect("machine-clean");
+            let outcome = run_with_width(&program, sdsp, &env, Some(1)).expect("machine-clean");
             let reference = execute(sdsp, &env, iterations as usize).expect("interpretable");
             let verified = sdsp.node_ids().all(|nid| {
                 outcome.value(nid, iterations - 1).to_bits()
@@ -80,7 +79,15 @@ fn main() {
             "Petri-net (SCP width 1) vs iterative modulo scheduling, II in cycles/iteration:\n",
         );
         out.push_str(&table::render(
-            &["loop", "n", "RecMII", "PN/SCP w1", "modulo w1", "modulo w2", "verified"],
+            &[
+                "loop",
+                "n",
+                "RecMII",
+                "PN/SCP w1",
+                "modulo w1",
+                "modulo w2",
+                "verified",
+            ],
             &rows
                 .iter()
                 .map(|r| {

@@ -46,12 +46,12 @@ fn run(shape: &'static str, sdsp: Sdsp) -> ScalingRow {
 
 fn main() {
     let sizes = [8usize, 16, 32, 64, 128, 256, 512];
-    let mut rows = Vec::new();
+    let mut work: Vec<(&'static str, Sdsp)> = Vec::new();
     for &n in &sizes {
-        rows.push(run("chain", chain(n)));
-        rows.push(run("wide", wide(n)));
-        rows.push(run("recurrence-ring", recurrence_ring(n)));
-        rows.push(run(
+        work.push(("chain", chain(n)));
+        work.push(("wide", wide(n)));
+        work.push(("recurrence-ring", recurrence_ring(n)));
+        work.push((
             "random-lcd",
             generate(&SynthConfig {
                 nodes: n,
@@ -62,12 +62,19 @@ fn main() {
             }),
         ));
     }
+    // Detection runs concurrently on the batch pool; rows come back in
+    // work order, so the table is deterministic.
+    let rows =
+        tpn::batch::parallel_map(&work, tpn::batch::default_threads(), |_, (shape, sdsp)| {
+            run(shape, sdsp.clone())
+        });
     emit(&rows, |rows| {
-        let mut out = String::from(
-            "Frustum detection cost vs loop size (the paper's O(n) observation):\n",
-        );
+        let mut out =
+            String::from("Frustum detection cost vs loop size (the paper's O(n) observation):\n");
         out.push_str(&table::render(
-            &["shape", "n", "start", "repeat", "steps/n", "rate", "wall(us)"],
+            &[
+                "shape", "n", "start", "repeat", "steps/n", "rate", "wall(us)",
+            ],
             &rows
                 .iter()
                 .map(|r| {

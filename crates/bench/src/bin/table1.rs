@@ -4,14 +4,11 @@
 //!
 //! Run: `cargo run -p tpn-bench --bin table1 [-- --json]`
 
-use tpn_bench::{emit, table, table1_row, Table1Row};
+use tpn_bench::{emit, table, table1_rows, Table1Row};
 use tpn_livermore::kernels;
 
 fn main() {
-    let rows: Vec<Table1Row> = kernels()
-        .iter()
-        .map(|k| table1_row(k).unwrap_or_else(|e| panic!("{}: {e}", k.name)))
-        .collect();
+    let rows: Vec<Table1Row> = table1_rows(&kernels()).unwrap_or_else(|e| panic!("table 1: {e}"));
     emit(&rows, |rows| {
         let mut out = String::from(
             "Table 1: experimental results for the SDSP-PN model (earliest firing rule)\n",

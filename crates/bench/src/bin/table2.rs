@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run -p tpn-bench --bin table2 [-- --json] [-- --depth L]`
 
-use tpn_bench::{emit, table, table2_row, Table2Row};
+use tpn_bench::{emit, table, table2_rows, Table2Row};
 use tpn_livermore::kernels;
 
 fn main() {
@@ -12,14 +12,11 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(8);
-    let rows: Vec<Table2Row> = kernels()
-        .iter()
-        .map(|k| table2_row(k, depth).unwrap_or_else(|e| panic!("{}: {e}", k.name)))
-        .collect();
+    let rows: Vec<Table2Row> =
+        table2_rows(&kernels(), depth).unwrap_or_else(|e| panic!("table 2: {e}"));
     emit(&rows, |rows| {
-        let mut out = format!(
-            "Table 2: single clean pipeline with {depth} stages (FIFO issue policy)\n"
-        );
+        let mut out =
+            format!("Table 2: single clean pipeline with {depth} stages (FIFO issue policy)\n");
         out.push_str(&table::render(
             &[
                 "loop", "LCD", "size", "start", "repeat", "frustum", "count", "rate", "1/n",

@@ -18,12 +18,12 @@
 pub mod table;
 
 use serde::Serialize;
+use tpn::{CompiledLoop, Error};
 use tpn_livermore::Kernel;
 use tpn_petri::rational::Ratio;
 use tpn_sched::bounds::{bd_scp, bd_sdsp};
 use tpn_sched::rate::{RateReport, ScpRateReport};
 use tpn_sched::LoopSchedule;
-use tpn::{CompiledLoop, Error};
 
 /// One row of Table 1 (SDSP-PN model).
 #[derive(Clone, Debug, Serialize)]
@@ -181,6 +181,46 @@ pub fn compare_row(kernel: &Kernel) -> Result<CompareRow, Error> {
     })
 }
 
+/// Computes every Table 1 row concurrently on the [`tpn::batch`] worker
+/// pool. Row order (and content) is identical to mapping
+/// [`table1_row`] sequentially.
+///
+/// # Errors
+///
+/// The first failing kernel's error, if any.
+pub fn table1_rows(kernels: &[Kernel]) -> Result<Vec<Table1Row>, Error> {
+    tpn::batch::parallel_map(kernels, tpn::batch::default_threads(), |_, k| table1_row(k))
+        .into_iter()
+        .collect()
+}
+
+/// Computes every Table 2 row (at pipeline depth `depth`) concurrently.
+/// Row order and content match sequential [`table2_row`] calls.
+///
+/// # Errors
+///
+/// The first failing kernel's error, if any.
+pub fn table2_rows(kernels: &[Kernel], depth: u64) -> Result<Vec<Table2Row>, Error> {
+    tpn::batch::parallel_map(kernels, tpn::batch::default_threads(), |_, k| {
+        table2_row(k, depth)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Computes every baseline-comparison row concurrently.
+///
+/// # Errors
+///
+/// The first failing kernel's error, if any.
+pub fn compare_rows(kernels: &[Kernel]) -> Result<Vec<CompareRow>, Error> {
+    tpn::batch::parallel_map(kernels, tpn::batch::default_threads(), |_, k| {
+        compare_row(k)
+    })
+    .into_iter()
+    .collect()
+}
+
 /// Ratio of repeat time to loop size — the §5 "detection is O(n)" metric.
 pub fn steps_per_node(repeat_time: u64, n: usize) -> Ratio {
     Ratio::new(repeat_time, n as u64)
@@ -237,6 +277,28 @@ mod tests {
                 row.rate
             );
             assert!(row.usage_f64 <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn batched_rows_match_sequential_rows() {
+        let ks = kernels();
+        let batched = table1_rows(&ks).unwrap();
+        for (k, row) in ks.iter().zip(&batched) {
+            let seq = table1_row(k).unwrap();
+            assert_eq!(row.name, seq.name);
+            assert_eq!(row.start_time, seq.start_time);
+            assert_eq!(row.repeat_time, seq.repeat_time);
+            assert_eq!(row.transition_count, seq.transition_count);
+            assert_eq!(row.rate, seq.rate);
+        }
+        let batched2 = table2_rows(&ks, 8).unwrap();
+        for (k, row) in ks.iter().zip(&batched2) {
+            let seq = table2_row(k, 8).unwrap();
+            assert_eq!(row.start_time, seq.start_time);
+            assert_eq!(row.repeat_time, seq.repeat_time);
+            assert_eq!(row.rate, seq.rate);
+            assert_eq!(row.usage, seq.usage);
         }
     }
 

@@ -58,10 +58,7 @@ mod tests {
     fn columns_align() {
         let text = render(
             &["a", "bbbb"],
-            &[
-                vec!["xx".into(), "1".into()],
-                vec!["y".into(), "22".into()],
-            ],
+            &[vec!["xx".into(), "1".into()], vec!["y".into(), "22".into()]],
         );
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -1,35 +1,51 @@
 //! Implementation of `tpnc`, the command-line driver.
 //!
 //! ```text
-//! tpnc analyze  <file>              critical cycles and the optimal rate
-//! tpnc schedule <file> [--scp L]    the time-optimal kernel (optionally on
+//! tpnc analyze  <file>...           critical cycles and the optimal rate
+//! tpnc schedule <file>... [--scp L] the time-optimal kernel (optionally on
 //!                                   an L-stage single-clean-pipeline machine)
-//! tpnc emit     <file> [--iterations N] [--scp L]
+//! tpnc emit     <file>... [--iterations N] [--scp L]
 //!                                   VLIW bundles over the loop's buffers
-//! tpnc dot      <file> [--pn]       Graphviz of the SDSP (or its SDSP-PN)
-//! tpnc behavior <file>              the behaviour graph up to the frustum
-//! tpnc storage  <file> [--balance]  minimise storage (or balance buffering)
-//! tpnc acode    <file>              dump the compiled SDSP as A-code
+//! tpnc dot      <file>... [--pn]    Graphviz of the SDSP (or its SDSP-PN)
+//! tpnc behavior <file>...           the behaviour graph up to the frustum
+//! tpnc storage  <file>... [--balance]  minimise storage (or balance buffering)
+//! tpnc acode    <file>...           dump the compiled SDSP as A-code
 //! ```
 //!
+//! Every subcommand takes `--format text|json` and one or more inputs;
+//! multiple inputs are compiled concurrently through [`tpn::batch`]. Each
 //! `<file>` is a loop in the SISAL-flavoured language — or an A-code dump
 //! produced by `tpnc acode` (recognised by its `.sdsp` header), so
 //! compiled loops can be saved and re-analysed — or `-` for stdin.
-//! All logic lives here so it can be unit-tested; `main.rs` only forwards
-//! `std::env::args` and prints.
+//!
+//! Flags are described declaratively in [`struct@OPTIONS`]: one table row per
+//! flag (name, value placeholder, help, setter), from which both the
+//! parser and [`usage`] are derived. All logic lives here so it can be
+//! unit-tested; `main.rs` only forwards `std::env::args` and prints.
 
 use std::fmt::Write as _;
 
+use serde::Serialize;
 use tpn::CompiledLoop;
 use tpn_sched::behavior::BehaviorGraph;
+
+/// Output format of every subcommand.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Format {
+    /// Human-readable text (the historical output, byte-stable).
+    #[default]
+    Text,
+    /// One JSON object per input, one per line.
+    Json,
+}
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Invocation {
     /// The subcommand.
     pub command: Command,
-    /// The input path (`-` for stdin).
-    pub input: String,
+    /// The input paths (`-` for stdin), in command-line order.
+    pub inputs: Vec<String>,
     /// `--scp L`.
     pub scp_depth: Option<u64>,
     /// `--iterations N` (emit).
@@ -38,6 +54,15 @@ pub struct Invocation {
     pub petri_form: bool,
     /// `--balance` (storage).
     pub balance: bool,
+    /// `--format text|json`.
+    pub format: Format,
+}
+
+impl Invocation {
+    /// The first input path (callers that only support one input).
+    pub fn input(&self) -> &str {
+        &self.inputs[0]
+    }
 }
 
 /// Subcommands of `tpnc`.
@@ -59,9 +84,98 @@ pub enum Command {
     Acode,
 }
 
-/// Usage text.
-pub const USAGE: &str = "usage: tpnc <analyze|schedule|emit|dot|behavior|storage|acode> <file|-> \
-[--scp L] [--iterations N] [--pn] [--balance]";
+/// One row of the option table: a flag, its value placeholder (if it
+/// takes one), its help line, and the setter applying it to an
+/// [`Invocation`].
+pub struct OptSpec {
+    /// The flag, e.g. `--scp`.
+    pub flag: &'static str,
+    /// Placeholder for the flag's value; `None` for boolean flags.
+    pub value: Option<&'static str>,
+    /// One-line description, shown in [`usage`].
+    pub help: &'static str,
+    apply: fn(&mut Invocation, Option<&str>) -> Result<(), String>,
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("bad {flag} value {v:?}"))
+}
+
+/// The declarative option table: the parser and [`usage`] are both
+/// derived from these rows, so adding a flag is one entry here.
+pub static OPTIONS: &[OptSpec] = &[
+    OptSpec {
+        flag: "--scp",
+        value: Some("L"),
+        help: "run on an L-stage single-clean-pipeline machine",
+        apply: |inv, v| {
+            inv.scp_depth = Some(parse_value("--scp", v.unwrap())?);
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--iterations",
+        value: Some("N"),
+        help: "iterations to emit (emit; default 16)",
+        apply: |inv, v| {
+            inv.iterations = parse_value("--iterations", v.unwrap())?;
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--pn",
+        value: None,
+        help: "export the SDSP-PN instead of the SDSP (dot)",
+        apply: |inv, _| {
+            inv.petri_form = true;
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--balance",
+        value: None,
+        help: "balance buffering instead of minimising storage (storage)",
+        apply: |inv, _| {
+            inv.balance = true;
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--format",
+        value: Some("text|json"),
+        help: "output format (default text)",
+        apply: |inv, v| {
+            inv.format = match v.unwrap() {
+                "text" => Format::Text,
+                "json" => Format::Json,
+                other => return Err(format!("bad --format value {other:?}")),
+            };
+            Ok(())
+        },
+    },
+];
+
+/// The usage text, generated from the subcommand list and
+/// [`struct@OPTIONS`].
+pub fn usage() -> String {
+    let mut s = String::from(
+        "usage: tpnc <analyze|schedule|emit|dot|behavior|storage|acode> <file|-> [<file> ...]",
+    );
+    for opt in OPTIONS {
+        match opt.value {
+            Some(v) => {
+                let _ = write!(s, " [{} {v}]", opt.flag);
+            }
+            None => {
+                let _ = write!(s, " [{}]", opt.flag);
+            }
+        }
+    }
+    for opt in OPTIONS {
+        let _ = write!(s, "\n  {:<22} {}", opt.flag, opt.help);
+    }
+    s
+}
 
 /// Parses a command line (without the leading program name).
 ///
@@ -78,68 +192,116 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
         Some("behavior") => Command::Behavior,
         Some("storage") => Command::Storage,
         Some("acode") => Command::Acode,
-        Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
-        None => return Err(USAGE.to_string()),
+        Some(other) => return Err(format!("unknown command {other:?}\n{}", usage())),
+        None => return Err(usage()),
     };
     let mut invocation = Invocation {
         command,
-        input: String::new(),
+        inputs: Vec::new(),
         scp_depth: None,
         iterations: 16,
         petri_form: false,
         balance: false,
+        format: Format::Text,
     };
-    let mut positional = Vec::new();
     while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--scp" => {
-                let v = args
-                    .next()
-                    .ok_or_else(|| "--scp needs a depth".to_string())?;
-                invocation.scp_depth =
-                    Some(v.parse().map_err(|_| format!("bad --scp value {v:?}"))?);
-            }
-            "--iterations" => {
-                let v = args
-                    .next()
-                    .ok_or_else(|| "--iterations needs a count".to_string())?;
-                invocation.iterations =
-                    v.parse().map_err(|_| format!("bad --iterations value {v:?}"))?;
-            }
-            "--pn" => invocation.petri_form = true,
-            "--balance" => invocation.balance = true,
-            other if other.starts_with("--") => {
-                return Err(format!("unknown flag {other:?}\n{USAGE}"))
-            }
-            _ => positional.push(arg),
+        if let Some(spec) = OPTIONS.iter().find(|o| o.flag == arg) {
+            let value = if spec.value.is_some() {
+                Some(args.next().ok_or_else(|| {
+                    format!("{} needs a value ({})", spec.flag, spec.value.unwrap())
+                })?)
+            } else {
+                None
+            };
+            (spec.apply)(&mut invocation, value.as_deref())?;
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag {arg:?}\n{}", usage()));
+        } else {
+            invocation.inputs.push(arg);
         }
     }
-    match positional.len() {
-        0 => return Err(format!("missing input file\n{USAGE}")),
-        1 => invocation.input = positional.remove(0),
-        _ => return Err(format!("unexpected argument {:?}\n{USAGE}", positional[1])),
+    if invocation.inputs.is_empty() {
+        return Err(format!("missing input file\n{}", usage()));
     }
     Ok(invocation)
 }
 
+/// Compiles one source, transparently accepting A-code dumps.
+fn compile(source: &str) -> Result<CompiledLoop, String> {
+    if source.trim_start().starts_with(".sdsp") {
+        let sdsp = tpn::dataflow::acode::read(source).map_err(|e| e.to_string())?;
+        Ok(CompiledLoop::from_sdsp(sdsp))
+    } else {
+        CompiledLoop::from_source(source).map_err(|e| match e {
+            tpn::Error::Lang(ref le) => le.render(source),
+            other => other.to_string(),
+        })
+    }
+}
+
 /// Executes an invocation against already-loaded source text, returning
-/// the output text.
+/// the output text (in the invocation's [`Format`]).
 ///
 /// # Errors
 ///
 /// Human-readable pipeline errors (with source positions for language
 /// diagnostics).
 pub fn execute(invocation: &Invocation, source: &str) -> Result<String, String> {
-    // A-code inputs (saved compiled loops) are recognised by their header.
-    let lp = if source.trim_start().starts_with(".sdsp") {
-        let sdsp = tpn::dataflow::acode::read(source).map_err(|e| e.to_string())?;
-        CompiledLoop::from_sdsp(sdsp)
+    execute_named(invocation, source, None)
+}
+
+fn execute_named(
+    invocation: &Invocation,
+    source: &str,
+    file: Option<&str>,
+) -> Result<String, String> {
+    let lp = compile(source)?;
+    match invocation.format {
+        Format::Text => execute_text(invocation, &lp),
+        Format::Json => execute_json(invocation, &lp, file),
+    }
+}
+
+/// Executes every input concurrently on the [`tpn::batch`] worker pool
+/// and merges the outputs in input order: raw for a single text input
+/// (byte-stable with [`execute`]), `== name ==` headers for several text
+/// inputs, and one JSON object per line for `--format json`.
+///
+/// # Errors
+///
+/// The failures of every failing input, one per line, prefixed with the
+/// input's name when there are several inputs.
+pub fn run_batch(invocation: &Invocation, sources: &[(String, String)]) -> Result<String, String> {
+    let results = tpn::batch::parallel_map(
+        sources,
+        tpn::batch::default_threads(),
+        |_, (name, source)| execute_named(invocation, source, Some(name)),
+    );
+    let single = sources.len() == 1;
+    let mut out = String::new();
+    let mut errors = String::new();
+    for ((name, _), result) in sources.iter().zip(results) {
+        match result {
+            Ok(text) => {
+                if !single && invocation.format == Format::Text {
+                    let _ = writeln!(out, "== {name} ==");
+                }
+                out.push_str(&text);
+            }
+            Err(e) if single => return Err(e),
+            Err(e) => {
+                let _ = writeln!(errors, "{name}: {e}");
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(out)
     } else {
-        CompiledLoop::from_source(source).map_err(|e| match e {
-            tpn::Error::Lang(ref le) => le.render(source),
-            other => other.to_string(),
-        })?
-    };
+        Err(errors.trim_end_matches('\n').to_string())
+    }
+}
+
+fn execute_text(invocation: &Invocation, lp: &CompiledLoop) -> Result<String, String> {
     let mut out = String::new();
     match invocation.command {
         Command::Analyze => {
@@ -158,11 +320,7 @@ pub fn execute(invocation: &Invocation, source: &str) -> Result<String, String> 
                 a.cycle_time
             );
             let _ = writeln!(out, "optimal computation rate: {}", a.optimal_rate);
-            let _ = writeln!(
-                out,
-                "storage: {} locations",
-                lp.sdsp().storage_locations()
-            );
+            let _ = writeln!(out, "storage: {} locations", lp.sdsp().storage_locations());
         }
         Command::Schedule => match invocation.scp_depth {
             None => {
@@ -191,13 +349,7 @@ pub fn execute(invocation: &Invocation, source: &str) -> Result<String, String> 
             }
         },
         Command::Emit => {
-            let program = match invocation.scp_depth {
-                None => lp.emit(invocation.iterations).map_err(|e| e.to_string())?,
-                Some(depth) => {
-                    let run = lp.scp(depth).map_err(|e| e.to_string())?;
-                    tpn_codegen::emit(lp.sdsp(), &run.schedule, invocation.iterations)
-                }
-            };
+            let program = emit_program(invocation, lp)?;
             let _ = writeln!(
                 out,
                 "; {} bundles, kernel {} cycles, peak width {}, compact size {} ops",
@@ -217,7 +369,7 @@ pub fn execute(invocation: &Invocation, source: &str) -> Result<String, String> 
             }
         }
         Command::Behavior => {
-            let frustum = lp.frustum().map_err(|e| e.to_string())?;
+            let frustum = lp.shared_frustum().map_err(|e| e.to_string())?;
             let pn = lp.petri_net();
             let bg = BehaviorGraph::build(&pn.net, &pn.marking, &frustum.steps);
             out.push_str(&bg.render(&pn.net));
@@ -259,11 +411,238 @@ pub fn execute(invocation: &Invocation, source: &str) -> Result<String, String> 
     Ok(out)
 }
 
+fn emit_program(
+    invocation: &Invocation,
+    lp: &CompiledLoop,
+) -> Result<tpn_codegen::Program, String> {
+    match invocation.scp_depth {
+        None => lp.emit(invocation.iterations).map_err(|e| e.to_string()),
+        Some(depth) => {
+            let run = lp.scp(depth).map_err(|e| e.to_string())?;
+            Ok(tpn_codegen::emit(
+                lp.sdsp(),
+                &run.schedule,
+                invocation.iterations,
+            ))
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct AnalyzeJson {
+    file: Option<String>,
+    command: String,
+    size: usize,
+    input_arrays: Vec<String>,
+    params: Vec<String>,
+    critical_cycle: Vec<String>,
+    cycle_time: String,
+    optimal_rate: String,
+    storage_locations: usize,
+}
+
+#[derive(Serialize)]
+struct ScheduleJson {
+    file: Option<String>,
+    command: String,
+    scp_depth: Option<u64>,
+    initiation_interval: String,
+    period: u64,
+    iterations_per_period: u64,
+    rate: Option<String>,
+    utilization: Option<String>,
+    kernel: String,
+}
+
+#[derive(Serialize)]
+struct EmitJson {
+    file: Option<String>,
+    command: String,
+    bundles: usize,
+    period: u64,
+    max_width: usize,
+    compact_size: usize,
+    program: String,
+}
+
+#[derive(Serialize)]
+struct DotJson {
+    file: Option<String>,
+    command: String,
+    form: String,
+    dot: String,
+}
+
+#[derive(Serialize)]
+struct BehaviorJson {
+    file: Option<String>,
+    command: String,
+    start_time: u64,
+    repeat_time: u64,
+    period: u64,
+    graph: String,
+}
+
+#[derive(Serialize)]
+struct StorageJson {
+    file: Option<String>,
+    command: String,
+    mode: String,
+    locations_before: usize,
+    locations_after: usize,
+    rate_before: Option<String>,
+    rate_after: String,
+}
+
+#[derive(Serialize)]
+struct AcodeJson {
+    file: Option<String>,
+    command: String,
+    acode: String,
+}
+
+fn to_json_line<T: Serialize>(value: &T) -> Result<String, String> {
+    serde_json::to_string(value)
+        .map(|mut s| {
+            s.push('\n');
+            s
+        })
+        .map_err(|e| e.to_string())
+}
+
+fn execute_json(
+    invocation: &Invocation,
+    lp: &CompiledLoop,
+    file: Option<&str>,
+) -> Result<String, String> {
+    let file = file.map(String::from);
+    match invocation.command {
+        Command::Analyze => {
+            let a = lp.analyze().map_err(|e| e.to_string())?;
+            to_json_line(&AnalyzeJson {
+                file,
+                command: "analyze".into(),
+                size: lp.size(),
+                input_arrays: lp.sdsp().input_arrays(),
+                params: lp.sdsp().params(),
+                critical_cycle: a.critical_nodes,
+                cycle_time: a.cycle_time.to_string(),
+                optimal_rate: a.optimal_rate.to_string(),
+                storage_locations: lp.sdsp().storage_locations(),
+            })
+        }
+        Command::Schedule => {
+            let row = match invocation.scp_depth {
+                None => {
+                    let s = lp.schedule().map_err(|e| e.to_string())?;
+                    ScheduleJson {
+                        file,
+                        command: "schedule".into(),
+                        scp_depth: None,
+                        initiation_interval: s.initiation_interval().to_string(),
+                        period: s.period(),
+                        iterations_per_period: s.iterations_per_period(),
+                        rate: None,
+                        utilization: None,
+                        kernel: s.render_kernel(),
+                    }
+                }
+                Some(depth) => {
+                    let run = lp.scp(depth).map_err(|e| e.to_string())?;
+                    ScheduleJson {
+                        file,
+                        command: "schedule".into(),
+                        scp_depth: Some(depth),
+                        initiation_interval: run.schedule.initiation_interval().to_string(),
+                        period: run.schedule.period(),
+                        iterations_per_period: run.schedule.iterations_per_period(),
+                        rate: Some(run.rates.measured.to_string()),
+                        utilization: Some(run.rates.utilization.to_string()),
+                        kernel: run.schedule.render_kernel(),
+                    }
+                }
+            };
+            to_json_line(&row)
+        }
+        Command::Emit => {
+            let program = emit_program(invocation, lp)?;
+            to_json_line(&EmitJson {
+                file,
+                command: "emit".into(),
+                bundles: program.bundles.len(),
+                period: program.period,
+                max_width: program.max_width,
+                compact_size: program.compact_size(),
+                program: program.render(lp.sdsp(), usize::MAX),
+            })
+        }
+        Command::Dot => {
+            let (form, dot) = if invocation.petri_form {
+                let pn = lp.petri_net();
+                ("petri", tpn_petri::dot::to_dot(&pn.net, &pn.marking))
+            } else {
+                ("sdsp", tpn_dataflow::dot::to_dot(lp.sdsp()))
+            };
+            to_json_line(&DotJson {
+                file,
+                command: "dot".into(),
+                form: form.into(),
+                dot,
+            })
+        }
+        Command::Behavior => {
+            let frustum = lp.shared_frustum().map_err(|e| e.to_string())?;
+            let pn = lp.petri_net();
+            let bg = BehaviorGraph::build(&pn.net, &pn.marking, &frustum.steps);
+            to_json_line(&BehaviorJson {
+                file,
+                command: "behavior".into(),
+                start_time: frustum.start_time,
+                repeat_time: frustum.repeat_time,
+                period: frustum.period(),
+                graph: bg.render(&pn.net),
+            })
+        }
+        Command::Acode => to_json_line(&AcodeJson {
+            file,
+            command: "acode".into(),
+            acode: tpn::dataflow::acode::write(lp.sdsp()),
+        }),
+        Command::Storage => {
+            let row = if invocation.balance {
+                let (_, report) = lp.balance().map_err(|e| e.to_string())?;
+                StorageJson {
+                    file,
+                    command: "storage".into(),
+                    mode: "balance".into(),
+                    locations_before: report.locations_before,
+                    locations_after: report.locations_after,
+                    rate_before: Some(report.rate_before.to_string()),
+                    rate_after: report.rate_after.to_string(),
+                }
+            } else {
+                let (_, report) = lp.minimize_storage().map_err(|e| e.to_string())?;
+                StorageJson {
+                    file,
+                    command: "storage".into(),
+                    mode: "minimize".into(),
+                    locations_before: report.before,
+                    locations_after: report.after,
+                    rate_before: None,
+                    rate_after: report.cycle_time.recip().to_string(),
+                }
+            };
+            to_json_line(&row)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const L5: &str = "do i from 2 to n { X[i] := Z[i] * (Y[i] - X[i-1]); }";
+    const L1: &str = "do i from 1 to n { A[i] := X[i] + 5; B[i] := Y[i] + A[i]; }";
 
     fn args(s: &str) -> Vec<String> {
         s.split_whitespace().map(String::from).collect()
@@ -273,16 +652,25 @@ mod tests {
     fn parses_subcommands_and_flags() {
         let inv = parse_args(args("schedule foo.loop --scp 8")).unwrap();
         assert_eq!(inv.command, Command::Schedule);
-        assert_eq!(inv.input, "foo.loop");
+        assert_eq!(inv.input(), "foo.loop");
         assert_eq!(inv.scp_depth, Some(8));
         let inv = parse_args(args("emit - --iterations 5")).unwrap();
         assert_eq!(inv.command, Command::Emit);
-        assert_eq!(inv.input, "-");
+        assert_eq!(inv.input(), "-");
         assert_eq!(inv.iterations, 5);
         let inv = parse_args(args("dot x --pn")).unwrap();
         assert!(inv.petri_form);
         let inv = parse_args(args("storage x --balance")).unwrap();
         assert!(inv.balance);
+        let inv = parse_args(args("analyze x --format json")).unwrap();
+        assert_eq!(inv.format, Format::Json);
+    }
+
+    #[test]
+    fn parses_multiple_inputs() {
+        let inv = parse_args(args("analyze a.loop b.loop c.loop")).unwrap();
+        assert_eq!(inv.inputs, vec!["a.loop", "b.loop", "c.loop"]);
+        assert_eq!(inv.input(), "a.loop");
     }
 
     #[test]
@@ -290,10 +678,23 @@ mod tests {
         assert!(parse_args(args("")).is_err());
         assert!(parse_args(args("frobnicate x")).is_err());
         assert!(parse_args(args("analyze")).is_err());
-        assert!(parse_args(args("analyze a b")).is_err());
         assert!(parse_args(args("schedule x --scp")).is_err());
         assert!(parse_args(args("schedule x --scp many")).is_err());
         assert!(parse_args(args("schedule x --wat")).is_err());
+        assert!(parse_args(args("analyze x --format yaml")).is_err());
+    }
+
+    #[test]
+    fn usage_lists_every_option() {
+        let text = usage();
+        for opt in OPTIONS {
+            assert!(text.contains(opt.flag), "usage misses {}", opt.flag);
+            assert!(
+                text.contains(opt.help),
+                "usage misses help for {}",
+                opt.flag
+            );
+        }
     }
 
     #[test]
@@ -369,11 +770,14 @@ mod tests {
 
     #[test]
     fn malformed_acode_is_reported() {
-        let err = execute(&parse_args(args("analyze -")).unwrap(), ".sdsp
+        let err = execute(
+            &parse_args(args("analyze -")).unwrap(),
+            ".sdsp
 wat
 .end
-")
-            .unwrap_err();
+",
+        )
+        .unwrap_err();
         assert!(err.contains("line 2"), "got: {err}");
     }
 
@@ -382,5 +786,86 @@ wat
         let inv = parse_args(args("analyze -")).unwrap();
         let err = execute(&inv, "do i from 1 to n { A[i] := X[j]; }").unwrap_err();
         assert!(err.contains("1:28"), "got: {err}");
+    }
+
+    #[test]
+    fn json_format_emits_one_object_per_command() {
+        let inv = parse_args(args("analyze - --format json")).unwrap();
+        let out = execute(&inv, L5).unwrap();
+        assert!(out.starts_with('{') && out.ends_with("}\n"), "got: {out}");
+        assert!(out.contains("\"command\":\"analyze\""));
+        assert!(out.contains("\"optimal_rate\":\"1/2\""));
+        assert_eq!(out.lines().count(), 1);
+
+        let inv = parse_args(args("schedule - --scp 4 --format json")).unwrap();
+        let out = execute(&inv, L5).unwrap();
+        assert!(out.contains("\"scp_depth\":4"));
+        assert!(out.contains("\"kernel\":\""));
+
+        for cmd in ["emit", "dot", "behavior", "storage", "acode"] {
+            let inv = parse_args(args(&format!("{cmd} - --format json"))).unwrap();
+            let out = execute(&inv, L5).unwrap();
+            assert!(
+                out.contains(&format!("\"command\":\"{cmd}\"")),
+                "{cmd} got: {out}"
+            );
+            assert_eq!(out.lines().count(), 1, "{cmd} emitted multiple lines");
+        }
+    }
+
+    #[test]
+    fn batch_single_text_input_is_byte_identical_to_execute() {
+        let inv = parse_args(args("analyze -")).unwrap();
+        let direct = execute(&inv, L5).unwrap();
+        let batched = run_batch(&inv, &[("<stdin>".to_string(), L5.to_string())]).unwrap();
+        assert_eq!(direct, batched);
+    }
+
+    #[test]
+    fn batch_multi_text_inputs_get_headers() {
+        let inv = parse_args(args("analyze a b")).unwrap();
+        let out = run_batch(
+            &inv,
+            &[
+                ("a".to_string(), L5.to_string()),
+                ("b".to_string(), L1.to_string()),
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("== a =="));
+        assert!(out.contains("== b =="));
+        assert!(out.contains("optimal computation rate: 1/2"));
+        assert!(out.contains("optimal computation rate: 1"));
+    }
+
+    #[test]
+    fn batch_json_tags_each_line_with_its_file() {
+        let inv = parse_args(args("analyze a b --format json")).unwrap();
+        let out = run_batch(
+            &inv,
+            &[
+                ("a".to_string(), L5.to_string()),
+                ("b".to_string(), L1.to_string()),
+            ],
+        )
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"file\":\"a\""));
+        assert!(lines[1].contains("\"file\":\"b\""));
+    }
+
+    #[test]
+    fn batch_reports_failures_per_file() {
+        let inv = parse_args(args("analyze a b")).unwrap();
+        let err = run_batch(
+            &inv,
+            &[
+                ("a".to_string(), "garbage".to_string()),
+                ("b".to_string(), L5.to_string()),
+            ],
+        )
+        .unwrap_err();
+        assert!(err.starts_with("a: "), "got: {err}");
     }
 }

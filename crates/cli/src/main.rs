@@ -11,23 +11,28 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let source = if invocation.input == "-" {
-        let mut buf = String::new();
-        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
-            eprintln!("error reading stdin: {e}");
-            return ExitCode::FAILURE;
-        }
-        buf
-    } else {
-        match std::fs::read_to_string(&invocation.input) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error reading {}: {e}", invocation.input);
+    let mut sources = Vec::with_capacity(invocation.inputs.len());
+    for input in &invocation.inputs {
+        let source = if input == "-" {
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                eprintln!("error reading stdin: {e}");
                 return ExitCode::FAILURE;
             }
-        }
-    };
-    match tpn_cli::execute(&invocation, &source) {
+            buf
+        } else {
+            match std::fs::read_to_string(input) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error reading {input}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        let name = if input == "-" { "<stdin>" } else { input };
+        sources.push((name.to_string(), source));
+    }
+    match tpn_cli::run_batch(&invocation, &sources) {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS

@@ -278,7 +278,10 @@ impl fmt::Display for CodegenError {
                 reader.0, reader.1, buffer, cycle, available
             ),
             CodegenError::TooWide { cycle, ops, width } => {
-                write!(f, "bundle at cycle {cycle} has {ops} ops on a width-{width} machine")
+                write!(
+                    f,
+                    "bundle at cycle {cycle} has {ops} ops on a width-{width} machine"
+                )
             }
             CodegenError::Env(e) => write!(f, "{e}"),
         }
@@ -548,9 +551,7 @@ pub fn run_with_width(
                         }
                         cell.value
                     }
-                    Src::Env { array, offset } => {
-                        env.get(array, op.iteration as i64 + offset)?
-                    }
+                    Src::Env { array, offset } => env.get(array, op.iteration as i64 + offset)?,
                     Src::Param(p) => env.scalar(p)?,
                     Src::Lit(v) => *v,
                     Src::Index => op.iteration as f64,

@@ -82,8 +82,7 @@ impl CodeShape {
         let reference = crate::emit(sdsp, schedule, horizon.max(k));
         // The kernel window of node n covers its final k recorded
         // iterations; everything earlier is prologue.
-        let kernel_start_iter =
-            |n: NodeId| schedule.recorded_iterations(n) as u64 - k;
+        let kernel_start_iter = |n: NodeId| schedule.recorded_iterations(n) as u64 - k;
         let kernel_base_cycle = sdsp
             .node_ids()
             .map(|n| schedule.start_time(n, kernel_start_iter(n)))

@@ -47,8 +47,7 @@ fn all_kernels_emit_and_run_cleanly() {
         let schedule = schedule_of(&sdsp);
         let program = emit(&sdsp, &schedule, 40);
         let env = kernel.env(64);
-        let outcome = run(&program, &sdsp, &env)
-            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        let outcome = run(&program, &sdsp, &env).unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
         let reference = execute(&sdsp, &env, 40).unwrap();
         for (nid, _) in sdsp.nodes() {
             assert_eq!(
@@ -68,18 +67,12 @@ fn program_shape_reflects_the_schedule() {
     let program = emit(&sdsp, &schedule, 30);
     assert_eq!(program.period, schedule.period());
     assert_eq!(program.iterations, 30);
-    assert_eq!(
-        program.buffer_capacity.len(),
-        sdsp.acks().count()
-    );
+    assert_eq!(program.buffer_capacity.len(), sdsp.acks().count());
     // Total ops = nodes × iterations.
     let total: usize = program.bundles.iter().map(|b| b.ops.len()).sum();
     assert_eq!(total, sdsp.num_nodes() * 30);
     // Bundles are strictly ordered by cycle.
-    assert!(program
-        .bundles
-        .windows(2)
-        .all(|w| w[0].cycle < w[1].cycle));
+    assert!(program.bundles.windows(2).all(|w| w[0].cycle < w[1].cycle));
     assert!(program.max_width >= 1);
 }
 
@@ -128,10 +121,8 @@ fn coalesced_storage_executes_correctly() {
 fn balanced_storage_executes_correctly() {
     // Capacity-2 buffers (the FIFO extension) double-buffer the DOALL
     // kernels; values must still match.
-    let sdsp = tpn_lang::compile(
-        "doall i from 1 to n { A[i] := X[i] + 1; B[i] := A[i] * 2; }",
-    )
-    .unwrap();
+    let sdsp =
+        tpn_lang::compile("doall i from 1 to n { A[i] := X[i] + 1; B[i] := A[i] * 2; }").unwrap();
     let (balanced, report) = tpn_storage::balance(&sdsp).unwrap();
     assert_eq!(report.rate_after, tpn_petri::Ratio::ONE);
     let schedule = schedule_of(&balanced);
@@ -169,10 +160,8 @@ fn width_limit_is_enforced() {
 #[test]
 fn corrupted_schedule_is_caught_by_the_simulator() {
     // Hand-build a program that reads B's input before A wrote it.
-    let sdsp = tpn_lang::compile(
-        "doall i from 1 to n { A[i] := X[i] + 1; B[i] := A[i] * 2; }",
-    )
-    .unwrap();
+    let sdsp =
+        tpn_lang::compile("doall i from 1 to n { A[i] := X[i] + 1; B[i] := A[i] * 2; }").unwrap();
     let names = sdsp.names();
     let (a, b) = (names["A"], names["B"]);
     let arc = sdsp.arc_of_operand(b, 0).unwrap();
@@ -223,11 +212,7 @@ fn corrupted_schedule_is_caught_by_the_simulator() {
 fn premature_read_is_caught() {
     // A valid order but a read one cycle too early for a 3-cycle multiply.
     let mut b = tpn_dataflow::SdspBuilder::new();
-    let a = b.node(
-        "A",
-        OpKind::Mul,
-        [Operand::env("X", 0), Operand::lit(2.0)],
-    );
+    let a = b.node("A", OpKind::Mul, [Operand::env("X", 0), Operand::lit(2.0)]);
     let c = b.node("C", OpKind::Neg, [Operand::node(a)]);
     b.set_time(a, 3);
     let sdsp = b.finish().unwrap();
@@ -354,8 +339,9 @@ mod shape_tests {
                 seed,
             });
             let pn = tpn_dataflow::to_petri::to_petri(&sdsp);
-            let f = tpn_sched::frustum::detect_frustum_eager(&pn.net, pn.marking.clone(), 2_000_000)
-                .unwrap();
+            let f =
+                tpn_sched::frustum::detect_frustum_eager(&pn.net, pn.marking.clone(), 2_000_000)
+                    .unwrap();
             let Ok(schedule) = LoopSchedule::from_frustum(&sdsp, &pn, &f) else {
                 continue; // disconnected body
             };

@@ -1,0 +1,226 @@
+//! Batched compilation: drive many loops through the pipeline
+//! concurrently on a scoped `std::thread` worker pool.
+//!
+//! The [`parallel_map`] primitive distributes an item slice over a fixed
+//! number of workers (work-stealing by atomic index claiming) and returns
+//! results **in input order**, so batched runs are deterministic and
+//! bit-identical to sequential ones. [`Batch`] layers the façade on top:
+//! it compiles each source (or wraps each SDSP) with shared
+//! [`CompileOptions`] and *warms* the memoized stages — analysis, frustum
+//! detection, schedule derivation — inside the worker, so the expensive
+//! work runs concurrently and later calls on the returned
+//! [`CompiledLoop`]s are cache hits.
+//!
+//! ```
+//! use tpn::batch::Batch;
+//!
+//! let sources = [
+//!     "do i from 2 to n { X[i] := Z[i] * (Y[i] - X[i-1]); }",
+//!     "do i from 1 to n { A[i] := X[i] + 5; B[i] := Y[i] + A[i]; }",
+//! ];
+//! let loops = Batch::new().compile_sources(&sources);
+//! assert_eq!(loops.len(), 2);
+//! for lp in &loops {
+//!     let lp = lp.as_ref().expect("both loops compile");
+//!     assert!(lp.schedule().is_ok()); // already computed by the batch
+//! }
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use tpn_dataflow::Sdsp;
+
+use crate::{CompileOptions, CompiledLoop, Error};
+
+/// The worker count used when none is configured: the machine's available
+/// parallelism, at least 1.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items` on `threads` scoped workers and
+/// returns the results in input order.
+///
+/// Items are claimed one at a time from a shared atomic counter, so
+/// uneven per-item costs balance across workers. `f` receives the item's
+/// index alongside the item. With `threads <= 1` (or a single item) the
+/// map runs on the calling thread — the output is identical either way.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(items.len());
+    let mut chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(i, item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    });
+    let mut indexed: Vec<(usize, R)> = chunks.drain(..).flatten().collect();
+    indexed.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A batched compilation driver: shared options, a worker pool, and
+/// warmed per-loop stage caches.
+#[derive(Clone, Debug, Default)]
+pub struct Batch {
+    options: CompileOptions,
+    threads: Option<usize>,
+}
+
+impl Batch {
+    /// A batch with default options and [`default_threads`] workers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the [`CompileOptions`] applied to every loop in the batch.
+    #[must_use]
+    pub fn options(mut self, options: CompileOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Fixes the worker count (default: [`default_threads`]).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The effective worker count.
+    pub fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(default_threads)
+    }
+
+    /// Compiles every source concurrently, warming each loop's analysis,
+    /// frustum and schedule caches in the worker. Results are in input
+    /// order; per-source failures are per-slot `Err`s.
+    pub fn compile_sources<S: AsRef<str> + Sync>(
+        &self,
+        sources: &[S],
+    ) -> Vec<Result<CompiledLoop, Error>> {
+        parallel_map(sources, self.effective_threads(), |_, src| {
+            let lp = CompiledLoop::from_source_with(src.as_ref(), self.options.clone())?;
+            warm(&lp);
+            Ok(lp)
+        })
+    }
+
+    /// Wraps every SDSP concurrently (no front-end involved), warming the
+    /// stage caches as [`compile_sources`](Self::compile_sources) does.
+    pub fn compile_sdsps(&self, sdsps: &[Sdsp]) -> Vec<CompiledLoop> {
+        parallel_map(sdsps, self.effective_threads(), |_, sdsp| {
+            let lp = CompiledLoop::from_sdsp_with(sdsp.clone(), self.options.clone());
+            warm(&lp);
+            lp
+        })
+    }
+
+    /// Runs `f` over already-compiled loops on the batch's worker pool —
+    /// the generic escape hatch for custom per-loop stages (SCP runs,
+    /// storage rewrites, report rendering, …). Results are in input order.
+    pub fn map<R, F>(&self, loops: &[CompiledLoop], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&CompiledLoop) -> R + Sync,
+    {
+        parallel_map(loops, self.effective_threads(), |_, lp| f(lp))
+    }
+}
+
+/// Forces the memoized stages whose results every downstream consumer
+/// needs. Errors are not propagated here — they are memoized too, and
+/// surface (cheaply) when the stage accessor is called.
+fn warm(lp: &CompiledLoop) {
+    let _ = lp.analyze();
+    if lp.shared_frustum().is_ok() {
+        let _ = lp.shared_schedule();
+        let _ = lp.rate_report();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = parallel_map(&items, 8, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_single_threaded_matches() {
+        let items: Vec<u64> = (0..37).collect();
+        let seq = parallel_map(&items, 1, |_, &x| x * x);
+        let par = parallel_map(&items, 4, |_, &x| x * x);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn batch_matches_sequential_compilation() {
+        let sources = [
+            "do i from 2 to n { X[i] := Z[i] * (Y[i] - X[i-1]); }",
+            "do i from 1 to n { A[i] := X[i] + 5; B[i] := Y[i] + A[i]; }",
+            "not a loop at all",
+        ];
+        let batched = Batch::new().threads(3).compile_sources(&sources);
+        for (src, got) in sources.iter().zip(&batched) {
+            match CompiledLoop::from_source(src) {
+                Ok(expected) => {
+                    let got = got.as_ref().expect(src);
+                    assert_eq!(
+                        got.schedule().unwrap().kernel(),
+                        expected.schedule().unwrap().kernel()
+                    );
+                    assert_eq!(got.analyze().unwrap(), expected.analyze().unwrap());
+                }
+                Err(expected) => {
+                    assert_eq!(got.as_ref().unwrap_err(), &expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_applies_shared_options() {
+        let sources = ["do i from 2 to n { X[i] := Z[i] * (Y[i] - X[i-1]); }"];
+        let loops = Batch::new()
+            .options(CompileOptions::new().node_time(2))
+            .compile_sources(&sources);
+        let lp = loops[0].as_ref().unwrap();
+        assert_eq!(lp.analyze().unwrap().optimal_rate.to_string(), "1/4");
+    }
+}

@@ -12,6 +12,16 @@
 //!      ──earliest firing──▶ cyclic frustum ──▶ time-optimal schedule
 //! ```
 //!
+//! The façade is a **staged, memoizing pipeline**: a [`CompiledLoop`]
+//! parses and lowers its loop exactly once, and every derived product —
+//! the critical-cycle [`Analysis`], the cyclic frustum, the schedule, SCP
+//! runs per pipeline depth, storage rewrites — is computed on first use
+//! and shared (via [`std::sync::Arc`]) by all later calls, so e.g.
+//! [`schedule()`](CompiledLoop::schedule) after
+//! [`rate_report()`](CompiledLoop::rate_report) does not re-run frustum
+//! detection. Compilation is tuned with [`CompileOptions`]; many loops
+//! are driven concurrently with [`batch`].
+//!
 //! # Quickstart
 //!
 //! ```
@@ -36,7 +46,9 @@
 //! # Ok::<(), tpn::Error>(())
 //! ```
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 pub use tpn_codegen as codegen;
 pub use tpn_dataflow as dataflow;
@@ -45,6 +57,8 @@ pub use tpn_petri as petri;
 pub use tpn_sched as sched;
 pub use tpn_storage as storage;
 
+pub mod batch;
+
 use tpn_dataflow::to_petri::{to_petri, SdspPn};
 use tpn_dataflow::{DataflowError, Sdsp};
 use tpn_lang::LangError;
@@ -52,12 +66,12 @@ use tpn_petri::ratio::{critical_ratio, CriticalWitness};
 use tpn_petri::rational::Ratio;
 use tpn_petri::PetriError;
 use tpn_sched::frustum::{detect_frustum, detect_frustum_eager, FrustumReport};
-use tpn_sched::policy::FifoPolicy;
+use tpn_sched::policy::{FifoPolicy, PriorityPolicy};
 use tpn_sched::rate::{RateReport, ScpRateReport};
 use tpn_sched::schedule::LoopSchedule;
 use tpn_sched::scp::{build_scp, ScpPn};
 use tpn_sched::SchedError;
-use tpn_storage::{minimize_storage, StorageError, StorageReport};
+use tpn_storage::{minimize_storage, BalanceReport, StorageError, StorageReport};
 
 /// Unified error type of the pipeline.
 #[derive(Clone, Debug, PartialEq)]
@@ -105,7 +119,96 @@ impl_from_error!(
     Storage(StorageError),
 );
 
-impl std::error::Error for Error {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Lang(e) => Some(e),
+            Error::Dataflow(e) => Some(e),
+            Error::Petri(e) => Some(e),
+            Error::Sched(e) => Some(e),
+            Error::Storage(e) => Some(e),
+        }
+    }
+}
+
+/// The issue policy for SCP (resource-constrained) execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum IssuePolicy {
+    /// First-come-first-served issue (Assumption 5.2.1's FIFO machine).
+    #[default]
+    Fifo,
+    /// Static-priority issue (lowest node index first).
+    Priority,
+}
+
+/// Tunable compilation parameters, built fluent-style:
+///
+/// ```
+/// use tpn::{CompileOptions, IssuePolicy};
+///
+/// let options = CompileOptions::new()
+///     .node_time(2)
+///     .step_budget(500_000)
+///     .issue_policy(IssuePolicy::Priority);
+/// # let _ = options;
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompileOptions {
+    node_time: Option<u64>,
+    step_budget: Option<u64>,
+    issue_policy: IssuePolicy,
+}
+
+impl CompileOptions {
+    /// Defaults: unit node times, automatic budget, FIFO issue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets every loop node's execution time to `cycles` (the paper's
+    /// model permits arbitrary integer times; the front-end assigns 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0` (Assumption A.6.1 requires positive times).
+    #[must_use]
+    pub fn node_time(mut self, cycles: u64) -> Self {
+        assert!(cycles > 0, "node execution times must be positive");
+        self.node_time = Some(cycles);
+        self
+    }
+
+    /// Caps frustum detection at `instants` simulated instants instead of
+    /// the size-derived default.
+    #[must_use]
+    pub fn step_budget(mut self, instants: u64) -> Self {
+        self.step_budget = Some(instants);
+        self
+    }
+
+    /// Selects the SCP issue policy (default FIFO).
+    #[must_use]
+    pub fn issue_policy(mut self, policy: IssuePolicy) -> Self {
+        self.issue_policy = policy;
+        self
+    }
+
+    /// The configured uniform node time, if any.
+    pub fn node_time_override(&self) -> Option<u64> {
+        self.node_time
+    }
+
+    /// The configured step budget, if any.
+    pub fn step_budget_override(&self) -> Option<u64> {
+        self.step_budget
+    }
+
+    /// The configured SCP issue policy.
+    pub fn scp_issue_policy(&self) -> IssuePolicy {
+        self.issue_policy
+    }
+}
 
 /// Critical-cycle analysis of a compiled loop.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -119,12 +222,58 @@ pub struct Analysis {
     pub critical_nodes: Vec<String>,
 }
 
-/// A loop compiled through the full pipeline, with cached SDSP and
-/// SDSP-PN forms.
+/// Memoized stage results. Every slot is filled at most once (per SCP
+/// depth for `scp`) and shared across calls and clones.
+#[derive(Default)]
+struct Caches {
+    analysis: OnceLock<Result<Analysis, Error>>,
+    frustum: OnceLock<Result<Arc<FrustumReport>, Error>>,
+    schedule: OnceLock<Result<Arc<LoopSchedule>, Error>>,
+    rates: OnceLock<Result<RateReport, Error>>,
+    scp: Mutex<HashMap<u64, Result<Arc<ScpRun>, Error>>>,
+    storage: OnceLock<Result<(Sdsp, StorageReport), Error>>,
+    balance: OnceLock<Result<(Sdsp, BalanceReport), Error>>,
+}
+
+impl Caches {
+    fn clone_lock<T: Clone>(src: &OnceLock<T>) -> OnceLock<T> {
+        let dst = OnceLock::new();
+        if let Some(v) = src.get() {
+            let _ = dst.set(v.clone());
+        }
+        dst
+    }
+}
+
+impl Clone for Caches {
+    fn clone(&self) -> Self {
+        Caches {
+            analysis: Self::clone_lock(&self.analysis),
+            frustum: Self::clone_lock(&self.frustum),
+            schedule: Self::clone_lock(&self.schedule),
+            rates: Self::clone_lock(&self.rates),
+            scp: Mutex::new(self.scp.lock().expect("scp cache poisoned").clone()),
+            storage: Self::clone_lock(&self.storage),
+            balance: Self::clone_lock(&self.balance),
+        }
+    }
+}
+
+impl fmt::Debug for Caches {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Caches").finish_non_exhaustive()
+    }
+}
+
+/// A loop compiled through the full pipeline: the SDSP and SDSP-PN forms
+/// are built once, and each analysis/scheduling stage is computed on
+/// first use and memoized (see the [crate docs](crate)).
 #[derive(Clone, Debug)]
 pub struct CompiledLoop {
     sdsp: Sdsp,
     pn: SdspPn,
+    options: CompileOptions,
+    caches: Caches,
 }
 
 /// An SCP (single-clean-pipeline) execution of a compiled loop.
@@ -141,19 +290,44 @@ pub struct ScpRun {
 }
 
 impl CompiledLoop {
-    /// Compiles loop source text through the front-end.
+    /// Compiles loop source text through the front-end with default
+    /// options.
     ///
     /// # Errors
     ///
     /// [`Error::Lang`] for parse or semantic failures.
     pub fn from_source(source: &str) -> Result<Self, Error> {
-        Ok(Self::from_sdsp(tpn_lang::compile(source)?))
+        Self::from_source_with(source, CompileOptions::default())
     }
 
-    /// Wraps an already-built SDSP.
+    /// Compiles loop source text with explicit [`CompileOptions`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Lang`] for parse or semantic failures.
+    pub fn from_source_with(source: &str, options: CompileOptions) -> Result<Self, Error> {
+        Ok(Self::from_sdsp_with(tpn_lang::compile(source)?, options))
+    }
+
+    /// Wraps an already-built SDSP with default options.
     pub fn from_sdsp(sdsp: Sdsp) -> Self {
-        let pn = to_petri(&sdsp);
-        CompiledLoop { sdsp, pn }
+        Self::from_sdsp_with(sdsp, CompileOptions::default())
+    }
+
+    /// Wraps an already-built SDSP with explicit [`CompileOptions`].
+    pub fn from_sdsp_with(sdsp: Sdsp, options: CompileOptions) -> Self {
+        let mut pn = to_petri(&sdsp);
+        if let Some(cycles) = options.node_time {
+            for &t in &pn.transition_of {
+                pn.net.set_time(t, cycles);
+            }
+        }
+        CompiledLoop {
+            sdsp,
+            pn,
+            options,
+            caches: Caches::default(),
+        }
     }
 
     /// The loop's dataflow graph.
@@ -164,6 +338,11 @@ impl CompiledLoop {
     /// The loop's SDSP-PN.
     pub fn petri_net(&self) -> &SdspPn {
         &self.pn
+    }
+
+    /// The options this loop was compiled with.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
     }
 
     /// Loop body size `n` (number of instructions).
@@ -177,65 +356,118 @@ impl CompiledLoop {
         (64 * self.size() as u64).max(100_000)
     }
 
+    /// The effective detection budget: the
+    /// [`step_budget`](CompileOptions::step_budget) override if set, else
+    /// [`default_budget`](Self::default_budget).
+    pub fn budget(&self) -> u64 {
+        self.options
+            .step_budget
+            .unwrap_or_else(|| self.default_budget())
+    }
+
     /// Critical-cycle analysis: cycle time, optimal rate, and the nodes on
-    /// a critical cycle.
+    /// a critical cycle. Memoized.
     ///
     /// # Errors
     ///
     /// [`Error::Petri`] for malformed or dead nets.
     pub fn analyze(&self) -> Result<Analysis, Error> {
-        let r = critical_ratio(&self.pn.net, &self.pn.marking)?;
-        let critical_nodes = match &r.witness {
-            CriticalWitness::Cycle(c) => c
-                .transitions()
-                .iter()
-                .map(|&t| self.pn.net.transition(t).name().to_string())
-                .collect(),
-            CriticalWitness::SelfLoop(_) => Vec::new(),
-        };
-        Ok(Analysis {
-            cycle_time: r.cycle_time,
-            optimal_rate: r.rate,
-            critical_nodes,
-        })
+        self.caches
+            .analysis
+            .get_or_init(|| {
+                let r = critical_ratio(&self.pn.net, &self.pn.marking)?;
+                let critical_nodes = match &r.witness {
+                    CriticalWitness::Cycle(c) => c
+                        .transitions()
+                        .iter()
+                        .map(|&t| self.pn.net.transition(t).name().to_string())
+                        .collect(),
+                    CriticalWitness::SelfLoop(_) => Vec::new(),
+                };
+                Ok(Analysis {
+                    cycle_time: r.cycle_time,
+                    optimal_rate: r.rate,
+                    critical_nodes,
+                })
+            })
+            .clone()
     }
 
-    /// Detects the cyclic frustum of the SDSP-PN under the earliest firing
-    /// rule, with the default budget.
+    /// The cyclic frustum of the SDSP-PN under the earliest firing rule,
+    /// detected once and shared by every stage that needs it
+    /// ([`schedule`](Self::schedule), [`rate_report`](Self::rate_report),
+    /// [`emit`](Self::emit), …).
     ///
     /// # Errors
     ///
     /// [`Error::Sched`] if the budget is exhausted (or the net deadlocks).
-    pub fn frustum(&self) -> Result<FrustumReport, Error> {
-        Ok(detect_frustum_eager(
-            &self.pn.net,
-            self.pn.marking.clone(),
-            self.default_budget(),
-        )?)
+    pub fn shared_frustum(&self) -> Result<Arc<FrustumReport>, Error> {
+        self.caches
+            .frustum
+            .get_or_init(|| {
+                Ok(Arc::new(detect_frustum_eager(
+                    &self.pn.net,
+                    self.pn.marking.clone(),
+                    self.budget(),
+                )?))
+            })
+            .clone()
     }
 
-    /// Derives the time-optimal software-pipelining schedule.
+    /// Owned-copy convenience over [`shared_frustum`](Self::shared_frustum).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`shared_frustum`](Self::shared_frustum).
+    pub fn frustum(&self) -> Result<FrustumReport, Error> {
+        self.shared_frustum().map(|f| (*f).clone())
+    }
+
+    /// The time-optimal software-pipelining schedule, derived once from
+    /// the shared frustum.
     ///
     /// # Errors
     ///
     /// [`Error::Sched`] on detection or derivation failure.
+    pub fn shared_schedule(&self) -> Result<Arc<LoopSchedule>, Error> {
+        self.caches
+            .schedule
+            .get_or_init(|| {
+                let f = self.shared_frustum()?;
+                Ok(Arc::new(LoopSchedule::from_frustum(
+                    &self.sdsp, &self.pn, &f,
+                )?))
+            })
+            .clone()
+    }
+
+    /// Owned-copy convenience over [`shared_schedule`](Self::shared_schedule).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`shared_schedule`](Self::shared_schedule).
     pub fn schedule(&self) -> Result<LoopSchedule, Error> {
-        let f = self.frustum()?;
-        Ok(LoopSchedule::from_frustum(&self.sdsp, &self.pn, &f)?)
+        self.shared_schedule().map(|s| (*s).clone())
     }
 
     /// Measures the frustum rate against the critical-cycle bound.
+    /// Memoized; reuses the shared frustum.
     ///
     /// # Errors
     ///
     /// [`Error::Sched`] / [`Error::Petri`] from detection or analysis.
     pub fn rate_report(&self) -> Result<RateReport, Error> {
-        let f = self.frustum()?;
-        RateReport::for_sdsp_pn(&self.pn, &f).map_err(Error::Petri)
+        self.caches
+            .rates
+            .get_or_init(|| {
+                let f = self.shared_frustum()?;
+                RateReport::for_sdsp_pn(&self.pn, &f).map_err(Error::Petri)
+            })
+            .clone()
     }
 
     /// Builds and runs the SDSP-SCP-PN model with an `l`-stage pipeline
-    /// under the FIFO issue policy.
+    /// under the configured [`IssuePolicy`]. Memoized per depth and shared.
     ///
     /// # Errors
     ///
@@ -244,15 +476,40 @@ impl CompiledLoop {
     /// # Panics
     ///
     /// Panics if `depth == 0`.
+    pub fn shared_scp(&self, depth: u64) -> Result<Arc<ScpRun>, Error> {
+        let mut cache = self.caches.scp.lock().expect("scp cache poisoned");
+        cache
+            .entry(depth)
+            .or_insert_with(|| self.run_scp(depth).map(Arc::new))
+            .clone()
+    }
+
+    /// Owned-copy convenience over [`shared_scp`](Self::shared_scp).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`shared_scp`](Self::shared_scp).
     pub fn scp(&self, depth: u64) -> Result<ScpRun, Error> {
+        self.shared_scp(depth).map(|r| (*r).clone())
+    }
+
+    fn run_scp(&self, depth: u64) -> Result<ScpRun, Error> {
         let model = build_scp(&self.pn, depth);
-        let budget = self.default_budget().saturating_mul(depth.max(1));
-        let frustum = detect_frustum(
-            &model.net,
-            model.marking.clone(),
-            FifoPolicy::new(&model),
-            budget,
-        )?;
+        let budget = self.budget().saturating_mul(depth.max(1));
+        let frustum = match self.options.issue_policy {
+            IssuePolicy::Fifo => detect_frustum(
+                &model.net,
+                model.marking.clone(),
+                FifoPolicy::new(&model),
+                budget,
+            )?,
+            IssuePolicy::Priority => detect_frustum(
+                &model.net,
+                model.marking.clone(),
+                PriorityPolicy::new(&model),
+                budget,
+            )?,
+        };
         let schedule = LoopSchedule::from_scp_frustum(&self.sdsp, &model, &frustum)?;
         let rates = ScpRateReport::for_scp(&model, &frustum);
         Ok(ScpRun {
@@ -264,39 +521,64 @@ impl CompiledLoop {
     }
 
     /// Runs the §6 storage optimiser and returns the optimised loop with
-    /// its report.
+    /// its report. The rewrite is memoized; the returned loop carries this
+    /// loop's options.
     ///
     /// # Errors
     ///
     /// [`Error::Storage`] on analysis failure.
     pub fn minimize_storage(&self) -> Result<(CompiledLoop, StorageReport), Error> {
-        let (optimised, report) = minimize_storage(&self.sdsp)?;
-        Ok((CompiledLoop::from_sdsp(optimised), report))
+        let (optimised, report) = self
+            .caches
+            .storage
+            .get_or_init(|| Ok(minimize_storage(&self.sdsp)?))
+            .clone()?;
+        Ok((
+            CompiledLoop::from_sdsp_with(optimised, self.options.clone()),
+            report,
+        ))
+    }
+
+    /// Alias for [`minimize_storage`](Self::minimize_storage), matching
+    /// the stage names of the staged pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`minimize_storage`](Self::minimize_storage).
+    pub fn storage(&self) -> Result<(CompiledLoop, StorageReport), Error> {
+        self.minimize_storage()
     }
 
     /// Emits the time-optimal schedule as a VLIW program over the loop's
     /// storage locations, for `iterations` iterations (see
-    /// [`tpn_codegen`]).
+    /// [`tpn_codegen`]). Reuses the shared schedule.
     ///
     /// # Errors
     ///
     /// [`Error::Sched`] on detection or derivation failure.
     pub fn emit(&self, iterations: u64) -> Result<tpn_codegen::Program, Error> {
-        let schedule = self.schedule()?;
+        let schedule = self.shared_schedule()?;
         Ok(tpn_codegen::emit(&self.sdsp, &schedule, iterations))
     }
 
     /// Balances the loop's buffering (the FIFO-queued extension of §7):
     /// raises acknowledgement capacities until the rate reaches the
     /// data-dependence bound. The inverse trade-off to
-    /// [`minimize_storage`](Self::minimize_storage).
+    /// [`minimize_storage`](Self::minimize_storage). Memoized.
     ///
     /// # Errors
     ///
     /// [`Error::Storage`] on analysis failure.
-    pub fn balance(&self) -> Result<(CompiledLoop, tpn_storage::BalanceReport), Error> {
-        let (balanced, report) = tpn_storage::balance(&self.sdsp)?;
-        Ok((CompiledLoop::from_sdsp(balanced), report))
+    pub fn balance(&self) -> Result<(CompiledLoop, BalanceReport), Error> {
+        let (balanced, report) = self
+            .caches
+            .balance
+            .get_or_init(|| Ok(tpn_storage::balance(&self.sdsp)?))
+            .clone()?;
+        Ok((
+            CompiledLoop::from_sdsp_with(balanced, self.options.clone()),
+            report,
+        ))
     }
 }
 
@@ -342,6 +624,57 @@ mod tests {
         // The optimised loop still schedules at the optimal rate.
         let schedule = optimised.schedule().unwrap();
         assert_eq!(schedule.rate(), Ratio::new(1, 3));
+        // The storage() alias returns the same memoized rewrite.
+        let (_, again) = lp.storage().unwrap();
+        assert_eq!(again, report);
+    }
+
+    #[test]
+    fn stages_are_memoized_and_shared() {
+        let lp = CompiledLoop::from_source(L2).unwrap();
+        let f1 = lp.shared_frustum().unwrap();
+        let f2 = lp.shared_frustum().unwrap();
+        assert!(Arc::ptr_eq(&f1, &f2), "frustum detected more than once");
+        let s1 = lp.shared_schedule().unwrap();
+        let s2 = lp.shared_schedule().unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2));
+        let scp1 = lp.shared_scp(8).unwrap();
+        let scp2 = lp.shared_scp(8).unwrap();
+        assert!(Arc::ptr_eq(&scp1, &scp2));
+        // Clones share the already-computed results.
+        let clone = lp.clone();
+        assert!(Arc::ptr_eq(&f1, &clone.shared_frustum().unwrap()));
+    }
+
+    #[test]
+    fn options_node_time_scales_the_analysis() {
+        let lp = CompiledLoop::from_source_with(L2, CompileOptions::new().node_time(2)).unwrap();
+        // Doubling every node time halves the optimal rate: 1/3 -> 1/6.
+        let analysis = lp.analyze().unwrap();
+        assert_eq!(analysis.optimal_rate, Ratio::new(1, 6));
+        let report = lp.rate_report().unwrap();
+        assert!(report.is_time_optimal());
+    }
+
+    #[test]
+    fn options_step_budget_caps_detection() {
+        let lp = CompiledLoop::from_source_with(L2, CompileOptions::new().step_budget(2)).unwrap();
+        assert_eq!(lp.budget(), 2);
+        match lp.frustum() {
+            Err(Error::Sched(SchedError::FrustumNotFound { max_steps: 2 })) => {}
+            other => panic!("expected FrustumNotFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn options_priority_policy_reaches_a_frustum() {
+        let lp = CompiledLoop::from_source_with(
+            L2,
+            CompileOptions::new().issue_policy(IssuePolicy::Priority),
+        )
+        .unwrap();
+        let run = lp.scp(4).unwrap();
+        assert!(run.rates.respects_resource_bound());
     }
 
     #[test]
@@ -349,5 +682,8 @@ mod tests {
         let err = CompiledLoop::from_source("garbage").unwrap_err();
         assert!(matches!(err, Error::Lang(_)));
         assert!(!err.to_string().is_empty());
+        // The unified error exposes the stage error as its source.
+        let source = std::error::Error::source(&err).expect("source");
+        assert!(!source.to_string().is_empty());
     }
 }

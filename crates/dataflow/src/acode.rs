@@ -162,7 +162,11 @@ pub fn write(sdsp: &Sdsp) -> String {
             ack.to.index(),
             ack.capacity
         );
-        let covers: Vec<String> = ack.covers.iter().map(|a| format!("a{}", a.index())).collect();
+        let covers: Vec<String> = ack
+            .covers
+            .iter()
+            .map(|a| format!("a{}", a.index()))
+            .collect();
         out.push_str(&covers.join(","));
         out.push('\n');
     }
@@ -297,7 +301,10 @@ pub fn read(text: &str) -> Result<Sdsp, AcodeError> {
             Some("ack") => {
                 // ack FROM -> TO cap=N covers=aI,aJ
                 if toks.len() != 6 || toks[2] != "->" {
-                    return Err(err(line_no, "ack needs `from -> to cap=N covers=...`".into()));
+                    return Err(err(
+                        line_no,
+                        "ack needs `from -> to cap=N covers=...`".into(),
+                    ));
                 }
                 let from: usize = toks[1]
                     .parse()
@@ -482,7 +489,9 @@ mod tests {
         let custom = sdsp.with_acks(acks).unwrap();
         let back = round_trip(&custom);
         assert!(structurally_equal(&custom, &back));
-        assert!(back.acks().any(|(_, k)| k.covers.len() == 2 && k.capacity == 2));
+        assert!(back
+            .acks()
+            .any(|(_, k)| k.covers.len() == 2 && k.capacity == 2));
         assert!(back.acks().any(|(_, k)| k.capacity == 3));
     }
 
@@ -512,7 +521,9 @@ mod tests {
         let sdsp = tpn_lang_compile("");
         let back = round_trip(&sdsp);
         assert_eq!(
-            back.arcs().filter(|(_, a)| a.kind == ArcKind::Feedback).count(),
+            back.arcs()
+                .filter(|(_, a)| a.kind == ArcKind::Feedback)
+                .count(),
             1
         );
     }

@@ -162,7 +162,11 @@ impl SdspBuilder {
         let mut arcs = Vec::new();
         for (consumer_idx, node) in self.nodes.iter().enumerate() {
             for operand in &node.operands {
-                if let Operand::Node { node: producer, distance } = operand {
+                if let Operand::Node {
+                    node: producer,
+                    distance,
+                } = operand
+                {
                     debug_assert!(*distance <= 1, "expanded in finish()");
                     arcs.push(DataArc {
                         from: *producer,
@@ -260,8 +264,7 @@ impl SdspBuilder {
                     upstream = match buffers.get(&key) {
                         Some(&b) => b,
                         None => {
-                            let name =
-                                format!("{}~{}", self.nodes[producer.index()].name, delay);
+                            let name = format!("{}~{}", self.nodes[producer.index()].name, delay);
                             let initial = self.nodes[producer.index()].initial_value;
                             let id = NodeId::from_index(self.nodes.len());
                             self.nodes.push(Node {
@@ -350,7 +353,11 @@ mod tests {
         let mut b = SdspBuilder::new();
         let e = b.node("E", OpKind::Id, [Operand::env("S", 0)]);
         let y = b.node("Y", OpKind::Mul, [Operand::node(e), Operand::lit(2.0)]);
-        let v = b.node("V", OpKind::Add, [Operand::feedback(e, 1), Operand::node(y)]);
+        let v = b.node(
+            "V",
+            OpKind::Add,
+            [Operand::feedback(e, 1), Operand::node(y)],
+        );
         let _ = v;
         let s = b.finish().unwrap();
         // E, Y, V plus the feedback buffer E~fb.

@@ -702,8 +702,7 @@ mod tests {
     fn topo_order_respects_forward_arcs() {
         let s = l1();
         let order = s.topo_order();
-        let pos: HashMap<NodeId, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         for (_, arc) in s.arcs() {
             if arc.kind == ArcKind::Forward {
                 assert!(pos[&arc.from] < pos[&arc.to]);
@@ -715,12 +714,12 @@ mod tests {
     fn feedback_does_not_block_topo_order() {
         // Loop 5-like: X[i] = Z[i] * (Y[i] - X[i-1]).
         let mut b = SdspBuilder::new();
-        let sub = b.node("sub", OpKind::Sub, [Operand::env("Y", 0), Operand::lit(0.0)]);
-        let mul = b.node(
-            "X",
-            OpKind::Mul,
-            [Operand::env("Z", 0), Operand::node(sub)],
+        let sub = b.node(
+            "sub",
+            OpKind::Sub,
+            [Operand::env("Y", 0), Operand::lit(0.0)],
         );
+        let mul = b.node("X", OpKind::Mul, [Operand::env("Z", 0), Operand::node(sub)]);
         b.set_operand(sub, 1, Operand::feedback(mul, 1));
         let s = b.finish().unwrap();
         assert!(s.has_loop_carried_dependence());
@@ -828,10 +827,19 @@ mod tests {
     #[test]
     fn operand_constructors() {
         let n = NodeId::from_index(3);
-        assert_eq!(Operand::node(n), Operand::Node { node: n, distance: 0 });
+        assert_eq!(
+            Operand::node(n),
+            Operand::Node {
+                node: n,
+                distance: 0
+            }
+        );
         assert_eq!(
             Operand::feedback(n, 2),
-            Operand::Node { node: n, distance: 2 }
+            Operand::Node {
+                node: n,
+                distance: 2
+            }
         );
         assert_eq!(
             Operand::env("X", -1),

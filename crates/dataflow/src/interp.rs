@@ -239,7 +239,11 @@ mod tests {
     fn env_offsets_shift_reads() {
         // D[i] = Y[i+1] - Y[i]  (Livermore loop 12: first difference)
         let mut b = SdspBuilder::new();
-        let d = b.node("D", OpKind::Sub, [Operand::env("Y", 1), Operand::env("Y", 0)]);
+        let d = b.node(
+            "D",
+            OpKind::Sub,
+            [Operand::env("Y", 1), Operand::env("Y", 0)],
+        );
         let s = b.finish().unwrap();
         let mut env = Env::new();
         env.insert("Y", vec![1.0, 4.0, 9.0, 16.0]);
@@ -297,7 +301,9 @@ mod tests {
         let mut env = Env::new();
         env.insert("X", vec![1.0, 2.0]);
         match execute(&s, &env, 1) {
-            Err(DataflowError::EnvOutOfRange { index: 2, len: 2, .. }) => {}
+            Err(DataflowError::EnvOutOfRange {
+                index: 2, len: 2, ..
+            }) => {}
             other => panic!("expected out-of-range, got {other:?}"),
         }
     }

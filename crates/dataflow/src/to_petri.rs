@@ -79,11 +79,7 @@ pub fn to_petri(sdsp: &Sdsp) -> SdspPn {
     let place_of_arc: Vec<PlaceId> = sdsp
         .arcs()
         .map(|(_, arc)| {
-            let name = format!(
-                "{}->{}",
-                sdsp.node(arc.from).name,
-                sdsp.node(arc.to).name
-            );
+            let name = format!("{}->{}", sdsp.node(arc.from).name, sdsp.node(arc.to).name);
             let p = net.add_place(name);
             net.connect_tp(transition_of[arc.from.index()], p);
             net.connect_pt(p, transition_of[arc.to.index()]);
@@ -212,10 +208,7 @@ mod tests {
         let place = pn.place_of_arc[fb_id.index()];
         assert_eq!(pn.marking.tokens(place), 1);
         // Its acknowledgement place exists but is empty (buffer full).
-        let (ack_id, _) = s
-            .acks()
-            .find(|(_, k)| k.covers.contains(&fb_id))
-            .unwrap();
+        let (ack_id, _) = s.acks().find(|(_, k)| k.covers.contains(&fb_id)).unwrap();
         let ack_place = pn.place_of_ack[ack_id.index()].unwrap();
         assert_eq!(pn.marking.tokens(ack_place), 0);
     }
@@ -224,7 +217,11 @@ mod tests {
     fn self_feedback_gets_no_ack_place() {
         // Q = Q + Z[i]*X[i] (Livermore loop 3).
         let mut b = SdspBuilder::new();
-        let mul = b.node("m", OpKind::Mul, [Operand::env("Z", 0), Operand::env("X", 0)]);
+        let mul = b.node(
+            "m",
+            OpKind::Mul,
+            [Operand::env("Z", 0), Operand::env("X", 0)],
+        );
         let q = b.node("Q", OpKind::Add, [Operand::lit(0.0), Operand::node(mul)]);
         b.set_operand(q, 0, Operand::feedback(q, 1));
         let s = b.finish().unwrap();

@@ -190,7 +190,9 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, LangError> {
             }
             _ if c.is_ascii_digit() => {
                 while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
                         || bytes[i] == b'E'
                         || ((bytes[i] == b'+' || bytes[i] == b'-')
                             && matches!(bytes.get(i.wrapping_sub(1)), Some(b'e') | Some(b'E'))))
@@ -275,7 +277,15 @@ mod tests {
     fn lexes_comparisons() {
         assert_eq!(
             kinds("< <= > >= == !="),
-            vec![Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::EqEq, Tok::Ne, Tok::Eof]
+            vec![
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::Eof
+            ]
         );
     }
 
@@ -305,10 +315,7 @@ mod tests {
 
     #[test]
     fn bad_number_reported() {
-        assert!(matches!(
-            lex("1.2.3"),
-            Err(LangError::BadNumber { .. })
-        ));
+        assert!(matches!(lex("1.2.3"), Err(LangError::BadNumber { .. })));
     }
 
     #[test]

@@ -83,10 +83,7 @@ pub fn lower(ast: &LoopAst) -> Result<Sdsp, LangError> {
 
 /// Recursively checks single assignment and branch definition symmetry,
 /// accumulating the defined names.
-fn collect_defined<'a>(
-    stmts: &'a [Stmt],
-    out: &mut HashSet<&'a str>,
-) -> Result<(), LangError> {
+fn collect_defined<'a>(stmts: &'a [Stmt], out: &mut HashSet<&'a str>) -> Result<(), LangError> {
     for stmt in stmts {
         match stmt {
             Stmt::Assign { target, span, .. } => {
@@ -288,9 +285,9 @@ impl<'a> Lowering<'a> {
 
     fn lower_expr(&mut self, expr: &Expr) -> Result<ExprResult, LangError> {
         match expr {
-            Expr::Number { value, .. } => {
-                Ok(ExprResult::Operand(LoweredOperand::Ready(Operand::lit(*value))))
-            }
+            Expr::Number { value, .. } => Ok(ExprResult::Operand(LoweredOperand::Ready(
+                Operand::lit(*value),
+            ))),
             Expr::Scalar { name, old, span } => {
                 if name == &self.ast.index {
                     if *old {
@@ -390,7 +387,9 @@ impl<'a> Lowering<'a> {
                 let c = self.lower_operand(cond)?;
                 let t = self.lower_operand(then)?;
                 let e = self.lower_operand(els)?;
-                Ok(ExprResult::Node(self.make_node(OpKind::Merge, vec![c, t, e])))
+                Ok(ExprResult::Node(
+                    self.make_node(OpKind::Merge, vec![c, t, e]),
+                ))
             }
         }
     }
@@ -483,10 +482,8 @@ mod tests {
 
     #[test]
     fn intermediate_operations_get_derived_names() {
-        let s = compile(
-            "doall k from 1 to n { X2[k] := Q + Y[k] * (R * Z[k+10] + T * Z[k+11]); }",
-        )
-        .unwrap();
+        let s = compile("doall k from 1 to n { X2[k] := Q + Y[k] * (R * Z[k+10] + T * Z[k+11]); }")
+            .unwrap();
         assert_eq!(s.num_nodes(), 5);
         let names: Vec<_> = s.nodes().map(|(_, n)| n.name.clone()).collect();
         assert!(names.contains(&"X2".to_string()));
@@ -547,10 +544,7 @@ mod tests {
 
     #[test]
     fn forward_reference_to_later_statement_is_patched() {
-        let s = compile(
-            "doall i from 1 to n { A[i] := B[i] + 1; B[i] := X[i] * 2; }",
-        )
-        .unwrap();
+        let s = compile("doall i from 1 to n { A[i] := B[i] + 1; B[i] := X[i] * 2; }").unwrap();
         let names = s.names();
         let (_, arc) = s.arcs().next().unwrap();
         assert_eq!(arc.from, names["B"]);
@@ -721,9 +715,7 @@ mod tests {
     #[test]
     fn branch_mismatch_rejected() {
         assert!(matches!(
-            compile(
-                "do i from 1 to n { if X[i] > 0 then A[i] := 1; else B[i] := 2; end }"
-            ),
+            compile("do i from 1 to n { if X[i] > 0 then A[i] := 1; else B[i] := 2; end }"),
             Err(LangError::BranchDefinitionMismatch { .. })
         ));
     }

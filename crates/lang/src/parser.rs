@@ -311,7 +311,11 @@ impl Parser {
                 let b = self.expr()?;
                 let end = self.eat(&Tok::RParen, "`)`")?;
                 Ok(Expr::Binary {
-                    op: if name == "min" { BinOp::Min } else { BinOp::Max },
+                    op: if name == "min" {
+                        BinOp::Min
+                    } else {
+                        BinOp::Max
+                    },
                     lhs: Box::new(a),
                     rhs: Box::new(b),
                     span: start.merge(end),
@@ -396,11 +400,23 @@ mod tests {
         let Stmt::Assign { value, .. } = &ast.body[0] else {
             panic!("expected assignment")
         };
-        let Expr::Binary { op: BinOp::Add, lhs, rhs, .. } = value else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            lhs,
+            rhs,
+            ..
+        } = value
+        else {
             panic!("expected +")
         };
         assert!(matches!(**lhs, Expr::Scalar { old: true, .. }));
-        let Expr::Binary { op: BinOp::Mul, lhs: z, rhs: x, .. } = &**rhs else {
+        let Expr::Binary {
+            op: BinOp::Mul,
+            lhs: z,
+            rhs: x,
+            ..
+        } = &**rhs
+        else {
             panic!("expected *")
         };
         assert!(matches!(**z, Expr::ArrayRef { offset: 10, .. }));
@@ -413,7 +429,12 @@ mod tests {
         let Stmt::Assign { value, .. } = &ast.body[0] else {
             panic!("expected assignment")
         };
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = value else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = value
+        else {
             panic!("expected + at top");
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
@@ -439,7 +460,12 @@ mod tests {
         let Stmt::Assign { value, .. } = &ast.body[0] else {
             panic!("expected assignment")
         };
-        let Expr::Binary { op: BinOp::Min, rhs, .. } = value else {
+        let Expr::Binary {
+            op: BinOp::Min,
+            rhs,
+            ..
+        } = value
+        else {
             panic!("expected min");
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Max, .. }));
@@ -451,7 +477,12 @@ mod tests {
         let Stmt::Assign { value, .. } = &ast.body[0] else {
             panic!("expected assignment")
         };
-        let Expr::Binary { op: BinOp::Mul, rhs, .. } = value else {
+        let Expr::Binary {
+            op: BinOp::Mul,
+            rhs,
+            ..
+        } = value
+        else {
             panic!("expected *");
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Sub, .. }));
@@ -491,7 +522,9 @@ mod tests {
         assert_eq!(then.len(), 1);
         assert_eq!(els.len(), 1);
         // Optional trailing semicolon after `end`.
-        assert!(parse("do i from 1 to n { if X[i] > 0 then A[i] := 1; else A[i] := 2; end; }").is_ok());
+        assert!(
+            parse("do i from 1 to n { if X[i] > 0 then A[i] := 1; else A[i] := 2; end; }").is_ok()
+        );
         // Nested.
         assert!(parse(
             "do i from 1 to n { if X[i] > 0 then if X[i] > 9 then A[i] := 2; else A[i] := 1; end else A[i] := 0; end }"

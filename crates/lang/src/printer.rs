@@ -92,9 +92,7 @@ fn print_expr(out: &mut String, ast: &LoopAst, expr: &Expr) {
             }
             out.push_str(name);
         }
-        Expr::ArrayRef {
-            array, offset, ..
-        } => match offset {
+        Expr::ArrayRef { array, offset, .. } => match offset {
             0 => {
                 let _ = write!(out, "{array}[{}]", ast.index);
             }
@@ -230,7 +228,11 @@ mod tests {
         let ast = parse(src).unwrap();
         let printed = print(&ast);
         let again = parse(&printed).unwrap_or_else(|e| {
-            panic!("printed text failed to parse: {}\n{}", e.render(&printed), printed)
+            panic!(
+                "printed text failed to parse: {}\n{}",
+                e.render(&printed),
+                printed
+            )
         });
         assert_eq!(
             strip_spans(&ast),
@@ -261,8 +263,8 @@ mod tests {
 
     #[test]
     fn printed_form_is_indented() {
-        let ast = parse("do i from 1 to n { if X[i] > 0 then A[i] := 1; else A[i] := 2; end }")
-            .unwrap();
+        let ast =
+            parse("do i from 1 to n { if X[i] > 0 then A[i] := 1; else A[i] := 2; end }").unwrap();
         let text = print(&ast);
         assert!(text.contains("    if "));
         assert!(text.contains("        A[i] := "));

@@ -49,7 +49,11 @@ impl Kernel {
     pub fn sdsp(&self) -> Sdsp {
         match compile(self.source) {
             Ok(s) => s,
-            Err(e) => panic!("kernel {} failed to compile: {}", self.name, e.render(self.source)),
+            Err(e) => panic!(
+                "kernel {} failed to compile: {}",
+                self.name,
+                e.render(self.source)
+            ),
         }
     }
 
@@ -191,8 +195,7 @@ mod tests {
         for k in kernels() {
             let sdsp = k.sdsp();
             let env = k.env(50);
-            let trace = execute(&sdsp, &env, 50)
-                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let trace = execute(&sdsp, &env, 50).unwrap_or_else(|e| panic!("{}: {e}", k.name));
             assert_eq!(trace.iterations(), 50);
         }
     }

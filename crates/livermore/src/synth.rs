@@ -75,7 +75,8 @@ pub fn generate(config: &SynthConfig) -> Sdsp {
             b.set_operand(to, 0, Operand::feedback(from, config.distance));
         }
     }
-    b.finish().expect("synthetic loops are valid by construction")
+    b.finish()
+        .expect("synthetic loops are valid by construction")
 }
 
 fn pick_operand(rng: &mut StdRng, ids: &[tpn_dataflow::NodeId], density: f64, i: usize) -> Operand {
@@ -155,8 +156,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate(&SynthConfig { seed: 1, ..Default::default() });
-        let b = generate(&SynthConfig { seed: 2, ..Default::default() });
+        let a = generate(&SynthConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = generate(&SynthConfig {
+            seed: 2,
+            ..Default::default()
+        });
         // Same node count but (almost surely) different wiring.
         let arcs_a: Vec<_> = a.arcs().map(|(_, x)| (x.from, x.to)).collect();
         let arcs_b: Vec<_> = b.arcs().map(|(_, x)| (x.from, x.to)).collect();

@@ -234,7 +234,9 @@ mod tests {
     #[test]
     fn bounded_ring_reports_its_bound() {
         let mut net = PetriNet::new();
-        let ts: Vec<_> = (0..3).map(|i| net.add_transition(format!("t{i}"), 1)).collect();
+        let ts: Vec<_> = (0..3)
+            .map(|i| net.add_transition(format!("t{i}"), 1))
+            .collect();
         let mut first = None;
         for i in 0..3 {
             let p = net.add_place(format!("p{i}"));

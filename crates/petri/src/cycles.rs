@@ -35,7 +35,10 @@ impl Cycle {
     ///
     /// Panics if the lists are empty or of different lengths.
     pub fn new(transitions: Vec<TransitionId>, places: Vec<PlaceId>) -> Self {
-        assert!(!transitions.is_empty(), "a cycle has at least one transition");
+        assert!(
+            !transitions.is_empty(),
+            "a cycle has at least one transition"
+        );
         assert_eq!(
             transitions.len(),
             places.len(),
@@ -196,11 +199,9 @@ impl<'a> Johnson<'a> {
                 .into_iter()
                 .filter(|scc| {
                     scc.len() > 1
-                        || scc.iter().any(|&v| {
-                            self.adj[v]
-                                .iter()
-                                .any(|&(w, _)| w == v)
-                        })
+                        || scc
+                            .iter()
+                            .any(|&v| self.adj[v].iter().any(|&(w, _)| w == v))
                 })
                 .min_by_key(|scc| *scc.iter().min().expect("nonempty scc"));
             let Some(scc) = candidate else { break };
@@ -415,7 +416,9 @@ mod tests {
     #[test]
     fn finds_ring_and_chord_cycles() {
         let mut net = PetriNet::new();
-        let t: Vec<_> = (0..3).map(|i| net.add_transition(format!("t{i}"), 1)).collect();
+        let t: Vec<_> = (0..3)
+            .map(|i| net.add_transition(format!("t{i}"), 1))
+            .collect();
         // ring 0 -> 1 -> 2 -> 0
         for i in 0..3 {
             let p = net.add_place(format!("ring{i}"));
@@ -481,7 +484,9 @@ mod tests {
         // Complete bidirectional triangle has 5 simple cycles (3 two-cycles
         // + 2 three-cycles).
         let mut net = PetriNet::new();
-        let t: Vec<_> = (0..3).map(|i| net.add_transition(format!("t{i}"), 1)).collect();
+        let t: Vec<_> = (0..3)
+            .map(|i| net.add_transition(format!("t{i}"), 1))
+            .collect();
         for i in 0..3 {
             for j in 0..3 {
                 if i != j {
@@ -527,7 +532,9 @@ mod tests {
         // A long cycle of 5000 transitions exercises the iterative Tarjan.
         let mut net = PetriNet::new();
         let n = 5000;
-        let ts: Vec<_> = (0..n).map(|i| net.add_transition(format!("t{i}"), 1)).collect();
+        let ts: Vec<_> = (0..n)
+            .map(|i| net.add_transition(format!("t{i}"), 1))
+            .collect();
         for i in 0..n {
             let p = net.add_place(format!("p{i}"));
             net.connect_tp(ts[i], p);

@@ -34,11 +34,7 @@ pub fn to_dot(net: &PetriNet, marking: &Marking) -> String {
         } else {
             format!("{} \u{25CF}x{}", place.name(), tokens)
         };
-        let _ = writeln!(
-            out,
-            "  {id} [shape=circle, label=\"{}\"];",
-            escape(&label)
-        );
+        let _ = writeln!(out, "  {id} [shape=circle, label=\"{}\"];", escape(&label));
     }
     for (id, transition) in net.transitions() {
         let label = if transition.time() == 1 {

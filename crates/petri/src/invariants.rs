@@ -299,7 +299,9 @@ mod tests {
 
     fn ring(n: usize) -> PetriNet {
         let mut net = PetriNet::new();
-        let ts: Vec<_> = (0..n).map(|i| net.add_transition(format!("t{i}"), 1)).collect();
+        let ts: Vec<_> = (0..n)
+            .map(|i| net.add_transition(format!("t{i}"), 1))
+            .collect();
         for i in 0..n {
             let p = net.add_place(format!("p{i}"));
             net.connect_tp(ts[i], p);

@@ -227,7 +227,9 @@ mod tests {
     /// The L2-like net: ring of 3 with one token, plus a 2-cycle.
     fn ring3(tokens_on: &[usize]) -> (PetriNet, Marking, Vec<PlaceId>) {
         let mut net = PetriNet::new();
-        let t: Vec<_> = (0..3).map(|i| net.add_transition(format!("t{i}"), 1)).collect();
+        let t: Vec<_> = (0..3)
+            .map(|i| net.add_transition(format!("t{i}"), 1))
+            .collect();
         let mut ps = Vec::new();
         for i in 0..3 {
             let p = net.add_place(format!("p{i}"));

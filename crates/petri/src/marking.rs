@@ -234,7 +234,14 @@ impl fmt::Display for Marking {
 mod tests {
     use super::*;
 
-    fn chain() -> (PetriNet, TransitionId, TransitionId, PlaceId, PlaceId, PlaceId) {
+    fn chain() -> (
+        PetriNet,
+        TransitionId,
+        TransitionId,
+        PlaceId,
+        PlaceId,
+        PlaceId,
+    ) {
         // a --(p0)--> t0 --(p1)--> t1 --(p2)
         let mut net = PetriNet::new();
         let t0 = net.add_transition("t0", 1);

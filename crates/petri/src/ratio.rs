@@ -330,9 +330,8 @@ impl ParamGraph {
     /// `p/q` is the maximum ratio, so tight edges w.r.t. converged
     /// longest-path potentials contain such a cycle).
     fn tight_cycle(&self, p: u64, q: u64) -> Cycle {
-        let w = |time: u64, tokens: u64| {
-            (q as i128) * (time as i128) - (p as i128) * (tokens as i128)
-        };
+        let w =
+            |time: u64, tokens: u64| (q as i128) * (time as i128) - (p as i128) * (tokens as i128);
         // Converge longest-path potentials (no positive cycles at p/q).
         let mut d = vec![0i128; self.n];
         for _ in 0..=self.n {
@@ -614,7 +613,9 @@ mod tests {
         // Two disjoint rings of equal ratio joined... keep them disjoint in
         // one net: t0->t1->t0 and t2->t3->t2, each with 1 token: both 2/1.
         let mut net = PetriNet::new();
-        let ts: Vec<_> = (0..4).map(|i| net.add_transition(format!("t{i}"), 1)).collect();
+        let ts: Vec<_> = (0..4)
+            .map(|i| net.add_transition(format!("t{i}"), 1))
+            .collect();
         let mut pairs = Vec::new();
         for (x, y) in [(0, 1), (2, 3)] {
             let f = net.add_place(format!("f{x}"));

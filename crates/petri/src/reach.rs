@@ -186,7 +186,9 @@ mod tests {
 
     fn ring3(tokens: &[u32; 3]) -> (PetriNet, Marking) {
         let mut net = PetriNet::new();
-        let ts: Vec<_> = (0..3).map(|i| net.add_transition(format!("t{i}"), 1)).collect();
+        let ts: Vec<_> = (0..3)
+            .map(|i| net.add_transition(format!("t{i}"), 1))
+            .collect();
         let mut pairs = Vec::new();
         for i in 0..3 {
             let p = net.add_place(format!("p{i}"));

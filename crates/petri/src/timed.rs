@@ -22,11 +22,25 @@
 //! Assumption 5.2.1 ("the machine exhibits repeatable behavior"). The
 //! policy's internal state participates in state hashing via
 //! [`ChoicePolicy::fingerprint`], so cyclic-frustum detection remains sound.
+//!
+//! # Zero-clone state tracking
+//!
+//! Traces of the earliest firing rule run for up to O(n⁴) instants
+//! (Lemma 3.3.2), so a [`StepRecord`] must stay allocation-light: it
+//! carries only the instant's **event lists** plus a 64-bit [`state
+//! digest`](state_digest) maintained *incrementally* across the
+//! complete/fire phases — the engine never clones the full state per step.
+//! The digest is an additive (Zobrist-style) hash: every `(place, token)`
+//! and `(transition, residual-cycle)` contributes a fixed pseudo-random
+//! word, so token moves update the digest in O(arcs touched). Full states
+//! are reconstructed on demand by [`InstantaneousState::apply_step`]
+//! (event replay is policy-free: the recorded start events fully determine
+//! the evolution) or snapshotted compactly via [`PackedState`].
 
 use std::hash::{Hash, Hasher};
 
 use crate::error::PetriError;
-use crate::ids::TransitionId;
+use crate::ids::{PlaceId, TransitionId};
 use crate::marking::Marking;
 use crate::net::PetriNet;
 
@@ -70,7 +84,169 @@ impl InstantaneousState {
             .filter(|&t| self.can_start(net, t))
             .collect()
     }
+
+    /// Replays one recorded instant onto this state: busy residuals
+    /// advance one cycle (completions deposit their outputs), then the
+    /// recorded `started` transitions consume inputs and begin firing.
+    ///
+    /// Replay needs no [`ChoicePolicy`] — the event lists already encode
+    /// every decision — so any state along a trace can be reconstructed
+    /// from the initial state (or a checkpoint) and the [`StepRecord`]s.
+    pub fn apply_step(&mut self, net: &PetriNet, started: &[TransitionId]) {
+        for idx in 0..self.residual.len() {
+            if self.residual[idx] > 0 {
+                self.residual[idx] -= 1;
+                if self.residual[idx] == 0 {
+                    self.marking
+                        .produce_outputs(net, TransitionId::from_index(idx));
+                }
+            }
+        }
+        for &t in started {
+            self.marking.consume_inputs(net, t);
+            self.residual[t.index()] = net.transition(t).time();
+        }
+    }
 }
+
+// ---------------------------------------------------------------------------
+// State digests
+// ---------------------------------------------------------------------------
+
+const PLACE_SALT: u64 = 0x9AE1_6A3B_2F90_404F;
+const TRANS_SALT: u64 = 0xD1B5_4A32_D192_ED03;
+const POLICY_SALT: u64 = 0x2545_F491_4F6C_DD1D;
+
+/// splitmix64's finalizer: a strong 64-bit mixing permutation.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The pseudo-random word one token on place `p` contributes.
+#[inline]
+fn place_word(p: usize) -> u64 {
+    mix64(PLACE_SALT ^ p as u64)
+}
+
+/// The pseudo-random word one residual cycle of transition `t`
+/// contributes.
+#[inline]
+fn transition_word(t: usize) -> u64 {
+    mix64(TRANS_SALT ^ t as u64)
+}
+
+/// Folds the additive hash and the policy fingerprint into the final
+/// digest.
+#[inline]
+fn finalize_digest(raw: u64, policy_fingerprint: u64) -> u64 {
+    mix64(raw) ^ mix64(policy_fingerprint ^ POLICY_SALT)
+}
+
+/// Computes the 64-bit repetition digest of a state from scratch.
+///
+/// The engine maintains the same value incrementally (see
+/// [`Engine::digest`]); this standalone recomputation exists for
+/// verification and for hashing reconstructed states.
+pub fn state_digest(state: &InstantaneousState, policy_fingerprint: u64) -> u64 {
+    let mut raw = 0u64;
+    for (p, count) in state.marking.marked_places() {
+        raw = raw.wrapping_add(place_word(p.index()).wrapping_mul(count as u64));
+    }
+    for (idx, &r) in state.residual.iter().enumerate() {
+        if r > 0 {
+            raw = raw.wrapping_add(transition_word(idx).wrapping_mul(r));
+        }
+    }
+    finalize_digest(raw, policy_fingerprint)
+}
+
+// ---------------------------------------------------------------------------
+// Packed snapshots
+// ---------------------------------------------------------------------------
+
+/// A full instantaneous state flattened into one word buffer: the marking
+/// and the residual-time vector packed four 16-bit lanes per `u64` (with a
+/// transparent fallback to full 64-bit lanes if any value overflows a
+/// lane). Checkpoints along a trace cost `(|P| + |T|) / 4` words instead
+/// of a `Marking` plus a `Vec<u64>`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PackedState {
+    words: Box<[u64]>,
+    wide: bool,
+    places: usize,
+}
+
+impl PackedState {
+    /// Packs a state. Values (token counts and residuals) up to
+    /// `u16::MAX` take a 16-bit lane; anything larger switches the whole
+    /// snapshot to 64-bit lanes.
+    pub fn pack(state: &InstantaneousState) -> Self {
+        let places = state.marking.len();
+        let total = places + state.residual.len();
+        let values = || {
+            (0..places)
+                .map(|i| state.marking.tokens(PlaceId::from_index(i)) as u64)
+                .chain(state.residual.iter().copied())
+        };
+        let wide = values().any(|v| v > u16::MAX as u64);
+        let words = if wide {
+            values().collect::<Vec<u64>>().into_boxed_slice()
+        } else {
+            let mut packed = vec![0u64; total.div_ceil(4)];
+            for (i, v) in values().enumerate() {
+                packed[i / 4] |= v << ((i % 4) * 16);
+            }
+            packed.into_boxed_slice()
+        };
+        PackedState {
+            words,
+            wide,
+            places,
+        }
+    }
+
+    /// The packed value at flat index `i`.
+    fn value(&self, i: usize) -> u64 {
+        if self.wide {
+            self.words[i]
+        } else {
+            (self.words[i / 4] >> ((i % 4) * 16)) & 0xFFFF
+        }
+    }
+
+    /// Reconstructs the full state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` has a different shape than the packed snapshot.
+    pub fn unpack(&self, net: &PetriNet) -> InstantaneousState {
+        assert_eq!(net.num_places(), self.places, "net/place count mismatch");
+        let mut marking = Marking::empty(net);
+        for i in 0..self.places {
+            let v = self.value(i);
+            if v > 0 {
+                marking.set(PlaceId::from_index(i), v as u32);
+            }
+        }
+        let residual = (0..net.num_transitions())
+            .map(|i| self.value(self.places + i))
+            .collect();
+        InstantaneousState { marking, residual }
+    }
+
+    /// The buffer size in words (diagnostics / memory accounting).
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Policies
+// ---------------------------------------------------------------------------
 
 /// Everything a [`ChoicePolicy`] may inspect when resolving a choice.
 #[derive(Debug)]
@@ -126,8 +302,17 @@ impl ChoicePolicy for EagerPolicy {
     }
 }
 
-/// One executed instant: what completed, what started, and the state left
-/// behind.
+// ---------------------------------------------------------------------------
+// Step records and repetition keys
+// ---------------------------------------------------------------------------
+
+/// One executed instant: what completed, what started, and the digest of
+/// the state left behind.
+///
+/// The record deliberately does **not** carry the state itself — traces
+/// are long and states are wide. Use
+/// [`InstantaneousState::apply_step`] to replay event lists into a
+/// concrete state when one is needed.
 #[derive(Clone, Debug)]
 pub struct StepRecord {
     /// The instant at which these events happened.
@@ -138,25 +323,18 @@ pub struct StepRecord {
     /// Transitions that started firing at this instant (tokens consumed),
     /// in start order.
     pub started: Vec<TransitionId>,
-    /// The instantaneous state after all events of this instant.
-    pub state: InstantaneousState,
+    /// Digest of `(state, policy_fingerprint)` after all events of this
+    /// instant (see [`state_digest`]).
+    pub digest: u64,
     /// The policy fingerprint after this instant.
     pub policy_fingerprint: u64,
 }
 
-impl StepRecord {
-    /// Hash of `(state, policy_fingerprint)`, the repetition key used for
-    /// cyclic-frustum detection.
-    pub fn state_key(&self) -> StateKey {
-        StateKey {
-            state: self.state.clone(),
-            policy_fingerprint: self.policy_fingerprint,
-        }
-    }
-}
-
-/// The repetition key for frustum detection: instantaneous state plus the
-/// conflict-resolution policy's internal state.
+/// The full repetition key for frustum detection: instantaneous state plus
+/// the conflict-resolution policy's internal state. The digest-based fast
+/// path makes carrying these per step unnecessary; the key remains the
+/// ground truth that digest matches are verified against (and the whole
+/// key that reference implementations may hash).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct StateKey {
     /// Marking and residual firing times.
@@ -171,6 +349,10 @@ impl Hash for StateKey {
         self.policy_fingerprint.hash(h);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
 
 /// Discrete-time earliest-firing execution engine.
 ///
@@ -201,6 +383,9 @@ impl Hash for StateKey {
 pub struct Engine<'a, P> {
     net: &'a PetriNet,
     state: InstantaneousState,
+    /// Additive state hash, updated in lockstep with every token move and
+    /// residual change (before policy-fingerprint folding).
+    raw_digest: u64,
     time: u64,
     policy: P,
     started: bool,
@@ -217,13 +402,7 @@ impl<'a, P: ChoicePolicy> Engine<'a, P> {
     pub fn new(net: &'a PetriNet, initial_marking: Marking, policy: P) -> Self {
         net.validate_times()
             .unwrap_or_else(|e| panic!("invalid net for timed execution: {e}"));
-        Engine {
-            net,
-            state: InstantaneousState::initial(net, initial_marking),
-            time: 0,
-            policy,
-            started: false,
-        }
+        Self::new_unchecked(net, initial_marking, policy)
     }
 
     /// Fallible constructor variant.
@@ -238,13 +417,23 @@ impl<'a, P: ChoicePolicy> Engine<'a, P> {
         policy: P,
     ) -> Result<Self, PetriError> {
         net.validate_times()?;
-        Ok(Engine {
+        Ok(Self::new_unchecked(net, initial_marking, policy))
+    }
+
+    fn new_unchecked(net: &'a PetriNet, initial_marking: Marking, policy: P) -> Self {
+        let state = InstantaneousState::initial(net, initial_marking);
+        let mut raw_digest = 0u64;
+        for (p, count) in state.marking.marked_places() {
+            raw_digest = raw_digest.wrapping_add(place_word(p.index()).wrapping_mul(count as u64));
+        }
+        Engine {
             net,
-            state: InstantaneousState::initial(net, initial_marking),
+            state,
+            raw_digest,
             time: 0,
             policy,
             started: false,
-        })
+        }
     }
 
     /// Executes instant 0: fires the initially enabled transitions.
@@ -257,15 +446,8 @@ impl<'a, P: ChoicePolicy> Engine<'a, P> {
         self.started = true;
         let completed = Vec::new();
         let started = self.fire_phase();
-        self.policy
-            .on_instant_end(self.net, &self.state, self.time);
-        StepRecord {
-            time: self.time,
-            completed,
-            started,
-            state: self.state.clone(),
-            policy_fingerprint: self.policy.fingerprint(),
-        }
+        self.policy.on_instant_end(self.net, &self.state, self.time);
+        self.record(completed, started)
     }
 
     /// Executes the next instant: completions, then earliest-rule starts.
@@ -278,13 +460,16 @@ impl<'a, P: ChoicePolicy> Engine<'a, P> {
         self.time += 1;
         let completed = self.complete_phase();
         let started = self.fire_phase();
-        self.policy
-            .on_instant_end(self.net, &self.state, self.time);
+        self.policy.on_instant_end(self.net, &self.state, self.time);
+        self.record(completed, started)
+    }
+
+    fn record(&self, completed: Vec<TransitionId>, started: Vec<TransitionId>) -> StepRecord {
         StepRecord {
             time: self.time,
             completed,
             started,
-            state: self.state.clone(),
+            digest: self.digest(),
             policy_fingerprint: self.policy.fingerprint(),
         }
     }
@@ -295,9 +480,13 @@ impl<'a, P: ChoicePolicy> Engine<'a, P> {
         for idx in 0..self.state.residual.len() {
             if self.state.residual[idx] > 0 {
                 self.state.residual[idx] -= 1;
+                self.raw_digest = self.raw_digest.wrapping_sub(transition_word(idx));
                 if self.state.residual[idx] == 0 {
                     let t = TransitionId::from_index(idx);
                     self.state.marking.produce_outputs(self.net, t);
+                    for &p in self.net.transition(t).outputs() {
+                        self.raw_digest = self.raw_digest.wrapping_add(place_word(p.index()));
+                    }
                     completed.push(t);
                 }
             }
@@ -307,13 +496,21 @@ impl<'a, P: ChoicePolicy> Engine<'a, P> {
 
     /// Starts transitions under the earliest firing rule, consulting the
     /// policy while choices remain.
+    ///
+    /// Within one fire phase, starts only consume tokens and mark the
+    /// started transition busy, so the startable set shrinks monotonically.
+    /// It is therefore scanned once and pruned incrementally: starting `t`
+    /// removes `t` itself plus any candidate sharing a drained input place
+    /// (found via the place postsets), instead of rescanning the whole net
+    /// after every start.
     fn fire_phase(&mut self) -> Vec<TransitionId> {
         let mut started = Vec::new();
-        loop {
-            let startable = self.state.startable(self.net);
-            if startable.is_empty() {
-                break;
-            }
+        let mut startable = self.state.startable(self.net);
+        let mut is_candidate = vec![false; self.net.num_transitions()];
+        for &t in &startable {
+            is_candidate[t.index()] = true;
+        }
+        while !startable.is_empty() {
             let ctx = PolicyCtx {
                 net: self.net,
                 state: &self.state,
@@ -324,12 +521,28 @@ impl<'a, P: ChoicePolicy> Engine<'a, P> {
                 break;
             };
             assert!(
-                startable.contains(&t),
+                is_candidate[t.index()] && startable.contains(&t),
                 "policy chose {t}, which cannot start now"
             );
             self.state.marking.consume_inputs(self.net, t);
-            self.state.residual[t.index()] = self.net.transition(t).time();
+            for &p in self.net.transition(t).inputs() {
+                self.raw_digest = self.raw_digest.wrapping_sub(place_word(p.index()));
+            }
+            let tau = self.net.transition(t).time();
+            self.state.residual[t.index()] = tau;
+            self.raw_digest = self
+                .raw_digest
+                .wrapping_add(transition_word(t.index()).wrapping_mul(tau));
             started.push(t);
+            is_candidate[t.index()] = false;
+            for &p in self.net.transition(t).inputs() {
+                for &u in self.net.place(p).postset() {
+                    if is_candidate[u.index()] && !self.state.marking.enables(self.net, u) {
+                        is_candidate[u.index()] = false;
+                    }
+                }
+            }
+            startable.retain(|&u| is_candidate[u.index()]);
         }
         started
     }
@@ -349,7 +562,26 @@ impl<'a, P: ChoicePolicy> Engine<'a, P> {
         self.net
     }
 
-    /// The repetition key of the current state (see [`StateKey`]).
+    /// The policy's current fingerprint.
+    pub fn policy_fingerprint(&self) -> u64 {
+        self.policy.fingerprint()
+    }
+
+    /// The current repetition digest, maintained incrementally — equal to
+    /// [`state_digest`]`(self.state(), self.policy_fingerprint())` at
+    /// every instant boundary, without rehashing the state.
+    pub fn digest(&self) -> u64 {
+        finalize_digest(self.raw_digest, self.policy.fingerprint())
+    }
+
+    /// A compact snapshot of the current state (for checkpointing).
+    pub fn packed_state(&self) -> PackedState {
+        PackedState::pack(&self.state)
+    }
+
+    /// The full repetition key of the current state (see [`StateKey`]).
+    /// Clones the state: intended for reference implementations and
+    /// verification, not per-step use.
     pub fn state_key(&self) -> StateKey {
         StateKey {
             state: self.state.clone(),
@@ -461,8 +693,77 @@ mod tests {
             let s1 = e1.tick();
             let s2 = e2.tick();
             assert_eq!(s1.started, s2.started);
-            assert_eq!(s1.state, s2.state);
+            assert_eq!(s1.digest, s2.digest);
+            assert_eq!(e1.state(), e2.state());
         }
+    }
+
+    #[test]
+    fn incremental_digest_matches_from_scratch_hash() {
+        let (net, m, _) = diamond();
+        let mut engine = Engine::new(&net, m, EagerPolicy);
+        let s0 = engine.start();
+        assert_eq!(
+            s0.digest,
+            state_digest(engine.state(), engine.policy_fingerprint())
+        );
+        for _ in 0..40 {
+            let step = engine.tick();
+            assert_eq!(
+                step.digest,
+                state_digest(engine.state(), engine.policy_fingerprint()),
+                "incremental digest diverged at instant {}",
+                step.time
+            );
+        }
+    }
+
+    #[test]
+    fn event_replay_reconstructs_states() {
+        let (net, m, _) = diamond();
+        let mut engine = Engine::new(&net, m.clone(), EagerPolicy);
+        let mut replayed = InstantaneousState::initial(&net, m);
+        let s0 = engine.start();
+        replayed.apply_step(&net, &s0.started);
+        assert_eq!(&replayed, engine.state());
+        for _ in 0..30 {
+            let step = engine.tick();
+            replayed.apply_step(&net, &step.started);
+            assert_eq!(&replayed, engine.state(), "diverged at {}", step.time);
+            assert_eq!(
+                state_digest(&replayed, step.policy_fingerprint),
+                step.digest
+            );
+        }
+    }
+
+    #[test]
+    fn packed_state_round_trips() {
+        let (net, m, _) = diamond();
+        let mut engine = Engine::new(&net, m, EagerPolicy);
+        engine.start();
+        for _ in 0..10 {
+            engine.tick();
+            let packed = engine.packed_state();
+            assert_eq!(&packed.unpack(&net), engine.state());
+            // 8 places + 4 transitions at 4 lanes/word -> 3 words.
+            assert_eq!(packed.num_words(), 3);
+        }
+    }
+
+    #[test]
+    fn packed_state_wide_fallback_round_trips() {
+        let mut net = PetriNet::new();
+        let t = net.add_transition("huge", (u16::MAX as u64) + 10);
+        let p = net.add_place("self");
+        net.connect_tp(t, p);
+        net.connect_pt(p, t);
+        let m = Marking::from_pairs(&net, [(p, 1)]);
+        let mut engine = Engine::new(&net, m, EagerPolicy);
+        engine.start();
+        let packed = engine.packed_state();
+        assert_eq!(&packed.unpack(&net), engine.state());
+        assert_eq!(packed.num_words(), 2); // one place + one transition, wide
     }
 
     #[test]
@@ -486,7 +787,10 @@ mod tests {
             engine.tick();
             engine.tick()
         };
-        assert_ne!(s0.state_key(), s2.state_key());
+        // Policy fingerprints differ, so both the digest and the full
+        // state key must differ even when the raw state repeats.
+        assert_ne!(s0.digest, s2.digest);
+        assert_ne!(s0.policy_fingerprint, s2.policy_fingerprint);
     }
 
     #[test]

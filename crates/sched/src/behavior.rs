@@ -268,8 +268,13 @@ mod tests {
         // by exactly 3 instants.
         let mut saw_dummy_latency = false;
         for &(from, to) in bg.edges() {
-            let (Event::Fired { time: t0, transition }, Event::Marked { time: t1, .. }) =
-                (&bg.events()[from], &bg.events()[to])
+            let (
+                Event::Fired {
+                    time: t0,
+                    transition,
+                },
+                Event::Marked { time: t1, .. },
+            ) = (&bg.events()[from], &bg.events()[to])
             else {
                 continue;
             };

@@ -11,16 +11,39 @@
 //!
 //! §4 of the paper proves the repetition happens within a polynomial number
 //! of steps (O(n⁴) for a single critical cycle); §5 observes that on real
-//! loops it appears within `O(n)` steps. [`detect_frustum`] simply runs the
-//! engine with a step budget and hashes states.
+//! loops it appears within `O(n)` steps. [`detect_frustum`] runs the
+//! engine with a step budget looking for a repeated state.
+//!
+//! # Digest-based repetition detection
+//!
+//! Hashing the full instantaneous state at every instant (and keeping a
+//! clone of it as the map key) dominates detection time on large nets.
+//! [`detect_frustum`] instead indexes instants by the engine's
+//! **incrementally maintained 64-bit digest** (see
+//! [`tpn_petri::timed::state_digest`]): per instant the detector stores
+//! only the digest and the event lists, plus a compact [`PackedState`]
+//! checkpoint every [`CHECKPOINT_INTERVAL`] instants. A digest match is
+//! only a *candidate* repetition; it is confirmed — making the result
+//! exact despite possible 64-bit collisions — by replaying the recorded
+//! events from the nearest checkpoint (bounded work) and comparing the
+//! reconstructed state and policy fingerprint against the live engine
+//! state. [`detect_frustum_reference`] keeps the original full-state-key
+//! algorithm as the differential-testing oracle.
 
 use std::collections::HashMap;
 
 use tpn_petri::rational::Ratio;
-use tpn_petri::timed::{ChoicePolicy, EagerPolicy, Engine, StepRecord};
+use tpn_petri::timed::{
+    ChoicePolicy, EagerPolicy, Engine, InstantaneousState, PackedState, StateKey, StepRecord,
+};
 use tpn_petri::{Marking, PetriNet, TransitionId};
 
 use crate::error::SchedError;
+
+/// Instants between [`PackedState`] checkpoints along the trace. Bounds
+/// the replay work per digest-match verification (and per
+/// [`FrustumReport::state_at`] query) to this many [`StepRecord`]s.
+pub const CHECKPOINT_INTERVAL: u64 = 64;
 
 /// The detected cyclic frustum plus the full trace leading to it.
 #[derive(Clone, Debug)]
@@ -37,6 +60,12 @@ pub struct FrustumReport {
     /// Firings of each transition within the frustum window
     /// `(start_time, repeat_time]`.
     pub counts: Vec<u64>,
+    /// State before instant 0: the initial marking, all transitions idle.
+    initial: PackedState,
+    /// Sparse `(time, state-after-that-instant)` snapshots, increasing in
+    /// time. May be empty; [`state_at`](Self::state_at) falls back to
+    /// replay from `initial`.
+    checkpoints: Vec<(u64, PackedState)>,
 }
 
 impl FrustumReport {
@@ -70,6 +99,22 @@ impl FrustumReport {
         &self.steps[..=(self.start_time as usize)]
     }
 
+    /// Reconstructs the full instantaneous state after instant `time` by
+    /// replaying the recorded events from the nearest checkpoint.
+    /// `net` must be the net the frustum was detected on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time > repeat_time` or the net does not match the trace.
+    pub fn state_at(&self, net: &PetriNet, time: u64) -> InstantaneousState {
+        assert!(
+            time <= self.repeat_time,
+            "instant {time} is beyond the recorded trace (repeat time {})",
+            self.repeat_time
+        );
+        replay_state(net, &self.initial, &self.checkpoints, &self.steps, time)
+    }
+
     /// Start instants of every firing of `t` recorded in the trace
     /// (prologue and frustum), in increasing order.
     pub fn start_times_of(&self, t: TransitionId) -> Vec<u64> {
@@ -93,8 +138,49 @@ impl FrustumReport {
     }
 }
 
+/// Replays `steps` onto the nearest snapshot at or before `time` and
+/// returns the state after instant `time`.
+fn replay_state(
+    net: &PetriNet,
+    initial: &PackedState,
+    checkpoints: &[(u64, PackedState)],
+    steps: &[StepRecord],
+    time: u64,
+) -> InstantaneousState {
+    let (mut state, from) = match checkpoints.iter().rev().find(|(t, _)| *t <= time) {
+        Some((t, packed)) => (packed.unpack(net), t + 1),
+        None => (initial.unpack(net), 0),
+    };
+    for step in &steps[from as usize..=time as usize] {
+        state.apply_step(net, &step.started);
+    }
+    state
+}
+
+/// Tallies firings within the window `(start_time, repeat_time]`.
+fn window_counts(
+    net: &PetriNet,
+    steps: &[StepRecord],
+    start_time: u64,
+    repeat_time: u64,
+) -> Vec<u64> {
+    let mut counts = vec![0u64; net.num_transitions()];
+    for s in &steps[(start_time + 1) as usize..=repeat_time as usize] {
+        for &t in &s.started {
+            counts[t.index()] += 1;
+        }
+    }
+    counts
+}
+
 /// Runs `net` from `marking` under `policy` and the earliest firing rule
-/// until an instantaneous state repeats, within `max_steps` instants.
+/// until an instantaneous state repeats, within a budget of `max_steps`
+/// simulated instants (instant 0 counts; detection thus needs
+/// `max_steps ≥ repeat_time + 1`).
+///
+/// Repetition is detected through the engine's incremental state digest;
+/// every digest match is confirmed by bounded event replay from the
+/// nearest checkpoint, so the result is exact even under hash collisions.
 ///
 /// # Errors
 ///
@@ -114,41 +200,100 @@ pub fn detect_frustum<P: ChoicePolicy>(
     max_steps: u64,
 ) -> Result<FrustumReport, SchedError> {
     let mut engine = Engine::try_new(net, marking, policy)?;
-    let mut seen: HashMap<tpn_petri::timed::StateKey, u64> = HashMap::new();
-    let mut steps = Vec::new();
+    let initial = engine.packed_state();
+    // Digest -> instants whose post-state hashed to it (collision chains).
+    let mut seen: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut checkpoints: Vec<(u64, PackedState)> = Vec::new();
+    let mut steps: Vec<StepRecord> = Vec::new();
 
     let first = engine.start();
-    seen.insert(first.state_key(), first.time);
+    seen.insert(first.digest, vec![first.time]);
     steps.push(first);
 
     loop {
+        if steps.len() as u64 >= max_steps {
+            return Err(SchedError::FrustumNotFound { max_steps });
+        }
         let step = engine.tick();
         let time = step.time;
-        if step.started.is_empty() && step.completed.is_empty() && step.state.all_idle() {
+        if step.started.is_empty() && step.completed.is_empty() && engine.state().all_idle() {
             return Err(SchedError::Deadlock { time });
         }
-        let key = step.state_key();
-        steps.push(step);
-        if let Some(&start_time) = seen.get(&key) {
-            let mut counts = vec![0u64; net.num_transitions()];
-            for s in &steps[(start_time + 1) as usize..=time as usize] {
-                for &t in &s.started {
-                    counts[t.index()] += 1;
+        if let Some(times) = seen.get(&step.digest) {
+            for &start_time in times {
+                if steps[start_time as usize].policy_fingerprint == step.policy_fingerprint
+                    && replay_state(net, &initial, &checkpoints, &steps, start_time)
+                        == *engine.state()
+                {
+                    steps.push(step);
+                    let counts = window_counts(net, &steps, start_time, time);
+                    return Ok(FrustumReport {
+                        steps,
+                        start_time,
+                        repeat_time: time,
+                        counts,
+                        initial,
+                        checkpoints,
+                    });
                 }
             }
+        }
+        seen.entry(step.digest).or_default().push(time);
+        steps.push(step);
+        if time % CHECKPOINT_INTERVAL == 0 {
+            checkpoints.push((time, engine.packed_state()));
+        }
+    }
+}
+
+/// The original clone-per-step detector: hashes the **full**
+/// [`StateKey`] (state plus policy fingerprint) of every instant.
+///
+/// Collision-proof by construction but allocation-heavy; retained as the
+/// oracle for differential tests and benchmarks of [`detect_frustum`].
+/// Budget semantics and results are identical.
+///
+/// # Errors
+///
+/// Same as [`detect_frustum`].
+pub fn detect_frustum_reference<P: ChoicePolicy>(
+    net: &PetriNet,
+    marking: Marking,
+    policy: P,
+    max_steps: u64,
+) -> Result<FrustumReport, SchedError> {
+    let mut engine = Engine::try_new(net, marking, policy)?;
+    let initial = engine.packed_state();
+    let mut seen: HashMap<StateKey, u64> = HashMap::new();
+    let mut steps: Vec<StepRecord> = Vec::new();
+
+    let first = engine.start();
+    seen.insert(engine.state_key(), first.time);
+    steps.push(first);
+
+    loop {
+        if steps.len() as u64 >= max_steps {
+            return Err(SchedError::FrustumNotFound { max_steps });
+        }
+        let step = engine.tick();
+        let time = step.time;
+        if step.started.is_empty() && step.completed.is_empty() && engine.state().all_idle() {
+            return Err(SchedError::Deadlock { time });
+        }
+        let key = engine.state_key();
+        steps.push(step);
+        if let Some(&start_time) = seen.get(&key) {
+            let counts = window_counts(net, &steps, start_time, time);
             return Ok(FrustumReport {
                 steps,
                 start_time,
                 repeat_time: time,
                 counts,
+                initial,
+                checkpoints: Vec::new(),
             });
         }
         seen.insert(key, time);
-        if time >= max_steps {
-            return Err(SchedError::FrustumNotFound {
-                max_steps,
-            });
-        }
     }
 }
 
@@ -236,12 +381,51 @@ mod tests {
     }
 
     #[test]
+    fn digest_detector_matches_reference() {
+        for sdsp in [l1(), l2()] {
+            let pn = to_petri(&sdsp);
+            let fast = detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000).unwrap();
+            let refr =
+                detect_frustum_reference(&pn.net, pn.marking.clone(), EagerPolicy, 1_000).unwrap();
+            assert_eq!(fast.start_time, refr.start_time);
+            assert_eq!(fast.repeat_time, refr.repeat_time);
+            assert_eq!(fast.counts, refr.counts);
+            assert_eq!(fast.steps.len(), refr.steps.len());
+            for (a, b) in fast.steps.iter().zip(&refr.steps) {
+                assert_eq!(a.started, b.started);
+                assert_eq!(a.completed, b.completed);
+                assert_eq!(a.digest, b.digest);
+            }
+        }
+    }
+
+    #[test]
+    fn state_at_reconstructs_boundary_states() {
+        let pn = to_petri(&l2());
+        let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000).unwrap();
+        // The states at start_time and repeat_time are the repeated pair.
+        assert_eq!(
+            f.state_at(&pn.net, f.start_time),
+            f.state_at(&pn.net, f.repeat_time)
+        );
+        // Every reconstructed state hashes to the recorded digest.
+        for step in &f.steps {
+            let state = f.state_at(&pn.net, step.time);
+            assert_eq!(
+                tpn_petri::timed::state_digest(&state, step.policy_fingerprint),
+                step.digest,
+                "instant {}",
+                step.time
+            );
+        }
+    }
+
+    #[test]
     fn frustum_repeats_forever() {
         // Replay one more period and confirm the firing pattern repeats.
         let pn = to_petri(&l2());
         let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000).unwrap();
-        let mut engine =
-            Engine::new(&pn.net, pn.marking.clone(), EagerPolicy);
+        let mut engine = Engine::new(&pn.net, pn.marking.clone(), EagerPolicy);
         engine.start();
         let horizon = f.repeat_time + 2 * f.period();
         let mut trace = Vec::new();
@@ -280,6 +464,32 @@ mod tests {
     }
 
     #[test]
+    fn budget_counts_simulated_instants_exactly() {
+        // Regression: a budget of N must allow exactly N instants, not
+        // N + 1. The single-node do-all repeats at instant 1, i.e. after
+        // simulating two instants (0 and 1): budget 2 finds it, budget 1
+        // must not.
+        let mut b = SdspBuilder::new();
+        b.node(
+            "D",
+            OpKind::Sub,
+            [Operand::env("Y", 1), Operand::env("Y", 0)],
+        );
+        let pn = to_petri(&b.finish().unwrap());
+        let found = detect_frustum_eager(&pn.net, pn.marking.clone(), 2).unwrap();
+        assert_eq!((found.start_time, found.repeat_time), (0, 1));
+        assert!(matches!(
+            detect_frustum_eager(&pn.net, pn.marking.clone(), 1),
+            Err(SchedError::FrustumNotFound { max_steps: 1 })
+        ));
+        // The reference detector applies the same budget semantics.
+        assert!(matches!(
+            detect_frustum_reference(&pn.net, pn.marking.clone(), EagerPolicy, 1),
+            Err(SchedError::FrustumNotFound { max_steps: 1 })
+        ));
+    }
+
+    #[test]
     fn dead_marking_reports_deadlock() {
         let pn = to_petri(&l1());
         let empty = Marking::empty(&pn.net);
@@ -293,7 +503,11 @@ mod tests {
     fn single_node_doall_fires_every_cycle() {
         // Loop 12: one node, no arcs at all -> rate 1.
         let mut b = SdspBuilder::new();
-        b.node("D", OpKind::Sub, [Operand::env("Y", 1), Operand::env("Y", 0)]);
+        b.node(
+            "D",
+            OpKind::Sub,
+            [Operand::env("Y", 1), Operand::env("Y", 0)],
+        );
         let pn = to_petri(&b.finish().unwrap());
         let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 100).unwrap();
         assert_eq!(f.period(), 1);

@@ -90,7 +90,11 @@ impl ModuloSchedule {
         let mut caps = vec![1u32; sdsp.acks().count()];
         for (nid, node) in sdsp.nodes() {
             for (slot, operand) in node.operands.iter().enumerate() {
-                let tpn_dataflow::Operand::Node { node: producer, distance } = operand else {
+                let tpn_dataflow::Operand::Node {
+                    node: producer,
+                    distance,
+                } = operand
+                else {
                     continue;
                 };
                 let Some(arc) = sdsp.arc_of_operand(nid, slot) else {
@@ -114,7 +118,11 @@ impl ModuloSchedule {
     pub fn validate(&self, sdsp: &Sdsp) -> Result<(), String> {
         for (nid, node) in sdsp.nodes() {
             for operand in &node.operands {
-                let tpn_dataflow::Operand::Node { node: producer, distance } = operand else {
+                let tpn_dataflow::Operand::Node {
+                    node: producer,
+                    distance,
+                } = operand
+                else {
                     continue;
                 };
                 let lhs = self.starts[nid.index()] + self.ii * *distance as u64;
@@ -310,12 +318,11 @@ pub fn modulo_schedule(sdsp: &Sdsp, width: usize) -> Result<ModuloSchedule, Modu
                 }
             }
         }
-        let starts: Vec<u64> = start.into_iter().map(|s| s.expect("all scheduled")).collect();
-        let schedule = ModuloSchedule {
-            ii,
-            starts,
-            width,
-        };
+        let starts: Vec<u64> = start
+            .into_iter()
+            .map(|s| s.expect("all scheduled"))
+            .collect();
+        let schedule = ModuloSchedule { ii, starts, width };
         if schedule.validate(sdsp).is_ok() {
             return Ok(schedule);
         }
@@ -431,10 +438,7 @@ mod tests {
         let sdsp = l2();
         let s = modulo_schedule(&sdsp, 2).unwrap();
         for node in sdsp.node_ids() {
-            assert_eq!(
-                s.start_time(node, 7) - s.start_time(node, 4),
-                3 * s.ii()
-            );
+            assert_eq!(s.start_time(node, 7) - s.start_time(node, 4), 3 * s.ii());
         }
     }
 

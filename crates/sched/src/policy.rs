@@ -96,11 +96,7 @@ fn is_ready(
 impl ChoicePolicy for FifoPolicy {
     fn choose(&mut self, ctx: &PolicyCtx<'_>) -> Option<TransitionId> {
         // Pipeline stages advance unconditionally.
-        if let Some(&dummy) = ctx
-            .startable
-            .iter()
-            .find(|&&t| !self.is_sdsp[t.index()])
-        {
+        if let Some(&dummy) = ctx.startable.iter().find(|&&t| !self.is_sdsp[t.index()]) {
             return Some(dummy);
         }
         self.sync(ctx.net, ctx.state);
@@ -150,11 +146,7 @@ impl PriorityPolicy {
 
 impl ChoicePolicy for PriorityPolicy {
     fn choose(&mut self, ctx: &PolicyCtx<'_>) -> Option<TransitionId> {
-        if let Some(&dummy) = ctx
-            .startable
-            .iter()
-            .find(|&&t| !self.is_sdsp[t.index()])
-        {
+        if let Some(&dummy) = ctx.startable.iter().find(|&&t| !self.is_sdsp[t.index()]) {
             return Some(dummy);
         }
         if ctx.state.marking.tokens(self.run_place) == 0 {
@@ -223,10 +215,13 @@ mod tests {
         // the run place was empty mid-instant (impossible here without a
         // start) or nothing was data-ready. We verify via the state left
         // behind: run marked && something startable => contradiction.
+        let mut state =
+            tpn_petri::timed::InstantaneousState::initial(&scp.net, scp.marking.clone());
         for step in &f.steps {
+            state.apply_step(&scp.net, &step.started);
             let issued = step.started.iter().any(|t| scp.is_sdsp[t.index()]);
-            if !issued && step.state.marking.tokens(scp.run_place) > 0 {
-                let ready = step.state.startable(&scp.net);
+            if !issued && state.marking.tokens(scp.run_place) > 0 {
+                let ready = state.startable(&scp.net);
                 assert!(
                     ready.iter().all(|t| !scp.is_sdsp[t.index()]),
                     "instant {} idled the pipe with ready instructions",
@@ -252,11 +247,7 @@ mod tests {
         .unwrap();
         let n = scp.num_sdsp_transitions() as u64;
         for t in scp.sdsp_transitions() {
-            assert_eq!(
-                f.rate_of(t),
-                tpn_petri::Ratio::new(1, n),
-                "transition {t}"
-            );
+            assert_eq!(f.rate_of(t), tpn_petri::Ratio::new(1, n), "transition {t}");
         }
     }
 

@@ -137,10 +137,7 @@ mod tests {
         // Utilisation = n * rate for unit-time nodes.
         assert_eq!(
             report.utilization,
-            report
-                .measured
-                .checked_mul(Ratio::from_integer(5))
-                .unwrap()
+            report.measured.checked_mul(Ratio::from_integer(5)).unwrap()
         );
         assert!(report.utilization <= Ratio::ONE);
     }
@@ -155,13 +152,8 @@ mod tests {
         }
         let pn = to_petri(&b.finish().unwrap());
         let scp = build_scp(&pn, 1);
-        let f = detect_frustum(
-            &scp.net,
-            scp.marking.clone(),
-            FifoPolicy::new(&scp),
-            10_000,
-        )
-        .unwrap();
+        let f =
+            detect_frustum(&scp.net, scp.marking.clone(), FifoPolicy::new(&scp), 10_000).unwrap();
         let report = ScpRateReport::for_scp(&scp, &f);
         assert_eq!(report.utilization, Ratio::ONE);
         assert_eq!(report.measured, Ratio::new(1, 4));

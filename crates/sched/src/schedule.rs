@@ -138,7 +138,7 @@ impl LoopSchedule {
                     kernel.push(KernelEntry {
                         slot: step.time - frustum.start_time - 1,
                         node: NodeId::from_index(node_idx),
-                        occurrence: 0, // fixed up below
+                        occurrence: 0,            // fixed up below
                         offset: iteration as i64, // temporarily absolute
                     });
                 }
@@ -393,10 +393,7 @@ mod tests {
         for node in sdsp.node_ids() {
             let steady = s.recorded_iterations(node) as u64;
             for iter in steady..steady + 20 {
-                assert_eq!(
-                    s.start_time(node, iter + 2) - s.start_time(node, iter),
-                    5
-                );
+                assert_eq!(s.start_time(node, iter + 2) - s.start_time(node, iter), 5);
             }
         }
     }

@@ -232,7 +232,10 @@ mod tests {
         let pn = two_node_pn();
         let scp = build_scp(&pn, 8);
         assert_eq!(scp.num_sdsp_transitions(), 2);
-        assert_eq!(scp.node_of(scp.transition_of[1]), Some(NodeId::from_index(1)));
+        assert_eq!(
+            scp.node_of(scp.transition_of[1]),
+            Some(NodeId::from_index(1))
+        );
         assert_eq!(scp.sdsp_transitions().count(), 2);
         assert_eq!(scp.depth, 8);
     }

@@ -103,7 +103,7 @@ enum Pusher {
 /// ```
 pub fn steady_state_net(net: &PetriNet, frustum: &FrustumReport) -> SteadyStateNet {
     let start = frustum.start_time;
-    let boundary_state = &frustum.steps[start as usize].state;
+    let boundary_state = frustum.state_at(net, start);
 
     // FIFO of tokens per original place.
     let mut queues: Vec<VecDeque<Entry>> = net
@@ -181,12 +181,7 @@ pub fn steady_state_net(net: &PetriNet, frustum: &FrustumReport) -> SteadyStateN
                         index,
                         extra_period,
                     }) => {
-                        edges.push((
-                            pushes[p.index()][index],
-                            idx,
-                            extra_period,
-                            p,
-                        ));
+                        edges.push((pushes[p.index()][index], idx, extra_period, p));
                     }
                     None => unreachable!("earliest-firing trace consumed a missing token"),
                 }

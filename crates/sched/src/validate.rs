@@ -113,9 +113,8 @@ pub fn check_schedule(
                     continue; // reads the initial value, always ready
                 }
                 let start = schedule.start_time(nid, iter);
-                let available = schedule.start_time(*m, iter - d)
-                    + schedule.node_time(*m)
-                    + extra_latency;
+                let available =
+                    schedule.start_time(*m, iter - d) + schedule.node_time(*m) + extra_latency;
                 if start < available {
                     return Err(ScheduleViolation::Dependence {
                         consumer: (nid, iter),

@@ -375,11 +375,7 @@ pub fn balance(sdsp: &Sdsp) -> Result<(Sdsp, BalanceReport), StorageError> {
         let ack_idx = cycle
             .places()
             .iter()
-            .find_map(|p| {
-                pn.place_of_ack
-                    .iter()
-                    .position(|&slot| slot == Some(*p))
-            })
+            .find_map(|p| pn.place_of_ack.iter().position(|&slot| slot == Some(*p)))
             .expect("a cycle above the data bound passes through an acknowledgement");
         acks[ack_idx].capacity += 1;
         current = current.with_acks(acks)?;

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lp = CompiledLoop::from_source(source)?;
     println!(
         "compiled: {} instructions ({} after buffer insertion), {} data arcs, LCD: {}",
-        lp.sdsp().nodes().filter(|(_, n)| !n.name.contains('~')).count(),
+        lp.sdsp()
+            .nodes()
+            .filter(|(_, n)| !n.name.contains('~'))
+            .count(),
         lp.size(),
         lp.sdsp().arcs().count(),
         lp.sdsp().has_loop_carried_dependence()
@@ -50,9 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "do i from 1 to n { A[i] := X[j]; }",
         "do i from 1 to n { A[i] := 1 }",
     ] {
-        match parse(bad).map_err(tpn::Error::Lang).and_then(|ast| {
-            tpn_lang::lower(&ast).map_err(tpn::Error::Lang).map(|_| ())
-        }) {
+        match parse(bad)
+            .map_err(tpn::Error::Lang)
+            .and_then(|ast| tpn_lang::lower(&ast).map_err(tpn::Error::Lang).map(|_| ()))
+        {
             Ok(()) => println!("  (unexpectedly fine) {bad}"),
             Err(tpn::Error::Lang(e)) => println!("  {}", e.render(bad)),
             Err(e) => println!("  {e}"),

@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {:<16} ratio {}{}",
             names.join("-"),
             cycle.ratio,
-            if cycle.critical { "   <- critical (fixed by the program)" } else { "" }
+            if cycle.critical {
+                "   <- critical (fixed by the program)"
+            } else {
+                ""
+            }
         );
     }
 

@@ -25,8 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // the l-1 cycle pipeline transit.
         check_schedule(lp.sdsp(), &schedule, ITERS, None, 0)
             .map_err(|v| format!("{}: {v}", kernel.name))?;
-        check_schedule(lp.sdsp(), &scp.schedule, ITERS, Some(1), scp.model.depth - 1)
-            .map_err(|v| format!("{} (SCP): {v}", kernel.name))?;
+        check_schedule(
+            lp.sdsp(),
+            &scp.schedule,
+            ITERS,
+            Some(1),
+            scp.model.depth - 1,
+        )
+        .map_err(|v| format!("{} (SCP): {v}", kernel.name))?;
 
         // Semantic replay on generated inputs.
         let env = kernel.env(ITERS as usize);

@@ -42,6 +42,9 @@ fn main() -> Result<(), tpn::Error> {
     // The schedule is provably as fast as the dependences allow.
     let report = lp.rate_report()?;
     assert!(report.is_time_optimal());
-    println!("rate {} equals the critical-cycle bound: time-optimal", report.measured);
+    println!(
+        "rate {} equals the critical-cycle bound: time-optimal",
+        report.measured
+    );
     Ok(())
 }

@@ -1,0 +1,259 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Exposes the builder/group/bencher API and the `criterion_group!` /
+//! `criterion_main!` macros the workspace's benches use. When invoked by
+//! `cargo bench` (which passes `--bench` to harness-less targets) each
+//! benchmark is warmed up and timed, and a mean per-iteration time is
+//! printed as both a human line and a machine-readable
+//! `BENCH{"group":...}` JSON line. Under `cargo test` (no `--bench`
+//! argument) every benchmark body runs exactly once as a smoke test, so
+//! test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle and configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            sample_size: 30,
+            measure: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing the harness configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs (or smoke-runs) one benchmark.
+    pub fn bench_function<I: IntoBenchmarkId>(
+        &mut self,
+        id: I,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into_id();
+        let mut bencher = Bencher {
+            config: self.criterion.clone(),
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        if self.criterion.measure {
+            println!(
+                "{}/{}: mean {} ({} iters)",
+                self.name,
+                id,
+                format_ns(bencher.mean_ns),
+                bencher.iters
+            );
+            println!(
+                "BENCH{{\"group\":\"{}\",\"id\":\"{}\",\"mean_ns\":{:.1},\"iters\":{}}}",
+                self.name, id, bencher.mean_ns, bencher.iters
+            );
+        }
+        self
+    }
+
+    /// Ends the group (report output happens per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Times a single benchmark body.
+pub struct Bencher {
+    config: Criterion,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean wall-clock time per
+    /// call; under `cargo test` it runs the routine once.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        if !self.config.measure {
+            std::hint::black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        // Warm-up, also calibrating iterations per sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let budget_ns = self.config.measurement.as_nanos() as f64;
+        let total_iters = (budget_ns / per_iter.max(1.0)).ceil() as u64;
+        let samples = self.config.sample_size as u64;
+        let iters_per_sample = (total_iters / samples).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut measured: u64 = 0;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            measured += iters_per_sample;
+        }
+        self.mean_ns = total.as_nanos() as f64 / measured.max(1) as f64;
+        self.iters = measured;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a group of benchmark target functions, optionally with a
+/// custom configuration, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.bench_function(BenchmarkId::new("add", 4), |b| {
+            b.iter(|| std::hint::black_box(2 + 2))
+        });
+        group.bench_function("plain-id", |b| b.iter(|| ()));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = target
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_body_once() {
+        // Not under `cargo bench`: bodies run once, nothing is timed.
+        benches();
+    }
+}

@@ -1,0 +1,143 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever serialises plain data rows *to JSON* (the
+//! `--json` / `--format json` outputs of the bench binaries and `tpnc`),
+//! so this shim reduces serde to exactly that: a [`Serialize`] trait that
+//! appends a JSON encoding to a buffer, plus a derive macro for named-field
+//! structs (re-exported from `serde_derive` under the `derive` feature,
+//! mirroring the real crate layout).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// Types that can append a JSON encoding of themselves to a buffer.
+pub trait Serialize {
+    /// Appends `self` as a JSON value.
+    fn serialize_json(&self, out: &mut String);
+}
+
+macro_rules! impl_serialize_display {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+macro_rules! impl_serialize_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Rust's Display for floats round-trips and is valid
+                    // JSON (no exponent-only or trailing-dot forms).
+                    out.push_str(&self.to_string());
+                } else {
+                    // serde_json's behaviour for non-finite numbers.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        let mut buf = [0u8; 4];
+        write_json_string(self.encode_utf8(&mut buf), out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+/// Appends `s` as a JSON string literal with the required escapes.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_json<T: Serialize>(v: T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn scalars_encode_as_json() {
+        assert_eq!(to_json(42u64), "42");
+        assert_eq!(to_json(-3i64), "-3");
+        assert_eq!(to_json(true), "true");
+        assert_eq!(to_json(0.5f64), "0.5");
+        assert_eq!(to_json(f64::NAN), "null");
+        assert_eq!(to_json("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(to_json(Option::<u32>::None), "null");
+        assert_eq!(to_json(vec![1u32, 2, 3]), "[1,2,3]");
+    }
+}

@@ -1,0 +1,123 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for plain named-field structs — the
+//! only shape the workspace serialises — by walking the raw token stream
+//! (no `syn`/`quote`, which the air-gapped build cannot fetch). The
+//! generated impl targets the shim `serde::Serialize` trait, emitting the
+//! struct as a JSON object in declaration order.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct.
+///
+/// # Panics
+///
+/// Panics at compile time if the input is not a struct with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, body) = parse_struct(&tokens);
+    let fields = parse_fields(&body);
+    assert!(
+        !fields.is_empty(),
+        "derive(Serialize) shim requires at least one named field in `{name}`"
+    );
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+         out.push('{{');\n"
+    ));
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str("out.push(',');\n");
+        }
+        out.push_str(&format!(
+            "::serde::write_json_string({field:?}, out);\n\
+             out.push(':');\n\
+             ::serde::Serialize::serialize_json(&self.{field}, out);\n"
+        ));
+    }
+    out.push_str("out.push('}');\n}\n}\n");
+    out.parse().expect("generated impl parses")
+}
+
+/// Finds the struct name and the brace-delimited field body.
+fn parse_struct(tokens: &[TokenTree]) -> (String, Vec<TokenTree>) {
+    let mut iter = tokens.iter().peekable();
+    while let Some(tt) = iter.next() {
+        if matches!(tt, TokenTree::Ident(id) if id.to_string() == "struct") {
+            let name = match iter.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected struct name, found {other:?}"),
+            };
+            for tt in iter {
+                if let TokenTree::Group(g) = tt {
+                    if g.delimiter() == Delimiter::Brace {
+                        return (name, g.stream().into_iter().collect());
+                    }
+                }
+            }
+            panic!("derive(Serialize) shim supports only named-field structs ({name})");
+        }
+    }
+    panic!("derive(Serialize) shim: no `struct` keyword in input");
+}
+
+/// Extracts field names from a struct body, skipping attributes,
+/// visibility modifiers, and type tokens (tracking `<...>` nesting so
+/// commas inside generics don't split fields).
+fn parse_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // Skip outer attributes (`#[...]`, including doc comments).
+        while i + 1 < body.len() {
+            match (&body[i], &body[i + 1]) {
+                (TokenTree::Punct(p), TokenTree::Group(g))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        if i >= body.len() {
+            break;
+        }
+        // Skip `pub` and an optional restriction like `pub(crate)`.
+        if matches!(&body[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&body[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+                i += 1;
+            }
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        fields.push(name);
+        i += 1;
+        assert!(
+            matches!(&body[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected `:` after field name"
+        );
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        i += 1;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}

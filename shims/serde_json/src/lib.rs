@@ -1,0 +1,38 @@
+//! Offline stand-in for `serde_json`: only [`to_string`], which is the
+//! single entry point the workspace uses.
+
+use std::fmt;
+
+/// Serialisation error. The shim encoder is infallible, so this is never
+/// constructed, but the public signature matches the real crate.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialisation failed")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails with the shim encoder; the `Result` mirrors the real
+/// crate's signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn vec_round_trip() {
+        assert_eq!(super::to_string(&vec![1u32, 2]).unwrap(), "[1,2]");
+        assert_eq!(super::to_string("x\"y").unwrap(), "\"x\\\"y\"");
+    }
+}

@@ -65,8 +65,7 @@ fn every_kernel_scp_schedule_respects_machine_limits() {
             .unwrap_or_else(|v| panic!("{} (SCP): {v}", kernel.name));
         // SCP schedules also preserve semantics.
         let env = kernel.env(ITERS as usize);
-        let outcome =
-            replay_semantics(lp.sdsp(), &run.schedule, &env, ITERS).expect(kernel.name);
+        let outcome = replay_semantics(lp.sdsp(), &run.schedule, &env, ITERS).expect(kernel.name);
         assert!(outcome.semantics_preserved(), "{} (SCP)", kernel.name);
     }
 }
@@ -79,7 +78,11 @@ fn every_kernel_steady_net_reproduces_the_period() {
         let pn = lp.petri_net();
         let steady = steady_state_net(&pn.net, &frustum);
         assert!(steady.net.is_marked_graph(), "{}", kernel.name);
-        assert!(check_live(&steady.net, &steady.marking).is_ok(), "{}", kernel.name);
+        assert!(
+            check_live(&steady.net, &steady.marking).is_ok(),
+            "{}",
+            kernel.name
+        );
         let r = critical_ratio(&steady.net, &steady.marking).expect(kernel.name);
         assert_eq!(
             r.cycle_time,

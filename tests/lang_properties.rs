@@ -91,17 +91,18 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
 }
 
 fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    let assign = (name_strategy(), any::<bool>(), expr_strategy()).prop_map(
-        |(name, array, value)| Stmt::Assign {
-            target: if array {
-                Target::Array { name }
-            } else {
-                Target::Scalar { name }
-            },
-            value,
-            span: Default::default(),
-        },
-    );
+    let assign =
+        (name_strategy(), any::<bool>(), expr_strategy()).prop_map(|(name, array, value)| {
+            Stmt::Assign {
+                target: if array {
+                    Target::Array { name }
+                } else {
+                    Target::Scalar { name }
+                },
+                value,
+                span: Default::default(),
+            }
+        });
     assign.prop_recursive(2, 12, 3, |inner| {
         prop_oneof![
             3 => (name_strategy(), expr_strategy()).prop_map(|(name, value)| Stmt::Assign {

@@ -15,20 +15,15 @@ use tpn_sched::validate::check_schedule;
 use tpn_sched::LoopSchedule;
 
 fn synth_config() -> impl Strategy<Value = SynthConfig> {
-    (
-        2usize..24,
-        0.0f64..1.0,
-        0usize..3,
-        1u32..4,
-        any::<u64>(),
-    )
-        .prop_map(|(nodes, forward_density, recurrences, distance, seed)| SynthConfig {
+    (2usize..24, 0.0f64..1.0, 0usize..3, 1u32..4, any::<u64>()).prop_map(
+        |(nodes, forward_density, recurrences, distance, seed)| SynthConfig {
             nodes,
             forward_density,
             recurrences,
             distance,
             seed,
-        })
+        },
+    )
 }
 
 fn sdsp_of(config: &SynthConfig) -> Sdsp {

@@ -86,10 +86,13 @@ proptest! {
         let scp = build_scp(&pn, depth);
         let f = detect_frustum(&scp.net, scp.marking.clone(), FifoPolicy::new(&scp), 4_000_000)
             .unwrap();
+        let mut state =
+            tpn_petri::timed::InstantaneousState::initial(&scp.net, scp.marking.clone());
         for step in &f.steps {
+            state.apply_step(&scp.net, &step.started);
             let issued = step.started.iter().any(|t| scp.is_sdsp[t.index()]);
-            if !issued && step.state.marking.tokens(scp.run_place) > 0 {
-                let ready = step.state.startable(&scp.net);
+            if !issued && state.marking.tokens(scp.run_place) > 0 {
+                let ready = state.startable(&scp.net);
                 prop_assert!(
                     ready.iter().all(|t| !scp.is_sdsp[t.index()]),
                     "idled with ready work at instant {}", step.time
