@@ -2,9 +2,9 @@
 //! Livermore loops (size, start time, repeat time, frustum length,
 //! transition count, computation rate, and the `BD = 2n` bound).
 //!
-//! Run: `cargo run -p tpn-bench --bin table1 [-- --json]`
+//! Run: `cargo run -p tpn-bench --bin table1 [-- --json] [-- --profile]`
 
-use tpn_bench::{emit, table, table1_rows, Table1Row};
+use tpn_bench::{emit, emit_profiles, profile_mode, profile_rows, table, table1_rows, Table1Row};
 use tpn_livermore::kernels;
 
 fn main() {
@@ -42,4 +42,8 @@ fn main() {
         );
         out
     });
+    if profile_mode() {
+        let profiles = profile_rows(&kernels(), None).unwrap_or_else(|e| panic!("profile: {e}"));
+        emit_profiles(&profiles);
+    }
 }

@@ -1,9 +1,9 @@
 //! Regenerates **Table 2** of the paper: SDSP-SCP-PN simulation with a
 //! single clean 8-stage pipeline (adds processor usage; `BD = 2·n·l`).
 //!
-//! Run: `cargo run -p tpn-bench --bin table2 [-- --json] [-- --depth L]`
+//! Run: `cargo run -p tpn-bench --bin table2 [-- --json] [-- --depth L] [-- --profile]`
 
-use tpn_bench::{emit, table, table2_rows, Table2Row};
+use tpn_bench::{emit, emit_profiles, profile_mode, profile_rows, table, table2_rows, Table2Row};
 use tpn_livermore::kernels;
 
 fn main() {
@@ -47,4 +47,9 @@ fn main() {
         );
         out
     });
+    if profile_mode() {
+        let profiles =
+            profile_rows(&kernels(), Some(depth)).unwrap_or_else(|e| panic!("profile: {e}"));
+        emit_profiles(&profiles);
+    }
 }

@@ -95,7 +95,7 @@ pub struct Table2Row {
 pub fn table1_row(kernel: &Kernel) -> Result<Table1Row, Error> {
     let lp = CompiledLoop::from_source(kernel.source)?;
     let frustum = lp.frustum()?;
-    let report = RateReport::for_sdsp_pn(lp.petri_net(), &frustum).map_err(Error::Petri)?;
+    let report = RateReport::for_sdsp_pn(lp.petri_net(), &frustum).map_err(Error::Sched)?;
     let count = frustum
         .uniform_count()
         .expect("marked-graph frustums fire uniformly");
@@ -229,6 +229,65 @@ pub fn steps_per_node(repeat_time: u64, n: usize) -> Ratio {
 /// Whether `--json` was requested on the command line.
 pub fn json_mode() -> bool {
     std::env::args().any(|a| a == "--json")
+}
+
+/// Whether `--profile` was requested on the command line.
+pub fn profile_mode() -> bool {
+    std::env::args().any(|a| a == "--profile")
+}
+
+/// One kernel's profile, as emitted by `--profile --json`.
+#[derive(Clone, Debug, Serialize)]
+pub struct ProfileRow {
+    /// Kernel name.
+    pub kernel: String,
+    /// The pipeline's metrics report.
+    pub profile: tpn::metrics::MetricsReport,
+}
+
+/// Re-runs every kernel with profiling enabled and collects the same
+/// [`MetricsReport`](tpn::metrics::MetricsReport) `tpnc --profile`
+/// produces: stage spans plus engine and detection counters. With
+/// `depth = Some(l)` the SCP run at pipeline depth `l` is profiled too
+/// (the Table 2 configuration).
+///
+/// # Errors
+///
+/// The first failing kernel's error, if any.
+pub fn profile_rows(kernels: &[Kernel], depth: Option<u64>) -> Result<Vec<ProfileRow>, Error> {
+    kernels
+        .iter()
+        .map(|k| {
+            let lp =
+                CompiledLoop::from_source_with(k.source, tpn::CompileOptions::new().profile(true))?;
+            lp.rate_report()?;
+            lp.schedule()?;
+            if let Some(l) = depth {
+                lp.shared_scp(l)?;
+            }
+            Ok(ProfileRow {
+                kernel: k.name.to_string(),
+                profile: lp.metrics_report(),
+            })
+        })
+        .collect()
+}
+
+/// Prints profile rows after the table: JSON lines under `--json`, else
+/// one labelled text block per kernel.
+pub fn emit_profiles(rows: &[ProfileRow]) {
+    if json_mode() {
+        for row in rows {
+            println!(
+                "{}",
+                serde_json::to_string(row).expect("rows serialise infallibly")
+            );
+        }
+    } else {
+        for row in rows {
+            print!("\n== {} ==\n{}", row.kernel, row.profile.render_text());
+        }
+    }
 }
 
 /// Prints rows either as JSON lines or via the provided text renderer.

@@ -12,13 +12,15 @@
 //! tpnc acode    <file>...           dump the compiled SDSP as A-code
 //! ```
 //!
-//! Every subcommand takes `--format text|json` and one or more inputs;
+//! Every subcommand takes `--format text|json`, `--profile` (append a
+//! pipeline profile: stage timings, engine and detection counters) and
+//! one or more inputs;
 //! multiple inputs are compiled concurrently through [`tpn::batch`]. Each
 //! `<file>` is a loop in the SISAL-flavoured language — or an A-code dump
 //! produced by `tpnc acode` (recognised by its `.sdsp` header), so
 //! compiled loops can be saved and re-analysed — or `-` for stdin.
 //!
-//! Flags are described declaratively in [`struct@OPTIONS`]: one table row per
+//! Flags are described declaratively in [`static@OPTIONS`]: one table row per
 //! flag (name, value placeholder, help, setter), from which both the
 //! parser and [`usage`] are derived. All logic lives here so it can be
 //! unit-tested; `main.rs` only forwards `std::env::args` and prints.
@@ -56,6 +58,8 @@ pub struct Invocation {
     pub balance: bool,
     /// `--format text|json`.
     pub format: Format,
+    /// `--profile`.
+    pub profile: bool,
 }
 
 impl Invocation {
@@ -153,10 +157,19 @@ pub static OPTIONS: &[OptSpec] = &[
             Ok(())
         },
     },
+    OptSpec {
+        flag: "--profile",
+        value: None,
+        help: "append a pipeline profile (stage timings, engine counters)",
+        apply: |inv, _| {
+            inv.profile = true;
+            Ok(())
+        },
+    },
 ];
 
 /// The usage text, generated from the subcommand list and
-/// [`struct@OPTIONS`].
+/// [`static@OPTIONS`].
 pub fn usage() -> String {
     let mut s = String::from(
         "usage: tpnc <analyze|schedule|emit|dot|behavior|storage|acode> <file|-> [<file> ...]",
@@ -203,6 +216,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
         petri_form: false,
         balance: false,
         format: Format::Text,
+        profile: false,
     };
     while let Some(arg) = args.next() {
         if let Some(spec) = OPTIONS.iter().find(|o| o.flag == arg) {
@@ -227,12 +241,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
 }
 
 /// Compiles one source, transparently accepting A-code dumps.
-fn compile(source: &str) -> Result<CompiledLoop, String> {
+fn compile(source: &str, profile: bool) -> Result<CompiledLoop, String> {
+    let options = tpn::CompileOptions::new().profile(profile);
     if source.trim_start().starts_with(".sdsp") {
         let sdsp = tpn::dataflow::acode::read(source).map_err(|e| e.to_string())?;
-        Ok(CompiledLoop::from_sdsp(sdsp))
+        Ok(CompiledLoop::from_sdsp_with(sdsp, options))
     } else {
-        CompiledLoop::from_source(source).map_err(|e| match e {
+        CompiledLoop::from_source_with(source, options).map_err(|e| match e {
             tpn::Error::Lang(ref le) => le.render(source),
             other => other.to_string(),
         })
@@ -255,11 +270,23 @@ fn execute_named(
     source: &str,
     file: Option<&str>,
 ) -> Result<String, String> {
-    let lp = compile(source)?;
-    match invocation.format {
+    let lp = compile(source, invocation.profile)?;
+    let mut out = match invocation.format {
         Format::Text => execute_text(invocation, &lp),
         Format::Json => execute_json(invocation, &lp, file),
+    }?;
+    if invocation.profile {
+        let profile = lp.metrics_report();
+        match invocation.format {
+            Format::Text => out.push_str(&profile.render_text()),
+            Format::Json => out.push_str(&to_json_line(&ProfileJson {
+                file: file.map(String::from),
+                command: "profile".into(),
+                profile,
+            })?),
+        }
     }
+    Ok(out)
 }
 
 /// Executes every input concurrently on the [`tpn::batch`] worker pool
@@ -499,6 +526,13 @@ struct AcodeJson {
     file: Option<String>,
     command: String,
     acode: String,
+}
+
+#[derive(Serialize)]
+struct ProfileJson {
+    file: Option<String>,
+    command: String,
+    profile: tpn::metrics::MetricsReport,
 }
 
 fn to_json_line<T: Serialize>(value: &T) -> Result<String, String> {
@@ -782,6 +816,32 @@ wat
     }
 
     #[test]
+    fn degenerate_inputs_fail_cleanly_on_every_subcommand() {
+        // Empty source text: parse error with a diagnostic, never a panic.
+        for cmd in [
+            "analyze", "schedule", "emit", "dot", "behavior", "storage", "acode",
+        ] {
+            let inv = parse_args(args(&format!("{cmd} -"))).unwrap();
+            let err = execute(&inv, "").unwrap_err();
+            assert!(!err.is_empty(), "{cmd}: empty diagnostic");
+        }
+        // A grammatical zero-node loop: the front-end accepts it; stages
+        // needing a nonempty body fail with typed diagnostics.
+        let empty_body = "do i from 1 to n { }";
+        for cmd in ["schedule", "behavior", "emit"] {
+            let inv = parse_args(args(&format!("{cmd} -"))).unwrap();
+            let err = execute(&inv, empty_body).unwrap_err();
+            assert!(!err.is_empty(), "{cmd}: empty diagnostic");
+        }
+        // The same holds with profiling enabled and at SCP depths.
+        let inv = parse_args(args("schedule - --scp 4 --profile")).unwrap();
+        assert!(execute(&inv, empty_body).is_err());
+        // dot/acode only need the graph: they succeed on the empty loop.
+        let inv = parse_args(args("dot -")).unwrap();
+        assert!(execute(&inv, empty_body).is_ok());
+    }
+
+    #[test]
     fn language_errors_carry_positions() {
         let inv = parse_args(args("analyze -")).unwrap();
         let err = execute(&inv, "do i from 1 to n { A[i] := X[j]; }").unwrap_err();
@@ -811,6 +871,83 @@ wat
             );
             assert_eq!(out.lines().count(), 1, "{cmd} emitted multiple lines");
         }
+    }
+
+    /// Replaces every `"nanos":<digits>` with `"nanos":0` so wall-clock
+    /// noise does not break snapshot comparisons.
+    fn zero_nanos(s: &str) -> String {
+        let mut out = String::new();
+        let mut rest = s;
+        while let Some(pos) = rest.find("\"nanos\":") {
+            let (head, tail) = rest.split_at(pos + "\"nanos\":".len());
+            out.push_str(head);
+            out.push('0');
+            rest = tail.trim_start_matches(|c: char| c.is_ascii_digit());
+        }
+        out.push_str(rest);
+        out
+    }
+
+    #[test]
+    fn profile_text_appends_stage_spans_and_counters() {
+        let inv = parse_args(args("schedule - --profile")).unwrap();
+        let out = execute(&inv, L5).unwrap();
+        assert!(out.contains("II = 2"), "schedule output missing: {out}");
+        assert!(out.contains("profile:"));
+        for stage in [
+            "parse",
+            "lower",
+            "to_petri",
+            "frustum_detection",
+            "schedule_derivation",
+        ] {
+            assert!(out.contains(stage), "profile misses stage {stage}: {out}");
+        }
+        assert!(out.contains("engine: 3 instants"));
+        assert!(out.contains("detection frustum"));
+        // Without the flag, nothing profile-related is printed.
+        let plain = execute(&parse_args(args("schedule -")).unwrap(), L5).unwrap();
+        assert!(!plain.contains("profile:"));
+    }
+
+    #[test]
+    fn profile_json_snapshot_for_l5_schedule() {
+        let inv = parse_args(args("schedule - --profile --format json")).unwrap();
+        let out = execute(&inv, L5).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "expected result + profile lines: {out}");
+        assert!(lines[0].contains("\"command\":\"schedule\""));
+        // Counters for L5 are deterministic; only the wall-clock span
+        // durations vary, so they are zeroed before comparing.
+        const EXPECTED: &str = "{\"file\":null,\"command\":\"profile\",\"profile\":{\
+            \"stages\":[\
+            {\"stage\":\"parse\",\"nanos\":0},\
+            {\"stage\":\"lower\",\"nanos\":0},\
+            {\"stage\":\"to_petri\",\"nanos\":0},\
+            {\"stage\":\"frustum_detection\",\"nanos\":0},\
+            {\"stage\":\"schedule_derivation\",\"nanos\":0}],\
+            \"engine\":{\"instants\":3,\"firings\":3,\"completions\":2,\
+            \"startable_scanned\":3,\"startable_pruned\":0},\
+            \"detections\":[{\"context\":\"frustum\",\"instants\":3,\
+            \"digest_candidates\":1,\"replays\":1,\"confirmed\":1,\
+            \"collisions\":0,\"checkpoints\":0,\
+            \"engine\":{\"instants\":3,\"firings\":3,\"completions\":2,\
+            \"startable_scanned\":3,\"startable_pruned\":0}}],\
+            \"batch\":null}}";
+        assert_eq!(zero_nanos(lines[1]), EXPECTED);
+    }
+
+    #[test]
+    fn profile_json_covers_scp_detections() {
+        let inv = parse_args(args("schedule - --scp 4 --profile --format json")).unwrap();
+        let out = execute(&inv, L5).unwrap();
+        let profile = out.lines().nth(1).expect("profile line");
+        assert!(
+            profile.contains("\"context\":\"scp[l=4]\""),
+            "got: {profile}"
+        );
+        assert!(profile.contains("\"stage\":\"scp_detection[l=4]\""));
+        assert!(profile.contains("\"stage\":\"scp_expansion[l=4]\""));
     }
 
     #[test]

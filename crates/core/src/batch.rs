@@ -26,10 +26,14 @@
 //! }
 //! ```
 
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use tpn_dataflow::Sdsp;
 
+use crate::metrics::{latency_histogram, BatchCounters};
 use crate::{CompileOptions, CompiledLoop, Error};
 
 /// The worker count used when none is configured: the machine's available
@@ -38,6 +42,116 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// A panic caught inside a batch worker while it processed one item.
+///
+/// The panic is confined to the item that raised it: the worker keeps
+/// draining the queue and every other item's result is unaffected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchPanic {
+    /// Input index of the poisoned item.
+    pub index: usize,
+    /// The panic payload, stringified (`&str` and `String` payloads are
+    /// carried verbatim).
+    pub message: String,
+}
+
+impl fmt::Display for BatchPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batch worker panicked on item {}: {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for BatchPanic {}
+
+/// The raw payload of a caught panic.
+type Payload = Box<dyn std::any::Any + Send + 'static>;
+
+fn payload_message(payload: &Payload) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Work-stealing core shared by every public map flavour: applies `f`
+/// under `catch_unwind`, optionally timing each item, and returns
+/// per-item results in input order plus (when `collect_stats`) the pool
+/// counters.
+fn run_items<T, R, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+    collect_stats: bool,
+) -> (Vec<Result<R, Payload>>, Option<BatchCounters>)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let started = collect_stats.then(Instant::now);
+    let workers = if threads <= 1 || items.len() <= 1 {
+        1
+    } else {
+        threads.min(items.len())
+    };
+    type WorkerOut<R> = (Vec<(usize, Result<R, Payload>)>, Vec<u64>);
+    let run_worker = |next: &AtomicUsize| -> WorkerOut<R> {
+        let mut out = Vec::new();
+        let mut latencies = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(item) = items.get(i) else { break };
+            let item_start = collect_stats.then(Instant::now);
+            let result = catch_unwind(AssertUnwindSafe(|| f(i, item)));
+            if let Some(t0) = item_start {
+                latencies.push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            }
+            out.push((i, result));
+        }
+        (out, latencies)
+    };
+    let next = AtomicUsize::new(0);
+    let chunks: Vec<WorkerOut<R>> = if workers == 1 {
+        vec![run_worker(&next)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| scope.spawn(|| run_worker(&next)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker died outside an item"))
+                .collect()
+        })
+    };
+    let stats = started.map(|t0| {
+        let drain_nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut all_latencies: Vec<u64> = Vec::with_capacity(items.len());
+        for (_, latencies) in &chunks {
+            all_latencies.extend_from_slice(latencies);
+        }
+        BatchCounters {
+            threads: workers,
+            items: items.len(),
+            items_per_worker: chunks.iter().map(|(out, _)| out.len() as u64).collect(),
+            drain_nanos,
+            latency: latency_histogram(&all_latencies),
+        }
+    });
+    let mut indexed: Vec<(usize, Result<R, Payload>)> =
+        chunks.into_iter().flat_map(|(out, _)| out).collect();
+    indexed.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(indexed.len(), items.len());
+    (indexed.into_iter().map(|(_, r)| r).collect(), stats)
 }
 
 /// Applies `f` to every item of `items` on `threads` scoped workers and
@@ -50,41 +164,69 @@ pub fn default_threads() -> usize {
 ///
 /// # Panics
 ///
-/// Propagates panics from `f` (the scope joins all workers first).
+/// Propagates the panic of the lowest-index panicking item — but only
+/// after every other item has been processed (per-item panics are caught,
+/// so one poisoned item cannot abandon the rest of the batch). Use
+/// [`parallel_map_isolated`] to receive panics as per-item errors instead.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    if threads <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let workers = threads.min(items.len());
-    let mut chunks: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        out.push((i, f(i, item)));
-                    }
-                    out
-                })
+    let (results, _) = run_items(items, threads, f, false);
+    results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|payload| resume_unwind(payload)))
+        .collect()
+}
+
+/// [`parallel_map`] with per-item panic isolation: a panicking item
+/// yields `Err(`[`BatchPanic`]`)` in its slot and every other item
+/// completes normally. Results are in input order.
+pub fn parallel_map_isolated<T, R, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> Vec<Result<R, BatchPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let (results, _) = run_items(items, threads, f, false);
+    to_isolated(results)
+}
+
+/// [`parallel_map_isolated`] plus pool statistics: items per worker,
+/// queue drain time, and a per-item latency histogram (the
+/// [`BatchCounters`] slot of a
+/// [`MetricsReport`](crate::metrics::MetricsReport)).
+pub fn parallel_map_profiled<T, R, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> (Vec<Result<R, BatchPanic>>, BatchCounters)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let (results, stats) = run_items(items, threads, f, true);
+    (to_isolated(results), stats.expect("stats requested"))
+}
+
+fn to_isolated<R>(results: Vec<Result<R, Payload>>) -> Vec<Result<R, BatchPanic>> {
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(index, r)| {
+            r.map_err(|payload| BatchPanic {
+                index,
+                message: payload_message(&payload),
             })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("batch worker panicked"))
-            .collect()
-    });
-    let mut indexed: Vec<(usize, R)> = chunks.drain(..).flatten().collect();
-    indexed.sort_by_key(|(i, _)| *i);
-    debug_assert_eq!(indexed.len(), items.len());
-    indexed.into_iter().map(|(_, r)| r).collect()
+        })
+        .collect()
 }
 
 /// A batched compilation driver: shared options, a worker pool, and
@@ -122,16 +264,24 @@ impl Batch {
 
     /// Compiles every source concurrently, warming each loop's analysis,
     /// frustum and schedule caches in the worker. Results are in input
-    /// order; per-source failures are per-slot `Err`s.
+    /// order; per-source failures are per-slot `Err`s — including a panic
+    /// raised while compiling one source, which surfaces as
+    /// [`Error::Panic`] for that slot only.
     pub fn compile_sources<S: AsRef<str> + Sync>(
         &self,
         sources: &[S],
     ) -> Vec<Result<CompiledLoop, Error>> {
-        parallel_map(sources, self.effective_threads(), |_, src| {
+        parallel_map_isolated(sources, self.effective_threads(), |_, src| {
             let lp = CompiledLoop::from_source_with(src.as_ref(), self.options.clone())?;
             warm(&lp);
             Ok(lp)
         })
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(result) => result,
+            Err(panic) => Err(Error::Panic(panic)),
+        })
+        .collect()
     }
 
     /// Wraps every SDSP concurrently (no front-end involved), warming the
@@ -153,6 +303,16 @@ impl Batch {
         F: Fn(&CompiledLoop) -> R + Sync,
     {
         parallel_map(loops, self.effective_threads(), |_, lp| f(lp))
+    }
+
+    /// [`map`](Self::map) with per-loop panic isolation: a panicking stage
+    /// poisons only its own slot (see [`parallel_map_isolated`]).
+    pub fn map_isolated<R, F>(&self, loops: &[CompiledLoop], f: F) -> Vec<Result<R, BatchPanic>>
+    where
+        R: Send,
+        F: Fn(&CompiledLoop) -> R + Sync,
+    {
+        parallel_map_isolated(loops, self.effective_threads(), |_, lp| f(lp))
     }
 }
 

@@ -58,6 +58,7 @@ pub use tpn_sched as sched;
 pub use tpn_storage as storage;
 
 pub mod batch;
+pub mod metrics;
 
 use tpn_dataflow::to_petri::{to_petri, SdspPn};
 use tpn_dataflow::{DataflowError, Sdsp};
@@ -70,6 +71,7 @@ use tpn_sched::policy::{FifoPolicy, PriorityPolicy};
 use tpn_sched::rate::{RateReport, ScpRateReport};
 use tpn_sched::schedule::LoopSchedule;
 use tpn_sched::scp::{build_scp, ScpPn};
+use tpn_sched::steady::{steady_state_net, SteadyStateNet};
 use tpn_sched::SchedError;
 use tpn_storage::{minimize_storage, BalanceReport, StorageError, StorageReport};
 
@@ -87,6 +89,9 @@ pub enum Error {
     Sched(SchedError),
     /// Storage optimisation failure.
     Storage(StorageError),
+    /// A batch worker panicked while processing one item; the panic was
+    /// confined to that item (see [`batch::BatchPanic`]).
+    Panic(batch::BatchPanic),
 }
 
 impl fmt::Display for Error {
@@ -97,6 +102,7 @@ impl fmt::Display for Error {
             Error::Petri(e) => write!(f, "{e}"),
             Error::Sched(e) => write!(f, "{e}"),
             Error::Storage(e) => write!(f, "{e}"),
+            Error::Panic(e) => write!(f, "{e}"),
         }
     }
 }
@@ -117,6 +123,7 @@ impl_from_error!(
     Petri(PetriError),
     Sched(SchedError),
     Storage(StorageError),
+    Panic(batch::BatchPanic),
 );
 
 impl std::error::Error for Error {
@@ -127,6 +134,7 @@ impl std::error::Error for Error {
             Error::Petri(e) => Some(e),
             Error::Sched(e) => Some(e),
             Error::Storage(e) => Some(e),
+            Error::Panic(e) => Some(e),
         }
     }
 }
@@ -158,6 +166,7 @@ pub struct CompileOptions {
     node_time: Option<u64>,
     step_budget: Option<u64>,
     issue_policy: IssuePolicy,
+    profile: bool,
 }
 
 impl CompileOptions {
@@ -194,6 +203,17 @@ impl CompileOptions {
         self
     }
 
+    /// Enables stage-span profiling (default off). When set, the compiled
+    /// loop carries a [`metrics::Profiler`] that records the wall-clock
+    /// time of every pipeline stage as it is first computed; collect the
+    /// result with [`CompiledLoop::metrics_report`]. When unset no clocks
+    /// are read and no profiler is allocated.
+    #[must_use]
+    pub fn profile(mut self, enabled: bool) -> Self {
+        self.profile = enabled;
+        self
+    }
+
     /// The configured uniform node time, if any.
     pub fn node_time_override(&self) -> Option<u64> {
         self.node_time
@@ -207,6 +227,11 @@ impl CompileOptions {
     /// The configured SCP issue policy.
     pub fn scp_issue_policy(&self) -> IssuePolicy {
         self.issue_policy
+    }
+
+    /// Whether stage-span profiling is enabled.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profile
     }
 }
 
@@ -231,6 +256,7 @@ struct Caches {
     schedule: OnceLock<Result<Arc<LoopSchedule>, Error>>,
     rates: OnceLock<Result<RateReport, Error>>,
     scp: Mutex<HashMap<u64, Result<Arc<ScpRun>, Error>>>,
+    steady: OnceLock<Result<Arc<SteadyStateNet>, Error>>,
     storage: OnceLock<Result<(Sdsp, StorageReport), Error>>,
     balance: OnceLock<Result<(Sdsp, BalanceReport), Error>>,
 }
@@ -253,6 +279,7 @@ impl Clone for Caches {
             schedule: Self::clone_lock(&self.schedule),
             rates: Self::clone_lock(&self.rates),
             scp: Mutex::new(self.scp.lock().expect("scp cache poisoned").clone()),
+            steady: Self::clone_lock(&self.steady),
             storage: Self::clone_lock(&self.storage),
             balance: Self::clone_lock(&self.balance),
         }
@@ -273,6 +300,7 @@ pub struct CompiledLoop {
     sdsp: Sdsp,
     pn: SdspPn,
     options: CompileOptions,
+    profiler: Option<Arc<metrics::Profiler>>,
     caches: Caches,
 }
 
@@ -306,7 +334,17 @@ impl CompiledLoop {
     ///
     /// [`Error::Lang`] for parse or semantic failures.
     pub fn from_source_with(source: &str, options: CompileOptions) -> Result<Self, Error> {
-        Ok(Self::from_sdsp_with(tpn_lang::compile(source)?, options))
+        let profiler = options
+            .profile
+            .then(|| Arc::new(metrics::Profiler::default()));
+        let sdsp = match &profiler {
+            Some(p) => {
+                let ast = p.time("parse", || tpn_lang::parse(source))?;
+                p.time("lower", || tpn_lang::lower(&ast))?
+            }
+            None => tpn_lang::compile(source)?,
+        };
+        Ok(Self::build(sdsp, options, profiler))
     }
 
     /// Wraps an already-built SDSP with default options.
@@ -316,17 +354,45 @@ impl CompiledLoop {
 
     /// Wraps an already-built SDSP with explicit [`CompileOptions`].
     pub fn from_sdsp_with(sdsp: Sdsp, options: CompileOptions) -> Self {
-        let mut pn = to_petri(&sdsp);
-        if let Some(cycles) = options.node_time {
-            for &t in &pn.transition_of {
-                pn.net.set_time(t, cycles);
+        let profiler = options
+            .profile
+            .then(|| Arc::new(metrics::Profiler::default()));
+        Self::build(sdsp, options, profiler)
+    }
+
+    fn build(
+        sdsp: Sdsp,
+        options: CompileOptions,
+        profiler: Option<Arc<metrics::Profiler>>,
+    ) -> Self {
+        let translate = || {
+            let mut pn = to_petri(&sdsp);
+            if let Some(cycles) = options.node_time {
+                for &t in &pn.transition_of {
+                    pn.net.set_time(t, cycles);
+                }
             }
-        }
+            pn
+        };
+        let pn = match &profiler {
+            Some(p) => p.time("to_petri", translate),
+            None => translate(),
+        };
         CompiledLoop {
             sdsp,
             pn,
             options,
+            profiler,
             caches: Caches::default(),
+        }
+    }
+
+    /// Times `f` under `stage` when profiling is enabled; otherwise just
+    /// runs it.
+    fn span<R>(&self, stage: &str, f: impl FnOnce() -> R) -> R {
+        match &self.profiler {
+            Some(p) => p.time(stage, f),
+            None => f(),
         }
     }
 
@@ -375,7 +441,7 @@ impl CompiledLoop {
         self.caches
             .analysis
             .get_or_init(|| {
-                let r = critical_ratio(&self.pn.net, &self.pn.marking)?;
+                let r = self.span("analyze", || critical_ratio(&self.pn.net, &self.pn.marking))?;
                 let critical_nodes = match &r.witness {
                     CriticalWitness::Cycle(c) => c
                         .transitions()
@@ -405,11 +471,10 @@ impl CompiledLoop {
         self.caches
             .frustum
             .get_or_init(|| {
-                Ok(Arc::new(detect_frustum_eager(
-                    &self.pn.net,
-                    self.pn.marking.clone(),
-                    self.budget(),
-                )?))
+                let report = self.span("frustum_detection", || {
+                    detect_frustum_eager(&self.pn.net, self.pn.marking.clone(), self.budget())
+                })?;
+                Ok(Arc::new(report))
             })
             .clone()
     }
@@ -434,9 +499,10 @@ impl CompiledLoop {
             .schedule
             .get_or_init(|| {
                 let f = self.shared_frustum()?;
-                Ok(Arc::new(LoopSchedule::from_frustum(
-                    &self.sdsp, &self.pn, &f,
-                )?))
+                let schedule = self.span("schedule_derivation", || {
+                    LoopSchedule::from_frustum(&self.sdsp, &self.pn, &f)
+                })?;
+                Ok(Arc::new(schedule))
             })
             .clone()
     }
@@ -461,7 +527,7 @@ impl CompiledLoop {
             .rates
             .get_or_init(|| {
                 let f = self.shared_frustum()?;
-                RateReport::for_sdsp_pn(&self.pn, &f).map_err(Error::Petri)
+                Ok(RateReport::for_sdsp_pn(&self.pn, &f)?)
             })
             .clone()
     }
@@ -494,30 +560,52 @@ impl CompiledLoop {
     }
 
     fn run_scp(&self, depth: u64) -> Result<ScpRun, Error> {
-        let model = build_scp(&self.pn, depth);
+        let model = self.span(&format!("scp_expansion[l={depth}]"), || {
+            build_scp(&self.pn, depth)
+        });
         let budget = self.budget().saturating_mul(depth.max(1));
-        let frustum = match self.options.issue_policy {
-            IssuePolicy::Fifo => detect_frustum(
-                &model.net,
-                model.marking.clone(),
-                FifoPolicy::new(&model),
-                budget,
-            )?,
-            IssuePolicy::Priority => detect_frustum(
-                &model.net,
-                model.marking.clone(),
-                PriorityPolicy::new(&model),
-                budget,
-            )?,
-        };
+        let frustum = self.span(&format!("scp_detection[l={depth}]"), || {
+            match self.options.issue_policy {
+                IssuePolicy::Fifo => detect_frustum(
+                    &model.net,
+                    model.marking.clone(),
+                    FifoPolicy::new(&model),
+                    budget,
+                ),
+                IssuePolicy::Priority => detect_frustum(
+                    &model.net,
+                    model.marking.clone(),
+                    PriorityPolicy::new(&model),
+                    budget,
+                ),
+            }
+        })?;
         let schedule = LoopSchedule::from_scp_frustum(&self.sdsp, &model, &frustum)?;
-        let rates = ScpRateReport::for_scp(&model, &frustum);
+        let rates = ScpRateReport::for_scp(&model, &frustum)?;
         Ok(ScpRun {
             model,
             frustum,
             schedule,
             rates,
         })
+    }
+
+    /// The steady-state net coalesced from the cyclic frustum (§4's
+    /// behaviour-graph quotient): one transition per loop-node firing slot
+    /// of the repeating segment. Memoized; reuses the shared frustum.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sched`] if frustum detection fails.
+    pub fn steady_net(&self) -> Result<Arc<SteadyStateNet>, Error> {
+        self.caches
+            .steady
+            .get_or_init(|| {
+                let f = self.shared_frustum()?;
+                let net = self.span("steady_coalescing", || steady_state_net(&self.pn.net, &f));
+                Ok(Arc::new(net))
+            })
+            .clone()
     }
 
     /// Runs the §6 storage optimiser and returns the optimised loop with
@@ -531,7 +619,7 @@ impl CompiledLoop {
         let (optimised, report) = self
             .caches
             .storage
-            .get_or_init(|| Ok(minimize_storage(&self.sdsp)?))
+            .get_or_init(|| Ok(self.span("storage_minimization", || minimize_storage(&self.sdsp))?))
             .clone()?;
         Ok((
             CompiledLoop::from_sdsp_with(optimised, self.options.clone()),
@@ -573,12 +661,57 @@ impl CompiledLoop {
         let (balanced, report) = self
             .caches
             .balance
-            .get_or_init(|| Ok(tpn_storage::balance(&self.sdsp)?))
+            .get_or_init(|| Ok(self.span("buffer_balancing", || tpn_storage::balance(&self.sdsp))?))
             .clone()?;
         Ok((
             CompiledLoop::from_sdsp_with(balanced, self.options.clone()),
             report,
         ))
+    }
+
+    /// The loop's [`metrics::MetricsReport`]: stage spans recorded so far
+    /// (empty unless [`CompileOptions::profile`] was set) plus the engine
+    /// and detection counters of every detection run that has completed.
+    /// Counters are collected unconditionally, so the report is useful
+    /// even without profiling; stages that have not run yet simply do not
+    /// appear. The `batch` slot is `None` — batched drivers fill it from
+    /// [`batch::parallel_map_profiled`].
+    pub fn metrics_report(&self) -> metrics::MetricsReport {
+        let mut detections = Vec::new();
+        if let Some(Ok(f)) = self.caches.frustum.get() {
+            detections.push(metrics::DetectionCounters::from_stats("frustum", &f.stats));
+        }
+        let scp = self.caches.scp.lock().expect("scp cache poisoned");
+        let mut depths: Vec<u64> = scp
+            .iter()
+            .filter(|(_, run)| run.is_ok())
+            .map(|(&depth, _)| depth)
+            .collect();
+        depths.sort_unstable();
+        for depth in depths {
+            if let Some(Ok(run)) = scp.get(&depth) {
+                detections.push(metrics::DetectionCounters::from_stats(
+                    format!("scp[l={depth}]"),
+                    &run.frustum.stats,
+                ));
+            }
+        }
+        drop(scp);
+        let engine = detections
+            .iter()
+            .fold(metrics::EngineCounters::default(), |acc, d| {
+                acc.merged(d.engine)
+            });
+        metrics::MetricsReport {
+            stages: self
+                .profiler
+                .as_ref()
+                .map(|p| p.spans())
+                .unwrap_or_default(),
+            engine,
+            detections,
+            batch: None,
+        }
     }
 }
 

@@ -1,0 +1,360 @@
+//! End-to-end observability for the compilation pipeline.
+//!
+//! The paper's method is literally *execute and record*: the behaviour
+//! graph (§4) is a trace of the earliest-firing execution. This module
+//! makes the recording part first-class for the whole pipeline:
+//!
+//! * **stage spans** — wall-clock time of each pipeline stage (parse,
+//!   lower, to_petri, frustum detection, SCP expansion, steady-state
+//!   coalescing, storage minimisation), collected by a [`Profiler`]
+//!   attached to a [`CompiledLoop`](crate::CompiledLoop) when
+//!   [`CompileOptions::profile`](crate::CompileOptions::profile) is set;
+//! * **engine counters** — instants simulated, transitions fired,
+//!   startable-set prune efficiency ([`EngineCounters`], mirroring
+//!   [`tpn_petri::timed::EngineStats`]);
+//! * **detection counters** — digest candidate hits versus
+//!   replay-confirmed repetitions, checkpoints written
+//!   ([`DetectionCounters`], mirroring
+//!   [`tpn_sched::frustum::DetectionStats`]);
+//! * **batch counters** — items per worker, queue drain time and a
+//!   per-item latency histogram from the [`batch`](crate::batch) pool.
+//!
+//! Everything funnels into one stable serde type, [`MetricsReport`],
+//! surfaced as `tpnc --profile` (text and `--format json`) and by the
+//! bench binaries' `--profile` flag.
+//!
+//! The layer is zero-cost when disabled: without `profile(true)` no
+//! [`Profiler`] is allocated and no clocks are read; the engine counters
+//! are plain unconditional integer increments on state the engine already
+//! touches.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use tpn_petri::timed::EngineStats;
+use tpn_sched::frustum::DetectionStats;
+
+/// Wall-clock time of one pipeline stage.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct StageSpan {
+    /// Stage name (`parse`, `lower`, `to_petri`, `frustum_detection`, …).
+    pub stage: String,
+    /// Elapsed wall-clock nanoseconds.
+    pub nanos: u64,
+}
+
+/// Serialisable mirror of the engine's [`EngineStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct EngineCounters {
+    /// Instants simulated.
+    pub instants: u64,
+    /// Transition firings started.
+    pub firings: u64,
+    /// Transition firings completed.
+    pub completions: u64,
+    /// Candidates placed on fire-phase startable lists.
+    pub startable_scanned: u64,
+    /// Candidates removed by incremental pruning (no rescans).
+    pub startable_pruned: u64,
+}
+
+impl From<EngineStats> for EngineCounters {
+    fn from(s: EngineStats) -> Self {
+        EngineCounters {
+            instants: s.instants,
+            firings: s.firings,
+            completions: s.completions,
+            startable_scanned: s.startable_scanned,
+            startable_pruned: s.startable_pruned,
+        }
+    }
+}
+
+impl EngineCounters {
+    /// Field-wise sum, for aggregating several runs.
+    #[must_use]
+    pub fn merged(self, o: EngineCounters) -> EngineCounters {
+        EngineCounters {
+            instants: self.instants + o.instants,
+            firings: self.firings + o.firings,
+            completions: self.completions + o.completions,
+            startable_scanned: self.startable_scanned + o.startable_scanned,
+            startable_pruned: self.startable_pruned + o.startable_pruned,
+        }
+    }
+}
+
+/// Serialisable mirror of one detection run's [`DetectionStats`], tagged
+/// with the pipeline context that ran it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct DetectionCounters {
+    /// Which detection this was: `frustum` for the plain SDSP-PN run,
+    /// `scp[l=N]` for an SCP run at pipeline depth `N`.
+    pub context: String,
+    /// Instants simulated (trace length).
+    pub instants: u64,
+    /// Digest-index candidate hits.
+    pub digest_candidates: u64,
+    /// Checkpoint replays run to verify candidates.
+    pub replays: u64,
+    /// Replays confirming a true repetition.
+    pub confirmed: u64,
+    /// Candidates that were 64-bit digest collisions
+    /// (`replays − confirmed`).
+    pub collisions: u64,
+    /// Packed checkpoints written along the trace.
+    pub checkpoints: u64,
+    /// The engine counters of this run.
+    pub engine: EngineCounters,
+}
+
+impl DetectionCounters {
+    /// Tags `stats` with its pipeline `context`.
+    pub fn from_stats(context: impl Into<String>, stats: &DetectionStats) -> Self {
+        DetectionCounters {
+            context: context.into(),
+            instants: stats.instants,
+            digest_candidates: stats.digest_candidates,
+            replays: stats.replays,
+            confirmed: stats.confirmed,
+            collisions: stats.replays - stats.confirmed,
+            checkpoints: stats.checkpoints,
+            engine: stats.engine.into(),
+        }
+    }
+}
+
+/// One bucket of a latency histogram: `count` items took at most
+/// `le_micros` microseconds (and more than the previous bucket's bound).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct HistogramBucket {
+    /// Inclusive upper bound of the bucket, in microseconds.
+    pub le_micros: u64,
+    /// Items that fell in this bucket.
+    pub count: u64,
+}
+
+/// Builds a power-of-two latency histogram (bounds 1 µs, 2 µs, 4 µs, …)
+/// over per-item latencies in nanoseconds. Trailing empty buckets are
+/// trimmed; the final bucket always covers the slowest item.
+pub fn latency_histogram(latencies_nanos: &[u64]) -> Vec<HistogramBucket> {
+    let mut buckets = vec![HistogramBucket {
+        le_micros: 1,
+        count: 0,
+    }];
+    for &nanos in latencies_nanos {
+        let micros = nanos.div_ceil(1_000).max(1);
+        while buckets.last().expect("nonempty").le_micros < micros {
+            let next = buckets.last().expect("nonempty").le_micros * 2;
+            buckets.push(HistogramBucket {
+                le_micros: next,
+                count: 0,
+            });
+        }
+        let slot = buckets
+            .iter()
+            .position(|b| micros <= b.le_micros)
+            .expect("last bucket covers the maximum");
+        buckets[slot].count += 1;
+    }
+    buckets
+}
+
+/// Worker-pool statistics for one batched run (see
+/// [`batch::parallel_map_profiled`](crate::batch::parallel_map_profiled)).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct BatchCounters {
+    /// Workers the pool ran with.
+    pub threads: usize,
+    /// Items processed.
+    pub items: usize,
+    /// Items each worker claimed (length = `threads`).
+    pub items_per_worker: Vec<u64>,
+    /// Wall-clock nanoseconds from first claim to full queue drain.
+    pub drain_nanos: u64,
+    /// Per-item latency histogram.
+    pub latency: Vec<HistogramBucket>,
+}
+
+/// The full profile of a compilation: stage spans, aggregated engine
+/// counters, per-detection counters, and (for batched runs) pool stats.
+///
+/// This is the stable serde payload behind `tpnc --profile --format json`
+/// and the bench binaries' `--profile` output.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct MetricsReport {
+    /// Timed pipeline stages, in execution order. Empty when profiling
+    /// was disabled (counters are still collected).
+    pub stages: Vec<StageSpan>,
+    /// Engine counters summed over every detection run.
+    pub engine: EngineCounters,
+    /// One entry per detection run (plain frustum, SCP depths).
+    pub detections: Vec<DetectionCounters>,
+    /// Worker-pool stats, present for batched runs.
+    pub batch: Option<BatchCounters>,
+}
+
+impl MetricsReport {
+    /// Renders the human-readable `--profile` text block.
+    pub fn render_text(&self) -> String {
+        let mut out = String::from("profile:\n");
+        if self.stages.is_empty() {
+            out.push_str("  stages: (profiling disabled)\n");
+        } else {
+            out.push_str("  stages:\n");
+            for s in &self.stages {
+                let _ = writeln!(out, "    {:<24} {:>12.3} us", s.stage, s.nanos as f64 / 1e3);
+            }
+        }
+        let e = &self.engine;
+        let _ = writeln!(
+            out,
+            "  engine: {} instants, {} firings, {} completions",
+            e.instants, e.firings, e.completions
+        );
+        let _ = writeln!(
+            out,
+            "  startable pruning: {} scanned, {} pruned without rescan",
+            e.startable_scanned, e.startable_pruned
+        );
+        for d in &self.detections {
+            let _ = writeln!(
+                out,
+                "  detection {}: {} instants, {} digest candidates, {} replays, {} confirmed, {} collisions, {} checkpoints",
+                d.context,
+                d.instants,
+                d.digest_candidates,
+                d.replays,
+                d.confirmed,
+                d.collisions,
+                d.checkpoints
+            );
+        }
+        if let Some(b) = &self.batch {
+            let _ = writeln!(
+                out,
+                "  batch: {} items on {} workers, drain {:.3} us, per-worker {:?}",
+                b.items,
+                b.threads,
+                b.drain_nanos as f64 / 1e3,
+                b.items_per_worker
+            );
+            for bucket in &b.latency {
+                if bucket.count > 0 {
+                    let _ = writeln!(
+                        out,
+                        "    latency <= {:>8} us: {}",
+                        bucket.le_micros, bucket.count
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A thread-safe collector of [`StageSpan`]s, shared (via `Arc`) by a
+/// [`CompiledLoop`](crate::CompiledLoop) and its clones so every memoized
+/// stage is timed exactly once.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    spans: Mutex<Vec<StageSpan>>,
+}
+
+impl Profiler {
+    /// Records one finished span.
+    pub fn record(&self, stage: impl Into<String>, elapsed: Duration) {
+        self.spans
+            .lock()
+            .expect("profiler poisoned")
+            .push(StageSpan {
+                stage: stage.into(),
+                nanos: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            });
+    }
+
+    /// Times `f` and records it under `stage`.
+    pub fn time<R>(&self, stage: impl Into<String>, f: impl FnOnce() -> R) -> R {
+        let started = Instant::now();
+        let r = f();
+        self.record(stage, started.elapsed());
+        r
+    }
+
+    /// The spans recorded so far, in execution order.
+    pub fn spans(&self) -> Vec<StageSpan> {
+        self.spans.lock().expect("profiler poisoned").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_cover_and_count() {
+        let h = latency_histogram(&[500, 1_500, 3_000, 3_000, 1_000_000]);
+        // Bounds double: 1, 2, 4, ..., 1024 us.
+        assert_eq!(h.first().unwrap().le_micros, 1);
+        assert_eq!(h.last().unwrap().le_micros, 1024);
+        assert_eq!(h.iter().map(|b| b.count).sum::<u64>(), 5);
+        assert_eq!(h[0].count, 1); // 500 ns -> <= 1 us
+        assert_eq!(h[1].count, 1); // 1.5 us -> <= 2 us
+        assert_eq!(h[2].count, 2); // 3 us -> <= 4 us
+                                   // Empty input: one empty bucket, no panic.
+        let empty = latency_histogram(&[]);
+        assert_eq!(empty.len(), 1);
+        assert_eq!(empty[0].count, 0);
+    }
+
+    #[test]
+    fn profiler_records_in_order() {
+        let p = Profiler::default();
+        let v = p.time("first", || 41 + 1);
+        assert_eq!(v, 42);
+        p.record("second", Duration::from_micros(7));
+        let spans = p.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].stage, "first");
+        assert_eq!(spans[1].stage, "second");
+        assert_eq!(spans[1].nanos, 7_000);
+    }
+
+    #[test]
+    fn report_serialises_and_renders() {
+        let report = MetricsReport {
+            stages: vec![StageSpan {
+                stage: "parse".into(),
+                nanos: 1_234,
+            }],
+            engine: EngineCounters {
+                instants: 10,
+                firings: 20,
+                completions: 18,
+                startable_scanned: 25,
+                startable_pruned: 5,
+            },
+            detections: vec![DetectionCounters::from_stats(
+                "frustum",
+                &DetectionStats {
+                    instants: 10,
+                    digest_candidates: 3,
+                    replays: 2,
+                    confirmed: 1,
+                    checkpoints: 0,
+                    engine: Default::default(),
+                },
+            )],
+            batch: None,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"stages\":[{\"stage\":\"parse\",\"nanos\":1234}]"));
+        assert!(json.contains("\"collisions\":1"));
+        assert!(json.contains("\"batch\":null"));
+        let text = report.render_text();
+        assert!(text.contains("detection frustum"));
+        assert!(text.contains("10 instants"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Degenerate-input hardening: empty sources, zero-node loops, trivial
+//! self-feedback loops and poisoned batch items must flow through the
+//! whole façade as typed errors (or succeed), never as panics.
+
+use proptest::prelude::*;
+use tpn::batch::{parallel_map_isolated, parallel_map_profiled, Batch, BatchPanic};
+use tpn::dataflow::SdspBuilder;
+use tpn::{CompileOptions, CompiledLoop, Error};
+
+fn empty_loop() -> CompiledLoop {
+    CompiledLoop::from_sdsp(SdspBuilder::new().finish().unwrap())
+}
+
+#[test]
+fn empty_source_is_a_clean_language_error() {
+    for source in ["", "   ", "\n\n", "do", "do i from 1 to n {"] {
+        let err = CompiledLoop::from_source(source).unwrap_err();
+        assert!(matches!(err, Error::Lang(_)), "{source:?}: {err:?}");
+        assert!(!err.to_string().is_empty());
+    }
+    // An empty body is grammatical: it compiles to a zero-node loop, whose
+    // stages then fail with typed errors (see zero_node_sdsp_never_panics).
+    let lp = CompiledLoop::from_source("do i from 1 to n { }").unwrap();
+    assert_eq!(lp.size(), 0);
+    assert!(lp.schedule().is_err());
+}
+
+#[test]
+fn zero_node_sdsp_never_panics() {
+    let lp = empty_loop();
+    assert_eq!(lp.size(), 0);
+    // Every stage must return a typed error (or a trivial success such as
+    // the storage rewrite of an empty loop) — no stage may panic.
+    assert!(lp.analyze().is_err());
+    assert!(lp.frustum().is_err());
+    assert!(lp.schedule().is_err());
+    assert!(lp.rate_report().is_err());
+    assert!(lp.emit(4).is_err());
+    for depth in 1..=4 {
+        assert!(lp.scp(depth).is_err(), "scp depth {depth}");
+    }
+    let _ = lp.minimize_storage();
+    let _ = lp.balance();
+    let _ = lp.steady_net();
+    // The metrics report of a failed pipeline is well-formed and empty.
+    let report = lp.metrics_report();
+    assert!(report.detections.is_empty());
+    assert_eq!(report.engine.instants, 0);
+}
+
+#[test]
+fn zero_node_rate_errors_are_typed() {
+    let lp = empty_loop();
+    let err = lp.rate_report().unwrap_err();
+    assert!(
+        err.to_string().contains("empty") || matches!(err, Error::Sched(_) | Error::Petri(_)),
+        "got: {err:?}"
+    );
+}
+
+#[test]
+fn single_node_self_feedback_compiles_end_to_end() {
+    let source = "do i from 2 to n { X[i] := X[i-1] + 1; }";
+    let lp = CompiledLoop::from_source_with(source, CompileOptions::new().profile(true)).unwrap();
+    assert_eq!(lp.size(), 1);
+    let analysis = lp.analyze().unwrap();
+    assert_eq!(analysis.optimal_rate.to_string(), "1");
+    let schedule = lp.schedule().unwrap();
+    assert_eq!(schedule.initiation_interval().to_string(), "1");
+    assert!(lp.rate_report().unwrap().is_time_optimal());
+    let run = lp.scp(2).unwrap();
+    assert!(run.rates.respects_resource_bound());
+    // The profile saw every stage and both detections.
+    let report = lp.metrics_report();
+    let stages: Vec<&str> = report.stages.iter().map(|s| s.stage.as_str()).collect();
+    for expected in [
+        "parse",
+        "lower",
+        "to_petri",
+        "analyze",
+        "frustum_detection",
+        "schedule_derivation",
+        "scp_expansion[l=2]",
+        "scp_detection[l=2]",
+    ] {
+        assert!(stages.contains(&expected), "missing stage {expected}");
+    }
+    assert_eq!(report.detections.len(), 2);
+    assert!(report.engine.instants > 0);
+}
+
+#[test]
+fn poisoned_batch_item_is_isolated() {
+    let items: Vec<u64> = (0..16).collect();
+    let results = parallel_map_isolated(&items, 4, |i, &x| {
+        assert!(i != 5, "poisoned item five");
+        x * 2
+    });
+    assert_eq!(results.len(), 16);
+    for (i, r) in results.iter().enumerate() {
+        if i == 5 {
+            let panic = r.as_ref().unwrap_err();
+            assert_eq!(panic.index, 5);
+            assert!(panic.message.contains("poisoned item five"));
+        } else {
+            assert_eq!(*r.as_ref().unwrap(), items[i] * 2);
+        }
+    }
+}
+
+#[test]
+fn profiled_batch_reports_pool_stats() {
+    let items: Vec<u64> = (0..12).collect();
+    let (results, stats) = parallel_map_profiled(&items, 3, |_, &x| x + 1);
+    assert!(results.iter().all(|r| r.is_ok()));
+    assert_eq!(stats.threads, 3);
+    assert_eq!(stats.items, 12);
+    assert_eq!(stats.items_per_worker.iter().sum::<u64>(), 12);
+    assert_eq!(
+        stats.latency.iter().map(|b| b.count).sum::<u64>(),
+        12,
+        "histogram covers every item"
+    );
+}
+
+#[test]
+fn batch_panic_surfaces_as_typed_error() {
+    let panic = BatchPanic {
+        index: 7,
+        message: "boom".into(),
+    };
+    let err: Error = panic.into();
+    assert!(matches!(err, Error::Panic(_)));
+    assert_eq!(err.to_string(), "batch worker panicked on item 7: boom");
+    assert!(std::error::Error::source(&err).is_some());
+}
+
+#[test]
+fn batch_map_isolated_confines_stage_panics() {
+    let sources = [
+        "do i from 2 to n { X[i] := Z[i] * (Y[i] - X[i-1]); }",
+        "do i from 1 to n {\
+            A[i] := X[i] + 5;\
+            B[i] := Y[i] + A[i];\
+            C[i] := A[i] + E[i-1];\
+            D[i] := B[i] + C[i];\
+            E[i] := W[i] + D[i];\
+        }",
+    ];
+    let batch = Batch::new().threads(2);
+    let loops: Vec<CompiledLoop> = batch
+        .compile_sources(&sources)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    let results = batch.map_isolated(&loops, |lp| {
+        assert!(lp.size() != 5, "no five-node loops allowed");
+        lp.size()
+    });
+    assert_eq!(*results[0].as_ref().unwrap(), 2);
+    let panic = results[1].as_ref().unwrap_err();
+    assert_eq!(panic.index, 1);
+    assert!(panic.message.contains("no five-node loops"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary junk through the front door: compilation returns, it
+    /// never panics.
+    #[test]
+    fn arbitrary_sources_never_panic(source in ".{0,120}") {
+        let _ = CompiledLoop::from_source(&source);
+    }
+
+    /// Loop-shaped junk exercises the parser deeper; still no panics,
+    /// and successful compiles must survive every downstream stage.
+    #[test]
+    fn loop_shaped_sources_never_panic(
+        body in "[A-Z]\\[i\\] := [A-Z]\\[i(-[0-9])?\\]( [+*-] [A-Z]\\[i(-[0-9])?\\])?;( [A-Z]\\[i\\] := [A-Z]\\[i\\] \\+ [0-9];)?",
+    ) {
+        let source = format!("do i from 2 to n {{ {body} }}");
+        if let Ok(lp) = CompiledLoop::from_source(&source) {
+            let _ = lp.analyze();
+            let _ = lp.schedule();
+            let _ = lp.rate_report();
+            let _ = lp.scp(2);
+            let _ = lp.metrics_report();
+        }
+    }
+
+    /// Degenerate loops at every SCP depth: typed errors, no panics.
+    #[test]
+    fn empty_loops_error_at_every_depth(depth in 1u64..6) {
+        let lp = empty_loop();
+        prop_assert!(lp.scp(depth).is_err());
+        prop_assert!(lp.rate_report().is_err());
+    }
+}

@@ -351,6 +351,48 @@ impl Hash for StateKey {
 }
 
 // ---------------------------------------------------------------------------
+// Engine counters
+// ---------------------------------------------------------------------------
+
+/// Cheap always-on execution counters maintained by the [`Engine`].
+///
+/// Every field is a plain `u64` incremented on the hot path (no branches,
+/// no allocation), so keeping them unconditionally costs a few ALU ops per
+/// instant. Consumers that want a full profile read them out with
+/// [`Engine::stats`] after (or during) a run; the scheduler's frustum
+/// detector snapshots them into its detection report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Instants simulated: one per [`Engine::start`] / [`Engine::tick`].
+    pub instants: u64,
+    /// Transition firings started (token consumptions).
+    pub firings: u64,
+    /// Transition firings completed (token depositions).
+    pub completions: u64,
+    /// Candidates placed on the startable list across all fire phases —
+    /// the work a naive rescan-per-start implementation would redo.
+    pub startable_scanned: u64,
+    /// Candidates removed by the incremental prune (a started transition
+    /// drained one of their input places) without rescanning the net.
+    /// `startable_pruned / startable_scanned` is the prune efficiency.
+    pub startable_pruned: u64,
+}
+
+impl EngineStats {
+    /// Field-wise sum, for aggregating the counters of several runs.
+    #[must_use]
+    pub fn merged(self, other: EngineStats) -> EngineStats {
+        EngineStats {
+            instants: self.instants + other.instants,
+            firings: self.firings + other.firings,
+            completions: self.completions + other.completions,
+            startable_scanned: self.startable_scanned + other.startable_scanned,
+            startable_pruned: self.startable_pruned + other.startable_pruned,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
 
@@ -389,6 +431,7 @@ pub struct Engine<'a, P> {
     time: u64,
     policy: P,
     started: bool,
+    stats: EngineStats,
 }
 
 impl<'a, P: ChoicePolicy> Engine<'a, P> {
@@ -433,6 +476,7 @@ impl<'a, P: ChoicePolicy> Engine<'a, P> {
             time: 0,
             policy,
             started: false,
+            stats: EngineStats::default(),
         }
     }
 
@@ -444,6 +488,7 @@ impl<'a, P: ChoicePolicy> Engine<'a, P> {
     pub fn start(&mut self) -> StepRecord {
         assert!(!self.started, "start() must be the first step");
         self.started = true;
+        self.stats.instants += 1;
         let completed = Vec::new();
         let started = self.fire_phase();
         self.policy.on_instant_end(self.net, &self.state, self.time);
@@ -458,6 +503,7 @@ impl<'a, P: ChoicePolicy> Engine<'a, P> {
     pub fn tick(&mut self) -> StepRecord {
         assert!(self.started, "call start() before tick()");
         self.time += 1;
+        self.stats.instants += 1;
         let completed = self.complete_phase();
         let started = self.fire_phase();
         self.policy.on_instant_end(self.net, &self.state, self.time);
@@ -491,6 +537,7 @@ impl<'a, P: ChoicePolicy> Engine<'a, P> {
                 }
             }
         }
+        self.stats.completions += completed.len() as u64;
         completed
     }
 
@@ -506,6 +553,10 @@ impl<'a, P: ChoicePolicy> Engine<'a, P> {
     fn fire_phase(&mut self) -> Vec<TransitionId> {
         let mut started = Vec::new();
         let mut startable = self.state.startable(self.net);
+        // Counters accumulate in locals so the loop body below touches no
+        // `self.stats` memory; they fold in once on exit.
+        let scanned = startable.len() as u64;
+        let mut pruned = 0u64;
         let mut is_candidate = vec![false; self.net.num_transitions()];
         for &t in &startable {
             is_candidate[t.index()] = true;
@@ -539,11 +590,15 @@ impl<'a, P: ChoicePolicy> Engine<'a, P> {
                 for &u in self.net.place(p).postset() {
                     if is_candidate[u.index()] && !self.state.marking.enables(self.net, u) {
                         is_candidate[u.index()] = false;
+                        pruned += 1;
                     }
                 }
             }
             startable.retain(|&u| is_candidate[u.index()]);
         }
+        self.stats.startable_scanned += scanned;
+        self.stats.startable_pruned += pruned;
+        self.stats.firings += started.len() as u64;
         started
     }
 
@@ -565,6 +620,11 @@ impl<'a, P: ChoicePolicy> Engine<'a, P> {
     /// The policy's current fingerprint.
     pub fn policy_fingerprint(&self) -> u64 {
         self.policy.fingerprint()
+    }
+
+    /// The execution counters accumulated so far (see [`EngineStats`]).
+    pub fn stats(&self) -> EngineStats {
+        self.stats
     }
 
     /// The current repetition digest, maintained incrementally — equal to
@@ -811,6 +871,34 @@ mod tests {
             Err(PetriError::ZeroExecutionTime { transition }) => assert_eq!(transition, t),
             other => panic!("expected ZeroExecutionTime, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn engine_stats_count_instants_and_events() {
+        let (net, m, _) = diamond();
+        let mut engine = Engine::new(&net, m, EagerPolicy);
+        let mut firings = 0u64;
+        let mut completions = 0u64;
+        firings += engine.start().started.len() as u64;
+        for _ in 0..19 {
+            let s = engine.tick();
+            firings += s.started.len() as u64;
+            completions += s.completed.len() as u64;
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.instants, 20);
+        assert_eq!(stats.firings, firings);
+        assert_eq!(stats.completions, completions);
+        assert!(stats.firings > 0 && stats.completions > 0);
+        // Every candidate either starts or is pruned (the eager policy
+        // starts everything it can), so scanned = fired + pruned.
+        assert_eq!(
+            stats.startable_scanned,
+            stats.firings + stats.startable_pruned
+        );
+        let merged = stats.merged(stats);
+        assert_eq!(merged.instants, 40);
+        assert_eq!(merged.firings, 2 * stats.firings);
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub enum SchedError {
         /// The silent node.
         node: NodeId,
     },
+    /// The loop has no nodes, so per-node rates (and the SCP resource
+    /// bound `1/n`) are undefined.
+    EmptyLoop,
 }
 
 impl fmt::Display for SchedError {
@@ -59,6 +62,9 @@ impl fmt::Display for SchedError {
             ),
             SchedError::NodeNeverFires { node } => {
                 write!(f, "node {node} never fires inside the frustum")
+            }
+            SchedError::EmptyLoop => {
+                write!(f, "the loop body is empty; rates are undefined")
             }
         }
     }

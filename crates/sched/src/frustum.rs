@@ -34,7 +34,8 @@ use std::collections::HashMap;
 
 use tpn_petri::rational::Ratio;
 use tpn_petri::timed::{
-    ChoicePolicy, EagerPolicy, Engine, InstantaneousState, PackedState, StateKey, StepRecord,
+    ChoicePolicy, EagerPolicy, Engine, EngineStats, InstantaneousState, PackedState, StateKey,
+    StepRecord,
 };
 use tpn_petri::{Marking, PetriNet, TransitionId};
 
@@ -44,6 +45,32 @@ use crate::error::SchedError;
 /// the replay work per digest-match verification (and per
 /// [`FrustumReport::state_at`] query) to this many [`StepRecord`]s.
 pub const CHECKPOINT_INTERVAL: u64 = 64;
+
+/// Counters describing how a frustum detection run spent its work: how
+/// many instants were simulated, how selective the digest index was, and
+/// how much checkpoint/replay machinery the confirmation path used.
+///
+/// `digest_candidates` counts instants whose digest matched an earlier
+/// instant's; each candidate whose policy fingerprint also matches costs
+/// one bounded `replay` from the nearest checkpoint. `confirmed` is the
+/// number of replays whose reconstructed state equalled the live state
+/// (1 on success, 0 on failure); `replays - confirmed` is therefore the
+/// number of genuine 64-bit digest collisions survived.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DetectionStats {
+    /// Instants simulated (records in the trace).
+    pub instants: u64,
+    /// Digest-index candidate hits (possible repetitions).
+    pub digest_candidates: u64,
+    /// Checkpoint replays run to verify candidates.
+    pub replays: u64,
+    /// Replays that confirmed a true repetition.
+    pub confirmed: u64,
+    /// [`PackedState`] checkpoints written along the trace.
+    pub checkpoints: u64,
+    /// The engine's execution counters for this run.
+    pub engine: EngineStats,
+}
 
 /// The detected cyclic frustum plus the full trace leading to it.
 #[derive(Clone, Debug)]
@@ -60,6 +87,8 @@ pub struct FrustumReport {
     /// Firings of each transition within the frustum window
     /// `(start_time, repeat_time]`.
     pub counts: Vec<u64>,
+    /// How the detection run spent its work (see [`DetectionStats`]).
+    pub stats: DetectionStats,
     /// State before instant 0: the initial marking, all transitions idle.
     initial: PackedState,
     /// Sparse `(time, state-after-that-instant)` snapshots, increasing in
@@ -205,6 +234,7 @@ pub fn detect_frustum<P: ChoicePolicy>(
     let mut seen: HashMap<u64, Vec<u64>> = HashMap::new();
     let mut checkpoints: Vec<(u64, PackedState)> = Vec::new();
     let mut steps: Vec<StepRecord> = Vec::new();
+    let mut stats = DetectionStats::default();
 
     let first = engine.start();
     seen.insert(first.digest, vec![first.time]);
@@ -220,18 +250,26 @@ pub fn detect_frustum<P: ChoicePolicy>(
             return Err(SchedError::Deadlock { time });
         }
         if let Some(times) = seen.get(&step.digest) {
+            stats.digest_candidates += times.len() as u64;
             for &start_time in times {
-                if steps[start_time as usize].policy_fingerprint == step.policy_fingerprint
-                    && replay_state(net, &initial, &checkpoints, &steps, start_time)
-                        == *engine.state()
+                if steps[start_time as usize].policy_fingerprint != step.policy_fingerprint {
+                    continue;
+                }
+                stats.replays += 1;
+                if replay_state(net, &initial, &checkpoints, &steps, start_time) == *engine.state()
                 {
+                    stats.confirmed += 1;
                     steps.push(step);
+                    stats.instants = steps.len() as u64;
+                    stats.checkpoints = checkpoints.len() as u64;
+                    stats.engine = engine.stats();
                     let counts = window_counts(net, &steps, start_time, time);
                     return Ok(FrustumReport {
                         steps,
                         start_time,
                         repeat_time: time,
                         counts,
+                        stats,
                         initial,
                         checkpoints,
                     });
@@ -284,11 +322,22 @@ pub fn detect_frustum_reference<P: ChoicePolicy>(
         steps.push(step);
         if let Some(&start_time) = seen.get(&key) {
             let counts = window_counts(net, &steps, start_time, time);
+            // Full-state hashing has no digest/replay machinery; every
+            // "candidate" is the one confirmed repetition.
+            let stats = DetectionStats {
+                instants: steps.len() as u64,
+                digest_candidates: 1,
+                replays: 1,
+                confirmed: 1,
+                checkpoints: 0,
+                engine: engine.stats(),
+            };
             return Ok(FrustumReport {
                 steps,
                 start_time,
                 repeat_time: time,
                 counts,
+                stats,
                 initial,
                 checkpoints: Vec::new(),
             });
@@ -452,6 +501,27 @@ mod tests {
             f.frustum_steps().len() as u64 + f.prologue_steps().len() as u64,
             f.repeat_time + 1
         );
+    }
+
+    #[test]
+    fn detection_stats_account_for_the_run() {
+        let pn = to_petri(&l2());
+        let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000).unwrap();
+        let s = &f.stats;
+        assert_eq!(s.instants, f.steps.len() as u64);
+        assert_eq!(s.engine.instants, s.instants);
+        // Detection succeeded: exactly one confirmed repetition, reached
+        // through at least one candidate and one replay.
+        assert_eq!(s.confirmed, 1);
+        assert!(s.digest_candidates >= 1);
+        assert!(s.replays >= 1 && s.replays <= s.digest_candidates);
+        // Every firing in the trace is counted by the engine.
+        let fired: u64 = f.steps.iter().map(|st| st.started.len() as u64).sum();
+        assert_eq!(s.engine.firings, fired);
+        // The reference detector reports the trivial stats.
+        let r = detect_frustum_reference(&pn.net, pn.marking.clone(), EagerPolicy, 1_000).unwrap();
+        assert_eq!((r.stats.digest_candidates, r.stats.confirmed), (1, 1));
+        assert_eq!(r.stats.engine.firings, fired);
     }
 
     #[test]

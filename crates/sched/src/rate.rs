@@ -12,8 +12,8 @@
 use tpn_dataflow::to_petri::SdspPn;
 use tpn_petri::ratio::critical_ratio;
 use tpn_petri::rational::Ratio;
-use tpn_petri::PetriError;
 
+use crate::error::SchedError;
 use crate::frustum::FrustumReport;
 use crate::scp::ScpPn;
 
@@ -33,14 +33,12 @@ impl RateReport {
     ///
     /// # Errors
     ///
-    /// Propagates [`PetriError`] from the critical-cycle analysis.
-    pub fn for_sdsp_pn(pn: &SdspPn, frustum: &FrustumReport) -> Result<Self, PetriError> {
+    /// [`SchedError::EmptyLoop`] for a loop with no nodes;
+    /// [`SchedError::Petri`] from the critical-cycle analysis.
+    pub fn for_sdsp_pn(pn: &SdspPn, frustum: &FrustumReport) -> Result<Self, SchedError> {
+        let first = *pn.transition_of.first().ok_or(SchedError::EmptyLoop)?;
         let optimal = critical_ratio(&pn.net, &pn.marking)?.rate;
-        let measured = frustum.rate_of(
-            *pn.transition_of
-                .first()
-                .expect("rate of an empty loop is undefined"),
-        );
+        let measured = frustum.rate_of(first);
         Ok(RateReport { measured, optimal })
     }
 
@@ -65,24 +63,26 @@ pub struct ScpRateReport {
 
 impl ScpRateReport {
     /// Measures an SCP frustum.
-    pub fn for_scp(scp: &ScpPn, frustum: &FrustumReport) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::EmptyLoop`] for a loop with no nodes (the resource
+    /// bound `1/n` is undefined at `n = 0`).
+    pub fn for_scp(scp: &ScpPn, frustum: &FrustumReport) -> Result<Self, SchedError> {
+        let first = *scp.transition_of.first().ok_or(SchedError::EmptyLoop)?;
         let n = scp.num_sdsp_transitions() as u64;
-        let measured = frustum.rate_of(
-            *scp.transition_of
-                .first()
-                .expect("rate of an empty loop is undefined"),
-        );
+        let measured = frustum.rate_of(first);
         // Issue-slot occupancy: each SDSP firing holds the run token for
         // its execution time.
         let busy: u64 = scp
             .sdsp_transitions()
             .map(|t| frustum.counts[t.index()] * scp.net.transition(t).time())
             .sum();
-        ScpRateReport {
+        Ok(ScpRateReport {
             measured,
             resource_bound: Ratio::new(1, n),
             utilization: Ratio::new(busy, frustum.period()),
-        }
+        })
     }
 
     /// Whether the measured rate respects Theorem 5.2.2.
@@ -131,7 +131,7 @@ mod tests {
             100_000,
         )
         .unwrap();
-        let report = ScpRateReport::for_scp(&scp, &f);
+        let report = ScpRateReport::for_scp(&scp, &f).unwrap();
         assert!(report.respects_resource_bound());
         assert_eq!(report.resource_bound, Ratio::new(1, 5));
         // Utilisation = n * rate for unit-time nodes.
@@ -154,8 +154,32 @@ mod tests {
         let scp = build_scp(&pn, 1);
         let f =
             detect_frustum(&scp.net, scp.marking.clone(), FifoPolicy::new(&scp), 10_000).unwrap();
-        let report = ScpRateReport::for_scp(&scp, &f);
+        let report = ScpRateReport::for_scp(&scp, &f).unwrap();
         assert_eq!(report.utilization, Ratio::ONE);
         assert_eq!(report.measured, Ratio::new(1, 4));
+    }
+
+    #[test]
+    fn empty_loop_rates_are_typed_errors() {
+        // A zero-node SDSP builds an empty net; both rate reports must
+        // return EmptyLoop instead of panicking on the missing first
+        // transition (or on the 1/0 resource bound).
+        let empty = SdspBuilder::new().finish().unwrap();
+        let pn = to_petri(&empty);
+        // Any report will do: emptiness is rejected before the frustum is
+        // consulted (an empty net itself only ever deadlocks).
+        let mut b = SdspBuilder::new();
+        b.node("N", OpKind::Neg, [Operand::env("X", 0)]);
+        let donor = to_petri(&b.finish().unwrap());
+        let frustum = detect_frustum_eager(&donor.net, donor.marking.clone(), 100).unwrap();
+        assert!(matches!(
+            RateReport::for_sdsp_pn(&pn, &frustum),
+            Err(SchedError::EmptyLoop)
+        ));
+        let scp = build_scp(&pn, 4);
+        assert!(matches!(
+            ScpRateReport::for_scp(&scp, &frustum),
+            Err(SchedError::EmptyLoop)
+        ));
     }
 }

@@ -56,7 +56,7 @@ proptest! {
             .map(|t| f.counts[t.index()])
             .sum();
         prop_assert!(total_issues <= f.period());
-        let report = ScpRateReport::for_scp(&scp, &f);
+        let report = ScpRateReport::for_scp(&scp, &f).unwrap();
         prop_assert!(report.utilization <= Ratio::ONE);
     }
 
