@@ -6,10 +6,10 @@
 //! * every transition on a critical cycle settles into the periodic firing
 //!   pattern `X^{h+k} − X^h = p` with `k = M(C*)`, `p = Ω(C*)`.
 //!
-//! Run: `cargo run --release -p tpn-bench --bin bounds_check [-- --json]`
+//! Run: `cargo run --release -p tpn-bench --bin bounds_check [-- --json] [-- --profile]`
 
 use serde::Serialize;
-use tpn_bench::{emit, table};
+use tpn_bench::{emit, emit_profiles, profile_mode, profile_sdsp_rows, table};
 use tpn_dataflow::to_petri::to_petri;
 use tpn_dataflow::{OpKind, Operand, Sdsp, SdspBuilder};
 use tpn_petri::ratio::{analyze_cycles, critical_ratio};
@@ -105,19 +105,23 @@ fn check(case: String, sdsp: Sdsp) -> BoundsRow {
 }
 
 fn main() {
-    let mut rows = Vec::new();
+    let mut cases: Vec<(String, Sdsp)> = Vec::new();
     for len in [3usize, 5, 9] {
-        rows.push(check(
+        cases.push((
             format!("single critical (len {len})"),
             multi_critical(1, len),
         ));
     }
     for cycles in [2usize, 3, 4] {
-        rows.push(check(
+        cases.push((
             format!("{cycles} critical cycles (len 4)"),
             multi_critical(cycles, 4),
         ));
     }
+    let rows: Vec<BoundsRow> = cases
+        .iter()
+        .map(|(case, sdsp)| check(case.clone(), sdsp.clone()))
+        .collect();
     emit(&rows, |rows| {
         let mut out = String::from("Detection vs the proven §4 bounds:\n");
         out.push_str(&table::render(
@@ -151,6 +155,10 @@ fn main() {
         );
         out
     });
+    if profile_mode() {
+        let profiles = profile_sdsp_rows(&cases).unwrap_or_else(|e| panic!("profile: {e}"));
+        emit_profiles(&profiles);
+    }
     assert!(
         rows.iter()
             .all(|r| r.repeat_time <= r.bound && r.periodicity_ok),

@@ -3,9 +3,9 @@
 //! scheduling, unroll-by-4) on the Livermore kernels. Reports initiation
 //! intervals and the pipelining speedup over the best baseline.
 //!
-//! Run: `cargo run -p tpn-bench --bin compare [-- --json]`
+//! Run: `cargo run -p tpn-bench --bin compare [-- --json] [-- --profile]`
 
-use tpn_bench::{compare_rows, emit, table, CompareRow};
+use tpn_bench::{compare_rows, emit, emit_profiles, profile_mode, profile_rows, table, CompareRow};
 use tpn_livermore::kernels;
 
 fn main() {
@@ -45,4 +45,8 @@ fn main() {
         );
         out
     });
+    if profile_mode() {
+        let profiles = profile_rows(&kernels(), None).unwrap_or_else(|e| panic!("profile: {e}"));
+        emit_profiles(&profiles);
+    }
 }

@@ -5,10 +5,10 @@
 //! (add/sub 1, multiply 3, divide 8, compare/select 1) over the kernels
 //! and reports optimal and achieved rates.
 //!
-//! Run: `cargo run -p tpn-bench --bin latency [-- --json]`
+//! Run: `cargo run -p tpn-bench --bin latency [-- --json] [-- --profile]`
 
 use serde::Serialize;
-use tpn_bench::{emit, table};
+use tpn_bench::{emit, emit_profiles, profile_mode, profile_rows, table};
 use tpn_dataflow::to_petri::to_petri;
 use tpn_dataflow::OpKind;
 use tpn_livermore::kernels;
@@ -87,5 +87,9 @@ fn main() {
         );
         out
     });
+    if profile_mode() {
+        let profiles = profile_rows(&kernels(), None).unwrap_or_else(|e| panic!("profile: {e}"));
+        emit_profiles(&profiles);
+    }
     assert!(rows.iter().all(|r| r.time_optimal));
 }

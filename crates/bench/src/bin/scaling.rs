@@ -3,12 +3,12 @@
 //! shapes (chain, wide, full-body recurrence, random LCD body) and reports
 //! the detection step count, its ratio to `n`, and the wall-clock time.
 //!
-//! Run: `cargo run --release -p tpn-bench --bin scaling [-- --json]`
+//! Run: `cargo run --release -p tpn-bench --bin scaling [-- --json] [-- --profile]`
 
 use std::time::Instant;
 
 use serde::Serialize;
-use tpn_bench::{emit, table};
+use tpn_bench::{emit, emit_profiles, profile_mode, profile_sdsp_rows, table};
 use tpn_dataflow::to_petri::to_petri;
 use tpn_dataflow::Sdsp;
 use tpn_livermore::synth::{chain, generate, recurrence_ring, wide, SynthConfig};
@@ -96,4 +96,12 @@ fn main() {
         );
         out
     });
+    if profile_mode() {
+        let cases: Vec<(String, Sdsp)> = work
+            .iter()
+            .map(|(shape, sdsp)| (format!("{shape}/n={}", sdsp.num_nodes()), sdsp.clone()))
+            .collect();
+        let profiles = profile_sdsp_rows(&cases).unwrap_or_else(|e| panic!("profile: {e}"));
+        emit_profiles(&profiles);
+    }
 }

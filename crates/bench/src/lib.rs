@@ -273,6 +273,32 @@ pub fn profile_rows(kernels: &[Kernel], depth: Option<u64>) -> Result<Vec<Profil
         .collect()
 }
 
+/// Profiles prebuilt synthetic cases (the `scaling` and `bounds_check`
+/// workloads, which have no Livermore source text): compiles each SDSP
+/// with profiling enabled, drives frustum detection, and collects the
+/// same [`MetricsReport`](tpn::metrics::MetricsReport) `tpnc --profile`
+/// produces.
+///
+/// # Errors
+///
+/// The first failing case's error, if any.
+pub fn profile_sdsp_rows(cases: &[(String, tpn_dataflow::Sdsp)]) -> Result<Vec<ProfileRow>, Error> {
+    cases
+        .iter()
+        .map(|(name, sdsp)| {
+            let lp = CompiledLoop::from_sdsp_with(
+                sdsp.clone(),
+                tpn::CompileOptions::new().profile(true),
+            );
+            lp.shared_frustum()?;
+            Ok(ProfileRow {
+                kernel: name.clone(),
+                profile: lp.metrics_report(),
+            })
+        })
+        .collect()
+}
+
 /// Prints profile rows after the table: JSON lines under `--json`, else
 /// one labelled text block per kernel.
 pub fn emit_profiles(rows: &[ProfileRow]) {
@@ -358,6 +384,22 @@ mod tests {
             assert_eq!(row.repeat_time, seq.repeat_time);
             assert_eq!(row.rate, seq.rate);
             assert_eq!(row.usage, seq.usage);
+        }
+    }
+
+    #[test]
+    fn profile_sdsp_rows_carry_detection_counters() {
+        let cases = vec![
+            ("chain/4".to_string(), tpn_livermore::synth::chain(4)),
+            ("wide/4".to_string(), tpn_livermore::synth::wide(4)),
+        ];
+        let rows = profile_sdsp_rows(&cases).unwrap();
+        assert_eq!(rows.len(), 2);
+        for (row, (name, _)) in rows.iter().zip(&cases) {
+            assert_eq!(&row.kernel, name);
+            let text = row.profile.render_text();
+            assert!(text.contains("frustum_detection"), "got: {text}");
+            assert!(text.contains("detection frustum"), "got: {text}");
         }
     }
 

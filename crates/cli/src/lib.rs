@@ -10,10 +10,13 @@
 //! tpnc behavior <file>...           the behaviour graph up to the frustum
 //! tpnc storage  <file>... [--balance]  minimise storage (or balance buffering)
 //! tpnc acode    <file>...           dump the compiled SDSP as A-code
+//! tpnc trace    <file> [--scp L]    replay-validated firing-event timeline
+//!                                   (Chrome trace JSON; Perfetto-loadable)
 //! ```
 //!
 //! Every subcommand takes `--format text|json`, `--profile` (append a
-//! pipeline profile: stage timings, engine and detection counters) and
+//! pipeline profile: stage timings, engine and detection counters),
+//! `--jobs N` (worker threads for multiple inputs) and
 //! one or more inputs;
 //! multiple inputs are compiled concurrently through [`tpn::batch`]. Each
 //! `<file>` is a loop in the SISAL-flavoured language — or an A-code dump
@@ -60,14 +63,37 @@ pub struct Invocation {
     pub format: Format,
     /// `--profile`.
     pub profile: bool,
+    /// `--trace FILE`: also write the firing-event timeline (Chrome
+    /// trace-event JSON) to FILE.
+    pub trace_path: Option<String>,
+    /// `--jobs N`: worker threads for multiple inputs.
+    pub jobs: Option<usize>,
 }
 
 impl Invocation {
     /// The first input path (callers that only support one input).
-    pub fn input(&self) -> &str {
-        &self.inputs[0]
+    ///
+    /// # Errors
+    ///
+    /// [`NoInputError`] when the invocation carries no inputs. Every
+    /// invocation produced by [`parse_args`] has at least one, but
+    /// hand-built ones may not.
+    pub fn input(&self) -> Result<&str, NoInputError> {
+        self.inputs.first().map(String::as_str).ok_or(NoInputError)
     }
 }
+
+/// Error of [`Invocation::input`]: the invocation has no input paths.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct NoInputError;
+
+impl std::fmt::Display for NoInputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invocation has no input files")
+    }
+}
+
+impl std::error::Error for NoInputError {}
 
 /// Subcommands of `tpnc`.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -86,6 +112,8 @@ pub enum Command {
     Storage,
     /// A-code dump of the compiled SDSP.
     Acode,
+    /// Replay-validated firing-event timeline.
+    Trace,
 }
 
 /// One row of the option table: a flag, its value placeholder (if it
@@ -166,13 +194,35 @@ pub static OPTIONS: &[OptSpec] = &[
             Ok(())
         },
     },
+    OptSpec {
+        flag: "--trace",
+        value: Some("FILE"),
+        help: "also write the Chrome trace JSON to FILE (behavior/schedule/trace)",
+        apply: |inv, v| {
+            inv.trace_path = Some(v.unwrap().to_string());
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--jobs",
+        value: Some("N"),
+        help: "worker threads for multiple inputs (default: all cores)",
+        apply: |inv, v| {
+            let n: usize = parse_value("--jobs", v.unwrap())?;
+            if n == 0 {
+                return Err("--jobs must be at least 1".to_string());
+            }
+            inv.jobs = Some(n);
+            Ok(())
+        },
+    },
 ];
 
 /// The usage text, generated from the subcommand list and
 /// [`static@OPTIONS`].
 pub fn usage() -> String {
     let mut s = String::from(
-        "usage: tpnc <analyze|schedule|emit|dot|behavior|storage|acode> <file|-> [<file> ...]",
+        "usage: tpnc <analyze|schedule|emit|dot|behavior|storage|acode|trace> <file|-> [<file> ...]",
     );
     for opt in OPTIONS {
         match opt.value {
@@ -205,6 +255,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
         Some("behavior") => Command::Behavior,
         Some("storage") => Command::Storage,
         Some("acode") => Command::Acode,
+        Some("trace") => Command::Trace,
         Some(other) => return Err(format!("unknown command {other:?}\n{}", usage())),
         None => return Err(usage()),
     };
@@ -217,6 +268,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
         balance: false,
         format: Format::Text,
         profile: false,
+        trace_path: None,
+        jobs: None,
     };
     while let Some(arg) = args.next() {
         if let Some(spec) = OPTIONS.iter().find(|o| o.flag == arg) {
@@ -237,12 +290,34 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
     if invocation.inputs.is_empty() {
         return Err(format!("missing input file\n{}", usage()));
     }
+    if invocation.trace_path.is_some() {
+        if !matches!(
+            invocation.command,
+            Command::Behavior | Command::Schedule | Command::Trace
+        ) {
+            return Err(format!(
+                "--trace applies to behavior, schedule and trace only\n{}",
+                usage()
+            ));
+        }
+        if invocation.inputs.len() > 1 {
+            return Err(
+                "--trace takes a single input (each input would overwrite the file)".to_string(),
+            );
+        }
+    }
     Ok(invocation)
 }
 
-/// Compiles one source, transparently accepting A-code dumps.
-fn compile(source: &str, profile: bool) -> Result<CompiledLoop, String> {
-    let options = tpn::CompileOptions::new().profile(profile);
+/// Compiles one source, transparently accepting A-code dumps. Live
+/// event recording is switched on whenever a trace will be consumed, so
+/// the exported timeline comes from the engine's own sink rather than a
+/// post-hoc derivation.
+fn compile(source: &str, invocation: &Invocation) -> Result<CompiledLoop, String> {
+    let wants_trace = invocation.command == Command::Trace || invocation.trace_path.is_some();
+    let options = tpn::CompileOptions::new()
+        .profile(invocation.profile)
+        .trace(wants_trace);
     if source.trim_start().starts_with(".sdsp") {
         let sdsp = tpn::dataflow::acode::read(source).map_err(|e| e.to_string())?;
         Ok(CompiledLoop::from_sdsp_with(sdsp, options))
@@ -270,11 +345,20 @@ fn execute_named(
     source: &str,
     file: Option<&str>,
 ) -> Result<String, String> {
-    let lp = compile(source, invocation.profile)?;
+    let lp = compile(source, invocation)?;
     let mut out = match invocation.format {
         Format::Text => execute_text(invocation, &lp),
         Format::Json => execute_json(invocation, &lp, file),
     }?;
+    if let Some(path) = &invocation.trace_path {
+        let trace = match invocation.scp_depth {
+            None => lp.firing_trace().map_err(|e| e.to_string())?,
+            Some(depth) => lp.scp_trace(depth).map_err(|e| e.to_string())?,
+        };
+        let mut json = trace.chrome_trace_json();
+        json.push('\n');
+        std::fs::write(path, json).map_err(|e| format!("error writing {path}: {e}"))?;
+    }
     if invocation.profile {
         let profile = lp.metrics_report();
         match invocation.format {
@@ -299,11 +383,10 @@ fn execute_named(
 /// The failures of every failing input, one per line, prefixed with the
 /// input's name when there are several inputs.
 pub fn run_batch(invocation: &Invocation, sources: &[(String, String)]) -> Result<String, String> {
-    let results = tpn::batch::parallel_map(
-        sources,
-        tpn::batch::default_threads(),
-        |_, (name, source)| execute_named(invocation, source, Some(name)),
-    );
+    let threads = invocation.jobs.unwrap_or_else(tpn::batch::default_threads);
+    let results = tpn::batch::parallel_map(sources, threads, |_, (name, source)| {
+        execute_named(invocation, source, Some(name))
+    });
     let single = sources.len() == 1;
     let mut out = String::new();
     let mut errors = String::new();
@@ -434,8 +517,35 @@ fn execute_text(invocation: &Invocation, lp: &CompiledLoop) -> Result<String, St
                 );
             }
         }
+        Command::Trace => {
+            let trace = validated_trace(invocation, lp)?;
+            out.push_str(&trace.chrome_trace_json());
+            out.push('\n');
+        }
     }
     Ok(out)
+}
+
+/// Replay-validates the firing-event stream, then hands back the trace.
+///
+/// Validation reconstructs every marking from the events alone and
+/// re-confirms safety, liveness over the frustum window, and the
+/// steady-state rate against the rate report, so a trace that reaches
+/// the user has been independently checked against the net's semantics.
+fn validated_trace(
+    invocation: &Invocation,
+    lp: &CompiledLoop,
+) -> Result<std::sync::Arc<tpn_sched::FiringTrace>, String> {
+    match invocation.scp_depth {
+        None => {
+            lp.validate_trace().map_err(|e| e.to_string())?;
+            lp.firing_trace().map_err(|e| e.to_string())
+        }
+        Some(depth) => {
+            lp.validate_scp_trace(depth).map_err(|e| e.to_string())?;
+            lp.scp_trace(depth).map_err(|e| e.to_string())
+        }
+    }
 }
 
 fn emit_program(
@@ -668,6 +778,10 @@ fn execute_json(
             };
             to_json_line(&row)
         }
+        Command::Trace => {
+            let trace = validated_trace(invocation, lp)?;
+            Ok(trace.jsonl())
+        }
     }
 }
 
@@ -686,11 +800,11 @@ mod tests {
     fn parses_subcommands_and_flags() {
         let inv = parse_args(args("schedule foo.loop --scp 8")).unwrap();
         assert_eq!(inv.command, Command::Schedule);
-        assert_eq!(inv.input(), "foo.loop");
+        assert_eq!(inv.input().unwrap(), "foo.loop");
         assert_eq!(inv.scp_depth, Some(8));
         let inv = parse_args(args("emit - --iterations 5")).unwrap();
         assert_eq!(inv.command, Command::Emit);
-        assert_eq!(inv.input(), "-");
+        assert_eq!(inv.input().unwrap(), "-");
         assert_eq!(inv.iterations, 5);
         let inv = parse_args(args("dot x --pn")).unwrap();
         assert!(inv.petri_form);
@@ -704,7 +818,30 @@ mod tests {
     fn parses_multiple_inputs() {
         let inv = parse_args(args("analyze a.loop b.loop c.loop")).unwrap();
         assert_eq!(inv.inputs, vec!["a.loop", "b.loop", "c.loop"]);
-        assert_eq!(inv.input(), "a.loop");
+        assert_eq!(inv.input().unwrap(), "a.loop");
+    }
+
+    #[test]
+    fn input_on_an_empty_invocation_is_a_typed_error() {
+        let mut inv = parse_args(args("analyze x")).unwrap();
+        inv.inputs.clear();
+        assert_eq!(inv.input(), Err(NoInputError));
+        assert!(!NoInputError.to_string().is_empty());
+    }
+
+    #[test]
+    fn parses_trace_command_and_flags() {
+        let inv = parse_args(args("trace foo.loop")).unwrap();
+        assert_eq!(inv.command, Command::Trace);
+        let inv = parse_args(args("behavior x --trace out.json")).unwrap();
+        assert_eq!(inv.trace_path.as_deref(), Some("out.json"));
+        let inv = parse_args(args("analyze a b --jobs 4")).unwrap();
+        assert_eq!(inv.jobs, Some(4));
+        // --jobs must be positive; --trace only fits commands that have a
+        // firing-event timeline, and only a single input.
+        assert!(parse_args(args("analyze a --jobs 0")).is_err());
+        assert!(parse_args(args("analyze a --trace t.json")).is_err());
+        assert!(parse_args(args("behavior a b --trace t.json")).is_err());
     }
 
     #[test]
@@ -819,7 +956,7 @@ wat
     fn degenerate_inputs_fail_cleanly_on_every_subcommand() {
         // Empty source text: parse error with a diagnostic, never a panic.
         for cmd in [
-            "analyze", "schedule", "emit", "dot", "behavior", "storage", "acode",
+            "analyze", "schedule", "emit", "dot", "behavior", "storage", "acode", "trace",
         ] {
             let inv = parse_args(args(&format!("{cmd} -"))).unwrap();
             let err = execute(&inv, "").unwrap_err();
@@ -990,6 +1127,209 @@ wat
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"file\":\"a\""));
         assert!(lines[1].contains("\"file\":\"b\""));
+    }
+
+    // A minimal JSON well-formedness checker. The in-tree serde_json
+    // shim only serializes, so emitted traces are validated with this
+    // hand-rolled recursive-descent scan instead of a parser dependency.
+    mod json_check {
+        fn skip_ws(s: &[u8], mut i: usize) -> usize {
+            while matches!(s.get(i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                i += 1;
+            }
+            i
+        }
+
+        fn string(s: &[u8], mut i: usize) -> Result<usize, usize> {
+            if s.get(i) != Some(&b'"') {
+                return Err(i);
+            }
+            i += 1;
+            loop {
+                match s.get(i) {
+                    Some(b'"') => return Ok(i + 1),
+                    Some(b'\\') => match s.get(i + 1) {
+                        Some(b'u') => {
+                            let hex = s.get(i + 2..i + 6).ok_or(i)?;
+                            if !hex.iter().all(u8::is_ascii_hexdigit) {
+                                return Err(i);
+                            }
+                            i += 6;
+                        }
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => i += 2,
+                        _ => return Err(i),
+                    },
+                    Some(&c) if c >= 0x20 => i += 1,
+                    _ => return Err(i),
+                }
+            }
+        }
+
+        fn digits(s: &[u8], mut i: usize) -> Result<usize, usize> {
+            let from = i;
+            while matches!(s.get(i), Some(b'0'..=b'9')) {
+                i += 1;
+            }
+            if i == from {
+                Err(i)
+            } else {
+                Ok(i)
+            }
+        }
+
+        fn number(s: &[u8], mut i: usize) -> Result<usize, usize> {
+            if s.get(i) == Some(&b'-') {
+                i += 1;
+            }
+            i = digits(s, i)?;
+            if s.get(i) == Some(&b'.') {
+                i = digits(s, i + 1)?;
+            }
+            if matches!(s.get(i), Some(b'e' | b'E')) {
+                i += 1;
+                if matches!(s.get(i), Some(b'+' | b'-')) {
+                    i += 1;
+                }
+                i = digits(s, i)?;
+            }
+            Ok(i)
+        }
+
+        fn literal(s: &[u8], i: usize, lit: &[u8]) -> Result<usize, usize> {
+            if s[i..].starts_with(lit) {
+                Ok(i + lit.len())
+            } else {
+                Err(i)
+            }
+        }
+
+        fn seq(s: &[u8], i: usize, close: u8, object: bool) -> Result<usize, usize> {
+            let mut i = skip_ws(s, i + 1);
+            if s.get(i) == Some(&close) {
+                return Ok(i + 1);
+            }
+            loop {
+                if object {
+                    i = string(s, skip_ws(s, i))?;
+                    i = skip_ws(s, i);
+                    if s.get(i) != Some(&b':') {
+                        return Err(i);
+                    }
+                    i += 1;
+                }
+                i = skip_ws(s, value(s, skip_ws(s, i))?);
+                match s.get(i) {
+                    Some(&c) if c == close => return Ok(i + 1),
+                    Some(b',') => i = skip_ws(s, i + 1),
+                    _ => return Err(i),
+                }
+            }
+        }
+
+        fn value(s: &[u8], i: usize) -> Result<usize, usize> {
+            match s.get(i) {
+                Some(b'"') => string(s, i),
+                Some(b'{') => seq(s, i, b'}', true),
+                Some(b'[') => seq(s, i, b']', false),
+                Some(b't') => literal(s, i, b"true"),
+                Some(b'f') => literal(s, i, b"false"),
+                Some(b'n') => literal(s, i, b"null"),
+                Some(b'-' | b'0'..=b'9') => number(s, i),
+                _ => Err(i),
+            }
+        }
+
+        /// Panics unless `text` is exactly one well-formed JSON value.
+        pub fn assert_valid(text: &str) {
+            let s = text.as_bytes();
+            let end = value(s, skip_ws(s, 0))
+                .unwrap_or_else(|at| panic!("invalid JSON at byte {at}: {text}"));
+            assert_eq!(skip_ws(s, end), s.len(), "trailing garbage: {text}");
+        }
+    }
+
+    #[test]
+    fn trace_text_is_valid_chrome_trace_json() {
+        let inv = parse_args(args("trace -")).unwrap();
+        let out = execute(&inv, L5).unwrap();
+        assert!(out.starts_with("{\"traceEvents\":["), "got: {out}");
+        json_check::assert_valid(&out);
+        for needle in [
+            "\"ph\":\"M\"",
+            "\"ph\":\"X\"",
+            "frustum start",
+            "frustum repeat",
+            "steady-state kernel",
+            "\"digest\":\"0x",
+        ] {
+            assert!(out.contains(needle), "trace misses {needle}: {out}");
+        }
+    }
+
+    #[test]
+    fn scp_trace_adds_the_issue_slot_track() {
+        let inv = parse_args(args("trace - --scp 4")).unwrap();
+        let out = execute(&inv, L5).unwrap();
+        json_check::assert_valid(&out);
+        assert!(out.contains("issue slot"), "got: {out}");
+    }
+
+    #[test]
+    fn trace_json_format_emits_jsonl() {
+        let inv = parse_args(args("trace - --format json")).unwrap();
+        let out = execute(&inv, L5).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines.len() > 3, "got: {out}");
+        assert!(lines[0].contains("\"kind\":\"meta\""));
+        for line in &lines {
+            json_check::assert_valid(line);
+        }
+        assert!(out.contains("\"kind\":\"start\""));
+        assert!(out.contains("\"kind\":\"complete\""));
+    }
+
+    #[test]
+    fn trace_output_is_deterministic_and_jobs_invariant() {
+        let inv = parse_args(args("trace -")).unwrap();
+        assert_eq!(execute(&inv, L5).unwrap(), execute(&inv, L5).unwrap());
+        // The worker-pool size must not leak into the output bytes.
+        let sources = [
+            ("a".to_string(), L5.to_string()),
+            ("b".to_string(), L1.to_string()),
+        ];
+        let serial = parse_args(args("analyze a b --jobs 1")).unwrap();
+        let wide = parse_args(args("analyze a b --jobs 4")).unwrap();
+        assert_eq!(
+            run_batch(&serial, &sources).unwrap(),
+            run_batch(&wide, &sources).unwrap()
+        );
+    }
+
+    #[test]
+    fn trace_flag_writes_the_timeline_next_to_the_output() {
+        let path = std::env::temp_dir().join(format!("tpnc-trace-{}.json", std::process::id()));
+        let mut inv = parse_args(args("behavior -")).unwrap();
+        inv.trace_path = Some(path.to_string_lossy().into_owned());
+        let out = execute(&inv, L5).unwrap();
+        assert!(out.contains("repeated instantaneous state"));
+        let written = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        json_check::assert_valid(&written);
+        assert!(written.starts_with("{\"traceEvents\":["));
+    }
+
+    #[test]
+    fn trace_handles_degenerate_loops() {
+        // A zero-node loop has no events: the timeline still parses and
+        // carries only its metadata records.
+        let inv = parse_args(args("trace -")).unwrap();
+        let out = execute(&inv, "do i from 1 to n { }").unwrap();
+        json_check::assert_valid(&out);
+        assert!(!out.contains("\"ph\":\"X\""), "got: {out}");
+        // A single-node self-feedback loop traces and validates.
+        let out = execute(&inv, "do i from 2 to n { X[i] := X[i-1] + 1; }").unwrap();
+        json_check::assert_valid(&out);
+        assert!(out.contains("\"ph\":\"X\""), "got: {out}");
     }
 
     #[test]

@@ -65,13 +65,19 @@ use tpn_dataflow::{DataflowError, Sdsp};
 use tpn_lang::LangError;
 use tpn_petri::ratio::{critical_ratio, CriticalWitness};
 use tpn_petri::rational::Ratio;
+use tpn_petri::timed::EagerPolicy;
+use tpn_petri::trace::RingRecorder;
 use tpn_petri::PetriError;
-use tpn_sched::frustum::{detect_frustum, detect_frustum_eager, FrustumReport};
+use tpn_sched::frustum::{
+    detect_frustum, detect_frustum_eager, detect_frustum_with_sink, FrustumReport,
+};
 use tpn_sched::policy::{FifoPolicy, PriorityPolicy};
 use tpn_sched::rate::{RateReport, ScpRateReport};
 use tpn_sched::schedule::LoopSchedule;
 use tpn_sched::scp::{build_scp, ScpPn};
 use tpn_sched::steady::{steady_state_net, SteadyStateNet};
+use tpn_sched::trace::FiringTrace;
+use tpn_sched::validate::{replay_trace, TraceValidation};
 use tpn_sched::SchedError;
 use tpn_storage::{minimize_storage, BalanceReport, StorageError, StorageReport};
 
@@ -167,7 +173,14 @@ pub struct CompileOptions {
     step_budget: Option<u64>,
     issue_policy: IssuePolicy,
     profile: bool,
+    trace: bool,
+    trace_capacity: Option<usize>,
 }
+
+/// Default ceiling on the live trace recorder's event buffer: enough for
+/// every example model's full run while keeping the preallocation tens of
+/// kilobytes, not tens of megabytes, on worst-case budgets.
+const TRACE_CAPACITY_CAP: usize = 1 << 16;
 
 impl CompileOptions {
     /// Defaults: unit node times, automatic budget, FIFO issue.
@@ -214,9 +227,47 @@ impl CompileOptions {
         self
     }
 
+    /// Enables live firing-event tracing (default off). When set, frustum
+    /// detection runs with a preallocated [`RingRecorder`] attached, and
+    /// [`CompiledLoop::firing_trace`] / [`CompiledLoop::scp_trace`] return
+    /// the recorded stream. When unset the engine's untraced fast path
+    /// runs (the trace can still be *derived* on demand from the stored
+    /// step records — recording only changes how the trace is obtained,
+    /// never its contents).
+    #[must_use]
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Overrides the live recorder's event capacity (default: twice the
+    /// worst-case event count, capped at 64 Ki events). If a run outgrows
+    /// the ring the oldest events are dropped and the facade falls back to
+    /// deriving the complete trace from the step records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events == 0`.
+    #[must_use]
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        assert!(events > 0, "trace capacity must be positive");
+        self.trace_capacity = Some(events);
+        self
+    }
+
     /// The configured uniform node time, if any.
     pub fn node_time_override(&self) -> Option<u64> {
         self.node_time
+    }
+
+    /// Whether live firing-event tracing is enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace
+    }
+
+    /// The configured recorder capacity, if any.
+    pub fn trace_capacity_override(&self) -> Option<usize> {
+        self.trace_capacity
     }
 
     /// The configured step budget, if any.
@@ -247,12 +298,18 @@ pub struct Analysis {
     pub critical_nodes: Vec<String>,
 }
 
+/// The frustum cache entry: the report plus the trace recorded alongside
+/// it (present only when tracing was enabled *and* the ring kept every
+/// event).
+type FrustumEntry = (Arc<FrustumReport>, Option<Arc<FiringTrace>>);
+
 /// Memoized stage results. Every slot is filled at most once (per SCP
 /// depth for `scp`) and shared across calls and clones.
 #[derive(Default)]
 struct Caches {
     analysis: OnceLock<Result<Analysis, Error>>,
-    frustum: OnceLock<Result<Arc<FrustumReport>, Error>>,
+    frustum: OnceLock<Result<FrustumEntry, Error>>,
+    trace: OnceLock<Result<Arc<FiringTrace>, Error>>,
     schedule: OnceLock<Result<Arc<LoopSchedule>, Error>>,
     rates: OnceLock<Result<RateReport, Error>>,
     scp: Mutex<HashMap<u64, Result<Arc<ScpRun>, Error>>>,
@@ -276,6 +333,7 @@ impl Clone for Caches {
         Caches {
             analysis: Self::clone_lock(&self.analysis),
             frustum: Self::clone_lock(&self.frustum),
+            trace: Self::clone_lock(&self.trace),
             schedule: Self::clone_lock(&self.schedule),
             rates: Self::clone_lock(&self.rates),
             scp: Mutex::new(self.scp.lock().expect("scp cache poisoned").clone()),
@@ -315,6 +373,10 @@ pub struct ScpRun {
     pub schedule: LoopSchedule,
     /// Rates and pipeline utilisation (Table 2's columns).
     pub rates: ScpRateReport,
+    /// The firing trace recorded during detection, when
+    /// [`CompileOptions::trace`] was set and the ring kept every event
+    /// (use [`CompiledLoop::scp_trace`] to get a trace unconditionally).
+    pub trace: Option<Arc<FiringTrace>>,
 }
 
 impl CompiledLoop {
@@ -468,15 +530,165 @@ impl CompiledLoop {
     ///
     /// [`Error::Sched`] if the budget is exhausted (or the net deadlocks).
     pub fn shared_frustum(&self) -> Result<Arc<FrustumReport>, Error> {
+        self.frustum_entry().map(|(f, _)| f)
+    }
+
+    /// The effective recorder capacity for a net with `transitions`
+    /// transitions (see [`CompileOptions::trace_capacity`]).
+    fn effective_trace_capacity(&self, transitions: usize) -> usize {
+        self.options.trace_capacity.unwrap_or_else(|| {
+            // Worst case: every transition starts and completes once per
+            // instant of the budget. Cap the preallocation; overflow falls
+            // back to derivation.
+            2usize
+                .saturating_mul(transitions.saturating_add(1))
+                .saturating_mul((self.budget() as usize).saturating_add(1))
+                .min(TRACE_CAPACITY_CAP)
+        })
+    }
+
+    fn frustum_entry(&self) -> Result<FrustumEntry, Error> {
         self.caches
             .frustum
             .get_or_init(|| {
-                let report = self.span("frustum_detection", || {
-                    detect_frustum_eager(&self.pn.net, self.pn.marking.clone(), self.budget())
+                let mut recorder = self.options.trace.then(|| {
+                    RingRecorder::with_capacity(
+                        self.effective_trace_capacity(self.pn.net.num_transitions()),
+                    )
+                });
+                let report = self.span("frustum_detection", || match &mut recorder {
+                    Some(rec) => detect_frustum_with_sink(
+                        &self.pn.net,
+                        self.pn.marking.clone(),
+                        EagerPolicy,
+                        self.budget(),
+                        rec,
+                    ),
+                    None => {
+                        detect_frustum_eager(&self.pn.net, self.pn.marking.clone(), self.budget())
+                    }
                 })?;
-                Ok(Arc::new(report))
+                let trace = recorder
+                    .map(|rec| FiringTrace::from_recorded(&self.pn.net, &report, rec))
+                    .filter(FiringTrace::is_complete)
+                    .map(Arc::new);
+                Ok((Arc::new(report), trace))
             })
             .clone()
+    }
+
+    /// The loop's firing trace: the full start/complete event stream of
+    /// the detection run with the frustum window annotated as spans (see
+    /// [`tpn_sched::trace`]). Memoized; reuses the shared frustum.
+    ///
+    /// With [`CompileOptions::trace`] set this is the stream recorded live
+    /// during detection; otherwise (or if the bounded recorder
+    /// overflowed) the identical stream is derived from the stored step
+    /// records. A zero-node loop yields the valid empty trace.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sched`] if frustum detection fails.
+    pub fn firing_trace(&self) -> Result<Arc<FiringTrace>, Error> {
+        self.caches
+            .trace
+            .get_or_init(|| {
+                if self.size() == 0 {
+                    return Ok(Arc::new(FiringTrace::empty()));
+                }
+                let (frustum, recorded) = self.frustum_entry()?;
+                Ok(match recorded {
+                    Some(trace) => trace,
+                    None => Arc::new(self.span("trace_derivation", || {
+                        FiringTrace::from_frustum(&self.pn.net, &self.pn.marking, &frustum)
+                    })),
+                })
+            })
+            .clone()
+    }
+
+    /// The firing trace of the depth-`depth` SCP run, with dummy
+    /// transitions marked as pipeline stages. Recorded live when
+    /// [`CompileOptions::trace`] is set, else derived from the run's
+    /// step records.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`shared_scp`](Self::shared_scp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn scp_trace(&self, depth: u64) -> Result<Arc<FiringTrace>, Error> {
+        let run = self.shared_scp(depth)?;
+        Ok(match &run.trace {
+            Some(trace) => trace.clone(),
+            None => Arc::new(self.span("trace_derivation", || {
+                FiringTrace::from_scp_frustum(&run.model, &run.frustum)
+            })),
+        })
+    }
+
+    /// Independently validates the loop's firing trace: replays markings
+    /// from the event stream alone (see
+    /// [`tpn_sched::validate::replay_trace`]) confirming safety,
+    /// latencies, per-event digests and liveness over the window, then
+    /// cross-checks the observed steady-state rate against
+    /// [`rate_report`](Self::rate_report)'s min-cycle-ratio. A zero-node
+    /// loop validates trivially.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sched`] wrapping a
+    /// [`TraceViolation`](tpn_sched::validate::TraceViolation) on the
+    /// first inconsistency, or any detection/analysis failure.
+    pub fn validate_trace(&self) -> Result<TraceValidation, Error> {
+        let trace = self.firing_trace()?;
+        if self.size() == 0 {
+            return Ok(TraceValidation {
+                events_checked: 0,
+                max_tokens: 0,
+                bound: 1,
+                period: 1,
+                window_counts: Vec::new(),
+            });
+        }
+        let validation = self
+            .span("trace_validation", || {
+                replay_trace(&self.pn.net, &self.pn.marking, &trace)
+            })
+            .map_err(SchedError::Trace)?;
+        let expected = self.rate_report()?.measured;
+        validation
+            .confirm_rate(self.pn.net.transition_ids(), expected)
+            .map_err(SchedError::Trace)?;
+        Ok(validation)
+    }
+
+    /// [`validate_trace`](Self::validate_trace) for the depth-`depth` SCP
+    /// run: rates are cross-checked for the SDSP node transitions against
+    /// the run's measured issue rate (dummies are still replayed and
+    /// checked for safety/liveness/latency).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`validate_trace`](Self::validate_trace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn validate_scp_trace(&self, depth: u64) -> Result<TraceValidation, Error> {
+        let run = self.shared_scp(depth)?;
+        let trace = self.scp_trace(depth)?;
+        let validation = self
+            .span("trace_validation", || {
+                replay_trace(&run.model.net, &run.model.marking, &trace)
+            })
+            .map_err(SchedError::Trace)?;
+        validation
+            .confirm_rate(run.model.sdsp_transitions(), run.rates.measured)
+            .map_err(SchedError::Trace)?;
+        Ok(validation)
     }
 
     /// Owned-copy convenience over [`shared_frustum`](Self::shared_frustum).
@@ -564,22 +776,40 @@ impl CompiledLoop {
             build_scp(&self.pn, depth)
         });
         let budget = self.budget().saturating_mul(depth.max(1));
+        let mut recorder = self.options.trace.then(|| {
+            RingRecorder::with_capacity(self.effective_trace_capacity(model.net.num_transitions()))
+        });
         let frustum = self.span(&format!("scp_detection[l={depth}]"), || {
-            match self.options.issue_policy {
-                IssuePolicy::Fifo => detect_frustum(
+            let marking = model.marking.clone();
+            match (&mut recorder, self.options.issue_policy) {
+                (None, IssuePolicy::Fifo) => {
+                    detect_frustum(&model.net, marking, FifoPolicy::new(&model), budget)
+                }
+                (None, IssuePolicy::Priority) => {
+                    detect_frustum(&model.net, marking, PriorityPolicy::new(&model), budget)
+                }
+                (Some(rec), IssuePolicy::Fifo) => detect_frustum_with_sink(
                     &model.net,
-                    model.marking.clone(),
+                    marking,
                     FifoPolicy::new(&model),
                     budget,
+                    rec,
                 ),
-                IssuePolicy::Priority => detect_frustum(
+                (Some(rec), IssuePolicy::Priority) => detect_frustum_with_sink(
                     &model.net,
-                    model.marking.clone(),
+                    marking,
                     PriorityPolicy::new(&model),
                     budget,
+                    rec,
                 ),
             }
         })?;
+        let trace = recorder
+            .map(|rec| {
+                FiringTrace::from_recorded(&model.net, &frustum, rec).with_node_mask(&model.is_sdsp)
+            })
+            .filter(FiringTrace::is_complete)
+            .map(Arc::new);
         let schedule = LoopSchedule::from_scp_frustum(&self.sdsp, &model, &frustum)?;
         let rates = ScpRateReport::for_scp(&model, &frustum)?;
         Ok(ScpRun {
@@ -587,6 +817,7 @@ impl CompiledLoop {
             frustum,
             schedule,
             rates,
+            trace,
         })
     }
 
@@ -678,7 +909,7 @@ impl CompiledLoop {
     /// [`batch::parallel_map_profiled`].
     pub fn metrics_report(&self) -> metrics::MetricsReport {
         let mut detections = Vec::new();
-        if let Some(Ok(f)) = self.caches.frustum.get() {
+        if let Some(Ok((f, _))) = self.caches.frustum.get() {
             detections.push(metrics::DetectionCounters::from_stats("frustum", &f.stats));
         }
         let scp = self.caches.scp.lock().expect("scp cache poisoned");

@@ -1,0 +1,117 @@
+//! End-to-end checks of the firing-event tracing subsystem through the
+//! [`CompiledLoop`] facade: byte-level determinism, equality of the
+//! live-recorded and step-record-derived traces, and replay validation
+//! (safety, liveness, steady-state rate) over every Livermore kernel.
+
+use tpn::{CompileOptions, CompiledLoop};
+use tpn_livermore::kernels;
+
+const L5: &str = "do i from 2 to n { X[i] := Z[i] * (Y[i] - X[i-1]); }";
+
+#[test]
+fn traces_are_deterministic_across_compilations() {
+    let a = CompiledLoop::from_source(L5).unwrap();
+    let b = CompiledLoop::from_source(L5).unwrap();
+    let ta = a.firing_trace().unwrap();
+    let tb = b.firing_trace().unwrap();
+    assert_eq!(ta.chrome_trace_json(), tb.chrome_trace_json());
+    assert_eq!(ta.jsonl(), tb.jsonl());
+}
+
+#[test]
+fn recorded_and_derived_traces_are_byte_identical() {
+    for k in kernels() {
+        let recorded =
+            CompiledLoop::from_source_with(k.source, CompileOptions::new().trace(true)).unwrap();
+        let derived = CompiledLoop::from_source(k.source).unwrap();
+        let tr = recorded.firing_trace().unwrap();
+        let td = derived.firing_trace().unwrap();
+        assert!(tr.is_complete(), "{}: recording overflowed", k.name);
+        assert_eq!(
+            tr.chrome_trace_json(),
+            td.chrome_trace_json(),
+            "{}: recorded and derived Chrome exports differ",
+            k.name
+        );
+        assert_eq!(tr.jsonl(), td.jsonl(), "{}: JSONL exports differ", k.name);
+    }
+}
+
+#[test]
+fn replay_validation_confirms_every_kernel() {
+    for k in kernels() {
+        let lp = CompiledLoop::from_source(k.source).unwrap();
+        let v = lp
+            .validate_trace()
+            .unwrap_or_else(|e| panic!("{}: trace replay rejected a genuine run: {e}", k.name));
+        assert!(v.is_safe(), "{}: marking exceeded one token", k.name);
+        assert!(v.events_checked > 0, "{}: empty event stream", k.name);
+    }
+}
+
+#[test]
+fn replay_validation_confirms_scp_runs() {
+    for k in kernels().iter().take(4) {
+        let lp = CompiledLoop::from_source(k.source).unwrap();
+        let v = lp
+            .validate_scp_trace(8)
+            .unwrap_or_else(|e| panic!("{}: SCP trace replay rejected a genuine run: {e}", k.name));
+        assert!(v.events_checked > 0, "{}: empty SCP event stream", k.name);
+    }
+}
+
+#[test]
+fn an_overflowed_recording_falls_back_to_the_derived_trace() {
+    // Two events of capacity cannot hold a whole detection run; the
+    // facade must discard the clipped ring and derive the full trace
+    // from the step records instead.
+    let clipped =
+        CompiledLoop::from_source_with(L5, CompileOptions::new().trace(true).trace_capacity(2))
+            .unwrap();
+    let reference = CompiledLoop::from_source(L5).unwrap();
+    let tc = clipped.firing_trace().unwrap();
+    assert!(tc.is_complete());
+    assert_eq!(
+        tc.chrome_trace_json(),
+        reference.firing_trace().unwrap().chrome_trace_json()
+    );
+    clipped.validate_trace().unwrap();
+}
+
+#[test]
+fn degenerate_loops_trace_and_validate() {
+    // A zero-node body has nothing to fire: the trace is empty but well
+    // formed, and validation accepts it trivially.
+    let empty = CompiledLoop::from_source("do i from 1 to n { }").unwrap();
+    let trace = empty.firing_trace().unwrap();
+    assert!(trace.events.is_empty());
+    assert!(trace.chrome_trace_json().starts_with("{\"traceEvents\":["));
+    let v = empty.validate_trace().unwrap();
+    assert_eq!(v.events_checked, 0);
+    // A single node feeding itself is the smallest real recurrence.
+    let single = CompiledLoop::from_source("do i from 2 to n { X[i] := X[i-1] + 1; }").unwrap();
+    let trace = single.firing_trace().unwrap();
+    assert!(!trace.events.is_empty());
+    let v = single.validate_trace().unwrap();
+    assert!(v.is_safe());
+    assert!(v.events_checked > 0);
+}
+
+#[test]
+fn tracing_does_not_change_analysis_results() {
+    for k in kernels().iter().take(4) {
+        let traced =
+            CompiledLoop::from_source_with(k.source, CompileOptions::new().trace(true)).unwrap();
+        let plain = CompiledLoop::from_source(k.source).unwrap();
+        let ft = traced.shared_frustum().unwrap();
+        let fp = plain.shared_frustum().unwrap();
+        assert_eq!(ft.start_time, fp.start_time, "{}", k.name);
+        assert_eq!(ft.repeat_time, fp.repeat_time, "{}", k.name);
+        assert_eq!(
+            traced.rate_report().unwrap().measured,
+            plain.rate_report().unwrap().measured,
+            "{}",
+            k.name
+        );
+    }
+}

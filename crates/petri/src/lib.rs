@@ -76,6 +76,7 @@ pub mod ratio;
 pub mod rational;
 pub mod reach;
 pub mod timed;
+pub mod trace;
 
 pub use error::PetriError;
 pub use ids::{PlaceId, TransitionId};

@@ -43,6 +43,9 @@ pub enum SchedError {
     /// The loop has no nodes, so per-node rates (and the SCP resource
     /// bound `1/n`) are undefined.
     EmptyLoop,
+    /// Trace-replay validation found the recorded event stream
+    /// inconsistent with the net's semantics or the claimed rates.
+    Trace(crate::validate::TraceViolation),
 }
 
 impl fmt::Display for SchedError {
@@ -66,6 +69,7 @@ impl fmt::Display for SchedError {
             SchedError::EmptyLoop => {
                 write!(f, "the loop body is empty; rates are undefined")
             }
+            SchedError::Trace(v) => write!(f, "trace replay failed: {v}"),
         }
     }
 }
@@ -74,8 +78,15 @@ impl Error for SchedError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SchedError::Petri(e) => Some(e),
+            SchedError::Trace(v) => Some(v),
             _ => None,
         }
+    }
+}
+
+impl From<crate::validate::TraceViolation> for SchedError {
+    fn from(v: crate::validate::TraceViolation) -> Self {
+        SchedError::Trace(v)
     }
 }
 

@@ -29,10 +29,16 @@
 //!   empirical `BD` bounds of Tables 1 and 2.
 //! * [`baseline`] — the classical comparison points: sequential issue,
 //!   per-iteration list scheduling, and unroll-based scheduling.
+//! * [`trace`] — the detection run as a first-class timeline: the full
+//!   start/complete firing-event stream with the frustum window annotated
+//!   as spans, exportable as Chrome trace-event JSON (Perfetto-loadable)
+//!   and compact JSONL.
 //! * [`validate`] — independent checks that a derived schedule respects
 //!   every dependence, never overlaps a node with itself, respects the
 //!   single-pipeline resource, and computes the same values as the
-//!   dataflow interpreter.
+//!   dataflow interpreter — plus a trace-replay validator that
+//!   reconstructs markings from the event stream alone and re-confirms
+//!   safety, liveness, and the steady-state rate.
 //!
 //! # Example
 //!
@@ -70,9 +76,11 @@ pub mod rate;
 pub mod schedule;
 pub mod scp;
 pub mod steady;
+pub mod trace;
 pub mod validate;
 
 pub use error::SchedError;
 pub use frustum::{detect_frustum, detect_frustum_eager, FrustumReport};
 pub use schedule::LoopSchedule;
 pub use scp::ScpPn;
+pub use trace::FiringTrace;

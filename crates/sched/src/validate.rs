@@ -13,13 +13,28 @@
 //! * [`replay_semantics`] — executes the loop *in schedule order* against
 //!   real inputs and compares every produced value with the reference
 //!   interpreter, demonstrating semantics preservation end to end.
+//! * [`replay_trace`] — reconstructs markings from a recorded
+//!   [`FiringTrace`]'s event stream *alone* (no engine, no residual
+//!   vectors, no frustum machinery) and independently confirms safety
+//!   (boundedness), liveness over the recorded window, firing latencies,
+//!   non-reentrance, and every per-event marking digest. Where
+//!   [`crate::frustum::detect_frustum_reference`] re-runs the same
+//!   earliest-firing engine with a different state index, this validator
+//!   shares *no* execution code with the engine — it is an end-to-end
+//!   oracle that the engine, the frustum detector, and the rate analysis
+//!   agree.
 
 use std::collections::HashMap;
 
 use tpn_dataflow::interp::{execute, Env, Trace};
 use tpn_dataflow::{DataflowError, NodeId, Operand, Sdsp};
+use tpn_petri::rational::Ratio;
+use tpn_petri::timed::marking_digest;
+use tpn_petri::trace::EventKind;
+use tpn_petri::{Marking, PetriNet, PlaceId, TransitionId};
 
 use crate::schedule::LoopSchedule;
+use crate::trace::FiringTrace;
 
 /// A violation found by [`check_schedule`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -237,6 +252,350 @@ pub fn replay_semantics(
     })
 }
 
+/// A violation found by [`replay_trace`]: the event stream is internally
+/// inconsistent, or contradicts the net's semantics or the claimed rates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceViolation {
+    /// The trace was recorded through a bounded ring that overflowed, so
+    /// replay from the initial marking is impossible.
+    Incomplete {
+        /// Events lost.
+        dropped: u64,
+    },
+    /// An event's instant precedes its predecessor's.
+    TimeRegression {
+        /// Index of the offending event.
+        index: usize,
+        /// Its instant.
+        time: u64,
+        /// The previous event's instant.
+        prev: u64,
+    },
+    /// A transition started without every input place marked.
+    StartWithoutTokens {
+        /// The transition.
+        transition: TransitionId,
+        /// The instant.
+        time: u64,
+    },
+    /// A transition started while a previous firing was still in flight
+    /// (Assumption A.6.1 forbids overlap).
+    StartWhileBusy {
+        /// The transition.
+        transition: TransitionId,
+        /// The instant.
+        time: u64,
+    },
+    /// A completion with no matching start.
+    CompleteWithoutStart {
+        /// The transition.
+        transition: TransitionId,
+        /// The instant.
+        time: u64,
+    },
+    /// A firing's duration differs from the transition's execution time.
+    WrongLatency {
+        /// The transition.
+        transition: TransitionId,
+        /// When it started.
+        start: u64,
+        /// When it completed.
+        complete: u64,
+        /// The declared `τ`.
+        expected: u64,
+    },
+    /// A start event's recorded residual is not the transition's `τ`.
+    ResidualMismatch {
+        /// The transition.
+        transition: TransitionId,
+        /// The instant.
+        time: u64,
+        /// The recorded residual.
+        residual: u64,
+        /// The declared `τ`.
+        expected: u64,
+    },
+    /// A place exceeded the token bound implied by the initial marking.
+    Unsafe {
+        /// The place.
+        place: PlaceId,
+        /// The instant.
+        time: u64,
+        /// Its token count after the event.
+        tokens: u32,
+        /// The bound it broke.
+        bound: u32,
+    },
+    /// The marking reconstructed from the events disagrees with the digest
+    /// the engine stamped on an event.
+    DigestMismatch {
+        /// Index of the offending event.
+        index: usize,
+        /// Its instant.
+        time: u64,
+    },
+    /// A transition never fired inside the frustum window, contradicting
+    /// liveness of the steady state.
+    DeadTransition {
+        /// The silent transition.
+        transition: TransitionId,
+    },
+    /// The firing rate observed in the window differs from the claimed
+    /// steady-state rate.
+    RateMismatch {
+        /// The transition.
+        transition: TransitionId,
+        /// Rate counted from the trace.
+        observed: Ratio,
+        /// The claimed rate (e.g. `RateReport::measured`).
+        expected: Ratio,
+    },
+}
+
+impl std::fmt::Display for TraceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceViolation::Incomplete { dropped } => {
+                write!(f, "trace is incomplete: {dropped} events were dropped")
+            }
+            TraceViolation::TimeRegression { index, time, prev } => {
+                write!(f, "event {index} at instant {time} precedes instant {prev}")
+            }
+            TraceViolation::StartWithoutTokens { transition, time } => {
+                write!(f, "{transition} started at {time} without its input tokens")
+            }
+            TraceViolation::StartWhileBusy { transition, time } => {
+                write!(f, "{transition} started at {time} while still firing")
+            }
+            TraceViolation::CompleteWithoutStart { transition, time } => {
+                write!(f, "{transition} completed at {time} without starting")
+            }
+            TraceViolation::WrongLatency {
+                transition,
+                start,
+                complete,
+                expected,
+            } => write!(f, "{transition} ran {start}..{complete} but τ = {expected}"),
+            TraceViolation::ResidualMismatch {
+                transition,
+                time,
+                residual,
+                expected,
+            } => write!(
+                f,
+                "{transition} started at {time} with residual {residual}, τ = {expected}"
+            ),
+            TraceViolation::Unsafe {
+                place,
+                time,
+                tokens,
+                bound,
+            } => write!(
+                f,
+                "place {place} holds {tokens} tokens at {time} (bound {bound})"
+            ),
+            TraceViolation::DigestMismatch { index, time } => write!(
+                f,
+                "marking digest of event {index} (instant {time}) disagrees with replay"
+            ),
+            TraceViolation::DeadTransition { transition } => {
+                write!(f, "{transition} never fires inside the frustum window")
+            }
+            TraceViolation::RateMismatch {
+                transition,
+                observed,
+                expected,
+            } => write!(
+                f,
+                "{transition} fires at rate {observed} in the window, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceViolation {}
+
+/// What [`replay_trace`] established about a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceValidation {
+    /// Events replayed and checked.
+    pub events_checked: usize,
+    /// The highest token count any place reached during replay.
+    pub max_tokens: u32,
+    /// The bound enforced: the larger of 1 and the initial marking's
+    /// maximum (balanced nets legitimately start above 1).
+    pub bound: u32,
+    /// The frustum period the window rates are measured against.
+    pub period: u64,
+    /// Firing starts per transition inside the window
+    /// `(start_time, repeat_time]`.
+    pub window_counts: Vec<u64>,
+}
+
+impl TraceValidation {
+    /// Whether the replay stayed 1-bounded (the paper's safety property).
+    pub fn is_safe(&self) -> bool {
+        self.max_tokens <= 1
+    }
+
+    /// The steady-state rate of `t` counted from the window.
+    pub fn rate_of(&self, t: TransitionId) -> Ratio {
+        Ratio::new(self.window_counts[t.index()], self.period)
+    }
+
+    /// Confirms that every listed transition fires at `expected` inside
+    /// the window — the independent cross-check against
+    /// [`crate::rate::RateReport`]'s min-cycle-ratio.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceViolation::RateMismatch`] on the first disagreeing
+    /// transition.
+    pub fn confirm_rate<I: IntoIterator<Item = TransitionId>>(
+        &self,
+        transitions: I,
+        expected: Ratio,
+    ) -> Result<(), TraceViolation> {
+        for t in transitions {
+            let observed = self.rate_of(t);
+            if observed != expected {
+                return Err(TraceViolation::RateMismatch {
+                    transition: t,
+                    observed,
+                    expected,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Replays a [`FiringTrace`] from the event stream **alone** — starting at
+/// `initial` and applying only recorded token movements — and checks, per
+/// event: monotone time, enabledness at starts, non-reentrance, exact
+/// firing latency `τ`, boundedness against the initial marking's maximum,
+/// and the engine-stamped marking digest. After replay, liveness over the
+/// window: every transition must fire in `(start_time, repeat_time]`.
+///
+/// No engine, residual vector, or frustum machinery is consulted, so this
+/// is an independent oracle for all three (contrast
+/// [`crate::frustum::detect_frustum_reference`], which re-runs the same
+/// engine with a different repetition index).
+///
+/// # Errors
+///
+/// The first [`TraceViolation`] found.
+pub fn replay_trace(
+    net: &PetriNet,
+    initial: &Marking,
+    trace: &FiringTrace,
+) -> Result<TraceValidation, TraceViolation> {
+    if trace.dropped > 0 {
+        return Err(TraceViolation::Incomplete {
+            dropped: trace.dropped,
+        });
+    }
+    let initial_max = (0..net.num_places())
+        .map(|i| initial.tokens(PlaceId::from_index(i)))
+        .max()
+        .unwrap_or(0);
+    let bound = initial_max.max(1);
+    let mut marking = initial.clone();
+    let mut in_flight: Vec<Option<u64>> = vec![None; net.num_transitions()];
+    let mut window_counts = vec![0u64; net.num_transitions()];
+    let mut max_tokens = initial_max;
+    let mut prev_time = 0u64;
+    for (index, e) in trace.events.iter().enumerate() {
+        if e.time < prev_time {
+            return Err(TraceViolation::TimeRegression {
+                index,
+                time: e.time,
+                prev: prev_time,
+            });
+        }
+        prev_time = e.time;
+        let t = e.transition;
+        let tau = net.transition(t).time();
+        match e.kind {
+            EventKind::Start => {
+                if in_flight[t.index()].is_some() {
+                    return Err(TraceViolation::StartWhileBusy {
+                        transition: t,
+                        time: e.time,
+                    });
+                }
+                if !marking.enables(net, t) {
+                    return Err(TraceViolation::StartWithoutTokens {
+                        transition: t,
+                        time: e.time,
+                    });
+                }
+                if e.residual != tau {
+                    return Err(TraceViolation::ResidualMismatch {
+                        transition: t,
+                        time: e.time,
+                        residual: e.residual,
+                        expected: tau,
+                    });
+                }
+                marking.consume_inputs(net, t);
+                in_flight[t.index()] = Some(e.time);
+                if e.time > trace.start_time && e.time <= trace.repeat_time {
+                    window_counts[t.index()] += 1;
+                }
+            }
+            EventKind::Complete => {
+                let Some(started) = in_flight[t.index()].take() else {
+                    return Err(TraceViolation::CompleteWithoutStart {
+                        transition: t,
+                        time: e.time,
+                    });
+                };
+                if e.time != started + tau {
+                    return Err(TraceViolation::WrongLatency {
+                        transition: t,
+                        start: started,
+                        complete: e.time,
+                        expected: tau,
+                    });
+                }
+                marking.produce_outputs(net, t);
+                for &p in net.transition(t).outputs() {
+                    let tokens = marking.tokens(p);
+                    max_tokens = max_tokens.max(tokens);
+                    if tokens > bound {
+                        return Err(TraceViolation::Unsafe {
+                            place: p,
+                            time: e.time,
+                            tokens,
+                            bound,
+                        });
+                    }
+                }
+            }
+        }
+        if e.marking_digest != marking_digest(&marking) {
+            return Err(TraceViolation::DigestMismatch {
+                index,
+                time: e.time,
+            });
+        }
+    }
+    for t in net.transition_ids() {
+        if window_counts[t.index()] == 0 {
+            return Err(TraceViolation::DeadTransition { transition: t });
+        }
+    }
+    Ok(TraceValidation {
+        events_checked: trace.events.len(),
+        max_tokens,
+        bound,
+        period: trace.period().max(1),
+        window_counts,
+    })
+}
+
 /// Result of [`replay_semantics`].
 #[derive(Clone, Debug)]
 pub struct ReplayOutcome {
@@ -295,6 +654,117 @@ mod tests {
         let outcome = replay_semantics(&sdsp, &s, &env, 64).unwrap();
         assert!(outcome.semantics_preserved());
         assert_eq!(outcome.values_checked, 64 * 5);
+    }
+
+    #[test]
+    fn trace_replay_confirms_safety_liveness_and_rate() {
+        let sdsp = l2();
+        let pn = to_petri(&sdsp);
+        let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000).unwrap();
+        let trace = FiringTrace::from_frustum(&pn.net, &pn.marking, &f);
+        let v = replay_trace(&pn.net, &pn.marking, &trace).unwrap();
+        assert!(v.is_safe());
+        assert_eq!(v.events_checked, trace.events.len());
+        let expected = crate::rate::RateReport::for_sdsp_pn(&pn, &f)
+            .unwrap()
+            .measured;
+        v.confirm_rate(pn.net.transition_ids(), expected).unwrap();
+    }
+
+    #[test]
+    fn trace_replay_validates_scp_runs() {
+        let sdsp = l2();
+        let pn = to_petri(&sdsp);
+        let scp = crate::scp::build_scp(&pn, 8);
+        let f = crate::frustum::detect_frustum(
+            &scp.net,
+            scp.marking.clone(),
+            crate::policy::FifoPolicy::new(&scp),
+            100_000,
+        )
+        .unwrap();
+        let trace = FiringTrace::from_scp_frustum(&scp, &f);
+        let v = replay_trace(&scp.net, &scp.marking, &trace).unwrap();
+        assert!(v.is_safe());
+        let expected = crate::rate::ScpRateReport::for_scp(&scp, &f)
+            .unwrap()
+            .measured;
+        v.confirm_rate(scp.sdsp_transitions(), expected).unwrap();
+    }
+
+    #[test]
+    fn tampered_traces_are_rejected() {
+        let sdsp = l2();
+        let pn = to_petri(&sdsp);
+        let f = detect_frustum_eager(&pn.net, pn.marking.clone(), 1_000).unwrap();
+        let good = FiringTrace::from_frustum(&pn.net, &pn.marking, &f);
+
+        // Dropping an event desynchronizes the replayed marking.
+        let mut missing = good.clone();
+        missing.events.remove(2);
+        assert!(replay_trace(&pn.net, &pn.marking, &missing).is_err());
+
+        // Duplicating a start violates non-reentrance or enabledness.
+        let mut dup = good.clone();
+        let first_start = *dup
+            .events
+            .iter()
+            .find(|e| e.kind == tpn_petri::trace::EventKind::Start)
+            .unwrap();
+        dup.events.insert(1, first_start);
+        assert!(matches!(
+            replay_trace(&pn.net, &pn.marking, &dup),
+            Err(TraceViolation::StartWhileBusy { .. })
+                | Err(TraceViolation::StartWithoutTokens { .. })
+        ));
+
+        // Corrupting a digest is caught at exactly that event.
+        let mut bad_digest = good.clone();
+        bad_digest.events[4].marking_digest ^= 1;
+        assert_eq!(
+            replay_trace(&pn.net, &pn.marking, &bad_digest),
+            Err(TraceViolation::DigestMismatch {
+                index: 4,
+                time: bad_digest.events[4].time
+            })
+        );
+
+        // A truncated ring recording refuses replay outright.
+        let mut partial = good.clone();
+        partial.dropped = 7;
+        assert_eq!(
+            replay_trace(&pn.net, &pn.marking, &partial),
+            Err(TraceViolation::Incomplete { dropped: 7 })
+        );
+
+        // Shifting an event's time breaks latency accounting.
+        let mut late = good;
+        let idx = late
+            .events
+            .iter()
+            .position(|e| e.kind == tpn_petri::trace::EventKind::Complete)
+            .unwrap();
+        late.events[idx].time += 1;
+        assert!(matches!(
+            replay_trace(&pn.net, &pn.marking, &late),
+            Err(TraceViolation::WrongLatency { .. }) | Err(TraceViolation::TimeRegression { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_violations_display() {
+        let v = TraceViolation::Incomplete { dropped: 3 };
+        assert!(v.to_string().contains("3 events"));
+        let v = TraceViolation::DeadTransition {
+            transition: tpn_petri::TransitionId::from_index(1),
+        };
+        assert!(v.to_string().contains("never fires"));
+        let v = TraceViolation::RateMismatch {
+            transition: tpn_petri::TransitionId::from_index(0),
+            observed: Ratio::new(1, 2),
+            expected: Ratio::new(1, 3),
+        };
+        assert!(v.to_string().contains("1/2") && v.to_string().contains("1/3"));
     }
 
     #[test]
