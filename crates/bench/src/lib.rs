@@ -23,7 +23,6 @@ use tpn_livermore::Kernel;
 use tpn_petri::rational::Ratio;
 use tpn_sched::bounds::{bd_scp, bd_sdsp};
 use tpn_sched::rate::{RateReport, ScpRateReport};
-use tpn_sched::LoopSchedule;
 
 /// One row of Table 1 (SDSP-PN model).
 #[derive(Clone, Debug, Serialize)]
@@ -169,7 +168,7 @@ pub struct CompareRow {
 pub fn compare_row(kernel: &Kernel) -> Result<CompareRow, Error> {
     use tpn_sched::baseline::BaselineComparison;
     let lp = CompiledLoop::from_source(kernel.source)?;
-    let schedule: LoopSchedule = lp.schedule()?;
+    let schedule = lp.schedule()?;
     let cmp = BaselineComparison::build(lp.sdsp(), schedule.initiation_interval(), &[4]);
     Ok(CompareRow {
         name: kernel.name.to_string(),
@@ -263,7 +262,7 @@ pub fn profile_rows(kernels: &[Kernel], depth: Option<u64>) -> Result<Vec<Profil
             lp.rate_report()?;
             lp.schedule()?;
             if let Some(l) = depth {
-                lp.shared_scp(l)?;
+                lp.scp(l)?;
             }
             Ok(ProfileRow {
                 kernel: k.name.to_string(),
@@ -290,7 +289,7 @@ pub fn profile_sdsp_rows(cases: &[(String, tpn_dataflow::Sdsp)]) -> Result<Vec<P
                 sdsp.clone(),
                 tpn::CompileOptions::new().profile(true),
             );
-            lp.shared_frustum()?;
+            lp.frustum()?;
             Ok(ProfileRow {
                 kernel: name.clone(),
                 profile: lp.metrics_report(),

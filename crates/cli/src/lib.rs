@@ -28,6 +28,8 @@
 //! parser and [`usage`] are derived. All logic lives here so it can be
 //! unit-tested; `main.rs` only forwards `std::env::args` and prints.
 
+pub mod serve;
+
 use std::fmt::Write as _;
 
 use serde::Serialize;
@@ -68,6 +70,18 @@ pub struct Invocation {
     pub trace_path: Option<String>,
     /// `--jobs N`: worker threads for multiple inputs.
     pub jobs: Option<usize>,
+    /// `--socket PATH` (serve): listen on a Unix-domain socket instead
+    /// of stdin/stdout.
+    pub socket: Option<String>,
+    /// `--self-test` (serve): run the in-process soak client instead of
+    /// listening.
+    pub self_test: bool,
+    /// `--requests N` (serve --self-test): soak request count.
+    pub requests: u64,
+    /// `--queue N` (serve): admission queue capacity.
+    pub queue: Option<usize>,
+    /// `--cache W` (serve): result-cache weight capacity.
+    pub cache: Option<u64>,
 }
 
 impl Invocation {
@@ -114,6 +128,9 @@ pub enum Command {
     Acode,
     /// Replay-validated firing-event timeline.
     Trace,
+    /// Long-running compile service (NDJSON over stdin/stdout or a
+    /// Unix-domain socket).
+    Serve,
 }
 
 /// One row of the option table: a flag, its value placeholder (if it
@@ -216,13 +233,62 @@ pub static OPTIONS: &[OptSpec] = &[
             Ok(())
         },
     },
+    OptSpec {
+        flag: "--socket",
+        value: Some("PATH"),
+        help: "listen on a Unix-domain socket instead of stdin/stdout (serve)",
+        apply: |inv, v| {
+            inv.socket = Some(v.unwrap().to_string());
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--self-test",
+        value: None,
+        help: "run the in-process soak client and print a summary (serve)",
+        apply: |inv, _| {
+            inv.self_test = true;
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--requests",
+        value: Some("N"),
+        help: "soak request count (serve --self-test; default 240)",
+        apply: |inv, v| {
+            inv.requests = parse_value("--requests", v.unwrap())?;
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--queue",
+        value: Some("N"),
+        help: "admission queue capacity (serve; default 64)",
+        apply: |inv, v| {
+            let n: usize = parse_value("--queue", v.unwrap())?;
+            if n == 0 {
+                return Err("--queue must be at least 1".to_string());
+            }
+            inv.queue = Some(n);
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--cache",
+        value: Some("W"),
+        help: "result-cache weight capacity (serve; default 4096)",
+        apply: |inv, v| {
+            inv.cache = Some(parse_value("--cache", v.unwrap())?);
+            Ok(())
+        },
+    },
 ];
 
 /// The usage text, generated from the subcommand list and
 /// [`static@OPTIONS`].
 pub fn usage() -> String {
     let mut s = String::from(
-        "usage: tpnc <analyze|schedule|emit|dot|behavior|storage|acode|trace> <file|-> [<file> ...]",
+        "usage: tpnc <analyze|schedule|emit|dot|behavior|storage|acode|trace> <file|-> [<file> ...]\n       tpnc serve [--socket PATH | --self-test]",
     );
     for opt in OPTIONS {
         match opt.value {
@@ -256,6 +322,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
         Some("storage") => Command::Storage,
         Some("acode") => Command::Acode,
         Some("trace") => Command::Trace,
+        Some("serve") => Command::Serve,
         Some(other) => return Err(format!("unknown command {other:?}\n{}", usage())),
         None => return Err(usage()),
     };
@@ -270,6 +337,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
         profile: false,
         trace_path: None,
         jobs: None,
+        socket: None,
+        self_test: false,
+        requests: 240,
+        queue: None,
+        cache: None,
     };
     while let Some(arg) = args.next() {
         if let Some(spec) = OPTIONS.iter().find(|o| o.flag == arg) {
@@ -287,8 +359,22 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
             invocation.inputs.push(arg);
         }
     }
-    if invocation.inputs.is_empty() {
-        return Err(format!("missing input file\n{}", usage()));
+    if invocation.command == Command::Serve {
+        // `serve` is the zero-input subcommand: it reads requests, not
+        // loop files.
+        if !invocation.inputs.is_empty() {
+            return Err(format!("serve takes no input files\n{}", usage()));
+        }
+    } else {
+        if invocation.inputs.is_empty() {
+            return Err(format!("missing input file\n{}", usage()));
+        }
+        if invocation.socket.is_some() || invocation.self_test {
+            return Err(format!(
+                "--socket and --self-test apply to serve only\n{}",
+                usage()
+            ));
+        }
     }
     if invocation.trace_path.is_some() {
         if !matches!(
@@ -479,7 +565,7 @@ fn execute_text(invocation: &Invocation, lp: &CompiledLoop) -> Result<String, St
             }
         }
         Command::Behavior => {
-            let frustum = lp.shared_frustum().map_err(|e| e.to_string())?;
+            let frustum = lp.frustum().map_err(|e| e.to_string())?;
             let pn = lp.petri_net();
             let bg = BehaviorGraph::build(&pn.net, &pn.marking, &frustum.steps);
             out.push_str(&bg.render(&pn.net));
@@ -506,7 +592,8 @@ fn execute_text(invocation: &Invocation, lp: &CompiledLoop) -> Result<String, St
                     report.locations_after
                 );
             } else {
-                let (_, report) = lp.minimize_storage().map_err(|e| e.to_string())?;
+                let run = lp.storage().map_err(|e| e.to_string())?;
+                let report = &run.report;
                 let _ = writeln!(
                     out,
                     "minimised: storage {} -> {} locations (saving {}), rate {}",
@@ -522,6 +609,7 @@ fn execute_text(invocation: &Invocation, lp: &CompiledLoop) -> Result<String, St
             out.push_str(&trace.chrome_trace_json());
             out.push('\n');
         }
+        Command::Serve => return Err("serve does not take input files".to_string()),
     }
     Ok(out)
 }
@@ -565,31 +653,11 @@ fn emit_program(
     }
 }
 
-#[derive(Serialize)]
-struct AnalyzeJson {
-    file: Option<String>,
-    command: String,
-    size: usize,
-    input_arrays: Vec<String>,
-    params: Vec<String>,
-    critical_cycle: Vec<String>,
-    cycle_time: String,
-    optimal_rate: String,
-    storage_locations: usize,
-}
-
-#[derive(Serialize)]
-struct ScheduleJson {
-    file: Option<String>,
-    command: String,
-    scp_depth: Option<u64>,
-    initiation_interval: String,
-    period: u64,
-    iterations_per_period: u64,
-    rate: Option<String>,
-    utilization: Option<String>,
-    kernel: String,
-}
+// The analyze / schedule / storage rows are the service protocol's
+// payloads (`tpn_service::protocol::{AnalyzeJson, ScheduleJson,
+// StorageJson}`), imported so `tpnc <cmd> --format json` and a `tpnc
+// serve` response carry byte-identical payloads. Rows for commands the
+// service does not speak stay local.
 
 #[derive(Serialize)]
 struct EmitJson {
@@ -618,17 +686,6 @@ struct BehaviorJson {
     repeat_time: u64,
     period: u64,
     graph: String,
-}
-
-#[derive(Serialize)]
-struct StorageJson {
-    file: Option<String>,
-    command: String,
-    mode: String,
-    locations_before: usize,
-    locations_after: usize,
-    rate_before: Option<String>,
-    rate_after: String,
 }
 
 #[derive(Serialize)]
@@ -662,50 +719,13 @@ fn execute_json(
     let file = file.map(String::from);
     match invocation.command {
         Command::Analyze => {
-            let a = lp.analyze().map_err(|e| e.to_string())?;
-            to_json_line(&AnalyzeJson {
-                file,
-                command: "analyze".into(),
-                size: lp.size(),
-                input_arrays: lp.sdsp().input_arrays(),
-                params: lp.sdsp().params(),
-                critical_cycle: a.critical_nodes,
-                cycle_time: a.cycle_time.to_string(),
-                optimal_rate: a.optimal_rate.to_string(),
-                storage_locations: lp.sdsp().storage_locations(),
-            })
+            let row =
+                tpn_service::protocol::analyze_payload(lp, file).map_err(|e| e.to_string())?;
+            to_json_line(&row)
         }
         Command::Schedule => {
-            let row = match invocation.scp_depth {
-                None => {
-                    let s = lp.schedule().map_err(|e| e.to_string())?;
-                    ScheduleJson {
-                        file,
-                        command: "schedule".into(),
-                        scp_depth: None,
-                        initiation_interval: s.initiation_interval().to_string(),
-                        period: s.period(),
-                        iterations_per_period: s.iterations_per_period(),
-                        rate: None,
-                        utilization: None,
-                        kernel: s.render_kernel(),
-                    }
-                }
-                Some(depth) => {
-                    let run = lp.scp(depth).map_err(|e| e.to_string())?;
-                    ScheduleJson {
-                        file,
-                        command: "schedule".into(),
-                        scp_depth: Some(depth),
-                        initiation_interval: run.schedule.initiation_interval().to_string(),
-                        period: run.schedule.period(),
-                        iterations_per_period: run.schedule.iterations_per_period(),
-                        rate: Some(run.rates.measured.to_string()),
-                        utilization: Some(run.rates.utilization.to_string()),
-                        kernel: run.schedule.render_kernel(),
-                    }
-                }
-            };
+            let row = tpn_service::protocol::schedule_payload(lp, invocation.scp_depth, file)
+                .map_err(|e| e.to_string())?;
             to_json_line(&row)
         }
         Command::Emit => {
@@ -735,7 +755,7 @@ fn execute_json(
             })
         }
         Command::Behavior => {
-            let frustum = lp.shared_frustum().map_err(|e| e.to_string())?;
+            let frustum = lp.frustum().map_err(|e| e.to_string())?;
             let pn = lp.petri_net();
             let bg = BehaviorGraph::build(&pn.net, &pn.marking, &frustum.steps);
             to_json_line(&BehaviorJson {
@@ -755,7 +775,7 @@ fn execute_json(
         Command::Storage => {
             let row = if invocation.balance {
                 let (_, report) = lp.balance().map_err(|e| e.to_string())?;
-                StorageJson {
+                tpn_service::protocol::StorageJson {
                     file,
                     command: "storage".into(),
                     mode: "balance".into(),
@@ -765,16 +785,7 @@ fn execute_json(
                     rate_after: report.rate_after.to_string(),
                 }
             } else {
-                let (_, report) = lp.minimize_storage().map_err(|e| e.to_string())?;
-                StorageJson {
-                    file,
-                    command: "storage".into(),
-                    mode: "minimize".into(),
-                    locations_before: report.before,
-                    locations_after: report.after,
-                    rate_before: None,
-                    rate_after: report.cycle_time.recip().to_string(),
-                }
+                tpn_service::protocol::storage_payload(lp, file).map_err(|e| e.to_string())?
             };
             to_json_line(&row)
         }
@@ -782,6 +793,7 @@ fn execute_json(
             let trace = validated_trace(invocation, lp)?;
             Ok(trace.jsonl())
         }
+        Command::Serve => Err("serve does not take input files".to_string()),
     }
 }
 
@@ -842,6 +854,33 @@ mod tests {
         assert!(parse_args(args("analyze a --jobs 0")).is_err());
         assert!(parse_args(args("analyze a --trace t.json")).is_err());
         assert!(parse_args(args("behavior a b --trace t.json")).is_err());
+    }
+
+    #[test]
+    fn serve_is_the_zero_input_subcommand() {
+        // serve takes no input files, so the missing-input check (and
+        // the NoInputError path behind it) must not fire.
+        let inv = parse_args(args("serve")).unwrap();
+        assert_eq!(inv.command, Command::Serve);
+        assert!(inv.inputs.is_empty());
+        assert_eq!(inv.input(), Err(NoInputError));
+
+        let inv = parse_args(args("serve --self-test --requests 300 --jobs 4")).unwrap();
+        assert!(inv.self_test);
+        assert_eq!(inv.requests, 300);
+        assert_eq!(inv.jobs, Some(4));
+        let inv = parse_args(args("serve --socket /tmp/t.sock --queue 8 --cache 128")).unwrap();
+        assert_eq!(inv.socket.as_deref(), Some("/tmp/t.sock"));
+        assert_eq!(inv.queue, Some(8));
+        assert_eq!(inv.cache, Some(128));
+
+        // serve rejects inputs; other subcommands still require one and
+        // reject the serve-only flags.
+        assert!(parse_args(args("serve a.loop")).is_err());
+        assert!(parse_args(args("serve --queue 0")).is_err());
+        assert!(parse_args(args("analyze")).is_err());
+        assert!(parse_args(args("analyze a --self-test")).is_err());
+        assert!(parse_args(args("analyze a --socket /tmp/t.sock")).is_err());
     }
 
     #[test]

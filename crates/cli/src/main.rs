@@ -11,6 +11,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if invocation.command == tpn_cli::Command::Serve {
+        return match tpn_cli::serve::run(&invocation) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let mut sources = Vec::with_capacity(invocation.inputs.len());
     for input in &invocation.inputs {
         let source = if input == "-" {

@@ -1,0 +1,446 @@
+//! `tpnc serve`: the long-running front-end over [`tpn_service`].
+//!
+//! Requests are newline-delimited JSON objects (see
+//! [`tpn_service::protocol`]); responses come back one per line, in
+//! completion order, each echoing the request's `id`. The front-end
+//! speaks stdin/stdout by default, a Unix-domain socket with
+//! `--socket PATH` (one protocol stream per connection), and runs the
+//! in-process soak client with `--self-test`.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+use serde::Serialize;
+use tpn_service::protocol::{self, Request, Verb};
+use tpn_service::{metrics_response, Canceller, Service, ServiceConfig};
+
+use crate::Invocation;
+
+/// Builds the service configuration from the invocation's flags
+/// (`--jobs` workers, `--queue` capacity, `--cache` weight).
+fn config(invocation: &Invocation) -> ServiceConfig {
+    let mut config = ServiceConfig::default();
+    if let Some(jobs) = invocation.jobs {
+        config.workers = jobs;
+    }
+    if let Some(queue) = invocation.queue {
+        config.queue_capacity = queue;
+    }
+    if let Some(cache) = invocation.cache {
+        config.cache_capacity = cache;
+    }
+    config
+}
+
+/// Entry point of `tpnc serve`.
+///
+/// # Errors
+///
+/// Socket/bind and I/O failures, or (in `--self-test` mode) a summary
+/// of any soak failure.
+pub fn run(invocation: &Invocation) -> Result<(), String> {
+    if invocation.self_test {
+        return self_test(invocation);
+    }
+    let service = Arc::new(Service::start(config(invocation)));
+    match &invocation.socket {
+        Some(path) => serve_socket(&service, path),
+        None => {
+            let stdin = std::io::stdin();
+            serve_stream(&service, stdin.lock(), std::io::stdout())
+        }
+    }
+}
+
+/// Serves one protocol stream: reads request lines from `reader` until
+/// EOF, writes response lines to `writer` in completion order.
+fn serve_stream<R: BufRead, W: Write + Send + 'static>(
+    service: &Arc<Service>,
+    reader: R,
+    writer: W,
+) -> Result<(), String> {
+    let (tx, rx) = mpsc::channel::<String>();
+    let mut writer_thread = Some(std::thread::spawn(move || -> Result<(), String> {
+        let mut writer = writer;
+        for line in rx {
+            writeln!(writer, "{line}").map_err(|e| format!("error writing response: {e}"))?;
+            writer
+                .flush()
+                .map_err(|e| format!("error writing response: {e}"))?;
+        }
+        Ok(())
+    }));
+    let in_flight: Arc<Mutex<HashMap<u64, Canceller>>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut result = Ok(());
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                result = Err(format!("error reading request: {e}"));
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let send = dispatch(service, &in_flight, &tx, &line);
+        if send.is_err() {
+            // The writer is gone (broken pipe); stop reading.
+            break;
+        }
+    }
+    drop(tx);
+    // In-flight requests drain through their waiter threads, which hold
+    // tx clones; the writer thread exits once the last one finishes.
+    if let Some(handle) = writer_thread.take() {
+        match handle.join() {
+            Ok(write_result) => result = result.and(write_result),
+            Err(_) => result = result.and(Err("response writer panicked".to_string())),
+        }
+    }
+    result
+}
+
+/// Parses and routes one request line. The returned error means the
+/// response channel is closed.
+fn dispatch(
+    service: &Arc<Service>,
+    in_flight: &Arc<Mutex<HashMap<u64, Canceller>>>,
+    tx: &mpsc::Sender<String>,
+    line: &str,
+) -> Result<(), mpsc::SendError<String>> {
+    let request = match protocol::parse_request(line) {
+        Ok(request) => request,
+        Err(message) => {
+            // Best effort to echo the id even when the request is
+            // malformed beyond it.
+            let id = protocol::parse_json(line)
+                .ok()
+                .and_then(|v| match v.get("id") {
+                    Some(protocol::JsonValue::Num(n)) if *n >= 0.0 => Some(*n as u64),
+                    _ => None,
+                })
+                .unwrap_or(0);
+            return tx.send(protocol::error_line(
+                id,
+                None,
+                "bad_request",
+                &message,
+                None,
+            ));
+        }
+    };
+    match request.verb {
+        Verb::Metrics => tx.send(metrics_response(service, request.id).line),
+        Verb::Cancel => {
+            let target = request.target.expect("protocol validated cancel target");
+            let delivered = match in_flight.lock().expect("in-flight table").get(&target) {
+                Some(canceller) => {
+                    canceller.cancel();
+                    true
+                }
+                None => false,
+            };
+            tx.send(protocol::ok_line(
+                request.id,
+                Verb::Cancel,
+                &format!("{{\"target\":{target},\"in_flight\":{delivered}}}"),
+            ))
+        }
+        _ => {
+            let id = request.id;
+            match service.submit(request) {
+                Err(overloaded) => tx.send(protocol::error_line(
+                    id,
+                    None,
+                    "overloaded",
+                    &overloaded.to_string(),
+                    Some(overloaded.depth),
+                )),
+                Ok(ticket) => {
+                    in_flight
+                        .lock()
+                        .expect("in-flight table")
+                        .insert(id, ticket.canceller());
+                    let tx = tx.clone();
+                    let in_flight = in_flight.clone();
+                    // In-flight count is bounded by the queue capacity
+                    // plus the worker pool, so waiter threads are too.
+                    std::thread::spawn(move || {
+                        let response = ticket.wait();
+                        in_flight.lock().expect("in-flight table").remove(&id);
+                        let _ = tx.send(response.line);
+                    });
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+fn serve_socket(service: &Arc<Service>, path: &str) -> Result<(), String> {
+    use std::os::unix::net::UnixListener;
+
+    // A stale socket file from a previous run would fail the bind.
+    if std::fs::metadata(path).is_ok() {
+        std::fs::remove_file(path).map_err(|e| format!("error removing stale {path}: {e}"))?;
+    }
+    let listener =
+        UnixListener::bind(path).map_err(|e| format!("error binding socket {path}: {e}"))?;
+    eprintln!("tpnc serve: listening on {path}");
+    for stream in listener.incoming() {
+        let stream = stream.map_err(|e| format!("error accepting connection: {e}"))?;
+        let service = service.clone();
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stream.try_clone().expect("clone socket stream"));
+            if let Err(e) = serve_stream(&service, reader, stream) {
+                eprintln!("tpnc serve: connection error: {e}");
+            }
+        });
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_service: &Arc<Service>, _path: &str) -> Result<(), String> {
+    Err("--socket requires a Unix platform".to_string())
+}
+
+// ---------------------------------------------------------------------------
+// --self-test: the in-process soak client.
+// ---------------------------------------------------------------------------
+
+/// The soak summary printed (as one JSON line) by `serve --self-test`.
+#[derive(Serialize)]
+struct SelfTestJson {
+    command: String,
+    workers: usize,
+    requests: u64,
+    distinct_keys: usize,
+    errors: u64,
+    overloaded_typed: u64,
+    identity_checks: usize,
+    hit_rate: f64,
+    p50_micros: u64,
+    p99_micros: u64,
+}
+
+/// A pool of distinct loop sources (1–3 nodes) for the soak.
+fn source_pool(distinct: usize) -> Vec<String> {
+    (0..distinct)
+        .map(|i| {
+            let nodes = i % 3 + 1;
+            let body: String = (0..nodes)
+                .map(|j| format!("X{j}[i] := X{j}[i-1] + {}; ", i + 1))
+                .collect();
+            format!("do i from 2 to n {{ {body}}}")
+        })
+        .collect()
+}
+
+fn soak_request(id: u64, pool: &[String]) -> Request {
+    let verb_cycle = [
+        (Verb::Analyze, None),
+        (Verb::Schedule, None),
+        (Verb::Rate, None),
+        (Verb::Scp, Some(2)),
+        (Verb::Trace, None),
+        (Verb::Storage, None),
+    ];
+    let (verb, depth) = verb_cycle[id as usize % verb_cycle.len()];
+    Request {
+        id,
+        verb,
+        source: pool[id as usize % pool.len()].clone(),
+        depth,
+        options: tpn::CompileOptions::new(),
+        deadline_ms: None,
+        target: None,
+    }
+}
+
+fn self_test(invocation: &Invocation) -> Result<(), String> {
+    let mut config = config(invocation);
+    config.workers = config.workers.max(4);
+    let requests = invocation.requests.max(200);
+    // A quarter as many distinct keys as requests: every key repeats
+    // about four times, comfortably past the ≥50 % repeat target.
+    let pool = source_pool((requests as usize / 4).max(1));
+    let service = Service::start(config);
+
+    // Phase 1: cached/uncached byte-identity for every protocol verb.
+    // The first call compiles, the second hits the cache; both lines
+    // (same id, so the whole envelope) must be byte-identical.
+    let mut identity_checks = 0;
+    for (verb, depth) in [
+        (Verb::Analyze, None),
+        (Verb::Schedule, None),
+        (Verb::Schedule, Some(2)),
+        (Verb::Rate, None),
+        (Verb::Rate, Some(2)),
+        (Verb::Scp, Some(2)),
+        (Verb::Trace, None),
+        (Verb::Trace, Some(2)),
+        (Verb::Storage, None),
+    ] {
+        let request = Request {
+            id: 1_000_000 + identity_checks as u64,
+            verb,
+            source: "do i from 2 to n { A[i] := A[i-1] + B[i]; C[i] := A[i] * 2; }".into(),
+            depth,
+            options: tpn::CompileOptions::new(),
+            deadline_ms: None,
+            target: None,
+        };
+        let uncached = service
+            .call(request.clone())
+            .map_err(|e| format!("identity check overloaded: {e}"))?;
+        let cached = service
+            .call(request)
+            .map_err(|e| format!("identity check overloaded: {e}"))?;
+        if !uncached.ok || !cached.ok {
+            return Err(format!(
+                "identity check failed for {:?}: {}",
+                verb.as_str(),
+                if uncached.ok {
+                    &cached.line
+                } else {
+                    &uncached.line
+                }
+            ));
+        }
+        if uncached.line != cached.line {
+            return Err(format!(
+                "cached response differs from uncached for {:?}:\n  uncached: {}\n  cached:   {}",
+                verb.as_str(),
+                uncached.line,
+                cached.line
+            ));
+        }
+        identity_checks += 1;
+    }
+
+    // Phase 2: typed backpressure. A single-worker service with a
+    // capacity-1 queue must reject a burst with Overloaded, not hang.
+    let tiny = Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServiceConfig::default()
+    });
+    let mut overloaded_typed = 0u64;
+    let mut tickets = Vec::new();
+    for id in 0..16 {
+        match tiny.submit(soak_request(id, &pool)) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(overloaded) => {
+                assert!(overloaded.capacity == 1);
+                overloaded_typed += 1;
+            }
+        }
+    }
+    for ticket in tickets {
+        ticket.wait();
+    }
+    if overloaded_typed == 0 {
+        return Err("backpressure check: a 16-request burst never tripped Overloaded".into());
+    }
+    drop(tiny);
+
+    // Phase 3: the mixed soak, driven from `workers` client threads.
+    let ids: Vec<u64> = (0..requests).collect();
+    let errors: u64 = tpn::batch::parallel_map(&ids, config.workers, |_, &id| {
+        // call() blocks, so at most `workers` requests are in flight
+        // and the queue cannot overflow.
+        match service.call(soak_request(id, &pool)) {
+            Ok(response) if response.ok => 0u64,
+            _ => 1u64,
+        }
+    })
+    .into_iter()
+    .sum();
+
+    let counters = service.counters();
+    let summary = SelfTestJson {
+        command: "serve-self-test".into(),
+        workers: config.workers,
+        requests,
+        distinct_keys: pool.len(),
+        errors,
+        overloaded_typed,
+        identity_checks,
+        hit_rate: counters.cache.hit_rate(),
+        p50_micros: counters.p50_micros,
+        p99_micros: counters.p99_micros,
+    };
+    println!(
+        "{}",
+        serde_json::to_string(&summary).map_err(|e| e.to_string())?
+    );
+    if errors > 0 {
+        return Err(format!("soak finished with {errors} errors"));
+    }
+    if summary.hit_rate <= 0.4 {
+        return Err(format!(
+            "soak hit rate {:.3} did not exceed 0.4",
+            summary.hit_rate
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_stream_round_trips_requests() {
+        let service = Arc::new(Service::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        }));
+        let input = concat!(
+            "{\"id\":1,\"verb\":\"analyze\",\"source\":\"do i from 2 to n { X[i] := X[i-1] + 1; }\"}\n",
+            "\n",
+            "not json\n",
+            "{\"id\":2,\"verb\":\"metrics\"}\n",
+            "{\"id\":3,\"verb\":\"cancel\",\"target\":99}\n",
+        );
+        let output = Arc::new(Mutex::new(Vec::new()));
+
+        struct SharedWriter(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("writer lock").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        serve_stream(&service, input.as_bytes(), SharedWriter(output.clone())).unwrap();
+        let written = output.lock().expect("writer lock").clone();
+        let text = String::from_utf8(written).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "blank line skipped, four responses: {text}");
+        for line in &lines {
+            protocol::parse_json(line).expect("responses are valid JSON");
+        }
+        assert!(text.contains("\"kind\":\"bad_request\""));
+        assert!(text.contains("\"verb\":\"analyze\""));
+        assert!(text.contains("\"verb\":\"metrics\""));
+        assert!(text.contains("\"in_flight\":false"));
+    }
+
+    #[test]
+    fn self_test_passes_at_minimum_scale() {
+        let mut invocation = crate::parse_args(["serve".to_string(), "--self-test".to_string()])
+            .expect("serve parses without inputs");
+        invocation.jobs = Some(4);
+        invocation.requests = 200;
+        self_test(&invocation).expect("self-test soak succeeds");
+    }
+}

@@ -72,7 +72,11 @@ impl std::error::Error for BatchPanic {}
 /// The raw payload of a caught panic.
 type Payload = Box<dyn std::any::Any + Send + 'static>;
 
-fn payload_message(payload: &Payload) -> String {
+/// Stringifies a caught panic payload: `&str` and `String` payloads are
+/// carried verbatim, anything else becomes a placeholder. Shared with
+/// the service layer's worker pool, which isolates per-request panics
+/// the same way this pool isolates per-item ones.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -80,6 +84,10 @@ fn payload_message(payload: &Payload) -> String {
     } else {
         "non-string panic payload".to_string()
     }
+}
+
+fn payload_message(payload: &Payload) -> String {
+    panic_message(payload.as_ref())
 }
 
 /// Work-stealing core shared by every public map flavour: applies `f`
@@ -321,8 +329,8 @@ impl Batch {
 /// surface (cheaply) when the stage accessor is called.
 fn warm(lp: &CompiledLoop) {
     let _ = lp.analyze();
-    if lp.shared_frustum().is_ok() {
-        let _ = lp.shared_schedule();
+    if lp.frustum().is_ok() {
+        let _ = lp.schedule();
         let _ = lp.rate_report();
     }
 }

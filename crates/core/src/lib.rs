@@ -256,31 +256,107 @@ impl CompileOptions {
     }
 
     /// The configured uniform node time, if any.
-    pub fn node_time_override(&self) -> Option<u64> {
+    ///
+    /// Getters mirror the fluent setters with a `get_` prefix (the std
+    /// convention when the bare name is taken by a setter); every
+    /// configuration field follows this one scheme.
+    pub fn get_node_time(&self) -> Option<u64> {
         self.node_time
     }
 
-    /// Whether live firing-event tracing is enabled.
-    pub fn tracing_enabled(&self) -> bool {
-        self.trace
-    }
-
-    /// The configured recorder capacity, if any.
-    pub fn trace_capacity_override(&self) -> Option<usize> {
-        self.trace_capacity
-    }
-
     /// The configured step budget, if any.
-    pub fn step_budget_override(&self) -> Option<u64> {
+    pub fn get_step_budget(&self) -> Option<u64> {
         self.step_budget
     }
 
     /// The configured SCP issue policy.
-    pub fn scp_issue_policy(&self) -> IssuePolicy {
+    pub fn get_issue_policy(&self) -> IssuePolicy {
         self.issue_policy
     }
 
     /// Whether stage-span profiling is enabled.
+    pub fn get_profile(&self) -> bool {
+        self.profile
+    }
+
+    /// Whether live firing-event tracing is enabled.
+    pub fn get_trace(&self) -> bool {
+        self.trace
+    }
+
+    /// The configured recorder capacity, if any.
+    pub fn get_trace_capacity(&self) -> Option<usize> {
+        self.trace_capacity
+    }
+
+    /// A stable 64-bit fingerprint of every configuration field, for use
+    /// in content-addressed cache keys: two option sets fingerprint
+    /// equally iff they compile loops identically (including whether a
+    /// live trace is recorded). FNV-1a over a canonical field encoding,
+    /// stable across processes and platforms.
+    pub fn fingerprint(&self) -> u64 {
+        fn eat(h: u64, byte: u8) -> u64 {
+            (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3)
+        }
+        // Tag each optional field with a presence byte so `None` and
+        // `Some(0)` hash apart.
+        fn eat_opt(mut h: u64, v: Option<u64>) -> u64 {
+            match v {
+                None => eat(h, 0),
+                Some(v) => {
+                    h = eat(h, 1);
+                    v.to_le_bytes().into_iter().fold(h, eat)
+                }
+            }
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325;
+        h = eat_opt(h, self.node_time);
+        h = eat_opt(h, self.step_budget);
+        h = eat(
+            h,
+            match self.issue_policy {
+                IssuePolicy::Fifo => 0,
+                IssuePolicy::Priority => 1,
+            },
+        );
+        h = eat(h, u8::from(self.profile));
+        h = eat(h, u8::from(self.trace));
+        h = eat_opt(h, self.trace_capacity.map(|v| v as u64));
+        h
+    }
+
+    /// Deprecated alias of [`get_node_time`](Self::get_node_time).
+    #[deprecated(since = "0.1.0", note = "renamed to get_node_time")]
+    pub fn node_time_override(&self) -> Option<u64> {
+        self.node_time
+    }
+
+    /// Deprecated alias of [`get_trace`](Self::get_trace).
+    #[deprecated(since = "0.1.0", note = "renamed to get_trace")]
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace
+    }
+
+    /// Deprecated alias of [`get_trace_capacity`](Self::get_trace_capacity).
+    #[deprecated(since = "0.1.0", note = "renamed to get_trace_capacity")]
+    pub fn trace_capacity_override(&self) -> Option<usize> {
+        self.trace_capacity
+    }
+
+    /// Deprecated alias of [`get_step_budget`](Self::get_step_budget).
+    #[deprecated(since = "0.1.0", note = "renamed to get_step_budget")]
+    pub fn step_budget_override(&self) -> Option<u64> {
+        self.step_budget
+    }
+
+    /// Deprecated alias of [`get_issue_policy`](Self::get_issue_policy).
+    #[deprecated(since = "0.1.0", note = "renamed to get_issue_policy")]
+    pub fn scp_issue_policy(&self) -> IssuePolicy {
+        self.issue_policy
+    }
+
+    /// Deprecated alias of [`get_profile`](Self::get_profile).
+    #[deprecated(since = "0.1.0", note = "renamed to get_profile")]
     pub fn profiling_enabled(&self) -> bool {
         self.profile
     }
@@ -314,7 +390,7 @@ struct Caches {
     rates: OnceLock<Result<RateReport, Error>>,
     scp: Mutex<HashMap<u64, Result<Arc<ScpRun>, Error>>>,
     steady: OnceLock<Result<Arc<SteadyStateNet>, Error>>,
-    storage: OnceLock<Result<(Sdsp, StorageReport), Error>>,
+    storage: OnceLock<Result<Arc<StorageRun>, Error>>,
     balance: OnceLock<Result<(Sdsp, BalanceReport), Error>>,
 }
 
@@ -360,6 +436,19 @@ pub struct CompiledLoop {
     options: CompileOptions,
     profiler: Option<Arc<metrics::Profiler>>,
     caches: Caches,
+}
+
+/// The outcome of the §6 storage optimiser on a compiled loop (see
+/// [`CompiledLoop::storage`]): the optimised loop plus the merge report,
+/// memoized and `Arc`-shared like every other stage artifact.
+#[derive(Clone, Debug)]
+pub struct StorageRun {
+    /// The storage-minimised loop, compiled with the source loop's
+    /// options. Its own stage caches are shared by all holders of this
+    /// run, so scheduling the optimised loop is also computed once.
+    pub optimised: CompiledLoop,
+    /// The merge report (§6's before/after location counts).
+    pub report: StorageReport,
 }
 
 /// An SCP (single-clean-pipeline) execution of a compiled loop.
@@ -526,11 +615,25 @@ impl CompiledLoop {
     /// ([`schedule`](Self::schedule), [`rate_report`](Self::rate_report),
     /// [`emit`](Self::emit), …).
     ///
+    /// Every artifact accessor on `CompiledLoop` returns an
+    /// `Arc`-shared result: repeated calls (and clones of the loop)
+    /// hand out the same allocation, so services can cache compiled
+    /// loops and share their artifacts across threads without copying.
+    /// Call `(*lp.frustum()?).clone()` if an owned value is really
+    /// needed.
+    ///
     /// # Errors
     ///
     /// [`Error::Sched`] if the budget is exhausted (or the net deadlocks).
-    pub fn shared_frustum(&self) -> Result<Arc<FrustumReport>, Error> {
+    pub fn frustum(&self) -> Result<Arc<FrustumReport>, Error> {
         self.frustum_entry().map(|(f, _)| f)
+    }
+
+    /// Deprecated alias of [`frustum`](Self::frustum) from the era when
+    /// `frustum()` returned an owned copy.
+    #[deprecated(since = "0.1.0", note = "frustum() now returns Arc; use it directly")]
+    pub fn shared_frustum(&self) -> Result<Arc<FrustumReport>, Error> {
+        self.frustum()
     }
 
     /// The effective recorder capacity for a net with `transitions`
@@ -614,13 +717,13 @@ impl CompiledLoop {
     ///
     /// # Errors
     ///
-    /// Same as [`shared_scp`](Self::shared_scp).
+    /// Same as [`scp`](Self::scp).
     ///
     /// # Panics
     ///
     /// Panics if `depth == 0`.
     pub fn scp_trace(&self, depth: u64) -> Result<Arc<FiringTrace>, Error> {
-        let run = self.shared_scp(depth)?;
+        let run = self.scp(depth)?;
         Ok(match &run.trace {
             Some(trace) => trace.clone(),
             None => Arc::new(self.span("trace_derivation", || {
@@ -678,7 +781,7 @@ impl CompiledLoop {
     ///
     /// Panics if `depth == 0`.
     pub fn validate_scp_trace(&self, depth: u64) -> Result<TraceValidation, Error> {
-        let run = self.shared_scp(depth)?;
+        let run = self.scp(depth)?;
         let trace = self.scp_trace(depth)?;
         let validation = self
             .span("trace_validation", || {
@@ -691,26 +794,17 @@ impl CompiledLoop {
         Ok(validation)
     }
 
-    /// Owned-copy convenience over [`shared_frustum`](Self::shared_frustum).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`shared_frustum`](Self::shared_frustum).
-    pub fn frustum(&self) -> Result<FrustumReport, Error> {
-        self.shared_frustum().map(|f| (*f).clone())
-    }
-
     /// The time-optimal software-pipelining schedule, derived once from
-    /// the shared frustum.
+    /// the shared frustum and `Arc`-shared by every caller.
     ///
     /// # Errors
     ///
     /// [`Error::Sched`] on detection or derivation failure.
-    pub fn shared_schedule(&self) -> Result<Arc<LoopSchedule>, Error> {
+    pub fn schedule(&self) -> Result<Arc<LoopSchedule>, Error> {
         self.caches
             .schedule
             .get_or_init(|| {
-                let f = self.shared_frustum()?;
+                let f = self.frustum()?;
                 let schedule = self.span("schedule_derivation", || {
                     LoopSchedule::from_frustum(&self.sdsp, &self.pn, &f)
                 })?;
@@ -719,13 +813,11 @@ impl CompiledLoop {
             .clone()
     }
 
-    /// Owned-copy convenience over [`shared_schedule`](Self::shared_schedule).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`shared_schedule`](Self::shared_schedule).
-    pub fn schedule(&self) -> Result<LoopSchedule, Error> {
-        self.shared_schedule().map(|s| (*s).clone())
+    /// Deprecated alias of [`schedule`](Self::schedule) from the era when
+    /// `schedule()` returned an owned copy.
+    #[deprecated(since = "0.1.0", note = "schedule() now returns Arc; use it directly")]
+    pub fn shared_schedule(&self) -> Result<Arc<LoopSchedule>, Error> {
+        self.schedule()
     }
 
     /// Measures the frustum rate against the critical-cycle bound.
@@ -738,14 +830,15 @@ impl CompiledLoop {
         self.caches
             .rates
             .get_or_init(|| {
-                let f = self.shared_frustum()?;
+                let f = self.frustum()?;
                 Ok(RateReport::for_sdsp_pn(&self.pn, &f)?)
             })
             .clone()
     }
 
     /// Builds and runs the SDSP-SCP-PN model with an `l`-stage pipeline
-    /// under the configured [`IssuePolicy`]. Memoized per depth and shared.
+    /// under the configured [`IssuePolicy`]. Memoized per depth and
+    /// `Arc`-shared by every caller.
     ///
     /// # Errors
     ///
@@ -754,7 +847,7 @@ impl CompiledLoop {
     /// # Panics
     ///
     /// Panics if `depth == 0`.
-    pub fn shared_scp(&self, depth: u64) -> Result<Arc<ScpRun>, Error> {
+    pub fn scp(&self, depth: u64) -> Result<Arc<ScpRun>, Error> {
         let mut cache = self.caches.scp.lock().expect("scp cache poisoned");
         cache
             .entry(depth)
@@ -762,13 +855,11 @@ impl CompiledLoop {
             .clone()
     }
 
-    /// Owned-copy convenience over [`shared_scp`](Self::shared_scp).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`shared_scp`](Self::shared_scp).
-    pub fn scp(&self, depth: u64) -> Result<ScpRun, Error> {
-        self.shared_scp(depth).map(|r| (*r).clone())
+    /// Deprecated alias of [`scp`](Self::scp) from the era when `scp()`
+    /// returned an owned copy.
+    #[deprecated(since = "0.1.0", note = "scp() now returns Arc; use it directly")]
+    pub fn shared_scp(&self, depth: u64) -> Result<Arc<ScpRun>, Error> {
+        self.scp(depth)
     }
 
     fn run_scp(&self, depth: u64) -> Result<ScpRun, Error> {
@@ -832,40 +923,42 @@ impl CompiledLoop {
         self.caches
             .steady
             .get_or_init(|| {
-                let f = self.shared_frustum()?;
+                let f = self.frustum()?;
                 let net = self.span("steady_coalescing", || steady_state_net(&self.pn.net, &f));
                 Ok(Arc::new(net))
             })
             .clone()
     }
 
-    /// Runs the §6 storage optimiser and returns the optimised loop with
-    /// its report. The rewrite is memoized; the returned loop carries this
-    /// loop's options.
+    /// Runs the §6 storage optimiser once and shares the outcome: the
+    /// optimised loop (carrying this loop's options, with its own
+    /// memoized stage caches shared by every caller) plus the report.
     ///
     /// # Errors
     ///
     /// [`Error::Storage`] on analysis failure.
-    pub fn minimize_storage(&self) -> Result<(CompiledLoop, StorageReport), Error> {
-        let (optimised, report) = self
-            .caches
+    pub fn storage(&self) -> Result<Arc<StorageRun>, Error> {
+        self.caches
             .storage
-            .get_or_init(|| Ok(self.span("storage_minimization", || minimize_storage(&self.sdsp))?))
-            .clone()?;
-        Ok((
-            CompiledLoop::from_sdsp_with(optimised, self.options.clone()),
-            report,
-        ))
+            .get_or_init(|| {
+                let (optimised, report) =
+                    self.span("storage_minimization", || minimize_storage(&self.sdsp))?;
+                Ok(Arc::new(StorageRun {
+                    optimised: CompiledLoop::from_sdsp_with(optimised, self.options.clone()),
+                    report,
+                }))
+            })
+            .clone()
     }
 
-    /// Alias for [`minimize_storage`](Self::minimize_storage), matching
-    /// the stage names of the staged pipeline.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`minimize_storage`](Self::minimize_storage).
-    pub fn storage(&self) -> Result<(CompiledLoop, StorageReport), Error> {
-        self.minimize_storage()
+    /// Deprecated cloning shim over [`storage`](Self::storage): returns
+    /// owned copies of the optimised loop and report, as the old
+    /// `minimize_storage()` accessor did. Note the owned loop still
+    /// shares the memoized stage caches of the `Arc`-held one.
+    #[deprecated(since = "0.1.0", note = "use storage(), which returns Arc<StorageRun>")]
+    pub fn minimize_storage(&self) -> Result<(CompiledLoop, StorageReport), Error> {
+        let run = self.storage()?;
+        Ok((run.optimised.clone(), run.report.clone()))
     }
 
     /// Emits the time-optimal schedule as a VLIW program over the loop's
@@ -876,14 +969,14 @@ impl CompiledLoop {
     ///
     /// [`Error::Sched`] on detection or derivation failure.
     pub fn emit(&self, iterations: u64) -> Result<tpn_codegen::Program, Error> {
-        let schedule = self.shared_schedule()?;
+        let schedule = self.schedule()?;
         Ok(tpn_codegen::emit(&self.sdsp, &schedule, iterations))
     }
 
     /// Balances the loop's buffering (the FIFO-queued extension of §7):
     /// raises acknowledgement capacities until the rate reaches the
     /// data-dependence bound. The inverse trade-off to
-    /// [`minimize_storage`](Self::minimize_storage). Memoized.
+    /// [`storage`](Self::storage). Memoized.
     ///
     /// # Errors
     ///
@@ -983,31 +1076,79 @@ mod tests {
     #[test]
     fn end_to_end_storage() {
         let lp = CompiledLoop::from_source(L2).unwrap();
-        let (optimised, report) = lp.minimize_storage().unwrap();
-        assert!(report.after < report.before);
+        let run = lp.storage().unwrap();
+        assert!(run.report.after < run.report.before);
         // The optimised loop still schedules at the optimal rate.
-        let schedule = optimised.schedule().unwrap();
+        let schedule = run.optimised.schedule().unwrap();
         assert_eq!(schedule.rate(), Ratio::new(1, 3));
-        // The storage() alias returns the same memoized rewrite.
-        let (_, again) = lp.storage().unwrap();
-        assert_eq!(again, report);
+        // Repeated calls share the same memoized rewrite.
+        let again = lp.storage().unwrap();
+        assert!(Arc::ptr_eq(&run, &again));
+        // The deprecated cloning shim hands out the same report.
+        #[allow(deprecated)]
+        let (_, report) = lp.minimize_storage().unwrap();
+        assert_eq!(report, run.report);
     }
 
     #[test]
     fn stages_are_memoized_and_shared() {
         let lp = CompiledLoop::from_source(L2).unwrap();
-        let f1 = lp.shared_frustum().unwrap();
-        let f2 = lp.shared_frustum().unwrap();
+        let f1 = lp.frustum().unwrap();
+        let f2 = lp.frustum().unwrap();
         assert!(Arc::ptr_eq(&f1, &f2), "frustum detected more than once");
-        let s1 = lp.shared_schedule().unwrap();
-        let s2 = lp.shared_schedule().unwrap();
+        let s1 = lp.schedule().unwrap();
+        let s2 = lp.schedule().unwrap();
         assert!(Arc::ptr_eq(&s1, &s2));
-        let scp1 = lp.shared_scp(8).unwrap();
-        let scp2 = lp.shared_scp(8).unwrap();
+        let scp1 = lp.scp(8).unwrap();
+        let scp2 = lp.scp(8).unwrap();
         assert!(Arc::ptr_eq(&scp1, &scp2));
         // Clones share the already-computed results.
         let clone = lp.clone();
-        assert!(Arc::ptr_eq(&f1, &clone.shared_frustum().unwrap()));
+        assert!(Arc::ptr_eq(&f1, &clone.frustum().unwrap()));
+        // The deprecated shared_* shims return the very same Arcs.
+        #[allow(deprecated)]
+        {
+            assert!(Arc::ptr_eq(&f1, &lp.shared_frustum().unwrap()));
+            assert!(Arc::ptr_eq(&s1, &lp.shared_schedule().unwrap()));
+            assert!(Arc::ptr_eq(&scp1, &lp.shared_scp(8).unwrap()));
+        }
+    }
+
+    #[test]
+    fn options_fingerprint_is_stable_and_field_sensitive() {
+        let base = CompileOptions::new();
+        assert_eq!(base.fingerprint(), CompileOptions::new().fingerprint());
+        let variants = [
+            CompileOptions::new().node_time(2),
+            CompileOptions::new().step_budget(0),
+            CompileOptions::new().step_budget(77),
+            CompileOptions::new().issue_policy(IssuePolicy::Priority),
+            CompileOptions::new().profile(true),
+            CompileOptions::new().trace(true),
+            CompileOptions::new().trace_capacity(8),
+        ];
+        let mut prints: Vec<u64> = variants.iter().map(CompileOptions::fingerprint).collect();
+        prints.push(base.fingerprint());
+        let distinct: std::collections::HashSet<u64> = prints.iter().copied().collect();
+        assert_eq!(
+            distinct.len(),
+            prints.len(),
+            "fingerprint collision: {prints:?}"
+        );
+        // Getters follow the get_* scheme.
+        let o = CompileOptions::new()
+            .node_time(3)
+            .step_budget(9)
+            .issue_policy(IssuePolicy::Priority)
+            .trace(true)
+            .trace_capacity(4)
+            .profile(true);
+        assert_eq!(o.get_node_time(), Some(3));
+        assert_eq!(o.get_step_budget(), Some(9));
+        assert_eq!(o.get_issue_policy(), IssuePolicy::Priority);
+        assert!(o.get_trace());
+        assert_eq!(o.get_trace_capacity(), Some(4));
+        assert!(o.get_profile());
     }
 
     #[test]

@@ -162,6 +162,84 @@ pub fn latency_histogram(latencies_nanos: &[u64]) -> Vec<HistogramBucket> {
     buckets
 }
 
+/// The `p`-th percentile (0.0 ≤ `p` ≤ 1.0) of a latency sample in
+/// nanoseconds, by the nearest-rank method. Returns 0 for an empty
+/// sample. Used by the service layer to report p50/p99 latencies.
+pub fn percentile_nanos(latencies_nanos: &mut [u64], p: f64) -> u64 {
+    if latencies_nanos.is_empty() {
+        return 0;
+    }
+    latencies_nanos.sort_unstable();
+    let rank = ((p.clamp(0.0, 1.0) * latencies_nanos.len() as f64).ceil() as usize)
+        .clamp(1, latencies_nanos.len());
+    latencies_nanos[rank - 1]
+}
+
+/// Hit/miss/eviction counters of the service layer's sharded result
+/// cache (see the `tpn-service` crate).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct CacheCounters {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed (and typically inserted afterwards).
+    pub misses: u64,
+    /// Entries evicted to respect the weight capacity.
+    pub evictions: u64,
+    /// Live entries across all shards.
+    pub entries: u64,
+    /// Total weight of live entries across all shards.
+    pub weight: u64,
+    /// The configured weight capacity.
+    pub capacity: u64,
+}
+
+impl CacheCounters {
+    /// Hit fraction of all lookups so far (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Counters of one compile service: admission, completion and rejection
+/// counts, queue high-water mark, request latencies, and the result
+/// cache's counters. The stable serde payload of the service's
+/// `metrics` verb.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ServiceCounters {
+    /// Worker threads serving the queue.
+    pub workers: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests that produced a successful response.
+    pub completed: u64,
+    /// Requests rejected with a typed `Overloaded` error at admission.
+    pub rejected_overloaded: u64,
+    /// Requests that failed their wall-clock deadline.
+    pub deadline_expired: u64,
+    /// Requests cancelled cooperatively before completing.
+    pub cancelled: u64,
+    /// Requests whose pipeline panicked (the panic was confined to the
+    /// request; the worker survived).
+    pub panicked: u64,
+    /// Highest queue depth observed at admission.
+    pub max_queue_depth: u64,
+    /// p50 request latency, microseconds (admission to response).
+    pub p50_micros: u64,
+    /// p99 request latency, microseconds.
+    pub p99_micros: u64,
+    /// Power-of-two latency histogram over completed requests.
+    pub latency: Vec<HistogramBucket>,
+    /// The sharded result cache's counters.
+    pub cache: CacheCounters,
+}
+
 /// Worker-pool statistics for one batched run (see
 /// [`batch::parallel_map_profiled`](crate::batch::parallel_map_profiled)).
 #[derive(Clone, Debug, PartialEq, Eq, Serialize)]
@@ -307,6 +385,27 @@ mod tests {
         let empty = latency_histogram(&[]);
         assert_eq!(empty.len(), 1);
         assert_eq!(empty[0].count, 0);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut lat = vec![50, 10, 40, 30, 20];
+        assert_eq!(percentile_nanos(&mut lat, 0.5), 30);
+        assert_eq!(percentile_nanos(&mut lat, 0.99), 50);
+        assert_eq!(percentile_nanos(&mut lat, 0.0), 10);
+        assert_eq!(percentile_nanos(&mut [], 0.5), 0);
+        assert_eq!(percentile_nanos(&mut [7], 0.5), 7);
+    }
+
+    #[test]
+    fn cache_counters_hit_rate() {
+        let mut c = CacheCounters::default();
+        assert_eq!(c.hit_rate(), 0.0);
+        c.hits = 3;
+        c.misses = 1;
+        assert!((c.hit_rate() - 0.75).abs() < 1e-12);
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("\"hits\":3"), "got: {json}");
     }
 
     #[test]

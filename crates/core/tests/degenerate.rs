@@ -39,7 +39,7 @@ fn zero_node_sdsp_never_panics() {
     for depth in 1..=4 {
         assert!(lp.scp(depth).is_err(), "scp depth {depth}");
     }
-    let _ = lp.minimize_storage();
+    let _ = lp.storage();
     let _ = lp.balance();
     let _ = lp.steady_net();
     // The metrics report of a failed pipeline is well-formed and empty.

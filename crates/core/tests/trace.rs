@@ -103,8 +103,8 @@ fn tracing_does_not_change_analysis_results() {
         let traced =
             CompiledLoop::from_source_with(k.source, CompileOptions::new().trace(true)).unwrap();
         let plain = CompiledLoop::from_source(k.source).unwrap();
-        let ft = traced.shared_frustum().unwrap();
-        let fp = plain.shared_frustum().unwrap();
+        let ft = traced.frustum().unwrap();
+        let fp = plain.frustum().unwrap();
         assert_eq!(ft.start_time, fp.start_time, "{}", k.name);
         assert_eq!(ft.repeat_time, fp.repeat_time, "{}", k.name);
         assert_eq!(

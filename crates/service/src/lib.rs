@@ -1,0 +1,572 @@
+//! An in-process, thread-safe compile/schedule service on top of
+//! [`tpn::CompiledLoop`] — the long-running layer behind `tpnc serve`.
+//!
+//! Architecture (see DESIGN.md "Service layer"):
+//!
+//! ```text
+//! submit ──► bounded admission queue ──► worker pool ──► response slot
+//!                │ full: typed               │
+//!                ▼ Overloaded                ▼
+//!           (rejected, depth)      sharded LRU cache of
+//!                                  Arc<CompiledLoop> (hit: reuse
+//!                                  every memoized artifact)
+//! ```
+//!
+//! * **Backpressure**: [`Service::submit`] never blocks — a full queue
+//!   returns a typed [`Overloaded`] carrying the observed depth, so
+//!   callers shed load instead of hanging.
+//! * **Caching**: results are keyed by
+//!   [`protocol::cache_key`] (normalized source ⊕ options fingerprint)
+//!   and hold `Arc<CompiledLoop>`; the facade's internal memoization
+//!   means a hit shares the frustum report, schedule, rate reports and
+//!   SCP runs by depth with every other holder.
+//! * **Deadlines**: a per-request wall-clock budget checked between
+//!   pipeline stages (admission → compile → artifact build), on top of
+//!   the engine's own [`tpn::CompileOptions::step_budget`].
+//! * **Cancellation**: cooperative — [`Ticket::cancel`] flips a flag the
+//!   worker re-checks at the same stage boundaries.
+//! * **Panic isolation**: a request that panics mid-compile poisons only
+//!   itself (`panic` error response); the worker survives, mirroring
+//!   [`tpn::batch`]'s per-item isolation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod protocol;
+mod queue;
+
+pub use queue::Overloaded;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cache::{default_weigher, ShardedCache, Weigher};
+use protocol::{error_line, ok_line, Request, Verb};
+use tpn::metrics::{latency_histogram, percentile_nanos, ServiceCounters};
+use tpn::CompiledLoop;
+
+/// Tuning knobs for one [`Service`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// Admission queue capacity; pushes beyond it get [`Overloaded`].
+    pub queue_capacity: usize,
+    /// Total result-cache weight across all shards.
+    pub cache_capacity: u64,
+    /// Result-cache shards (locks scale with this).
+    pub cache_shards: usize,
+    /// Weighs a cached loop; defaults to its node count.
+    pub weigher: Weigher,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: tpn::batch::default_threads(),
+            queue_capacity: 64,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            weigher: default_weigher,
+            default_deadline: None,
+        }
+    }
+}
+
+/// A completed request's outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// The request's correlation id.
+    pub id: u64,
+    /// The verb that ran.
+    pub verb: Verb,
+    /// Whether the response is a success envelope.
+    pub ok: bool,
+    /// Whether the compiled loop came from the result cache. Not part
+    /// of [`line`](Self::line): cached and uncached responses are
+    /// byte-identical.
+    pub cache_hit: bool,
+    /// The single-line NDJSON response.
+    pub line: String,
+}
+
+struct Slot {
+    response: Mutex<Option<Response>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn fill(&self, response: Response) {
+        *self.response.lock().expect("slot lock") = Some(response);
+        self.ready.notify_all();
+    }
+}
+
+/// A handle to one in-flight request.
+pub struct Ticket {
+    id: u64,
+    slot: Arc<Slot>,
+    cancel: Arc<AtomicBool>,
+}
+
+/// A cancellation handle detached from its [`Ticket`]: the serve
+/// front-end keeps these in its in-flight table while a waiter thread
+/// owns the ticket itself.
+#[derive(Clone)]
+pub struct Canceller(Arc<AtomicBool>);
+
+impl Canceller {
+    /// Requests cooperative cancellation (see [`Ticket::cancel`]).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Ticket {
+    /// The request's correlation id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// A cancellation handle that outlives [`wait`](Self::wait).
+    pub fn canceller(&self) -> Canceller {
+        Canceller(self.cancel.clone())
+    }
+
+    /// Requests cooperative cancellation; the worker honours it at the
+    /// next stage boundary (a request already past its last check still
+    /// completes normally).
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until the response is ready.
+    pub fn wait(self) -> Response {
+        let mut guard = self.slot.response.lock().expect("slot lock");
+        loop {
+            if let Some(response) = guard.take() {
+                return response;
+            }
+            guard = self.slot.ready.wait(guard).expect("slot lock");
+        }
+    }
+
+    /// Polls for the response without blocking.
+    pub fn try_wait(&self) -> Option<Response> {
+        self.slot.response.lock().expect("slot lock").take()
+    }
+}
+
+struct Job {
+    request: Request,
+    slot: Arc<Slot>,
+    cancel: Arc<AtomicBool>,
+    admitted: Instant,
+    deadline: Option<Instant>,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    deadline_expired: AtomicU64,
+    cancelled: AtomicU64,
+    panicked: AtomicU64,
+    latencies_nanos: Mutex<Vec<u64>>,
+}
+
+struct Inner {
+    queue: queue::BoundedQueue<Job>,
+    cache: ShardedCache,
+    counters: Counters,
+    workers: usize,
+    default_deadline: Option<Duration>,
+}
+
+/// The compile service: a bounded queue, a worker pool, and a sharded
+/// result cache. Dropping the service closes the queue and joins the
+/// workers (in-flight requests complete first).
+pub struct Service {
+    inner: Arc<Inner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts `config.workers` worker threads.
+    pub fn start(config: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            queue: queue::BoundedQueue::new(config.queue_capacity),
+            cache: ShardedCache::new(config.cache_shards, config.cache_capacity, config.weigher),
+            counters: Counters::default(),
+            workers: config.workers.max(1),
+            default_deadline: config.default_deadline,
+        });
+        let threads = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("tpn-service-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Service { inner, threads }
+    }
+
+    /// Submits a request for asynchronous execution.
+    ///
+    /// # Errors
+    ///
+    /// [`Overloaded`] when the admission queue is full — the typed
+    /// backpressure signal; nothing was enqueued.
+    pub fn submit(&self, request: Request) -> Result<Ticket, Overloaded> {
+        let slot = Arc::new(Slot {
+            response: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let cancel = Arc::new(AtomicBool::new(false));
+        let now = Instant::now();
+        let deadline = request
+            .deadline_ms
+            .map(Duration::from_millis)
+            .or(self.inner.default_deadline)
+            .map(|budget| now + budget);
+        let job = Job {
+            slot: slot.clone(),
+            cancel: cancel.clone(),
+            admitted: now,
+            deadline,
+            request,
+        };
+        let id = job.request.id;
+        match self.inner.queue.push(job) {
+            Ok(()) => {
+                self.inner.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(Ticket { id, slot, cancel })
+            }
+            Err((_, overloaded)) => {
+                self.inner
+                    .counters
+                    .rejected_overloaded
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(overloaded)
+            }
+        }
+    }
+
+    /// Submits and waits: the synchronous convenience wrapper.
+    ///
+    /// # Errors
+    ///
+    /// [`Overloaded`] when the queue rejects the request.
+    pub fn call(&self, request: Request) -> Result<Response, Overloaded> {
+        self.submit(request).map(Ticket::wait)
+    }
+
+    /// A snapshot of the service's counters (the `metrics` verb's
+    /// payload).
+    pub fn counters(&self) -> ServiceCounters {
+        let c = &self.inner.counters;
+        let mut latencies = c.latencies_nanos.lock().expect("latency lock").clone();
+        let p50 = percentile_nanos(&mut latencies, 0.50).div_ceil(1_000);
+        let p99 = percentile_nanos(&mut latencies, 0.99).div_ceil(1_000);
+        ServiceCounters {
+            workers: self.inner.workers,
+            queue_capacity: self.inner.queue.capacity(),
+            accepted: c.accepted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            rejected_overloaded: c.rejected_overloaded.load(Ordering::Relaxed),
+            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            panicked: c.panicked.load(Ordering::Relaxed),
+            max_queue_depth: self.inner.queue.max_depth(),
+            p50_micros: p50,
+            p99_micros: p99,
+            latency: latency_histogram(&latencies),
+            cache: self.inner.cache.counters(),
+        }
+    }
+
+    /// The result cache's live entry count (tests and the self-test
+    /// client use it to assert eviction behaviour).
+    pub fn cache_len(&self) -> usize {
+        self.inner.cache.len()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.inner.queue.close();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some(job) = inner.queue.pop() {
+        let id = job.request.id;
+        let verb = job.request.verb;
+        let admitted = job.admitted;
+        let outcome = catch_unwind(AssertUnwindSafe(|| execute(inner, &job)));
+        let response = match outcome {
+            Ok((ok, cache_hit, line)) => {
+                if ok {
+                    inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+                }
+                Response {
+                    id,
+                    verb,
+                    ok,
+                    cache_hit,
+                    line,
+                }
+            }
+            Err(payload) => {
+                inner.counters.panicked.fetch_add(1, Ordering::Relaxed);
+                // The panic may have poisoned the compiled loop's
+                // internal stage locks; drop it from the cache so the
+                // next same-key request recompiles cleanly.
+                if verb != Verb::Cancel && verb != Verb::Metrics {
+                    inner.cache.remove(protocol::cache_key(
+                        &job.request.source,
+                        &job.request.options,
+                    ));
+                }
+                Response {
+                    id,
+                    verb,
+                    ok: false,
+                    cache_hit: false,
+                    line: error_line(
+                        id,
+                        Some(verb),
+                        "panic",
+                        &tpn::batch::panic_message(&*payload),
+                        None,
+                    ),
+                }
+            }
+        };
+        let nanos = admitted.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        inner
+            .counters
+            .latencies_nanos
+            .lock()
+            .expect("latency lock")
+            .push(nanos);
+        job.slot.fill(response);
+    }
+}
+
+/// Runs one request to a rendered response line. Returns
+/// `(ok, cache_hit, line)`.
+fn execute(inner: &Inner, job: &Job) -> (bool, bool, String) {
+    let req = &job.request;
+    let id = req.id;
+    let verb = req.verb;
+
+    // Stage boundary 1: admission → compile.
+    if let Some(line) = interruption(inner, job) {
+        return (false, false, line);
+    }
+
+    if verb == Verb::Cancel {
+        // The serve front-end resolves cancel against its ticket table;
+        // a cancel that reaches a worker targets an unknown request.
+        let line = error_line(
+            id,
+            Some(verb),
+            "bad_request",
+            "cancel target is not in flight",
+            None,
+        );
+        return (false, false, line);
+    }
+
+    let key = protocol::cache_key(&req.source, &req.options);
+    let (lp, cache_hit) = match inner.cache.get(key) {
+        Some(lp) => (lp, true),
+        None => match CompiledLoop::from_source_with(&req.source, req.options.clone()) {
+            Ok(lp) => {
+                let lp = Arc::new(lp);
+                inner.cache.insert(key, lp.clone());
+                (lp, false)
+            }
+            Err(e) => {
+                let line = error_line(id, Some(verb), "compile", &e.to_string(), None);
+                return (false, false, line);
+            }
+        },
+    };
+
+    // Stage boundary 2: compile → artifact build.
+    if let Some(line) = interruption(inner, job) {
+        return (false, cache_hit, line);
+    }
+
+    let file = None;
+    let payload = match verb {
+        Verb::Analyze => protocol::analyze_payload(&lp, file).map(|p| to_json(&p)),
+        Verb::Schedule => protocol::schedule_payload(&lp, req.depth, file).map(|p| to_json(&p)),
+        Verb::Rate => protocol::rate_payload(&lp, req.depth, file).map(|p| to_json(&p)),
+        Verb::Scp => {
+            let depth = req.depth.expect("protocol validated scp depth");
+            protocol::schedule_payload(&lp, Some(depth), file).map(|p| to_json(&p))
+        }
+        Verb::Trace => protocol::trace_payload(&lp, req.depth, file).map(|p| to_json(&p)),
+        Verb::Storage => protocol::storage_payload(&lp, file).map(|p| to_json(&p)),
+        Verb::Metrics | Verb::Cancel => unreachable!("handled before compilation"),
+    };
+
+    // Stage boundary 3: artifact build → response. A request that blew
+    // its deadline inside a stage still reports it, matching the step
+    // budget's "checked between instants" semantics.
+    if let Some(line) = interruption(inner, job) {
+        return (false, cache_hit, line);
+    }
+
+    match payload {
+        Ok(json) => (true, cache_hit, ok_line(id, verb, &json)),
+        Err(e) => {
+            let line = error_line(id, Some(verb), "compile", &e.to_string(), None);
+            (false, cache_hit, line)
+        }
+    }
+}
+
+/// Checks the job's cancel flag and wall-clock deadline; returns the
+/// error response line when either fired.
+fn interruption(inner: &Inner, job: &Job) -> Option<String> {
+    let id = job.request.id;
+    let verb = job.request.verb;
+    if job.cancel.load(Ordering::Relaxed) {
+        inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        return Some(error_line(
+            id,
+            Some(verb),
+            "cancelled",
+            "request cancelled",
+            None,
+        ));
+    }
+    if let Some(deadline) = job.deadline {
+        if Instant::now() > deadline {
+            inner
+                .counters
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            return Some(error_line(
+                id,
+                Some(verb),
+                "deadline",
+                "wall-clock deadline expired",
+                None,
+            ));
+        }
+    }
+    None
+}
+
+fn to_json<T: serde::Serialize>(payload: &T) -> String {
+    serde_json::to_string(payload).expect("shim serializer is infallible")
+}
+
+/// Handles the `metrics` verb against a running service: never queued
+/// (it must succeed under overload) and never cached.
+pub fn metrics_response(service: &Service, id: u64) -> Response {
+    let payload = to_json(&service.counters());
+    Response {
+        id,
+        verb: Verb::Metrics,
+        ok: true,
+        cache_hit: false,
+        line: ok_line(id, Verb::Metrics, &payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SOURCE: &str = "do i from 2 to n { X[i] := X[i-1] + 1; }";
+
+    fn request(id: u64, verb: Verb) -> Request {
+        Request {
+            id,
+            verb,
+            source: SOURCE.into(),
+            depth: None,
+            options: tpn::CompileOptions::new(),
+            deadline_ms: None,
+            target: None,
+        }
+    }
+
+    #[test]
+    fn analyze_twice_hits_cache_with_identical_bytes() {
+        let service = Service::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let first = service.call(request(1, Verb::Analyze)).unwrap();
+        let second = service.call(request(2, Verb::Analyze)).unwrap();
+        assert!(first.ok && second.ok);
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit);
+        // Ids differ only in the envelope; payloads are byte-identical.
+        let payload = |line: &str| line.split_once("\"payload\":").unwrap().1.to_string();
+        assert_eq!(payload(&first.line), payload(&second.line));
+        let counters = service.counters();
+        assert_eq!(counters.completed, 2);
+        assert_eq!(counters.cache.hits, 1);
+        assert_eq!(counters.cache.misses, 1);
+    }
+
+    #[test]
+    fn metrics_never_touches_the_cache() {
+        let service = Service::start(ServiceConfig::default());
+        let m = metrics_response(&service, 5);
+        assert!(m.ok);
+        assert!(m.line.contains("\"workers\""));
+        assert_eq!(service.cache_len(), 0);
+    }
+
+    #[test]
+    fn zero_deadline_expires_before_compiling() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let mut req = request(1, Verb::Schedule);
+        req.deadline_ms = Some(0);
+        let response = service.call(req).unwrap();
+        assert!(!response.ok);
+        assert!(response.line.contains("\"kind\":\"deadline\""));
+        assert_eq!(service.counters().deadline_expired, 1);
+    }
+
+    #[test]
+    fn panicking_request_gets_panic_response_and_pool_survives() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let mut bad = request(1, Verb::Scp);
+        bad.depth = Some(0); // CompiledLoop::scp panics at depth 0.
+        let response = service.call(bad).unwrap();
+        assert!(!response.ok);
+        assert!(response.line.contains("\"kind\":\"panic\""));
+        // The single worker is still alive and serves the next request.
+        let ok = service.call(request(2, Verb::Analyze)).unwrap();
+        assert!(ok.ok);
+        assert_eq!(service.counters().panicked, 1);
+    }
+}

@@ -1,0 +1,941 @@
+//! The service's NDJSON request protocol: one JSON object per line in,
+//! one per line out.
+//!
+//! The response **payloads** are the same serde rows `tpnc --format
+//! json` prints (the CLI imports them from here), so a service response
+//! and a one-shot CLI run serialize byte-identically — and, because the
+//! builders only read memoized [`CompiledLoop`] artifacts, a cached and
+//! an uncached response are byte-identical too.
+//!
+//! The offline `serde_json` shim only *serializes*, so incoming requests
+//! are parsed by the small recursive-descent [`parse_json`] parser here.
+//!
+//! ## Request schema
+//!
+//! ```json
+//! {"id":1,"verb":"analyze","source":"do i from 2 to n { X[i] := X[i-1] + 1; }"}
+//! {"id":2,"verb":"schedule","source":"...","depth":2,"deadline_ms":500,
+//!  "options":{"node_time":3,"step_budget":100000,"issue_policy":"priority",
+//!             "trace":true,"trace_capacity":4096}}
+//! {"id":3,"verb":"metrics"}
+//! {"id":4,"verb":"cancel","target":2}
+//! ```
+//!
+//! Verbs: `analyze`, `schedule` (optional `depth` switches to the SCP
+//! model), `rate`, `scp` (requires `depth`), `trace` (optional `depth`),
+//! `storage`, `metrics`, and `cancel` (handled by the serve front-end,
+//! not the worker pool).
+//!
+//! ## Response schema
+//!
+//! ```json
+//! {"id":1,"ok":true,"verb":"analyze","payload":{...}}
+//! {"id":9,"ok":false,"verb":"schedule","error":{"kind":"overloaded",
+//!  "message":"...","queue_depth":64}}
+//! ```
+//!
+//! Error kinds: `overloaded` (typed backpressure, carries
+//! `queue_depth`), `deadline`, `cancelled`, `panic`, `compile`,
+//! `bad_request`.
+
+use serde::Serialize;
+use tpn::{CompileOptions, CompiledLoop, Error, IssuePolicy};
+
+// ---------------------------------------------------------------------------
+// Cache key: canonical digest of (normalized source, options fingerprint).
+// ---------------------------------------------------------------------------
+
+/// Canonicalizes loop source for cache keying: `//` comments are
+/// stripped and whitespace runs collapse to single spaces — exactly the
+/// characters the lexer ignores — so formatting variants of one loop
+/// share a cache entry while any token change produces a new key.
+pub fn normalize_source(source: &str) -> String {
+    let mut out = String::new();
+    for line in source.lines() {
+        let code = match line.find("//") {
+            Some(at) => &line[..at],
+            None => line,
+        };
+        for token in code.split_whitespace() {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(token);
+        }
+    }
+    out
+}
+
+/// The cache key: a 64-bit FNV-1a digest over the normalized source
+/// followed by the [`CompileOptions::fingerprint`], so equal loops
+/// compiled under different options occupy distinct entries.
+pub fn cache_key(source: &str, options: &CompileOptions) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in normalize_source(source).bytes() {
+        h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for byte in options.fingerprint().to_le_bytes() {
+        h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+// ---------------------------------------------------------------------------
+
+/// A protocol verb.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Verb {
+    /// Critical-cycle analysis (Theorem 3.3.1 summary).
+    Analyze,
+    /// The periodic schedule; with `depth`, the depth-limited SCP one.
+    Schedule,
+    /// Measured-versus-optimal rate report.
+    Rate,
+    /// SCP run at a required `depth`.
+    Scp,
+    /// Replay-validated firing trace (Chrome trace JSON payload).
+    Trace,
+    /// Storage minimisation summary.
+    Storage,
+    /// Service counters snapshot (never queued, never cached).
+    Metrics,
+    /// Cooperative cancellation of an in-flight request (serve layer).
+    Cancel,
+}
+
+impl Verb {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verb::Analyze => "analyze",
+            Verb::Schedule => "schedule",
+            Verb::Rate => "rate",
+            Verb::Scp => "scp",
+            Verb::Trace => "trace",
+            Verb::Storage => "storage",
+            Verb::Metrics => "metrics",
+            Verb::Cancel => "cancel",
+        }
+    }
+
+    fn parse(name: &str) -> Option<Verb> {
+        Some(match name {
+            "analyze" => Verb::Analyze,
+            "schedule" => Verb::Schedule,
+            "rate" => Verb::Rate,
+            "scp" => Verb::Scp,
+            "trace" => Verb::Trace,
+            "storage" => Verb::Storage,
+            "metrics" => Verb::Metrics,
+            "cancel" => Verb::Cancel,
+            _ => return None,
+        })
+    }
+}
+
+/// One parsed request line.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// What to do.
+    pub verb: Verb,
+    /// The loop source (empty for `metrics` / `cancel`).
+    pub source: String,
+    /// SCP depth: required for `scp`, optional for
+    /// `schedule`/`rate`/`trace`.
+    pub depth: Option<u64>,
+    /// Compile options (fingerprinted into the cache key).
+    pub options: CompileOptions,
+    /// Wall-clock deadline from admission, in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// The id a `cancel` request targets.
+    pub target: Option<u64>,
+}
+
+/// Parses one NDJSON request line.
+///
+/// # Errors
+///
+/// A human-readable message when the line is not valid JSON or is
+/// missing/mistyping a field; the serve layer turns it into a
+/// `bad_request` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = parse_json(line)?;
+    let obj = value.as_object().ok_or("request must be a JSON object")?;
+    let id = get_u64(obj, "id")?.ok_or("missing \"id\"")?;
+    let verb = match obj.iter().find(|(k, _)| k == "verb") {
+        Some((_, JsonValue::Str(name))) => {
+            Verb::parse(name).ok_or_else(|| format!("unknown verb {name:?}"))?
+        }
+        Some(_) => return Err("\"verb\" must be a string".into()),
+        None => return Err("missing \"verb\"".into()),
+    };
+    let source = match obj.iter().find(|(k, _)| k == "source") {
+        Some((_, JsonValue::Str(s))) => s.clone(),
+        Some(_) => return Err("\"source\" must be a string".into()),
+        None => String::new(),
+    };
+    if source.is_empty() && !matches!(verb, Verb::Metrics | Verb::Cancel) {
+        return Err(format!("verb {:?} requires \"source\"", verb.as_str()));
+    }
+    let depth = get_u64(obj, "depth")?;
+    if verb == Verb::Scp && depth.is_none() {
+        return Err("verb \"scp\" requires \"depth\"".into());
+    }
+    if depth == Some(0) {
+        return Err("\"depth\" must be >= 1".into());
+    }
+    let deadline_ms = get_u64(obj, "deadline_ms")?;
+    let target = get_u64(obj, "target")?;
+    if verb == Verb::Cancel && target.is_none() {
+        return Err("verb \"cancel\" requires \"target\"".into());
+    }
+    let options = match obj.iter().find(|(k, _)| k == "options") {
+        None => CompileOptions::new(),
+        Some((_, value)) => {
+            let opts = value
+                .as_object()
+                .ok_or("\"options\" must be a JSON object")?;
+            parse_options(opts)?
+        }
+    };
+    Ok(Request {
+        id,
+        verb,
+        source,
+        depth,
+        options,
+        deadline_ms,
+        target,
+    })
+}
+
+fn parse_options(obj: &[(String, JsonValue)]) -> Result<CompileOptions, String> {
+    let mut options = CompileOptions::new();
+    for (key, value) in obj {
+        match key.as_str() {
+            "node_time" => options = options.node_time(expect_u64(key, value)?),
+            "step_budget" => options = options.step_budget(expect_u64(key, value)?),
+            "trace_capacity" => {
+                options = options.trace_capacity(expect_u64(key, value)? as usize);
+            }
+            "profile" => options = options.profile(expect_bool(key, value)?),
+            "trace" => options = options.trace(expect_bool(key, value)?),
+            "issue_policy" => match value {
+                JsonValue::Str(s) if s == "fifo" => {
+                    options = options.issue_policy(IssuePolicy::Fifo);
+                }
+                JsonValue::Str(s) if s == "priority" => {
+                    options = options.issue_policy(IssuePolicy::Priority);
+                }
+                _ => return Err("\"issue_policy\" must be \"fifo\" or \"priority\"".into()),
+            },
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(options)
+}
+
+fn get_u64(obj: &[(String, JsonValue)], key: &str) -> Result<Option<u64>, String> {
+    match obj.iter().find(|(k, _)| k == key) {
+        None | Some((_, JsonValue::Null)) => Ok(None),
+        Some((_, value)) => expect_u64(key, value).map(Some),
+    }
+}
+
+fn expect_u64(key: &str, value: &JsonValue) -> Result<u64, String> {
+    match value {
+        JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+            Ok(*n as u64)
+        }
+        _ => Err(format!("{key:?} must be a non-negative integer")),
+    }
+}
+
+fn expect_bool(key: &str, value: &JsonValue) -> Result<bool, String> {
+    match value {
+        JsonValue::Bool(b) => Ok(*b),
+        _ => Err(format!("{key:?} must be a boolean")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response payloads — shared with `tpnc --format json`.
+// ---------------------------------------------------------------------------
+
+/// The `analyze` row (also `tpnc analyze --format json`).
+#[derive(Serialize)]
+pub struct AnalyzeJson {
+    /// Source file, when invoked on one (the service sends `null`).
+    pub file: Option<String>,
+    /// Always `"analyze"`.
+    pub command: String,
+    /// Loop nodes.
+    pub size: usize,
+    /// Input (read-only) arrays.
+    pub input_arrays: Vec<String>,
+    /// Scalar parameters.
+    pub params: Vec<String>,
+    /// Names on a critical cycle.
+    pub critical_cycle: Vec<String>,
+    /// `α* = max Ω(C)/M(C)` as an exact ratio string.
+    pub cycle_time: String,
+    /// `1/α*` as an exact ratio string.
+    pub optimal_rate: String,
+    /// Storage locations of the naive allocation.
+    pub storage_locations: usize,
+}
+
+/// The `schedule` / `scp` row (also `tpnc schedule --format json`).
+#[derive(Serialize)]
+pub struct ScheduleJson {
+    /// Source file, when invoked on one.
+    pub file: Option<String>,
+    /// Always `"schedule"`.
+    pub command: String,
+    /// The SCP depth, when scheduling the shared-pipeline model.
+    pub scp_depth: Option<u64>,
+    /// The initiation interval as an exact ratio string.
+    pub initiation_interval: String,
+    /// Steady-state period in cycles.
+    pub period: u64,
+    /// Iterations initiated per period.
+    pub iterations_per_period: u64,
+    /// Measured SCP rate (SCP rows only).
+    pub rate: Option<String>,
+    /// Issue-slot utilization (SCP rows only).
+    pub utilization: Option<String>,
+    /// The rendered kernel.
+    pub kernel: String,
+}
+
+/// The `rate` row: measured-versus-bound rates.
+#[derive(Serialize)]
+pub struct RateJson {
+    /// Source file, when invoked on one.
+    pub file: Option<String>,
+    /// Always `"rate"`.
+    pub command: String,
+    /// The SCP depth, when rating the shared-pipeline model.
+    pub scp_depth: Option<u64>,
+    /// The steady-state rate of every loop node.
+    pub measured: String,
+    /// The critical-cycle bound (plain SDSP-PN rows only).
+    pub optimal: Option<String>,
+    /// The `1/n` resource ceiling (SCP rows only).
+    pub resource_bound: Option<String>,
+    /// Issue-slot occupancy (SCP rows only).
+    pub utilization: Option<String>,
+    /// Whether the schedule attains the critical-cycle bound (plain
+    /// rows only; Theorem 4.1.1 says it always does).
+    pub time_optimal: Option<bool>,
+}
+
+/// The `storage` row in minimisation mode (also `tpnc storage --format
+/// json`).
+#[derive(Serialize)]
+pub struct StorageJson {
+    /// Source file, when invoked on one.
+    pub file: Option<String>,
+    /// Always `"storage"`.
+    pub command: String,
+    /// `"minimize"` or `"balance"`.
+    pub mode: String,
+    /// Locations before the transformation.
+    pub locations_before: usize,
+    /// Locations after.
+    pub locations_after: usize,
+    /// Rate before balancing (balance mode only).
+    pub rate_before: Option<String>,
+    /// Rate after the transformation.
+    pub rate_after: String,
+}
+
+/// The `trace` row: the replay-validated firing trace with its Chrome
+/// trace-event JSON inlined (deterministic, single line).
+#[derive(Serialize)]
+pub struct TraceJson {
+    /// Source file, when invoked on one.
+    pub file: Option<String>,
+    /// Always `"trace"`.
+    pub command: String,
+    /// The SCP depth, when tracing the shared-pipeline model.
+    pub scp_depth: Option<u64>,
+    /// Frustum start instant.
+    pub start_time: u64,
+    /// Frustum repeat instant.
+    pub repeat_time: u64,
+    /// Frustum period.
+    pub period: u64,
+    /// Events in the trace.
+    pub events: usize,
+    /// Events the replay validator checked.
+    pub events_checked: usize,
+    /// The `chrome://tracing` JSON document.
+    pub chrome: String,
+}
+
+/// Builds the `analyze` payload.
+///
+/// # Errors
+///
+/// Whatever [`CompiledLoop::analyze`] reports.
+pub fn analyze_payload(lp: &CompiledLoop, file: Option<String>) -> Result<AnalyzeJson, Error> {
+    let a = lp.analyze()?;
+    Ok(AnalyzeJson {
+        file,
+        command: "analyze".into(),
+        size: lp.size(),
+        input_arrays: lp.sdsp().input_arrays(),
+        params: lp.sdsp().params(),
+        critical_cycle: a.critical_nodes,
+        cycle_time: a.cycle_time.to_string(),
+        optimal_rate: a.optimal_rate.to_string(),
+        storage_locations: lp.sdsp().storage_locations(),
+    })
+}
+
+/// Builds the `schedule` payload; `depth` switches to the SCP model.
+///
+/// # Errors
+///
+/// Whatever [`CompiledLoop::schedule`] / [`CompiledLoop::scp`] report.
+pub fn schedule_payload(
+    lp: &CompiledLoop,
+    depth: Option<u64>,
+    file: Option<String>,
+) -> Result<ScheduleJson, Error> {
+    Ok(match depth {
+        None => {
+            let s = lp.schedule()?;
+            ScheduleJson {
+                file,
+                command: "schedule".into(),
+                scp_depth: None,
+                initiation_interval: s.initiation_interval().to_string(),
+                period: s.period(),
+                iterations_per_period: s.iterations_per_period(),
+                rate: None,
+                utilization: None,
+                kernel: s.render_kernel(),
+            }
+        }
+        Some(depth) => {
+            let run = lp.scp(depth)?;
+            ScheduleJson {
+                file,
+                command: "schedule".into(),
+                scp_depth: Some(depth),
+                initiation_interval: run.schedule.initiation_interval().to_string(),
+                period: run.schedule.period(),
+                iterations_per_period: run.schedule.iterations_per_period(),
+                rate: Some(run.rates.measured.to_string()),
+                utilization: Some(run.rates.utilization.to_string()),
+                kernel: run.schedule.render_kernel(),
+            }
+        }
+    })
+}
+
+/// Builds the `rate` payload; `depth` switches to the SCP model.
+///
+/// # Errors
+///
+/// Whatever [`CompiledLoop::rate_report`] / [`CompiledLoop::scp`]
+/// report.
+pub fn rate_payload(
+    lp: &CompiledLoop,
+    depth: Option<u64>,
+    file: Option<String>,
+) -> Result<RateJson, Error> {
+    Ok(match depth {
+        None => {
+            let r = lp.rate_report()?;
+            RateJson {
+                file,
+                command: "rate".into(),
+                scp_depth: None,
+                measured: r.measured.to_string(),
+                optimal: Some(r.optimal.to_string()),
+                resource_bound: None,
+                utilization: None,
+                time_optimal: Some(r.is_time_optimal()),
+            }
+        }
+        Some(depth) => {
+            let run = lp.scp(depth)?;
+            RateJson {
+                file,
+                command: "rate".into(),
+                scp_depth: Some(depth),
+                measured: run.rates.measured.to_string(),
+                optimal: None,
+                resource_bound: Some(run.rates.resource_bound.to_string()),
+                utilization: Some(run.rates.utilization.to_string()),
+                time_optimal: None,
+            }
+        }
+    })
+}
+
+/// Builds the `storage` payload (minimisation mode).
+///
+/// # Errors
+///
+/// Whatever [`CompiledLoop::storage`] reports.
+pub fn storage_payload(lp: &CompiledLoop, file: Option<String>) -> Result<StorageJson, Error> {
+    let run = lp.storage()?;
+    Ok(StorageJson {
+        file,
+        command: "storage".into(),
+        mode: "minimize".into(),
+        locations_before: run.report.before,
+        locations_after: run.report.after,
+        rate_before: None,
+        rate_after: run.report.cycle_time.recip().to_string(),
+    })
+}
+
+/// Builds the `trace` payload: replay-validates the firing trace, then
+/// inlines its Chrome trace JSON.
+///
+/// # Errors
+///
+/// Whatever [`CompiledLoop::validate_trace`] /
+/// [`CompiledLoop::validate_scp_trace`] report.
+pub fn trace_payload(
+    lp: &CompiledLoop,
+    depth: Option<u64>,
+    file: Option<String>,
+) -> Result<TraceJson, Error> {
+    let (validation, trace) = match depth {
+        None => (lp.validate_trace()?, lp.firing_trace()?),
+        Some(depth) => (lp.validate_scp_trace(depth)?, lp.scp_trace(depth)?),
+    };
+    Ok(TraceJson {
+        file,
+        command: "trace".into(),
+        scp_depth: depth,
+        start_time: trace.start_time,
+        repeat_time: trace.repeat_time,
+        period: trace.period(),
+        events: trace.events.len(),
+        events_checked: validation.events_checked,
+        chrome: trace.chrome_trace_json(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Response envelopes.
+// ---------------------------------------------------------------------------
+
+/// Renders a success envelope around an already-serialized payload.
+pub fn ok_line(id: u64, verb: Verb, payload_json: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"verb\":\"{}\",\"payload\":{payload_json}}}",
+        verb.as_str()
+    )
+}
+
+/// Renders an error envelope. `queue_depth` is set for `overloaded`.
+pub fn error_line(
+    id: u64,
+    verb: Option<Verb>,
+    kind: &str,
+    message: &str,
+    queue_depth: Option<usize>,
+) -> String {
+    let mut out = format!("{{\"id\":{id},\"ok\":false");
+    if let Some(verb) = verb {
+        out.push_str(&format!(",\"verb\":\"{}\"", verb.as_str()));
+    }
+    out.push_str(&format!(",\"error\":{{\"kind\":\"{kind}\",\"message\":"));
+    serde::write_json_string(message, &mut out);
+    if let Some(depth) = queue_depth {
+        out.push_str(&format!(",\"queue_depth\":{depth}"));
+    }
+    out.push_str("}}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON parser (the serde_json shim only serializes).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Objects keep insertion order (a `Vec` of
+/// key/value pairs), which is all the protocol needs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (integers round-trip exactly up to 2^53).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The key/value pairs when this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Looks a key up when this is an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Parses a complete JSON document (rejects trailing garbage).
+///
+/// # Errors
+///
+/// A message with the byte offset of the first syntax error.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing characters at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}",
+                char::from(byte),
+                self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("invalid number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err("lone high surrogate".into());
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')?;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(code).ok_or("invalid surrogate pair")?
+                            } else {
+                                char::from_u32(unit).ok_or("invalid \\u escape")?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(format!("invalid escape \\{}", char::from(other)));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar from the source text.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().expect("peek saw a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "invalid \\u escape".to_string())?;
+        let unit = u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape".to_string())?;
+        self.pos = end;
+        Ok(unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_round_trips_shim_output() {
+        #[derive(Serialize)]
+        struct Row {
+            name: String,
+            n: u64,
+            rate: Option<String>,
+            flags: Vec<bool>,
+        }
+        let row = Row {
+            name: "a\"b\\c\nd".into(),
+            n: 42,
+            rate: None,
+            flags: vec![true, false],
+        };
+        let text = serde_json::to_string(&row).unwrap();
+        let value = parse_json(&text).unwrap();
+        assert_eq!(
+            value.get("name"),
+            Some(&JsonValue::Str("a\"b\\c\nd".into()))
+        );
+        assert_eq!(value.get("n"), Some(&JsonValue::Num(42.0)));
+        assert_eq!(value.get("rate"), Some(&JsonValue::Null));
+        assert_eq!(
+            value.get("flags"),
+            Some(&JsonValue::Arr(vec![
+                JsonValue::Bool(true),
+                JsonValue::Bool(false)
+            ]))
+        );
+    }
+
+    #[test]
+    fn parser_handles_unicode_escapes() {
+        let value = parse_json(r#"{"s":"é😀"}"#).unwrap();
+        assert_eq!(value.get("s"), Some(&JsonValue::Str("é😀".into())));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{\"a\":1,}").is_err());
+        assert!(parse_json("[1,2] trailing").is_err());
+        assert!(parse_json("{\"a\" 1}").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn request_parsing_validates_fields() {
+        let req = parse_request(
+            r#"{"id":7,"verb":"schedule","source":"do i from 2 to n { X[i] := X[i-1]; }",
+               "depth":2,"deadline_ms":100,
+               "options":{"node_time":3,"issue_policy":"priority","trace":true}}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, 7);
+        assert_eq!(req.verb, Verb::Schedule);
+        assert_eq!(req.depth, Some(2));
+        assert_eq!(req.deadline_ms, Some(100));
+        assert_eq!(req.options.get_node_time(), Some(3));
+        assert!(req.options.get_trace());
+
+        assert!(parse_request(r#"{"verb":"analyze","source":"x"}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"verb":"warp","source":"x"}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"verb":"analyze"}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"verb":"scp","source":"x"}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"verb":"scp","source":"x","depth":0}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"verb":"cancel"}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"verb":"metrics"}"#).is_ok());
+    }
+
+    #[test]
+    fn normalization_ignores_formatting_but_not_tokens() {
+        let a = "do i from 2 to n { X[i] := X[i-1] + 1; }";
+        let b = "do i from 2 to n {\n  X[i] := X[i-1] + 1; // comment\n}";
+        let c = "do i from 2 to n { X[i] := X[i-1] + 2; }";
+        assert_eq!(normalize_source(a), normalize_source(b));
+        assert_ne!(normalize_source(a), normalize_source(c));
+
+        let opts = CompileOptions::new();
+        assert_eq!(cache_key(a, &opts), cache_key(b, &opts));
+        assert_ne!(cache_key(a, &opts), cache_key(c, &opts));
+        assert_ne!(
+            cache_key(a, &opts),
+            cache_key(a, &CompileOptions::new().node_time(2))
+        );
+    }
+
+    #[test]
+    fn envelopes_are_single_line_json() {
+        let ok = ok_line(3, Verb::Analyze, "{\"x\":1}");
+        assert_eq!(
+            ok,
+            "{\"id\":3,\"ok\":true,\"verb\":\"analyze\",\"payload\":{\"x\":1}}"
+        );
+        let err = error_line(
+            9,
+            Some(Verb::Schedule),
+            "overloaded",
+            "queue \"full\"",
+            Some(8),
+        );
+        assert!(!err.contains('\n'));
+        assert!(parse_json(&err).is_ok());
+        assert_eq!(
+            err,
+            "{\"id\":9,\"ok\":false,\"verb\":\"schedule\",\"error\":{\"kind\":\"overloaded\",\
+             \"message\":\"queue \\\"full\\\"\",\"queue_depth\":8}}"
+        );
+    }
+}

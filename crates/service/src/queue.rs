@@ -1,0 +1,139 @@
+//! The bounded admission queue: a `Mutex<VecDeque>` + `Condvar` MPMC
+//! channel that rejects instead of blocking when full. Rejection (not
+//! waiting) at the admission edge is what turns saturation into an
+//! explicit, typed [`Overloaded`] signal the client can act on.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Typed backpressure signal: the admission queue was full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Queue depth observed at rejection (equals `capacity`).
+    pub depth: usize,
+    /// The configured queue capacity.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "service overloaded: admission queue full ({} of {})",
+            self.depth, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue. `push` never blocks — it returns the item when
+/// the queue is full; `pop` blocks until an item arrives or the queue is
+/// closed and drained.
+pub(crate) struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    takers: Condvar,
+    capacity: usize,
+    max_depth: AtomicU64,
+}
+
+impl<T> BoundedQueue<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            takers: Condvar::new(),
+            capacity: capacity.max(1),
+            max_depth: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Highest depth observed at admission.
+    pub(crate) fn max_depth(&self) -> u64 {
+        self.max_depth.load(Ordering::Relaxed)
+    }
+
+    /// Enqueues `item`, or hands it back with an [`Overloaded`] when the
+    /// queue is at capacity (or closed).
+    pub(crate) fn push(&self, item: T) -> Result<(), (T, Overloaded)> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed || state.items.len() >= self.capacity {
+            let depth = state.items.len();
+            drop(state);
+            return Err((
+                item,
+                Overloaded {
+                    depth,
+                    capacity: self.capacity,
+                },
+            ));
+        }
+        state.items.push_back(item);
+        let depth = state.items.len() as u64;
+        self.max_depth.fetch_max(depth, Ordering::Relaxed);
+        drop(state);
+        self.takers.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty and
+    /// open. Returns `None` once the queue is closed and drained.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.takers.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: further pushes are rejected, poppers drain the
+    /// backlog and then observe `None`.
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.takers.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_rejects_at_capacity_with_depth() {
+        let q = BoundedQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let (item, over) = q.push(3).unwrap_err();
+        assert_eq!(item, 3);
+        assert_eq!(over.depth, 2);
+        assert_eq!(over.capacity, 2);
+        assert_eq!(q.max_depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.push('a').unwrap();
+        q.close();
+        assert!(q.push('b').is_err());
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.pop(), None);
+    }
+}

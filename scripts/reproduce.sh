@@ -25,6 +25,7 @@ run compare
 run buffering
 run latency
 run modulo
+run service
 echo "== figures =="
 ./target/release/figures all > "$out/figures.txt"
 echo "figures written to $out/figures.txt"

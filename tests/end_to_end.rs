@@ -98,8 +98,9 @@ fn storage_minimisation_is_rate_and_semantics_neutral() {
     for kernel in kernels() {
         let lp = CompiledLoop::from_source(kernel.source).expect(kernel.name);
         let before = lp.analyze().expect(kernel.name).optimal_rate;
-        let (optimised, report) = lp.minimize_storage().expect(kernel.name);
-        assert!(report.after <= report.before, "{}", kernel.name);
+        let run = lp.storage().expect(kernel.name);
+        assert!(run.report.after <= run.report.before, "{}", kernel.name);
+        let optimised = &run.optimised;
         let schedule = optimised.schedule().expect(kernel.name);
         assert_eq!(schedule.rate(), before, "{}: rate changed", kernel.name);
         let env = kernel.env(ITERS as usize);
