@@ -1,0 +1,108 @@
+//! Throughput of the conformance harness itself: cases per second through
+//! the full differential oracle stack, per generator shape, plus the
+//! structural profile of what the generator produces (node counts,
+//! multiple-critical share, storage savings).
+//!
+//! Run: `cargo run --release -p tpn-bench --bin conform [-- --json]`
+
+use std::time::Instant;
+
+use serde::Serialize;
+use tpn_bench::{emit, table};
+use tpn_conform::{check_sdsp, generate, OracleConfig, Shape};
+
+const CASES: u64 = 100;
+
+#[derive(Clone, Debug, Serialize)]
+struct ConformRow {
+    shape: String,
+    cases: u64,
+    passed: u64,
+    cases_per_sec: u64,
+    mean_nodes: u64,
+    max_nodes: usize,
+    multiple_critical: u64,
+    enumeration_skips: u64,
+    mean_storage_saved_pct: u64,
+}
+
+fn row(shape: Shape) -> ConformRow {
+    let config = OracleConfig::default();
+    let start = Instant::now();
+    let mut passed = 0u64;
+    let mut nodes_sum = 0u64;
+    let mut max_nodes = 0usize;
+    let mut multiple = 0u64;
+    let mut skips = 0u64;
+    let mut saved_pct_sum = 0u64;
+    let mut saved_pct_count = 0u64;
+    for case in 0..CASES {
+        let sdsp = generate(0, case, shape);
+        let report = check_sdsp(case, &sdsp, &config);
+        passed += u64::from(report.passed());
+        nodes_sum += report.nodes as u64;
+        max_nodes = max_nodes.max(report.nodes);
+        multiple += u64::from(report.multiple_critical);
+        skips += u64::from(!report.enumerated);
+        if report.storage_before > 0 {
+            saved_pct_sum += 100 * (report.storage_before - report.storage_after) as u64
+                / report.storage_before as u64;
+            saved_pct_count += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    ConformRow {
+        shape: shape.as_str().to_string(),
+        cases: CASES,
+        passed,
+        cases_per_sec: (CASES as f64 / elapsed) as u64,
+        mean_nodes: nodes_sum / CASES,
+        max_nodes,
+        multiple_critical: multiple,
+        enumeration_skips: skips,
+        mean_storage_saved_pct: saved_pct_sum.checked_div(saved_pct_count).unwrap_or(0),
+    }
+}
+
+fn main() {
+    let rows: Vec<ConformRow> = Shape::ALL.iter().map(|&s| row(s)).collect();
+    emit(&rows, |rows| {
+        let mut out = String::from("Conformance harness throughput (oracle stack, seed 0)\n\n");
+        out.push_str(&table::render(
+            &[
+                "shape",
+                "cases",
+                "passed",
+                "cases/s",
+                "nodes(mean/max)",
+                "multi-crit",
+                "enum-skips",
+                "storage saved",
+            ],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.shape.clone(),
+                        r.cases.to_string(),
+                        r.passed.to_string(),
+                        r.cases_per_sec.to_string(),
+                        format!("{}/{}", r.mean_nodes, r.max_nodes),
+                        r.multiple_critical.to_string(),
+                        r.enumeration_skips.to_string(),
+                        format!("{}%", r.mean_storage_saved_pct),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        ));
+        out.push_str(
+            "\nEvery case runs the full stack: enumeration vs parametric search vs\n\
+             frustum simulation vs trace replay vs storage minimisation.\n",
+        );
+        out
+    });
+    assert!(
+        rows.iter().all(|r| r.passed == r.cases),
+        "conformance failures during benchmarking"
+    );
+}

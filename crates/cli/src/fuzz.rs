@@ -1,0 +1,303 @@
+//! The `tpnc fuzz` subcommand: conformance fuzzing from the command
+//! line.
+//!
+//! Generates a seeded stream of live, safe SDSP loop bodies, pushes each
+//! through the differential oracle stack of [`tpn_conform`], and — with
+//! `--chaos` — storms the compile service with deterministic fault
+//! injection.  Failing cases are dumped as replayable `.sdsp` A-code
+//! files that feed straight back into every other `tpnc` subcommand
+//! (`tpnc analyze fuzz-failures/case-....sdsp`).
+//!
+//! With `--mutate`, the run instead *injects* a rate bug into every
+//! case's simulated net and fails unless at least two independent
+//! oracles catch each applicable injection — the harness testing the
+//! harness.
+
+use std::path::Path;
+
+use serde::Serialize;
+use tpn_conform::{
+    check_mutated, check_sdsp, run_chaos, ChaosConfig, ChaosReport, Mutation, MutationOutcome,
+    OracleConfig, Shape,
+};
+
+use crate::{Format, Invocation};
+
+/// Aggregate result of a fuzz run, serialised under `--format json`.
+#[derive(Debug, Serialize)]
+struct FuzzSummary {
+    seed: u64,
+    shape: String,
+    cases: u64,
+    passed: u64,
+    failed: u64,
+    enumeration_skips: u64,
+    multiple_critical: u64,
+    max_nodes: usize,
+    disagreements: Vec<String>,
+    reproducers: Vec<String>,
+}
+
+/// Aggregate result of a mutation run.
+#[derive(Debug, Serialize)]
+struct MutationSummary {
+    seed: u64,
+    shape: String,
+    mutation: String,
+    cases: u64,
+    caught: u64,
+    not_applicable: u64,
+    missed: u64,
+    min_oracles: usize,
+}
+
+fn dump_reproducer(
+    dir: &str,
+    seed: u64,
+    case: u64,
+    shape: Shape,
+    sdsp: &tpn::dataflow::Sdsp,
+) -> Result<String, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let name = format!("case-{}-{seed}-{case}.sdsp", shape.as_str());
+    let path = Path::new(dir).join(&name);
+    std::fs::write(&path, tpn::dataflow::acode::write(sdsp))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path.display().to_string())
+}
+
+/// Runs `tpnc fuzz`. Prints a summary (text or JSON) and errors — making
+/// the process exit nonzero — on any oracle disagreement, chaos
+/// violation, or missed mutation.
+pub fn run(invocation: &Invocation) -> Result<(), String> {
+    let seed = invocation.seed.unwrap_or(0);
+    let cases = invocation.cases.unwrap_or(100);
+    let shape = match &invocation.shape {
+        None => Shape::Mixed,
+        Some(name) => Shape::parse(name).ok_or_else(|| {
+            format!("bad --shape value {name:?} (mixed|chains|rings|multi-critical|near-tie)")
+        })?,
+    };
+    let mutation = match &invocation.mutate {
+        None => None,
+        Some(name) => Some(
+            Mutation::parse(name)
+                .ok_or_else(|| format!("bad --mutate value {name:?} (slow-node|extra-token)"))?,
+        ),
+    };
+    let dump_dir = invocation.dump.as_deref().unwrap_or("fuzz-failures");
+    let threads = invocation.jobs.unwrap_or_else(tpn::batch::default_threads);
+    let config = OracleConfig::default();
+    let case_ids: Vec<u64> = (0..cases).collect();
+
+    match mutation {
+        Some(mutation) => {
+            let outcomes = tpn::batch::parallel_map(&case_ids, threads, |_, &case| {
+                let sdsp = tpn_conform::generate(seed, case, shape);
+                check_mutated(case, &sdsp, mutation, &config)
+            });
+            let mut summary = MutationSummary {
+                seed,
+                shape: shape.as_str().to_string(),
+                mutation: mutation.as_str().to_string(),
+                cases,
+                caught: 0,
+                not_applicable: 0,
+                missed: 0,
+                min_oracles: usize::MAX,
+            };
+            let mut failures = Vec::new();
+            for (case, outcome) in case_ids.iter().zip(&outcomes) {
+                match outcome {
+                    MutationOutcome::Caught(oracles) => {
+                        summary.caught += 1;
+                        summary.min_oracles = summary.min_oracles.min(oracles.len());
+                        if oracles.len() < 2 {
+                            failures.push(format!(
+                                "case {case}: only {oracles:?} caught the injected bug"
+                            ));
+                        }
+                    }
+                    MutationOutcome::NotApplicable => summary.not_applicable += 1,
+                    MutationOutcome::Missed => {
+                        summary.missed += 1;
+                        failures.push(format!("case {case}: injected bug went unnoticed"));
+                    }
+                }
+            }
+            if summary.caught == 0 {
+                failures.push("no case was applicable to the mutation".to_string());
+            }
+            if summary.min_oracles == usize::MAX {
+                summary.min_oracles = 0;
+            }
+            match invocation.format {
+                Format::Json => println!("{}", serde_json::to_string(&summary).unwrap()),
+                Format::Text => {
+                    println!(
+                        "fuzz --mutate {}: seed {seed} shape {} cases {cases}",
+                        summary.mutation, summary.shape
+                    );
+                    println!(
+                        "  caught {} (min {} oracles)  not-applicable {}  missed {}",
+                        summary.caught, summary.min_oracles, summary.not_applicable, summary.missed
+                    );
+                }
+            }
+            if failures.is_empty() {
+                Ok(())
+            } else {
+                Err(failures.join("\n"))
+            }
+        }
+        None => {
+            let reports = tpn::batch::parallel_map(&case_ids, threads, |_, &case| {
+                let sdsp = tpn_conform::generate(seed, case, shape);
+                check_sdsp(case, &sdsp, &config)
+            });
+            let mut summary = FuzzSummary {
+                seed,
+                shape: shape.as_str().to_string(),
+                cases,
+                passed: 0,
+                failed: 0,
+                enumeration_skips: 0,
+                multiple_critical: 0,
+                max_nodes: 0,
+                disagreements: Vec::new(),
+                reproducers: Vec::new(),
+            };
+            for report in &reports {
+                summary.max_nodes = summary.max_nodes.max(report.nodes);
+                if !report.enumerated {
+                    summary.enumeration_skips += 1;
+                }
+                if report.multiple_critical {
+                    summary.multiple_critical += 1;
+                }
+                if report.passed() {
+                    summary.passed += 1;
+                } else {
+                    summary.failed += 1;
+                    for d in &report.disagreements {
+                        summary
+                            .disagreements
+                            .push(format!("case {}: {d}", report.case));
+                    }
+                    let sdsp = tpn_conform::generate(seed, report.case, shape);
+                    summary.reproducers.push(dump_reproducer(
+                        dump_dir,
+                        seed,
+                        report.case,
+                        shape,
+                        &sdsp,
+                    )?);
+                }
+            }
+            let chaos: Option<ChaosReport> = invocation.chaos.then(|| {
+                run_chaos(&ChaosConfig {
+                    seed,
+                    requests: invocation.requests.min(1_000),
+                    workers: threads.min(8),
+                })
+            });
+            match invocation.format {
+                Format::Json => {
+                    let mut line = serde_json::to_string(&summary).unwrap();
+                    if let Some(chaos) = &chaos {
+                        line.pop();
+                        line.push_str(",\"chaos\":");
+                        line.push_str(&serde_json::to_string(chaos).unwrap());
+                        line.push('}');
+                    }
+                    println!("{line}");
+                }
+                Format::Text => {
+                    println!(
+                        "fuzz: seed {seed} shape {} cases {cases} -> {} passed, {} failed",
+                        summary.shape, summary.passed, summary.failed
+                    );
+                    println!(
+                        "  multiple-critical {}  enumeration-skips {}  max nodes {}",
+                        summary.multiple_critical, summary.enumeration_skips, summary.max_nodes
+                    );
+                    for d in &summary.disagreements {
+                        println!("  FAIL {d}");
+                    }
+                    for r in &summary.reproducers {
+                        println!("  reproducer {r}");
+                    }
+                    if let Some(chaos) = &chaos {
+                        println!(
+                            "  chaos: {} requests ({} clean, {} cancels/{} bit, {} deadlines/{} bit, {} panics), {} probes -> {}",
+                            chaos.requests,
+                            chaos.clean,
+                            chaos.injected_cancels,
+                            chaos.effective_cancels,
+                            chaos.injected_deadlines,
+                            chaos.effective_deadlines,
+                            chaos.injected_panics,
+                            chaos.coherence_probes,
+                            if chaos.passed() { "ok" } else { "FAILED" }
+                        );
+                        for v in &chaos.violations {
+                            println!("  CHAOS {v}");
+                        }
+                    }
+                }
+            }
+            let mut failures = summary.disagreements;
+            if let Some(chaos) = &chaos {
+                failures.extend(chaos.violations.iter().cloned());
+            }
+            if failures.is_empty() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{} conformance failure(s); reproducers in {dump_dir}/",
+                    failures.len()
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse_args, Command};
+
+    fn parse(line: &str) -> Result<crate::Invocation, String> {
+        parse_args(line.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn fuzz_is_a_zero_input_subcommand() {
+        let inv = parse("fuzz --seed 7 --cases 50 --shape rings --chaos").unwrap();
+        assert_eq!(inv.command, Command::Fuzz);
+        assert_eq!(inv.seed, Some(7));
+        assert_eq!(inv.cases, Some(50));
+        assert_eq!(inv.shape.as_deref(), Some("rings"));
+        assert!(inv.chaos);
+        assert!(parse("fuzz loop.tpn").is_err());
+    }
+
+    #[test]
+    fn fuzz_flags_are_rejected_elsewhere() {
+        assert!(parse("analyze x.tpn --seed 3").is_err());
+        assert!(parse("analyze x.tpn --chaos").is_err());
+        assert!(parse("fuzz --self-test").is_err());
+        assert!(parse("fuzz --cases 0").is_err());
+    }
+
+    #[test]
+    fn small_fuzz_run_passes() {
+        let inv = parse("fuzz --cases 5").unwrap();
+        super::run(&inv).unwrap();
+    }
+
+    #[test]
+    fn small_mutation_run_catches_the_bug() {
+        let inv = parse("fuzz --cases 5 --mutate slow-node").unwrap();
+        super::run(&inv).unwrap();
+    }
+}

@@ -28,6 +28,7 @@
 //! parser and [`usage`] are derived. All logic lives here so it can be
 //! unit-tested; `main.rs` only forwards `std::env::args` and prints.
 
+pub mod fuzz;
 pub mod serve;
 
 use std::fmt::Write as _;
@@ -82,6 +83,19 @@ pub struct Invocation {
     pub queue: Option<usize>,
     /// `--cache W` (serve): result-cache weight capacity.
     pub cache: Option<u64>,
+    /// `--seed N` (fuzz): base seed of the case stream.
+    pub seed: Option<u64>,
+    /// `--cases N` (fuzz): cases to generate.
+    pub cases: Option<u64>,
+    /// `--shape S` (fuzz): generator bias.
+    pub shape: Option<String>,
+    /// `--chaos` (fuzz): also run the service chaos mode.
+    pub chaos: bool,
+    /// `--mutate M` (fuzz): inject a rate bug and require the oracle
+    /// stack to catch it.
+    pub mutate: Option<String>,
+    /// `--dump DIR` (fuzz): where failing cases land as `.sdsp` files.
+    pub dump: Option<String>,
 }
 
 impl Invocation {
@@ -131,6 +145,9 @@ pub enum Command {
     /// Long-running compile service (NDJSON over stdin/stdout or a
     /// Unix-domain socket).
     Serve,
+    /// Conformance fuzzing: generated nets through the differential
+    /// oracle stack, optionally with service chaos mode.
+    Fuzz,
 }
 
 /// One row of the option table: a flag, its value placeholder (if it
@@ -282,13 +299,72 @@ pub static OPTIONS: &[OptSpec] = &[
             Ok(())
         },
     },
+    OptSpec {
+        flag: "--seed",
+        value: Some("N"),
+        help: "base seed of the generated case stream (fuzz; default 0)",
+        apply: |inv, v| {
+            inv.seed = Some(parse_value("--seed", v.unwrap())?);
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--cases",
+        value: Some("N"),
+        help: "cases to generate and cross-check (fuzz; default 100)",
+        apply: |inv, v| {
+            let n: u64 = parse_value("--cases", v.unwrap())?;
+            if n == 0 {
+                return Err("--cases must be at least 1".to_string());
+            }
+            inv.cases = Some(n);
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--shape",
+        value: Some("S"),
+        help: "generator bias: mixed|chains|rings|multi-critical|near-tie (fuzz)",
+        apply: |inv, v| {
+            inv.shape = Some(v.unwrap().to_string());
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--chaos",
+        value: None,
+        help: "also run the deterministic service chaos mode (fuzz)",
+        apply: |inv, _| {
+            inv.chaos = true;
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--mutate",
+        value: Some("M"),
+        help:
+            "inject a rate bug (slow-node|extra-token) and require >= 2 oracles to catch it (fuzz)",
+        apply: |inv, v| {
+            inv.mutate = Some(v.unwrap().to_string());
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--dump",
+        value: Some("DIR"),
+        help: "directory for failing-case .sdsp reproducers (fuzz; default fuzz-failures)",
+        apply: |inv, v| {
+            inv.dump = Some(v.unwrap().to_string());
+            Ok(())
+        },
+    },
 ];
 
 /// The usage text, generated from the subcommand list and
 /// [`static@OPTIONS`].
 pub fn usage() -> String {
     let mut s = String::from(
-        "usage: tpnc <analyze|schedule|emit|dot|behavior|storage|acode|trace> <file|-> [<file> ...]\n       tpnc serve [--socket PATH | --self-test]",
+        "usage: tpnc <analyze|schedule|emit|dot|behavior|storage|acode|trace> <file|-> [<file> ...]\n       tpnc serve [--socket PATH | --self-test]\n       tpnc fuzz [--seed N] [--cases N] [--shape S] [--chaos] [--mutate M]",
     );
     for opt in OPTIONS {
         match opt.value {
@@ -323,6 +399,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
         Some("acode") => Command::Acode,
         Some("trace") => Command::Trace,
         Some("serve") => Command::Serve,
+        Some("fuzz") => Command::Fuzz,
         Some(other) => return Err(format!("unknown command {other:?}\n{}", usage())),
         None => return Err(usage()),
     };
@@ -342,6 +419,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
         requests: 240,
         queue: None,
         cache: None,
+        seed: None,
+        cases: None,
+        shape: None,
+        chaos: false,
+        mutate: None,
+        dump: None,
     };
     while let Some(arg) = args.next() {
         if let Some(spec) = OPTIONS.iter().find(|o| o.flag == arg) {
@@ -359,22 +442,50 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
             invocation.inputs.push(arg);
         }
     }
-    if invocation.command == Command::Serve {
-        // `serve` is the zero-input subcommand: it reads requests, not
-        // loop files.
-        if !invocation.inputs.is_empty() {
-            return Err(format!("serve takes no input files\n{}", usage()));
+    match invocation.command {
+        // `serve` and `fuzz` are the zero-input subcommands: they read
+        // requests / generate cases, not loop files.
+        Command::Serve | Command::Fuzz => {
+            if !invocation.inputs.is_empty() {
+                let name = if invocation.command == Command::Serve {
+                    "serve"
+                } else {
+                    "fuzz"
+                };
+                return Err(format!("{name} takes no input files\n{}", usage()));
+            }
         }
-    } else {
-        if invocation.inputs.is_empty() {
-            return Err(format!("missing input file\n{}", usage()));
+        _ => {
+            if invocation.inputs.is_empty() {
+                return Err(format!("missing input file\n{}", usage()));
+            }
+            if invocation.socket.is_some() || invocation.self_test {
+                return Err(format!(
+                    "--socket and --self-test apply to serve only\n{}",
+                    usage()
+                ));
+            }
         }
-        if invocation.socket.is_some() || invocation.self_test {
-            return Err(format!(
-                "--socket and --self-test apply to serve only\n{}",
-                usage()
-            ));
-        }
+    }
+    if invocation.command != Command::Fuzz
+        && (invocation.seed.is_some()
+            || invocation.cases.is_some()
+            || invocation.shape.is_some()
+            || invocation.chaos
+            || invocation.mutate.is_some()
+            || invocation.dump.is_some())
+    {
+        return Err(format!(
+            "--seed, --cases, --shape, --chaos, --mutate and --dump apply to fuzz only\n{}",
+            usage()
+        ));
+    }
+    if invocation.command == Command::Fuzz && (invocation.socket.is_some() || invocation.self_test)
+    {
+        return Err(format!(
+            "--socket and --self-test apply to serve only\n{}",
+            usage()
+        ));
     }
     if invocation.trace_path.is_some() {
         if !matches!(
@@ -610,6 +721,7 @@ fn execute_text(invocation: &Invocation, lp: &CompiledLoop) -> Result<String, St
             out.push('\n');
         }
         Command::Serve => return Err("serve does not take input files".to_string()),
+        Command::Fuzz => return Err("fuzz does not take input files".to_string()),
     }
     Ok(out)
 }
@@ -794,6 +906,7 @@ fn execute_json(
             Ok(trace.jsonl())
         }
         Command::Serve => Err("serve does not take input files".to_string()),
+        Command::Fuzz => Err("fuzz does not take input files".to_string()),
     }
 }
 

@@ -20,6 +20,15 @@ fn main() -> ExitCode {
             }
         };
     }
+    if invocation.command == tpn_cli::Command::Fuzz {
+        return match tpn_cli::fuzz::run(&invocation) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let mut sources = Vec::with_capacity(invocation.inputs.len());
     for input in &invocation.inputs {
         let source = if input == "-" {

@@ -1,0 +1,384 @@
+//! Deterministic chaos mode for the compile service.
+//!
+//! A seeded fault plan assigns each request of a mixed-verb stream one of
+//! four fates: run clean, be cancelled mid-flight, carry an
+//! already-expired deadline, or panic inside the pipeline (an SCP depth
+//! of zero, which the worker's panic isolation must confine).  The same
+//! stream is first served by a fault-free reference service; the chaos
+//! run must then satisfy:
+//!
+//! * every clean request's NDJSON line is **byte-identical** to the
+//!   reference response (the cache may be hot, cold, or freshly healed
+//!   after a panic eviction — the bytes must not care);
+//! * every faulted request yields its typed error — or, for the two racy
+//!   faults (cancel, deadline), the full byte-identical success when the
+//!   fault lost the race;
+//! * the service's counters account for every injected fault that bit;
+//! * after the storm, a per-source sweep re-queries the chaos service
+//!   and must again be byte-identical to the reference — panics evict
+//!   poisoned cache entries, so recompilation must heal to the same
+//!   bytes (cache coherence).
+//!
+//! Faults race by design (cancellation is cooperative, deadlines are
+//! wall-clock), so the *assertions* are closed under both outcomes while
+//! the *fault plan* is fully deterministic in the seed.
+
+use std::panic;
+use std::sync::Once;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use tpn::CompileOptions;
+use tpn_service::protocol::{Request, Verb};
+use tpn_service::{Service, ServiceConfig};
+
+/// Tuning for one chaos run.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Seed of the deterministic fault plan.
+    pub seed: u64,
+    /// Requests in the storm.
+    pub requests: u64,
+    /// Worker threads of the service under test.
+    pub workers: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            requests: 120,
+            workers: 4,
+        }
+    }
+}
+
+/// One request's planned fate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Fault {
+    None,
+    Cancel,
+    Deadline,
+    Panic,
+}
+
+/// The outcome of a chaos run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ChaosReport {
+    /// Requests in the storm.
+    pub requests: u64,
+    /// Requests that ran clean.
+    pub clean: u64,
+    /// Cancellations injected / observed as typed errors.
+    pub injected_cancels: u64,
+    /// Cancellations that actually interrupted the request.
+    pub effective_cancels: u64,
+    /// Expired deadlines injected.
+    pub injected_deadlines: u64,
+    /// Deadlines that actually expired the request.
+    pub effective_deadlines: u64,
+    /// Panics injected (every one must be observed and confined).
+    pub injected_panics: u64,
+    /// Post-storm coherence probes, all byte-checked.
+    pub coherence_probes: u64,
+    /// Every assertion failure; empty means the run passed.
+    pub violations: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Whether the chaos run satisfied every assertion.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn source_pool() -> Vec<String> {
+    (0..8usize)
+        .map(|i| {
+            let nodes = i % 3 + 1;
+            let body: String = (0..nodes)
+                .map(|j| format!("X{j}[i] := X{j}[i-1] + {}; ", i + 1))
+                .collect();
+            format!("do i from 2 to n {{ {body}}}")
+        })
+        .collect()
+}
+
+/// The clean form of request `id`: mixed verbs over a small source pool.
+fn plan_request(id: u64, pool: &[String]) -> Request {
+    let verb_cycle = [
+        (Verb::Analyze, None),
+        (Verb::Schedule, None),
+        (Verb::Rate, None),
+        (Verb::Scp, Some(2)),
+        (Verb::Trace, None),
+        (Verb::Storage, None),
+    ];
+    let (verb, depth) = verb_cycle[id as usize % verb_cycle.len()];
+    Request {
+        id,
+        verb,
+        source: pool[id as usize % pool.len()].clone(),
+        depth,
+        options: CompileOptions::new(),
+        deadline_ms: None,
+        target: None,
+    }
+}
+
+/// Applies a planned fault to a clean request.
+fn apply_fault(mut request: Request, fault: Fault) -> Request {
+    match fault {
+        Fault::None | Fault::Cancel => {}
+        // Already expired on admission: stage-1 of the worker's
+        // interruption checks fires before any compilation.
+        Fault::Deadline => request.deadline_ms = Some(0),
+        // An SCP depth of zero panics inside the pipeline; the protocol
+        // parser rejects it, but in-process injection goes around the
+        // parser on purpose to reach the worker's panic isolation.
+        Fault::Panic => {
+            request.verb = Verb::Scp;
+            request.depth = Some(0);
+        }
+    }
+    request
+}
+
+fn sample_fault(rng: &mut StdRng) -> Fault {
+    match rng.random_range(0..100u32) {
+        0..=69 => Fault::None,
+        70..=79 => Fault::Cancel,
+        80..=89 => Fault::Deadline,
+        _ => Fault::Panic,
+    }
+}
+
+fn has_error_kind(line: &str, kind: &str) -> bool {
+    line.contains(&format!("\"error\":{{\"kind\":\"{kind}\"")) || {
+        // Field order is fixed by the serializer, but don't depend on it.
+        line.contains(&format!("\"kind\":\"{kind}\"")) && line.contains("\"error\"")
+    }
+}
+
+/// The panic message of the injected SCP-depth-0 fault.
+const INJECTED_PANIC: &str = "pipeline depth must be at least 1";
+
+static SILENCE: Once = Once::new();
+
+/// Installs (once per process) a panic hook that swallows the expected
+/// injected-fault panic, so a storm doesn't spray dozens of identical
+/// backtraces over the fuzzer's output.  Any other panic still reaches
+/// the previous hook untouched.
+fn silence_injected_panics() {
+    SILENCE.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let injected = payload
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains(INJECTED_PANIC))
+                || payload
+                    .downcast_ref::<&str>()
+                    .is_some_and(|m| m.contains(INJECTED_PANIC));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs the chaos storm and returns its report.
+pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
+    silence_injected_panics();
+    let mut report = ChaosReport {
+        requests: config.requests,
+        clean: 0,
+        injected_cancels: 0,
+        effective_cancels: 0,
+        injected_deadlines: 0,
+        effective_deadlines: 0,
+        injected_panics: 0,
+        coherence_probes: 0,
+        violations: Vec::new(),
+    };
+    let pool = source_pool();
+    let service_config = |workers: usize| ServiceConfig {
+        workers,
+        queue_capacity: config.requests.max(64) as usize,
+        ..ServiceConfig::default()
+    };
+
+    // Fault-free reference run: the expected bytes for every request id.
+    let reference_service = Service::start(service_config(config.workers));
+    let mut reference = Vec::with_capacity(config.requests as usize);
+    for id in 0..config.requests {
+        match reference_service.call(plan_request(id, &pool)) {
+            Ok(response) => reference.push(response.line),
+            Err(e) => {
+                report
+                    .violations
+                    .push(format!("reference run overloaded at id {id}: {e}"));
+                return report;
+            }
+        }
+    }
+
+    // Deterministic fault plan.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let faults: Vec<Fault> = (0..config.requests)
+        .map(|_| sample_fault(&mut rng))
+        .collect();
+
+    // The storm: submit in flights, cancel the flagged ones immediately,
+    // then collect and assert.
+    let chaos_service = Service::start(service_config(config.workers));
+    let flight = (config.workers * 4).max(8) as u64;
+    let mut id = 0u64;
+    while id < config.requests {
+        let upper = (id + flight).min(config.requests);
+        let mut tickets = Vec::new();
+        for i in id..upper {
+            let fault = faults[i as usize];
+            let request = apply_fault(plan_request(i, &pool), fault);
+            match chaos_service.submit(request) {
+                Ok(ticket) => {
+                    if fault == Fault::Cancel {
+                        ticket.canceller().cancel();
+                    }
+                    tickets.push((i, fault, ticket));
+                }
+                Err(e) => report
+                    .violations
+                    .push(format!("chaos run overloaded at id {i}: {e}")),
+            }
+        }
+        for (i, fault, ticket) in tickets {
+            let line = ticket.wait().line;
+            let expected = &reference[i as usize];
+            match fault {
+                Fault::None => {
+                    report.clean += 1;
+                    if &line != expected {
+                        report.violations.push(format!(
+                            "id {i}: clean response diverged from reference:\n  chaos: {line}\n  ref:   {expected}"
+                        ));
+                    }
+                }
+                Fault::Cancel => {
+                    report.injected_cancels += 1;
+                    if has_error_kind(&line, "cancelled") {
+                        report.effective_cancels += 1;
+                    } else if &line != expected {
+                        report.violations.push(format!(
+                            "id {i}: cancelled request neither errored nor matched reference: {line}"
+                        ));
+                    }
+                }
+                Fault::Deadline => {
+                    report.injected_deadlines += 1;
+                    if has_error_kind(&line, "deadline") {
+                        report.effective_deadlines += 1;
+                    } else if &line != expected {
+                        report.violations.push(format!(
+                            "id {i}: deadline request neither expired nor matched reference: {line}"
+                        ));
+                    }
+                }
+                Fault::Panic => {
+                    report.injected_panics += 1;
+                    if !has_error_kind(&line, "panic") {
+                        report.violations.push(format!(
+                            "id {i}: injected panic was not reported as one: {line}"
+                        ));
+                    }
+                }
+            }
+        }
+        id = upper;
+    }
+
+    // Counter coherence: the service's books must match what we saw.
+    let counters = chaos_service.counters();
+    if counters.panicked != report.injected_panics {
+        report.violations.push(format!(
+            "counters.panicked = {} but {} panics were injected",
+            counters.panicked, report.injected_panics
+        ));
+    }
+    if counters.cancelled != report.effective_cancels {
+        report.violations.push(format!(
+            "counters.cancelled = {} but {} cancellations bit",
+            counters.cancelled, report.effective_cancels
+        ));
+    }
+    if counters.deadline_expired != report.effective_deadlines {
+        report.violations.push(format!(
+            "counters.deadline_expired = {} but {} deadlines bit",
+            counters.deadline_expired, report.effective_deadlines
+        ));
+    }
+
+    // Cache coherence after the storm: panic isolation evicts the
+    // poisoned entries, so a fresh sweep must recompile to bytes
+    // identical to the fault-free service's.
+    for (i, source) in pool.iter().enumerate() {
+        let probe = |service: &Service| {
+            service.call(Request {
+                id: 1_000_000 + i as u64,
+                verb: Verb::Analyze,
+                source: source.clone(),
+                depth: None,
+                options: CompileOptions::new(),
+                deadline_ms: None,
+                target: None,
+            })
+        };
+        match (probe(&chaos_service), probe(&reference_service)) {
+            (Ok(chaos), Ok(reference)) => {
+                report.coherence_probes += 1;
+                if chaos.line != reference.line {
+                    report.violations.push(format!(
+                        "post-storm sweep diverged on source {i}:\n  chaos: {}\n  ref:   {}",
+                        chaos.line, reference.line
+                    ));
+                }
+            }
+            (chaos, reference) => report.violations.push(format!(
+                "post-storm sweep overloaded on source {i}: {chaos:?} / {reference:?}"
+            )),
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_run_passes_and_injects_every_fault_kind() {
+        let report = run_chaos(&ChaosConfig {
+            seed: 0,
+            requests: 80,
+            workers: 4,
+        });
+        assert!(report.passed(), "{:#?}", report.violations);
+        assert!(report.clean > 0);
+        assert!(report.injected_cancels > 0);
+        assert!(report.injected_deadlines > 0);
+        assert!(report.injected_panics > 0);
+        assert_eq!(report.coherence_probes, 8);
+    }
+
+    #[test]
+    fn chaos_fault_plan_is_deterministic() {
+        let a = run_chaos(&ChaosConfig::default());
+        let b = run_chaos(&ChaosConfig::default());
+        assert_eq!(a.injected_cancels, b.injected_cancels);
+        assert_eq!(a.injected_deadlines, b.injected_deadlines);
+        assert_eq!(a.injected_panics, b.injected_panics);
+        assert!(a.passed() && b.passed());
+    }
+}

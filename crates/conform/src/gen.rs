@@ -1,0 +1,355 @@
+//! Seeded random generation of live, safe SDSP loop bodies.
+//!
+//! Bodies are composed from rings (recurrences) and chains (feed-forward
+//! pipelines) glued into one weakly connected graph, with forward chords
+//! layered on top.  [`SdspBuilder::finish`] guarantees the resulting
+//! SDSP-PN is live and safe by construction (capacity-1 acknowledgement
+//! arcs; long feedback expanded into buffer chains), so every generated
+//! case satisfies the paper's Assumptions A.6.1–A.6.3 and the oracle
+//! stack can assert exact rate agreement.
+//!
+//! [`Shape`] biases generation toward the regimes where the analyses are
+//! hardest to get right: multiple critical cycles with exactly equal
+//! balancing ratios, near-critical ties one time unit apart, and long
+//! recurrence rings with deep feedback.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpn_dataflow::{NodeId, OpKind, Operand, Sdsp, SdspBuilder};
+
+/// The structural bias of a generated case.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Shape {
+    /// Random mix of rings and chains with chords (the default).
+    #[default]
+    Mixed,
+    /// Feed-forward chains only (critical cycles are ack 2-cycles).
+    Chains,
+    /// Recurrence rings with chords, occasionally long and deep.
+    Rings,
+    /// Two rings with *exactly* equal balancing ratios: guaranteed
+    /// multiple critical cycles.
+    MultiCritical,
+    /// Two rings whose cycle times differ by exactly one time unit: a
+    /// unique critical cycle with a near-critical runner-up.
+    NearTie,
+}
+
+impl Shape {
+    /// Every shape, for seed-matrix sweeps.
+    pub const ALL: [Shape; 5] = [
+        Shape::Mixed,
+        Shape::Chains,
+        Shape::Rings,
+        Shape::MultiCritical,
+        Shape::NearTie,
+    ];
+
+    /// Parses the CLI spelling.
+    pub fn parse(name: &str) -> Option<Shape> {
+        match name {
+            "mixed" => Some(Shape::Mixed),
+            "chains" => Some(Shape::Chains),
+            "rings" => Some(Shape::Rings),
+            "multi-critical" => Some(Shape::MultiCritical),
+            "near-tie" => Some(Shape::NearTie),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Shape::Mixed => "mixed",
+            Shape::Chains => "chains",
+            Shape::Rings => "rings",
+            Shape::MultiCritical => "multi-critical",
+            Shape::NearTie => "near-tie",
+        }
+    }
+}
+
+/// Incremental loop-body assembly: tracks every node in creation order
+/// (so chords can point strictly backwards, keeping the intra-iteration
+/// dependence graph acyclic) and which nodes still have a free second
+/// operand slot.
+struct Body {
+    builder: SdspBuilder,
+    all: Vec<NodeId>,
+    free_slot: Vec<NodeId>,
+}
+
+impl Body {
+    fn new() -> Self {
+        Body {
+            builder: SdspBuilder::new(),
+            all: Vec::new(),
+            free_slot: Vec::new(),
+        }
+    }
+
+    /// A binary op; varied for front-end coverage, irrelevant to timing.
+    fn sample_op(rng: &mut StdRng) -> OpKind {
+        match rng.random_range(0..5u32) {
+            0 => OpKind::Add,
+            1 => OpKind::Sub,
+            2 => OpKind::Mul,
+            3 => OpKind::Min,
+            _ => OpKind::Max,
+        }
+    }
+
+    /// Node-time distribution: mostly unit, a band of 2–3, a slow tail.
+    fn sample_time(rng: &mut StdRng, cap: u64) -> u64 {
+        let t = if rng.random_bool(0.55) {
+            1
+        } else if rng.random_bool(0.75) {
+            rng.random_range(2..4u64)
+        } else {
+            rng.random_range(4..7u64)
+        };
+        t.min(cap)
+    }
+
+    /// An operand rooting a segment: a node from an earlier segment when
+    /// one exists (keeping the body weakly connected), an environment
+    /// input otherwise.
+    fn connector(&self, rng: &mut StdRng) -> Operand {
+        if self.all.is_empty() {
+            Operand::env("X", 0)
+        } else {
+            Operand::node(self.all[rng.random_range(0..self.all.len())])
+        }
+    }
+
+    fn push_node(&mut self, rng: &mut StdRng, primary: Operand, time: u64) -> NodeId {
+        let name = format!("v{}", self.all.len());
+        let op = Self::sample_op(rng);
+        let id = self.builder.node(name, op, [primary, Operand::env("E", 0)]);
+        self.builder.set_time(id, time);
+        self.all.push(id);
+        id
+    }
+
+    /// A feed-forward chain of `len ≥ 1` nodes rooted at a connector.
+    fn chain(&mut self, rng: &mut StdRng, len: usize, time_cap: u64) {
+        let mut prev: Option<NodeId> = None;
+        for _ in 0..len {
+            let primary = match prev {
+                None => self.connector(rng),
+                Some(p) => Operand::node(p),
+            };
+            let time = Self::sample_time(rng, time_cap);
+            let id = self.push_node(rng, primary, time);
+            self.free_slot.push(id);
+            prev = Some(id);
+        }
+    }
+
+    /// A recurrence ring: `times.len()` nodes in a data cycle closed by a
+    /// feedback arc of the given iteration `distance` from tail to head.
+    /// The head's second slot carries the feedback, so only interior
+    /// nodes keep a free slot.
+    fn ring(&mut self, rng: &mut StdRng, times: &[u64], distance: u32) {
+        assert!(!times.is_empty() && distance >= 1);
+        let mut prev: Option<NodeId> = None;
+        let mut head: Option<NodeId> = None;
+        for &time in times {
+            let primary = match prev {
+                None => self.connector(rng),
+                Some(p) => Operand::node(p),
+            };
+            let id = self.push_node(rng, primary, time);
+            if head.is_none() {
+                head = Some(id);
+            } else {
+                self.free_slot.push(id);
+            }
+            prev = Some(id);
+        }
+        let (head, tail) = (head.unwrap(), prev.unwrap());
+        self.builder
+            .set_operand(head, 1, Operand::feedback(tail, distance));
+    }
+
+    /// Layers up to `max` forward chords over the body: each rewrites a
+    /// free second slot to read a strictly earlier node, creating extra
+    /// data arcs (and therefore extra ack cycles) without ever forming a
+    /// token-free intra-iteration cycle.
+    fn chords(&mut self, rng: &mut StdRng, max: usize) {
+        for _ in 0..max {
+            if self.free_slot.is_empty() {
+                return;
+            }
+            let slot = rng.random_range(0..self.free_slot.len());
+            let target = self.free_slot.swap_remove(slot);
+            let pos = self
+                .all
+                .iter()
+                .position(|&n| n == target)
+                .expect("free-slot node is in the body");
+            if pos == 0 {
+                continue;
+            }
+            let source = self.all[rng.random_range(0..pos)];
+            self.builder.set_operand(target, 1, Operand::node(source));
+        }
+    }
+
+    fn finish(self) -> Sdsp {
+        self.builder
+            .finish()
+            .expect("generated bodies are structurally valid")
+    }
+}
+
+/// Generates case `case` of the stream identified by `seed`, biased by
+/// `shape`.  Deterministic: equal `(seed, case, shape)` give equal
+/// bodies, which is what makes `.sdsp` reproducer files redundant-but-
+/// convenient snapshots.
+pub fn generate(seed: u64, case: u64, shape: Shape) -> Sdsp {
+    let stream = seed
+        .wrapping_mul(0xD1B5_4A32_D192_ED03)
+        .wrapping_add(case)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut rng = StdRng::seed_from_u64(stream);
+    let mut body = Body::new();
+    match shape {
+        Shape::Chains => {
+            let segments = rng.random_range(1..4usize);
+            for _ in 0..segments {
+                let len = rng.random_range(2..7usize);
+                body.chain(&mut rng, len, 6);
+            }
+            let chords = rng.random_range(0..5usize);
+            body.chords(&mut rng, chords);
+        }
+        Shape::Rings => {
+            let segments = rng.random_range(1..3usize);
+            for _ in 0..segments {
+                let long = rng.random_bool(0.25);
+                let len = if long {
+                    rng.random_range(8..13usize)
+                } else {
+                    rng.random_range(2..8usize)
+                };
+                let distance = rng.random_range(1..4u32);
+                let times: Vec<u64> = (0..len).map(|_| Body::sample_time(&mut rng, 6)).collect();
+                body.ring(&mut rng, &times, distance);
+            }
+            let chords = rng.random_range(0..4usize);
+            body.chords(&mut rng, chords);
+        }
+        Shape::MultiCritical => {
+            // Two rings with identical time vectors and unit feedback:
+            // identical Ω and M, so both are critical — provided no other
+            // cycle matches their ratio.  Ring nodes run 2–3 time units
+            // over length ≥ 5 (Ω ≥ 10) while every ack 2-cycle tops out
+            // at Ω = 3 + 3 < 10, so the two rings are exactly the
+            // critical set.
+            let len = rng.random_range(5..9usize);
+            let times: Vec<u64> = (0..len).map(|_| rng.random_range(2..4u64)).collect();
+            body.ring(&mut rng, &times, 1);
+            body.ring(&mut rng, &times, 1);
+        }
+        Shape::NearTie => {
+            // As MultiCritical, but the second ring runs exactly one time
+            // unit longer: a unique critical cycle with a runner-up one
+            // unit behind.
+            let len = rng.random_range(5..9usize);
+            let times: Vec<u64> = (0..len).map(|_| rng.random_range(2..4u64)).collect();
+            let mut slower = times.clone();
+            slower[rng.random_range(0..len)] += 1;
+            body.ring(&mut rng, &times, 1);
+            body.ring(&mut rng, &slower, 1);
+        }
+        Shape::Mixed => {
+            let segments = rng.random_range(2..5usize);
+            for _ in 0..segments {
+                if rng.random_bool(0.6) {
+                    let long = rng.random_bool(0.15);
+                    let len = if long {
+                        rng.random_range(8..13usize)
+                    } else {
+                        rng.random_range(2..8usize)
+                    };
+                    let distance = rng.random_range(1..4u32);
+                    let times: Vec<u64> =
+                        (0..len).map(|_| Body::sample_time(&mut rng, 6)).collect();
+                    body.ring(&mut rng, &times, distance);
+                } else {
+                    let len = rng.random_range(2..6usize);
+                    body.chain(&mut rng, len, 6);
+                }
+            }
+            let chords = rng.random_range(0..5usize);
+            body.chords(&mut rng, chords);
+        }
+    }
+    body.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpn_dataflow::to_petri::to_petri;
+    use tpn_petri::marked::check_live_safe;
+    use tpn_petri::ratio::analyze_cycles;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for shape in Shape::ALL {
+            let a = generate(7, 3, shape);
+            let b = generate(7, 3, shape);
+            assert_eq!(
+                tpn_dataflow::acode::write(&a),
+                tpn_dataflow::acode::write(&b)
+            );
+        }
+    }
+
+    #[test]
+    fn every_shape_yields_live_safe_nets() {
+        for shape in Shape::ALL {
+            for case in 0..30 {
+                let sdsp = generate(0, case, shape);
+                let pn = to_petri(&sdsp);
+                check_live_safe(&pn.net, &pn.marking).unwrap_or_else(|e| {
+                    panic!("{} case {case}: {e}", shape.as_str());
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn multi_critical_shape_has_multiple_critical_cycles() {
+        for case in 0..30 {
+            let sdsp = generate(1, case, Shape::MultiCritical);
+            let pn = to_petri(&sdsp);
+            let analysis = analyze_cycles(&pn.net, &pn.marking, 50_000).unwrap();
+            assert!(
+                analysis.has_multiple_critical_cycles(),
+                "case {case}: expected a tie, got {:?}",
+                analysis.critical
+            );
+        }
+    }
+
+    #[test]
+    fn near_tie_shape_has_a_unique_critical_cycle() {
+        for case in 0..30 {
+            let sdsp = generate(1, case, Shape::NearTie);
+            let pn = to_petri(&sdsp);
+            let analysis = analyze_cycles(&pn.net, &pn.marking, 50_000).unwrap();
+            assert_eq!(analysis.critical.len(), 1, "case {case}");
+        }
+    }
+
+    #[test]
+    fn shape_parsing_round_trips() {
+        for shape in Shape::ALL {
+            assert_eq!(Shape::parse(shape.as_str()), Some(shape));
+        }
+        assert_eq!(Shape::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,29 @@
+//! Conformance fuzzing for the timed Petri-net loop-scheduling pipeline.
+//!
+//! The paper's claims are exact — the optimal computation rate is
+//! `γ = min M(C)/Ω(C)` over simple cycles, the earliest-firing schedule
+//! attains it, and storage minimisation must not move it — and the
+//! codebase implements each claim along several independent paths
+//! (enumeration, parametric search, simulation, trace replay, storage
+//! rewriting).  This crate turns that redundancy into a test instrument:
+//!
+//! * [`gen`] — a seeded generator of live, safe SDSP loop bodies biased
+//!   toward the hard regimes (multiple critical cycles, near-critical
+//!   ties, long recurrence rings);
+//! * [`oracle`] — the differential oracle stack cross-checking every
+//!   path on every generated case, plus [`oracle::Mutation`] harnesses
+//!   that prove the stack actually catches injected rate bugs;
+//! * [`chaos`] — a deterministic fault-injection mode for the compile
+//!   service, asserting byte-identity and cache coherence under
+//!   cancellations, deadline expiries and worker panics.
+//!
+//! The `tpnc fuzz` subcommand is the command-line front door; failing
+//! cases are dumped as replayable `.sdsp` A-code files.
+
+pub mod chaos;
+pub mod gen;
+pub mod oracle;
+
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
+pub use gen::{generate, Shape};
+pub use oracle::{check_mutated, check_sdsp, CaseReport, Mutation, MutationOutcome, OracleConfig};

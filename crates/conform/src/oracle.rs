@@ -1,0 +1,409 @@
+//! The differential oracle stack.
+//!
+//! Every generated case is pushed through each independent path the
+//! codebase has for computing the loop's computation rate, and the
+//! answers are cross-checked exactly (all arithmetic is rational — any
+//! difference is a bug, not noise):
+//!
+//! * **liveness** — `check_live_safe` confirms the generator's contract;
+//! * **enumeration** — [`analyze_cycles`] (Johnson-style enumeration of
+//!   every simple cycle, max `Ω(C)/M(C)`);
+//! * **parametric** — [`critical_ratio`] (Lawler's parametric search,
+//!   no enumeration);
+//! * **rate** — the earliest-firing frustum simulation's measured rate
+//!   ([`RateReport`]), which Theorem 4.2 says attains the optimum;
+//! * **trace** — the firing trace derived from the frustum, replayed
+//!   from events alone by [`replay_trace`] and held to the same rate;
+//! * **storage** — [`minimize_storage`]'s coalesced net must keep both
+//!   its parametric cycle time and its simulated rate unchanged.
+//!
+//! [`Mutation`] deliberately breaks one layer (the simulated net) while
+//! leaving the analyses untouched; a healthy stack catches the injected
+//! rate bug through at least two independent oracles, which is exactly
+//! what [`check_mutated`] asserts.
+
+use serde::Serialize;
+use tpn_dataflow::to_petri::to_petri;
+use tpn_dataflow::Sdsp;
+use tpn_petri::marked::check_live_safe;
+use tpn_petri::ratio::{analyze_cycles, critical_ratio, CriticalWitness};
+use tpn_petri::PetriError;
+use tpn_sched::frustum::detect_frustum_eager;
+use tpn_sched::rate::RateReport;
+use tpn_sched::trace::FiringTrace;
+use tpn_sched::validate::replay_trace;
+use tpn_storage::minimize_storage;
+
+/// Tuning for one oracle run.
+#[derive(Clone, Copy, Debug)]
+pub struct OracleConfig {
+    /// Cycle-enumeration ceiling; beyond it the enumeration oracle is
+    /// recorded as skipped (not failed) for the case.
+    pub cycle_limit: usize,
+    /// Frustum simulation budget in time steps.
+    pub step_budget: u64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            cycle_limit: 50_000,
+            step_budget: 400_000,
+        }
+    }
+}
+
+/// The outcome of running the oracle stack over one case.
+#[derive(Clone, Debug, Serialize)]
+pub struct CaseReport {
+    /// Case index within the seed's stream.
+    pub case: u64,
+    /// Loop-body node count (after feedback expansion).
+    pub nodes: usize,
+    /// Parametric critical cycle time `α*`.
+    pub cycle_time: String,
+    /// Parametric optimal rate `γ = 1/α*`.
+    pub rate: String,
+    /// Whether cycle enumeration completed within the limit.
+    pub enumerated: bool,
+    /// Whether the case has multiple critical cycles.
+    pub multiple_critical: bool,
+    /// Simulated steps until the frustum's terminal state repeated.
+    pub repeat_time: u64,
+    /// The frustum's steady-state period.
+    pub period: u64,
+    /// Storage locations before minimisation.
+    pub storage_before: usize,
+    /// Storage locations after minimisation.
+    pub storage_after: usize,
+    /// Every oracle disagreement, prefixed by the oracle's name; empty
+    /// means the case passed.
+    pub disagreements: Vec<String>,
+}
+
+impl CaseReport {
+    /// Whether every oracle agreed.
+    pub fn passed(&self) -> bool {
+        self.disagreements.is_empty()
+    }
+
+    /// The distinct oracles that flagged this case.
+    pub fn flagged_oracles(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .disagreements
+            .iter()
+            .map(|d| d.split(':').next().unwrap_or("unknown").to_string())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+/// A deliberately injected rate bug, applied to the *simulated* net only
+/// so the analytical oracles keep reporting the pristine optimum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Slows one node past the critical cycle time: the simulated rate
+    /// drops strictly below the analytical optimum.
+    SlowNode,
+    /// Adds a token to the unique critical cycle: the simulation runs
+    /// strictly faster than the analytical optimum.  Only applicable
+    /// when enumeration confirms a unique critical data cycle.
+    ExtraToken,
+}
+
+impl Mutation {
+    /// Parses the CLI spelling.
+    pub fn parse(name: &str) -> Option<Mutation> {
+        match name {
+            "slow-node" => Some(Mutation::SlowNode),
+            "extra-token" => Some(Mutation::ExtraToken),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mutation::SlowNode => "slow-node",
+            Mutation::ExtraToken => "extra-token",
+        }
+    }
+}
+
+/// What happened when a mutation was injected into a case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MutationOutcome {
+    /// The named oracles flagged the injected bug.
+    Caught(Vec<String>),
+    /// No oracle noticed — a conformance-harness failure.
+    Missed,
+    /// The mutation provably cannot change this case's rate (e.g. an
+    /// extra token when critical cycles tie), so it proves nothing.
+    NotApplicable,
+}
+
+/// Runs the full oracle stack over one pristine case.
+pub fn check_sdsp(case: u64, sdsp: &Sdsp, config: &OracleConfig) -> CaseReport {
+    run_case(case, sdsp, None, config)
+}
+
+/// Injects `mutation` into the simulated net and reports which oracles
+/// caught the divergence from the (untouched) analytical optimum.
+pub fn check_mutated(
+    case: u64,
+    sdsp: &Sdsp,
+    mutation: Mutation,
+    config: &OracleConfig,
+) -> MutationOutcome {
+    let report = run_case(case, sdsp, Some(mutation), config);
+    if report.disagreements.iter().any(|d| d == NOT_APPLICABLE) {
+        return MutationOutcome::NotApplicable;
+    }
+    let oracles = report.flagged_oracles();
+    if oracles.is_empty() {
+        MutationOutcome::Missed
+    } else {
+        MutationOutcome::Caught(oracles)
+    }
+}
+
+/// Sentinel disagreement marking a mutation that cannot bite.
+const NOT_APPLICABLE: &str = "mutation: not applicable";
+
+fn run_case(
+    case: u64,
+    sdsp: &Sdsp,
+    mutation: Option<Mutation>,
+    config: &OracleConfig,
+) -> CaseReport {
+    let pn = to_petri(sdsp);
+    let mut report = CaseReport {
+        case,
+        nodes: sdsp.num_nodes(),
+        cycle_time: String::new(),
+        rate: String::new(),
+        enumerated: false,
+        multiple_critical: false,
+        repeat_time: 0,
+        period: 0,
+        storage_before: 0,
+        storage_after: 0,
+        disagreements: Vec::new(),
+    };
+
+    // Oracle 0: the generator's structural contract.
+    if let Err(e) = check_live_safe(&pn.net, &pn.marking) {
+        report
+            .disagreements
+            .push(format!("liveness: generated net not live and safe: {e}"));
+        return report;
+    }
+
+    // Oracle 1: Lawler's parametric search — the baseline every other
+    // oracle is compared against.
+    let param = match critical_ratio(&pn.net, &pn.marking) {
+        Ok(p) => p,
+        Err(e) => {
+            report
+                .disagreements
+                .push(format!("parametric: critical_ratio failed: {e}"));
+            return report;
+        }
+    };
+    report.cycle_time = param.cycle_time.to_string();
+    report.rate = param.rate.to_string();
+
+    // Oracle 2: exhaustive cycle enumeration must find the same α*.
+    match analyze_cycles(&pn.net, &pn.marking, config.cycle_limit) {
+        Ok(analysis) => {
+            report.enumerated = true;
+            report.multiple_critical = analysis.has_multiple_critical_cycles();
+            if analysis.cycle_time != param.cycle_time {
+                report.disagreements.push(format!(
+                    "enumeration: analyze_cycles α* = {} but critical_ratio α* = {}",
+                    analysis.cycle_time, param.cycle_time
+                ));
+            }
+        }
+        Err(PetriError::TooManyCycles { .. }) => {}
+        Err(e) => report
+            .disagreements
+            .push(format!("enumeration: analyze_cycles failed: {e}")),
+    }
+
+    // Inject the mutation into the simulated net only.
+    let mut sim_net = pn.net.clone();
+    let mut sim_marking = pn.marking.clone();
+    match mutation {
+        None => {}
+        Some(Mutation::SlowNode) => {
+            // One past ⌈α*⌉: the node's implicit self-loop now bounds the
+            // rate strictly below the analytical optimum.
+            let slow = param.cycle_time.numer().div_ceil(param.cycle_time.denom()) + 1;
+            sim_net.set_time(pn.transition_of[0], slow);
+        }
+        Some(Mutation::ExtraToken) => match &param.witness {
+            CriticalWitness::Cycle(c) if report.enumerated && !report.multiple_critical => {
+                let p = c.places()[0];
+                sim_marking.set(p, sim_marking.tokens(p) + 1);
+            }
+            _ => {
+                report.disagreements.push(NOT_APPLICABLE.to_string());
+                return report;
+            }
+        },
+    }
+
+    // Oracles 3 and 4: the earliest-firing simulation and the replayed
+    // firing trace must both attain exactly the analytical optimum.
+    match detect_frustum_eager(&sim_net, sim_marking.clone(), config.step_budget) {
+        Ok(frustum) => {
+            report.repeat_time = frustum.repeat_time;
+            report.period = frustum.period();
+            let measured = frustum.rate_of(pn.transition_of[0]);
+            if measured != param.rate {
+                report.disagreements.push(format!(
+                    "rate: simulated rate {} != analytical optimum {}",
+                    measured, param.rate
+                ));
+            }
+            if mutation.is_none() {
+                // The public RateReport path must agree with the direct
+                // per-transition measurement.
+                match RateReport::for_sdsp_pn(&pn, &frustum) {
+                    Ok(rr) => {
+                        if !rr.is_time_optimal() || rr.measured != measured {
+                            report.disagreements.push(format!(
+                                "rate: RateReport measured {} optimal {} (direct {})",
+                                rr.measured, rr.optimal, measured
+                            ));
+                        }
+                    }
+                    Err(e) => report
+                        .disagreements
+                        .push(format!("rate: RateReport failed: {e}")),
+                }
+            }
+            let trace = FiringTrace::from_frustum(&sim_net, &sim_marking, &frustum);
+            match replay_trace(&sim_net, &sim_marking, &trace) {
+                Ok(validation) => {
+                    if let Err(e) = validation.confirm_rate(sim_net.transition_ids(), param.rate) {
+                        report.disagreements.push(format!("trace: {e}"));
+                    }
+                }
+                Err(e) => report
+                    .disagreements
+                    .push(format!("trace: replay failed: {e}")),
+            }
+        }
+        Err(e) => report
+            .disagreements
+            .push(format!("rate: frustum detection failed: {e}")),
+    }
+
+    // Oracle 5: storage minimisation must not move the rate, neither
+    // analytically nor under simulation.  Runs on the pristine loop (the
+    // mutation lives in the simulated net, which storage never sees).
+    if mutation.is_none() {
+        match minimize_storage(sdsp) {
+            Ok((optimised, storage_report)) => {
+                report.storage_before = storage_report.before;
+                report.storage_after = storage_report.after;
+                let opn = to_petri(&optimised);
+                match critical_ratio(&opn.net, &opn.marking) {
+                    Ok(after) => {
+                        if after.cycle_time != param.cycle_time {
+                            report.disagreements.push(format!(
+                                "storage: minimised α* = {} but original α* = {}",
+                                after.cycle_time, param.cycle_time
+                            ));
+                        }
+                    }
+                    Err(e) => report
+                        .disagreements
+                        .push(format!("storage: minimised net analysis failed: {e}")),
+                }
+                match detect_frustum_eager(&opn.net, opn.marking.clone(), config.step_budget) {
+                    Ok(f) => {
+                        let after = f.rate_of(opn.transition_of[0]);
+                        if after != param.rate {
+                            report.disagreements.push(format!(
+                                "storage: minimised net simulates at {} != {}",
+                                after, param.rate
+                            ));
+                        }
+                    }
+                    Err(e) => report
+                        .disagreements
+                        .push(format!("storage: minimised net simulation failed: {e}")),
+                }
+            }
+            Err(e) => report
+                .disagreements
+                .push(format!("storage: minimize_storage failed: {e}")),
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, Shape};
+
+    #[test]
+    fn pristine_cases_pass_every_oracle() {
+        let config = OracleConfig::default();
+        for shape in Shape::ALL {
+            for case in 0..20 {
+                let sdsp = generate(0, case, shape);
+                let report = check_sdsp(case, &sdsp, &config);
+                assert!(
+                    report.passed(),
+                    "{} case {case}: {:?}",
+                    shape.as_str(),
+                    report.disagreements
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slow_node_mutation_is_caught_by_at_least_two_oracles() {
+        let config = OracleConfig::default();
+        for shape in Shape::ALL {
+            for case in 0..10 {
+                let sdsp = generate(0, case, shape);
+                match check_mutated(case, &sdsp, Mutation::SlowNode, &config) {
+                    MutationOutcome::Caught(oracles) => assert!(
+                        oracles.len() >= 2,
+                        "{} case {case}: only {oracles:?} caught the bug",
+                        shape.as_str()
+                    ),
+                    other => panic!("{} case {case}: {other:?}", shape.as_str()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extra_token_mutation_is_caught_when_applicable() {
+        let config = OracleConfig::default();
+        let mut caught = 0;
+        for case in 0..20 {
+            let sdsp = generate(0, case, Shape::NearTie);
+            match check_mutated(case, &sdsp, Mutation::ExtraToken, &config) {
+                MutationOutcome::Caught(oracles) => {
+                    assert!(oracles.len() >= 2, "case {case}: {oracles:?}");
+                    caught += 1;
+                }
+                MutationOutcome::NotApplicable => {}
+                MutationOutcome::Missed => panic!("case {case}: mutation missed"),
+            }
+        }
+        assert!(caught > 0, "no near-tie case exercised the mutation");
+    }
+}

@@ -324,42 +324,6 @@ impl CompileOptions {
         h = eat_opt(h, self.trace_capacity.map(|v| v as u64));
         h
     }
-
-    /// Deprecated alias of [`get_node_time`](Self::get_node_time).
-    #[deprecated(since = "0.1.0", note = "renamed to get_node_time")]
-    pub fn node_time_override(&self) -> Option<u64> {
-        self.node_time
-    }
-
-    /// Deprecated alias of [`get_trace`](Self::get_trace).
-    #[deprecated(since = "0.1.0", note = "renamed to get_trace")]
-    pub fn tracing_enabled(&self) -> bool {
-        self.trace
-    }
-
-    /// Deprecated alias of [`get_trace_capacity`](Self::get_trace_capacity).
-    #[deprecated(since = "0.1.0", note = "renamed to get_trace_capacity")]
-    pub fn trace_capacity_override(&self) -> Option<usize> {
-        self.trace_capacity
-    }
-
-    /// Deprecated alias of [`get_step_budget`](Self::get_step_budget).
-    #[deprecated(since = "0.1.0", note = "renamed to get_step_budget")]
-    pub fn step_budget_override(&self) -> Option<u64> {
-        self.step_budget
-    }
-
-    /// Deprecated alias of [`get_issue_policy`](Self::get_issue_policy).
-    #[deprecated(since = "0.1.0", note = "renamed to get_issue_policy")]
-    pub fn scp_issue_policy(&self) -> IssuePolicy {
-        self.issue_policy
-    }
-
-    /// Deprecated alias of [`get_profile`](Self::get_profile).
-    #[deprecated(since = "0.1.0", note = "renamed to get_profile")]
-    pub fn profiling_enabled(&self) -> bool {
-        self.profile
-    }
 }
 
 /// Critical-cycle analysis of a compiled loop.
@@ -629,13 +593,6 @@ impl CompiledLoop {
         self.frustum_entry().map(|(f, _)| f)
     }
 
-    /// Deprecated alias of [`frustum`](Self::frustum) from the era when
-    /// `frustum()` returned an owned copy.
-    #[deprecated(since = "0.1.0", note = "frustum() now returns Arc; use it directly")]
-    pub fn shared_frustum(&self) -> Result<Arc<FrustumReport>, Error> {
-        self.frustum()
-    }
-
     /// The effective recorder capacity for a net with `transitions`
     /// transitions (see [`CompileOptions::trace_capacity`]).
     fn effective_trace_capacity(&self, transitions: usize) -> usize {
@@ -813,13 +770,6 @@ impl CompiledLoop {
             .clone()
     }
 
-    /// Deprecated alias of [`schedule`](Self::schedule) from the era when
-    /// `schedule()` returned an owned copy.
-    #[deprecated(since = "0.1.0", note = "schedule() now returns Arc; use it directly")]
-    pub fn shared_schedule(&self) -> Result<Arc<LoopSchedule>, Error> {
-        self.schedule()
-    }
-
     /// Measures the frustum rate against the critical-cycle bound.
     /// Memoized; reuses the shared frustum.
     ///
@@ -853,13 +803,6 @@ impl CompiledLoop {
             .entry(depth)
             .or_insert_with(|| self.run_scp(depth).map(Arc::new))
             .clone()
-    }
-
-    /// Deprecated alias of [`scp`](Self::scp) from the era when `scp()`
-    /// returned an owned copy.
-    #[deprecated(since = "0.1.0", note = "scp() now returns Arc; use it directly")]
-    pub fn shared_scp(&self, depth: u64) -> Result<Arc<ScpRun>, Error> {
-        self.scp(depth)
     }
 
     fn run_scp(&self, depth: u64) -> Result<ScpRun, Error> {
@@ -949,16 +892,6 @@ impl CompiledLoop {
                 }))
             })
             .clone()
-    }
-
-    /// Deprecated cloning shim over [`storage`](Self::storage): returns
-    /// owned copies of the optimised loop and report, as the old
-    /// `minimize_storage()` accessor did. Note the owned loop still
-    /// shares the memoized stage caches of the `Arc`-held one.
-    #[deprecated(since = "0.1.0", note = "use storage(), which returns Arc<StorageRun>")]
-    pub fn minimize_storage(&self) -> Result<(CompiledLoop, StorageReport), Error> {
-        let run = self.storage()?;
-        Ok((run.optimised.clone(), run.report.clone()))
     }
 
     /// Emits the time-optimal schedule as a VLIW program over the loop's
@@ -1084,10 +1017,6 @@ mod tests {
         // Repeated calls share the same memoized rewrite.
         let again = lp.storage().unwrap();
         assert!(Arc::ptr_eq(&run, &again));
-        // The deprecated cloning shim hands out the same report.
-        #[allow(deprecated)]
-        let (_, report) = lp.minimize_storage().unwrap();
-        assert_eq!(report, run.report);
     }
 
     #[test]
@@ -1105,13 +1034,6 @@ mod tests {
         // Clones share the already-computed results.
         let clone = lp.clone();
         assert!(Arc::ptr_eq(&f1, &clone.frustum().unwrap()));
-        // The deprecated shared_* shims return the very same Arcs.
-        #[allow(deprecated)]
-        {
-            assert!(Arc::ptr_eq(&f1, &lp.shared_frustum().unwrap()));
-            assert!(Arc::ptr_eq(&s1, &lp.shared_schedule().unwrap()));
-            assert!(Arc::ptr_eq(&scp1, &lp.shared_scp(8).unwrap()));
-        }
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub mod coverability;
 pub mod cycles;
 pub mod dot;
 pub mod error;
+pub mod gen;
 pub mod ids;
 pub mod invariants;
 pub mod marked;

@@ -34,6 +34,12 @@ pub enum StorageError {
     Petri(PetriError),
     /// Rewriting the acknowledgement structure failed.
     Dataflow(DataflowError),
+    /// Cycle enumeration aborted: the SDSP-PN has more than `limit` simple
+    /// cycles, so the balancing report cannot be produced at this limit.
+    TooManyCycles {
+        /// The enumeration limit that was exceeded.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -41,6 +47,11 @@ impl std::fmt::Display for StorageError {
         match self {
             StorageError::Petri(e) => write!(f, "{e}"),
             StorageError::Dataflow(e) => write!(f, "{e}"),
+            StorageError::TooManyCycles { limit } => write!(
+                f,
+                "the SDSP-PN has more than {limit} simple cycles; \
+                 raise the cycle limit to analyse this net"
+            ),
         }
     }
 }
@@ -49,7 +60,10 @@ impl std::error::Error for StorageError {}
 
 impl From<PetriError> for StorageError {
     fn from(e: PetriError) -> Self {
-        StorageError::Petri(e)
+        match e {
+            PetriError::TooManyCycles { limit } => StorageError::TooManyCycles { limit },
+            other => StorageError::Petri(other),
+        }
     }
 }
 
@@ -435,6 +449,15 @@ mod tests {
             .iter()
             .filter(|c| !c.critical && c.nodes.len() == 2)
             .all(|c| c.ratio == Ratio::new(1, 2)));
+    }
+
+    #[test]
+    fn balancing_report_surfaces_the_exceeded_cycle_limit() {
+        let err = balancing_report(&l2(), 1).unwrap_err();
+        assert_eq!(err, StorageError::TooManyCycles { limit: 1 });
+        let message = err.to_string();
+        assert!(message.contains("more than 1 simple cycles"), "{message}");
+        assert!(message.contains("raise the cycle limit"), "{message}");
     }
 
     #[test]

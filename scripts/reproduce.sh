@@ -26,6 +26,7 @@ run buffering
 run latency
 run modulo
 run service
+run conform
 echo "== figures =="
 ./target/release/figures all > "$out/figures.txt"
 echo "figures written to $out/figures.txt"

@@ -61,6 +61,37 @@ proptest! {
         prop_assert!(outcome.semantics_preserved());
     }
 
+    /// Rate preservation in the hardest regime: when *several* critical
+    /// cycles tie at the optimum (so there is no slack anywhere near the
+    /// critical set), the minimised allocation must still hold the exact
+    /// rate — analytically and under simulation.  The synth-based cases
+    /// above almost always have a unique critical cycle; this one uses
+    /// the conformance generator's multi-critical shape, which builds
+    /// tied critical cycles by construction.
+    #[test]
+    fn minimisation_preserves_the_rate_with_multiple_critical_cycles(
+        seed in any::<u64>(),
+        case in 0u64..64,
+    ) {
+        let sdsp = tpn_conform::generate(seed, case, tpn_conform::Shape::MultiCritical);
+        let before_pn = to_petri(&sdsp);
+        let analysis =
+            tpn_petri::ratio::analyze_cycles(&before_pn.net, &before_pn.marking, 50_000).unwrap();
+        prop_assert!(
+            analysis.has_multiple_critical_cycles(),
+            "generator contract: multi-critical shape must tie its critical cycles"
+        );
+        let (optimised, report) = minimize_storage(&sdsp).unwrap();
+        prop_assert!(report.after <= report.before);
+        let after_pn = to_petri(&optimised);
+        let after = critical_ratio(&after_pn.net, &after_pn.marking).unwrap();
+        prop_assert_eq!(analysis.cycle_time, after.cycle_time);
+        prop_assert!(check_live_safe(&after_pn.net, &after_pn.marking).is_ok());
+        // The minimised net also *runs* at the unchanged rate.
+        let f = detect_frustum_eager(&after_pn.net, after_pn.marking.clone(), 400_000).unwrap();
+        prop_assert_eq!(f.rate_of(after_pn.transition_of[0]), analysis.rate);
+    }
+
     /// Idempotence: a second optimisation pass finds nothing more.
     #[test]
     fn minimisation_is_idempotent(config in synth_config()) {
