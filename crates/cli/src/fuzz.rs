@@ -36,6 +36,7 @@ struct FuzzSummary {
     max_nodes: usize,
     disagreements: Vec<String>,
     reproducers: Vec<String>,
+    dump_errors: Vec<String>,
 }
 
 /// Aggregate result of a mutation run.
@@ -51,6 +52,11 @@ struct MutationSummary {
     min_oracles: usize,
 }
 
+/// Writes one failing case as a replayable `.sdsp` file, creating the
+/// dump directory on first use. Filesystem trouble (missing parent,
+/// read-only directory, the directory path occupied by a plain file)
+/// comes back as a typed `cannot create ...` / `cannot write ...`
+/// message — never a panic, and never by discarding the run's summary.
 fn dump_reproducer(
     dir: &str,
     seed: u64,
@@ -58,11 +64,12 @@ fn dump_reproducer(
     shape: Shape,
     sdsp: &tpn::dataflow::Sdsp,
 ) -> Result<String, String> {
-    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("cannot create reproducer directory {dir}: {e}"))?;
     let name = format!("case-{}-{seed}-{case}.sdsp", shape.as_str());
     let path = Path::new(dir).join(&name);
     std::fs::write(&path, tpn::dataflow::acode::write(sdsp))
-        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        .map_err(|e| format!("cannot write reproducer {}: {e}", path.display()))?;
     Ok(path.display().to_string())
 }
 
@@ -166,6 +173,7 @@ pub fn run(invocation: &Invocation) -> Result<(), String> {
                 max_nodes: 0,
                 disagreements: Vec::new(),
                 reproducers: Vec::new(),
+                dump_errors: Vec::new(),
             };
             for report in &reports {
                 summary.max_nodes = summary.max_nodes.max(report.nodes);
@@ -185,13 +193,15 @@ pub fn run(invocation: &Invocation) -> Result<(), String> {
                             .push(format!("case {}: {d}", report.case));
                     }
                     let sdsp = tpn_conform::generate(seed, report.case, shape);
-                    summary.reproducers.push(dump_reproducer(
-                        dump_dir,
-                        seed,
-                        report.case,
-                        shape,
-                        &sdsp,
-                    )?);
+                    // A broken dump directory must not abort the run
+                    // mid-summary: record the typed message and keep
+                    // reporting the disagreements that matter.
+                    match dump_reproducer(dump_dir, seed, report.case, shape, &sdsp) {
+                        Ok(path) => summary.reproducers.push(path),
+                        Err(e) => summary
+                            .dump_errors
+                            .push(format!("case {}: {e}", report.case)),
+                    }
                 }
             }
             let chaos: Option<ChaosReport> = invocation.chaos.then(|| {
@@ -227,6 +237,9 @@ pub fn run(invocation: &Invocation) -> Result<(), String> {
                     for r in &summary.reproducers {
                         println!("  reproducer {r}");
                     }
+                    for e in &summary.dump_errors {
+                        println!("  DUMP {e}");
+                    }
                     if let Some(chaos) = &chaos {
                         println!(
                             "  chaos: {} requests ({} clean, {} cancels/{} bit, {} deadlines/{} bit, {} panics), {} probes -> {}",
@@ -246,17 +259,21 @@ pub fn run(invocation: &Invocation) -> Result<(), String> {
                     }
                 }
             }
+            let dumped = !summary.reproducers.is_empty();
             let mut failures = summary.disagreements;
+            failures.extend(summary.dump_errors.iter().cloned());
             if let Some(chaos) = &chaos {
                 failures.extend(chaos.violations.iter().cloned());
             }
             if failures.is_empty() {
                 Ok(())
-            } else {
+            } else if dumped {
                 Err(format!(
                     "{} conformance failure(s); reproducers in {dump_dir}/",
                     failures.len()
                 ))
+            } else {
+                Err(format!("{} conformance failure(s)", failures.len()))
             }
         }
     }
@@ -293,6 +310,34 @@ mod tests {
     fn small_fuzz_run_passes() {
         let inv = parse("fuzz --cases 5").unwrap();
         super::run(&inv).unwrap();
+    }
+
+    #[test]
+    fn reproducer_dump_creates_the_directory() {
+        let dir = std::env::temp_dir().join("tpnc-fuzz-dump-creates");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir = dir.display().to_string();
+        let sdsp = tpn_conform::generate(0, 0, tpn_conform::Shape::Chains);
+        let path = super::dump_reproducer(&dir, 0, 0, tpn_conform::Shape::Chains, &sdsp).unwrap();
+        assert!(std::path::Path::new(&path).is_file(), "missing {path}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_reproducer_directory_is_a_typed_error() {
+        // Occupy the dump-directory path with a plain file: create_dir_all
+        // fails the same way a read-only parent would, deterministically.
+        let blocker = std::env::temp_dir().join("tpnc-fuzz-dump-blocked");
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let dir = blocker.display().to_string();
+        let sdsp = tpn_conform::generate(0, 0, tpn_conform::Shape::Chains);
+        let err =
+            super::dump_reproducer(&dir, 0, 0, tpn_conform::Shape::Chains, &sdsp).unwrap_err();
+        assert!(
+            err.contains("cannot create reproducer directory"),
+            "got: {err}"
+        );
+        let _ = std::fs::remove_file(&blocker);
     }
 
     #[test]

@@ -96,6 +96,9 @@ pub struct Invocation {
     pub mutate: Option<String>,
     /// `--dump DIR` (fuzz): where failing cases land as `.sdsp` files.
     pub dump: Option<String>,
+    /// `--engine auto|analytic|frustum`: scheduling engine (default
+    /// auto: analytic on pure marked graphs, frustum otherwise).
+    pub engine: tpn::SchedulePolicy,
 }
 
 impl Invocation {
@@ -358,6 +361,17 @@ pub static OPTIONS: &[OptSpec] = &[
             Ok(())
         },
     },
+    OptSpec {
+        flag: "--engine",
+        value: Some("auto|analytic|frustum"),
+        help: "scheduling engine (default auto: analytic on marked graphs)",
+        apply: |inv, v| {
+            let v = v.unwrap();
+            inv.engine =
+                tpn::SchedulePolicy::parse(v).ok_or_else(|| format!("bad --engine value {v:?}"))?;
+            Ok(())
+        },
+    },
 ];
 
 /// The usage text, generated from the subcommand list and
@@ -425,6 +439,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
         chaos: false,
         mutate: None,
         dump: None,
+        engine: tpn::SchedulePolicy::default(),
     };
     while let Some(arg) = args.next() {
         if let Some(spec) = OPTIONS.iter().find(|o| o.flag == arg) {
@@ -514,7 +529,8 @@ fn compile(source: &str, invocation: &Invocation) -> Result<CompiledLoop, String
     let wants_trace = invocation.command == Command::Trace || invocation.trace_path.is_some();
     let options = tpn::CompileOptions::new()
         .profile(invocation.profile)
-        .trace(wants_trace);
+        .trace(wants_trace)
+        .engine(invocation.engine);
     if source.trim_start().starts_with(".sdsp") {
         let sdsp = tpn::dataflow::acode::read(source).map_err(|e| e.to_string())?;
         Ok(CompiledLoop::from_sdsp_with(sdsp, options))
@@ -894,7 +910,9 @@ fn execute_json(
                     locations_before: report.locations_before,
                     locations_after: report.locations_after,
                     rate_before: Some(report.rate_before.to_string()),
+                    rate_before_rational: Some(report.rate_before.into()),
                     rate_after: report.rate_after.to_string(),
+                    rate_after_rational: report.rate_after.into(),
                 }
             } else {
                 tpn_service::protocol::storage_payload(lp, file).map_err(|e| e.to_string())?
@@ -1179,7 +1197,7 @@ wat
 
     #[test]
     fn profile_text_appends_stage_spans_and_counters() {
-        let inv = parse_args(args("schedule - --profile")).unwrap();
+        let inv = parse_args(args("schedule - --profile --engine frustum")).unwrap();
         let out = execute(&inv, L5).unwrap();
         assert!(out.contains("II = 2"), "schedule output missing: {out}");
         assert!(out.contains("profile:"));
@@ -1200,8 +1218,26 @@ wat
     }
 
     #[test]
+    fn default_engine_profile_shows_the_analytic_path() {
+        // L5 is a pure marked graph, so `--engine auto` (the default)
+        // takes the analytic fast path: no frustum detection runs, yet
+        // the schedule is identical.
+        let auto = execute(&parse_args(args("schedule - --profile")).unwrap(), L5).unwrap();
+        assert!(auto.contains("II = 2"), "schedule output missing: {auto}");
+        assert!(auto.contains("analytic_schedule"), "got: {auto}");
+        assert!(!auto.contains("frustum_detection"), "got: {auto}");
+        let frustum = execute(
+            &parse_args(args("schedule - --engine frustum")).unwrap(),
+            L5,
+        )
+        .unwrap();
+        let plain = execute(&parse_args(args("schedule -")).unwrap(), L5).unwrap();
+        assert_eq!(plain, frustum, "engines must print identical kernels");
+    }
+
+    #[test]
     fn profile_json_snapshot_for_l5_schedule() {
-        let inv = parse_args(args("schedule - --profile --format json")).unwrap();
+        let inv = parse_args(args("schedule - --profile --format json --engine frustum")).unwrap();
         let out = execute(&inv, L5).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 2, "expected result + profile lines: {out}");

@@ -15,7 +15,11 @@
 //! * **trace** — the firing trace derived from the frustum, replayed
 //!   from events alone by [`replay_trace`] and held to the same rate;
 //! * **storage** — [`minimize_storage`]'s coalesced net must keep both
-//!   its parametric cycle time and its simulated rate unchanged.
+//!   its parametric cycle time and its simulated rate unchanged;
+//! * **analytic** — the simulation-free periodic schedule built from the
+//!   critical ratio ([`AnalyticSchedule`]) must carry exactly the
+//!   parametric rate, pass the independent dependence checker, and its
+//!   synthesized firing trace must replay cleanly at the same rate.
 //!
 //! [`Mutation`] deliberately breaks one layer (the simulated net) while
 //! leaving the analyses untouched; a healthy stack catches the injected
@@ -28,10 +32,11 @@ use tpn_dataflow::Sdsp;
 use tpn_petri::marked::check_live_safe;
 use tpn_petri::ratio::{analyze_cycles, critical_ratio, CriticalWitness};
 use tpn_petri::PetriError;
+use tpn_sched::analytic::AnalyticSchedule;
 use tpn_sched::frustum::detect_frustum_eager;
 use tpn_sched::rate::RateReport;
 use tpn_sched::trace::FiringTrace;
-use tpn_sched::validate::replay_trace;
+use tpn_sched::validate::{check_schedule, replay_trace};
 use tpn_storage::minimize_storage;
 
 /// Tuning for one oracle run.
@@ -343,6 +348,54 @@ fn run_case(
             Err(e) => report
                 .disagreements
                 .push(format!("storage: minimize_storage failed: {e}")),
+        }
+    }
+
+    // Oracle 6: the analytic fast path — the periodic schedule built
+    // straight from the critical ratio, no simulation — must agree with
+    // the parametric baseline exactly, pass the independent dependence
+    // checker, and its synthesized trace must replay cleanly at the same
+    // rate.  Runs on the pristine net (like storage, it never sees the
+    // mutated copy, so a mutated run would vacuously "disagree").
+    if mutation.is_none() {
+        match AnalyticSchedule::for_sdsp_pn(&pn) {
+            Ok(analytic) => {
+                if analytic.rate() != param.rate {
+                    report.disagreements.push(format!(
+                        "analytic: constructed rate {} != analytical optimum {}",
+                        analytic.rate(),
+                        param.rate
+                    ));
+                }
+                let schedule = analytic.loop_schedule(sdsp, &pn);
+                if schedule.initiation_interval() != param.cycle_time {
+                    report.disagreements.push(format!(
+                        "analytic: schedule II = {} but α* = {}",
+                        schedule.initiation_interval(),
+                        param.cycle_time
+                    ));
+                }
+                if let Err(e) = check_schedule(sdsp, &schedule, 24, None, 0) {
+                    report
+                        .disagreements
+                        .push(format!("analytic: schedule check failed: {e}"));
+                }
+                let trace = analytic.trace(&pn, 2);
+                match replay_trace(&pn.net, &pn.marking, &trace) {
+                    Ok(validation) => {
+                        if let Err(e) = validation.confirm_rate(pn.net.transition_ids(), param.rate)
+                        {
+                            report.disagreements.push(format!("analytic: {e}"));
+                        }
+                    }
+                    Err(e) => report
+                        .disagreements
+                        .push(format!("analytic: trace replay failed: {e}")),
+                }
+            }
+            Err(e) => report
+                .disagreements
+                .push(format!("analytic: construction failed: {e}")),
         }
     }
 

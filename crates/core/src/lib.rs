@@ -68,9 +68,11 @@ use tpn_petri::rational::Ratio;
 use tpn_petri::timed::EagerPolicy;
 use tpn_petri::trace::RingRecorder;
 use tpn_petri::PetriError;
+use tpn_sched::analytic::AnalyticSchedule;
 use tpn_sched::frustum::{
     detect_frustum, detect_frustum_eager, detect_frustum_with_sink, FrustumReport,
 };
+pub use tpn_sched::policy::SchedulePolicy;
 use tpn_sched::policy::{FifoPolicy, PriorityPolicy};
 use tpn_sched::rate::{RateReport, ScpRateReport};
 use tpn_sched::schedule::LoopSchedule;
@@ -175,6 +177,7 @@ pub struct CompileOptions {
     profile: bool,
     trace: bool,
     trace_capacity: Option<usize>,
+    engine: SchedulePolicy,
 }
 
 /// Default ceiling on the live trace recorder's event buffer: enough for
@@ -255,6 +258,19 @@ impl CompileOptions {
         self
     }
 
+    /// Selects the steady-state scheduling engine (default
+    /// [`SchedulePolicy::Auto`]: analytic construction from the critical
+    /// ratio on pure marked graphs, frustum simulation otherwise). The
+    /// choice affects [`CompiledLoop::schedule`] and
+    /// [`CompiledLoop::rate_report`]; frustum-specific artifacts
+    /// ([`CompiledLoop::frustum`], traces, the steady-state net, SCP runs)
+    /// always simulate.
+    #[must_use]
+    pub fn engine(mut self, engine: SchedulePolicy) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// The configured uniform node time, if any.
     ///
     /// Getters mirror the fluent setters with a `get_` prefix (the std
@@ -287,6 +303,11 @@ impl CompileOptions {
     /// The configured recorder capacity, if any.
     pub fn get_trace_capacity(&self) -> Option<usize> {
         self.trace_capacity
+    }
+
+    /// The configured scheduling engine.
+    pub fn get_engine(&self) -> SchedulePolicy {
+        self.engine
     }
 
     /// A stable 64-bit fingerprint of every configuration field, for use
@@ -322,6 +343,14 @@ impl CompileOptions {
         h = eat(h, u8::from(self.profile));
         h = eat(h, u8::from(self.trace));
         h = eat_opt(h, self.trace_capacity.map(|v| v as u64));
+        h = eat(
+            h,
+            match self.engine {
+                SchedulePolicy::Auto => 0,
+                SchedulePolicy::Analytic => 1,
+                SchedulePolicy::Frustum => 2,
+            },
+        );
         h
     }
 }
@@ -751,8 +780,18 @@ impl CompiledLoop {
         Ok(validation)
     }
 
-    /// The time-optimal software-pipelining schedule, derived once from
-    /// the shared frustum and `Arc`-shared by every caller.
+    /// The scheduling engine actually used for
+    /// [`schedule`](Self::schedule) and [`rate_report`](Self::rate_report):
+    /// the configured [`CompileOptions::engine`] with `Auto` resolved
+    /// against the compiled net (analytic iff it is a pure marked graph).
+    pub fn engine(&self) -> SchedulePolicy {
+        self.options.engine.resolve(&self.pn.net)
+    }
+
+    /// The time-optimal software-pipelining schedule, `Arc`-shared by
+    /// every caller. Depending on [`engine`](Self::engine) it is either
+    /// constructed analytically from the critical ratio (no simulation)
+    /// or derived from the shared frustum.
     ///
     /// # Errors
     ///
@@ -760,18 +799,42 @@ impl CompiledLoop {
     pub fn schedule(&self) -> Result<Arc<LoopSchedule>, Error> {
         self.caches
             .schedule
-            .get_or_init(|| {
-                let f = self.frustum()?;
-                let schedule = self.span("schedule_derivation", || {
-                    LoopSchedule::from_frustum(&self.sdsp, &self.pn, &f)
-                })?;
-                Ok(Arc::new(schedule))
+            .get_or_init(|| match self.engine() {
+                SchedulePolicy::Frustum => {
+                    let f = self.frustum()?;
+                    let schedule = self.span("schedule_derivation", || {
+                        LoopSchedule::from_frustum(&self.sdsp, &self.pn, &f)
+                    })?;
+                    Ok(Arc::new(schedule))
+                }
+                _ => {
+                    let schedule = self.span("analytic_schedule", || {
+                        tpn_sched::analytic::analytic_schedule(&self.sdsp, &self.pn)
+                    })?;
+                    Ok(Arc::new(schedule))
+                }
             })
             .clone()
     }
 
-    /// Measures the frustum rate against the critical-cycle bound.
-    /// Memoized; reuses the shared frustum.
+    /// The analytic steady-state schedule over *all* transitions (loop
+    /// nodes and liveness buffers), built from the critical ratio with no
+    /// simulation — available regardless of the configured engine, but
+    /// only for pure marked graphs.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Sched`] / [`Error::Petri`] from the analytic construction.
+    pub fn analytic_schedule(&self) -> Result<AnalyticSchedule, Error> {
+        Ok(self.span("analytic_schedule", || {
+            AnalyticSchedule::for_sdsp_pn(&self.pn)
+        })?)
+    }
+
+    /// Measures the steady-state rate against the critical-cycle bound.
+    /// Memoized. Under the frustum engine the measured rate comes from
+    /// the detected frustum; under the analytic engine both sides are the
+    /// exact critical ratio (Theorem 4.1.1 equates them).
     ///
     /// # Errors
     ///
@@ -779,9 +842,12 @@ impl CompiledLoop {
     pub fn rate_report(&self) -> Result<RateReport, Error> {
         self.caches
             .rates
-            .get_or_init(|| {
-                let f = self.frustum()?;
-                Ok(RateReport::for_sdsp_pn(&self.pn, &f)?)
+            .get_or_init(|| match self.engine() {
+                SchedulePolicy::Frustum => {
+                    let f = self.frustum()?;
+                    Ok(RateReport::for_sdsp_pn(&self.pn, &f)?)
+                }
+                _ => Ok(self.span("analytic_rate", || RateReport::analytic(&self.pn))?),
             })
             .clone()
     }
@@ -1048,6 +1114,8 @@ mod tests {
             CompileOptions::new().profile(true),
             CompileOptions::new().trace(true),
             CompileOptions::new().trace_capacity(8),
+            CompileOptions::new().engine(SchedulePolicy::Analytic),
+            CompileOptions::new().engine(SchedulePolicy::Frustum),
         ];
         let mut prints: Vec<u64> = variants.iter().map(CompileOptions::fingerprint).collect();
         prints.push(base.fingerprint());
@@ -1071,6 +1139,11 @@ mod tests {
         assert!(o.get_trace());
         assert_eq!(o.get_trace_capacity(), Some(4));
         assert!(o.get_profile());
+        assert_eq!(o.get_engine(), SchedulePolicy::Auto);
+        assert_eq!(
+            o.engine(SchedulePolicy::Analytic).get_engine(),
+            SchedulePolicy::Analytic
+        );
     }
 
     #[test]

@@ -5,7 +5,8 @@
 use proptest::prelude::*;
 use tpn::batch::{parallel_map_isolated, parallel_map_profiled, Batch, BatchPanic};
 use tpn::dataflow::SdspBuilder;
-use tpn::{CompileOptions, CompiledLoop, Error};
+use tpn::sched::SchedError;
+use tpn::{CompileOptions, CompiledLoop, Error, SchedulePolicy};
 
 fn empty_loop() -> CompiledLoop {
     CompiledLoop::from_sdsp(SdspBuilder::new().finish().unwrap())
@@ -61,7 +62,13 @@ fn zero_node_rate_errors_are_typed() {
 #[test]
 fn single_node_self_feedback_compiles_end_to_end() {
     let source = "do i from 2 to n { X[i] := X[i-1] + 1; }";
-    let lp = CompiledLoop::from_source_with(source, CompileOptions::new().profile(true)).unwrap();
+    let lp = CompiledLoop::from_source_with(
+        source,
+        CompileOptions::new()
+            .profile(true)
+            .engine(SchedulePolicy::Frustum),
+    )
+    .unwrap();
     assert_eq!(lp.size(), 1);
     let analysis = lp.analyze().unwrap();
     assert_eq!(analysis.optimal_rate.to_string(), "1");
@@ -87,6 +94,97 @@ fn single_node_self_feedback_compiles_end_to_end() {
     }
     assert_eq!(report.detections.len(), 2);
     assert!(report.engine.instants > 0);
+}
+
+#[test]
+fn auto_engine_takes_the_analytic_path_on_marked_graphs() {
+    let source = "do i from 2 to n { X[i] := X[i-1] + 1; }";
+    let lp = CompiledLoop::from_source_with(source, CompileOptions::new().profile(true)).unwrap();
+    assert_eq!(lp.engine(), SchedulePolicy::Analytic);
+    let schedule = lp.schedule().unwrap();
+    assert_eq!(schedule.initiation_interval().to_string(), "1");
+    assert!(lp.rate_report().unwrap().is_time_optimal());
+    // No simulation ran: the profile records the analytic stages and no
+    // frustum detection.
+    let report = lp.metrics_report();
+    let stages: Vec<&str> = report.stages.iter().map(|s| s.stage.as_str()).collect();
+    assert!(stages.contains(&"analytic_schedule"), "stages: {stages:?}");
+    assert!(!stages.contains(&"frustum_detection"), "stages: {stages:?}");
+    assert!(report.detections.is_empty());
+}
+
+fn engines(source: &str) -> [CompiledLoop; 2] {
+    [SchedulePolicy::Analytic, SchedulePolicy::Frustum].map(|engine| {
+        CompiledLoop::from_source_with(source, CompileOptions::new().engine(engine)).unwrap()
+    })
+}
+
+#[test]
+fn zero_node_loops_error_identically_under_both_engines() {
+    for engine in [
+        SchedulePolicy::Auto,
+        SchedulePolicy::Analytic,
+        SchedulePolicy::Frustum,
+    ] {
+        let lp = CompiledLoop::from_sdsp_with(
+            SdspBuilder::new().finish().unwrap(),
+            CompileOptions::new().engine(engine),
+        );
+        assert!(
+            matches!(
+                lp.schedule().unwrap_err(),
+                Error::Sched(SchedError::EmptyLoop)
+            ),
+            "{engine:?} schedule"
+        );
+        assert!(
+            matches!(
+                lp.rate_report().unwrap_err(),
+                Error::Sched(SchedError::EmptyLoop)
+            ),
+            "{engine:?} rate"
+        );
+    }
+}
+
+#[test]
+fn disconnected_unequal_rate_bodies_error_identically_under_both_engines() {
+    // Two independent components: X runs at rate 1, the P/Q recurrence at
+    // rate 1/2. No uniform-rate schedule exists; both engines must agree
+    // on the typed error rather than one panicking or succeeding.
+    let source = "do i from 2 to n {
+        X[i] := X[i-1] + 1;
+        P[i] := Q[i-1] + 1;
+        Q[i] := P[i] + 2;
+    }";
+    for lp in engines(source) {
+        let err = lp.schedule().unwrap_err();
+        assert!(
+            matches!(err, Error::Sched(SchedError::NonUniformCounts { .. })),
+            "{:?}: {err:?}",
+            lp.options().get_engine()
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_rates_for_connected_bodies() {
+    let source = "do i from 2 to n {
+        A[i] := X[i] + 5;
+        B[i] := Y[i] + A[i];
+        C[i] := A[i] + E[i-1];
+        D[i] := B[i] + C[i];
+        E[i] := W[i] + D[i];
+    }";
+    let [analytic, frustum] = engines(source);
+    let ra = analytic.rate_report().unwrap();
+    let rf = frustum.rate_report().unwrap();
+    assert_eq!(ra.measured, rf.measured);
+    assert_eq!(ra.optimal, rf.optimal);
+    assert_eq!(
+        analytic.schedule().unwrap().initiation_interval(),
+        frustum.schedule().unwrap().initiation_interval()
+    );
 }
 
 #[test]

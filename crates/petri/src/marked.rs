@@ -53,12 +53,26 @@ use crate::net::PetriNet;
 pub fn check_live(net: &PetriNet, marking: &Marking) -> Result<(), PetriError> {
     net.validate_marked_graph()?;
     // A token-free cycle exists iff the transition graph restricted to
-    // empty places has a cycle; find one by DFS.
+    // empty places has a cycle; find one by DFS. The adjacency is CSR
+    // (one flat array and offsets) — this check runs on every compile,
+    // so per-node allocations would dominate it.
     let n = net.num_transitions();
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut start = vec![0usize; n + 1];
     for (pid, place) in net.places() {
         if marking.tokens(pid) == 0 {
-            adj[place.preset()[0].index()].push(place.postset()[0].index());
+            start[place.preset()[0].index() + 1] += 1;
+        }
+    }
+    for v in 0..n {
+        start[v + 1] += start[v];
+    }
+    let mut succ = vec![0usize; start[n]];
+    let mut fill: Vec<usize> = start[..n].to_vec();
+    for (pid, place) in net.places() {
+        if marking.tokens(pid) == 0 {
+            let from = place.preset()[0].index();
+            succ[fill[from]] = place.postset()[0].index();
+            fill[from] += 1;
         }
     }
     // Colours: 0 = white, 1 = on stack, 2 = done.
@@ -72,8 +86,8 @@ pub fn check_live(net: &PetriNet, marking: &Marking) -> Result<(), PetriError> {
         let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
         colour[root] = 1;
         while let Some(&mut (v, ref mut ei)) = stack.last_mut() {
-            if *ei < adj[v].len() {
-                let w = adj[v][*ei];
+            if start[v] + *ei < start[v + 1] {
+                let w = succ[start[v] + *ei];
                 *ei += 1;
                 match colour[w] {
                     0 => {

@@ -17,19 +17,22 @@
 //!
 //! * [`analyze_cycles`] — exhaustive enumeration via [`crate::cycles`],
 //!   exact but potentially exponential; returns every cycle with its ratio.
-//! * [`critical_ratio`] — Lawler's parametric method: an exact
-//!   Stern–Brocot descent over candidate ratios, each step resolved by a
-//!   positive-cycle (Bellman–Ford) test in integer arithmetic. Runs in
-//!   polynomial time — this is the practical replacement the paper alludes
-//!   to when it cites the linear-programming formulation of the cycle-time
-//!   problem.
+//! * [`critical_ratio`] — Howard's policy iteration over the transition
+//!   multigraph: exact rational arithmetic throughout, near-linear in
+//!   practice, with the critical cycle read off the converged policy. If
+//!   policy iteration fails to settle within its sweep budget (never
+//!   observed; the bound exists for totality) the solver falls back to
+//!   Lawler's parametric method — an exact Stern–Brocot descent over
+//!   candidate ratios, each step a positive-cycle (Bellman–Ford) test —
+//!   which is the polynomial-time replacement the paper alludes to when it
+//!   cites the linear-programming formulation of the cycle-time problem.
 //!
 //! The implicit self-loop of Assumption A.6.1 (a transition cannot overlap
 //! its own firings) contributes the candidate cycle time `τ(t)` for every
 //! transition; both entry points take it into account, so an acyclic net
 //! still has the well-defined cycle time `max τ`.
 
-use crate::cycles::{simple_cycles, transition_multigraph, Cycle};
+use crate::cycles::{simple_cycles, Cycle};
 use crate::error::PetriError;
 use crate::ids::{PlaceId, TransitionId};
 use crate::marked::check_live;
@@ -198,8 +201,7 @@ pub fn critical_ratio(net: &PetriNet, marking: &Marking) -> Result<CriticalRatio
     }
     net.validate_times()?;
     check_live(net, marking)?;
-    let adj = transition_multigraph(net);
-    let graph = ParamGraph::new(net, marking, &adj);
+    let graph = ParamGraph::new(net, marking);
 
     let (self_loop_time, self_loop_t) = net
         .transitions()
@@ -207,18 +209,14 @@ pub fn critical_ratio(net: &PetriNet, marking: &Marking) -> Result<CriticalRatio
         .max()
         .expect("nonempty net");
 
-    if !graph.has_any_cycle() {
-        let cycle_time = Ratio::from_integer(self_loop_time);
+    let self_ratio = Ratio::from_integer(self_loop_time);
+    let Some((cycle_ratio, witness)) = max_cycle_ratio(&graph) else {
         return Ok(CriticalRatio {
-            cycle_time,
-            rate: cycle_time.recip(),
+            cycle_time: self_ratio,
+            rate: self_ratio.recip(),
             witness: CriticalWitness::SelfLoop(self_loop_t),
         });
-    }
-
-    let (p, q) = stern_brocot(&graph);
-    let cycle_ratio = Ratio::new(p, q);
-    let self_ratio = Ratio::from_integer(self_loop_time);
+    };
     if self_ratio > cycle_ratio {
         return Ok(CriticalRatio {
             cycle_time: self_ratio,
@@ -226,12 +224,93 @@ pub fn critical_ratio(net: &PetriNet, marking: &Marking) -> Result<CriticalRatio
             witness: CriticalWitness::SelfLoop(self_loop_t),
         });
     }
-    let witness = graph.tight_cycle(p, q);
     Ok(CriticalRatio {
         cycle_time: cycle_ratio,
         rate: cycle_ratio.recip(),
         witness: CriticalWitness::Cycle(witness),
     })
+}
+
+/// The critical cycle time of one weakly connected component of the
+/// transition multigraph, from [`component_cycle_times`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComponentRatio {
+    /// The component's transitions, in id order.
+    pub transitions: Vec<TransitionId>,
+    /// Its cycle time `max Ω(C)/M(C)` over cycles inside the component
+    /// (at least the component's `max τ`, by the implicit self-loop).
+    pub cycle_time: Ratio,
+}
+
+/// Critical cycle time of every weakly connected component separately.
+///
+/// Independent components of a marked graph run at independent rates under
+/// the earliest firing rule; a single net-wide periodic schedule exists only
+/// when all components share the same cycle time. Callers use this to
+/// diagnose disconnected loop bodies exactly.
+///
+/// # Errors
+///
+/// Same conditions as [`critical_ratio`].
+pub fn component_cycle_times(
+    net: &PetriNet,
+    marking: &Marking,
+) -> Result<Vec<ComponentRatio>, PetriError> {
+    if net.num_transitions() == 0 {
+        return Err(PetriError::NoCycle);
+    }
+    net.validate_times()?;
+    check_live(net, marking)?;
+    let n = net.num_transitions();
+    // Union-find over undirected edges.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut v: usize) -> usize {
+        while parent[v] != v {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        v
+    }
+    for (_, place) in net.places() {
+        let from = place.preset()[0].index();
+        let to = place.postset()[0].index();
+        let (a, b) = (find(&mut parent, from), find(&mut parent, to));
+        parent[a] = b;
+    }
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for v in 0..n {
+        let root = find(&mut parent, v);
+        members[root].push(v);
+    }
+    let mut out = Vec::new();
+    for component in &members {
+        if component.is_empty() {
+            continue;
+        }
+        let mut keep = vec![false; n];
+        for &v in component {
+            keep[v] = true;
+        }
+        let graph = ParamGraph::subset(net, marking, &keep);
+        let self_loop = component
+            .iter()
+            .map(|&v| net.transition(TransitionId::from_index(v)).time())
+            .max()
+            .map(Ratio::from_integer)
+            .unwrap_or(Ratio::ZERO);
+        let cycle_time = match max_cycle_ratio(&graph) {
+            Some((ratio, _)) => self_loop.max(ratio),
+            None => self_loop,
+        };
+        out.push(ComponentRatio {
+            transitions: component
+                .iter()
+                .map(|&v| TransitionId::from_index(v))
+                .collect(),
+            cycle_time,
+        });
+    }
+    Ok(out)
 }
 
 /// Edge list of the transition multigraph annotated with (τ, tokens).
@@ -242,16 +321,48 @@ struct ParamGraph {
 }
 
 impl ParamGraph {
-    fn new(net: &PetriNet, marking: &Marking, adj: &[Vec<(usize, PlaceId)>]) -> Self {
-        let mut edges = Vec::new();
-        for (from, outs) in adj.iter().enumerate() {
-            let time = net.transition(TransitionId::from_index(from)).time();
-            for &(to, place) in outs {
-                edges.push((from, to, place, time, marking.tokens(place) as u64));
-            }
+    fn new(net: &PetriNet, marking: &Marking) -> Self {
+        let mut edges = Vec::with_capacity(net.num_places());
+        for (pid, place) in net.places() {
+            // Marked graph (validated by the caller): exactly one
+            // producer and one consumer per place.
+            let from = place.preset()[0];
+            let to = place.postset()[0].index();
+            edges.push((
+                from.index(),
+                to,
+                pid,
+                net.transition(from).time(),
+                marking.tokens(pid) as u64,
+            ));
         }
         ParamGraph {
-            n: adj.len(),
+            n: net.num_transitions(),
+            edges,
+        }
+    }
+
+    /// Like [`ParamGraph::new`] but keeping only edges whose source
+    /// transition is in `keep` (a weakly connected component keeps exactly
+    /// its own edges: both endpoints lie inside it).
+    fn subset(net: &PetriNet, marking: &Marking, keep: &[bool]) -> Self {
+        let mut edges = Vec::new();
+        for (pid, place) in net.places() {
+            let from = place.preset()[0];
+            if !keep[from.index()] {
+                continue;
+            }
+            let to = place.postset()[0].index();
+            edges.push((
+                from.index(),
+                to,
+                pid,
+                net.transition(from).time(),
+                marking.tokens(pid) as u64,
+            ));
+        }
+        ParamGraph {
+            n: net.num_transitions(),
             edges,
         }
     }
@@ -402,6 +513,192 @@ impl ParamGraph {
         }
         unreachable!("a maximum-ratio cycle is always present in the tight subgraph")
     }
+
+    /// Maximum cycle ratio by Howard's policy iteration.
+    ///
+    /// Every node is given an artificial self-loop of ratio `0/1` (zero
+    /// time, one token) so a policy always exists and cycle-free regions
+    /// settle at ratio zero; real cycles dominate because `τ ≥ 1` makes
+    /// every true ratio positive. Each sweep evaluates the current policy —
+    /// the cycles of its functional graph, their exact ratios `λ`, and
+    /// longest-path values `d` scaled by `λ`'s denominator — then switches
+    /// each node to its lexicographically best out-edge by `(λ, d)`. Any
+    /// fixpoint is exact: summing the no-improvement inequality
+    /// `q·τ − p·m + d[to] ≤ d[from]` around an arbitrary cycle `C` gives
+    /// `q·Ω(C) − p·M(C) ≤ 0`, i.e. `Ω/M ≤ λ_max`, and `λ_max` is itself
+    /// attained by a policy cycle. Only termination within the sweep
+    /// budget is heuristic; on exhaustion the caller falls back to the
+    /// parametric method, so the budget affects speed, never the answer.
+    ///
+    /// Returns `Ok(None)` when the graph has no cycle at all.
+    fn howard(&self) -> Result<Option<(Ratio, Cycle)>, HowardDiverged> {
+        let n = self.n;
+        if n == 0 {
+            return Ok(None);
+        }
+        // CSR out-adjacency (one flat arc array, one offset array — the
+        // solver is allocation-bound otherwise): each node's real edges
+        // first, its artificial self-loop in the last slot.
+        // Arcs are (to, time, tokens, place).
+        let mut start = vec![0usize; n + 1];
+        for &(from, ..) in &self.edges {
+            start[from + 1] += 1;
+        }
+        for v in 0..n {
+            start[v + 1] += start[v] + 1; // +1 for the self-loop slot
+        }
+        let mut arcs: Vec<(usize, u64, u64, Option<PlaceId>)> = vec![(0, 0, 1, None); start[n]];
+        let mut fill: Vec<usize> = start[..n].to_vec();
+        for &(from, to, place, time, tokens) in &self.edges {
+            arcs[fill[from]] = (to, time, tokens, Some(place));
+            fill[from] += 1;
+        }
+        for v in 0..n {
+            arcs[fill[v]] = (v, 0, 1, None);
+        }
+        // Start on the self-loops: λ ≡ 0, the first sweep bootstraps.
+        // `policy[u]` indexes `arcs` directly.
+        let mut policy: Vec<usize> = (0..n).map(|v| start[v + 1] - 1).collect();
+        let mut lambda = vec![Ratio::ZERO; n];
+        let mut d = vec![0i128; n];
+        let mut state = vec![0u8; n];
+        let mut path = Vec::with_capacity(n);
+
+        for _ in 0..HOWARD_SWEEPS {
+            // Evaluate: resolve every node's reached policy cycle (λ) and
+            // scaled value d by walking the functional graph once.
+            state.fill(0); // 0 = unvisited, 1 = on the current walk, 2 = resolved
+            for root in 0..n {
+                if state[root] != 0 {
+                    continue;
+                }
+                path.clear();
+                let mut u = root;
+                while state[u] == 0 {
+                    state[u] = 1;
+                    path.push(u);
+                    u = arcs[policy[u]].0;
+                }
+                let resolved_from = if state[u] == 1 {
+                    // New cycle: path[pos..] in policy order, closing at u,
+                    // with u as the d = 0 reference.
+                    let pos = path.iter().position(|&x| x == u).expect("u is on the walk");
+                    let cyc = &path[pos..];
+                    let (mut time_sum, mut token_sum) = (0u64, 0u64);
+                    for &x in cyc {
+                        let (_, time, tokens, _) = arcs[policy[x]];
+                        time_sum += time;
+                        token_sum += tokens;
+                    }
+                    // token_sum ≥ 1: real cycles are live (the caller
+                    // checked), artificial loops carry one token.
+                    let ratio = Ratio::new(time_sum, token_sum);
+                    let (p, q) = (ratio.numer() as i128, ratio.denom() as i128);
+                    lambda[u] = ratio;
+                    d[u] = 0;
+                    state[u] = 2;
+                    for i in (pos + 1..path.len()).rev() {
+                        let x = path[i];
+                        let (to, time, tokens, _) = arcs[policy[x]];
+                        d[x] = q * time as i128 - p * tokens as i128 + d[to];
+                        lambda[x] = ratio;
+                        state[x] = 2;
+                    }
+                    pos
+                } else {
+                    path.len()
+                };
+                // Tree prefix: inherits the successor's cycle.
+                for i in (0..resolved_from).rev() {
+                    let x = path[i];
+                    let (to, time, tokens, _) = arcs[policy[x]];
+                    let ratio = lambda[to];
+                    let (p, q) = (ratio.numer() as i128, ratio.denom() as i128);
+                    d[x] = q * time as i128 - p * tokens as i128 + d[to];
+                    lambda[x] = ratio;
+                    state[x] = 2;
+                }
+            }
+            // Improve: each node takes its best out-edge by (λ, gain),
+            // switching only on strict lexicographic improvement.
+            let mut improved = false;
+            for u in 0..n {
+                let (mut best_l, mut best_d, mut best_i) = (lambda[u], d[u], policy[u]);
+                for (i, &(to, time, tokens, _)) in
+                    arcs.iter().enumerate().take(start[u + 1]).skip(start[u])
+                {
+                    let l = lambda[to];
+                    if l < best_l {
+                        continue;
+                    }
+                    let (p, q) = (l.numer() as i128, l.denom() as i128);
+                    let gain = q * time as i128 - p * tokens as i128 + d[to];
+                    if l > best_l || gain > best_d {
+                        (best_l, best_d, best_i) = (l, gain, i);
+                    }
+                }
+                if best_i != policy[u] {
+                    policy[u] = best_i;
+                    improved = true;
+                }
+            }
+            if improved {
+                continue;
+            }
+            // Converged. λ_max = 0 means the only cycles are artificial.
+            let best = (0..n).max_by_key(|&u| lambda[u]).expect("n > 0");
+            if lambda[best] == Ratio::ZERO {
+                return Ok(None);
+            }
+            // Walk from the best node onto its policy cycle and read the
+            // witness off the policy edges.
+            let mut mark = vec![false; n];
+            let mut u = best;
+            while !mark[u] {
+                mark[u] = true;
+                u = arcs[policy[u]].0;
+            }
+            let entry = u;
+            let mut transitions = Vec::new();
+            let mut places = Vec::new();
+            loop {
+                let (to, _, _, place) = arcs[policy[u]];
+                transitions.push(TransitionId::from_index(u));
+                places.push(place.expect("a positive-ratio cycle has no artificial edges"));
+                u = to;
+                if u == entry {
+                    break;
+                }
+            }
+            return Ok(Some((lambda[best], Cycle::new(transitions, places))));
+        }
+        Err(HowardDiverged)
+    }
+}
+
+/// Sweep budget for Howard's policy iteration. Convergence on real nets
+/// takes a handful of sweeps; the cap only bounds the cost of the (never
+/// observed) divergent case before the exact fallback takes over.
+const HOWARD_SWEEPS: usize = 256;
+
+/// Marker: policy iteration hit [`HOWARD_SWEEPS`] without converging.
+struct HowardDiverged;
+
+/// Maximum cycle ratio `max Ω(C)/M(C)` with a witness cycle attaining it,
+/// or `None` for an acyclic graph. Howard's policy iteration answers in
+/// near-linear time; the Stern–Brocot parametric descent backs it up so
+/// the result is exact regardless of how policy iteration behaves.
+fn max_cycle_ratio(graph: &ParamGraph) -> Option<(Ratio, Cycle)> {
+    match graph.howard() {
+        Ok(answer) => answer,
+        Err(HowardDiverged) => {
+            if !graph.has_any_cycle() {
+                return None;
+            }
+            let (p, q) = stern_brocot(graph);
+            Some((Ratio::new(p, q), graph.tight_cycle(p, q)))
+        }
+    }
 }
 
 /// Exact Stern–Brocot descent for the maximum cycle ratio.
@@ -516,6 +813,55 @@ mod tests {
             CriticalWitness::Cycle(c) => assert_eq!(c.len(), 3),
             other => panic!("expected cycle witness, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn component_cycle_times_split_disconnected_rings() {
+        // Two disjoint rings: a 3-transition ring at cycle time 3 and a
+        // 2-transition ring (times 2+2, one token) at cycle time 4.
+        let mut net = PetriNet::new();
+        let a: Vec<_> = (0..3)
+            .map(|i| net.add_transition(format!("a{i}"), 1))
+            .collect();
+        let b: Vec<_> = (0..2)
+            .map(|i| net.add_transition(format!("b{i}"), 2))
+            .collect();
+        let mut pairs = Vec::new();
+        for i in 0..3 {
+            let p = net.add_place(format!("pa{i}"));
+            net.connect_tp(a[i], p);
+            net.connect_pt(p, a[(i + 1) % 3]);
+            pairs.push((p, u32::from(i == 0)));
+        }
+        for i in 0..2 {
+            let p = net.add_place(format!("pb{i}"));
+            net.connect_tp(b[i], p);
+            net.connect_pt(p, b[(i + 1) % 2]);
+            pairs.push((p, u32::from(i == 0)));
+        }
+        let m = Marking::from_pairs(&net, pairs);
+        let comps = component_cycle_times(&net, &m).unwrap();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].transitions, a);
+        assert_eq!(comps[0].cycle_time, Ratio::new(3, 1));
+        assert_eq!(comps[1].transitions, b);
+        assert_eq!(comps[1].cycle_time, Ratio::new(4, 1));
+        // The net-wide analysis reports the slower component's bound.
+        assert_eq!(
+            critical_ratio(&net, &m).unwrap().cycle_time,
+            Ratio::new(4, 1)
+        );
+    }
+
+    #[test]
+    fn component_cycle_times_agree_with_critical_ratio_when_connected() {
+        let (net, m) = ring(&[2, 3, 1], &[1, 1, 0]);
+        let comps = component_cycle_times(&net, &m).unwrap();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(
+            comps[0].cycle_time,
+            critical_ratio(&net, &m).unwrap().cycle_time
+        );
     }
 
     #[test]
@@ -659,6 +1005,31 @@ mod tests {
         let (net, m) = ring(&times, &tokens);
         let r = critical_ratio(&net, &m).unwrap();
         assert_eq!(r.cycle_time, Ratio::from_integer(1000));
+    }
+
+    #[test]
+    fn howard_agrees_with_the_parametric_descent() {
+        let mut gallop_times = vec![1u64; 51];
+        gallop_times[7] = 9;
+        let mut gallop_tokens = vec![1u32; 51];
+        gallop_tokens[3] = 0;
+        let fixtures = [
+            ring(&[1, 1, 1], &[1, 0, 0]),
+            ring(&[2, 3, 1], &[1, 1, 0]),
+            ring(&[1, 1, 1, 1, 1], &[1, 0, 1, 0, 0]),
+            ring(&[2, 1, 1, 3], &[1, 0, 1, 0]),
+            ring(&gallop_times, &gallop_tokens),
+        ];
+        for (net, m) in fixtures {
+            let graph = ParamGraph::new(&net, &m);
+            let Ok(Some((ratio, cycle))) = graph.howard() else {
+                panic!("policy iteration did not converge on a small ring");
+            };
+            let (p, q) = stern_brocot(&graph);
+            assert_eq!(ratio, Ratio::new(p, q));
+            // The witness really attains the ratio.
+            assert_eq!(Ratio::new(cycle.time_sum(&net), cycle.token_sum(&m)), ratio);
+        }
     }
 
     #[test]

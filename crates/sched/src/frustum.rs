@@ -32,6 +32,7 @@
 
 use std::collections::HashMap;
 
+use tpn_petri::marked::check_live;
 use tpn_petri::rational::Ratio;
 use tpn_petri::timed::{
     ChoicePolicy, EagerPolicy, Engine, EngineStats, InstantaneousState, PackedState, StateKey,
@@ -41,6 +42,26 @@ use tpn_petri::trace::{NullSink, TraceSink};
 use tpn_petri::{Marking, PetriNet, TransitionId};
 
 use crate::error::SchedError;
+
+/// Classifies a permanently idle run: degenerate inputs surface as the
+/// same typed errors the analytic path ([`tpn_petri::ratio::critical_ratio`])
+/// reports — [`SchedError::EmptyLoop`] for a zero-transition net,
+/// [`SchedError::Petri`] ([`tpn_petri::PetriError::NotLive`]) for a dead
+/// marking on a marked graph — instead of a bare [`SchedError::Deadlock`],
+/// which remains only for stalls the structure cannot explain (non-marked-
+/// graph nets under a conflict policy).
+fn diagnose_deadlock(net: &PetriNet, initial: &PackedState, time: u64) -> SchedError {
+    if net.num_transitions() == 0 {
+        return SchedError::EmptyLoop;
+    }
+    if net.validate_marked_graph().is_ok() {
+        let marking = initial.unpack(net).marking;
+        if let Err(e) = check_live(net, &marking) {
+            return SchedError::Petri(e);
+        }
+    }
+    SchedError::Deadlock { time }
+}
 
 /// Instants between [`PackedState`] checkpoints along the trace. Bounds
 /// the replay work per digest-match verification (and per
@@ -215,8 +236,12 @@ fn window_counts(
 /// # Errors
 ///
 /// * [`SchedError::FrustumNotFound`] if no state repeats within the budget.
-/// * [`SchedError::Deadlock`] if the net goes permanently idle (not
-///   possible for live markings).
+/// * [`SchedError::EmptyLoop`] for a net with no transitions,
+///   [`SchedError::Petri`] ([`tpn_petri::PetriError::NotLive`]) for a dead
+///   marking on a marked graph — the same typed errors the analytic path
+///   reports on these degenerate inputs.
+/// * [`SchedError::Deadlock`] if the net goes permanently idle for a
+///   reason the structure cannot explain (not possible for live markings).
 /// * [`SchedError::Petri`] for structurally invalid nets (zero execution
 ///   times).
 ///
@@ -270,7 +295,7 @@ pub fn detect_frustum_with_sink<P: ChoicePolicy, S: TraceSink>(
         let step = engine.tick_traced(sink);
         let time = step.time;
         if step.started.is_empty() && step.completed.is_empty() && engine.state().all_idle() {
-            return Err(SchedError::Deadlock { time });
+            return Err(diagnose_deadlock(net, &initial, time));
         }
         if let Some(times) = seen.get(&step.digest) {
             stats.digest_candidates += times.len() as u64;
@@ -339,7 +364,7 @@ pub fn detect_frustum_reference<P: ChoicePolicy>(
         let step = engine.tick();
         let time = step.time;
         if step.started.is_empty() && step.completed.is_empty() && engine.state().all_idle() {
-            return Err(SchedError::Deadlock { time });
+            return Err(diagnose_deadlock(net, &initial, time));
         }
         let key = engine.state_key();
         steps.push(step);
@@ -583,12 +608,27 @@ mod tests {
     }
 
     #[test]
-    fn dead_marking_reports_deadlock() {
+    fn dead_marking_reports_not_live() {
+        // A token-free marking on a marked graph is diagnosed as the same
+        // NotLive error the analytic path reports, not a bare Deadlock.
         let pn = to_petri(&l1());
         let empty = Marking::empty(&pn.net);
         assert!(matches!(
-            detect_frustum_eager(&pn.net, empty, 100),
-            Err(SchedError::Deadlock { time: 1 })
+            detect_frustum_eager(&pn.net, empty.clone(), 100),
+            Err(SchedError::Petri(tpn_petri::PetriError::NotLive { .. }))
+        ));
+        assert!(matches!(
+            detect_frustum_reference(&pn.net, empty, EagerPolicy, 100),
+            Err(SchedError::Petri(tpn_petri::PetriError::NotLive { .. }))
+        ));
+    }
+
+    #[test]
+    fn empty_net_reports_empty_loop() {
+        let pn = to_petri(&SdspBuilder::new().finish().unwrap());
+        assert!(matches!(
+            detect_frustum_eager(&pn.net, pn.marking.clone(), 100),
+            Err(SchedError::EmptyLoop)
         ));
     }
 

@@ -14,6 +14,11 @@
 //! * [`steady`] — the **steady-state equivalent net** (Figure 1(f)):
 //!   the frustum with its initial and terminal instantaneous states
 //!   coalesced into a strongly connected marked net.
+//! * [`analytic`] — the **analytic fast path**: for pure marked graphs,
+//!   the periodic steady-state schedule constructed directly from the
+//!   exact critical ratio (longest-path start offsets plus the
+//!   balanced-binary-word issue pattern), no simulation; [`SchedulePolicy`]
+//!   dispatches between the engines.
 //! * [`schedule`] — the **time-optimal static schedule** read off the
 //!   frustum (Figure 1(g)): a software-pipelining kernel with iteration
 //!   offsets, plus the prologue, with queries for the start time of any
@@ -65,6 +70,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod analytic;
 pub mod baseline;
 pub mod behavior;
 pub mod bounds;
@@ -79,8 +85,10 @@ pub mod steady;
 pub mod trace;
 pub mod validate;
 
+pub use analytic::{analytic_schedule, AnalyticSchedule};
 pub use error::SchedError;
 pub use frustum::{detect_frustum, detect_frustum_eager, FrustumReport};
+pub use policy::SchedulePolicy;
 pub use schedule::LoopSchedule;
 pub use scp::ScpPn;
 pub use trace::FiringTrace;

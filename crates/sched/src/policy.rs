@@ -21,6 +21,59 @@ use tpn_petri::{PetriNet, PlaceId, TransitionId};
 
 use crate::scp::ScpPn;
 
+/// Which scheduling engine derives the steady state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchedulePolicy {
+    /// Pick [`Analytic`](SchedulePolicy::Analytic) for pure marked graphs,
+    /// [`Frustum`](SchedulePolicy::Frustum) otherwise (SCP runs, nets with
+    /// structural conflicts).
+    #[default]
+    Auto,
+    /// Construct the periodic schedule from the critical ratio
+    /// ([`crate::analytic`]); errors on nets that are not marked graphs.
+    Analytic,
+    /// Simulate under the earliest firing rule until the cyclic frustum
+    /// repeats (the paper's detection procedure, [`crate::frustum`]).
+    Frustum,
+}
+
+impl SchedulePolicy {
+    /// Parses `auto` / `analytic` / `frustum`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(SchedulePolicy::Auto),
+            "analytic" => Some(SchedulePolicy::Analytic),
+            "frustum" => Some(SchedulePolicy::Frustum),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling accepted by [`parse`](Self::parse).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SchedulePolicy::Auto => "auto",
+            SchedulePolicy::Analytic => "analytic",
+            SchedulePolicy::Frustum => "frustum",
+        }
+    }
+
+    /// Resolves `Auto` against a concrete net: analytic iff the net is a
+    /// pure marked graph (every place single-producer single-consumer, so
+    /// no SCP run place and no structural conflict).
+    pub fn resolve(self, net: &PetriNet) -> SchedulePolicy {
+        match self {
+            SchedulePolicy::Auto => {
+                if net.is_marked_graph() {
+                    SchedulePolicy::Analytic
+                } else {
+                    SchedulePolicy::Frustum
+                }
+            }
+            other => other,
+        }
+    }
+}
+
 /// FIFO issue policy for SDSP-SCP-PNs.
 ///
 /// Dummy (pipeline-stage) transitions fire eagerly — they hold no shared

@@ -42,6 +42,27 @@ impl RateReport {
         Ok(RateReport { measured, optimal })
     }
 
+    /// Builds the report analytically, with no frustum: the earliest
+    /// firing rule attains the critical-cycle bound on marked graphs
+    /// (Theorem 4.1.1), so the measured rate equals the bound by
+    /// construction. This is the rate half of the analytic fast path
+    /// ([`crate::analytic`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::EmptyLoop`] for a loop with no nodes;
+    /// [`SchedError::Petri`] from the critical-cycle analysis.
+    pub fn analytic(pn: &SdspPn) -> Result<Self, SchedError> {
+        if pn.transition_of.is_empty() {
+            return Err(SchedError::EmptyLoop);
+        }
+        let optimal = critical_ratio(&pn.net, &pn.marking)?.rate;
+        Ok(RateReport {
+            measured: optimal,
+            optimal,
+        })
+    }
+
     /// Whether the schedule attains the critical-cycle bound
     /// (Theorem 4.1.1 guarantees it does).
     pub fn is_time_optimal(&self) -> bool {

@@ -166,6 +166,67 @@ impl LoopSchedule {
         })
     }
 
+    /// Builds a schedule from explicit periodic per-node start times (the
+    /// analytic engine's entry point, [`crate::analytic`]).
+    ///
+    /// `starts_per_node[n]` holds every start of node `n` strictly before
+    /// `anchor + period`, in increasing order; the window
+    /// `[anchor, anchor + period)` is the kernel (exactly
+    /// `iterations_per_period` firings of every node, by the balanced-word
+    /// construction) and everything earlier is the prologue.
+    pub(crate) fn from_periodic_starts(
+        sdsp: &Sdsp,
+        period: u64,
+        iterations_per_period: u64,
+        anchor: u64,
+        starts_per_node: Vec<Vec<u64>>,
+    ) -> Self {
+        // (time, node, iteration) over the whole recorded horizon, in the
+        // same order the frustum path records: by time, then node.
+        let mut firings: Vec<(u64, usize, u64)> = starts_per_node
+            .iter()
+            .enumerate()
+            .flat_map(|(node, starts)| {
+                starts
+                    .iter()
+                    .enumerate()
+                    .map(move |(iter, &time)| (time, node, iter as u64))
+            })
+            .collect();
+        firings.sort_unstable();
+        let mut prologue = Vec::new();
+        let mut kernel = Vec::new();
+        for &(time, node, iteration) in &firings {
+            if time < anchor {
+                prologue.push((time, NodeId::from_index(node), iteration));
+            } else {
+                kernel.push(KernelEntry {
+                    slot: time - anchor,
+                    node: NodeId::from_index(node),
+                    occurrence: 0,            // fixed up below
+                    offset: iteration as i64, // temporarily absolute
+                });
+            }
+        }
+        let max_iter = kernel.iter().map(|e| e.offset).max().unwrap_or(0);
+        let mut occ: HashMap<NodeId, u64> = HashMap::new();
+        for e in &mut kernel {
+            let c = occ.entry(e.node).or_insert(0);
+            e.occurrence = *c;
+            *c += 1;
+            e.offset -= max_iter;
+        }
+        LoopSchedule {
+            period,
+            iterations_per_period,
+            kernel,
+            prologue,
+            recorded_starts: starts_per_node,
+            node_times: sdsp.nodes().map(|(_, n)| n.time).collect(),
+            node_names: sdsp.nodes().map(|(_, n)| n.name.clone()).collect(),
+        }
+    }
+
     /// The kernel length in cycles (the frustum period).
     pub fn period(&self) -> u64 {
         self.period

@@ -39,7 +39,8 @@
 //! `bad_request`.
 
 use serde::Serialize;
-use tpn::{CompileOptions, CompiledLoop, Error, IssuePolicy};
+use tpn::petri::rational::Ratio;
+use tpn::{CompileOptions, CompiledLoop, Error, IssuePolicy, SchedulePolicy};
 
 // ---------------------------------------------------------------------------
 // Cache key: canonical digest of (normalized source, options fingerprint).
@@ -233,6 +234,12 @@ fn parse_options(obj: &[(String, JsonValue)]) -> Result<CompileOptions, String> 
                 }
                 _ => return Err("\"issue_policy\" must be \"fifo\" or \"priority\"".into()),
             },
+            "engine" => match value {
+                JsonValue::Str(s) if SchedulePolicy::parse(s).is_some() => {
+                    options = options.engine(SchedulePolicy::parse(s).expect("just checked"));
+                }
+                _ => return Err("\"engine\" must be \"auto\", \"analytic\" or \"frustum\"".into()),
+            },
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -266,6 +273,29 @@ fn expect_bool(key: &str, value: &JsonValue) -> Result<bool, String> {
 // Response payloads — shared with `tpnc --format json`.
 // ---------------------------------------------------------------------------
 
+/// An exact rational rendered as a JSON object, emitted alongside every
+/// `"p/q"` ratio string so clients get the `{num, den}` pair (and a
+/// convenience float) without parsing the string form.
+#[derive(Serialize)]
+pub struct RationalJson {
+    /// Numerator, lowest terms.
+    pub num: u64,
+    /// Denominator, lowest terms (never zero).
+    pub den: u64,
+    /// `num / den` as a double — lossy, for display only.
+    pub float: f64,
+}
+
+impl From<Ratio> for RationalJson {
+    fn from(r: Ratio) -> Self {
+        RationalJson {
+            num: r.numer(),
+            den: r.denom(),
+            float: r.to_f64(),
+        }
+    }
+}
+
 /// The `analyze` row (also `tpnc analyze --format json`).
 #[derive(Serialize)]
 pub struct AnalyzeJson {
@@ -283,8 +313,12 @@ pub struct AnalyzeJson {
     pub critical_cycle: Vec<String>,
     /// `α* = max Ω(C)/M(C)` as an exact ratio string.
     pub cycle_time: String,
+    /// `α*` as an exact `{num, den}` pair.
+    pub cycle_time_rational: RationalJson,
     /// `1/α*` as an exact ratio string.
     pub optimal_rate: String,
+    /// `1/α*` as an exact `{num, den}` pair.
+    pub optimal_rate_rational: RationalJson,
     /// Storage locations of the naive allocation.
     pub storage_locations: usize,
 }
@@ -300,14 +334,21 @@ pub struct ScheduleJson {
     pub scp_depth: Option<u64>,
     /// The initiation interval as an exact ratio string.
     pub initiation_interval: String,
+    /// The initiation interval as an exact `{num, den}` pair.
+    pub initiation_interval_rational: RationalJson,
     /// Steady-state period in cycles.
     pub period: u64,
     /// Iterations initiated per period.
     pub iterations_per_period: u64,
     /// Measured SCP rate (SCP rows only).
     pub rate: Option<String>,
+    /// Measured SCP rate as an exact `{num, den}` pair (SCP rows only).
+    pub rate_rational: Option<RationalJson>,
     /// Issue-slot utilization (SCP rows only).
     pub utilization: Option<String>,
+    /// Issue-slot utilization as an exact `{num, den}` pair (SCP rows
+    /// only).
+    pub utilization_rational: Option<RationalJson>,
     /// The rendered kernel.
     pub kernel: String,
 }
@@ -323,12 +364,21 @@ pub struct RateJson {
     pub scp_depth: Option<u64>,
     /// The steady-state rate of every loop node.
     pub measured: String,
+    /// The measured rate as an exact `{num, den}` pair.
+    pub measured_rational: RationalJson,
     /// The critical-cycle bound (plain SDSP-PN rows only).
     pub optimal: Option<String>,
+    /// The bound as an exact `{num, den}` pair (plain rows only).
+    pub optimal_rational: Option<RationalJson>,
     /// The `1/n` resource ceiling (SCP rows only).
     pub resource_bound: Option<String>,
+    /// The ceiling as an exact `{num, den}` pair (SCP rows only).
+    pub resource_bound_rational: Option<RationalJson>,
     /// Issue-slot occupancy (SCP rows only).
     pub utilization: Option<String>,
+    /// Issue-slot occupancy as an exact `{num, den}` pair (SCP rows
+    /// only).
+    pub utilization_rational: Option<RationalJson>,
     /// Whether the schedule attains the critical-cycle bound (plain
     /// rows only; Theorem 4.1.1 says it always does).
     pub time_optimal: Option<bool>,
@@ -350,8 +400,13 @@ pub struct StorageJson {
     pub locations_after: usize,
     /// Rate before balancing (balance mode only).
     pub rate_before: Option<String>,
+    /// Rate before balancing as an exact `{num, den}` pair (balance mode
+    /// only).
+    pub rate_before_rational: Option<RationalJson>,
     /// Rate after the transformation.
     pub rate_after: String,
+    /// Rate after the transformation as an exact `{num, den}` pair.
+    pub rate_after_rational: RationalJson,
 }
 
 /// The `trace` row: the replay-validated firing trace with its Chrome
@@ -393,7 +448,9 @@ pub fn analyze_payload(lp: &CompiledLoop, file: Option<String>) -> Result<Analyz
         params: lp.sdsp().params(),
         critical_cycle: a.critical_nodes,
         cycle_time: a.cycle_time.to_string(),
+        cycle_time_rational: a.cycle_time.into(),
         optimal_rate: a.optimal_rate.to_string(),
+        optimal_rate_rational: a.optimal_rate.into(),
         storage_locations: lp.sdsp().storage_locations(),
     })
 }
@@ -416,10 +473,13 @@ pub fn schedule_payload(
                 command: "schedule".into(),
                 scp_depth: None,
                 initiation_interval: s.initiation_interval().to_string(),
+                initiation_interval_rational: s.initiation_interval().into(),
                 period: s.period(),
                 iterations_per_period: s.iterations_per_period(),
                 rate: None,
+                rate_rational: None,
                 utilization: None,
+                utilization_rational: None,
                 kernel: s.render_kernel(),
             }
         }
@@ -430,10 +490,13 @@ pub fn schedule_payload(
                 command: "schedule".into(),
                 scp_depth: Some(depth),
                 initiation_interval: run.schedule.initiation_interval().to_string(),
+                initiation_interval_rational: run.schedule.initiation_interval().into(),
                 period: run.schedule.period(),
                 iterations_per_period: run.schedule.iterations_per_period(),
                 rate: Some(run.rates.measured.to_string()),
+                rate_rational: Some(run.rates.measured.into()),
                 utilization: Some(run.rates.utilization.to_string()),
+                utilization_rational: Some(run.rates.utilization.into()),
                 kernel: run.schedule.render_kernel(),
             }
         }
@@ -459,9 +522,13 @@ pub fn rate_payload(
                 command: "rate".into(),
                 scp_depth: None,
                 measured: r.measured.to_string(),
+                measured_rational: r.measured.into(),
                 optimal: Some(r.optimal.to_string()),
+                optimal_rational: Some(r.optimal.into()),
                 resource_bound: None,
+                resource_bound_rational: None,
                 utilization: None,
+                utilization_rational: None,
                 time_optimal: Some(r.is_time_optimal()),
             }
         }
@@ -472,9 +539,13 @@ pub fn rate_payload(
                 command: "rate".into(),
                 scp_depth: Some(depth),
                 measured: run.rates.measured.to_string(),
+                measured_rational: run.rates.measured.into(),
                 optimal: None,
+                optimal_rational: None,
                 resource_bound: Some(run.rates.resource_bound.to_string()),
+                resource_bound_rational: Some(run.rates.resource_bound.into()),
                 utilization: Some(run.rates.utilization.to_string()),
+                utilization_rational: Some(run.rates.utilization.into()),
                 time_optimal: None,
             }
         }
@@ -495,7 +566,9 @@ pub fn storage_payload(lp: &CompiledLoop, file: Option<String>) -> Result<Storag
         locations_before: run.report.before,
         locations_after: run.report.after,
         rate_before: None,
+        rate_before_rational: None,
         rate_after: run.report.cycle_time.recip().to_string(),
+        rate_after_rational: run.report.cycle_time.recip().into(),
     })
 }
 

@@ -27,6 +27,7 @@ run latency
 run modulo
 run service
 run conform
+run analytic --bench-json BENCH_7.json
 echo "== figures =="
 ./target/release/figures all > "$out/figures.txt"
 echo "figures written to $out/figures.txt"
