@@ -5,9 +5,12 @@
 //! a **warm** run over a small key pool where the sharded result cache
 //! carries most requests. Reports hit-rate, p50/p99 latency, and
 //! throughput; the warm/cold comparison is BENCH_4.json's
-//! before/after.
+//! before/after. A fourth **hot+journal** phase repeats the hot soak
+//! with the request journal enabled, bounding the journal's overhead,
+//! and `--prometheus` additionally dumps that phase's counters as a
+//! Prometheus text exposition.
 //!
-//! Run: `cargo run --release -p tpn-bench --bin service [-- --json]`
+//! Run: `cargo run --release -p tpn-bench --bin service [-- --json] [-- --prometheus]`
 
 use std::time::Instant;
 
@@ -60,11 +63,19 @@ fn soak_request(id: u64, pool: usize) -> Request {
 }
 
 /// One measured soak: `requests` mixed requests over `pool` distinct
-/// keys through a fresh service.
-fn soak(phase: &str, workers: usize, requests: u64, pool: usize) -> ServiceRow {
+/// keys through a fresh service. Returns the row plus the service's
+/// final counters (for the `--prometheus` exposition dump).
+fn soak(
+    phase: &str,
+    workers: usize,
+    requests: u64,
+    pool: usize,
+    journal_capacity: usize,
+) -> (ServiceRow, tpn::metrics::ServiceCounters) {
     let service = Service::start(ServiceConfig {
         workers,
         queue_capacity: 4 * workers.max(1),
+        journal_capacity,
         ..ServiceConfig::default()
     });
     let started = Instant::now();
@@ -80,7 +91,7 @@ fn soak(phase: &str, workers: usize, requests: u64, pool: usize) -> ServiceRow {
     let wall = started.elapsed();
     let counters = service.counters();
     let wall_ms = wall.as_millis().max(1) as u64;
-    ServiceRow {
+    let row = ServiceRow {
         phase: phase.to_string(),
         workers,
         requests,
@@ -91,23 +102,26 @@ fn soak(phase: &str, workers: usize, requests: u64, pool: usize) -> ServiceRow {
         p99_micros: counters.p99_micros,
         wall_ms,
         requests_per_sec: requests * 1_000 / wall_ms,
-    }
+    };
+    (row, counters)
 }
 
 fn main() {
     let workers = tpn::batch::default_threads().max(4);
     let requests = 2_000u64;
-    let rows = vec![
-        // Cold: every request is a new key — the per-request cost of
-        // one-shot compilation, nothing shared.
-        soak("cold", workers, requests, requests as usize),
-        // Warm: a quarter as many keys as requests; every key repeats
-        // ~4x and the cache serves the rest.
-        soak("warm", workers, requests, requests as usize / 4),
-        // Hot: a handful of keys — the steady state of a service
-        // compiling the same production loops over and over.
-        soak("hot", workers, requests, 16),
-    ];
+    // Cold: every request is a new key — the per-request cost of
+    // one-shot compilation, nothing shared.
+    let (cold, _) = soak("cold", workers, requests, requests as usize, 0);
+    // Warm: a quarter as many keys as requests; every key repeats
+    // ~4x and the cache serves the rest.
+    let (warm, _) = soak("warm", workers, requests, requests as usize / 4, 0);
+    // Hot: a handful of keys — the steady state of a service
+    // compiling the same production loops over and over.
+    let (hot, _) = soak("hot", workers, requests, 16, 0);
+    // Hot again with the request journal on: the delta against `hot`
+    // bounds the journal's per-request cost.
+    let (journaled, journaled_counters) = soak("hot+journal", workers, requests, 16, 256);
+    let rows = vec![cold, warm, hot, journaled];
     emit(&rows, |rows| {
         let mut out = String::from("Service soak: mixed verbs through the compile service\n");
         out.push_str(&table::render(
@@ -133,8 +147,12 @@ fn main() {
         out.push_str(
             "\nThe result cache converts repeated keys into Arc-shared artifacts: the\n\
              warm and hot phases serve the same mixed verbs at a fraction of the\n\
-             cold per-request latency.\n",
+             cold per-request latency. hot+journal repeats the hot soak with the\n\
+             request journal enabled; its delta bounds the journal overhead.\n",
         );
         out
     });
+    if std::env::args().any(|a| a == "--prometheus") {
+        print!("{}", tpn::metrics::prometheus_service(&journaled_counters));
+    }
 }

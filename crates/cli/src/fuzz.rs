@@ -140,7 +140,8 @@ pub fn run(invocation: &Invocation) -> Result<(), String> {
             }
             match invocation.format {
                 Format::Json => println!("{}", serde_json::to_string(&summary).unwrap()),
-                Format::Text => {
+                // parse_args rejects --format prometheus for fuzz.
+                Format::Text | Format::Prometheus => {
                     println!(
                         "fuzz --mutate {}: seed {seed} shape {} cases {cases}",
                         summary.mutation, summary.shape
@@ -222,7 +223,8 @@ pub fn run(invocation: &Invocation) -> Result<(), String> {
                     }
                     println!("{line}");
                 }
-                Format::Text => {
+                // parse_args rejects --format prometheus for fuzz.
+                Format::Text | Format::Prometheus => {
                     println!(
                         "fuzz: seed {seed} shape {} cases {cases} -> {} passed, {} failed",
                         summary.shape, summary.passed, summary.failed

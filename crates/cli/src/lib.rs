@@ -12,9 +12,12 @@
 //! tpnc acode    <file>...           dump the compiled SDSP as A-code
 //! tpnc trace    <file> [--scp L]    replay-validated firing-event timeline
 //!                                   (Chrome trace JSON; Perfetto-loadable)
+//! tpnc explain  <file>...           the self-validated scheduling witness:
+//!                                   critical cycle, runner-up slack, engine
+//!                                   audit, balanced issue words
 //! ```
 //!
-//! Every subcommand takes `--format text|json`, `--profile` (append a
+//! Every subcommand takes `--format text|json|prometheus`, `--profile` (append a
 //! pipeline profile: stage timings, engine and detection counters),
 //! `--jobs N` (worker threads for multiple inputs) and
 //! one or more inputs;
@@ -45,6 +48,10 @@ pub enum Format {
     Text,
     /// One JSON object per input, one per line.
     Json,
+    /// A Prometheus text exposition of the pipeline metrics: the command
+    /// runs normally (populating every stage/engine counter) but only
+    /// the exposition is printed. Implies `--profile`.
+    Prometheus,
 }
 
 /// A parsed command line.
@@ -83,6 +90,9 @@ pub struct Invocation {
     pub queue: Option<usize>,
     /// `--cache W` (serve): result-cache weight capacity.
     pub cache: Option<u64>,
+    /// `--journal FILE` (serve): also append every request-journal
+    /// event to FILE as NDJSON.
+    pub journal: Option<String>,
     /// `--seed N` (fuzz): base seed of the case stream.
     pub seed: Option<u64>,
     /// `--cases N` (fuzz): cases to generate.
@@ -145,6 +155,8 @@ pub enum Command {
     Acode,
     /// Replay-validated firing-event timeline.
     Trace,
+    /// The self-validated scheduling witness.
+    Explain,
     /// Long-running compile service (NDJSON over stdin/stdout or a
     /// Unix-domain socket).
     Serve,
@@ -211,12 +223,13 @@ pub static OPTIONS: &[OptSpec] = &[
     },
     OptSpec {
         flag: "--format",
-        value: Some("text|json"),
-        help: "output format (default text)",
+        value: Some("text|json|prometheus"),
+        help: "output format (default text; prometheus prints only the metrics exposition)",
         apply: |inv, v| {
             inv.format = match v.unwrap() {
                 "text" => Format::Text,
                 "json" => Format::Json,
+                "prometheus" => Format::Prometheus,
                 other => return Err(format!("bad --format value {other:?}")),
             };
             Ok(())
@@ -303,6 +316,15 @@ pub static OPTIONS: &[OptSpec] = &[
         },
     },
     OptSpec {
+        flag: "--journal",
+        value: Some("FILE"),
+        help: "append every request-journal event to FILE as NDJSON (serve)",
+        apply: |inv, v| {
+            inv.journal = Some(v.unwrap().to_string());
+            Ok(())
+        },
+    },
+    OptSpec {
         flag: "--seed",
         value: Some("N"),
         help: "base seed of the generated case stream (fuzz; default 0)",
@@ -378,7 +400,7 @@ pub static OPTIONS: &[OptSpec] = &[
 /// [`static@OPTIONS`].
 pub fn usage() -> String {
     let mut s = String::from(
-        "usage: tpnc <analyze|schedule|emit|dot|behavior|storage|acode|trace> <file|-> [<file> ...]\n       tpnc serve [--socket PATH | --self-test]\n       tpnc fuzz [--seed N] [--cases N] [--shape S] [--chaos] [--mutate M]",
+        "usage: tpnc <analyze|schedule|emit|dot|behavior|storage|acode|trace|explain> <file|-> [<file> ...]\n       tpnc serve [--socket PATH | --self-test]\n       tpnc fuzz [--seed N] [--cases N] [--shape S] [--chaos] [--mutate M]",
     );
     for opt in OPTIONS {
         match opt.value {
@@ -412,6 +434,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
         Some("storage") => Command::Storage,
         Some("acode") => Command::Acode,
         Some("trace") => Command::Trace,
+        Some("explain") => Command::Explain,
         Some("serve") => Command::Serve,
         Some("fuzz") => Command::Fuzz,
         Some(other) => return Err(format!("unknown command {other:?}\n{}", usage())),
@@ -433,6 +456,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
         requests: 240,
         queue: None,
         cache: None,
+        journal: None,
         seed: None,
         cases: None,
         shape: None,
@@ -482,6 +506,18 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
             }
         }
     }
+    if invocation.journal.is_some() && invocation.command != Command::Serve {
+        return Err(format!("--journal applies to serve only\n{}", usage()));
+    }
+    if invocation.format == Format::Prometheus
+        && matches!(invocation.command, Command::Serve | Command::Fuzz)
+    {
+        return Err(format!(
+            "--format prometheus applies to file subcommands only (serve exposes the \
+             metrics_prometheus verb instead)\n{}",
+            usage()
+        ));
+    }
     if invocation.command != Command::Fuzz
         && (invocation.seed.is_some()
             || invocation.cases.is_some()
@@ -528,7 +564,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
 fn compile(source: &str, invocation: &Invocation) -> Result<CompiledLoop, String> {
     let wants_trace = invocation.command == Command::Trace || invocation.trace_path.is_some();
     let options = tpn::CompileOptions::new()
-        .profile(invocation.profile)
+        .profile(invocation.profile || invocation.format == Format::Prometheus)
         .trace(wants_trace)
         .engine(invocation.engine);
     if source.trim_start().starts_with(".sdsp") {
@@ -561,6 +597,10 @@ fn execute_named(
     let lp = compile(source, invocation)?;
     let mut out = match invocation.format {
         Format::Text => execute_text(invocation, &lp),
+        // Prometheus runs the command for its side effects only (so
+        // every pipeline stage and engine counter is populated) and
+        // prints nothing but the exposition.
+        Format::Prometheus => execute_text(invocation, &lp).map(|_| String::new()),
         Format::Json => execute_json(invocation, &lp, file),
     }?;
     if let Some(path) = &invocation.trace_path {
@@ -572,16 +612,19 @@ fn execute_named(
         json.push('\n');
         std::fs::write(path, json).map_err(|e| format!("error writing {path}: {e}"))?;
     }
-    if invocation.profile {
-        let profile = lp.metrics_report();
-        match invocation.format {
-            Format::Text => out.push_str(&profile.render_text()),
-            Format::Json => out.push_str(&to_json_line(&ProfileJson {
+    match invocation.format {
+        Format::Prometheus => out.push_str(&tpn::metrics::prometheus_report(&lp.metrics_report())),
+        Format::Text if invocation.profile => {
+            out.push_str(&lp.metrics_report().render_text());
+        }
+        Format::Json if invocation.profile => {
+            out.push_str(&to_json_line(&ProfileJson {
                 file: file.map(String::from),
                 command: "profile".into(),
-                profile,
-            })?),
+                profile: lp.metrics_report(),
+            })?);
         }
+        Format::Text | Format::Json => {}
     }
     Ok(out)
 }
@@ -735,6 +778,79 @@ fn execute_text(invocation: &Invocation, lp: &CompiledLoop) -> Result<String, St
             let trace = validated_trace(invocation, lp)?;
             out.push_str(&trace.chrome_trace_json());
             out.push('\n');
+        }
+        Command::Explain => {
+            let e = lp.explain().map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "cycle time alpha* = {}, optimal computation rate {}",
+                e.cycle_time, e.rate
+            );
+            match &e.witness_self_loop {
+                Some(node) => {
+                    let _ = writeln!(out, "witness: non-reentrant slow node {node}");
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "witness cycle: [{}], omega = {}, tokens = {}",
+                        e.witness_transitions.join(" -> "),
+                        e.total_time.unwrap_or(0),
+                        e.token_count.unwrap_or(0)
+                    );
+                }
+            }
+            match &e.cycles {
+                Some(cycles) => {
+                    let critical = cycles.iter().filter(|c| c.critical).count();
+                    let _ = writeln!(
+                        out,
+                        "cycles: {} enumerated, {} critical",
+                        cycles.len(),
+                        critical
+                    );
+                    for c in cycles {
+                        let _ = writeln!(
+                            out,
+                            "  [{}] omega/tokens = {}/{} = {}, slack {}{}",
+                            c.transitions.join(" -> "),
+                            c.total_time,
+                            c.token_count,
+                            c.cycle_time,
+                            c.slack,
+                            if c.critical { " (critical)" } else { "" }
+                        );
+                    }
+                }
+                None => {
+                    let _ = writeln!(out, "cycles: enumeration budget exceeded (witness only)");
+                }
+            }
+            let _ = writeln!(
+                out,
+                "engine: {} -> {} ({})",
+                e.engine.configured.as_str(),
+                e.engine.resolved.as_str(),
+                e.engine.reason
+            );
+            if let Some(words) = &e.issue_words {
+                let _ = writeln!(
+                    out,
+                    "issue words (period {}, iterations {}, anchor cycle {}):",
+                    words.period, words.iterations, words.anchor
+                );
+                for (node, word) in &words.words {
+                    let _ = writeln!(out, "  {node}: {word}");
+                }
+            }
+            match e.validated {
+                true => {
+                    let _ = writeln!(out, "validated: yes");
+                }
+                false => {
+                    let _ = writeln!(out, "validated: NO ({})", e.validation_errors.join("; "));
+                }
+            }
         }
         Command::Serve => return Err("serve does not take input files".to_string()),
         Command::Fuzz => return Err("fuzz does not take input files".to_string()),
@@ -922,6 +1038,11 @@ fn execute_json(
         Command::Trace => {
             let trace = validated_trace(invocation, lp)?;
             Ok(trace.jsonl())
+        }
+        Command::Explain => {
+            let row =
+                tpn_service::protocol::explain_payload(lp, file).map_err(|e| e.to_string())?;
+            to_json_line(&row)
         }
         Command::Serve => Err("serve does not take input files".to_string()),
         Command::Fuzz => Err("fuzz does not take input files".to_string()),
@@ -1127,6 +1248,7 @@ wat
         // Empty source text: parse error with a diagnostic, never a panic.
         for cmd in [
             "analyze", "schedule", "emit", "dot", "behavior", "storage", "acode", "trace",
+            "explain",
         ] {
             let inv = parse_args(args(&format!("{cmd} -"))).unwrap();
             let err = execute(&inv, "").unwrap_err();
@@ -1169,7 +1291,7 @@ wat
         assert!(out.contains("\"scp_depth\":4"));
         assert!(out.contains("\"kernel\":\""));
 
-        for cmd in ["emit", "dot", "behavior", "storage", "acode"] {
+        for cmd in ["emit", "dot", "behavior", "storage", "acode", "explain"] {
             let inv = parse_args(args(&format!("{cmd} - --format json"))).unwrap();
             let out = execute(&inv, L5).unwrap();
             assert!(
@@ -1178,6 +1300,43 @@ wat
             );
             assert_eq!(out.lines().count(), 1, "{cmd} emitted multiple lines");
         }
+    }
+
+    #[test]
+    fn explain_prints_a_validated_witness() {
+        let inv = parse_args(args("explain -")).unwrap();
+        let out = execute(&inv, L5).unwrap();
+        assert!(out.contains("cycle time alpha* = 2"), "got: {out}");
+        assert!(out.contains("optimal computation rate 1/2"), "got: {out}");
+        assert!(out.contains("(critical)"), "got: {out}");
+        assert!(out.contains("engine: auto -> analytic"), "got: {out}");
+        assert!(out.contains("issue words"), "got: {out}");
+        assert!(out.contains("validated: yes"), "got: {out}");
+
+        // The JSON row self-reports validation too.
+        let inv = parse_args(args("explain - --format json")).unwrap();
+        let out = execute(&inv, L5).unwrap();
+        assert!(out.contains("\"validated\":true"), "got: {out}");
+        assert!(out.contains("\"cycle_time\":\"2\""), "got: {out}");
+    }
+
+    #[test]
+    fn prometheus_format_emits_only_the_exposition() {
+        let inv = parse_args(args("schedule - --format prometheus")).unwrap();
+        let out = execute(&inv, L5).unwrap();
+        assert!(out.starts_with("# HELP"), "got: {out}");
+        assert!(out.contains("tpn_stage_duration_nanos"), "got: {out}");
+        assert!(out.contains("tpn_engine_instants_total"), "got: {out}");
+        assert!(!out.contains("II ="), "schedule text leaked: {out}");
+    }
+
+    #[test]
+    fn telemetry_flags_are_validated() {
+        assert!(parse_args(args("serve --journal j.ndjson")).is_ok());
+        assert!(parse_args(args("analyze x --journal j.ndjson")).is_err());
+        assert!(parse_args(args("serve --format prometheus")).is_err());
+        assert!(parse_args(args("fuzz --format prometheus")).is_err());
+        assert!(parse_args(args("analyze x --format prometheus")).is_ok());
     }
 
     /// Replaces every `"nanos":<digits>` with `"nanos":0` so wall-clock

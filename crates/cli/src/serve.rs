@@ -14,14 +14,28 @@ use std::sync::{Arc, Mutex};
 
 use serde::Serialize;
 use tpn_service::protocol::{self, Request, Verb};
-use tpn_service::{metrics_response, Canceller, Service, ServiceConfig};
+use tpn_service::{
+    journal_response, metrics_prometheus_response, metrics_response, Canceller, Service,
+    ServiceConfig,
+};
 
 use crate::Invocation;
 
+/// In-memory capacity of the serve front-end's request-journal ring:
+/// the window the `journal` verb can look back over.
+const JOURNAL_RING: usize = 256;
+
 /// Builds the service configuration from the invocation's flags
-/// (`--jobs` workers, `--queue` capacity, `--cache` weight).
+/// (`--jobs` workers, `--queue` capacity, `--cache` weight). The serve
+/// front-end always keeps the request journal's in-memory ring — the
+/// `journal` verb reads it — while embedded [`Service`] users keep the
+/// zero-cost default of no journal at all; `--journal FILE`
+/// additionally streams every event to FILE as NDJSON.
 fn config(invocation: &Invocation) -> ServiceConfig {
-    let mut config = ServiceConfig::default();
+    let mut config = ServiceConfig {
+        journal_capacity: JOURNAL_RING,
+        ..ServiceConfig::default()
+    };
     if let Some(jobs) = invocation.jobs {
         config.workers = jobs;
     }
@@ -32,6 +46,17 @@ fn config(invocation: &Invocation) -> ServiceConfig {
         config.cache_capacity = cache;
     }
     config
+}
+
+/// Opens `--journal FILE` (truncating) and plugs it into the service as
+/// the journal's NDJSON sink.
+fn attach_journal_sink(service: &Service, invocation: &Invocation) -> Result<(), String> {
+    if let Some(path) = &invocation.journal {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("error creating journal file {path}: {e}"))?;
+        service.set_journal_sink(Box::new(file));
+    }
+    Ok(())
 }
 
 /// Entry point of `tpnc serve`.
@@ -45,6 +70,7 @@ pub fn run(invocation: &Invocation) -> Result<(), String> {
         return self_test(invocation);
     }
     let service = Arc::new(Service::start(config(invocation)));
+    attach_journal_sink(&service, invocation)?;
     match &invocation.socket {
         Some(path) => serve_socket(&service, path),
         None => {
@@ -134,6 +160,8 @@ fn dispatch(
     };
     match request.verb {
         Verb::Metrics => tx.send(metrics_response(service, request.id).line),
+        Verb::MetricsPrometheus => tx.send(metrics_prometheus_response(service, request.id).line),
+        Verb::Journal => tx.send(journal_response(service, request.id).line),
         Verb::Cancel => {
             let target = request.target.expect("protocol validated cancel target");
             let delivered = match in_flight.lock().expect("in-flight table").get(&target) {
@@ -223,6 +251,7 @@ struct SelfTestJson {
     errors: u64,
     overloaded_typed: u64,
     identity_checks: usize,
+    journal_events: usize,
     hit_rate: f64,
     p50_micros: u64,
     p99_micros: u64,
@@ -270,6 +299,7 @@ fn self_test(invocation: &Invocation) -> Result<(), String> {
     // about four times, comfortably past the ≥50 % repeat target.
     let pool = source_pool((requests as usize / 4).max(1));
     let service = Service::start(config);
+    attach_journal_sink(&service, invocation)?;
 
     // Phase 1: cached/uncached byte-identity for every protocol verb.
     // The first call compiles, the second hits the cache; both lines
@@ -285,6 +315,7 @@ fn self_test(invocation: &Invocation) -> Result<(), String> {
         (Verb::Trace, None),
         (Verb::Trace, Some(2)),
         (Verb::Storage, None),
+        (Verb::Explain, None),
     ] {
         let request = Request {
             id: 1_000_000 + identity_checks as u64,
@@ -362,6 +393,27 @@ fn self_test(invocation: &Invocation) -> Result<(), String> {
     .into_iter()
     .sum();
 
+    // Phase 4: telemetry. The journal ring must have recorded the soak
+    // and both observability verbs must answer in-band.
+    let journal_events = service.journal_events().map_or(0, |events| events.len());
+    if journal_events == 0 {
+        return Err("telemetry check: the soak left no journal events".into());
+    }
+    let prometheus = metrics_prometheus_response(&service, 9_000_001);
+    if !prometheus.ok || !prometheus.line.contains("tpn_service_accepted_total") {
+        return Err(format!(
+            "telemetry check: bad exposition: {}",
+            prometheus.line
+        ));
+    }
+    let journal = journal_response(&service, 9_000_002);
+    if !journal.ok {
+        return Err(format!(
+            "telemetry check: journal verb failed: {}",
+            journal.line
+        ));
+    }
+
     let counters = service.counters();
     let summary = SelfTestJson {
         command: "serve-self-test".into(),
@@ -371,6 +423,7 @@ fn self_test(invocation: &Invocation) -> Result<(), String> {
         errors,
         overloaded_typed,
         identity_checks,
+        journal_events,
         hit_rate: counters.cache.hit_rate(),
         p50_micros: counters.p50_micros,
         p99_micros: counters.p99_micros,
@@ -399,6 +452,7 @@ mod tests {
     fn serve_stream_round_trips_requests() {
         let service = Arc::new(Service::start(ServiceConfig {
             workers: 2,
+            journal_capacity: 4,
             ..ServiceConfig::default()
         }));
         let input = concat!(
@@ -407,6 +461,8 @@ mod tests {
             "not json\n",
             "{\"id\":2,\"verb\":\"metrics\"}\n",
             "{\"id\":3,\"verb\":\"cancel\",\"target\":99}\n",
+            "{\"id\":4,\"verb\":\"metrics_prometheus\"}\n",
+            "{\"id\":5,\"verb\":\"journal\"}\n",
         );
         let output = Arc::new(Mutex::new(Vec::new()));
 
@@ -425,7 +481,7 @@ mod tests {
         let written = output.lock().expect("writer lock").clone();
         let text = String::from_utf8(written).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 4, "blank line skipped, four responses: {text}");
+        assert_eq!(lines.len(), 6, "blank line skipped, six responses: {text}");
         for line in &lines {
             protocol::parse_json(line).expect("responses are valid JSON");
         }
@@ -433,6 +489,10 @@ mod tests {
         assert!(text.contains("\"verb\":\"analyze\""));
         assert!(text.contains("\"verb\":\"metrics\""));
         assert!(text.contains("\"in_flight\":false"));
+        assert!(text.contains("\"verb\":\"metrics_prometheus\""));
+        assert!(text.contains("tpn_service_accepted_total"));
+        assert!(text.contains("\"verb\":\"journal\""));
+        assert!(text.contains("\"capacity\":4"));
     }
 
     #[test]

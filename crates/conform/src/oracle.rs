@@ -19,7 +19,10 @@
 //! * **analytic** — the simulation-free periodic schedule built from the
 //!   critical ratio ([`AnalyticSchedule`]) must carry exactly the
 //!   parametric rate, pass the independent dependence checker, and its
-//!   synthesized firing trace must replay cleanly at the same rate.
+//!   synthesized firing trace must replay cleanly at the same rate;
+//! * **explain** — the scheduling witness (`CompiledLoop::explain`) must
+//!   pass its own in-process re-validation and report exactly the
+//!   parametric `α*` and rate.
 //!
 //! [`Mutation`] deliberately breaks one layer (the simulated net) while
 //! leaving the analyses untouched; a healthy stack catches the injected
@@ -396,6 +399,32 @@ fn run_case(
             Err(e) => report
                 .disagreements
                 .push(format!("analytic: construction failed: {e}")),
+        }
+    }
+
+    // Oracle 7: the explanation witness — `CompiledLoop::explain` must
+    // self-validate (its own internal re-derivation finds no
+    // discrepancy) and report exactly the parametric α* and rate.
+    if mutation.is_none() {
+        let lp = tpn::CompiledLoop::from_sdsp(sdsp.clone());
+        match lp.explain() {
+            Ok(e) => {
+                if !e.validated {
+                    report.disagreements.push(format!(
+                        "explain: witness failed self-validation: {}",
+                        e.validation_errors.join("; ")
+                    ));
+                }
+                if e.cycle_time != param.cycle_time || e.rate != param.rate {
+                    report.disagreements.push(format!(
+                        "explain: reported α* = {} rate {} but parametric α* = {} rate {}",
+                        e.cycle_time, e.rate, param.cycle_time, param.rate
+                    ));
+                }
+            }
+            Err(e) => report
+                .disagreements
+                .push(format!("explain: explanation failed: {e}")),
         }
     }
 

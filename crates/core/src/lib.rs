@@ -63,7 +63,7 @@ pub mod metrics;
 use tpn_dataflow::to_petri::{to_petri, SdspPn};
 use tpn_dataflow::{DataflowError, Sdsp};
 use tpn_lang::LangError;
-use tpn_petri::ratio::{critical_ratio, CriticalWitness};
+use tpn_petri::ratio::{critical_ratio, explain_rate, CriticalWitness};
 use tpn_petri::rational::Ratio;
 use tpn_petri::timed::EagerPolicy;
 use tpn_petri::trace::RingRecorder;
@@ -367,6 +367,100 @@ pub struct Analysis {
     pub critical_nodes: Vec<String>,
 }
 
+/// One enumerated simple cycle of an [`Explanation`], with its exact
+/// ratio and its slack against the critical cycle time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExplainedCycle {
+    /// Names of the loop nodes (and liveness buffers) on the cycle.
+    pub transitions: Vec<String>,
+    /// `Ω(C)`: summed execution time of the cycle's transitions.
+    pub total_time: u64,
+    /// `M(C)`: the cycle's token count.
+    pub token_count: u64,
+    /// `Ω(C)/M(C)` as an exact rational.
+    pub cycle_time: Ratio,
+    /// `α* − Ω(C)/M(C)`: zero exactly on critical cycles.
+    pub slack: Ratio,
+    /// Whether this cycle attains `α*`.
+    pub critical: bool,
+}
+
+/// Why [`CompiledLoop::engine`] resolved the way it did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineAudit {
+    /// The engine the options asked for.
+    pub configured: SchedulePolicy,
+    /// The engine actually used after `Auto` resolution.
+    pub resolved: SchedulePolicy,
+    /// Whether the compiled net is a pure marked graph — the structural
+    /// test `Auto` resolution is based on.
+    pub marked_graph: bool,
+    /// A one-line human-readable decision reason.
+    pub reason: String,
+}
+
+/// The balanced (Sturmian) issue words of the analytic steady state: for
+/// each loop node, one `'1'`/`'0'` character per cycle of the kernel
+/// window, `'1'` where the node starts a firing. Every word carries
+/// exactly `iterations` ones.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IssueWords {
+    /// Kernel length `p` in cycles.
+    pub period: u64,
+    /// Iterations per kernel `q` (`α* = p/q`).
+    pub iterations: u64,
+    /// First cycle of the steady-state window.
+    pub anchor: u64,
+    /// `(node name, word)` pairs in loop-node order.
+    pub words: Vec<(String, String)>,
+}
+
+/// The scheduling witness behind [`CompiledLoop::explain`]: which cycle
+/// pins the rate, by how much every runner-up misses it, why the engine
+/// decision fell the way it did, and the balanced issue word of the
+/// periodic steady state — every quantity re-validated in process (see
+/// [`Explanation::validated`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Explanation {
+    /// The critical cycle time `α* = max Ω(C)/M(C)`.
+    pub cycle_time: Ratio,
+    /// The optimal computation rate `1/α*`, exactly.
+    pub rate: Ratio,
+    /// Names of the transitions on the critical witness cycle (empty when
+    /// the bound comes from a single slow node's non-reentrance).
+    pub witness_transitions: Vec<String>,
+    /// For a self-loop witness: the dominating slow node's name.
+    pub witness_self_loop: Option<String>,
+    /// `Ω(C)` of the witness cycle (`None` for a self-loop witness).
+    pub total_time: Option<u64>,
+    /// `M(C)` of the witness cycle (`None` for a self-loop witness).
+    pub token_count: Option<u64>,
+    /// Every simple cycle from the Johnson enumeration, critical cycles
+    /// first then by ascending slack; `None` when the net has more than
+    /// the enumeration budget's worth of cycles (the witness above is
+    /// still exact — only the runner-up table is unavailable).
+    pub cycles: Option<Vec<ExplainedCycle>>,
+    /// The engine-decision audit.
+    pub engine: EngineAudit,
+    /// Balanced issue words of the analytic steady state; `None` when the
+    /// net is not a pure marked graph (no closed-form periodic regime).
+    pub issue_words: Option<IssueWords>,
+    /// Whether every reported quantity re-derived exactly (witness ratio
+    /// equals `α*`, rate is its exact reciprocal, per-cycle ratios and
+    /// slacks re-compute, issue words are balanced). Always check this —
+    /// `false` means the explanation caught an internal inconsistency,
+    /// itemised in `validation_errors`.
+    pub validated: bool,
+    /// The discrepancies found during re-validation (empty when
+    /// `validated`).
+    pub validation_errors: Vec<String>,
+}
+
+/// Cycle-enumeration budget for [`CompiledLoop::explain`]: generous for
+/// any hand-written loop; nets beyond it degrade to a witness-only
+/// explanation instead of failing.
+const EXPLAIN_CYCLE_LIMIT: usize = 4096;
+
 /// The frustum cache entry: the report plus the trace recorded alongside
 /// it (present only when tracing was enabled *and* the ring kept every
 /// event).
@@ -381,6 +475,7 @@ struct Caches {
     trace: OnceLock<Result<Arc<FiringTrace>, Error>>,
     schedule: OnceLock<Result<Arc<LoopSchedule>, Error>>,
     rates: OnceLock<Result<RateReport, Error>>,
+    explain: OnceLock<Result<Arc<Explanation>, Error>>,
     scp: Mutex<HashMap<u64, Result<Arc<ScpRun>, Error>>>,
     steady: OnceLock<Result<Arc<SteadyStateNet>, Error>>,
     storage: OnceLock<Result<Arc<StorageRun>, Error>>,
@@ -405,6 +500,7 @@ impl Clone for Caches {
             trace: Self::clone_lock(&self.trace),
             schedule: Self::clone_lock(&self.schedule),
             rates: Self::clone_lock(&self.rates),
+            explain: Self::clone_lock(&self.explain),
             scp: Mutex::new(self.scp.lock().expect("scp cache poisoned").clone()),
             steady: Self::clone_lock(&self.steady),
             storage: Self::clone_lock(&self.storage),
@@ -603,6 +699,141 @@ impl CompiledLoop {
             .clone()
     }
 
+    /// The full scheduling witness: the critical cycle with its token
+    /// count `M(C)`, total time `Ω(C)` and exact ratio, per-cycle slack
+    /// for every runner-up cycle from the Johnson enumeration, the
+    /// engine-decision audit, and the balanced issue word of the periodic
+    /// steady state. Every quantity is re-derived and cross-checked in
+    /// process before being returned — check
+    /// [`Explanation::validated`]. Memoized.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Petri`] for malformed, empty or dead nets.
+    pub fn explain(&self) -> Result<Arc<Explanation>, Error> {
+        self.caches
+            .explain
+            .get_or_init(|| {
+                self.span("explain", || self.build_explanation())
+                    .map(Arc::new)
+            })
+            .clone()
+    }
+
+    fn build_explanation(&self) -> Result<Explanation, Error> {
+        let net = &self.pn.net;
+        let marking = &self.pn.marking;
+        let ex = explain_rate(net, marking, EXPLAIN_CYCLE_LIMIT)?;
+        let mut validation_errors = ex.validate(net, marking);
+
+        let name_of = |t: tpn_petri::TransitionId| net.transition(t).name().to_string();
+        let (witness_transitions, witness_self_loop, total_time, token_count) =
+            match &ex.critical.witness {
+                CriticalWitness::Cycle(c) => (
+                    c.transitions().iter().copied().map(name_of).collect(),
+                    None,
+                    Some(c.time_sum(net)),
+                    Some(c.token_sum(marking)),
+                ),
+                CriticalWitness::SelfLoop(t) => (Vec::new(), Some(name_of(*t)), None, None),
+            };
+
+        let cycles = ex.analysis.as_ref().map(|analysis| {
+            let mut rows: Vec<ExplainedCycle> = analysis
+                .cycles
+                .iter()
+                .enumerate()
+                .map(|(i, info)| ExplainedCycle {
+                    transitions: info
+                        .cycle
+                        .transitions()
+                        .iter()
+                        .copied()
+                        .map(name_of)
+                        .collect(),
+                    total_time: info.time_sum,
+                    token_count: info.token_sum,
+                    cycle_time: info.cycle_time,
+                    slack: ex.slack(info).unwrap_or(Ratio::ZERO),
+                    critical: analysis.critical.contains(&i),
+                })
+                .collect();
+            rows.sort_by(|a, b| {
+                b.critical
+                    .cmp(&a.critical)
+                    .then(a.slack.cmp(&b.slack))
+                    .then(a.transitions.cmp(&b.transitions))
+            });
+            // Distinct place-level cycles (data vs. liveness-buffer
+            // places) can thread the same transitions with the same
+            // Ω and M; they are indistinguishable in this view, so
+            // collapse exact duplicates.
+            rows.dedup();
+            rows
+        });
+
+        let engine = self.engine_audit();
+        let marked_graph = engine.marked_graph;
+
+        let issue_words = if marked_graph {
+            AnalyticSchedule::for_sdsp_pn(&self.pn).ok().map(|a| {
+                let words: Vec<(String, String)> = self
+                    .pn
+                    .transition_of
+                    .iter()
+                    .map(|&t| {
+                        let word: String = a
+                            .issue_word(t)
+                            .into_iter()
+                            .map(|fired| if fired { '1' } else { '0' })
+                            .collect();
+                        (name_of(t), word)
+                    })
+                    .collect();
+                for (name, word) in &words {
+                    let ones = word.chars().filter(|&c| c == '1').count() as u64;
+                    if ones != a.iterations_per_period() {
+                        validation_errors.push(format!(
+                            "issue word of {name} has {ones} ones, expected {}",
+                            a.iterations_per_period()
+                        ));
+                    }
+                }
+                IssueWords {
+                    period: a.period(),
+                    iterations: a.iterations_per_period(),
+                    anchor: a.anchor(),
+                    words,
+                }
+            })
+        } else {
+            None
+        };
+
+        // The acceptance bar stated plainly: the reported rate must be the
+        // exact reciprocal of the reported cycle time.
+        if ex.critical.rate != ex.critical.cycle_time.recip() {
+            validation_errors.push(format!(
+                "rate {} != 1 / cycle time {}",
+                ex.critical.rate, ex.critical.cycle_time
+            ));
+        }
+
+        Ok(Explanation {
+            cycle_time: ex.critical.cycle_time,
+            rate: ex.critical.rate,
+            witness_transitions,
+            witness_self_loop,
+            total_time,
+            token_count,
+            cycles,
+            engine,
+            issue_words,
+            validated: validation_errors.is_empty(),
+            validation_errors,
+        })
+    }
+
     /// The cyclic frustum of the SDSP-PN under the earliest firing rule,
     /// detected once and shared by every stage that needs it
     /// ([`schedule`](Self::schedule), [`rate_report`](Self::rate_report),
@@ -786,6 +1017,31 @@ impl CompiledLoop {
     /// against the compiled net (analytic iff it is a pure marked graph).
     pub fn engine(&self) -> SchedulePolicy {
         self.options.engine.resolve(&self.pn.net)
+    }
+
+    /// Why [`engine`](Self::engine) resolved the way it did: the
+    /// configured policy, the resolved one, the structural test behind
+    /// `Auto` resolution, and a one-line reason. Cheap (one structural
+    /// scan) — the service journal records it per request.
+    pub fn engine_audit(&self) -> EngineAudit {
+        let marked_graph = self.pn.net.is_marked_graph();
+        let configured = self.options.engine;
+        let reason = match configured {
+            SchedulePolicy::Auto if marked_graph => {
+                "auto: pure marked graph, closed-form periodic regime exists -> analytic"
+            }
+            SchedulePolicy::Auto => {
+                "auto: not a pure marked graph (structural conflict) -> frustum"
+            }
+            _ => "forced by compile options",
+        }
+        .to_string();
+        EngineAudit {
+            configured,
+            resolved: self.engine(),
+            marked_graph,
+            reason,
+        }
     }
 
     /// The time-optimal software-pipelining schedule, `Arc`-shared by
@@ -1061,6 +1317,64 @@ mod tests {
         assert_eq!(schedule.rate(), Ratio::new(1, 3));
         let report = lp.rate_report().unwrap();
         assert!(report.is_time_optimal());
+    }
+
+    #[test]
+    fn explain_witness_self_validates_on_l2() {
+        let lp = CompiledLoop::from_source(L2).unwrap();
+        let ex = lp.explain().unwrap();
+        assert!(ex.validated, "witness failed: {:?}", ex.validation_errors);
+        assert_eq!(ex.cycle_time, Ratio::new(3, 1));
+        assert_eq!(ex.rate, Ratio::new(1, 3));
+        assert_eq!(ex.rate, ex.cycle_time.recip());
+        // The witness cycle's Ω/M re-derives the cycle time exactly.
+        assert_eq!(
+            Ratio::new(ex.total_time.unwrap(), ex.token_count.unwrap()),
+            ex.cycle_time
+        );
+        assert_eq!(ex.witness_transitions.len(), 3);
+        // Enumeration fits easily; critical cycles sort first, runner-ups
+        // carry positive slack.
+        let cycles = ex.cycles.as_ref().unwrap();
+        assert!(!cycles.is_empty());
+        assert!(cycles[0].critical);
+        assert_eq!(cycles[0].slack, Ratio::ZERO);
+        for c in cycles {
+            assert_eq!(Ratio::new(c.total_time, c.token_count), c.cycle_time);
+            assert_eq!(c.critical, c.slack == Ratio::ZERO);
+        }
+        // Engine audit: L2 is a pure marked graph, so Auto goes analytic.
+        assert!(ex.engine.marked_graph);
+        assert_eq!(ex.engine.configured, SchedulePolicy::Auto);
+        assert_eq!(ex.engine.resolved, SchedulePolicy::Analytic);
+        // Issue words: integer cycle time 3 means one start in each
+        // 3-cycle word.
+        let words = ex.issue_words.as_ref().unwrap();
+        assert_eq!(words.period, 3);
+        assert_eq!(words.iterations, 1);
+        assert_eq!(words.words.len(), 5);
+        for (_, word) in &words.words {
+            assert_eq!(word.len(), 3);
+            assert_eq!(word.chars().filter(|&c| c == '1').count(), 1);
+        }
+        // Memoized like every other stage.
+        assert!(Arc::ptr_eq(&ex, &lp.explain().unwrap()));
+    }
+
+    #[test]
+    fn explain_reports_the_forced_engine() {
+        let lp = CompiledLoop::from_source_with(
+            L2,
+            CompileOptions::new().engine(SchedulePolicy::Frustum),
+        )
+        .unwrap();
+        let ex = lp.explain().unwrap();
+        assert!(ex.validated);
+        assert_eq!(ex.engine.configured, SchedulePolicy::Frustum);
+        assert_eq!(ex.engine.resolved, SchedulePolicy::Frustum);
+        assert_eq!(ex.engine.reason, "forced by compile options");
+        // The witness does not depend on the engine choice.
+        assert_eq!(ex.cycle_time, Ratio::new(3, 1));
     }
 
     #[test]

@@ -146,17 +146,16 @@ pub fn latency_histogram(latencies_nanos: &[u64]) -> Vec<HistogramBucket> {
     }];
     for &nanos in latencies_nanos {
         let micros = nanos.div_ceil(1_000).max(1);
-        while buckets.last().expect("nonempty").le_micros < micros {
+        // Slot k covers (2^{k-1}, 2^k] µs, so the slot is the exponent of
+        // the next power of two at or above `micros` — no scan needed.
+        let slot = (u64::BITS - (micros - 1).leading_zeros()) as usize;
+        while buckets.len() <= slot {
             let next = buckets.last().expect("nonempty").le_micros * 2;
             buckets.push(HistogramBucket {
                 le_micros: next,
                 count: 0,
             });
         }
-        let slot = buckets
-            .iter()
-            .position(|b| micros <= b.le_micros)
-            .expect("last bucket covers the maximum");
         buckets[slot].count += 1;
     }
     buckets
@@ -205,6 +204,22 @@ impl CacheCounters {
     }
 }
 
+/// Per-verb request counters of one compile service: how many requests
+/// of this protocol verb were admitted, answered successfully, and
+/// answered with an error (deadline, cancellation, panic, compile
+/// failure — anything with `"ok":false`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct VerbCounters {
+    /// The protocol verb (`analyze`, `schedule`, …).
+    pub verb: String,
+    /// Requests of this verb admitted to the queue.
+    pub accepted: u64,
+    /// Requests of this verb that produced an `"ok":true` response.
+    pub completed: u64,
+    /// Requests of this verb that produced an error response.
+    pub failed: u64,
+}
+
 /// Counters of one compile service: admission, completion and rejection
 /// counts, queue high-water mark, request latencies, and the result
 /// cache's counters. The stable serde payload of the service's
@@ -234,8 +249,14 @@ pub struct ServiceCounters {
     pub p50_micros: u64,
     /// p99 request latency, microseconds.
     pub p99_micros: u64,
+    /// Sum of all request latencies, microseconds (exact, unlike a sum
+    /// reconstructed from histogram bucket bounds).
+    pub latency_sum_micros: u64,
     /// Power-of-two latency histogram over completed requests.
     pub latency: Vec<HistogramBucket>,
+    /// Per-verb accepted/completed/failed counts, in protocol verb
+    /// order; verbs with no traffic are omitted.
+    pub per_verb: Vec<VerbCounters>,
     /// The sharded result cache's counters.
     pub cache: CacheCounters,
 }
@@ -333,6 +354,369 @@ impl MetricsReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Prometheus text exposition (version 0.0.4).
+//
+// Counters end in `_total`, gauges are bare, and the power-of-two
+// latency histograms map onto native Prometheus histograms: per-bucket
+// counts become cumulative `_bucket{le="..."}` samples plus `+Inf`,
+// `_count` is the sample size, and `_sum` is either the exact sum (the
+// service tracks one) or an upper-bound estimate from bucket bounds
+// (batch pools only keep the histogram).
+// ---------------------------------------------------------------------
+
+/// The content type Prometheus scrapers expect for [`prometheus_service`]
+/// and [`prometheus_report`] output.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+fn prom_escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn prom_metric(out: &mut String, name: &str, kind: &str, help: &str, samples: &[(String, u64)]) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    for (labels, value) in samples {
+        let _ = writeln!(out, "{name}{labels} {value}");
+    }
+}
+
+fn prom_scalar(out: &mut String, name: &str, kind: &str, help: &str, value: u64) {
+    prom_metric(out, name, kind, help, &[(String::new(), value)]);
+}
+
+/// Upper-bound estimate of the sum of a histogram's samples, from each
+/// bucket's inclusive upper bound. Used as `_sum` when the exact sum was
+/// not tracked alongside the histogram.
+pub fn histogram_upper_sum_micros(buckets: &[HistogramBucket]) -> u64 {
+    buckets
+        .iter()
+        .map(|b| b.le_micros.saturating_mul(b.count))
+        .fold(0, u64::saturating_add)
+}
+
+fn prom_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    buckets: &[HistogramBucket],
+    sum_micros: u64,
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for b in buckets {
+        cumulative += b.count;
+        let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", b.le_micros);
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+    let _ = writeln!(out, "{name}_sum {sum_micros}");
+    let _ = writeln!(out, "{name}_count {cumulative}");
+}
+
+/// Renders a [`ServiceCounters`] snapshot (including its
+/// [`CacheCounters`] and per-verb breakdown) as a Prometheus text
+/// exposition. The payload behind the service's `metrics_prometheus`
+/// verb.
+pub fn prometheus_service(c: &ServiceCounters) -> String {
+    let mut out = String::new();
+    prom_scalar(
+        &mut out,
+        "tpn_service_workers",
+        "gauge",
+        "Worker threads serving the admission queue.",
+        c.workers as u64,
+    );
+    prom_scalar(
+        &mut out,
+        "tpn_service_queue_capacity",
+        "gauge",
+        "Admission queue capacity.",
+        c.queue_capacity as u64,
+    );
+    prom_scalar(
+        &mut out,
+        "tpn_service_accepted_total",
+        "counter",
+        "Requests admitted to the queue.",
+        c.accepted,
+    );
+    prom_scalar(
+        &mut out,
+        "tpn_service_completed_total",
+        "counter",
+        "Requests that produced a successful response.",
+        c.completed,
+    );
+    prom_scalar(
+        &mut out,
+        "tpn_service_rejected_overloaded_total",
+        "counter",
+        "Requests rejected with a typed Overloaded error at admission.",
+        c.rejected_overloaded,
+    );
+    prom_scalar(
+        &mut out,
+        "tpn_service_deadline_expired_total",
+        "counter",
+        "Requests that failed their wall-clock deadline.",
+        c.deadline_expired,
+    );
+    prom_scalar(
+        &mut out,
+        "tpn_service_cancelled_total",
+        "counter",
+        "Requests cancelled cooperatively before completing.",
+        c.cancelled,
+    );
+    prom_scalar(
+        &mut out,
+        "tpn_service_panicked_total",
+        "counter",
+        "Requests whose pipeline panicked (worker survived).",
+        c.panicked,
+    );
+    prom_scalar(
+        &mut out,
+        "tpn_service_queue_depth_max",
+        "gauge",
+        "Highest queue depth observed at admission.",
+        c.max_queue_depth,
+    );
+    if !c.per_verb.is_empty() {
+        let mut samples = Vec::new();
+        for v in &c.per_verb {
+            let verb = prom_escape_label(&v.verb);
+            samples.push((
+                format!("{{verb=\"{verb}\",outcome=\"accepted\"}}"),
+                v.accepted,
+            ));
+            samples.push((
+                format!("{{verb=\"{verb}\",outcome=\"completed\"}}"),
+                v.completed,
+            ));
+            samples.push((format!("{{verb=\"{verb}\",outcome=\"failed\"}}"), v.failed));
+        }
+        prom_metric(
+            &mut out,
+            "tpn_service_verb_requests_total",
+            "counter",
+            "Per-verb request outcomes.",
+            &samples,
+        );
+    }
+    prom_scalar(
+        &mut out,
+        "tpn_cache_hits_total",
+        "counter",
+        "Result cache lookups that found a live entry.",
+        c.cache.hits,
+    );
+    prom_scalar(
+        &mut out,
+        "tpn_cache_misses_total",
+        "counter",
+        "Result cache lookups that missed.",
+        c.cache.misses,
+    );
+    prom_scalar(
+        &mut out,
+        "tpn_cache_evictions_total",
+        "counter",
+        "Result cache entries evicted to respect the weight capacity.",
+        c.cache.evictions,
+    );
+    prom_scalar(
+        &mut out,
+        "tpn_cache_entries",
+        "gauge",
+        "Live result cache entries across all shards.",
+        c.cache.entries,
+    );
+    prom_scalar(
+        &mut out,
+        "tpn_cache_weight",
+        "gauge",
+        "Total weight of live result cache entries.",
+        c.cache.weight,
+    );
+    prom_scalar(
+        &mut out,
+        "tpn_cache_capacity",
+        "gauge",
+        "Configured result cache weight capacity.",
+        c.cache.capacity,
+    );
+    prom_histogram(
+        &mut out,
+        "tpn_request_duration_micros",
+        "Request latency from admission to response, microseconds.",
+        &c.latency,
+        c.latency_sum_micros,
+    );
+    out
+}
+
+/// Renders a [`MetricsReport`] (stage spans, engine/detection counters,
+/// batch pool stats) as a Prometheus text exposition. The payload behind
+/// `tpnc --format prometheus`.
+pub fn prometheus_report(r: &MetricsReport) -> String {
+    let mut out = String::new();
+    if !r.stages.is_empty() {
+        let samples: Vec<(String, u64)> = r
+            .stages
+            .iter()
+            .map(|s| {
+                (
+                    format!("{{stage=\"{}\"}}", prom_escape_label(&s.stage)),
+                    s.nanos,
+                )
+            })
+            .collect();
+        prom_metric(
+            &mut out,
+            "tpn_stage_duration_nanos",
+            "gauge",
+            "Wall-clock time of each pipeline stage, nanoseconds.",
+            &samples,
+        );
+    }
+    prom_scalar(
+        &mut out,
+        "tpn_engine_instants_total",
+        "counter",
+        "Instants simulated across every detection run.",
+        r.engine.instants,
+    );
+    prom_scalar(
+        &mut out,
+        "tpn_engine_firings_total",
+        "counter",
+        "Transition firings started.",
+        r.engine.firings,
+    );
+    prom_scalar(
+        &mut out,
+        "tpn_engine_completions_total",
+        "counter",
+        "Transition firings completed.",
+        r.engine.completions,
+    );
+    prom_scalar(
+        &mut out,
+        "tpn_engine_startable_scanned_total",
+        "counter",
+        "Candidates placed on fire-phase startable lists.",
+        r.engine.startable_scanned,
+    );
+    prom_scalar(
+        &mut out,
+        "tpn_engine_startable_pruned_total",
+        "counter",
+        "Candidates removed by incremental pruning.",
+        r.engine.startable_pruned,
+    );
+    if !r.detections.is_empty() {
+        let mut instants = Vec::new();
+        let mut candidates = Vec::new();
+        let mut replays = Vec::new();
+        let mut confirmed = Vec::new();
+        let mut collisions = Vec::new();
+        let mut checkpoints = Vec::new();
+        for d in &r.detections {
+            let labels = format!("{{context=\"{}\"}}", prom_escape_label(&d.context));
+            instants.push((labels.clone(), d.instants));
+            candidates.push((labels.clone(), d.digest_candidates));
+            replays.push((labels.clone(), d.replays));
+            confirmed.push((labels.clone(), d.confirmed));
+            collisions.push((labels.clone(), d.collisions));
+            checkpoints.push((labels, d.checkpoints));
+        }
+        prom_metric(
+            &mut out,
+            "tpn_detection_instants_total",
+            "counter",
+            "Instants simulated by each detection run.",
+            &instants,
+        );
+        prom_metric(
+            &mut out,
+            "tpn_detection_digest_candidates_total",
+            "counter",
+            "Digest-index candidate hits.",
+            &candidates,
+        );
+        prom_metric(
+            &mut out,
+            "tpn_detection_replays_total",
+            "counter",
+            "Checkpoint replays run to verify candidates.",
+            &replays,
+        );
+        prom_metric(
+            &mut out,
+            "tpn_detection_confirmed_total",
+            "counter",
+            "Replays confirming a true repetition.",
+            &confirmed,
+        );
+        prom_metric(
+            &mut out,
+            "tpn_detection_collisions_total",
+            "counter",
+            "Candidates that were 64-bit digest collisions.",
+            &collisions,
+        );
+        prom_metric(
+            &mut out,
+            "tpn_detection_checkpoints_total",
+            "counter",
+            "Packed checkpoints written along the trace.",
+            &checkpoints,
+        );
+    }
+    if let Some(b) = &r.batch {
+        prom_scalar(
+            &mut out,
+            "tpn_batch_threads",
+            "gauge",
+            "Workers the batch pool ran with.",
+            b.threads as u64,
+        );
+        prom_scalar(
+            &mut out,
+            "tpn_batch_items",
+            "gauge",
+            "Items processed by the batch pool.",
+            b.items as u64,
+        );
+        prom_scalar(
+            &mut out,
+            "tpn_batch_drain_nanos",
+            "gauge",
+            "Wall-clock nanoseconds from first claim to full queue drain.",
+            b.drain_nanos,
+        );
+        prom_histogram(
+            &mut out,
+            "tpn_batch_item_duration_micros",
+            "Per-item batch latency, microseconds (sum is an upper-bound estimate).",
+            &b.latency,
+            histogram_upper_sum_micros(&b.latency),
+        );
+    }
+    out
+}
+
 /// A thread-safe collector of [`StageSpan`]s, shared (via `Arc`) by a
 /// [`CompiledLoop`](crate::CompiledLoop) and its clones so every memoized
 /// stage is timed exactly once.
@@ -395,6 +779,169 @@ mod tests {
         assert_eq!(percentile_nanos(&mut lat, 0.0), 10);
         assert_eq!(percentile_nanos(&mut [], 0.5), 0);
         assert_eq!(percentile_nanos(&mut [7], 0.5), 7);
+    }
+
+    #[test]
+    fn histogram_slots_land_on_power_of_two_boundaries() {
+        // Exactly 1 us, 2 us, 4 us sit in slots 0, 1, 2; one past each
+        // bound rolls into the next slot.
+        let h = latency_histogram(&[1_000, 2_000, 4_000, 1_001, 2_001, 4_001]);
+        assert_eq!(h[0].count, 1); // 1 us
+        assert_eq!(h[1].count, 2); // 2 us and 1.001 us
+        assert_eq!(h[2].count, 2); // 4 us and 2.001 us
+        assert_eq!(h[3].count, 1); // 4.001 us
+        assert_eq!(h[3].le_micros, 8);
+        // Sub-microsecond latencies (including 0 ns) clamp into slot 0.
+        let tiny = latency_histogram(&[0, 1, 999]);
+        assert_eq!(tiny.len(), 1);
+        assert_eq!(tiny[0].count, 3);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        // All-identical sample: every percentile is that value.
+        let mut same = vec![42; 9];
+        for p in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile_nanos(&mut same, p), 42);
+        }
+        // p = 0.0 is the minimum, p = 1.0 the maximum, even for n = 1.
+        assert_eq!(percentile_nanos(&mut [9], 0.0), 9);
+        assert_eq!(percentile_nanos(&mut [9], 1.0), 9);
+        assert_eq!(percentile_nanos(&mut [], 0.0), 0);
+        assert_eq!(percentile_nanos(&mut [], 1.0), 0);
+        // Out-of-range p clamps instead of panicking.
+        assert_eq!(percentile_nanos(&mut [1, 2, 3], -0.5), 1);
+        assert_eq!(percentile_nanos(&mut [1, 2, 3], 7.0), 3);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        /// Bucket counts always sum to the sample size and the final
+        /// bucket's bound covers the slowest sample.
+        #[test]
+        fn histogram_counts_cover_the_sample(
+            sample in proptest::collection::vec(proptest::prelude::any::<u64>(), 0..64usize),
+        ) {
+            let h = latency_histogram(&sample);
+            proptest::prop_assert_eq!(
+                h.iter().map(|b| b.count).sum::<u64>(),
+                sample.len() as u64
+            );
+            let max_micros = sample
+                .iter()
+                .map(|n| n.div_ceil(1_000).max(1))
+                .max()
+                .unwrap_or(1);
+            proptest::prop_assert!(h.last().unwrap().le_micros >= max_micros);
+            // Bounds double monotonically from 1 us.
+            for (i, b) in h.iter().enumerate() {
+                proptest::prop_assert_eq!(b.le_micros, 1u64 << i);
+            }
+        }
+    }
+
+    #[test]
+    fn prometheus_service_exposition_is_well_formed() {
+        let c = ServiceCounters {
+            workers: 4,
+            queue_capacity: 64,
+            accepted: 10,
+            completed: 8,
+            rejected_overloaded: 1,
+            deadline_expired: 1,
+            cancelled: 0,
+            panicked: 0,
+            max_queue_depth: 3,
+            p50_micros: 2,
+            p99_micros: 7,
+            latency_sum_micros: 30,
+            latency: latency_histogram(&[500, 1_500, 3_000, 7_000]),
+            per_verb: vec![VerbCounters {
+                verb: "analyze".into(),
+                accepted: 10,
+                completed: 8,
+                failed: 2,
+            }],
+            cache: CacheCounters {
+                hits: 5,
+                misses: 5,
+                evictions: 0,
+                entries: 5,
+                weight: 5,
+                capacity: 100,
+            },
+        };
+        let text = prometheus_service(&c);
+        assert!(text.contains("# TYPE tpn_service_accepted_total counter"));
+        assert!(text.contains("tpn_service_accepted_total 10"));
+        assert!(text
+            .contains("tpn_service_verb_requests_total{verb=\"analyze\",outcome=\"completed\"} 8"));
+        assert!(text.contains("# TYPE tpn_request_duration_micros histogram"));
+        // Buckets are cumulative: 1, 2, 3, 4 over the four samples.
+        assert!(text.contains("tpn_request_duration_micros_bucket{le=\"1\"} 1"));
+        assert!(text.contains("tpn_request_duration_micros_bucket{le=\"2\"} 2"));
+        assert!(text.contains("tpn_request_duration_micros_bucket{le=\"4\"} 3"));
+        assert!(text.contains("tpn_request_duration_micros_bucket{le=\"8\"} 4"));
+        assert!(text.contains("tpn_request_duration_micros_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("tpn_request_duration_micros_sum 30"));
+        assert!(text.contains("tpn_request_duration_micros_count 4"));
+        assert!(text.contains("tpn_cache_hits_total 5"));
+        // Every non-comment line is `name[labels] value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# HELP ") || line.starts_with("# TYPE "));
+            } else {
+                assert!(line.rsplit_once(' ').is_some(), "bad sample line: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn prometheus_report_covers_stages_detections_and_batch() {
+        let report = MetricsReport {
+            stages: vec![StageSpan {
+                stage: "parse".into(),
+                nanos: 1_234,
+            }],
+            engine: EngineCounters {
+                instants: 10,
+                firings: 20,
+                completions: 18,
+                startable_scanned: 25,
+                startable_pruned: 5,
+            },
+            detections: vec![DetectionCounters::from_stats(
+                "scp[l=2]",
+                &DetectionStats {
+                    instants: 10,
+                    digest_candidates: 3,
+                    replays: 2,
+                    confirmed: 1,
+                    checkpoints: 0,
+                    engine: Default::default(),
+                },
+            )],
+            batch: Some(BatchCounters {
+                threads: 2,
+                items: 3,
+                items_per_worker: vec![2, 1],
+                drain_nanos: 5_000,
+                latency: latency_histogram(&[1_000, 1_500, 3_000]),
+            }),
+        };
+        let text = prometheus_report(&report);
+        assert!(text.contains("tpn_stage_duration_nanos{stage=\"parse\"} 1234"));
+        assert!(text.contains("tpn_engine_instants_total 10"));
+        assert!(text.contains("tpn_detection_replays_total{context=\"scp[l=2]\"} 2"));
+        assert!(text.contains("tpn_batch_item_duration_micros_count 3"));
+        // Upper-bound sum: 1 + 2 + 4 us.
+        assert!(text.contains("tpn_batch_item_duration_micros_sum 7"));
+    }
+
+    #[test]
+    fn prometheus_label_escaping() {
+        assert_eq!(prom_escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 
     #[test]

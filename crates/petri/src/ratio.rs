@@ -231,6 +231,132 @@ pub fn critical_ratio(net: &PetriNet, marking: &Marking) -> Result<CriticalRatio
     })
 }
 
+/// The full scheduling witness behind an `explain` request: the solver's
+/// [`CriticalRatio`] next to the exhaustive [`CycleAnalysis`] (when the
+/// Johnson enumeration fits its budget), so callers can show *which*
+/// cycle pins the rate and how much slack every runner-up cycle has.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RateExplanation {
+    /// The solver's answer: cycle time, rate, and an attaining witness.
+    pub critical: CriticalRatio,
+    /// The exhaustive per-cycle spectrum; `None` when enumeration
+    /// exceeded the caller's cycle limit (the witness above stays exact —
+    /// only the runner-up slack table is unavailable).
+    pub analysis: Option<CycleAnalysis>,
+}
+
+impl RateExplanation {
+    /// Slack `α* − Ω(C)/M(C)` of one enumerated cycle: zero exactly on
+    /// critical cycles, positive on runner-ups. `None` only on `u64`
+    /// overflow of the reduced difference.
+    pub fn slack(&self, info: &CycleInfo) -> Option<Ratio> {
+        self.critical.cycle_time.checked_sub(info.cycle_time)
+    }
+
+    /// Re-derives every quantity the explanation reports and checks exact
+    /// agreement, returning the list of discrepancies (empty means the
+    /// witness is validated). This is what makes `explain` output a
+    /// tested claim rather than a pretty-printer: the reported cycle's
+    /// `Ω(C)/M(C)` must equal the reported cycle time, the rate must be
+    /// its exact reciprocal, and the enumerated spectrum (when present)
+    /// must agree cycle by cycle.
+    pub fn validate(&self, net: &PetriNet, marking: &Marking) -> Vec<String> {
+        let mut errors = Vec::new();
+        let alpha = self.critical.cycle_time;
+        if self.critical.rate != alpha.recip() {
+            errors.push(format!(
+                "rate {} is not the reciprocal of cycle time {alpha}",
+                self.critical.rate
+            ));
+        }
+        match &self.critical.witness {
+            CriticalWitness::Cycle(cycle) => {
+                let time_sum = cycle.time_sum(net);
+                let token_sum = cycle.token_sum(marking);
+                if token_sum == 0 {
+                    errors.push("witness cycle carries no tokens".into());
+                } else if Ratio::new(time_sum, token_sum) != alpha {
+                    errors.push(format!(
+                        "witness cycle ratio {time_sum}/{token_sum} != cycle time {alpha}"
+                    ));
+                }
+            }
+            CriticalWitness::SelfLoop(t) => {
+                let tau = net.transition(*t).time();
+                if Ratio::from_integer(tau) != alpha {
+                    errors.push(format!("self-loop witness τ = {tau} != cycle time {alpha}"));
+                }
+            }
+        }
+        if let Some(analysis) = &self.analysis {
+            if analysis.cycle_time != alpha {
+                errors.push(format!(
+                    "enumeration cycle time {} != solver cycle time {alpha}",
+                    analysis.cycle_time
+                ));
+            }
+            if analysis.rate != self.critical.rate {
+                errors.push(format!(
+                    "enumeration rate {} != solver rate {}",
+                    analysis.rate, self.critical.rate
+                ));
+            }
+            for (i, info) in analysis.cycles.iter().enumerate() {
+                let time_sum = info.cycle.time_sum(net);
+                let token_sum = info.cycle.token_sum(marking);
+                if time_sum != info.time_sum || token_sum != info.token_sum {
+                    errors.push(format!(
+                        "cycle {i}: reported Ω={}, M={} but net says Ω={time_sum}, M={token_sum}",
+                        info.time_sum, info.token_sum
+                    ));
+                    continue;
+                }
+                if token_sum == 0 || Ratio::new(time_sum, token_sum) != info.cycle_time {
+                    errors.push(format!(
+                        "cycle {i}: ratio {} does not re-derive from Ω={time_sum}, M={token_sum}",
+                        info.cycle_time
+                    ));
+                }
+                let is_critical = analysis.critical.contains(&i);
+                let slack = self.slack(info);
+                if is_critical && slack != Some(Ratio::ZERO) {
+                    errors.push(format!("critical cycle {i} has nonzero slack {slack:?}"));
+                }
+                if !is_critical && slack.is_none_or(|s| s == Ratio::ZERO) {
+                    errors.push(format!(
+                        "runner-up cycle {i} has zero slack but is not marked critical"
+                    ));
+                }
+            }
+        }
+        errors
+    }
+}
+
+/// Critical-cycle analysis with an explicit, self-checkable witness: runs
+/// the polynomial-time solver ([`critical_ratio`]) and the exhaustive
+/// Johnson enumeration ([`analyze_cycles`]) side by side. Enumeration
+/// blowing the `limit` degrades the runner-up table to `None` instead of
+/// failing; every other enumeration error is a real input defect and is
+/// returned.
+///
+/// # Errors
+///
+/// Same conditions as [`critical_ratio`].
+pub fn explain_rate(
+    net: &PetriNet,
+    marking: &Marking,
+    limit: usize,
+) -> Result<RateExplanation, PetriError> {
+    let critical = critical_ratio(net, marking)?;
+    let analysis = match analyze_cycles(net, marking, limit) {
+        Ok(a) => Some(a),
+        Err(PetriError::TooManyCycles { .. }) => None,
+        Err(e) => return Err(e),
+    };
+    Ok(RateExplanation { critical, analysis })
+}
+
 /// The critical cycle time of one weakly connected component of the
 /// transition multigraph, from [`component_cycle_times`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -813,6 +939,61 @@ mod tests {
             CriticalWitness::Cycle(c) => assert_eq!(c.len(), 3),
             other => panic!("expected cycle witness, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn explain_rate_produces_a_validated_witness() {
+        // Two nested cycles (ring + chord) so there is a runner-up.
+        let mut net = PetriNet::new();
+        let ts: Vec<_> = (0..3)
+            .map(|i| net.add_transition(format!("t{i}"), 1 + i as u64))
+            .collect();
+        let mut pairs = Vec::new();
+        for i in 0..3 {
+            let p = net.add_place(format!("p{i}"));
+            net.connect_tp(ts[i], p);
+            net.connect_pt(p, ts[(i + 1) % 3]);
+            pairs.push((p, u32::from(i == 0)));
+        }
+        // Chord t1 -> t0 with a token: the 2-cycle {t0, t1} has Ω = 3,
+        // M = 2; the full ring has Ω = 6, M = 1 and is critical.
+        let chord = net.add_place("chord".to_string());
+        net.connect_tp(ts[1], chord);
+        net.connect_pt(chord, ts[0]);
+        pairs.push((chord, 1));
+        let m = Marking::from_pairs(&net, pairs);
+
+        let ex = explain_rate(&net, &m, 1_000).unwrap();
+        assert_eq!(ex.critical.cycle_time, Ratio::new(6, 1));
+        assert!(ex.validate(&net, &m).is_empty());
+        let analysis = ex.analysis.as_ref().unwrap();
+        assert_eq!(analysis.cycles.len(), 2);
+        assert_eq!(analysis.critical.len(), 1);
+        // The runner-up 2-cycle has slack 6 − 3/2 = 9/2.
+        let runner = analysis
+            .cycles
+            .iter()
+            .enumerate()
+            .find(|(i, _)| !analysis.critical.contains(i))
+            .map(|(_, info)| info)
+            .unwrap();
+        assert_eq!(ex.slack(runner), Some(Ratio::new(9, 2)));
+
+        // A doctored witness fails validation instead of passing silently.
+        let mut forged = ex.clone();
+        forged.critical.rate = Ratio::new(1, 7);
+        assert!(!forged.validate(&net, &m).is_empty());
+    }
+
+    #[test]
+    fn explain_rate_degrades_gracefully_past_the_cycle_limit() {
+        let (net, m) = ring(&[2, 1, 1], &[1, 1, 0]);
+        // limit 0 forces TooManyCycles inside enumeration; the solver's
+        // witness must survive with the spectrum absent.
+        let ex = explain_rate(&net, &m, 0).unwrap();
+        assert!(ex.analysis.is_none());
+        assert_eq!(ex.critical.cycle_time, Ratio::new(2, 1));
+        assert!(ex.validate(&net, &m).is_empty());
     }
 
     #[test]

@@ -99,6 +99,20 @@ impl Ratio {
         })
     }
 
+    /// Checked subtraction: `None` when `other > self` (the type is
+    /// non-negative) or the reduced difference overflows `u64`.
+    pub fn checked_sub(self, other: Ratio) -> Option<Ratio> {
+        let lhs = (self.num as u128).checked_mul(other.den as u128)?;
+        let rhs = (other.num as u128).checked_mul(self.den as u128)?;
+        let num = lhs.checked_sub(rhs)?;
+        let den = (self.den as u128).checked_mul(other.den as u128)?;
+        let g = gcd128(num, den);
+        Some(Ratio {
+            num: u64::try_from(num / g).ok()?,
+            den: u64::try_from(den / g).ok()?,
+        })
+    }
+
     /// Checked multiplication.
     pub fn checked_mul(self, other: Ratio) -> Option<Ratio> {
         let num = (self.num as u128).checked_mul(other.num as u128)?;
@@ -210,6 +224,10 @@ mod tests {
         let b = Ratio::new(1, 3);
         assert_eq!(a.checked_add(b).unwrap(), Ratio::new(5, 6));
         assert_eq!(a.checked_mul(b).unwrap(), Ratio::new(1, 6));
+        assert_eq!(a.checked_sub(b).unwrap(), Ratio::new(1, 6));
+        assert_eq!(a.checked_sub(a).unwrap(), Ratio::ZERO);
+        // Negative results are unrepresentable: None, not a wrap.
+        assert_eq!(b.checked_sub(a), None);
     }
 
     #[test]

@@ -169,6 +169,26 @@ impl AnalyticSchedule {
         ((v + q - 1) / q) as u64
     }
 
+    /// The balanced (Sturmian) issue word of transition `t`: one bit per
+    /// cycle of the steady-state window `[anchor, anchor + p)`, set on
+    /// the cycles where `t` starts a firing. Since `α* = p/q ≥ 1`,
+    /// consecutive starts never share a cycle, so every word carries
+    /// exactly `q` ones — the balanced placement of the periodic-regime
+    /// construction (Millo & de Simone).
+    pub fn issue_word(&self, t: TransitionId) -> Vec<bool> {
+        let mut word = vec![false; self.period as usize];
+        for j in 0.. {
+            let s = self.start_time(t, j);
+            if s >= self.anchor + self.period {
+                break;
+            }
+            if s >= self.anchor {
+                word[(s - self.anchor) as usize] = true;
+            }
+        }
+        word
+    }
+
     /// Projects the schedule onto the loop nodes as a [`LoopSchedule`]
     /// with the same kernel/prologue structure the frustum path builds:
     /// the kernel is the window `[anchor, anchor + p)`, holding exactly
@@ -419,6 +439,34 @@ mod tests {
         let report = RateReport::for_sdsp_pn(&pn, &f).unwrap();
         assert_eq!(s.rate(), report.measured);
         check_schedule(&sdsp, &s, 100, None, 0).unwrap();
+    }
+
+    #[test]
+    fn issue_words_are_balanced() {
+        // Fractional case: q = 2 ones in every p = 5-cycle word, spread
+        // as evenly as a Sturmian word allows (gaps of 2 and 3 cycles).
+        let pn = to_petri(&fractional());
+        let a = AnalyticSchedule::for_sdsp_pn(&pn).unwrap();
+        for idx in 0..pn.net.num_transitions() {
+            let t = tpn_petri::TransitionId::from_index(idx);
+            let word = a.issue_word(t);
+            assert_eq!(word.len(), 5);
+            assert_eq!(word.iter().filter(|&&b| b).count(), 2);
+            // The word matches the start times directly.
+            for (c, &fired) in word.iter().enumerate() {
+                let cycle = a.anchor() + c as u64;
+                let hits = (0..8).any(|j| a.start_time(t, j) == cycle);
+                assert_eq!(fired, hits, "transition {idx}, cycle {cycle}");
+            }
+        }
+        // Integer case: exactly one start per word.
+        let pn = to_petri(&l2());
+        let a = AnalyticSchedule::for_sdsp_pn(&pn).unwrap();
+        for idx in 0..pn.net.num_transitions() {
+            let word = a.issue_word(tpn_petri::TransitionId::from_index(idx));
+            assert_eq!(word.len(), 3);
+            assert_eq!(word.iter().filter(|&&b| b).count(), 1);
+        }
     }
 
     #[test]

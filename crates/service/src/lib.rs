@@ -38,6 +38,8 @@ mod queue;
 
 pub use queue::Overloaded;
 
+use std::collections::{HashSet, VecDeque};
+use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -46,7 +48,8 @@ use std::time::{Duration, Instant};
 
 use cache::{default_weigher, ShardedCache, Weigher};
 use protocol::{error_line, ok_line, Request, Verb};
-use tpn::metrics::{latency_histogram, percentile_nanos, ServiceCounters};
+use serde::Serialize;
+use tpn::metrics::{latency_histogram, percentile_nanos, ServiceCounters, VerbCounters};
 use tpn::CompiledLoop;
 
 /// Tuning knobs for one [`Service`].
@@ -64,6 +67,10 @@ pub struct ServiceConfig {
     pub weigher: Weigher,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Option<Duration>,
+    /// Request-journal ring capacity; `0` (the default) disables
+    /// journalling entirely — no events, no per-request audit work, no
+    /// seen-key tracking.
+    pub journal_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -75,7 +82,105 @@ impl Default for ServiceConfig {
             cache_shards: 8,
             weigher: default_weigher,
             default_deadline: None,
+            journal_capacity: 0,
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The structured request journal.
+// ---------------------------------------------------------------------------
+
+/// One request's journal record: what ran, where the compiled loop came
+/// from, which engine the decision resolved to and why, where the time
+/// went, and how it ended. Serialized as one NDJSON line per event.
+#[derive(Clone, Debug, Serialize)]
+pub struct JournalEvent {
+    /// Monotone event number (1-based; survives ring eviction).
+    pub seq: u64,
+    /// The request's correlation id.
+    pub id: u64,
+    /// The verb's wire name.
+    pub verb: String,
+    /// The request's [`protocol::cache_key`] as 16 hex digits.
+    pub source_digest: String,
+    /// Cache tier: `"hot"` (cache hit), `"warm"` (miss on a previously
+    /// seen key), `"miss"` (first-ever key), `"none"` (never reached the
+    /// cache).
+    pub cache: String,
+    /// The resolved schedule engine, once the loop compiled.
+    pub engine: Option<String>,
+    /// The engine-decision reason ([`tpn::CompiledLoop::engine_audit`]).
+    pub engine_reason: Option<String>,
+    /// Admission-queue wait before a worker picked the request up.
+    pub queue_wait_micros: u64,
+    /// Cache lookup + (on miss) compile time.
+    pub compile_micros: u64,
+    /// Artifact-build time (schedule, trace, witness, …).
+    pub build_micros: u64,
+    /// Admission-to-response wall time.
+    pub total_micros: u64,
+    /// `"ok"`, `"overloaded"`, `"deadline"`, `"cancelled"`,
+    /// `"panicked"`, `"compile"`, or `"bad_request"`.
+    pub outcome: String,
+}
+
+struct JournalState {
+    seq: u64,
+    ring: VecDeque<JournalEvent>,
+    seen_keys: HashSet<u64>,
+    sink: Option<Box<dyn Write + Send>>,
+}
+
+/// The bounded journal: a last-N ring under one cheap lock (events are
+/// built outside it), plus an optional NDJSON sink.
+struct Journal {
+    capacity: usize,
+    state: Mutex<JournalState>,
+}
+
+impl Journal {
+    fn new(capacity: usize) -> Journal {
+        Journal {
+            capacity,
+            state: Mutex::new(JournalState {
+                seq: 0,
+                ring: VecDeque::with_capacity(capacity),
+                seen_keys: HashSet::new(),
+                sink: None,
+            }),
+        }
+    }
+
+    /// Classifies a cache lookup: `"hot"` on a hit, else `"warm"` when
+    /// the key was seen before and `"miss"` on a first-ever key (which
+    /// is recorded as seen).
+    fn tier(&self, key: u64, hit: bool) -> &'static str {
+        if hit {
+            return "hot";
+        }
+        let mut state = self.state.lock().expect("journal lock");
+        if state.seen_keys.insert(key) {
+            "miss"
+        } else {
+            "warm"
+        }
+    }
+
+    fn record(&self, mut event: JournalEvent) {
+        let mut state = self.state.lock().expect("journal lock");
+        state.seq += 1;
+        event.seq = state.seq;
+        if let Some(sink) = state.sink.as_mut() {
+            let mut line = serde_json::to_string(&event).expect("shim serializer is infallible");
+            line.push('\n');
+            let _ = sink.write_all(line.as_bytes());
+            let _ = sink.flush();
+        }
+        if state.ring.len() == self.capacity {
+            state.ring.pop_front();
+        }
+        state.ring.push_back(event);
     }
 }
 
@@ -172,6 +277,12 @@ struct Job {
 }
 
 #[derive(Default)]
+struct PerVerb {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+}
+
 struct Counters {
     accepted: AtomicU64,
     completed: AtomicU64,
@@ -180,6 +291,30 @@ struct Counters {
     cancelled: AtomicU64,
     panicked: AtomicU64,
     latencies_nanos: Mutex<Vec<u64>>,
+    /// One row per [`Verb::ALL`] entry. Counts requests by verb —
+    /// including the front-end verbs (`metrics`, `metrics_prometheus`,
+    /// `journal`) that never enter the admission queue, so the per-verb
+    /// sums can exceed the queue-level `accepted`.
+    per_verb: Vec<PerVerb>,
+}
+
+impl Counters {
+    fn new() -> Counters {
+        Counters {
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_overloaded: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            latencies_nanos: Mutex::new(Vec::new()),
+            per_verb: Verb::ALL.iter().map(|_| PerVerb::default()).collect(),
+        }
+    }
+
+    fn verb(&self, verb: Verb) -> &PerVerb {
+        &self.per_verb[verb.index()]
+    }
 }
 
 struct Inner {
@@ -188,6 +323,7 @@ struct Inner {
     counters: Counters,
     workers: usize,
     default_deadline: Option<Duration>,
+    journal: Option<Journal>,
 }
 
 /// The compile service: a bounded queue, a worker pool, and a sharded
@@ -204,9 +340,10 @@ impl Service {
         let inner = Arc::new(Inner {
             queue: queue::BoundedQueue::new(config.queue_capacity),
             cache: ShardedCache::new(config.cache_shards, config.cache_capacity, config.weigher),
-            counters: Counters::default(),
+            counters: Counters::new(),
             workers: config.workers.max(1),
             default_deadline: config.default_deadline,
+            journal: (config.journal_capacity > 0).then(|| Journal::new(config.journal_capacity)),
         });
         let threads = (0..config.workers.max(1))
             .map(|i| {
@@ -246,16 +383,41 @@ impl Service {
             request,
         };
         let id = job.request.id;
+        let verb = job.request.verb;
         match self.inner.queue.push(job) {
             Ok(()) => {
                 self.inner.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .counters
+                    .verb(verb)
+                    .accepted
+                    .fetch_add(1, Ordering::Relaxed);
                 Ok(Ticket { id, slot, cancel })
             }
-            Err((_, overloaded)) => {
+            Err((job, overloaded)) => {
                 self.inner
                     .counters
                     .rejected_overloaded
                     .fetch_add(1, Ordering::Relaxed);
+                if let Some(journal) = &self.inner.journal {
+                    journal.record(JournalEvent {
+                        seq: 0,
+                        id,
+                        verb: verb.as_str().into(),
+                        source_digest: format!(
+                            "{:016x}",
+                            protocol::cache_key(&job.request.source, &job.request.options)
+                        ),
+                        cache: "none".into(),
+                        engine: None,
+                        engine_reason: None,
+                        queue_wait_micros: 0,
+                        compile_micros: 0,
+                        build_micros: 0,
+                        total_micros: 0,
+                        outcome: "overloaded".into(),
+                    });
+                }
                 Err(overloaded)
             }
         }
@@ -277,6 +439,20 @@ impl Service {
         let mut latencies = c.latencies_nanos.lock().expect("latency lock").clone();
         let p50 = percentile_nanos(&mut latencies, 0.50).div_ceil(1_000);
         let p99 = percentile_nanos(&mut latencies, 0.99).div_ceil(1_000);
+        let sum_nanos: u128 = latencies.iter().map(|&n| u128::from(n)).sum();
+        let per_verb = Verb::ALL
+            .iter()
+            .map(|&v| {
+                let p = c.verb(v);
+                VerbCounters {
+                    verb: v.as_str().into(),
+                    accepted: p.accepted.load(Ordering::Relaxed),
+                    completed: p.completed.load(Ordering::Relaxed),
+                    failed: p.failed.load(Ordering::Relaxed),
+                }
+            })
+            .filter(|r| r.accepted + r.completed + r.failed > 0)
+            .collect();
         ServiceCounters {
             workers: self.inner.workers,
             queue_capacity: self.inner.queue.capacity(),
@@ -289,7 +465,9 @@ impl Service {
             max_queue_depth: self.inner.queue.max_depth(),
             p50_micros: p50,
             p99_micros: p99,
+            latency_sum_micros: u64::try_from(sum_nanos.div_ceil(1_000)).unwrap_or(u64::MAX),
             latency: latency_histogram(&latencies),
+            per_verb,
             cache: self.inner.cache.counters(),
         }
     }
@@ -298,6 +476,33 @@ impl Service {
     /// client use it to assert eviction behaviour).
     pub fn cache_len(&self) -> usize {
         self.inner.cache.len()
+    }
+
+    /// The last-N journal events, oldest first; `None` when journalling
+    /// is disabled ([`ServiceConfig::journal_capacity`] was `0`).
+    pub fn journal_events(&self) -> Option<Vec<JournalEvent>> {
+        self.inner.journal.as_ref().map(|j| {
+            let state = j.state.lock().expect("journal lock");
+            state.ring.iter().cloned().collect()
+        })
+    }
+
+    /// The journal ring's capacity (`0` when disabled).
+    pub fn journal_capacity(&self) -> usize {
+        self.inner.journal.as_ref().map_or(0, |j| j.capacity)
+    }
+
+    /// Attaches an NDJSON sink: every journal event is also written to
+    /// it as one line (`tpnc serve --journal FILE`). Returns `false`
+    /// without installing when journalling is disabled.
+    pub fn set_journal_sink(&self, sink: Box<dyn Write + Send>) -> bool {
+        match &self.inner.journal {
+            Some(j) => {
+                j.state.lock().expect("journal lock").sink = Some(sink);
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -310,49 +515,94 @@ impl Drop for Service {
     }
 }
 
+/// One executed request's full outcome: the response pieces plus the
+/// audit fields the journal records.
+struct Exec {
+    ok: bool,
+    cache_hit: bool,
+    line: String,
+    outcome: &'static str,
+    tier: &'static str,
+    engine: Option<String>,
+    engine_reason: Option<String>,
+    compile_micros: u64,
+    build_micros: u64,
+}
+
+impl Exec {
+    fn failed(line: String, outcome: &'static str) -> Exec {
+        Exec {
+            ok: false,
+            cache_hit: false,
+            line,
+            outcome,
+            tier: "none",
+            engine: None,
+            engine_reason: None,
+            compile_micros: 0,
+            build_micros: 0,
+        }
+    }
+}
+
+fn duration_micros(d: Duration) -> u64 {
+    d.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
 fn worker_loop(inner: &Inner) {
     while let Some(job) = inner.queue.pop() {
+        let started = Instant::now();
         let id = job.request.id;
         let verb = job.request.verb;
         let admitted = job.admitted;
         let outcome = catch_unwind(AssertUnwindSafe(|| execute(inner, &job)));
-        let response = match outcome {
-            Ok((ok, cache_hit, line)) => {
-                if ok {
+        let exec = match outcome {
+            Ok(exec) => {
+                if exec.ok {
                     inner.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    inner
+                        .counters
+                        .verb(verb)
+                        .completed
+                        .fetch_add(1, Ordering::Relaxed);
+                } else {
+                    inner
+                        .counters
+                        .verb(verb)
+                        .failed
+                        .fetch_add(1, Ordering::Relaxed);
                 }
-                Response {
-                    id,
-                    verb,
-                    ok,
-                    cache_hit,
-                    line,
-                }
+                exec
             }
             Err(payload) => {
                 inner.counters.panicked.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .counters
+                    .verb(verb)
+                    .failed
+                    .fetch_add(1, Ordering::Relaxed);
                 // The panic may have poisoned the compiled loop's
                 // internal stage locks; drop it from the cache so the
                 // next same-key request recompiles cleanly.
-                if verb != Verb::Cancel && verb != Verb::Metrics {
+                if !matches!(
+                    verb,
+                    Verb::Cancel | Verb::Metrics | Verb::MetricsPrometheus | Verb::Journal
+                ) {
                     inner.cache.remove(protocol::cache_key(
                         &job.request.source,
                         &job.request.options,
                     ));
                 }
-                Response {
-                    id,
-                    verb,
-                    ok: false,
-                    cache_hit: false,
-                    line: error_line(
+                Exec::failed(
+                    error_line(
                         id,
                         Some(verb),
                         "panic",
                         &tpn::batch::panic_message(&*payload),
                         None,
                     ),
-                }
+                    "panicked",
+                )
             }
         };
         let nanos = admitted.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
@@ -362,20 +612,44 @@ fn worker_loop(inner: &Inner) {
             .lock()
             .expect("latency lock")
             .push(nanos);
-        job.slot.fill(response);
+        if let Some(journal) = &inner.journal {
+            journal.record(JournalEvent {
+                seq: 0,
+                id,
+                verb: verb.as_str().into(),
+                source_digest: format!(
+                    "{:016x}",
+                    protocol::cache_key(&job.request.source, &job.request.options)
+                ),
+                cache: exec.tier.into(),
+                engine: exec.engine.clone(),
+                engine_reason: exec.engine_reason.clone(),
+                queue_wait_micros: duration_micros(started.duration_since(admitted)),
+                compile_micros: exec.compile_micros,
+                build_micros: exec.build_micros,
+                total_micros: nanos.div_ceil(1_000),
+                outcome: exec.outcome.into(),
+            });
+        }
+        job.slot.fill(Response {
+            id,
+            verb,
+            ok: exec.ok,
+            cache_hit: exec.cache_hit,
+            line: exec.line,
+        });
     }
 }
 
-/// Runs one request to a rendered response line. Returns
-/// `(ok, cache_hit, line)`.
-fn execute(inner: &Inner, job: &Job) -> (bool, bool, String) {
+/// Runs one request to a rendered response line plus its audit fields.
+fn execute(inner: &Inner, job: &Job) -> Exec {
     let req = &job.request;
     let id = req.id;
     let verb = req.verb;
 
     // Stage boundary 1: admission → compile.
-    if let Some(line) = interruption(inner, job) {
-        return (false, false, line);
+    if let Some((line, kind)) = interruption(inner, job) {
+        return Exec::failed(line, kind);
     }
 
     if verb == Verb::Cancel {
@@ -388,11 +662,37 @@ fn execute(inner: &Inner, job: &Job) -> (bool, bool, String) {
             "cancel target is not in flight",
             None,
         );
-        return (false, false, line);
+        return Exec::failed(line, "bad_request");
+    }
+    if matches!(
+        verb,
+        Verb::Metrics | Verb::MetricsPrometheus | Verb::Journal
+    ) {
+        // These read service state the worker pool cannot see; the
+        // serve front-end answers them without queueing.
+        let line = error_line(
+            id,
+            Some(verb),
+            "bad_request",
+            &format!(
+                "verb {:?} is served by the serve front-end, not the worker pool",
+                verb.as_str()
+            ),
+            None,
+        );
+        return Exec::failed(line, "bad_request");
     }
 
     let key = protocol::cache_key(&req.source, &req.options);
-    let (lp, cache_hit) = match inner.cache.get(key) {
+    let compile_start = Instant::now();
+    let lookup = inner.cache.get(key);
+    // Tier (and the seen-key set behind warm/miss) is tracked only when
+    // the journal is on — disabled journalling costs nothing here.
+    let tier = inner
+        .journal
+        .as_ref()
+        .map_or("none", |j| j.tier(key, lookup.is_some()));
+    let (lp, cache_hit) = match lookup {
         Some(lp) => (lp, true),
         None => match CompiledLoop::from_source_with(&req.source, req.options.clone()) {
             Ok(lp) => {
@@ -402,17 +702,44 @@ fn execute(inner: &Inner, job: &Job) -> (bool, bool, String) {
             }
             Err(e) => {
                 let line = error_line(id, Some(verb), "compile", &e.to_string(), None);
-                return (false, false, line);
+                let mut exec = Exec::failed(line, "compile");
+                exec.tier = tier;
+                exec.compile_micros = duration_micros(compile_start.elapsed());
+                return exec;
             }
         },
     };
+    let (engine, engine_reason) = match &inner.journal {
+        Some(_) => {
+            let audit = lp.engine_audit();
+            (
+                Some(audit.resolved.as_str().to_string()),
+                Some(audit.reason),
+            )
+        }
+        None => (None, None),
+    };
+    let mut exec = Exec {
+        ok: false,
+        cache_hit,
+        line: String::new(),
+        outcome: "ok",
+        tier,
+        engine,
+        engine_reason,
+        compile_micros: duration_micros(compile_start.elapsed()),
+        build_micros: 0,
+    };
 
     // Stage boundary 2: compile → artifact build.
-    if let Some(line) = interruption(inner, job) {
-        return (false, cache_hit, line);
+    if let Some((line, kind)) = interruption(inner, job) {
+        exec.line = line;
+        exec.outcome = kind;
+        return exec;
     }
 
     let file = None;
+    let build_start = Instant::now();
     let payload = match verb {
         Verb::Analyze => protocol::analyze_payload(&lp, file).map(|p| to_json(&p)),
         Verb::Schedule => protocol::schedule_payload(&lp, req.depth, file).map(|p| to_json(&p)),
@@ -423,38 +750,45 @@ fn execute(inner: &Inner, job: &Job) -> (bool, bool, String) {
         }
         Verb::Trace => protocol::trace_payload(&lp, req.depth, file).map(|p| to_json(&p)),
         Verb::Storage => protocol::storage_payload(&lp, file).map(|p| to_json(&p)),
-        Verb::Metrics | Verb::Cancel => unreachable!("handled before compilation"),
+        Verb::Explain => protocol::explain_payload(&lp, file).map(|p| to_json(&p)),
+        Verb::Metrics | Verb::MetricsPrometheus | Verb::Journal | Verb::Cancel => {
+            unreachable!("front-end verbs return early above")
+        }
     };
+    exec.build_micros = duration_micros(build_start.elapsed());
 
     // Stage boundary 3: artifact build → response. A request that blew
     // its deadline inside a stage still reports it, matching the step
     // budget's "checked between instants" semantics.
-    if let Some(line) = interruption(inner, job) {
-        return (false, cache_hit, line);
+    if let Some((line, kind)) = interruption(inner, job) {
+        exec.line = line;
+        exec.outcome = kind;
+        return exec;
     }
 
     match payload {
-        Ok(json) => (true, cache_hit, ok_line(id, verb, &json)),
+        Ok(json) => {
+            exec.ok = true;
+            exec.line = ok_line(id, verb, &json);
+        }
         Err(e) => {
-            let line = error_line(id, Some(verb), "compile", &e.to_string(), None);
-            (false, cache_hit, line)
+            exec.line = error_line(id, Some(verb), "compile", &e.to_string(), None);
+            exec.outcome = "compile";
         }
     }
+    exec
 }
 
 /// Checks the job's cancel flag and wall-clock deadline; returns the
-/// error response line when either fired.
-fn interruption(inner: &Inner, job: &Job) -> Option<String> {
+/// error response line and the journal outcome when either fired.
+fn interruption(inner: &Inner, job: &Job) -> Option<(String, &'static str)> {
     let id = job.request.id;
     let verb = job.request.verb;
     if job.cancel.load(Ordering::Relaxed) {
         inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-        return Some(error_line(
-            id,
-            Some(verb),
+        return Some((
+            error_line(id, Some(verb), "cancelled", "request cancelled", None),
             "cancelled",
-            "request cancelled",
-            None,
         ));
     }
     if let Some(deadline) = job.deadline {
@@ -463,12 +797,15 @@ fn interruption(inner: &Inner, job: &Job) -> Option<String> {
                 .counters
                 .deadline_expired
                 .fetch_add(1, Ordering::Relaxed);
-            return Some(error_line(
-                id,
-                Some(verb),
+            return Some((
+                error_line(
+                    id,
+                    Some(verb),
+                    "deadline",
+                    "wall-clock deadline expired",
+                    None,
+                ),
                 "deadline",
-                "wall-clock deadline expired",
-                None,
             ));
         }
     }
@@ -479,9 +816,21 @@ fn to_json<T: serde::Serialize>(payload: &T) -> String {
     serde_json::to_string(payload).expect("shim serializer is infallible")
 }
 
+/// Records a front-end verb (never queued) in the per-verb counters.
+fn front_end_counts(service: &Service, verb: Verb, ok: bool) {
+    let p = service.inner.counters.verb(verb);
+    p.accepted.fetch_add(1, Ordering::Relaxed);
+    if ok {
+        p.completed.fetch_add(1, Ordering::Relaxed);
+    } else {
+        p.failed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Handles the `metrics` verb against a running service: never queued
 /// (it must succeed under overload) and never cached.
 pub fn metrics_response(service: &Service, id: u64) -> Response {
+    front_end_counts(service, Verb::Metrics, true);
     let payload = to_json(&service.counters());
     Response {
         id,
@@ -489,6 +838,71 @@ pub fn metrics_response(service: &Service, id: u64) -> Response {
         ok: true,
         cache_hit: false,
         line: ok_line(id, Verb::Metrics, &payload),
+    }
+}
+
+/// Handles the `metrics_prometheus` verb: the same counters snapshot as
+/// [`metrics_response`], rendered as a Prometheus text exposition and
+/// wrapped in the usual NDJSON envelope.
+pub fn metrics_prometheus_response(service: &Service, id: u64) -> Response {
+    #[derive(Serialize)]
+    struct PrometheusJson {
+        content_type: &'static str,
+        exposition: String,
+    }
+    front_end_counts(service, Verb::MetricsPrometheus, true);
+    let payload = to_json(&PrometheusJson {
+        content_type: tpn::metrics::PROMETHEUS_CONTENT_TYPE,
+        exposition: tpn::metrics::prometheus_service(&service.counters()),
+    });
+    Response {
+        id,
+        verb: Verb::MetricsPrometheus,
+        ok: true,
+        cache_hit: false,
+        line: ok_line(id, Verb::MetricsPrometheus, &payload),
+    }
+}
+
+/// Handles the `journal` verb: the last-N journal events, oldest first.
+/// Answers `bad_request` when journalling is disabled.
+pub fn journal_response(service: &Service, id: u64) -> Response {
+    #[derive(Serialize)]
+    struct JournalJson {
+        capacity: usize,
+        events: Vec<JournalEvent>,
+    }
+    match service.journal_events() {
+        Some(events) => {
+            front_end_counts(service, Verb::Journal, true);
+            let payload = to_json(&JournalJson {
+                capacity: service.journal_capacity(),
+                events,
+            });
+            Response {
+                id,
+                verb: Verb::Journal,
+                ok: true,
+                cache_hit: false,
+                line: ok_line(id, Verb::Journal, &payload),
+            }
+        }
+        None => {
+            front_end_counts(service, Verb::Journal, false);
+            Response {
+                id,
+                verb: Verb::Journal,
+                ok: false,
+                cache_hit: false,
+                line: error_line(
+                    id,
+                    Some(Verb::Journal),
+                    "bad_request",
+                    "journalling is disabled (start the service with journal_capacity > 0)",
+                    None,
+                ),
+            }
+        }
     }
 }
 
@@ -551,6 +965,142 @@ mod tests {
         assert!(!response.ok);
         assert!(response.line.contains("\"kind\":\"deadline\""));
         assert_eq!(service.counters().deadline_expired, 1);
+    }
+
+    #[test]
+    fn explain_verb_round_trips_and_self_validates() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let first = service.call(request(1, Verb::Explain)).unwrap();
+        assert!(first.ok, "{}", first.line);
+        assert!(first.line.contains("\"validated\":true"));
+        assert!(first.line.contains("\"engine_resolved\":\"analytic\""));
+        let second = service.call(request(2, Verb::Explain)).unwrap();
+        assert!(second.cache_hit);
+    }
+
+    #[test]
+    fn per_verb_counters_split_outcomes_in_wire_order() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        assert!(service.call(request(1, Verb::Analyze)).unwrap().ok);
+        assert!(service.call(request(2, Verb::Analyze)).unwrap().ok);
+        let mut bad = request(3, Verb::Analyze);
+        bad.source = "not a loop".into();
+        assert!(!service.call(bad).unwrap().ok);
+        let m = metrics_response(&service, 4);
+        // Snapshot of the per-verb rows: nonzero rows only, wire order,
+        // including the front-end metrics request itself.
+        assert!(
+            m.line.contains(
+                "\"per_verb\":[\
+                 {\"verb\":\"analyze\",\"accepted\":3,\"completed\":2,\"failed\":1},\
+                 {\"verb\":\"metrics\",\"accepted\":1,\"completed\":1,\"failed\":0}]"
+            ),
+            "{}",
+            m.line
+        );
+        let counters = service.counters();
+        assert!(counters.latency_sum_micros >= counters.p50_micros);
+    }
+
+    #[test]
+    fn journal_records_tiers_engine_and_caps_the_ring() {
+        struct SharedSink(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            journal_capacity: 2,
+            ..ServiceConfig::default()
+        });
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        assert!(service.set_journal_sink(Box::new(SharedSink(sink.clone()))));
+
+        assert!(service.call(request(1, Verb::Analyze)).unwrap().ok);
+        assert!(service.call(request(2, Verb::Analyze)).unwrap().ok);
+        assert!(service.call(request(3, Verb::Rate)).unwrap().ok);
+
+        // Ring capacity 2: the first event fell off, seq keeps counting.
+        let events = service.journal_events().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!((events[0].seq, events[1].seq), (2, 3));
+        assert_eq!(events[0].cache, "hot");
+        assert_eq!(events[1].verb, "rate");
+        // Same source and options -> same key -> hot again.
+        assert_eq!(events[1].cache, "hot");
+        assert_eq!(events[1].outcome, "ok");
+        assert_eq!(events[1].engine.as_deref(), Some("analytic"));
+        assert!(events[1]
+            .engine_reason
+            .as_deref()
+            .unwrap()
+            .starts_with("auto:"));
+        assert_eq!(events[0].source_digest.len(), 16);
+
+        // The sink saw all three as parseable NDJSON lines; the first
+        // request was the first-ever key, so a miss.
+        let text = String::from_utf8(sink.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(protocol::parse_json(line).is_ok());
+        }
+        assert!(lines[0].contains("\"cache\":\"miss\""));
+
+        // The journal verb returns the same ring through the envelope.
+        let r = journal_response(&service, 9);
+        assert!(r.ok);
+        assert!(r.line.contains("\"capacity\":2"));
+        assert!(r.line.contains("\"seq\":3"));
+    }
+
+    #[test]
+    fn journal_is_disabled_by_default() {
+        let service = Service::start(ServiceConfig::default());
+        assert!(service.journal_events().is_none());
+        assert_eq!(service.journal_capacity(), 0);
+        assert!(!service.set_journal_sink(Box::new(std::io::sink())));
+        let r = journal_response(&service, 9);
+        assert!(!r.ok);
+        assert!(r.line.contains("\"kind\":\"bad_request\""));
+    }
+
+    #[test]
+    fn prometheus_verb_wraps_the_exposition_in_the_envelope() {
+        let service = Service::start(ServiceConfig::default());
+        assert!(service.call(request(1, Verb::Analyze)).unwrap().ok);
+        let r = metrics_prometheus_response(&service, 2);
+        assert!(r.ok);
+        assert!(r.line.contains("tpn_service_accepted_total 1"));
+        assert!(r.line.contains("text/plain; version=0.0.4"));
+        assert!(protocol::parse_json(&r.line).is_ok());
+    }
+
+    #[test]
+    fn front_end_verbs_reaching_a_worker_are_bad_requests() {
+        let service = Service::start(ServiceConfig::default());
+        for verb in [Verb::Metrics, Verb::MetricsPrometheus, Verb::Journal] {
+            let mut req = request(10 + verb.index() as u64, verb);
+            req.source = String::new();
+            let r = service.call(req).unwrap();
+            assert!(!r.ok);
+            assert!(r.line.contains("\"kind\":\"bad_request\""), "{}", r.line);
+        }
+        // The pool survives and still answers real work.
+        assert!(service.call(request(99, Verb::Analyze)).unwrap().ok);
+        assert_eq!(service.counters().panicked, 0);
     }
 
     #[test]

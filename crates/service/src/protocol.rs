@@ -23,8 +23,11 @@
 //!
 //! Verbs: `analyze`, `schedule` (optional `depth` switches to the SCP
 //! model), `rate`, `scp` (requires `depth`), `trace` (optional `depth`),
-//! `storage`, `metrics`, and `cancel` (handled by the serve front-end,
-//! not the worker pool).
+//! `storage`, `explain` (the self-validated scheduling witness),
+//! `metrics`, `metrics_prometheus` (the same counters as a Prometheus
+//! text exposition), `journal` (the last-N request-journal ring, when
+//! journalling is enabled), and `cancel` (the last four are handled by
+//! the serve front-end, not the worker pool).
 //!
 //! ## Response schema
 //!
@@ -100,13 +103,38 @@ pub enum Verb {
     Trace,
     /// Storage minimisation summary.
     Storage,
+    /// The self-validated scheduling witness (critical cycle, runner-up
+    /// slack, engine audit, balanced issue word).
+    Explain,
     /// Service counters snapshot (never queued, never cached).
     Metrics,
+    /// The same counters as a Prometheus text exposition (never queued,
+    /// never cached).
+    MetricsPrometheus,
+    /// The last-N entries of the request journal (never queued, never
+    /// cached).
+    Journal,
     /// Cooperative cancellation of an in-flight request (serve layer).
     Cancel,
 }
 
 impl Verb {
+    /// Every verb, in wire-name order — the canonical iteration order for
+    /// per-verb counters.
+    pub const ALL: [Verb; 11] = [
+        Verb::Analyze,
+        Verb::Schedule,
+        Verb::Rate,
+        Verb::Scp,
+        Verb::Trace,
+        Verb::Storage,
+        Verb::Explain,
+        Verb::Metrics,
+        Verb::MetricsPrometheus,
+        Verb::Journal,
+        Verb::Cancel,
+    ];
+
     /// The wire name.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -116,9 +144,20 @@ impl Verb {
             Verb::Scp => "scp",
             Verb::Trace => "trace",
             Verb::Storage => "storage",
+            Verb::Explain => "explain",
             Verb::Metrics => "metrics",
+            Verb::MetricsPrometheus => "metrics_prometheus",
+            Verb::Journal => "journal",
             Verb::Cancel => "cancel",
         }
+    }
+
+    /// This verb's position in [`Verb::ALL`].
+    pub fn index(self) -> usize {
+        Verb::ALL
+            .iter()
+            .position(|&v| v == self)
+            .expect("every verb is in ALL")
     }
 
     fn parse(name: &str) -> Option<Verb> {
@@ -129,7 +168,10 @@ impl Verb {
             "scp" => Verb::Scp,
             "trace" => Verb::Trace,
             "storage" => Verb::Storage,
+            "explain" => Verb::Explain,
             "metrics" => Verb::Metrics,
+            "metrics_prometheus" => Verb::MetricsPrometheus,
+            "journal" => Verb::Journal,
             "cancel" => Verb::Cancel,
             _ => return None,
         })
@@ -179,7 +221,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         Some(_) => return Err("\"source\" must be a string".into()),
         None => String::new(),
     };
-    if source.is_empty() && !matches!(verb, Verb::Metrics | Verb::Cancel) {
+    if source.is_empty()
+        && !matches!(
+            verb,
+            Verb::Metrics | Verb::MetricsPrometheus | Verb::Journal | Verb::Cancel
+        )
+    {
         return Err(format!("verb {:?} requires \"source\"", verb.as_str()));
     }
     let depth = get_u64(obj, "depth")?;
@@ -601,6 +648,147 @@ pub fn trace_payload(
     })
 }
 
+/// One cycle row of the `explain` payload.
+#[derive(Serialize)]
+pub struct ExplainCycleJson {
+    /// Names of the loop nodes (and liveness buffers) on the cycle.
+    pub transitions: Vec<String>,
+    /// `Ω(C)`: summed execution time of the cycle's transitions.
+    pub total_time: u64,
+    /// `M(C)`: the cycle's token count.
+    pub token_count: u64,
+    /// `Ω(C)/M(C)` as an exact ratio string.
+    pub cycle_time: String,
+    /// `Ω(C)/M(C)` as an exact `{num, den}` pair.
+    pub cycle_time_rational: RationalJson,
+    /// `α* − Ω(C)/M(C)` as an exact ratio string (zero iff critical).
+    pub slack: String,
+    /// The slack as an exact `{num, den}` pair.
+    pub slack_rational: RationalJson,
+    /// Whether this cycle attains `α*`.
+    pub critical: bool,
+}
+
+/// One issue-word row of the `explain` payload.
+#[derive(Serialize)]
+pub struct ExplainWordJson {
+    /// The loop node.
+    pub node: String,
+    /// `'1'`/`'0'` per cycle of the kernel window; `'1'` = starts a
+    /// firing.
+    pub word: String,
+}
+
+/// The `explain` row (also `tpnc explain --format json`): the
+/// self-validated scheduling witness.
+#[derive(Serialize)]
+pub struct ExplainJson {
+    /// Source file, when invoked on one (the service sends `null`).
+    pub file: Option<String>,
+    /// Always `"explain"`.
+    pub command: String,
+    /// Loop nodes.
+    pub size: usize,
+    /// `α* = max Ω(C)/M(C)` as an exact ratio string.
+    pub cycle_time: String,
+    /// `α*` as an exact `{num, den}` pair.
+    pub cycle_time_rational: RationalJson,
+    /// `1/α*` as an exact ratio string.
+    pub rate: String,
+    /// `1/α*` as an exact `{num, den}` pair.
+    pub rate_rational: RationalJson,
+    /// Names on the critical witness cycle (empty for a self-loop
+    /// witness).
+    pub witness_transitions: Vec<String>,
+    /// The dominating slow node, when the bound is a single node's
+    /// non-reentrance rather than a token-carrying cycle.
+    pub witness_self_loop: Option<String>,
+    /// `Ω(C)` of the witness cycle (`null` for a self-loop witness).
+    pub total_time: Option<u64>,
+    /// `M(C)` of the witness cycle (`null` for a self-loop witness).
+    pub token_count: Option<u64>,
+    /// Every simple cycle, critical first then by ascending slack;
+    /// `null` when the net exceeded the enumeration budget (the witness
+    /// above is still exact).
+    pub cycles: Option<Vec<ExplainCycleJson>>,
+    /// The engine the compile options asked for.
+    pub engine_configured: String,
+    /// The engine actually used after `auto` resolution.
+    pub engine_resolved: String,
+    /// Whether the compiled net is a pure marked graph.
+    pub marked_graph: bool,
+    /// A one-line engine-decision reason.
+    pub engine_reason: String,
+    /// Kernel length `p` in cycles (marked graphs only).
+    pub issue_period: Option<u64>,
+    /// Iterations per kernel `q` (marked graphs only).
+    pub issue_iterations: Option<u64>,
+    /// First cycle of the steady-state window (marked graphs only).
+    pub issue_anchor: Option<u64>,
+    /// Balanced issue words, one row per loop node (marked graphs only).
+    pub issue_words: Option<Vec<ExplainWordJson>>,
+    /// Whether every reported quantity re-derived exactly in process.
+    pub validated: bool,
+    /// The discrepancies found during re-validation (empty when
+    /// `validated`).
+    pub validation_errors: Vec<String>,
+}
+
+/// Builds the `explain` payload from the memoized witness.
+///
+/// # Errors
+///
+/// Whatever [`CompiledLoop::explain`] reports.
+pub fn explain_payload(lp: &CompiledLoop, file: Option<String>) -> Result<ExplainJson, Error> {
+    let e = lp.explain()?;
+    Ok(ExplainJson {
+        file,
+        command: "explain".into(),
+        size: lp.size(),
+        cycle_time: e.cycle_time.to_string(),
+        cycle_time_rational: e.cycle_time.into(),
+        rate: e.rate.to_string(),
+        rate_rational: e.rate.into(),
+        witness_transitions: e.witness_transitions.clone(),
+        witness_self_loop: e.witness_self_loop.clone(),
+        total_time: e.total_time,
+        token_count: e.token_count,
+        cycles: e.cycles.as_ref().map(|cycles| {
+            cycles
+                .iter()
+                .map(|c| ExplainCycleJson {
+                    transitions: c.transitions.clone(),
+                    total_time: c.total_time,
+                    token_count: c.token_count,
+                    cycle_time: c.cycle_time.to_string(),
+                    cycle_time_rational: c.cycle_time.into(),
+                    slack: c.slack.to_string(),
+                    slack_rational: c.slack.into(),
+                    critical: c.critical,
+                })
+                .collect()
+        }),
+        engine_configured: e.engine.configured.as_str().into(),
+        engine_resolved: e.engine.resolved.as_str().into(),
+        marked_graph: e.engine.marked_graph,
+        engine_reason: e.engine.reason.clone(),
+        issue_period: e.issue_words.as_ref().map(|w| w.period),
+        issue_iterations: e.issue_words.as_ref().map(|w| w.iterations),
+        issue_anchor: e.issue_words.as_ref().map(|w| w.anchor),
+        issue_words: e.issue_words.as_ref().map(|w| {
+            w.words
+                .iter()
+                .map(|(node, word)| ExplainWordJson {
+                    node: node.clone(),
+                    word: word.clone(),
+                })
+                .collect()
+        }),
+        validated: e.validated,
+        validation_errors: e.validation_errors.clone(),
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Response envelopes.
 // ---------------------------------------------------------------------------
@@ -970,6 +1158,41 @@ mod tests {
         assert!(parse_request(r#"{"id":1,"verb":"scp","source":"x","depth":0}"#).is_err());
         assert!(parse_request(r#"{"id":1,"verb":"cancel"}"#).is_err());
         assert!(parse_request(r#"{"id":1,"verb":"metrics"}"#).is_ok());
+        // The other front-end verbs need no source either…
+        assert!(parse_request(r#"{"id":1,"verb":"metrics_prometheus"}"#).is_ok());
+        assert!(parse_request(r#"{"id":1,"verb":"journal"}"#).is_ok());
+        // …but explain compiles a loop, so it does.
+        assert!(parse_request(r#"{"id":1,"verb":"explain"}"#).is_err());
+        assert!(parse_request(r#"{"id":1,"verb":"explain","source":"x"}"#).is_ok());
+    }
+
+    #[test]
+    fn verb_table_round_trips_names_and_indices() {
+        for (i, verb) in Verb::ALL.iter().enumerate() {
+            assert_eq!(verb.index(), i);
+            assert_eq!(Verb::parse(verb.as_str()), Some(*verb));
+        }
+    }
+
+    #[test]
+    fn explain_payload_reports_a_validated_witness() {
+        let lp = CompiledLoop::from_source("do i from 2 to n { X[i] := X[i-1] + 1; }").unwrap();
+        let payload = explain_payload(&lp, None).unwrap();
+        assert_eq!(payload.command, "explain");
+        assert!(payload.validated, "{:?}", payload.validation_errors);
+        assert!(payload.validation_errors.is_empty());
+        // rate is exactly the reciprocal of the cycle time.
+        assert_eq!(payload.cycle_time_rational.num, payload.rate_rational.den);
+        assert_eq!(payload.cycle_time_rational.den, payload.rate_rational.num);
+        // A pure marked graph gets the engine audit and the issue words.
+        assert!(payload.marked_graph);
+        assert_eq!(payload.engine_resolved, "analytic");
+        let words = payload.issue_words.as_ref().expect("marked graph");
+        assert!(!words.is_empty());
+        // The payload is a single serializable line.
+        let line = serde_json::to_string(&payload).unwrap();
+        assert!(!line.contains('\n'));
+        assert!(parse_json(&line).is_ok());
     }
 
     #[test]
