@@ -5,10 +5,18 @@
 //! a **warm** run over a small key pool where the sharded result cache
 //! carries most requests. Reports hit-rate, p50/p99 latency, and
 //! throughput; the warm/cold comparison is BENCH_4.json's
-//! before/after. A fourth **hot+journal** phase repeats the hot soak
-//! with the request journal enabled, bounding the journal's overhead,
-//! and `--prometheus` additionally dumps that phase's counters as a
+//! before/after. A **hot+journal** phase repeats the hot soak with the
+//! request journal enabled, bounding the journal's overhead, and
+//! `--prometheus` additionally dumps that phase's counters as a
 //! Prometheus text exposition.
+//!
+//! Two fleet phases (BENCH_9.json) exercise the persistence and
+//! sharding layers: **cold-restart** populates a persistent artifact
+//! store, tears the service down, restarts on the same directory and
+//! re-drives the hot soak — the warm-started cache must carry it
+//! (hit rate > 0.9) — and **router-2shard** drives the same hot soak
+//! through two digest-sharded services, the in-process model of
+//! `tpnc route --shards 2`.
 //!
 //! Run: `cargo run --release -p tpn-bench --bin service [-- --json] [-- --prometheus]`
 
@@ -16,7 +24,7 @@ use std::time::Instant;
 
 use serde::Serialize;
 use tpn_bench::{emit, table};
-use tpn_service::protocol::{Request, Verb};
+use tpn_service::protocol::{self, Request, Verb};
 use tpn_service::{Service, ServiceConfig};
 
 #[derive(Clone, Debug, Serialize)]
@@ -51,14 +59,63 @@ fn soak_request(id: u64, pool: usize) -> Request {
         (Verb::Storage, None),
     ];
     let (verb, depth) = verb_cycle[id as usize % verb_cycle.len()];
-    Request {
-        id,
-        verb,
-        source: source(id % pool as u64),
-        depth,
-        options: tpn::CompileOptions::new(),
-        deadline_ms: None,
-        target: None,
+    let mut request = Request::basic(id, verb, source(id % pool as u64));
+    request.depth = depth;
+    request
+}
+
+fn config(workers: usize, journal_capacity: usize) -> ServiceConfig {
+    let mut builder = ServiceConfig::builder()
+        .workers(workers)
+        .queue(4 * workers.max(1));
+    if journal_capacity > 0 {
+        builder = builder.journal(journal_capacity);
+    }
+    builder.build().expect("bench service config")
+}
+
+/// Drives `requests` mixed requests over `pool` distinct keys through
+/// `service` from `workers` client threads; returns (errors, wall).
+fn drive(
+    service: &Service,
+    workers: usize,
+    requests: u64,
+    pool: usize,
+) -> (u64, std::time::Duration) {
+    let started = Instant::now();
+    let ids: Vec<u64> = (0..requests).collect();
+    let errors: u64 = tpn::batch::parallel_map(&ids, workers, |_, &id| {
+        match service.call(soak_request(id, pool)) {
+            Ok(response) if response.ok => 0u64,
+            _ => 1u64,
+        }
+    })
+    .into_iter()
+    .sum();
+    (errors, started.elapsed())
+}
+
+fn row(
+    phase: &str,
+    workers: usize,
+    requests: u64,
+    pool: usize,
+    errors: u64,
+    wall: std::time::Duration,
+    counters: &tpn::metrics::ServiceCounters,
+) -> ServiceRow {
+    let wall_ms = wall.as_millis().max(1) as u64;
+    ServiceRow {
+        phase: phase.to_string(),
+        workers,
+        requests,
+        distinct_keys: pool,
+        errors,
+        hit_rate: counters.cache.hit_rate(),
+        p50_micros: counters.p50_micros,
+        p99_micros: counters.p99_micros,
+        wall_ms,
+        requests_per_sec: requests * 1_000 / wall_ms,
     }
 }
 
@@ -72,16 +129,61 @@ fn soak(
     pool: usize,
     journal_capacity: usize,
 ) -> (ServiceRow, tpn::metrics::ServiceCounters) {
-    let service = Service::start(ServiceConfig {
+    let service = Service::start(config(workers, journal_capacity));
+    let (errors, wall) = drive(&service, workers, requests, pool);
+    let counters = service.counters();
+    (
+        row(phase, workers, requests, pool, errors, wall, &counters),
+        counters,
+    )
+}
+
+/// The cold-restart phase: populate a store-backed service, drop it
+/// (the in-process `kill -9`), restart on the same directory, and
+/// measure the re-driven hot soak — served from the warm-started cache.
+fn cold_restart(workers: usize, requests: u64, pool: usize) -> ServiceRow {
+    let dir = std::env::temp_dir().join(format!("tpn-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_config = || {
+        ServiceConfig::builder()
+            .workers(workers)
+            .queue(4 * workers.max(1))
+            .store(&dir)
+            .build()
+            .expect("bench store config")
+    };
+    let populate = Service::try_start(store_config()).expect("store service");
+    drive(&populate, workers, requests, pool);
+    drop(populate);
+    let revived = Service::try_start(store_config()).expect("restarted store service");
+    let (errors, wall) = drive(&revived, workers, requests, pool);
+    let counters = revived.counters();
+    let _ = std::fs::remove_dir_all(&dir);
+    row(
+        "cold-restart",
         workers,
-        queue_capacity: 4 * workers.max(1),
-        journal_capacity,
-        ..ServiceConfig::default()
-    });
+        requests,
+        pool,
+        errors,
+        wall,
+        &counters,
+    )
+}
+
+/// The router phase: the in-process model of `tpnc route --shards N` —
+/// one service per shard, each request forwarded by cache-key digest,
+/// aggregate throughput measured across the fleet.
+fn router(workers: usize, requests: u64, pool: usize, shards: usize) -> ServiceRow {
+    let fleet: Vec<Service> = (0..shards)
+        .map(|_| Service::start(config(workers, 0)))
+        .collect();
     let started = Instant::now();
     let ids: Vec<u64> = (0..requests).collect();
     let errors: u64 = tpn::batch::parallel_map(&ids, workers, |_, &id| {
-        match service.call(soak_request(id, pool)) {
+        let request = soak_request(id, pool);
+        let shard =
+            (protocol::cache_key(&request.source, &request.options) % shards as u64) as usize;
+        match fleet[shard].call(request) {
             Ok(response) if response.ok => 0u64,
             _ => 1u64,
         }
@@ -89,21 +191,29 @@ fn soak(
     .into_iter()
     .sum();
     let wall = started.elapsed();
-    let counters = service.counters();
+    // Aggregate the fleet's counters: hit rate and latency percentiles
+    // are summarized from the busiest shard's histogram-backed figures,
+    // hits/misses summed exactly.
+    let all: Vec<tpn::metrics::ServiceCounters> = fleet.iter().map(Service::counters).collect();
+    let hits: u64 = all.iter().map(|c| c.cache.hits).sum();
+    let misses: u64 = all.iter().map(|c| c.cache.misses).sum();
     let wall_ms = wall.as_millis().max(1) as u64;
-    let row = ServiceRow {
-        phase: phase.to_string(),
+    ServiceRow {
+        phase: format!("router-{shards}shard"),
         workers,
         requests,
         distinct_keys: pool,
         errors,
-        hit_rate: counters.cache.hit_rate(),
-        p50_micros: counters.p50_micros,
-        p99_micros: counters.p99_micros,
+        hit_rate: if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        },
+        p50_micros: all.iter().map(|c| c.p50_micros).max().unwrap_or(0),
+        p99_micros: all.iter().map(|c| c.p99_micros).max().unwrap_or(0),
         wall_ms,
         requests_per_sec: requests * 1_000 / wall_ms,
-    };
-    (row, counters)
+    }
 }
 
 fn main() {
@@ -121,7 +231,10 @@ fn main() {
     // Hot again with the request journal on: the delta against `hot`
     // bounds the journal's per-request cost.
     let (journaled, journaled_counters) = soak("hot+journal", workers, requests, 16, 256);
-    let rows = vec![cold, warm, hot, journaled];
+    // Fleet phases: restart persistence and digest sharding.
+    let restarted = cold_restart(workers, requests, 16);
+    let routed = router(workers, requests, 16, 2);
+    let rows = vec![cold, warm, hot, journaled, restarted, routed];
     emit(&rows, |rows| {
         let mut out = String::from("Service soak: mixed verbs through the compile service\n");
         out.push_str(&table::render(
@@ -148,7 +261,10 @@ fn main() {
             "\nThe result cache converts repeated keys into Arc-shared artifacts: the\n\
              warm and hot phases serve the same mixed verbs at a fraction of the\n\
              cold per-request latency. hot+journal repeats the hot soak with the\n\
-             request journal enabled; its delta bounds the journal overhead.\n",
+             request journal enabled; its delta bounds the journal overhead.\n\
+             cold-restart re-drives the hot soak after a kill/restart of a\n\
+             store-backed service (the warm-started cache must carry it), and\n\
+             router-2shard drives it through two digest-sharded services.\n",
         );
         out
     });

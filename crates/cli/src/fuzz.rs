@@ -21,7 +21,7 @@ use tpn_conform::{
     OracleConfig, Shape,
 };
 
-use crate::{Format, Invocation};
+use crate::{Format, Invocation, Render};
 
 /// Aggregate result of a fuzz run, serialised under `--format json`.
 #[derive(Debug, Serialize)]
@@ -39,6 +39,33 @@ struct FuzzSummary {
     dump_errors: Vec<String>,
 }
 
+impl Render for FuzzSummary {
+    fn render_text(&self) -> String {
+        let mut out = format!(
+            "fuzz: seed {} shape {} cases {} -> {} passed, {} failed\n  \
+             multiple-critical {}  enumeration-skips {}  max nodes {}",
+            self.seed,
+            self.shape,
+            self.cases,
+            self.passed,
+            self.failed,
+            self.multiple_critical,
+            self.enumeration_skips,
+            self.max_nodes
+        );
+        for d in &self.disagreements {
+            out.push_str(&format!("\n  FAIL {d}"));
+        }
+        for r in &self.reproducers {
+            out.push_str(&format!("\n  reproducer {r}"));
+        }
+        for e in &self.dump_errors {
+            out.push_str(&format!("\n  DUMP {e}"));
+        }
+        out
+    }
+}
+
 /// Aggregate result of a mutation run.
 #[derive(Debug, Serialize)]
 struct MutationSummary {
@@ -50,6 +77,23 @@ struct MutationSummary {
     not_applicable: u64,
     missed: u64,
     min_oracles: usize,
+}
+
+impl Render for MutationSummary {
+    fn render_text(&self) -> String {
+        format!(
+            "fuzz --mutate {}: seed {} shape {} cases {}\n  \
+             caught {} (min {} oracles)  not-applicable {}  missed {}",
+            self.mutation,
+            self.seed,
+            self.shape,
+            self.cases,
+            self.caught,
+            self.min_oracles,
+            self.not_applicable,
+            self.missed
+        )
+    }
 }
 
 /// Writes one failing case as a replayable `.sdsp` file, creating the
@@ -138,20 +182,9 @@ pub fn run(invocation: &Invocation) -> Result<(), String> {
             if summary.min_oracles == usize::MAX {
                 summary.min_oracles = 0;
             }
-            match invocation.format {
-                Format::Json => println!("{}", serde_json::to_string(&summary).unwrap()),
-                // parse_args rejects --format prometheus for fuzz.
-                Format::Text | Format::Prometheus => {
-                    println!(
-                        "fuzz --mutate {}: seed {seed} shape {} cases {cases}",
-                        summary.mutation, summary.shape
-                    );
-                    println!(
-                        "  caught {} (min {} oracles)  not-applicable {}  missed {}",
-                        summary.caught, summary.min_oracles, summary.not_applicable, summary.missed
-                    );
-                }
-            }
+            // parse_args rejects --format prometheus for fuzz, so
+            // render() dispatches between the JSON line and the text.
+            println!("{}", summary.render(invocation.format)?);
             if failures.is_empty() {
                 Ok(())
             } else {
@@ -210,11 +243,12 @@ pub fn run(invocation: &Invocation) -> Result<(), String> {
                     seed,
                     requests: invocation.requests.min(1_000),
                     workers: threads.min(8),
+                    restart: true,
                 })
             });
             match invocation.format {
                 Format::Json => {
-                    let mut line = serde_json::to_string(&summary).unwrap();
+                    let mut line = summary.render(Format::Json)?;
                     if let Some(chaos) = &chaos {
                         line.pop();
                         line.push_str(",\"chaos\":");
@@ -225,23 +259,7 @@ pub fn run(invocation: &Invocation) -> Result<(), String> {
                 }
                 // parse_args rejects --format prometheus for fuzz.
                 Format::Text | Format::Prometheus => {
-                    println!(
-                        "fuzz: seed {seed} shape {} cases {cases} -> {} passed, {} failed",
-                        summary.shape, summary.passed, summary.failed
-                    );
-                    println!(
-                        "  multiple-critical {}  enumeration-skips {}  max nodes {}",
-                        summary.multiple_critical, summary.enumeration_skips, summary.max_nodes
-                    );
-                    for d in &summary.disagreements {
-                        println!("  FAIL {d}");
-                    }
-                    for r in &summary.reproducers {
-                        println!("  reproducer {r}");
-                    }
-                    for e in &summary.dump_errors {
-                        println!("  DUMP {e}");
-                    }
+                    println!("{}", summary.render(invocation.format)?);
                     if let Some(chaos) = &chaos {
                         println!(
                             "  chaos: {} requests ({} clean, {} cancels/{} bit, {} deadlines/{} bit, {} panics), {} probes -> {}",

@@ -32,6 +32,8 @@
 //! unit-tested; `main.rs` only forwards `std::env::args` and prints.
 
 pub mod fuzz;
+pub mod output;
+pub mod route;
 pub mod serve;
 
 use std::fmt::Write as _;
@@ -40,19 +42,10 @@ use serde::Serialize;
 use tpn::CompiledLoop;
 use tpn_sched::behavior::BehaviorGraph;
 
-/// Output format of every subcommand.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
-pub enum Format {
-    /// Human-readable text (the historical output, byte-stable).
-    #[default]
-    Text,
-    /// One JSON object per input, one per line.
-    Json,
-    /// A Prometheus text exposition of the pipeline metrics: the command
-    /// runs normally (populating every stage/engine counter) but only
-    /// the exposition is printed. Implies `--profile`.
-    Prometheus,
-}
+pub use output::OutputFormat;
+/// The historical name of [`OutputFormat`], kept for call sites.
+pub use output::OutputFormat as Format;
+pub use output::Render;
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -78,9 +71,27 @@ pub struct Invocation {
     pub trace_path: Option<String>,
     /// `--jobs N`: worker threads for multiple inputs.
     pub jobs: Option<usize>,
-    /// `--socket PATH` (serve): listen on a Unix-domain socket instead
-    /// of stdin/stdout.
-    pub socket: Option<String>,
+    /// `--socket PATH` (serve/route, repeatable): listen on these
+    /// Unix-domain sockets instead of stdin/stdout; route's front
+    /// socket is the first one.
+    pub sockets: Vec<String>,
+    /// `--tcp ADDR` (serve, repeatable): also listen on these TCP
+    /// addresses (e.g. `127.0.0.1:7070`).
+    pub tcp: Vec<String>,
+    /// `--store DIR` (serve/route): persistent artifact store root;
+    /// route gives each shard `DIR/shard-<i>`.
+    pub store: Option<String>,
+    /// `--rate-limit N` (serve/route): per-client sustained requests
+    /// per second; enables the token-bucket limiter.
+    pub rate_limit: Option<u64>,
+    /// `--burst N` (serve/route): per-client token-bucket capacity
+    /// (default: the rate).
+    pub burst: Option<u64>,
+    /// `--max-in-flight N` (serve/route): per-client in-flight cap
+    /// (default 64).
+    pub max_in_flight: Option<usize>,
+    /// `--shards N` (route): serve processes to spawn and route over.
+    pub shards: Option<usize>,
     /// `--self-test` (serve): run the in-process soak client instead of
     /// listening.
     pub self_test: bool,
@@ -157,9 +168,12 @@ pub enum Command {
     Trace,
     /// The self-validated scheduling witness.
     Explain,
-    /// Long-running compile service (NDJSON over stdin/stdout or a
-    /// Unix-domain socket).
+    /// Long-running compile service (NDJSON over stdin/stdout or
+    /// Unix/TCP sockets).
     Serve,
+    /// Digest-sharded router: spawns `--shards N` serve processes and
+    /// forwards by cache-key digest.
+    Route,
     /// Conformance fuzzing: generated nets through the differential
     /// oracle stack, optionally with service chaos mode.
     Fuzz,
@@ -226,12 +240,9 @@ pub static OPTIONS: &[OptSpec] = &[
         value: Some("text|json|prometheus"),
         help: "output format (default text; prometheus prints only the metrics exposition)",
         apply: |inv, v| {
-            inv.format = match v.unwrap() {
-                "text" => Format::Text,
-                "json" => Format::Json,
-                "prometheus" => Format::Prometheus,
-                other => return Err(format!("bad --format value {other:?}")),
-            };
+            let v = v.unwrap();
+            inv.format =
+                OutputFormat::parse(v).ok_or_else(|| format!("bad --format value {v:?}"))?;
             Ok(())
         },
     },
@@ -269,9 +280,79 @@ pub static OPTIONS: &[OptSpec] = &[
     OptSpec {
         flag: "--socket",
         value: Some("PATH"),
-        help: "listen on a Unix-domain socket instead of stdin/stdout (serve)",
+        help: "listen on a Unix-domain socket instead of stdin/stdout (serve/route; repeatable)",
         apply: |inv, v| {
-            inv.socket = Some(v.unwrap().to_string());
+            inv.sockets.push(v.unwrap().to_string());
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--tcp",
+        value: Some("ADDR"),
+        help: "also listen on a TCP address, e.g. 127.0.0.1:7070 (serve; repeatable)",
+        apply: |inv, v| {
+            inv.tcp.push(v.unwrap().to_string());
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--store",
+        value: Some("DIR"),
+        help: "persistent artifact store root; warm-starts the cache on boot (serve/route)",
+        apply: |inv, v| {
+            inv.store = Some(v.unwrap().to_string());
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--rate-limit",
+        value: Some("N"),
+        help: "per-client sustained requests/second via a token bucket (serve/route)",
+        apply: |inv, v| {
+            let n: u64 = parse_value("--rate-limit", v.unwrap())?;
+            if n == 0 {
+                return Err("--rate-limit must be at least 1".to_string());
+            }
+            inv.rate_limit = Some(n);
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--burst",
+        value: Some("N"),
+        help: "per-client token-bucket capacity (serve/route; default: the rate)",
+        apply: |inv, v| {
+            let n: u64 = parse_value("--burst", v.unwrap())?;
+            if n == 0 {
+                return Err("--burst must be at least 1".to_string());
+            }
+            inv.burst = Some(n);
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--max-in-flight",
+        value: Some("N"),
+        help: "per-client in-flight request cap (serve/route; default 64)",
+        apply: |inv, v| {
+            let n: usize = parse_value("--max-in-flight", v.unwrap())?;
+            if n == 0 {
+                return Err("--max-in-flight must be at least 1".to_string());
+            }
+            inv.max_in_flight = Some(n);
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--shards",
+        value: Some("N"),
+        help: "serve shards to spawn and route over by cache-key digest (route; default 2)",
+        apply: |inv, v| {
+            let n: usize = parse_value("--shards", v.unwrap())?;
+            if n == 0 {
+                return Err("--shards must be at least 1".to_string());
+            }
+            inv.shards = Some(n);
             Ok(())
         },
     },
@@ -400,7 +481,7 @@ pub static OPTIONS: &[OptSpec] = &[
 /// [`static@OPTIONS`].
 pub fn usage() -> String {
     let mut s = String::from(
-        "usage: tpnc <analyze|schedule|emit|dot|behavior|storage|acode|trace|explain> <file|-> [<file> ...]\n       tpnc serve [--socket PATH | --self-test]\n       tpnc fuzz [--seed N] [--cases N] [--shape S] [--chaos] [--mutate M]",
+        "usage: tpnc <analyze|schedule|emit|dot|behavior|storage|acode|trace|explain> <file|-> [<file> ...]\n       tpnc serve [--socket PATH ...] [--tcp ADDR ...] [--store DIR] [--self-test]\n       tpnc route --socket PATH [--shards N] [--store DIR]\n       tpnc fuzz [--seed N] [--cases N] [--shape S] [--chaos] [--mutate M]",
     );
     for opt in OPTIONS {
         match opt.value {
@@ -436,6 +517,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
         Some("trace") => Command::Trace,
         Some("explain") => Command::Explain,
         Some("serve") => Command::Serve,
+        Some("route") => Command::Route,
         Some("fuzz") => Command::Fuzz,
         Some(other) => return Err(format!("unknown command {other:?}\n{}", usage())),
         None => return Err(usage()),
@@ -451,7 +533,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
         profile: false,
         trace_path: None,
         jobs: None,
-        socket: None,
+        sockets: Vec::new(),
+        tcp: Vec::new(),
+        store: None,
+        rate_limit: None,
+        burst: None,
+        max_in_flight: None,
+        shards: None,
         self_test: false,
         requests: 240,
         queue: None,
@@ -482,14 +570,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
         }
     }
     match invocation.command {
-        // `serve` and `fuzz` are the zero-input subcommands: they read
-        // requests / generate cases, not loop files.
-        Command::Serve | Command::Fuzz => {
+        // `serve`, `route` and `fuzz` are the zero-input subcommands:
+        // they read requests / generate cases, not loop files.
+        Command::Serve | Command::Route | Command::Fuzz => {
             if !invocation.inputs.is_empty() {
-                let name = if invocation.command == Command::Serve {
-                    "serve"
-                } else {
-                    "fuzz"
+                let name = match invocation.command {
+                    Command::Serve => "serve",
+                    Command::Route => "route",
+                    _ => "fuzz",
                 };
                 return Err(format!("{name} takes no input files\n{}", usage()));
             }
@@ -498,19 +586,47 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
             if invocation.inputs.is_empty() {
                 return Err(format!("missing input file\n{}", usage()));
             }
-            if invocation.socket.is_some() || invocation.self_test {
+            if !invocation.sockets.is_empty() || invocation.self_test {
                 return Err(format!(
-                    "--socket and --self-test apply to serve only\n{}",
+                    "--socket and --self-test apply to serve and route only\n{}",
                     usage()
                 ));
             }
+            if invocation.store.is_some()
+                || invocation.rate_limit.is_some()
+                || invocation.burst.is_some()
+                || invocation.max_in_flight.is_some()
+            {
+                return Err(format!(
+                    "--store, --rate-limit, --burst and --max-in-flight apply to serve and \
+                     route only\n{}",
+                    usage()
+                ));
+            }
+        }
+    }
+    if !invocation.tcp.is_empty() && invocation.command != Command::Serve {
+        return Err(format!("--tcp applies to serve only\n{}", usage()));
+    }
+    if invocation.shards.is_some() && invocation.command != Command::Route {
+        return Err(format!("--shards applies to route only\n{}", usage()));
+    }
+    if invocation.command == Command::Route {
+        if invocation.sockets.is_empty() {
+            return Err(format!("route requires --socket PATH\n{}", usage()));
+        }
+        if invocation.self_test {
+            return Err(format!("--self-test applies to serve only\n{}", usage()));
         }
     }
     if invocation.journal.is_some() && invocation.command != Command::Serve {
         return Err(format!("--journal applies to serve only\n{}", usage()));
     }
     if invocation.format == Format::Prometheus
-        && matches!(invocation.command, Command::Serve | Command::Fuzz)
+        && matches!(
+            invocation.command,
+            Command::Serve | Command::Route | Command::Fuzz
+        )
     {
         return Err(format!(
             "--format prometheus applies to file subcommands only (serve exposes the \
@@ -531,10 +647,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
             usage()
         ));
     }
-    if invocation.command == Command::Fuzz && (invocation.socket.is_some() || invocation.self_test)
+    if invocation.command == Command::Fuzz
+        && (!invocation.sockets.is_empty() || invocation.self_test)
     {
         return Err(format!(
-            "--socket and --self-test apply to serve only\n{}",
+            "--socket and --self-test apply to serve and route only\n{}",
             usage()
         ));
     }
@@ -853,6 +970,7 @@ fn execute_text(invocation: &Invocation, lp: &CompiledLoop) -> Result<String, St
             }
         }
         Command::Serve => return Err("serve does not take input files".to_string()),
+        Command::Route => return Err("route does not take input files".to_string()),
         Command::Fuzz => return Err("fuzz does not take input files".to_string()),
     }
     Ok(out)
@@ -1045,6 +1163,7 @@ fn execute_json(
             to_json_line(&row)
         }
         Command::Serve => Err("serve does not take input files".to_string()),
+        Command::Route => Err("route does not take input files".to_string()),
         Command::Fuzz => Err("fuzz does not take input files".to_string()),
     }
 }
@@ -1122,7 +1241,7 @@ mod tests {
         assert_eq!(inv.requests, 300);
         assert_eq!(inv.jobs, Some(4));
         let inv = parse_args(args("serve --socket /tmp/t.sock --queue 8 --cache 128")).unwrap();
-        assert_eq!(inv.socket.as_deref(), Some("/tmp/t.sock"));
+        assert_eq!(inv.sockets, vec!["/tmp/t.sock"]);
         assert_eq!(inv.queue, Some(8));
         assert_eq!(inv.cache, Some(128));
 

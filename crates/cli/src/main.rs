@@ -20,6 +20,15 @@ fn main() -> ExitCode {
             }
         };
     }
+    if invocation.command == tpn_cli::Command::Route {
+        return match tpn_cli::route::run(&invocation) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if invocation.command == tpn_cli::Command::Fuzz {
         return match tpn_cli::fuzz::run(&invocation) {
             Ok(()) => ExitCode::SUCCESS,

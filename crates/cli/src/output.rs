@@ -1,0 +1,95 @@
+//! Shared output-format plumbing: the one [`OutputFormat`] every
+//! subcommand's `--format` flag parses into, and the [`Render`] trait
+//! that turns a summary row into text or a JSON line without each
+//! subcommand re-implementing the same match.
+
+use serde::Serialize;
+
+/// Output format of every subcommand.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Human-readable text (the historical output, byte-stable).
+    #[default]
+    Text,
+    /// One JSON object per input, one per line.
+    Json,
+    /// A Prometheus text exposition of the pipeline metrics: the command
+    /// runs normally (populating every stage/engine counter) but only
+    /// the exposition is printed. Implies `--profile`.
+    Prometheus,
+}
+
+impl OutputFormat {
+    /// Parses a `--format` value.
+    pub fn parse(name: &str) -> Option<OutputFormat> {
+        match name {
+            "text" => Some(OutputFormat::Text),
+            "json" => Some(OutputFormat::Json),
+            "prometheus" => Some(OutputFormat::Prometheus),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OutputFormat::Text => "text",
+            OutputFormat::Json => "json",
+            OutputFormat::Prometheus => "prometheus",
+        }
+    }
+}
+
+/// A renderable summary: serializable for `--format json`, with a
+/// hand-written text form for everything else. Prometheus-only
+/// subcommand surfaces (serve, fuzz) fall back to text — `parse_args`
+/// rejects `--format prometheus` for them up front.
+pub trait Render: Serialize {
+    /// The human-readable form.
+    fn render_text(&self) -> String;
+
+    /// Renders in `format`: one JSON line for [`OutputFormat::Json`],
+    /// the text form otherwise.
+    ///
+    /// # Errors
+    ///
+    /// JSON serialization failures, as a human-readable message.
+    fn render(&self, format: OutputFormat) -> Result<String, String> {
+        match format {
+            OutputFormat::Json => serde_json::to_string(self).map_err(|e| e.to_string()),
+            OutputFormat::Text | OutputFormat::Prometheus => Ok(self.render_text()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Row {
+        value: u64,
+    }
+
+    impl Render for Row {
+        fn render_text(&self) -> String {
+            format!("value {}", self.value)
+        }
+    }
+
+    #[test]
+    fn formats_round_trip_and_render_dispatches() {
+        for format in [
+            OutputFormat::Text,
+            OutputFormat::Json,
+            OutputFormat::Prometheus,
+        ] {
+            assert_eq!(OutputFormat::parse(format.as_str()), Some(format));
+        }
+        assert_eq!(OutputFormat::parse("yaml"), None);
+        let row = Row { value: 7 };
+        assert_eq!(row.render(OutputFormat::Text).unwrap(), "value 7");
+        assert_eq!(row.render(OutputFormat::Json).unwrap(), "{\"value\":7}");
+        assert_eq!(row.render(OutputFormat::Prometheus).unwrap(), "value 7");
+    }
+}

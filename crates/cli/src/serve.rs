@@ -2,50 +2,81 @@
 //!
 //! Requests are newline-delimited JSON objects (see
 //! [`tpn_service::protocol`]); responses come back one per line, in
-//! completion order, each echoing the request's `id`. The front-end
-//! speaks stdin/stdout by default, a Unix-domain socket with
-//! `--socket PATH` (one protocol stream per connection), and runs the
-//! in-process soak client with `--self-test`.
+//! completion order, each echoing the request's `id` (and, for v2
+//! envelopes, its `"v"`). The front-end speaks stdin/stdout by default;
+//! with any number of `--socket PATH` (Unix-domain) and `--tcp ADDR`
+//! listeners it multiplexes every connection through one non-blocking
+//! poll loop — per-connection read buffers, bounded write buffers, and
+//! back-pressure that simply stops reading from a connection whose
+//! responses it cannot drain. `--store DIR` persists compiled artifacts
+//! across restarts, `--rate-limit`/`--burst`/`--max-in-flight` switch
+//! on per-client fairness, and `--self-test` runs the in-process soak
+//! client.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{self, BufRead, Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use serde::Serialize;
-use tpn_service::protocol::{self, Request, Verb};
+use tpn_service::protocol::{self, ParseError, Request, Verb};
 use tpn_service::{
-    journal_response, metrics_prometheus_response, metrics_response, Canceller, Service,
-    ServiceConfig,
+    journal_response_v, metrics_prometheus_response_v, metrics_response_v, Canceller, RateLimit,
+    Rejected, Service, ServiceConfig, Ticket,
 };
 
+use crate::output::{OutputFormat, Render};
 use crate::Invocation;
 
 /// In-memory capacity of the serve front-end's request-journal ring:
 /// the window the `journal` verb can look back over.
 const JOURNAL_RING: usize = 256;
 
+/// Per-connection write-buffer cap: past this, the poll loop stops
+/// reading from the connection until its responses drain (back-pressure
+/// instead of unbounded buffering).
+const WRITE_BUF_CAP: usize = 256 * 1024;
+
+/// The poll loop's sleep when a full pass over listeners, channels and
+/// connections made no progress.
+const IDLE_SLEEP: Duration = Duration::from_millis(1);
+
+/// The in-flight cancellation table, keyed by (connection, request id):
+/// a `cancel` verb can only reach requests submitted on its own
+/// connection (or stream).
+type Cancellers = Arc<Mutex<HashMap<(u64, u64), Canceller>>>;
+
 /// Builds the service configuration from the invocation's flags
-/// (`--jobs` workers, `--queue` capacity, `--cache` weight). The serve
-/// front-end always keeps the request journal's in-memory ring — the
-/// `journal` verb reads it — while embedded [`Service`] users keep the
-/// zero-cost default of no journal at all; `--journal FILE`
-/// additionally streams every event to FILE as NDJSON.
-fn config(invocation: &Invocation) -> ServiceConfig {
-    let mut config = ServiceConfig {
-        journal_capacity: JOURNAL_RING,
-        ..ServiceConfig::default()
-    };
+/// (`--jobs` workers, `--queue` capacity, `--cache` weight, `--store`
+/// persistence, `--rate-limit`/`--burst`/`--max-in-flight` fairness).
+/// The serve front-end always keeps the request journal's in-memory
+/// ring — the `journal` verb reads it — while embedded [`Service`]
+/// users keep the zero-cost default of no journal at all; `--journal
+/// FILE` additionally streams every event to FILE as NDJSON.
+fn config(invocation: &Invocation) -> Result<ServiceConfig, String> {
+    let mut builder = ServiceConfig::builder().journal(JOURNAL_RING);
     if let Some(jobs) = invocation.jobs {
-        config.workers = jobs;
+        builder = builder.workers(jobs);
     }
     if let Some(queue) = invocation.queue {
-        config.queue_capacity = queue;
+        builder = builder.queue(queue);
     }
     if let Some(cache) = invocation.cache {
-        config.cache_capacity = cache;
+        builder = builder.cache(cache);
     }
-    config
+    if let Some(store) = &invocation.store {
+        builder = builder.store(store);
+    }
+    if let Some(rate) = invocation.rate_limit {
+        builder = builder.rate_limit(RateLimit {
+            per_second: rate,
+            burst: invocation.burst.unwrap_or(rate),
+            max_in_flight: invocation.max_in_flight.unwrap_or(64),
+        });
+    }
+    builder.build().map_err(|e| e.to_string())
 }
 
 /// Opens `--journal FILE` (truncating) and plugs it into the service as
@@ -63,25 +94,123 @@ fn attach_journal_sink(service: &Service, invocation: &Invocation) -> Result<(),
 ///
 /// # Errors
 ///
-/// Socket/bind and I/O failures, or (in `--self-test` mode) a summary
-/// of any soak failure.
+/// Socket/bind, store, and I/O failures, or (in `--self-test` mode) a
+/// summary of any soak failure.
 pub fn run(invocation: &Invocation) -> Result<(), String> {
     if invocation.self_test {
         return self_test(invocation);
     }
-    let service = Arc::new(Service::start(config(invocation)));
+    let service = Service::try_start(config(invocation)?)
+        .map_err(|e| format!("error starting service: {e}"))?;
+    let service = Arc::new(service);
     attach_journal_sink(&service, invocation)?;
-    match &invocation.socket {
-        Some(path) => serve_socket(&service, path),
-        None => {
-            let stdin = std::io::stdin();
-            serve_stream(&service, stdin.lock(), std::io::stdout())
+    if invocation.sockets.is_empty() && invocation.tcp.is_empty() {
+        let stdin = std::io::stdin();
+        serve_stream(&service, stdin.lock(), std::io::stdout())
+    } else {
+        let listeners = bind_listeners(invocation)?;
+        serve_sockets(&service, &listeners)
+    }
+}
+
+/// The outcome of routing one request line.
+enum Routed {
+    /// Answered synchronously: a front-end verb, a parse error, or a
+    /// typed admission rejection.
+    Immediate(String),
+    /// Accepted by the service: the ticket's waiter delivers the
+    /// response line (tagged with the request id) when it completes.
+    Ticket(Ticket, u64),
+}
+
+/// Parses and routes one request line arriving on connection `conn`.
+fn route_line(service: &Arc<Service>, cancellers: &Cancellers, conn: u64, line: &str) -> Routed {
+    let request = match protocol::parse_request(line) {
+        Ok(request) => request,
+        Err(ParseError::UnsupportedVersion { id, v }) => {
+            return Routed::Immediate(protocol::error_envelope(
+                1,
+                id.unwrap_or(0),
+                None,
+                "unsupported_version",
+                &format!("unsupported envelope version {v} (this server speaks 1 and 2)"),
+                None,
+                None,
+            ));
         }
+        Err(ParseError::Bad(message)) => {
+            // Best effort to echo the id even when the request is
+            // malformed beyond it.
+            let id = protocol::parse_json(line)
+                .ok()
+                .and_then(|v| match v.get("id") {
+                    Some(protocol::JsonValue::Num(n)) if *n >= 0.0 => Some(*n as u64),
+                    _ => None,
+                })
+                .unwrap_or(0);
+            return Routed::Immediate(protocol::error_line(
+                id,
+                None,
+                "bad_request",
+                &message,
+                None,
+            ));
+        }
+    };
+    let (v, id) = (request.v, request.id);
+    match request.verb {
+        Verb::Metrics => Routed::Immediate(metrics_response_v(service, id, v).line),
+        Verb::MetricsPrometheus => {
+            Routed::Immediate(metrics_prometheus_response_v(service, id, v).line)
+        }
+        Verb::Journal => Routed::Immediate(journal_response_v(service, id, v).line),
+        Verb::Cancel => {
+            let target = request.target.expect("protocol validated cancel target");
+            let delivered = match cancellers
+                .lock()
+                .expect("in-flight table")
+                .get(&(conn, target))
+            {
+                Some(canceller) => {
+                    canceller.cancel();
+                    true
+                }
+                None => false,
+            };
+            Routed::Immediate(protocol::ok_envelope(
+                v,
+                id,
+                Verb::Cancel,
+                &format!("{{\"target\":{target},\"in_flight\":{delivered}}}"),
+            ))
+        }
+        _ => match service.submit(request) {
+            Err(Rejected::Overloaded(overloaded)) => Routed::Immediate(protocol::error_envelope(
+                v,
+                id,
+                None,
+                "overloaded",
+                &overloaded.to_string(),
+                Some(overloaded.depth),
+                None,
+            )),
+            Err(Rejected::RateLimited(limited)) => Routed::Immediate(protocol::error_envelope(
+                v,
+                id,
+                None,
+                "rate_limited",
+                &limited.to_string(),
+                None,
+                Some(limited.retry_after_ms),
+            )),
+            Ok(ticket) => Routed::Ticket(ticket, id),
+        },
     }
 }
 
 /// Serves one protocol stream: reads request lines from `reader` until
-/// EOF, writes response lines to `writer` in completion order.
+/// EOF, writes response lines to `writer` in completion order. The
+/// stdin/stdout mode (and the unit tests' harness).
 fn serve_stream<R: BufRead, W: Write + Send + 'static>(
     service: &Arc<Service>,
     reader: R,
@@ -98,7 +227,7 @@ fn serve_stream<R: BufRead, W: Write + Send + 'static>(
         }
         Ok(())
     }));
-    let in_flight: Arc<Mutex<HashMap<u64, Canceller>>> = Arc::new(Mutex::new(HashMap::new()));
+    let cancellers: Cancellers = Arc::new(Mutex::new(HashMap::new()));
     let mut result = Ok(());
     for line in reader.lines() {
         let line = match line {
@@ -111,7 +240,25 @@ fn serve_stream<R: BufRead, W: Write + Send + 'static>(
         if line.trim().is_empty() {
             continue;
         }
-        let send = dispatch(service, &in_flight, &tx, &line);
+        let send = match route_line(service, &cancellers, 0, &line) {
+            Routed::Immediate(response) => tx.send(response),
+            Routed::Ticket(ticket, id) => {
+                cancellers
+                    .lock()
+                    .expect("in-flight table")
+                    .insert((0, id), ticket.canceller());
+                let tx = tx.clone();
+                let cancellers = cancellers.clone();
+                // In-flight count is bounded by the queue capacity
+                // plus the worker pool, so waiter threads are too.
+                std::thread::spawn(move || {
+                    let response = ticket.wait();
+                    cancellers.lock().expect("in-flight table").remove(&(0, id));
+                    let _ = tx.send(response.line);
+                });
+                Ok(())
+            }
+        };
         if send.is_err() {
             // The writer is gone (broken pipe); stop reading.
             break;
@@ -129,87 +276,97 @@ fn serve_stream<R: BufRead, W: Write + Send + 'static>(
     result
 }
 
-/// Parses and routes one request line. The returned error means the
-/// response channel is closed.
-fn dispatch(
-    service: &Arc<Service>,
-    in_flight: &Arc<Mutex<HashMap<u64, Canceller>>>,
-    tx: &mpsc::Sender<String>,
-    line: &str,
-) -> Result<(), mpsc::SendError<String>> {
-    let request = match protocol::parse_request(line) {
-        Ok(request) => request,
-        Err(message) => {
-            // Best effort to echo the id even when the request is
-            // malformed beyond it.
-            let id = protocol::parse_json(line)
-                .ok()
-                .and_then(|v| match v.get("id") {
-                    Some(protocol::JsonValue::Num(n)) if *n >= 0.0 => Some(*n as u64),
-                    _ => None,
-                })
-                .unwrap_or(0);
-            return tx.send(protocol::error_line(
-                id,
-                None,
-                "bad_request",
-                &message,
-                None,
-            ));
-        }
-    };
-    match request.verb {
-        Verb::Metrics => tx.send(metrics_response(service, request.id).line),
-        Verb::MetricsPrometheus => tx.send(metrics_prometheus_response(service, request.id).line),
-        Verb::Journal => tx.send(journal_response(service, request.id).line),
-        Verb::Cancel => {
-            let target = request.target.expect("protocol validated cancel target");
-            let delivered = match in_flight.lock().expect("in-flight table").get(&target) {
-                Some(canceller) => {
-                    canceller.cancel();
-                    true
-                }
-                None => false,
-            };
-            tx.send(protocol::ok_line(
-                request.id,
-                Verb::Cancel,
-                &format!("{{\"target\":{target},\"in_flight\":{delivered}}}"),
-            ))
-        }
-        _ => {
-            let id = request.id;
-            match service.submit(request) {
-                Err(overloaded) => tx.send(protocol::error_line(
-                    id,
-                    None,
-                    "overloaded",
-                    &overloaded.to_string(),
-                    Some(overloaded.depth),
-                )),
-                Ok(ticket) => {
-                    in_flight
-                        .lock()
-                        .expect("in-flight table")
-                        .insert(id, ticket.canceller());
-                    let tx = tx.clone();
-                    let in_flight = in_flight.clone();
-                    // In-flight count is bounded by the queue capacity
-                    // plus the worker pool, so waiter threads are too.
-                    std::thread::spawn(move || {
-                        let response = ticket.wait();
-                        in_flight.lock().expect("in-flight table").remove(&id);
-                        let _ = tx.send(response.line);
-                    });
-                    Ok(())
-                }
+// ---------------------------------------------------------------------------
+// The non-blocking multi-socket poll loop.
+// ---------------------------------------------------------------------------
+
+/// One bound, non-blocking listening socket.
+enum Listener {
+    /// A Unix-domain listener (`--socket PATH`).
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+    /// A TCP listener (`--tcp ADDR`).
+    Tcp(TcpListener),
+}
+
+/// One accepted connection's byte stream.
+enum Stream {
+    /// A Unix-domain connection.
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+    /// A TCP connection.
+    Tcp(TcpStream),
+}
+
+impl Listener {
+    /// Accepts one pending connection, already switched to
+    /// non-blocking.
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(listener) => {
+                let (stream, _) = listener.accept()?;
+                stream.set_nonblocking(true)?;
+                Ok(Stream::Unix(stream))
+            }
+            Listener::Tcp(listener) => {
+                let (stream, _) = listener.accept()?;
+                stream.set_nonblocking(true)?;
+                let _ = stream.set_nodelay(true);
+                Ok(Stream::Tcp(stream))
             }
         }
     }
 }
 
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(stream) => stream.read(buf),
+            Stream::Tcp(stream) => stream.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(stream) => stream.write(buf),
+            Stream::Tcp(stream) => stream.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(stream) => stream.flush(),
+            Stream::Tcp(stream) => stream.flush(),
+        }
+    }
+}
+
+/// Binds every `--socket` and `--tcp` listener, non-blocking.
+fn bind_listeners(invocation: &Invocation) -> Result<Vec<Listener>, String> {
+    let mut listeners = Vec::new();
+    for path in &invocation.sockets {
+        listeners.push(bind_unix(path)?);
+    }
+    for addr in &invocation.tcp {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| format!("error binding tcp {addr}: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("error configuring tcp {addr}: {e}"))?;
+        eprintln!("tpnc serve: listening on tcp {addr}");
+        listeners.push(Listener::Tcp(listener));
+    }
+    Ok(listeners)
+}
+
 #[cfg(unix)]
-fn serve_socket(service: &Arc<Service>, path: &str) -> Result<(), String> {
+fn bind_unix(path: &str) -> Result<Listener, String> {
     use std::os::unix::net::UnixListener;
 
     // A stale socket file from a previous run would fail the bind.
@@ -218,23 +375,189 @@ fn serve_socket(service: &Arc<Service>, path: &str) -> Result<(), String> {
     }
     let listener =
         UnixListener::bind(path).map_err(|e| format!("error binding socket {path}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("error configuring socket {path}: {e}"))?;
     eprintln!("tpnc serve: listening on {path}");
-    for stream in listener.incoming() {
-        let stream = stream.map_err(|e| format!("error accepting connection: {e}"))?;
-        let service = service.clone();
-        std::thread::spawn(move || {
-            let reader = BufReader::new(stream.try_clone().expect("clone socket stream"));
-            if let Err(e) = serve_stream(&service, reader, stream) {
-                eprintln!("tpnc serve: connection error: {e}");
-            }
-        });
-    }
-    Ok(())
+    Ok(Listener::Unix(listener))
 }
 
 #[cfg(not(unix))]
-fn serve_socket(_service: &Arc<Service>, _path: &str) -> Result<(), String> {
+fn bind_unix(_path: &str) -> Result<Listener, String> {
     Err("--socket requires a Unix platform".to_string())
+}
+
+/// One multiplexed connection's state in the poll loop.
+struct Conn {
+    stream: Stream,
+    /// Bytes received but not yet terminated by a newline.
+    read_buf: Vec<u8>,
+    /// Response bytes not yet accepted by the peer.
+    write_buf: Vec<u8>,
+    /// Cleared on EOF or a read error; the connection then only drains.
+    reading: bool,
+    /// Set on a write error; the connection is dropped outright.
+    dead: bool,
+    /// Responses still owed to this connection by waiter threads.
+    outstanding: usize,
+}
+
+/// The non-blocking poll loop multiplexing every listener and
+/// connection on one thread. Compilation itself runs on the service's
+/// worker pool and only short-lived waiter threads block, so one slow
+/// or stalled peer cannot starve the rest: its write buffer fills, the
+/// loop stops reading from it, and everyone else keeps flowing. Runs
+/// until the process is killed.
+fn serve_sockets(service: &Arc<Service>, listeners: &[Listener]) -> Result<(), String> {
+    let cancellers: Cancellers = Arc::new(Mutex::new(HashMap::new()));
+    let (tx, rx) = mpsc::channel::<(u64, String)>();
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_conn: u64 = 0;
+    loop {
+        let mut progress = false;
+
+        // Accept every pending connection on every listener.
+        for listener in listeners {
+            loop {
+                match listener.accept() {
+                    Ok(stream) => {
+                        conns.insert(
+                            next_conn,
+                            Conn {
+                                stream,
+                                read_buf: Vec::new(),
+                                write_buf: Vec::new(),
+                                reading: true,
+                                dead: false,
+                                outstanding: 0,
+                            },
+                        );
+                        next_conn += 1;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(format!("error accepting connection: {e}")),
+                }
+            }
+        }
+
+        // Collect completed responses from the waiter threads.
+        while let Ok((conn_id, line)) = rx.try_recv() {
+            progress = true;
+            // A connection that died mid-request just drops its line.
+            if let Some(conn) = conns.get_mut(&conn_id) {
+                conn.outstanding = conn.outstanding.saturating_sub(1);
+                conn.write_buf.extend_from_slice(line.as_bytes());
+                conn.write_buf.push(b'\n');
+            }
+        }
+
+        // Read and dispatch, pausing any connection over its write cap.
+        for (&conn_id, conn) in conns.iter_mut() {
+            if !conn.reading || conn.dead || conn.write_buf.len() >= WRITE_BUF_CAP {
+                continue;
+            }
+            let mut chunk = [0u8; 4096];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.reading = false;
+                        break;
+                    }
+                    Ok(n) => {
+                        progress = true;
+                        conn.read_buf.extend_from_slice(&chunk[..n]);
+                        if conn.write_buf.len() + conn.read_buf.len() >= WRITE_BUF_CAP {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.reading = false;
+                        break;
+                    }
+                }
+            }
+            while let Some(pos) = conn.read_buf.iter().position(|&b| b == b'\n') {
+                let raw: Vec<u8> = conn.read_buf.drain(..=pos).collect();
+                let line = String::from_utf8_lossy(&raw[..raw.len() - 1]);
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                progress = true;
+                match route_line(service, &cancellers, conn_id, line) {
+                    Routed::Immediate(response) => {
+                        conn.write_buf.extend_from_slice(response.as_bytes());
+                        conn.write_buf.push(b'\n');
+                    }
+                    Routed::Ticket(ticket, id) => {
+                        conn.outstanding += 1;
+                        cancellers
+                            .lock()
+                            .expect("in-flight table")
+                            .insert((conn_id, id), ticket.canceller());
+                        let tx = tx.clone();
+                        let cancellers = cancellers.clone();
+                        std::thread::spawn(move || {
+                            let response = ticket.wait();
+                            cancellers
+                                .lock()
+                                .expect("in-flight table")
+                                .remove(&(conn_id, id));
+                            let _ = tx.send((conn_id, response.line));
+                        });
+                    }
+                }
+            }
+        }
+
+        // Flush as much of every write buffer as the peers accept.
+        for conn in conns.values_mut() {
+            while !conn.write_buf.is_empty() {
+                match conn.stream.write(&conn.write_buf) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.write_buf.drain(..n);
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Reap finished and broken connections (and their cancellers).
+        let mut dropped = Vec::new();
+        conns.retain(|&conn_id, conn| {
+            let done =
+                conn.dead || (!conn.reading && conn.outstanding == 0 && conn.write_buf.is_empty());
+            if done {
+                dropped.push(conn_id);
+            }
+            !done
+        });
+        if !dropped.is_empty() {
+            progress = true;
+            cancellers
+                .lock()
+                .expect("in-flight table")
+                .retain(|(conn_id, _), _| !dropped.contains(conn_id));
+        }
+
+        if !progress {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -250,11 +573,21 @@ struct SelfTestJson {
     distinct_keys: usize,
     errors: u64,
     overloaded_typed: u64,
+    rate_limited_typed: u64,
     identity_checks: usize,
     journal_events: usize,
     hit_rate: f64,
     p50_micros: u64,
     p99_micros: u64,
+}
+
+impl Render for SelfTestJson {
+    fn render_text(&self) -> String {
+        format!(
+            "serve self-test: {} requests, {} errors, hit rate {:.3}, p50 {} us, p99 {} us",
+            self.requests, self.errors, self.hit_rate, self.p50_micros, self.p99_micros
+        )
+    }
 }
 
 /// A pool of distinct loop sources (1–3 nodes) for the soak.
@@ -280,25 +613,30 @@ fn soak_request(id: u64, pool: &[String]) -> Request {
         (Verb::Storage, None),
     ];
     let (verb, depth) = verb_cycle[id as usize % verb_cycle.len()];
-    Request {
-        id,
-        verb,
-        source: pool[id as usize % pool.len()].clone(),
-        depth,
-        options: tpn::CompileOptions::new(),
-        deadline_ms: None,
-        target: None,
-    }
+    let mut request = Request::basic(id, verb, pool[id as usize % pool.len()].clone());
+    request.depth = depth;
+    request
 }
 
 fn self_test(invocation: &Invocation) -> Result<(), String> {
-    let mut config = config(invocation);
-    config.workers = config.workers.max(4);
+    let workers = invocation
+        .jobs
+        .unwrap_or_else(tpn::batch::default_threads)
+        .max(4);
+    let mut builder = ServiceConfig::builder()
+        .workers(workers)
+        .journal(JOURNAL_RING);
+    if let Some(queue) = invocation.queue {
+        builder = builder.queue(queue);
+    }
+    if let Some(cache) = invocation.cache {
+        builder = builder.cache(cache);
+    }
     let requests = invocation.requests.max(200);
     // A quarter as many distinct keys as requests: every key repeats
     // about four times, comfortably past the ≥50 % repeat target.
     let pool = source_pool((requests as usize / 4).max(1));
-    let service = Service::start(config);
+    let service = Service::start(builder.build().map_err(|e| e.to_string())?);
     attach_journal_sink(&service, invocation)?;
 
     // Phase 1: cached/uncached byte-identity for every protocol verb.
@@ -317,21 +655,18 @@ fn self_test(invocation: &Invocation) -> Result<(), String> {
         (Verb::Storage, None),
         (Verb::Explain, None),
     ] {
-        let request = Request {
-            id: 1_000_000 + identity_checks as u64,
+        let mut request = Request::basic(
+            1_000_000 + identity_checks as u64,
             verb,
-            source: "do i from 2 to n { A[i] := A[i-1] + B[i]; C[i] := A[i] * 2; }".into(),
-            depth,
-            options: tpn::CompileOptions::new(),
-            deadline_ms: None,
-            target: None,
-        };
+            "do i from 2 to n { A[i] := A[i-1] + B[i]; C[i] := A[i] * 2; }",
+        );
+        request.depth = depth;
         let uncached = service
             .call(request.clone())
-            .map_err(|e| format!("identity check overloaded: {e}"))?;
+            .map_err(|e| format!("identity check rejected: {e}"))?;
         let cached = service
             .call(request)
-            .map_err(|e| format!("identity check overloaded: {e}"))?;
+            .map_err(|e| format!("identity check rejected: {e}"))?;
         if !uncached.ok || !cached.ok {
             return Err(format!(
                 "identity check failed for {:?}: {}",
@@ -354,22 +689,51 @@ fn self_test(invocation: &Invocation) -> Result<(), String> {
         identity_checks += 1;
     }
 
+    // Protocol v2: the same body in a v2 envelope must yield the same
+    // response bytes behind the "v":2 prefix — v1 clients keep working,
+    // byte for byte, against a v2-speaking server.
+    const V2_SRC: &str = "do i from 2 to n { A[i] := A[i-1] + B[i]; C[i] := A[i] * 2; }";
+    let v1_request = protocol::parse_request(&format!(
+        "{{\"id\":1000042,\"verb\":\"analyze\",\"source\":\"{V2_SRC}\"}}"
+    ))
+    .map_err(|e| format!("v1 parse: {e}"))?;
+    let v2_request = protocol::parse_request(&format!(
+        "{{\"v\":2,\"id\":1000042,\"verb\":\"analyze\",\"client\":\"soak\",\"body\":{{\"source\":\"{V2_SRC}\"}}}}"
+    ))
+    .map_err(|e| format!("v2 parse: {e}"))?;
+    let v1_response = service
+        .call(v1_request)
+        .map_err(|e| format!("v1 call rejected: {e}"))?;
+    let v2_response = service
+        .call(v2_request)
+        .map_err(|e| format!("v2 call rejected: {e}"))?;
+    if v2_response.line != format!("{{\"v\":2,{}", &v1_response.line[1..]) {
+        return Err(format!(
+            "v2 envelope is not the v1 bytes behind a \"v\":2 prefix:\n  v1: {}\n  v2: {}",
+            v1_response.line, v2_response.line
+        ));
+    }
+    identity_checks += 1;
+
     // Phase 2: typed backpressure. A single-worker service with a
     // capacity-1 queue must reject a burst with Overloaded, not hang.
-    let tiny = Service::start(ServiceConfig {
-        workers: 1,
-        queue_capacity: 1,
-        ..ServiceConfig::default()
-    });
+    let tiny = Service::start(
+        ServiceConfig::builder()
+            .workers(1)
+            .queue(1)
+            .build()
+            .unwrap(),
+    );
     let mut overloaded_typed = 0u64;
     let mut tickets = Vec::new();
     for id in 0..16 {
         match tiny.submit(soak_request(id, &pool)) {
             Ok(ticket) => tickets.push(ticket),
-            Err(overloaded) => {
+            Err(Rejected::Overloaded(overloaded)) => {
                 assert!(overloaded.capacity == 1);
                 overloaded_typed += 1;
             }
+            Err(other) => return Err(format!("burst tripped the wrong rejection: {other}")),
         }
     }
     for ticket in tickets {
@@ -380,9 +744,46 @@ fn self_test(invocation: &Invocation) -> Result<(), String> {
     }
     drop(tiny);
 
+    // Phase 2b: typed per-client fairness. A one-token bucket must
+    // rate-limit the second immediate request from the same client —
+    // with retry advice — while other clients stay untouched.
+    let limited = Service::start(
+        ServiceConfig::builder()
+            .workers(2)
+            .rate_limit(RateLimit {
+                per_second: 1,
+                burst: 1,
+                max_in_flight: 8,
+            })
+            .build()
+            .map_err(|e| e.to_string())?,
+    );
+    let limit_request = |id: u64, client: &str| {
+        let mut request = soak_request(id, &pool);
+        request.client = Some(client.to_string());
+        request
+    };
+    if limited.call(limit_request(0, "client-a")).is_err() {
+        return Err("rate-limit check: client-a's first request was rejected".into());
+    }
+    let rate_limited_typed = match limited.call(limit_request(1, "client-a")) {
+        Err(Rejected::RateLimited(limited)) => {
+            if limited.retry_after_ms == 0 {
+                return Err("rate-limit check: rejection carries no retry advice".into());
+            }
+            1u64
+        }
+        Ok(_) => return Err("rate-limit check: burst past the bucket was admitted".into()),
+        Err(other) => return Err(format!("rate-limit check: wrong rejection: {other}")),
+    };
+    if limited.call(limit_request(2, "client-b")).is_err() {
+        return Err("rate-limit check: client-b was throttled by client-a's bucket".into());
+    }
+    drop(limited);
+
     // Phase 3: the mixed soak, driven from `workers` client threads.
     let ids: Vec<u64> = (0..requests).collect();
-    let errors: u64 = tpn::batch::parallel_map(&ids, config.workers, |_, &id| {
+    let errors: u64 = tpn::batch::parallel_map(&ids, workers, |_, &id| {
         // call() blocks, so at most `workers` requests are in flight
         // and the queue cannot overflow.
         match service.call(soak_request(id, &pool)) {
@@ -399,14 +800,14 @@ fn self_test(invocation: &Invocation) -> Result<(), String> {
     if journal_events == 0 {
         return Err("telemetry check: the soak left no journal events".into());
     }
-    let prometheus = metrics_prometheus_response(&service, 9_000_001);
+    let prometheus = metrics_prometheus_response_v(&service, 9_000_001, 1);
     if !prometheus.ok || !prometheus.line.contains("tpn_service_accepted_total") {
         return Err(format!(
             "telemetry check: bad exposition: {}",
             prometheus.line
         ));
     }
-    let journal = journal_response(&service, 9_000_002);
+    let journal = journal_response_v(&service, 9_000_002, 1);
     if !journal.ok {
         return Err(format!(
             "telemetry check: journal verb failed: {}",
@@ -417,21 +818,19 @@ fn self_test(invocation: &Invocation) -> Result<(), String> {
     let counters = service.counters();
     let summary = SelfTestJson {
         command: "serve-self-test".into(),
-        workers: config.workers,
+        workers,
         requests,
         distinct_keys: pool.len(),
         errors,
         overloaded_typed,
+        rate_limited_typed,
         identity_checks,
         journal_events,
         hit_rate: counters.cache.hit_rate(),
         p50_micros: counters.p50_micros,
         p99_micros: counters.p99_micros,
     };
-    println!(
-        "{}",
-        serde_json::to_string(&summary).map_err(|e| e.to_string())?
-    );
+    println!("{}", summary.render(OutputFormat::Json)?);
     if errors > 0 {
         return Err(format!("soak finished with {errors} errors"));
     }
@@ -450,11 +849,13 @@ mod tests {
 
     #[test]
     fn serve_stream_round_trips_requests() {
-        let service = Arc::new(Service::start(ServiceConfig {
-            workers: 2,
-            journal_capacity: 4,
-            ..ServiceConfig::default()
-        }));
+        let service = Arc::new(Service::start(
+            ServiceConfig::builder()
+                .workers(2)
+                .journal(4)
+                .build()
+                .unwrap(),
+        ));
         let input = concat!(
             "{\"id\":1,\"verb\":\"analyze\",\"source\":\"do i from 2 to n { X[i] := X[i-1] + 1; }\"}\n",
             "\n",
@@ -463,6 +864,8 @@ mod tests {
             "{\"id\":3,\"verb\":\"cancel\",\"target\":99}\n",
             "{\"id\":4,\"verb\":\"metrics_prometheus\"}\n",
             "{\"id\":5,\"verb\":\"journal\"}\n",
+            "{\"v\":2,\"id\":6,\"verb\":\"analyze\",\"client\":\"t\",\"body\":{\"source\":\"do i from 2 to n { X[i] := X[i-1] + 1; }\"}}\n",
+            "{\"v\":9,\"id\":7,\"verb\":\"analyze\",\"source\":\"x\"}\n",
         );
         let output = Arc::new(Mutex::new(Vec::new()));
 
@@ -481,7 +884,11 @@ mod tests {
         let written = output.lock().expect("writer lock").clone();
         let text = String::from_utf8(written).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 6, "blank line skipped, six responses: {text}");
+        assert_eq!(
+            lines.len(),
+            8,
+            "blank line skipped, eight responses: {text}"
+        );
         for line in &lines {
             protocol::parse_json(line).expect("responses are valid JSON");
         }
@@ -493,6 +900,75 @@ mod tests {
         assert!(text.contains("tpn_service_accepted_total"));
         assert!(text.contains("\"verb\":\"journal\""));
         assert!(text.contains("\"capacity\":4"));
+        // The v2 request's response leads with "v":2 and is otherwise
+        // byte-identical to the matching v1 response.
+        let v1 = lines
+            .iter()
+            .find(|l| l.starts_with("{\"id\":1,"))
+            .expect("v1 analyze response");
+        let v2 = lines
+            .iter()
+            .find(|l| l.starts_with("{\"v\":2,\"id\":6,"))
+            .expect("v2 analyze response");
+        assert_eq!(
+            v2.replace("{\"v\":2,\"id\":6,", "{\"id\":1,"),
+            **v1,
+            "v2 payload must match v1 byte-for-byte"
+        );
+        // The unknown version gets its typed rejection.
+        assert!(
+            text.contains("\"kind\":\"unsupported_version\""),
+            "got: {text}"
+        );
+    }
+
+    #[test]
+    fn poll_loop_multiplexes_tcp_connections_with_pipelined_requests() {
+        use std::io::BufReader;
+
+        let service = Arc::new(Service::start(
+            ServiceConfig::builder().workers(2).build().unwrap(),
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let loop_service = service.clone();
+        std::thread::spawn(move || {
+            let _ = serve_sockets(&loop_service, &[Listener::Tcp(listener)]);
+        });
+
+        fn client(addr: std::net::SocketAddr, offset: u64) -> Vec<u64> {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            // Pipeline several requests before reading anything back:
+            // the poll loop must interleave both connections.
+            let mut batch = String::new();
+            for i in 0..4u64 {
+                batch.push_str(&format!(
+                    "{{\"id\":{},\"verb\":\"analyze\",\"source\":\"do i from 2 to n {{ X[i] := X[i-1] + {}; }}\"}}\n",
+                    offset + i,
+                    offset + i,
+                ));
+            }
+            stream.write_all(batch.as_bytes()).unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut ids = Vec::new();
+            for _ in 0..4 {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                assert!(line.contains("\"ok\":true"), "response not ok: {line}");
+                let doc = protocol::parse_json(&line).unwrap();
+                match doc.get("id") {
+                    Some(protocol::JsonValue::Num(n)) => ids.push(*n as u64),
+                    other => panic!("response without id: {other:?}"),
+                }
+            }
+            ids.sort_unstable();
+            ids
+        }
+        let a = std::thread::spawn(move || client(addr, 100));
+        let b = client(addr, 200);
+        assert_eq!(a.join().unwrap(), vec![100, 101, 102, 103]);
+        assert_eq!(b, vec![200, 201, 202, 203]);
     }
 
     #[test]

@@ -29,7 +29,6 @@ use std::sync::Once;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
-use tpn::CompileOptions;
 use tpn_service::protocol::{Request, Verb};
 use tpn_service::{Service, ServiceConfig};
 
@@ -42,6 +41,10 @@ pub struct ChaosConfig {
     pub requests: u64,
     /// Worker threads of the service under test.
     pub workers: usize,
+    /// Also run the shard kill/restart phase: a service with a
+    /// persistent artifact store is torn down and restarted on the same
+    /// directory, and its warm cache must re-converge byte-identically.
+    pub restart: bool,
 }
 
 impl Default for ChaosConfig {
@@ -50,6 +53,7 @@ impl Default for ChaosConfig {
             seed: 0,
             requests: 120,
             workers: 4,
+            restart: true,
         }
     }
 }
@@ -82,6 +86,10 @@ pub struct ChaosReport {
     pub injected_panics: u64,
     /// Post-storm coherence probes, all byte-checked.
     pub coherence_probes: u64,
+    /// Kill/restart probes against the persistent store, byte-checked.
+    pub restart_probes: u64,
+    /// Restart probes served warm from the store-loaded cache.
+    pub warm_hits: u64,
     /// Every assertion failure; empty means the run passed.
     pub violations: Vec<String>,
 }
@@ -116,15 +124,9 @@ fn plan_request(id: u64, pool: &[String]) -> Request {
         (Verb::Storage, None),
     ];
     let (verb, depth) = verb_cycle[id as usize % verb_cycle.len()];
-    Request {
-        id,
-        verb,
-        source: pool[id as usize % pool.len()].clone(),
-        depth,
-        options: CompileOptions::new(),
-        deadline_ms: None,
-        target: None,
-    }
+    let mut request = Request::basic(id, verb, pool[id as usize % pool.len()].clone());
+    request.depth = depth;
+    request
 }
 
 /// Applies a planned fault to a clean request.
@@ -200,13 +202,17 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
         effective_deadlines: 0,
         injected_panics: 0,
         coherence_probes: 0,
+        restart_probes: 0,
+        warm_hits: 0,
         violations: Vec::new(),
     };
     let pool = source_pool();
-    let service_config = |workers: usize| ServiceConfig {
-        workers,
-        queue_capacity: config.requests.max(64) as usize,
-        ..ServiceConfig::default()
+    let service_config = |workers: usize| {
+        ServiceConfig::builder()
+            .workers(workers)
+            .queue(config.requests.max(64) as usize)
+            .build()
+            .expect("chaos service config")
     };
 
     // Fault-free reference run: the expected bytes for every request id.
@@ -324,15 +330,11 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
     // identical to the fault-free service's.
     for (i, source) in pool.iter().enumerate() {
         let probe = |service: &Service| {
-            service.call(Request {
-                id: 1_000_000 + i as u64,
-                verb: Verb::Analyze,
-                source: source.clone(),
-                depth: None,
-                options: CompileOptions::new(),
-                deadline_ms: None,
-                target: None,
-            })
+            service.call(Request::basic(
+                1_000_000 + i as u64,
+                Verb::Analyze,
+                source.clone(),
+            ))
         };
         match (probe(&chaos_service), probe(&reference_service)) {
             (Ok(chaos), Ok(reference)) => {
@@ -350,7 +352,103 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
         }
     }
 
+    if config.restart {
+        run_restart_phase(config, &pool, &mut report);
+    }
+
     report
+}
+
+/// The shard kill/restart phase: populate a store-backed service, tear
+/// it down (the in-process stand-in for `kill -9` of one shard — the
+/// store's torn-write crash safety is covered by its own tests),
+/// restart on the same directory, and require every re-probe to be a
+/// byte-identical warm hit served from the reloaded cache.
+fn run_restart_phase(config: &ChaosConfig, pool: &[String], report: &mut ChaosReport) {
+    // Concurrent chaos runs in one process (cargo test threads) must
+    // not share a store directory: a sequence number keeps each
+    // invocation's populate/teardown/restart cycle to itself.
+    static DIR_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "tpn-chaos-store-{}-{}-{}",
+        std::process::id(),
+        config.seed,
+        DIR_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store_config = || {
+        ServiceConfig::builder()
+            .workers(config.workers)
+            .queue(config.requests.max(64) as usize)
+            .store(&dir)
+            .build()
+            .expect("chaos store config")
+    };
+    let probe = |i: usize| {
+        let mut request = Request::basic(2_000_000 + i as u64, Verb::Schedule, pool[i].clone());
+        request.depth = None;
+        request
+    };
+    let outcome = (|| -> Result<(), String> {
+        let populate = Service::try_start(store_config())
+            .map_err(|e| format!("store-backed service failed to start: {e}"))?;
+        let mut expected = Vec::with_capacity(pool.len());
+        for i in 0..pool.len() {
+            let response = populate
+                .call(probe(i))
+                .map_err(|e| format!("store populate rejected source {i}: {e}"))?;
+            if !response.ok {
+                return Err(format!(
+                    "store populate failed on source {i}: {}",
+                    response.line
+                ));
+            }
+            expected.push(response.line);
+        }
+        drop(populate);
+        let revived = Service::try_start(store_config())
+            .map_err(|e| format!("restarted service failed to start: {e}"))?;
+        for (i, expected) in expected.iter().enumerate() {
+            let response = revived
+                .call(probe(i))
+                .map_err(|e| format!("restarted service rejected source {i}: {e}"))?;
+            report.restart_probes += 1;
+            if &response.line != expected {
+                return Err(format!(
+                    "restart diverged on source {i}:
+  before: {expected}
+  after:  {}",
+                    response.line
+                ));
+            }
+            if response.cache_hit {
+                report.warm_hits += 1;
+            }
+        }
+        let counters = revived.counters();
+        let store = counters
+            .store
+            .ok_or("restarted service reports no store counters")?;
+        if store.loaded < pool.len() as u64 {
+            return Err(format!(
+                "store warm-started only {} of {} entries",
+                store.loaded,
+                pool.len()
+            ));
+        }
+        if report.warm_hits != pool.len() as u64 {
+            return Err(format!(
+                "only {} of {} restart probes were warm hits",
+                report.warm_hits,
+                pool.len()
+            ));
+        }
+        Ok(())
+    })();
+    if let Err(violation) = outcome {
+        report.violations.push(violation);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[cfg(test)]
@@ -363,6 +461,7 @@ mod tests {
             seed: 0,
             requests: 80,
             workers: 4,
+            restart: true,
         });
         assert!(report.passed(), "{:#?}", report.violations);
         assert!(report.clean > 0);
@@ -370,6 +469,8 @@ mod tests {
         assert!(report.injected_deadlines > 0);
         assert!(report.injected_panics > 0);
         assert_eq!(report.coherence_probes, 8);
+        assert_eq!(report.restart_probes, 8);
+        assert_eq!(report.warm_hits, 8);
     }
 
     #[test]

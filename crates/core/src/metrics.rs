@@ -204,6 +204,23 @@ impl CacheCounters {
     }
 }
 
+/// Counters of one persistent artifact store: entries on disk, warm-start
+/// loads, spills, and the corrupt entries quarantined instead of served.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct StoreCounters {
+    /// Committed entries currently on disk.
+    pub entries: u64,
+    /// Entries loaded into the cache at warm-start.
+    pub loaded: u64,
+    /// Entries spilled to disk since boot.
+    pub spilled: u64,
+    /// Corrupt entries moved to the quarantine directory.
+    pub quarantined: u64,
+    /// Spill attempts that failed with an I/O error (the request still
+    /// succeeded; only persistence was lost).
+    pub spill_errors: u64,
+}
+
 /// Per-verb request counters of one compile service: how many requests
 /// of this protocol verb were admitted, answered successfully, and
 /// answered with an error (deadline, cancellation, panic, compile
@@ -236,6 +253,9 @@ pub struct ServiceCounters {
     pub completed: u64,
     /// Requests rejected with a typed `Overloaded` error at admission.
     pub rejected_overloaded: u64,
+    /// Requests rejected with a typed `RateLimited` error at admission
+    /// (per-client token bucket or in-flight cap).
+    pub rate_limited: u64,
     /// Requests that failed their wall-clock deadline.
     pub deadline_expired: u64,
     /// Requests cancelled cooperatively before completing.
@@ -259,6 +279,9 @@ pub struct ServiceCounters {
     pub per_verb: Vec<VerbCounters>,
     /// The sharded result cache's counters.
     pub cache: CacheCounters,
+    /// The persistent artifact store's counters; `None` when the service
+    /// runs without a store.
+    pub store: Option<StoreCounters>,
 }
 
 /// Worker-pool statistics for one batched run (see
@@ -466,6 +489,13 @@ pub fn prometheus_service(c: &ServiceCounters) -> String {
     );
     prom_scalar(
         &mut out,
+        "tpn_service_rate_limited_total",
+        "counter",
+        "Requests rejected with a typed RateLimited error at admission.",
+        c.rate_limited,
+    );
+    prom_scalar(
+        &mut out,
         "tpn_service_deadline_expired_total",
         "counter",
         "Requests that failed their wall-clock deadline.",
@@ -556,6 +586,43 @@ pub fn prometheus_service(c: &ServiceCounters) -> String {
         "Configured result cache weight capacity.",
         c.cache.capacity,
     );
+    if let Some(store) = &c.store {
+        prom_scalar(
+            &mut out,
+            "tpn_store_entries",
+            "gauge",
+            "Committed artifact-store entries on disk.",
+            store.entries,
+        );
+        prom_scalar(
+            &mut out,
+            "tpn_store_loaded_total",
+            "counter",
+            "Artifact-store entries loaded into the cache at warm-start.",
+            store.loaded,
+        );
+        prom_scalar(
+            &mut out,
+            "tpn_store_spilled_total",
+            "counter",
+            "Artifact-store entries spilled to disk since boot.",
+            store.spilled,
+        );
+        prom_scalar(
+            &mut out,
+            "tpn_store_quarantined_total",
+            "counter",
+            "Corrupt artifact-store entries quarantined instead of served.",
+            store.quarantined,
+        );
+        prom_scalar(
+            &mut out,
+            "tpn_store_spill_errors_total",
+            "counter",
+            "Artifact-store spill attempts that failed with an I/O error.",
+            store.spill_errors,
+        );
+    }
     prom_histogram(
         &mut out,
         "tpn_request_duration_micros",
@@ -849,6 +916,7 @@ mod tests {
             accepted: 10,
             completed: 8,
             rejected_overloaded: 1,
+            rate_limited: 2,
             deadline_expired: 1,
             cancelled: 0,
             panicked: 0,
@@ -871,10 +939,21 @@ mod tests {
                 weight: 5,
                 capacity: 100,
             },
+            store: Some(StoreCounters {
+                entries: 5,
+                loaded: 3,
+                spilled: 2,
+                quarantined: 1,
+                spill_errors: 0,
+            }),
         };
         let text = prometheus_service(&c);
         assert!(text.contains("# TYPE tpn_service_accepted_total counter"));
         assert!(text.contains("tpn_service_accepted_total 10"));
+        assert!(text.contains("tpn_service_rate_limited_total 2"));
+        assert!(text.contains("tpn_store_entries 5"));
+        assert!(text.contains("tpn_store_loaded_total 3"));
+        assert!(text.contains("tpn_store_quarantined_total 1"));
         assert!(text
             .contains("tpn_service_verb_requests_total{verb=\"analyze\",outcome=\"completed\"} 8"));
         assert!(text.contains("# TYPE tpn_request_duration_micros histogram"));

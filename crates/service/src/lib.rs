@@ -33,44 +33,59 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod limiter;
 pub mod protocol;
 mod queue;
+pub mod store;
 
+pub use limiter::{RateLimit, RateLimited};
 pub use queue::Overloaded;
 
 use std::collections::{HashSet, VecDeque};
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cache::{default_weigher, ShardedCache, Weigher};
-use protocol::{error_line, ok_line, Request, Verb};
+use limiter::{ClientLimiter, InFlightGuard};
+use protocol::{error_envelope, ok_envelope, Request, Verb};
 use serde::Serialize;
+use store::ArtifactStore;
 use tpn::metrics::{latency_histogram, percentile_nanos, ServiceCounters, VerbCounters};
 use tpn::CompiledLoop;
 
-/// Tuning knobs for one [`Service`].
-#[derive(Clone, Copy, Debug)]
+/// Tuning knobs for one [`Service`], built with
+/// [`ServiceConfig::builder`]:
+///
+/// ```
+/// use tpn_service::ServiceConfig;
+///
+/// let config = ServiceConfig::builder()
+///     .workers(2)
+///     .queue(128)
+///     .build()
+///     .unwrap();
+/// # let _ = config;
+/// ```
+///
+/// `Default` matches the historical knobs: `default_threads()` workers,
+/// a 64-deep queue, a 4096-weight cache over 8 shards, no deadline, no
+/// journal, no store, no rate limit.
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
-    /// Worker threads draining the admission queue.
-    pub workers: usize,
-    /// Admission queue capacity; pushes beyond it get [`Overloaded`].
-    pub queue_capacity: usize,
-    /// Total result-cache weight across all shards.
-    pub cache_capacity: u64,
-    /// Result-cache shards (locks scale with this).
-    pub cache_shards: usize,
-    /// Weighs a cached loop; defaults to its node count.
-    pub weigher: Weigher,
-    /// Deadline applied to requests that do not carry their own.
-    pub default_deadline: Option<Duration>,
-    /// Request-journal ring capacity; `0` (the default) disables
-    /// journalling entirely — no events, no per-request audit work, no
-    /// seen-key tracking.
-    pub journal_capacity: usize,
+    workers: usize,
+    queue_capacity: usize,
+    cache_capacity: u64,
+    cache_shards: usize,
+    weigher: Weigher,
+    default_deadline: Option<Duration>,
+    journal_capacity: usize,
+    store_path: Option<PathBuf>,
+    rate_limit: Option<RateLimit>,
 }
 
 impl Default for ServiceConfig {
@@ -83,9 +98,178 @@ impl Default for ServiceConfig {
             weigher: default_weigher,
             default_deadline: None,
             journal_capacity: 0,
+            store_path: None,
+            rate_limit: None,
         }
     }
 }
+
+impl ServiceConfig {
+    /// A builder over the defaults.
+    pub fn builder() -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            config: ServiceConfig::default(),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The configured admission-queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// The configured store root, when persistence is on.
+    pub fn store_path(&self) -> Option<&std::path::Path> {
+        self.store_path.as_deref()
+    }
+}
+
+/// An invalid knob combination, reported by
+/// [`ServiceConfigBuilder::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid service config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builds a [`ServiceConfig`] fluent-style; validation happens once, at
+/// [`build`](Self::build).
+#[derive(Clone, Debug)]
+pub struct ServiceConfigBuilder {
+    config: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Worker threads draining the admission queue (must be ≥ 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Admission-queue capacity; pushes beyond it get [`Overloaded`]
+    /// (must be ≥ 1).
+    #[must_use]
+    pub fn queue(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Total result-cache weight across all shards (must be ≥ 1).
+    #[must_use]
+    pub fn cache(mut self, capacity: u64) -> Self {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// Result-cache shards — locks scale with this (must be ≥ 1).
+    #[must_use]
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.config.cache_shards = shards;
+        self
+    }
+
+    /// Weighs a cached loop; defaults to its node count.
+    #[must_use]
+    pub fn weigher(mut self, weigher: Weigher) -> Self {
+        self.config.weigher = weigher;
+        self
+    }
+
+    /// Deadline applied to requests that do not carry their own.
+    #[must_use]
+    pub fn default_deadline(mut self, deadline: Duration) -> Self {
+        self.config.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Request-journal ring capacity; `0` (the default) disables
+    /// journalling entirely.
+    #[must_use]
+    pub fn journal(mut self, capacity: usize) -> Self {
+        self.config.journal_capacity = capacity;
+        self
+    }
+
+    /// Persists compiled artifacts under this directory and warm-starts
+    /// the cache from it on boot.
+    #[must_use]
+    pub fn store(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.store_path = Some(path.into());
+        self
+    }
+
+    /// Enforces per-client fairness: a token bucket plus an in-flight
+    /// cap per client id.
+    #[must_use]
+    pub fn rate_limit(mut self, limit: RateLimit) -> Self {
+        self.config.rate_limit = Some(limit);
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the first invalid knob.
+    pub fn build(self) -> Result<ServiceConfig, ConfigError> {
+        let c = &self.config;
+        if c.workers == 0 {
+            return Err(ConfigError("workers must be >= 1".into()));
+        }
+        if c.queue_capacity == 0 {
+            return Err(ConfigError("queue capacity must be >= 1".into()));
+        }
+        if c.cache_capacity == 0 {
+            return Err(ConfigError("cache capacity must be >= 1".into()));
+        }
+        if c.cache_shards == 0 {
+            return Err(ConfigError("cache shards must be >= 1".into()));
+        }
+        if let Some(limit) = &c.rate_limit {
+            if limit.per_second == 0 {
+                return Err(ConfigError("rate limit per_second must be >= 1".into()));
+            }
+            if limit.burst == 0 {
+                return Err(ConfigError("rate limit burst must be >= 1".into()));
+            }
+            if limit.max_in_flight == 0 {
+                return Err(ConfigError("rate limit max_in_flight must be >= 1".into()));
+            }
+        }
+        Ok(self.config)
+    }
+}
+
+/// A typed admission rejection: nothing was enqueued either way.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Rejected {
+    /// The admission queue is full (global backpressure).
+    Overloaded(Overloaded),
+    /// This client's token bucket is empty or its in-flight cap is
+    /// reached (per-client fairness).
+    RateLimited(RateLimited),
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::Overloaded(e) => e.fmt(f),
+            Rejected::RateLimited(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
 
 // ---------------------------------------------------------------------------
 // The structured request journal.
@@ -274,6 +458,9 @@ struct Job {
     cancel: Arc<AtomicBool>,
     admitted: Instant,
     deadline: Option<Instant>,
+    /// The client's in-flight slot; released when the job is dropped
+    /// (after the response slot is filled).
+    _in_flight: Option<InFlightGuard>,
 }
 
 #[derive(Default)]
@@ -287,6 +474,7 @@ struct Counters {
     accepted: AtomicU64,
     completed: AtomicU64,
     rejected_overloaded: AtomicU64,
+    rate_limited: AtomicU64,
     deadline_expired: AtomicU64,
     cancelled: AtomicU64,
     panicked: AtomicU64,
@@ -304,6 +492,7 @@ impl Counters {
             accepted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected_overloaded: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
@@ -324,6 +513,8 @@ struct Inner {
     workers: usize,
     default_deadline: Option<Duration>,
     journal: Option<Journal>,
+    store: Option<ArtifactStore>,
+    limiter: Option<ClientLimiter>,
 }
 
 /// The compile service: a bounded queue, a worker pool, and a sharded
@@ -335,15 +526,46 @@ pub struct Service {
 }
 
 impl Service {
-    /// Starts `config.workers` worker threads.
+    /// Starts `config.workers` worker threads, warm-starting the cache
+    /// from the persistent store when one is configured.
+    ///
+    /// # Panics
+    ///
+    /// When the configured store directory cannot be opened; use
+    /// [`try_start`](Self::try_start) to handle that as a result.
     pub fn start(config: ServiceConfig) -> Self {
+        Self::try_start(config).expect("open artifact store")
+    }
+
+    /// [`start`](Self::start), reporting store I/O errors instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening the store layout (services without a store
+    /// are infallible).
+    pub fn try_start(config: ServiceConfig) -> std::io::Result<Self> {
+        let store = match &config.store_path {
+            Some(path) => Some(ArtifactStore::open(path)?),
+            None => None,
+        };
+        let cache = ShardedCache::new(config.cache_shards, config.cache_capacity, config.weigher);
+        if let Some(store) = &store {
+            // Warm start: committed entries re-enter the LRU oldest
+            // first, so the most recently spilled are the most recent.
+            for (key, lp) in store.load() {
+                cache.insert(key, lp);
+            }
+        }
         let inner = Arc::new(Inner {
             queue: queue::BoundedQueue::new(config.queue_capacity),
-            cache: ShardedCache::new(config.cache_shards, config.cache_capacity, config.weigher),
+            cache,
             counters: Counters::new(),
             workers: config.workers.max(1),
             default_deadline: config.default_deadline,
             journal: (config.journal_capacity > 0).then(|| Journal::new(config.journal_capacity)),
+            store,
+            limiter: config.rate_limit.map(ClientLimiter::new),
         });
         let threads = (0..config.workers.max(1))
             .map(|i| {
@@ -354,16 +576,54 @@ impl Service {
                     .expect("spawn service worker")
             })
             .collect();
-        Service { inner, threads }
+        Ok(Service { inner, threads })
+    }
+
+    /// Records an admission rejection in the journal.
+    fn journal_rejection(&self, request: &Request, outcome: &str) {
+        if let Some(journal) = &self.inner.journal {
+            journal.record(JournalEvent {
+                seq: 0,
+                id: request.id,
+                verb: request.verb.as_str().into(),
+                source_digest: format!(
+                    "{:016x}",
+                    protocol::cache_key(&request.source, &request.options)
+                ),
+                cache: "none".into(),
+                engine: None,
+                engine_reason: None,
+                queue_wait_micros: 0,
+                compile_micros: 0,
+                build_micros: 0,
+                total_micros: 0,
+                outcome: outcome.into(),
+            });
+        }
     }
 
     /// Submits a request for asynchronous execution.
     ///
     /// # Errors
     ///
-    /// [`Overloaded`] when the admission queue is full — the typed
-    /// backpressure signal; nothing was enqueued.
-    pub fn submit(&self, request: Request) -> Result<Ticket, Overloaded> {
+    /// [`Rejected::Overloaded`] when the admission queue is full,
+    /// [`Rejected::RateLimited`] when the client's token bucket is empty
+    /// or its in-flight cap is reached; nothing was enqueued either way.
+    pub fn submit(&self, request: Request) -> Result<Ticket, Rejected> {
+        let in_flight = match &self.inner.limiter {
+            Some(limiter) => match limiter.acquire(request.client.as_deref().unwrap_or_default()) {
+                Ok(guard) => Some(guard),
+                Err(limited) => {
+                    self.inner
+                        .counters
+                        .rate_limited
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.journal_rejection(&request, "rate_limited");
+                    return Err(Rejected::RateLimited(limited));
+                }
+            },
+            None => None,
+        };
         let slot = Arc::new(Slot {
             response: Mutex::new(None),
             ready: Condvar::new(),
@@ -381,6 +641,7 @@ impl Service {
             admitted: now,
             deadline,
             request,
+            _in_flight: in_flight,
         };
         let id = job.request.id;
         let verb = job.request.verb;
@@ -399,26 +660,8 @@ impl Service {
                     .counters
                     .rejected_overloaded
                     .fetch_add(1, Ordering::Relaxed);
-                if let Some(journal) = &self.inner.journal {
-                    journal.record(JournalEvent {
-                        seq: 0,
-                        id,
-                        verb: verb.as_str().into(),
-                        source_digest: format!(
-                            "{:016x}",
-                            protocol::cache_key(&job.request.source, &job.request.options)
-                        ),
-                        cache: "none".into(),
-                        engine: None,
-                        engine_reason: None,
-                        queue_wait_micros: 0,
-                        compile_micros: 0,
-                        build_micros: 0,
-                        total_micros: 0,
-                        outcome: "overloaded".into(),
-                    });
-                }
-                Err(overloaded)
+                self.journal_rejection(&job.request, "overloaded");
+                Err(Rejected::Overloaded(overloaded))
             }
         }
     }
@@ -427,8 +670,8 @@ impl Service {
     ///
     /// # Errors
     ///
-    /// [`Overloaded`] when the queue rejects the request.
-    pub fn call(&self, request: Request) -> Result<Response, Overloaded> {
+    /// [`Rejected`] when admission turns the request away.
+    pub fn call(&self, request: Request) -> Result<Response, Rejected> {
         self.submit(request).map(Ticket::wait)
     }
 
@@ -459,6 +702,7 @@ impl Service {
             accepted: c.accepted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
             rejected_overloaded: c.rejected_overloaded.load(Ordering::Relaxed),
+            rate_limited: c.rate_limited.load(Ordering::Relaxed),
             deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
             cancelled: c.cancelled.load(Ordering::Relaxed),
             panicked: c.panicked.load(Ordering::Relaxed),
@@ -469,6 +713,7 @@ impl Service {
             latency: latency_histogram(&latencies),
             per_verb,
             cache: self.inner.cache.counters(),
+            store: self.inner.store.as_ref().map(ArtifactStore::counters),
         }
     }
 
@@ -479,7 +724,7 @@ impl Service {
     }
 
     /// The last-N journal events, oldest first; `None` when journalling
-    /// is disabled ([`ServiceConfig::journal_capacity`] was `0`).
+    /// is disabled ([`ServiceConfigBuilder::journal`] was never set).
     pub fn journal_events(&self) -> Option<Vec<JournalEvent>> {
         self.inner.journal.as_ref().map(|j| {
             let state = j.state.lock().expect("journal lock");
@@ -594,11 +839,13 @@ fn worker_loop(inner: &Inner) {
                     ));
                 }
                 Exec::failed(
-                    error_line(
+                    error_envelope(
+                        job.request.v,
                         id,
                         Some(verb),
                         "panic",
                         &tpn::batch::panic_message(&*payload),
+                        None,
                         None,
                     ),
                     "panicked",
@@ -655,11 +902,13 @@ fn execute(inner: &Inner, job: &Job) -> Exec {
     if verb == Verb::Cancel {
         // The serve front-end resolves cancel against its ticket table;
         // a cancel that reaches a worker targets an unknown request.
-        let line = error_line(
+        let line = error_envelope(
+            req.v,
             id,
             Some(verb),
             "bad_request",
             "cancel target is not in flight",
+            None,
             None,
         );
         return Exec::failed(line, "bad_request");
@@ -670,7 +919,8 @@ fn execute(inner: &Inner, job: &Job) -> Exec {
     ) {
         // These read service state the worker pool cannot see; the
         // serve front-end answers them without queueing.
-        let line = error_line(
+        let line = error_envelope(
+            req.v,
             id,
             Some(verb),
             "bad_request",
@@ -678,6 +928,7 @@ fn execute(inner: &Inner, job: &Job) -> Exec {
                 "verb {:?} is served by the serve front-end, not the worker pool",
                 verb.as_str()
             ),
+            None,
             None,
         );
         return Exec::failed(line, "bad_request");
@@ -698,10 +949,17 @@ fn execute(inner: &Inner, job: &Job) -> Exec {
             Ok(lp) => {
                 let lp = Arc::new(lp);
                 inner.cache.insert(key, lp.clone());
+                if let Some(store) = &inner.store {
+                    // Best-effort persistence: a spill failure only
+                    // bumps the store's error counter; the in-memory
+                    // response already succeeded.
+                    let _ = store.spill(key, &lp, &req.options);
+                }
                 (lp, false)
             }
             Err(e) => {
-                let line = error_line(id, Some(verb), "compile", &e.to_string(), None);
+                let line =
+                    error_envelope(req.v, id, Some(verb), "compile", &e.to_string(), None, None);
                 let mut exec = Exec::failed(line, "compile");
                 exec.tier = tier;
                 exec.compile_micros = duration_micros(compile_start.elapsed());
@@ -769,10 +1027,11 @@ fn execute(inner: &Inner, job: &Job) -> Exec {
     match payload {
         Ok(json) => {
             exec.ok = true;
-            exec.line = ok_line(id, verb, &json);
+            exec.line = ok_envelope(req.v, id, verb, &json);
         }
         Err(e) => {
-            exec.line = error_line(id, Some(verb), "compile", &e.to_string(), None);
+            exec.line =
+                error_envelope(req.v, id, Some(verb), "compile", &e.to_string(), None, None);
             exec.outcome = "compile";
         }
     }
@@ -782,12 +1041,21 @@ fn execute(inner: &Inner, job: &Job) -> Exec {
 /// Checks the job's cancel flag and wall-clock deadline; returns the
 /// error response line and the journal outcome when either fired.
 fn interruption(inner: &Inner, job: &Job) -> Option<(String, &'static str)> {
+    let v = job.request.v;
     let id = job.request.id;
     let verb = job.request.verb;
     if job.cancel.load(Ordering::Relaxed) {
         inner.counters.cancelled.fetch_add(1, Ordering::Relaxed);
         return Some((
-            error_line(id, Some(verb), "cancelled", "request cancelled", None),
+            error_envelope(
+                v,
+                id,
+                Some(verb),
+                "cancelled",
+                "request cancelled",
+                None,
+                None,
+            ),
             "cancelled",
         ));
     }
@@ -798,11 +1066,13 @@ fn interruption(inner: &Inner, job: &Job) -> Option<(String, &'static str)> {
                 .deadline_expired
                 .fetch_add(1, Ordering::Relaxed);
             return Some((
-                error_line(
+                error_envelope(
+                    v,
                     id,
                     Some(verb),
                     "deadline",
                     "wall-clock deadline expired",
+                    None,
                     None,
                 ),
                 "deadline",
@@ -828,8 +1098,9 @@ fn front_end_counts(service: &Service, verb: Verb, ok: bool) {
 }
 
 /// Handles the `metrics` verb against a running service: never queued
-/// (it must succeed under overload) and never cached.
-pub fn metrics_response(service: &Service, id: u64) -> Response {
+/// (it must succeed under overload) and never cached. `v` picks the
+/// response envelope version.
+pub fn metrics_response_v(service: &Service, id: u64, v: u8) -> Response {
     front_end_counts(service, Verb::Metrics, true);
     let payload = to_json(&service.counters());
     Response {
@@ -837,14 +1108,19 @@ pub fn metrics_response(service: &Service, id: u64) -> Response {
         verb: Verb::Metrics,
         ok: true,
         cache_hit: false,
-        line: ok_line(id, Verb::Metrics, &payload),
+        line: ok_envelope(v, id, Verb::Metrics, &payload),
     }
+}
+
+/// [`metrics_response_v`] in the v1 envelope.
+pub fn metrics_response(service: &Service, id: u64) -> Response {
+    metrics_response_v(service, id, 1)
 }
 
 /// Handles the `metrics_prometheus` verb: the same counters snapshot as
 /// [`metrics_response`], rendered as a Prometheus text exposition and
 /// wrapped in the usual NDJSON envelope.
-pub fn metrics_prometheus_response(service: &Service, id: u64) -> Response {
+pub fn metrics_prometheus_response_v(service: &Service, id: u64, v: u8) -> Response {
     #[derive(Serialize)]
     struct PrometheusJson {
         content_type: &'static str,
@@ -860,13 +1136,18 @@ pub fn metrics_prometheus_response(service: &Service, id: u64) -> Response {
         verb: Verb::MetricsPrometheus,
         ok: true,
         cache_hit: false,
-        line: ok_line(id, Verb::MetricsPrometheus, &payload),
+        line: ok_envelope(v, id, Verb::MetricsPrometheus, &payload),
     }
+}
+
+/// [`metrics_prometheus_response_v`] in the v1 envelope.
+pub fn metrics_prometheus_response(service: &Service, id: u64) -> Response {
+    metrics_prometheus_response_v(service, id, 1)
 }
 
 /// Handles the `journal` verb: the last-N journal events, oldest first.
 /// Answers `bad_request` when journalling is disabled.
-pub fn journal_response(service: &Service, id: u64) -> Response {
+pub fn journal_response_v(service: &Service, id: u64, v: u8) -> Response {
     #[derive(Serialize)]
     struct JournalJson {
         capacity: usize,
@@ -884,7 +1165,7 @@ pub fn journal_response(service: &Service, id: u64) -> Response {
                 verb: Verb::Journal,
                 ok: true,
                 cache_hit: false,
-                line: ok_line(id, Verb::Journal, &payload),
+                line: ok_envelope(v, id, Verb::Journal, &payload),
             }
         }
         None => {
@@ -894,16 +1175,23 @@ pub fn journal_response(service: &Service, id: u64) -> Response {
                 verb: Verb::Journal,
                 ok: false,
                 cache_hit: false,
-                line: error_line(
+                line: error_envelope(
+                    v,
                     id,
                     Some(Verb::Journal),
                     "bad_request",
                     "journalling is disabled (start the service with journal_capacity > 0)",
                     None,
+                    None,
                 ),
             }
         }
     }
+}
+
+/// [`journal_response_v`] in the v1 envelope.
+pub fn journal_response(service: &Service, id: u64) -> Response {
+    journal_response_v(service, id, 1)
 }
 
 #[cfg(test)]
@@ -913,23 +1201,16 @@ mod tests {
     const SOURCE: &str = "do i from 2 to n { X[i] := X[i-1] + 1; }";
 
     fn request(id: u64, verb: Verb) -> Request {
-        Request {
-            id,
-            verb,
-            source: SOURCE.into(),
-            depth: None,
-            options: tpn::CompileOptions::new(),
-            deadline_ms: None,
-            target: None,
-        }
+        Request::basic(id, verb, SOURCE)
+    }
+
+    fn workers(n: usize) -> ServiceConfig {
+        ServiceConfig::builder().workers(n).build().unwrap()
     }
 
     #[test]
     fn analyze_twice_hits_cache_with_identical_bytes() {
-        let service = Service::start(ServiceConfig {
-            workers: 2,
-            ..ServiceConfig::default()
-        });
+        let service = Service::start(workers(2));
         let first = service.call(request(1, Verb::Analyze)).unwrap();
         let second = service.call(request(2, Verb::Analyze)).unwrap();
         assert!(first.ok && second.ok);
@@ -955,10 +1236,7 @@ mod tests {
 
     #[test]
     fn zero_deadline_expires_before_compiling() {
-        let service = Service::start(ServiceConfig {
-            workers: 1,
-            ..ServiceConfig::default()
-        });
+        let service = Service::start(workers(1));
         let mut req = request(1, Verb::Schedule);
         req.deadline_ms = Some(0);
         let response = service.call(req).unwrap();
@@ -969,10 +1247,7 @@ mod tests {
 
     #[test]
     fn explain_verb_round_trips_and_self_validates() {
-        let service = Service::start(ServiceConfig {
-            workers: 1,
-            ..ServiceConfig::default()
-        });
+        let service = Service::start(workers(1));
         let first = service.call(request(1, Verb::Explain)).unwrap();
         assert!(first.ok, "{}", first.line);
         assert!(first.line.contains("\"validated\":true"));
@@ -983,10 +1258,7 @@ mod tests {
 
     #[test]
     fn per_verb_counters_split_outcomes_in_wire_order() {
-        let service = Service::start(ServiceConfig {
-            workers: 1,
-            ..ServiceConfig::default()
-        });
+        let service = Service::start(workers(1));
         assert!(service.call(request(1, Verb::Analyze)).unwrap().ok);
         assert!(service.call(request(2, Verb::Analyze)).unwrap().ok);
         let mut bad = request(3, Verb::Analyze);
@@ -1020,11 +1292,13 @@ mod tests {
                 Ok(())
             }
         }
-        let service = Service::start(ServiceConfig {
-            workers: 1,
-            journal_capacity: 2,
-            ..ServiceConfig::default()
-        });
+        let service = Service::start(
+            ServiceConfig::builder()
+                .workers(1)
+                .journal(2)
+                .build()
+                .unwrap(),
+        );
         let sink = Arc::new(Mutex::new(Vec::new()));
         assert!(service.set_journal_sink(Box::new(SharedSink(sink.clone()))));
 
@@ -1105,10 +1379,7 @@ mod tests {
 
     #[test]
     fn panicking_request_gets_panic_response_and_pool_survives() {
-        let service = Service::start(ServiceConfig {
-            workers: 1,
-            ..ServiceConfig::default()
-        });
+        let service = Service::start(workers(1));
         let mut bad = request(1, Verb::Scp);
         bad.depth = Some(0); // CompiledLoop::scp panics at depth 0.
         let response = service.call(bad).unwrap();

@@ -1,0 +1,181 @@
+//! Per-client fairness: a deterministic token-bucket rate limiter plus a
+//! per-client in-flight cap, keyed by the request envelope's client id.
+//!
+//! One hot client cannot starve the bounded admission queue: its bucket
+//! drains, it gets a typed [`RateLimited`] rejection with a computed
+//! `retry_after_ms`, and other clients' buckets are untouched. Buckets
+//! refill continuously at `per_second` tokens per second up to `burst`.
+//!
+//! Time is injectable — [`ClientLimiter::acquire_at`] takes an explicit
+//! microsecond clock so refill arithmetic is exactly testable; the
+//! production path ([`ClientLimiter::acquire`]) feeds it a monotonic
+//! elapsed-since-boot clock.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Per-client limits, applied independently to every client id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Sustained request rate, tokens per second.
+    pub per_second: u64,
+    /// Bucket capacity: the largest burst admitted from a full bucket.
+    pub burst: u64,
+    /// Maximum requests one client may have in flight at once.
+    pub max_in_flight: usize,
+}
+
+/// The typed rejection: this client must wait `retry_after_ms` before
+/// the bucket holds a whole token again (or an in-flight slot frees).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RateLimited {
+    /// The rejected client id.
+    pub client: String,
+    /// Milliseconds until a retry can succeed (at least 1).
+    pub retry_after_ms: u64,
+    /// `"token bucket empty"` or `"in-flight cap reached"`.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for RateLimited {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "client {:?} rate limited ({}); retry after {} ms",
+            self.client, self.reason, self.retry_after_ms
+        )
+    }
+}
+
+impl std::error::Error for RateLimited {}
+
+/// Token balances are tracked in micro-tokens so refill stays in integer
+/// arithmetic: one request costs `TOKEN`, and a bucket refills at
+/// `per_second` micro-tokens per microsecond.
+const TOKEN: u64 = 1_000_000;
+
+struct Bucket {
+    token_micros: u64,
+    last_micros: u64,
+    in_flight: usize,
+}
+
+type Buckets = Arc<Mutex<HashMap<String, Bucket>>>;
+
+/// The per-client limiter: one token bucket and in-flight count per
+/// client id.
+pub struct ClientLimiter {
+    limit: RateLimit,
+    epoch: Instant,
+    buckets: Buckets,
+}
+
+/// An admitted request's in-flight slot; dropping it (when the response
+/// is filled) frees the slot.
+pub struct InFlightGuard {
+    buckets: Buckets,
+    client: String,
+}
+
+impl fmt::Debug for InFlightGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InFlightGuard")
+            .field("client", &self.client)
+            .finish()
+    }
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        if let Some(bucket) = self
+            .buckets
+            .lock()
+            .expect("limiter lock")
+            .get_mut(&self.client)
+        {
+            bucket.in_flight = bucket.in_flight.saturating_sub(1);
+        }
+    }
+}
+
+impl ClientLimiter {
+    /// A limiter enforcing `limit` per client id.
+    pub fn new(limit: RateLimit) -> ClientLimiter {
+        ClientLimiter {
+            limit,
+            epoch: Instant::now(),
+            buckets: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The configured limits.
+    pub fn limit(&self) -> RateLimit {
+        self.limit
+    }
+
+    /// Tries to admit one request for `client` now.
+    ///
+    /// # Errors
+    ///
+    /// [`RateLimited`] when the client's bucket lacks a whole token or
+    /// its in-flight cap is reached.
+    pub fn acquire(&self, client: &str) -> Result<InFlightGuard, RateLimited> {
+        let now = self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.acquire_at(client, now)
+    }
+
+    /// [`acquire`](Self::acquire) against an explicit microsecond clock
+    /// (monotone per client; a stale `now` refills nothing).
+    ///
+    /// # Errors
+    ///
+    /// [`RateLimited`] as for [`acquire`](Self::acquire).
+    pub fn acquire_at(&self, client: &str, now_micros: u64) -> Result<InFlightGuard, RateLimited> {
+        let mut buckets = self.buckets.lock().expect("limiter lock");
+        let full = self.limit.burst.saturating_mul(TOKEN);
+        let bucket = buckets.entry(client.to_string()).or_insert(Bucket {
+            token_micros: full,
+            last_micros: now_micros,
+            in_flight: 0,
+        });
+        let elapsed = now_micros.saturating_sub(bucket.last_micros);
+        bucket.last_micros = bucket.last_micros.max(now_micros);
+        bucket.token_micros = bucket
+            .token_micros
+            .saturating_add(elapsed.saturating_mul(self.limit.per_second))
+            .min(full);
+        if bucket.in_flight >= self.limit.max_in_flight {
+            return Err(RateLimited {
+                client: client.into(),
+                retry_after_ms: 1,
+                reason: "in-flight cap reached",
+            });
+        }
+        if bucket.token_micros < TOKEN {
+            let deficit = TOKEN - bucket.token_micros;
+            let retry_micros = deficit.div_ceil(self.limit.per_second.max(1));
+            return Err(RateLimited {
+                client: client.into(),
+                retry_after_ms: retry_micros.div_ceil(1_000).max(1),
+                reason: "token bucket empty",
+            });
+        }
+        bucket.token_micros -= TOKEN;
+        bucket.in_flight += 1;
+        Ok(InFlightGuard {
+            buckets: self.buckets.clone(),
+            client: client.to_string(),
+        })
+    }
+
+    /// This client's current in-flight count (test observability).
+    pub fn in_flight(&self, client: &str) -> usize {
+        self.buckets
+            .lock()
+            .expect("limiter lock")
+            .get(client)
+            .map_or(0, |b| b.in_flight)
+    }
+}

@@ -38,8 +38,27 @@
 //! ```
 //!
 //! Error kinds: `overloaded` (typed backpressure, carries
-//! `queue_depth`), `deadline`, `cancelled`, `panic`, `compile`,
-//! `bad_request`.
+//! `queue_depth`), `rate_limited` (per-client fairness, carries
+//! `retry_after_ms`), `deadline`, `cancelled`, `panic`, `compile`,
+//! `bad_request`, `unsupported_version`.
+//!
+//! ## The v2 envelope
+//!
+//! A request whose top level carries `"v":2` uses the versioned
+//! envelope: correlation and routing fields (`id`, `verb`, `client`)
+//! stay at the top level and everything verb-specific moves into
+//! `body`:
+//!
+//! ```json
+//! {"v":2,"id":7,"verb":"schedule","client":"ci-bot",
+//!  "body":{"source":"do i ...","depth":2,"options":{"node_time":3}}}
+//! ```
+//!
+//! Responses echo the version: `{"v":2,"id":7,"ok":true,...}`. A
+//! request without `"v"` is a v1 request and gets the exact v1 response
+//! bytes; any other version gets a typed `unsupported_version` error.
+//! `client` keys the per-client fairness limiter (absent ⇒ the
+//! anonymous bucket).
 
 use serde::Serialize;
 use tpn::petri::rational::Ratio;
@@ -181,10 +200,16 @@ impl Verb {
 /// One parsed request line.
 #[derive(Clone, Debug)]
 pub struct Request {
+    /// The envelope version this request arrived under (1 or 2);
+    /// responses are rendered in the same version.
+    pub v: u8,
     /// Client-chosen correlation id, echoed on the response.
     pub id: u64,
     /// What to do.
     pub verb: Verb,
+    /// The client id keying per-client fairness (v2 envelope;
+    /// `None` ⇒ the anonymous bucket).
+    pub client: Option<String>,
     /// The loop source (empty for `metrics` / `cancel`).
     pub source: String,
     /// SCP depth: required for `scp`, optional for
@@ -198,16 +223,89 @@ pub struct Request {
     pub target: Option<u64>,
 }
 
-/// Parses one NDJSON request line.
+impl Request {
+    /// A v1 request with defaulted optional fields — the in-process
+    /// construction path (tests, benches, the chaos harness).
+    pub fn basic(id: u64, verb: Verb, source: impl Into<String>) -> Request {
+        Request {
+            v: 1,
+            id,
+            verb,
+            client: None,
+            source: source.into(),
+            depth: None,
+            options: CompileOptions::new(),
+            deadline_ms: None,
+            target: None,
+        }
+    }
+}
+
+/// Why a request line failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line carried a `"v"` this server does not speak; the serve
+    /// layer answers with a typed `unsupported_version` error. The `id`
+    /// is echoed when the line carried a usable one.
+    UnsupportedVersion {
+        /// The request's correlation id, when present.
+        id: Option<u64>,
+        /// The version the client asked for.
+        v: u64,
+    },
+    /// Anything else — invalid JSON, a missing or mistyped field; the
+    /// serve layer answers `bad_request` with the message.
+    Bad(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnsupportedVersion { v, .. } => {
+                write!(
+                    f,
+                    "unsupported envelope version {v} (this server speaks 1 and 2)"
+                )
+            }
+            ParseError::Bad(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<String> for ParseError {
+    fn from(message: String) -> ParseError {
+        ParseError::Bad(message)
+    }
+}
+
+impl From<&str> for ParseError {
+    fn from(message: &str) -> ParseError {
+        ParseError::Bad(message.into())
+    }
+}
+
+/// Parses one NDJSON request line (either envelope version).
 ///
 /// # Errors
 ///
-/// A human-readable message when the line is not valid JSON or is
-/// missing/mistyping a field; the serve layer turns it into a
-/// `bad_request` response.
-pub fn parse_request(line: &str) -> Result<Request, String> {
+/// [`ParseError::UnsupportedVersion`] for an unknown `"v"`, otherwise
+/// [`ParseError::Bad`] with a human-readable message; the serve layer
+/// turns them into `unsupported_version` / `bad_request` responses.
+pub fn parse_request(line: &str) -> Result<Request, ParseError> {
     let value = parse_json(line)?;
     let obj = value.as_object().ok_or("request must be a JSON object")?;
+    let v = match get_u64(obj, "v")? {
+        None => 1,
+        Some(v @ (1 | 2)) => v as u8,
+        Some(v) => {
+            return Err(ParseError::UnsupportedVersion {
+                id: get_u64(obj, "id").ok().flatten(),
+                v,
+            })
+        }
+    };
     let id = get_u64(obj, "id")?.ok_or("missing \"id\"")?;
     let verb = match obj.iter().find(|(k, _)| k == "verb") {
         Some((_, JsonValue::Str(name))) => {
@@ -216,7 +314,23 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         Some(_) => return Err("\"verb\" must be a string".into()),
         None => return Err("missing \"verb\"".into()),
     };
-    let source = match obj.iter().find(|(k, _)| k == "source") {
+    let client = match obj.iter().find(|(k, _)| k == "client") {
+        Some((_, JsonValue::Str(s))) => Some(s.clone()),
+        Some((_, JsonValue::Null)) | None => None,
+        Some(_) => return Err("\"client\" must be a string".into()),
+    };
+    // The verb-specific fields live at the top level in v1 and inside
+    // "body" in v2; everything below reads from `body`.
+    let empty_body: Vec<(String, JsonValue)> = Vec::new();
+    let body: &[(String, JsonValue)] = if v == 2 {
+        match obj.iter().find(|(k, _)| k == "body") {
+            None => &empty_body,
+            Some((_, value)) => value.as_object().ok_or("\"body\" must be a JSON object")?,
+        }
+    } else {
+        obj
+    };
+    let source = match body.iter().find(|(k, _)| k == "source") {
         Some((_, JsonValue::Str(s))) => s.clone(),
         Some(_) => return Err("\"source\" must be a string".into()),
         None => String::new(),
@@ -227,21 +341,21 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Verb::Metrics | Verb::MetricsPrometheus | Verb::Journal | Verb::Cancel
         )
     {
-        return Err(format!("verb {:?} requires \"source\"", verb.as_str()));
+        return Err(format!("verb {:?} requires \"source\"", verb.as_str()).into());
     }
-    let depth = get_u64(obj, "depth")?;
+    let depth = get_u64(body, "depth")?;
     if verb == Verb::Scp && depth.is_none() {
         return Err("verb \"scp\" requires \"depth\"".into());
     }
     if depth == Some(0) {
         return Err("\"depth\" must be >= 1".into());
     }
-    let deadline_ms = get_u64(obj, "deadline_ms")?;
-    let target = get_u64(obj, "target")?;
+    let deadline_ms = get_u64(body, "deadline_ms")?;
+    let target = get_u64(body, "target")?;
     if verb == Verb::Cancel && target.is_none() {
         return Err("verb \"cancel\" requires \"target\"".into());
     }
-    let options = match obj.iter().find(|(k, _)| k == "options") {
+    let options = match body.iter().find(|(k, _)| k == "options") {
         None => CompileOptions::new(),
         Some((_, value)) => {
             let opts = value
@@ -251,14 +365,69 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
     };
     Ok(Request {
+        v,
         id,
         verb,
+        client,
         source,
         depth,
         options,
         deadline_ms,
         target,
     })
+}
+
+/// Serializes compile options to the same JSON object shape
+/// [`parse_request`] accepts under `"options"` — only non-default fields
+/// are written, so defaults round-trip to `{}`. This is the persistence
+/// form the artifact store records next to each spilled entry.
+pub fn options_to_json(options: &CompileOptions) -> String {
+    let mut out = String::from("{");
+    let push = |out: &mut String, field: String| {
+        if out.len() > 1 {
+            out.push(',');
+        }
+        out.push_str(&field);
+    };
+    if let Some(t) = options.get_node_time() {
+        push(&mut out, format!("\"node_time\":{t}"));
+    }
+    if let Some(b) = options.get_step_budget() {
+        push(&mut out, format!("\"step_budget\":{b}"));
+    }
+    if let Some(c) = options.get_trace_capacity() {
+        push(&mut out, format!("\"trace_capacity\":{c}"));
+    }
+    if options.get_profile() {
+        push(&mut out, "\"profile\":true".into());
+    }
+    if options.get_trace() {
+        push(&mut out, "\"trace\":true".into());
+    }
+    if options.get_issue_policy() != IssuePolicy::Fifo {
+        push(&mut out, "\"issue_policy\":\"priority\"".into());
+    }
+    if options.get_engine() != SchedulePolicy::Auto {
+        push(
+            &mut out,
+            format!("\"engine\":\"{}\"", options.get_engine().as_str()),
+        );
+    }
+    out.push('}');
+    out
+}
+
+/// Parses the `"options"` object form back to [`CompileOptions`] — the
+/// inverse of [`options_to_json`].
+///
+/// # Errors
+///
+/// A human-readable message on an unknown key or a mistyped value.
+pub fn options_from_json(value: &JsonValue) -> Result<CompileOptions, String> {
+    let obj = value
+        .as_object()
+        .ok_or("\"options\" must be a JSON object")?;
+    parse_options(obj)
 }
 
 fn parse_options(obj: &[(String, JsonValue)]) -> Result<CompileOptions, String> {
@@ -793,15 +962,28 @@ pub fn explain_payload(lp: &CompiledLoop, file: Option<String>) -> Result<Explai
 // Response envelopes.
 // ---------------------------------------------------------------------------
 
-/// Renders a success envelope around an already-serialized payload.
+/// Renders a success envelope around an already-serialized payload, in
+/// the v1 wire form (no `"v"` key — byte-stable since PR 4).
 pub fn ok_line(id: u64, verb: Verb, payload_json: &str) -> String {
-    format!(
-        "{{\"id\":{id},\"ok\":true,\"verb\":\"{}\",\"payload\":{payload_json}}}",
-        verb.as_str()
-    )
+    ok_envelope(1, id, verb, payload_json)
 }
 
-/// Renders an error envelope. `queue_depth` is set for `overloaded`.
+/// Renders a success envelope in the requested version: v1 is the bare
+/// historical form, v2 leads with `"v":2`.
+pub fn ok_envelope(v: u8, id: u64, verb: Verb, payload_json: &str) -> String {
+    let mut out = String::new();
+    out.push('{');
+    if v >= 2 {
+        out.push_str(&format!("\"v\":{v},"));
+    }
+    out.push_str(&format!(
+        "\"id\":{id},\"ok\":true,\"verb\":\"{}\",\"payload\":{payload_json}}}",
+        verb.as_str()
+    ));
+    out
+}
+
+/// Renders a v1 error envelope. `queue_depth` is set for `overloaded`.
 pub fn error_line(
     id: u64,
     verb: Option<Verb>,
@@ -809,7 +991,25 @@ pub fn error_line(
     message: &str,
     queue_depth: Option<usize>,
 ) -> String {
-    let mut out = format!("{{\"id\":{id},\"ok\":false");
+    error_envelope(1, id, verb, kind, message, queue_depth, None)
+}
+
+/// Renders an error envelope in the requested version. `queue_depth`
+/// is set for `overloaded`, `retry_after_ms` for `rate_limited`.
+pub fn error_envelope(
+    v: u8,
+    id: u64,
+    verb: Option<Verb>,
+    kind: &str,
+    message: &str,
+    queue_depth: Option<usize>,
+    retry_after_ms: Option<u64>,
+) -> String {
+    let mut out = String::from("{");
+    if v >= 2 {
+        out.push_str(&format!("\"v\":{v},"));
+    }
+    out.push_str(&format!("\"id\":{id},\"ok\":false"));
     if let Some(verb) = verb {
         out.push_str(&format!(",\"verb\":\"{}\"", verb.as_str()));
     }
@@ -817,6 +1017,9 @@ pub fn error_line(
     serde::write_json_string(message, &mut out);
     if let Some(depth) = queue_depth {
         out.push_str(&format!(",\"queue_depth\":{depth}"));
+    }
+    if let Some(retry) = retry_after_ms {
+        out.push_str(&format!(",\"retry_after_ms\":{retry}"));
     }
     out.push_str("}}");
     out
@@ -1164,6 +1367,82 @@ mod tests {
         // …but explain compiles a loop, so it does.
         assert!(parse_request(r#"{"id":1,"verb":"explain"}"#).is_err());
         assert!(parse_request(r#"{"id":1,"verb":"explain","source":"x"}"#).is_ok());
+    }
+
+    #[test]
+    fn v2_envelope_parses_and_unknown_versions_are_typed() {
+        let req = parse_request(
+            r#"{"v":2,"id":7,"verb":"schedule","client":"ci-bot",
+               "body":{"source":"do i from 2 to n { X[i] := X[i-1]; }","depth":2,
+                       "options":{"node_time":3}}}"#,
+        )
+        .unwrap();
+        assert_eq!(req.v, 2);
+        assert_eq!(req.id, 7);
+        assert_eq!(req.client.as_deref(), Some("ci-bot"));
+        assert_eq!(req.depth, Some(2));
+        assert_eq!(req.options.get_node_time(), Some(3));
+
+        // v absent => v1; explicit v1 keeps the top-level field form.
+        let v1 = parse_request(r#"{"id":1,"verb":"analyze","source":"x"}"#).unwrap();
+        assert_eq!((v1.v, v1.client), (1, None));
+        let v1e = parse_request(r#"{"v":1,"id":1,"verb":"analyze","source":"x"}"#).unwrap();
+        assert_eq!(v1e.v, 1);
+
+        // v2 requires verb fields inside body, not at the top level.
+        assert!(parse_request(r#"{"v":2,"id":1,"verb":"analyze","source":"x"}"#).is_err());
+        // Unknown versions are a typed error echoing the id.
+        assert_eq!(
+            parse_request(r#"{"v":3,"id":9,"verb":"analyze","source":"x"}"#).unwrap_err(),
+            ParseError::UnsupportedVersion { id: Some(9), v: 3 }
+        );
+        assert_eq!(
+            parse_request(r#"{"v":99,"verb":"analyze"}"#).unwrap_err(),
+            ParseError::UnsupportedVersion { id: None, v: 99 }
+        );
+        // v2 metrics needs no body at all.
+        assert!(parse_request(r#"{"v":2,"id":1,"verb":"metrics"}"#).is_ok());
+    }
+
+    #[test]
+    fn versioned_envelopes_differ_only_by_the_v_prefix() {
+        assert_eq!(
+            ok_envelope(2, 3, Verb::Analyze, "{\"x\":1}"),
+            format!("{{\"v\":2,{}", &ok_line(3, Verb::Analyze, "{\"x\":1}")[1..])
+        );
+        let err = error_envelope(
+            2,
+            4,
+            Some(Verb::Schedule),
+            "rate_limited",
+            "client \"a\" rate limited",
+            None,
+            Some(12),
+        );
+        assert!(err.starts_with("{\"v\":2,\"id\":4,\"ok\":false"));
+        assert!(err.ends_with("\"retry_after_ms\":12}}"));
+        assert!(parse_json(&err).is_ok());
+    }
+
+    #[test]
+    fn options_json_round_trips_non_default_fields() {
+        let options = CompileOptions::new()
+            .node_time(3)
+            .step_budget(1_000)
+            .trace_capacity(64)
+            .profile(true)
+            .trace(true)
+            .issue_policy(IssuePolicy::Priority)
+            .engine(SchedulePolicy::Frustum);
+        let json = options_to_json(&options);
+        let back = options_from_json(&parse_json(&json).unwrap()).unwrap();
+        assert_eq!(back, options);
+        assert_eq!(back.fingerprint(), options.fingerprint());
+
+        // Defaults serialize to the empty object and round-trip.
+        assert_eq!(options_to_json(&CompileOptions::new()), "{}");
+        let empty = options_from_json(&parse_json("{}").unwrap()).unwrap();
+        assert_eq!(empty, CompileOptions::new());
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! The persistent, digest-keyed artifact store behind `tpnc serve
+//! --store DIR`: compiled-loop payloads spilled to an on-disk
+//! content-addressed directory, warm-starting the result cache on boot.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! INDEX                     one "<16-hex-key>" line per committed entry,
+//!                           oldest first (the warm-start order)
+//! objects/<16-hex-key>.tpnart   one entry per cache key
+//! quarantine/               corrupt entries moved here, never served
+//! ```
+//!
+//! Each entry is a one-line JSON header followed by the loop's A-code
+//! dump ([`tpn::dataflow::acode`]):
+//!
+//! ```text
+//! {"v":1,"key":"<16 hex>","checksum":"<16 hex>","bytes":N,"options":{...}}
+//! .sdsp
+//! actor 0 "X[i]" add time=1 ...
+//! ```
+//!
+//! Crash consistency: entries are written to a unique temp file, synced,
+//! then renamed into place — a `kill -9` at any instant leaves either no
+//! entry or a complete one, never a torn one. The index is append-only
+//! with one short line per commit; a torn final line is ignored at load,
+//! and entries present in `objects/` but missing from the index are
+//! self-healed back into it. A header/checksum/length mismatch at load
+//! moves the entry to `quarantine/` and keeps booting.
+
+use std::collections::HashSet;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tpn::metrics::StoreCounters;
+use tpn::{CompileOptions, CompiledLoop};
+
+use crate::protocol::{self, JsonValue};
+
+/// The entry-format version written to every header.
+const FORMAT_VERSION: u64 = 1;
+
+/// 64-bit FNV-1a over a byte slice — the entry checksum (the same hash
+/// family as [`protocol::cache_key`], but over the payload bytes).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct StoreState {
+    index: File,
+    indexed: HashSet<u64>,
+}
+
+/// A persistent artifact store rooted at one directory. Handles are
+/// cheap to share (`Arc` internally is not needed; the service owns one)
+/// and safe to use from many worker threads at once.
+pub struct ArtifactStore {
+    root: PathBuf,
+    state: Mutex<StoreState>,
+    loaded: AtomicU64,
+    spilled: AtomicU64,
+    quarantined: AtomicU64,
+    spill_errors: AtomicU64,
+    tmp_seq: AtomicU64,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the layout or opening the index.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<ArtifactStore> {
+        let root = root.into();
+        fs::create_dir_all(root.join("objects"))?;
+        fs::create_dir_all(root.join("quarantine"))?;
+        let index = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(root.join("INDEX"))?;
+        let indexed = read_index(&root);
+        Ok(ArtifactStore {
+            root,
+            state: Mutex::new(StoreState { index, indexed }),
+            loaded: AtomicU64::new(0),
+            spilled: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            spill_errors: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn object_path(&self, key: u64) -> PathBuf {
+        self.root.join("objects").join(format!("{key:016x}.tpnart"))
+    }
+
+    /// Spills one compiled loop under `key`. Content-addressed: a key
+    /// already committed is a no-op. Crash-safe: write-temp, sync,
+    /// rename.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error; the caller treats persistence as best-effort (the
+    /// in-memory response already succeeded).
+    pub fn spill(&self, key: u64, lp: &CompiledLoop, options: &CompileOptions) -> io::Result<()> {
+        {
+            let state = self.state.lock().expect("store lock");
+            if state.indexed.contains(&key) {
+                return Ok(());
+            }
+        }
+        let payload = tpn::dataflow::acode::write(lp.sdsp());
+        let header = format!(
+            "{{\"v\":{FORMAT_VERSION},\"key\":\"{key:016x}\",\"checksum\":\"{:016x}\",\
+             \"bytes\":{},\"options\":{}}}\n",
+            fnv1a(payload.as_bytes()),
+            payload.len(),
+            protocol::options_to_json(options),
+        );
+        // Unique temp name per (process, handle, attempt): concurrent
+        // writers never clobber each other's in-progress file.
+        let tmp = self.root.join("objects").join(format!(
+            ".{key:016x}.{}.{}.tmp",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let result = (|| {
+            let mut file = File::create(&tmp)?;
+            file.write_all(header.as_bytes())?;
+            file.write_all(payload.as_bytes())?;
+            file.sync_all()?;
+            fs::rename(&tmp, self.object_path(key))?;
+            let mut state = self.state.lock().expect("store lock");
+            if state.indexed.insert(key) {
+                writeln!(state.index, "{key:016x}")?;
+                state.index.sync_all()?;
+            }
+            Ok(())
+        })();
+        match &result {
+            Ok(()) => {
+                self.spilled.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                let _ = fs::remove_file(&tmp);
+                self.spill_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    /// Loads every committed entry, oldest first — the warm-start path.
+    /// Corrupt entries are moved to `quarantine/` and skipped; entries on
+    /// disk but missing from the index are self-healed back into it.
+    pub fn load(&self) -> Vec<(u64, Arc<CompiledLoop>)> {
+        let mut keys: Vec<u64> = {
+            let state = self.state.lock().expect("store lock");
+            let mut keys: Vec<u64> = state.indexed.iter().copied().collect();
+            keys.sort_unstable();
+            // Re-read the index file for its order (oldest first); the
+            // sorted set above only backs the membership test.
+            let ordered = read_index_ordered(&self.root);
+            if ordered.len() == keys.len() {
+                ordered
+            } else {
+                keys
+            }
+        };
+        // Self-heal: adopt committed objects the index lost (e.g. a
+        // crash between rename and the index append).
+        for orphan in scan_objects(&self.root) {
+            let mut state = self.state.lock().expect("store lock");
+            if state.indexed.insert(orphan) {
+                let _ = writeln!(state.index, "{orphan:016x}");
+                keys.push(orphan);
+            }
+        }
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            match self.load_entry(key) {
+                Ok(lp) => {
+                    self.loaded.fetch_add(1, Ordering::Relaxed);
+                    out.push((key, Arc::new(lp)));
+                }
+                Err(reason) => self.quarantine(key, &reason),
+            }
+        }
+        out
+    }
+
+    fn load_entry(&self, key: u64) -> Result<CompiledLoop, String> {
+        let mut bytes = Vec::new();
+        File::open(self.object_path(key))
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| format!("unreadable entry: {e}"))?;
+        let newline = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or("missing header line")?;
+        let header = std::str::from_utf8(&bytes[..newline]).map_err(|_| "header not UTF-8")?;
+        let header = protocol::parse_json(header).map_err(|e| format!("bad header: {e}"))?;
+        let version = match header.get("v") {
+            Some(JsonValue::Num(n)) => *n as u64,
+            _ => return Err("missing format version".into()),
+        };
+        if version != FORMAT_VERSION {
+            return Err(format!("unsupported entry format v{version}"));
+        }
+        match header.get("key") {
+            Some(JsonValue::Str(s)) if *s == format!("{key:016x}") => {}
+            _ => return Err("header key does not match file name".into()),
+        }
+        let payload = &bytes[newline + 1..];
+        let expected_len = match header.get("bytes") {
+            Some(JsonValue::Num(n)) => *n as usize,
+            _ => return Err("missing payload length".into()),
+        };
+        if payload.len() != expected_len {
+            return Err(format!(
+                "payload truncated: {} of {expected_len} bytes",
+                payload.len()
+            ));
+        }
+        match header.get("checksum") {
+            Some(JsonValue::Str(s)) if *s == format!("{:016x}", fnv1a(payload)) => {}
+            _ => return Err("checksum mismatch".into()),
+        }
+        let options = match header.get("options") {
+            Some(value) => protocol::options_from_json(value)
+                .map_err(|e| format!("bad stored options: {e}"))?,
+            None => CompileOptions::new(),
+        };
+        let payload = std::str::from_utf8(payload).map_err(|_| "payload not UTF-8")?;
+        let sdsp =
+            tpn::dataflow::acode::read(payload).map_err(|e| format!("bad A-code payload: {e}"))?;
+        Ok(CompiledLoop::from_sdsp_with(sdsp, options))
+    }
+
+    /// Moves a corrupt entry to `quarantine/` and drops it from the
+    /// index set (the index file keeps its line; load tolerates index
+    /// lines without a backing object).
+    fn quarantine(&self, key: u64, _reason: &str) {
+        let from = self.object_path(key);
+        let to = self
+            .root
+            .join("quarantine")
+            .join(format!("{key:016x}.tpnart"));
+        let _ = fs::rename(&from, &to);
+        self.state.lock().expect("store lock").indexed.remove(&key);
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Committed entries currently tracked (after quarantines).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("store lock").indexed.len()
+    }
+
+    /// Whether no entries are committed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the store's counters (the `metrics` payload's
+    /// `store` object).
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            entries: self.len() as u64,
+            loaded: self.loaded.load(Ordering::Relaxed),
+            spilled: self.spilled.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            spill_errors: self.spill_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Reads the index's key set, tolerating a missing file and torn or
+/// duplicate lines.
+fn read_index(root: &Path) -> HashSet<u64> {
+    read_index_ordered(root).into_iter().collect()
+}
+
+/// Reads the index's keys in file order, deduplicated, skipping lines
+/// that do not parse as 16 hex digits (a torn final append) and keys
+/// without a committed object (a quarantined entry's stale line).
+fn read_index_ordered(root: &Path) -> Vec<u64> {
+    let text = fs::read_to_string(root.join("INDEX")).unwrap_or_default();
+    let mut seen = HashSet::new();
+    let mut keys = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.len() != 16 {
+            continue;
+        }
+        if let Ok(key) = u64::from_str_radix(line, 16) {
+            if root
+                .join("objects")
+                .join(format!("{key:016x}.tpnart"))
+                .is_file()
+                && seen.insert(key)
+            {
+                keys.push(key);
+            }
+        }
+    }
+    keys
+}
+
+/// Scans `objects/` for committed entries (ignoring in-progress `.tmp`
+/// files), sorted for determinism.
+fn scan_objects(root: &Path) -> Vec<u64> {
+    let mut keys = Vec::new();
+    let Ok(entries) = fs::read_dir(root.join("objects")) else {
+        return keys;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name.strip_suffix(".tpnart") else {
+            continue;
+        };
+        if stem.len() == 16 {
+            if let Ok(key) = u64::from_str_radix(stem, 16) {
+                keys.push(key);
+            }
+        }
+    }
+    keys.sort_unstable();
+    keys
+}

@@ -1,0 +1,101 @@
+//! Deterministic token-bucket tests: every case drives
+//! [`ClientLimiter::acquire_at`] with an explicit microsecond clock, so
+//! burst, refill, and isolation arithmetic is exact — no sleeps.
+
+use tpn_service::limiter::ClientLimiter;
+use tpn_service::RateLimit;
+
+fn limiter(per_second: u64, burst: u64, max_in_flight: usize) -> ClientLimiter {
+    ClientLimiter::new(RateLimit {
+        per_second,
+        burst,
+        max_in_flight,
+    })
+}
+
+#[test]
+fn burst_drains_the_bucket_then_rejects_with_exact_retry_advice() {
+    let limiter = limiter(10, 3, 16);
+    let guards: Vec<_> = (0..3)
+        .map(|i| {
+            limiter
+                .acquire_at("a", 0)
+                .unwrap_or_else(|e| panic!("burst request {i} rejected: {e}"))
+        })
+        .collect();
+    let rejected = limiter.acquire_at("a", 0).unwrap_err();
+    assert_eq!(rejected.client, "a");
+    assert_eq!(rejected.reason, "token bucket empty");
+    // An empty bucket at 10 tokens/s owes one whole token in 100 ms.
+    assert_eq!(rejected.retry_after_ms, 100);
+    drop(guards);
+}
+
+#[test]
+fn bucket_refills_continuously_at_the_configured_rate() {
+    let limiter = limiter(10, 1, 16);
+    let _first = limiter.acquire_at("a", 0).unwrap();
+    assert!(limiter.acquire_at("a", 0).is_err());
+    // 50 ms refills half a token: still rejected, retry halved.
+    let midway = limiter.acquire_at("a", 50_000).unwrap_err();
+    assert_eq!(midway.retry_after_ms, 50);
+    // 100 ms refills the whole token.
+    let _second = limiter.acquire_at("a", 100_000).unwrap();
+    assert!(limiter.acquire_at("a", 100_000).is_err());
+}
+
+#[test]
+fn refill_caps_at_burst_capacity() {
+    let limiter = limiter(1_000, 2, 16);
+    // A long idle period must not bank more than `burst` tokens.
+    let _a = limiter.acquire_at("a", 60_000_000).unwrap();
+    let _b = limiter.acquire_at("a", 60_000_000).unwrap();
+    assert!(limiter.acquire_at("a", 60_000_000).is_err());
+}
+
+#[test]
+fn a_stale_clock_refills_nothing() {
+    let limiter = limiter(1_000, 1, 16);
+    let _only = limiter.acquire_at("a", 1_000_000).unwrap();
+    // Time going backwards (clock skew across threads) must not mint
+    // tokens or panic.
+    assert!(limiter.acquire_at("a", 0).is_err());
+}
+
+#[test]
+fn clients_have_independent_buckets_and_counters() {
+    let limiter = limiter(10, 1, 16);
+    let _a = limiter.acquire_at("a", 0).unwrap();
+    assert!(limiter.acquire_at("a", 0).is_err(), "a's bucket is empty");
+    let _b = limiter.acquire_at("b", 0).unwrap();
+    assert_eq!(limiter.in_flight("a"), 1);
+    assert_eq!(limiter.in_flight("b"), 1);
+    assert_eq!(limiter.in_flight("never-seen"), 0);
+}
+
+#[test]
+fn in_flight_cap_is_enforced_and_guard_drop_frees_the_slot() {
+    let limiter = limiter(1_000, 1_000, 2);
+    let first = limiter.acquire_at("c", 0).unwrap();
+    let _second = limiter.acquire_at("c", 0).unwrap();
+    let rejected = limiter.acquire_at("c", 0).unwrap_err();
+    assert_eq!(rejected.reason, "in-flight cap reached");
+    assert_eq!(rejected.retry_after_ms, 1);
+    assert_eq!(limiter.in_flight("c"), 2);
+    drop(first);
+    assert_eq!(limiter.in_flight("c"), 1);
+    let _third = limiter.acquire_at("c", 0).unwrap();
+    assert_eq!(limiter.in_flight("c"), 2);
+}
+
+#[test]
+fn rejections_render_and_compare_as_typed_values() {
+    let limiter = limiter(10, 1, 16);
+    let _only = limiter.acquire_at("a", 0).unwrap();
+    let first = limiter.acquire_at("a", 0).unwrap_err();
+    let second = limiter.acquire_at("a", 0).unwrap_err();
+    assert_eq!(first, second);
+    let message = first.to_string();
+    assert!(message.contains("\"a\""), "got: {message}");
+    assert!(message.contains("retry after 100 ms"), "got: {message}");
+}

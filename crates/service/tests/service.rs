@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use tpn_service::protocol::{self, Request, Verb};
-use tpn_service::{Service, ServiceConfig};
+use tpn_service::{Rejected, Service, ServiceConfig};
 
 fn source(nodes: usize, seed: u64) -> String {
     let body: String = (0..nodes.max(1))
@@ -18,15 +18,9 @@ fn source(nodes: usize, seed: u64) -> String {
 }
 
 fn request(id: u64, verb: Verb, source: String, depth: Option<u64>) -> Request {
-    Request {
-        id,
-        verb,
-        source,
-        depth,
-        options: tpn::CompileOptions::new(),
-        deadline_ms: None,
-        target: None,
-    }
+    let mut request = Request::basic(id, verb, source);
+    request.depth = depth;
+    request
 }
 
 /// N client threads hammering M distinct + repeated keys through the
@@ -34,11 +28,13 @@ fn request(id: u64, verb: Verb, source: String, depth: Option<u64>) -> Request {
 /// the one-shot answer for its key.
 #[test]
 fn threaded_stress_is_deterministic() {
-    let service = Arc::new(Service::start(ServiceConfig {
-        workers: 4,
-        queue_capacity: 256,
-        ..ServiceConfig::default()
-    }));
+    let service = Arc::new(Service::start(
+        ServiceConfig::builder()
+            .workers(4)
+            .queue(256)
+            .build()
+            .unwrap(),
+    ));
     let distinct = 8;
     // One reference response per key, computed single-threaded first.
     let references: Vec<String> = (0..distinct)
@@ -95,12 +91,14 @@ fn threaded_stress_is_deterministic() {
 #[test]
 fn eviction_honours_capacity_under_threads() {
     // 1 shard × weight 4, unit-weight loops: at most 4 live entries.
-    let service = Arc::new(Service::start(ServiceConfig {
-        workers: 4,
-        cache_shards: 1,
-        cache_capacity: 4,
-        ..ServiceConfig::default()
-    }));
+    let service = Arc::new(Service::start(
+        ServiceConfig::builder()
+            .workers(4)
+            .cache_shards(1)
+            .cache(4)
+            .build()
+            .unwrap(),
+    ));
     let handles: Vec<_> = (0..4)
         .map(|t| {
             let service = service.clone();
@@ -132,21 +130,24 @@ fn eviction_honours_capacity_under_threads() {
 /// leave the service consistent.
 #[test]
 fn overload_is_a_typed_rejection() {
-    let service = Service::start(ServiceConfig {
-        workers: 1,
-        queue_capacity: 2,
-        ..ServiceConfig::default()
-    });
+    let service = Service::start(
+        ServiceConfig::builder()
+            .workers(1)
+            .queue(2)
+            .build()
+            .unwrap(),
+    );
     let mut tickets = Vec::new();
     let mut rejections = 0;
     for id in 0..32 {
         match service.submit(request(id, Verb::Schedule, source(3, id), Some(2))) {
             Ok(ticket) => tickets.push(ticket),
-            Err(overloaded) => {
+            Err(Rejected::Overloaded(overloaded)) => {
                 assert_eq!(overloaded.capacity, 2);
                 assert!(overloaded.depth <= 2);
                 rejections += 1;
             }
+            Err(other) => panic!("unconfigured limiter rejected: {other}"),
         }
     }
     assert!(rejections > 0, "a 32-burst must overflow capacity 2");
@@ -163,10 +164,7 @@ fn overload_is_a_typed_rejection() {
 /// cache entry is dropped so the key still works afterwards.
 #[test]
 fn worker_pool_survives_a_mid_compile_panic() {
-    let service = Service::start(ServiceConfig {
-        workers: 2,
-        ..ServiceConfig::default()
-    });
+    let service = Service::start(ServiceConfig::builder().workers(2).build().unwrap());
     let src = source(2, 7);
     let mut bad = request(1, Verb::Scp, src.clone(), Some(2));
     bad.depth = Some(0);
@@ -194,10 +192,7 @@ fn worker_pool_survives_a_mid_compile_panic() {
 /// stages, not a hang.
 #[test]
 fn deadlines_expire_between_stages() {
-    let service = Service::start(ServiceConfig {
-        workers: 1,
-        ..ServiceConfig::default()
-    });
+    let service = Service::start(ServiceConfig::builder().workers(1).build().unwrap());
     let mut req = request(1, Verb::Trace, source(3, 3), None);
     req.deadline_ms = Some(0);
     let response = service.call(req).expect("not overloaded");
@@ -215,11 +210,13 @@ fn deadlines_expire_between_stages() {
 fn cancellation_is_cooperative() {
     // Plug the single worker with a slow request so the victim is still
     // queued when the cancel lands.
-    let service = Service::start(ServiceConfig {
-        workers: 1,
-        queue_capacity: 8,
-        ..ServiceConfig::default()
-    });
+    let service = Service::start(
+        ServiceConfig::builder()
+            .workers(1)
+            .queue(8)
+            .build()
+            .unwrap(),
+    );
     let plugs: Vec<_> = (0..3)
         .map(|i| {
             service
@@ -268,10 +265,7 @@ proptest! {
             (Verb::Storage, None),
         ];
         let (verb, depth) = verbs[verb_idx];
-        let service = Service::start(ServiceConfig {
-            workers: 2,
-            ..ServiceConfig::default()
-        });
+        let service = Service::start(ServiceConfig::builder().workers(2).build().unwrap());
         let req = request(42, verb, source(nodes, seed), depth);
         let uncached = service.call(req.clone()).expect("not overloaded");
         let cached = service.call(req).expect("not overloaded");

@@ -1,0 +1,249 @@
+//! Crash-consistency tests for the persistent artifact store: torn
+//! entries, lost indexes, concurrent writers, and the service-level
+//! restart warm-hit guarantee.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use tpn::{CompileOptions, CompiledLoop};
+use tpn_service::protocol::{self, Request, Verb};
+use tpn_service::store::ArtifactStore;
+use tpn_service::{Service, ServiceConfig};
+
+fn temp_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tpn-store-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn source(seed: u64) -> String {
+    format!("do i from 2 to n {{ X[i] := X[i-1] + {seed}; }}")
+}
+
+fn compiled(seed: u64) -> (u64, CompiledLoop) {
+    let source = source(seed);
+    let options = CompileOptions::new();
+    let key = protocol::cache_key(&source, &options);
+    let lp = CompiledLoop::from_source_with(&source, options).expect("test loop compiles");
+    (key, lp)
+}
+
+fn object_path(dir: &std::path::Path, key: u64) -> PathBuf {
+    dir.join("objects").join(format!("{key:016x}.tpnart"))
+}
+
+#[test]
+fn entries_survive_reopen_and_round_trip() {
+    let dir = temp_store("reopen");
+    let mut keys = Vec::new();
+    {
+        let store = ArtifactStore::open(&dir).unwrap();
+        for seed in 0..3 {
+            let (key, lp) = compiled(seed);
+            store.spill(key, &lp, &CompileOptions::new()).unwrap();
+            keys.push(key);
+        }
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.counters().spilled, 3);
+    }
+    let store = ArtifactStore::open(&dir).unwrap();
+    let loaded = store.load();
+    assert_eq!(loaded.len(), 3);
+    let mut loaded_keys: Vec<u64> = loaded.iter().map(|(k, _)| *k).collect();
+    loaded_keys.sort_unstable();
+    keys.sort_unstable();
+    assert_eq!(loaded_keys, keys);
+    // The reloaded loop is semantically the same artifact.
+    let (key0, original) = compiled(0);
+    let revived = loaded
+        .iter()
+        .find(|(k, _)| *k == key0)
+        .map(|(_, lp)| lp.clone())
+        .expect("key 0 reloaded");
+    assert_eq!(
+        revived.analyze().unwrap().optimal_rate,
+        original.analyze().unwrap().optimal_rate
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spill_is_idempotent_per_key() {
+    let dir = temp_store("idempotent");
+    let store = ArtifactStore::open(&dir).unwrap();
+    let (key, lp) = compiled(7);
+    store.spill(key, &lp, &CompileOptions::new()).unwrap();
+    store.spill(key, &lp, &CompileOptions::new()).unwrap();
+    assert_eq!(store.len(), 1);
+    assert_eq!(store.counters().spilled, 1, "second spill is a no-op");
+    let index = std::fs::read_to_string(dir.join("INDEX")).unwrap();
+    assert_eq!(index.lines().count(), 1, "one index line per key");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_entry_is_quarantined_not_served() {
+    let dir = temp_store("truncated");
+    let (key, lp) = compiled(1);
+    {
+        let store = ArtifactStore::open(&dir).unwrap();
+        store.spill(key, &lp, &CompileOptions::new()).unwrap();
+    }
+    // Tear the payload the way a torn write would (the header survives,
+    // the A-code body loses its tail).
+    let path = object_path(&dir, key);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+
+    let store = ArtifactStore::open(&dir).unwrap();
+    let loaded = store.load();
+    assert!(loaded.is_empty(), "torn entry must not be served");
+    assert_eq!(store.counters().quarantined, 1);
+    assert_eq!(store.len(), 0);
+    assert!(!path.exists(), "torn entry removed from objects/");
+    assert!(
+        dir.join("quarantine")
+            .join(format!("{key:016x}.tpnart"))
+            .exists(),
+        "torn entry parked in quarantine/"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_payload_fails_the_checksum_and_is_quarantined() {
+    let dir = temp_store("corrupt");
+    let (key, lp) = compiled(2);
+    {
+        let store = ArtifactStore::open(&dir).unwrap();
+        store.spill(key, &lp, &CompileOptions::new()).unwrap();
+    }
+    // Same length, different bytes: only the checksum can catch it.
+    let path = object_path(&dir, key);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 2;
+    bytes[last] = bytes[last].wrapping_add(1);
+    std::fs::write(&path, &bytes).unwrap();
+
+    let store = ArtifactStore::open(&dir).unwrap();
+    assert!(store.load().is_empty());
+    assert_eq!(store.counters().quarantined, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deleted_index_self_heals_from_the_objects() {
+    let dir = temp_store("heal");
+    let mut keys = Vec::new();
+    {
+        let store = ArtifactStore::open(&dir).unwrap();
+        for seed in 0..2 {
+            let (key, lp) = compiled(seed);
+            store.spill(key, &lp, &CompileOptions::new()).unwrap();
+            keys.push(key);
+        }
+    }
+    std::fs::remove_file(dir.join("INDEX")).unwrap();
+
+    let store = ArtifactStore::open(&dir).unwrap();
+    let loaded = store.load();
+    assert_eq!(loaded.len(), 2, "objects adopted despite the lost index");
+    let index = std::fs::read_to_string(dir.join("INDEX")).unwrap();
+    for key in keys {
+        assert!(
+            index.contains(&format!("{key:016x}")),
+            "self-healed index misses {key:016x}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_index_line_is_ignored() {
+    let dir = temp_store("torn-index");
+    let (key, lp) = compiled(3);
+    {
+        let store = ArtifactStore::open(&dir).unwrap();
+        store.spill(key, &lp, &CompileOptions::new()).unwrap();
+    }
+    // A kill -9 mid-append leaves a short final line.
+    use std::io::Write as _;
+    let mut index = std::fs::OpenOptions::new()
+        .append(true)
+        .open(dir.join("INDEX"))
+        .unwrap();
+    write!(index, "0123abc").unwrap();
+    drop(index);
+
+    let store = ArtifactStore::open(&dir).unwrap();
+    assert_eq!(store.load().len(), 1);
+    assert_eq!(store.counters().quarantined, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_writers_commit_every_entry_and_leave_no_temp_files() {
+    let dir = temp_store("concurrent");
+    let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                // Each thread spills 8 keys; seeds overlap across
+                // threads so the same key races its own duplicate.
+                for i in 0..8 {
+                    let (key, lp) = compiled(t * 4 + i);
+                    store.spill(key, &lp, &CompileOptions::new()).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let distinct: std::collections::HashSet<u64> = (0..4u64)
+        .flat_map(|t| (0..8).map(move |i| compiled(t * 4 + i).0))
+        .collect();
+    assert_eq!(store.len(), distinct.len());
+    assert_eq!(store.counters().spill_errors, 0);
+    for entry in std::fs::read_dir(dir.join("objects")).unwrap().flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        assert!(
+            name.ends_with(".tpnart"),
+            "leftover in-progress file: {name}"
+        );
+    }
+    drop(store);
+    let reopened = ArtifactStore::open(&dir).unwrap();
+    assert_eq!(reopened.load().len(), distinct.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn service_restart_serves_warm_hits_byte_identical() {
+    let dir = temp_store("service-restart");
+    let config = || {
+        ServiceConfig::builder()
+            .workers(2)
+            .store(&dir)
+            .build()
+            .unwrap()
+    };
+    let request = || Request::basic(400, Verb::Schedule, source(11));
+    let before = {
+        let service = Service::try_start(config()).unwrap();
+        let response = service.call(request()).unwrap();
+        assert!(response.ok);
+        response.line
+    };
+    // The drop above is the in-process kill -9 stand-in: nothing but
+    // the store directory survives.
+    let service = Service::try_start(config()).unwrap();
+    let counters = service.counters();
+    let store = counters.store.expect("store counters present");
+    assert_eq!(store.loaded, 1, "boot warm-started from the store");
+    let after = service.call(request()).unwrap();
+    assert!(after.cache_hit, "restart must serve from the warm cache");
+    assert_eq!(after.line, before, "post-restart bytes must be identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
