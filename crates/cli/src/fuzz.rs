@@ -12,13 +12,22 @@
 //! case's simulated net and fails unless at least two independent
 //! oracles catch each applicable injection — the harness testing the
 //! harness.
+//!
+//! With `--exec`, every case additionally passes through the semantic
+//! execution oracle ([`tpn_conform::exec`]): programs emitted from both
+//! scheduling engines run on the verifying machine and every value must
+//! agree bit-exactly with the dataflow interpreter, with kernel
+//! initiation intervals cross-checked against the exhaustive optimum on
+//! small nets. Failing dumps then carry the env seed and engine
+//! selection as `;` comments, and `--replay FILE` re-runs a dump
+//! end-to-end from the file alone.
 
 use std::path::Path;
 
 use serde::Serialize;
 use tpn_conform::{
-    check_mutated, check_sdsp, run_chaos, ChaosConfig, ChaosReport, Mutation, MutationOutcome,
-    OracleConfig, Shape,
+    check_exec, check_mutated, check_sdsp, env_seed, run_chaos, ChaosConfig, ChaosReport,
+    ExecConfig, ExecReport, Mutation, MutationOutcome, OracleConfig, Shape,
 };
 
 use crate::{Format, Invocation, Render};
@@ -34,6 +43,16 @@ struct FuzzSummary {
     enumeration_skips: u64,
     multiple_critical: u64,
     max_nodes: usize,
+    /// Whether the semantic execution oracle ran (`--exec`).
+    exec: bool,
+    /// `(node, iteration)` values compared bit-exactly across the
+    /// frustum-emitted, analytic-emitted and interpreted executions.
+    exec_values_checked: u64,
+    /// Cases whose kernel initiation intervals were certified equal to
+    /// the exhaustive optimum.
+    exec_exact_confirmed: u64,
+    /// Cases whose nets exceeded the exhaustive checker's size gate.
+    exec_exact_skipped: u64,
     disagreements: Vec<String>,
     reproducers: Vec<String>,
     dump_errors: Vec<String>,
@@ -53,6 +72,12 @@ impl Render for FuzzSummary {
             self.enumeration_skips,
             self.max_nodes
         );
+        if self.exec {
+            out.push_str(&format!(
+                "\n  exec: {} values bit-checked, {} exact-II confirmations, {} nets past the exact gate",
+                self.exec_values_checked, self.exec_exact_confirmed, self.exec_exact_skipped
+            ));
+        }
         for d in &self.disagreements {
             out.push_str(&format!("\n  FAIL {d}"));
         }
@@ -96,31 +121,171 @@ impl Render for MutationSummary {
     }
 }
 
-/// Writes one failing case as a replayable `.sdsp` file, creating the
-/// dump directory on first use. Filesystem trouble (missing parent,
-/// read-only directory, the directory path occupied by a plain file)
-/// comes back as a typed `cannot create ...` / `cannot write ...`
-/// message — never a panic, and never by discarding the run's summary.
-fn dump_reproducer(
-    dir: &str,
+/// Everything a dumped reproducer records beyond the A-code itself —
+/// enough to replay the failing case end-to-end from the `.sdsp` file
+/// alone, with `tpnc fuzz --replay FILE`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct ReproducerMeta {
     seed: u64,
     case: u64,
     shape: Shape,
+    /// The execution oracle's input seed, when `--exec` was on.
+    env_seed: Option<u64>,
+}
+
+impl ReproducerMeta {
+    /// The comment header embedded after the `.sdsp` magic line. The
+    /// A-code reader strips `;` comments, so the metadata rides along
+    /// without affecting any other consumer of the file.
+    fn header(&self) -> String {
+        let mut out = String::from("; tpnc fuzz reproducer -- replay: tpnc fuzz --replay <file>\n");
+        out.push_str(&format!(
+            "; seed {} case {} shape {}\n",
+            self.seed,
+            self.case,
+            self.shape.as_str()
+        ));
+        if let Some(env) = self.env_seed {
+            out.push_str(&format!(
+                "; env-seed {env} engines frustum,analytic,interp\n"
+            ));
+        }
+        out
+    }
+
+    /// Parses the metadata comments back out of a dumped file. Returns
+    /// `None` when the file carries no recognisable header (e.g. a
+    /// hand-written A-code loop).
+    fn parse(text: &str) -> Option<ReproducerMeta> {
+        let mut meta: Option<ReproducerMeta> = None;
+        let mut env = None;
+        for line in text.lines() {
+            let Some(comment) = line.trim().strip_prefix(';') else {
+                continue;
+            };
+            let toks: Vec<&str> = comment.split_whitespace().collect();
+            match toks.as_slice() {
+                ["seed", seed, "case", case, "shape", shape, ..] => {
+                    meta = Some(ReproducerMeta {
+                        seed: seed.parse().ok()?,
+                        case: case.parse().ok()?,
+                        shape: Shape::parse(shape)?,
+                        env_seed: None,
+                    });
+                }
+                ["env-seed", value, ..] => env = Some(value.parse().ok()?),
+                _ => {}
+            }
+        }
+        meta.map(|m| ReproducerMeta { env_seed: env, ..m })
+    }
+}
+
+/// Writes one failing case as a replayable `.sdsp` file — the A-code
+/// plus a comment header carrying the generation seed, env seed and
+/// engine selection — creating the dump directory on first use.
+/// Filesystem trouble (missing parent, read-only directory, the
+/// directory path occupied by a plain file) comes back as a typed
+/// `cannot create ...` / `cannot write ...` message — never a panic,
+/// and never by discarding the run's summary.
+fn dump_reproducer(
+    dir: &str,
+    meta: ReproducerMeta,
     sdsp: &tpn::dataflow::Sdsp,
 ) -> Result<String, String> {
     std::fs::create_dir_all(dir)
         .map_err(|e| format!("cannot create reproducer directory {dir}: {e}"))?;
-    let name = format!("case-{}-{seed}-{case}.sdsp", shape.as_str());
+    let name = format!(
+        "case-{}-{}-{}.sdsp",
+        meta.shape.as_str(),
+        meta.seed,
+        meta.case
+    );
     let path = Path::new(dir).join(&name);
-    std::fs::write(&path, tpn::dataflow::acode::write(sdsp))
+    // The metadata goes immediately after the `.sdsp` magic line: the
+    // CLI sniffs the format by the leading `.sdsp`, and the reader
+    // skips `;` comments anywhere.
+    let acode = tpn::dataflow::acode::write(sdsp);
+    let (magic, rest) = acode.split_once('\n').unwrap_or((acode.as_str(), ""));
+    let contents = format!("{magic}\n{}{rest}", meta.header());
+    std::fs::write(&path, contents)
         .map_err(|e| format!("cannot write reproducer {}: {e}", path.display()))?;
     Ok(path.display().to_string())
+}
+
+/// Replays a dumped reproducer end-to-end: the rate-oracle stack plus —
+/// when the dump records an env seed, or `--exec` is given — the
+/// semantic execution oracle under exactly the recorded inputs.
+fn replay(invocation: &Invocation, file: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let sdsp = tpn::dataflow::acode::read(&text).map_err(|e| format!("{file}: {e}"))?;
+    let meta = ReproducerMeta::parse(&text);
+    let case = meta.map_or(0, |m| m.case);
+    let report = check_sdsp(case, &sdsp, &OracleConfig::default());
+    let mut failures: Vec<String> = report
+        .disagreements
+        .iter()
+        .map(|d| format!("case {case}: {d}"))
+        .collect();
+    let exec_seed = meta.and_then(|m| m.env_seed);
+    let exec_report: Option<ExecReport> = if exec_seed.is_some() || invocation.exec {
+        let seed = exec_seed.unwrap_or_else(|| env_seed(meta.map_or(0, |m| m.seed), case));
+        let exec = check_exec(case, &sdsp, seed, &ExecConfig::default());
+        failures.extend(
+            exec.disagreements
+                .iter()
+                .map(|d| format!("case {case}: {d}")),
+        );
+        Some(exec)
+    } else {
+        None
+    };
+    match invocation.format {
+        Format::Json => {
+            let mut line = serde_json::to_string(&report).unwrap();
+            if let Some(exec) = &exec_report {
+                line.pop();
+                line.push_str(",\"exec\":");
+                line.push_str(&serde_json::to_string(exec).unwrap());
+                line.push('}');
+            }
+            println!("{line}");
+        }
+        Format::Text | Format::Prometheus => {
+            println!(
+                "replay {file}: case {case} -> {}",
+                if failures.is_empty() { "ok" } else { "FAILED" }
+            );
+            if let Some(exec) = &exec_report {
+                println!(
+                    "  exec: env-seed {} pattern {} values {} frustum-II {} analytic-II {} exact-II {}",
+                    exec.env_seed,
+                    exec.pattern,
+                    exec.values_checked,
+                    exec.frustum_ii.as_deref().unwrap_or("-"),
+                    exec.analytic_ii.as_deref().unwrap_or("-"),
+                    exec.exact_ii.as_deref().unwrap_or("-"),
+                );
+            }
+            for f in &failures {
+                println!("  FAIL {f}");
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} replay failure(s)", failures.len()))
+    }
 }
 
 /// Runs `tpnc fuzz`. Prints a summary (text or JSON) and errors — making
 /// the process exit nonzero — on any oracle disagreement, chaos
 /// violation, or missed mutation.
 pub fn run(invocation: &Invocation) -> Result<(), String> {
+    if let Some(file) = &invocation.replay {
+        return replay(invocation, file);
+    }
     let seed = invocation.seed.unwrap_or(0);
     let cases = invocation.cases.unwrap_or(100);
     let shape = match &invocation.shape {
@@ -192,9 +357,14 @@ pub fn run(invocation: &Invocation) -> Result<(), String> {
             }
         }
         None => {
+            let exec_config = ExecConfig::default();
             let reports = tpn::batch::parallel_map(&case_ids, threads, |_, &case| {
                 let sdsp = tpn_conform::generate(seed, case, shape);
-                check_sdsp(case, &sdsp, &config)
+                let rates = check_sdsp(case, &sdsp, &config);
+                let exec = invocation
+                    .exec
+                    .then(|| check_exec(case, &sdsp, env_seed(seed, case), &exec_config));
+                (rates, exec)
             });
             let mut summary = FuzzSummary {
                 seed,
@@ -205,11 +375,15 @@ pub fn run(invocation: &Invocation) -> Result<(), String> {
                 enumeration_skips: 0,
                 multiple_critical: 0,
                 max_nodes: 0,
+                exec: invocation.exec,
+                exec_values_checked: 0,
+                exec_exact_confirmed: 0,
+                exec_exact_skipped: 0,
                 disagreements: Vec::new(),
                 reproducers: Vec::new(),
                 dump_errors: Vec::new(),
             };
-            for report in &reports {
+            for (report, exec) in &reports {
                 summary.max_nodes = summary.max_nodes.max(report.nodes);
                 if !report.enumerated {
                     summary.enumeration_skips += 1;
@@ -217,7 +391,16 @@ pub fn run(invocation: &Invocation) -> Result<(), String> {
                 if report.multiple_critical {
                     summary.multiple_critical += 1;
                 }
-                if report.passed() {
+                let exec_failed = exec.as_ref().is_some_and(|e| !e.passed());
+                if let Some(exec) = exec {
+                    summary.exec_values_checked += exec.values_checked;
+                    if exec.exact_ii.is_some() {
+                        summary.exec_exact_confirmed += u64::from(exec.passed());
+                    } else {
+                        summary.exec_exact_skipped += 1;
+                    }
+                }
+                if report.passed() && !exec_failed {
                     summary.passed += 1;
                 } else {
                     summary.failed += 1;
@@ -226,11 +409,24 @@ pub fn run(invocation: &Invocation) -> Result<(), String> {
                             .disagreements
                             .push(format!("case {}: {d}", report.case));
                     }
+                    if let Some(exec) = exec {
+                        for d in &exec.disagreements {
+                            summary
+                                .disagreements
+                                .push(format!("case {}: {d}", report.case));
+                        }
+                    }
                     let sdsp = tpn_conform::generate(seed, report.case, shape);
+                    let meta = ReproducerMeta {
+                        seed,
+                        case: report.case,
+                        shape,
+                        env_seed: exec.as_ref().map(|e| e.env_seed),
+                    };
                     // A broken dump directory must not abort the run
                     // mid-summary: record the typed message and keep
                     // reporting the disagreements that matter.
-                    match dump_reproducer(dump_dir, seed, report.case, shape, &sdsp) {
+                    match dump_reproducer(dump_dir, meta, &sdsp) {
                         Ok(path) => summary.reproducers.push(path),
                         Err(e) => summary
                             .dump_errors
@@ -332,13 +528,22 @@ mod tests {
         super::run(&inv).unwrap();
     }
 
+    fn meta(env_seed: Option<u64>) -> super::ReproducerMeta {
+        super::ReproducerMeta {
+            seed: 0,
+            case: 0,
+            shape: tpn_conform::Shape::Chains,
+            env_seed,
+        }
+    }
+
     #[test]
     fn reproducer_dump_creates_the_directory() {
         let dir = std::env::temp_dir().join("tpnc-fuzz-dump-creates");
         let _ = std::fs::remove_dir_all(&dir);
         let dir = dir.display().to_string();
         let sdsp = tpn_conform::generate(0, 0, tpn_conform::Shape::Chains);
-        let path = super::dump_reproducer(&dir, 0, 0, tpn_conform::Shape::Chains, &sdsp).unwrap();
+        let path = super::dump_reproducer(&dir, meta(None), &sdsp).unwrap();
         assert!(std::path::Path::new(&path).is_file(), "missing {path}");
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -351,13 +556,66 @@ mod tests {
         std::fs::write(&blocker, b"not a directory").unwrap();
         let dir = blocker.display().to_string();
         let sdsp = tpn_conform::generate(0, 0, tpn_conform::Shape::Chains);
-        let err =
-            super::dump_reproducer(&dir, 0, 0, tpn_conform::Shape::Chains, &sdsp).unwrap_err();
+        let err = super::dump_reproducer(&dir, meta(None), &sdsp).unwrap_err();
         assert!(
             err.contains("cannot create reproducer directory"),
             "got: {err}"
         );
         let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn reproducer_metadata_round_trips_and_stays_replayable() {
+        let dir = std::env::temp_dir().join("tpnc-fuzz-meta-roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sdsp = tpn_conform::generate(3, 7, tpn_conform::Shape::Rings);
+        let m = super::ReproducerMeta {
+            seed: 3,
+            case: 7,
+            shape: tpn_conform::Shape::Rings,
+            env_seed: Some(tpn_conform::env_seed(3, 7)),
+        };
+        let path = super::dump_reproducer(&dir.display().to_string(), m, &sdsp).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // The CLI's format sniffer still sees an A-code file, the reader
+        // still parses it to the same graph, and the metadata survives.
+        assert!(text.starts_with(".sdsp"));
+        let reread = tpn::dataflow::acode::read(&text).unwrap();
+        assert_eq!(reread.num_nodes(), sdsp.num_nodes());
+        assert_eq!(super::ReproducerMeta::parse(&text), Some(m));
+        // Hand-written A-code without a header parses to no metadata.
+        assert_eq!(super::ReproducerMeta::parse(".sdsp\n.end\n"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_runs_end_to_end_from_the_dump_alone() {
+        let dir = std::env::temp_dir().join("tpnc-fuzz-replay-e2e");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sdsp = tpn_conform::generate(5, 11, tpn_conform::Shape::Mixed);
+        let m = super::ReproducerMeta {
+            seed: 5,
+            case: 11,
+            shape: tpn_conform::Shape::Mixed,
+            env_seed: Some(tpn_conform::env_seed(5, 11)),
+        };
+        let path = super::dump_reproducer(&dir.display().to_string(), m, &sdsp).unwrap();
+        let inv = parse(&format!("fuzz --replay {path}")).unwrap();
+        super::run(&inv).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exec_oracle_runs_from_the_cli() {
+        let inv = parse("fuzz --cases 4 --exec").unwrap();
+        assert!(inv.exec);
+        super::run(&inv).unwrap();
+    }
+
+    #[test]
+    fn exec_and_replay_are_fuzz_only() {
+        assert!(parse("analyze x.tpn --exec").is_err());
+        assert!(parse("schedule x.tpn --replay y.sdsp").is_err());
     }
 
     #[test]

@@ -117,6 +117,15 @@ pub struct Invocation {
     pub mutate: Option<String>,
     /// `--dump DIR` (fuzz): where failing cases land as `.sdsp` files.
     pub dump: Option<String>,
+    /// `--exec` (fuzz): also run the semantic execution oracle — emit
+    /// from both engines, execute on the verifying machine, compare
+    /// every value bit-exactly against the interpreter, and cross-check
+    /// kernel initiation intervals against the exhaustive optimum.
+    pub exec: bool,
+    /// `--replay FILE` (fuzz): re-run the oracle stack (and the
+    /// execution oracle) on a dumped `.sdsp` reproducer, using the env
+    /// seed and engine metadata embedded in its comment header.
+    pub replay: Option<String>,
     /// `--engine auto|analytic|frustum`: scheduling engine (default
     /// auto: analytic on pure marked graphs, frustum otherwise).
     pub engine: tpn::SchedulePolicy,
@@ -465,6 +474,25 @@ pub static OPTIONS: &[OptSpec] = &[
         },
     },
     OptSpec {
+        flag: "--exec",
+        value: None,
+        help:
+            "also run the semantic execution oracle: emitted code vs interpreter, bit-exact (fuzz)",
+        apply: |inv, _| {
+            inv.exec = true;
+            Ok(())
+        },
+    },
+    OptSpec {
+        flag: "--replay",
+        value: Some("FILE"),
+        help: "replay a dumped .sdsp reproducer end-to-end, honouring its embedded env seed (fuzz)",
+        apply: |inv, v| {
+            inv.replay = Some(v.unwrap().to_string());
+            Ok(())
+        },
+    },
+    OptSpec {
         flag: "--engine",
         value: Some("auto|analytic|frustum"),
         help: "scheduling engine (default auto: analytic on marked graphs)",
@@ -481,7 +509,7 @@ pub static OPTIONS: &[OptSpec] = &[
 /// [`static@OPTIONS`].
 pub fn usage() -> String {
     let mut s = String::from(
-        "usage: tpnc <analyze|schedule|emit|dot|behavior|storage|acode|trace|explain> <file|-> [<file> ...]\n       tpnc serve [--socket PATH ...] [--tcp ADDR ...] [--store DIR] [--self-test]\n       tpnc route --socket PATH [--shards N] [--store DIR]\n       tpnc fuzz [--seed N] [--cases N] [--shape S] [--chaos] [--mutate M]",
+        "usage: tpnc <analyze|schedule|emit|dot|behavior|storage|acode|trace|explain> <file|-> [<file> ...]\n       tpnc serve [--socket PATH ...] [--tcp ADDR ...] [--store DIR] [--self-test]\n       tpnc route --socket PATH [--shards N] [--store DIR]\n       tpnc fuzz [--seed N] [--cases N] [--shape S] [--chaos] [--mutate M] [--exec] [--replay FILE]",
     );
     for opt in OPTIONS {
         match opt.value {
@@ -551,6 +579,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
         chaos: false,
         mutate: None,
         dump: None,
+        exec: false,
+        replay: None,
         engine: tpn::SchedulePolicy::default(),
     };
     while let Some(arg) = args.next() {
@@ -640,10 +670,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation,
             || invocation.shape.is_some()
             || invocation.chaos
             || invocation.mutate.is_some()
-            || invocation.dump.is_some())
+            || invocation.dump.is_some()
+            || invocation.exec
+            || invocation.replay.is_some())
     {
         return Err(format!(
-            "--seed, --cases, --shape, --chaos, --mutate and --dump apply to fuzz only\n{}",
+            "--seed, --cases, --shape, --chaos, --mutate, --dump, --exec and --replay apply to fuzz only\n{}",
             usage()
         ));
     }

@@ -312,6 +312,163 @@ fn errors_render() {
     assert!(e.to_string().contains("empty buffer"));
 }
 
+mod analytic_tests {
+    //! Emission from *analytic-engine* schedules: everything above uses
+    //! the frustum path, but `emit()` must serve both engines — same
+    //! machine discipline, same values, same optimal rate.
+
+    use super::*;
+    use tpn_sched::{analytic_schedule, SchedError};
+
+    fn analytic_of(sdsp: &Sdsp) -> LoopSchedule {
+        analytic_schedule(sdsp, &to_petri(sdsp)).unwrap()
+    }
+
+    #[test]
+    fn emitted_analytic_l2_matches_the_interpreter_and_the_frustum() {
+        let sdsp = tpn_lang::compile(L2).unwrap();
+        let analytic = analytic_of(&sdsp);
+        let frustum = schedule_of(&sdsp);
+        assert_eq!(
+            analytic.initiation_interval(),
+            frustum.initiation_interval()
+        );
+        let env = Env::ramp(&["X", "Y", "W"], 64, |ai, i| ai as f64 + i as f64 * 0.5);
+        let program = emit(&sdsp, &analytic, 50);
+        let outcome = run(&program, &sdsp, &env).unwrap();
+        let reference = execute(&sdsp, &env, 50).unwrap();
+        let frustum_outcome = run(&emit(&sdsp, &frustum, 50), &sdsp, &env).unwrap();
+        for (nid, _) in sdsp.nodes() {
+            for iter in 0..50u64 {
+                assert_eq!(
+                    outcome.value(nid, iter).to_bits(),
+                    reference.value(nid, iter as usize).to_bits(),
+                    "node {nid} iteration {iter}"
+                );
+                assert_eq!(
+                    outcome.value(nid, iter).to_bits(),
+                    frustum_outcome.value(nid, iter).to_bits(),
+                    "engines disagree at node {nid} iteration {iter}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_kernels_emit_and_run_cleanly() {
+        for kernel in kernels() {
+            let sdsp = kernel.sdsp();
+            let pn = to_petri(&sdsp);
+            let schedule = match analytic_schedule(&sdsp, &pn) {
+                Ok(s) => s,
+                // Disconnected bodies with unequal component rates have
+                // no uniform kernel on either engine.
+                Err(SchedError::NonUniformCounts { .. }) => continue,
+                Err(e) => panic!("{}: {e}", kernel.name),
+            };
+            let program = emit(&sdsp, &schedule, 40);
+            let env = kernel.env(64);
+            let outcome =
+                run(&program, &sdsp, &env).unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+            let reference = execute(&sdsp, &env, 40).unwrap();
+            for (nid, _) in sdsp.nodes() {
+                assert_eq!(
+                    outcome.value(nid, 39).to_bits(),
+                    reference.value(nid, 39).to_bits(),
+                    "{}: node {nid}",
+                    kernel.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prologue_kernel_boundary_is_exact_at_every_trip_count() {
+        // The fractional 5/2 body: 2 iterations per kernel instance, so
+        // trip counts straddling the prologue/kernel boundary (fewer
+        // than one kernel, exactly one, one-and-a-half, many) all
+        // exercise different emission windows.
+        use tpn_dataflow::{OpKind, Operand, SdspBuilder};
+        let mut b = SdspBuilder::new();
+        let u = b.node("u", OpKind::Id, [Operand::env("X", 0)]);
+        let v1 = b.node("v1", OpKind::Id, [Operand::node(u)]);
+        let v2 = b.node("v2", OpKind::Id, [Operand::node(v1)]);
+        let v3 = b.node("v3", OpKind::Id, [Operand::node(v2)]);
+        let w = b.node("w", OpKind::Id, [Operand::feedback(v3, 1)]);
+        b.set_operand(u, 0, Operand::feedback(w, 1));
+        let sdsp = b.finish().unwrap();
+        let schedule = analytic_of(&sdsp);
+        assert_eq!(schedule.iterations_per_period(), 2);
+        let env = Env::ramp(&["X"], 40, |_, i| 1.0 + i as f64);
+        for iterations in [1u64, 2, 3, 5, 8, 21] {
+            let program = emit(&sdsp, &schedule, iterations);
+            assert_eq!(program.period, schedule.period());
+            assert_eq!(
+                program.bundles.iter().map(|b| b.ops.len()).sum::<usize>(),
+                sdsp.num_nodes() * iterations as usize,
+                "trip count {iterations}"
+            );
+            let outcome = run(&program, &sdsp, &env)
+                .unwrap_or_else(|e| panic!("trip count {iterations}: {e}"));
+            let reference = execute(&sdsp, &env, iterations as usize).unwrap();
+            for (nid, _) in sdsp.nodes() {
+                for iter in 0..iterations {
+                    assert_eq!(
+                        outcome.value(nid, iter).to_bits(),
+                        reference.value(nid, iter as usize).to_bits(),
+                        "trip count {iterations}, node {nid}, iteration {iter}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_balanced_buffers_need_their_capacity() {
+        // Double-buffered DOALL body: the analytic schedule reaches rate
+        // 1 only because the balanced buffers hold two values in flight.
+        let sdsp = tpn_lang::compile("doall i from 1 to n { A[i] := X[i] + 1; B[i] := A[i] * 2; }")
+            .unwrap();
+        let (balanced, report) = tpn_storage::balance(&sdsp).unwrap();
+        assert_eq!(report.rate_after, tpn_petri::Ratio::ONE);
+        let schedule = analytic_of(&balanced);
+        assert_eq!(schedule.rate(), tpn_petri::Ratio::ONE);
+        let program = emit(&balanced, &schedule, 40);
+        let mut env = Env::new();
+        env.insert("X", (0..64).map(|i| i as f64).collect());
+        let outcome = run(&program, &balanced, &env).unwrap();
+        let names = balanced.names();
+        assert_eq!(outcome.value(names["B"], 39), (39.0 + 1.0) * 2.0);
+        // Starving the same program of its second slot must trip the
+        // machine's buffer discipline — proof the capacity is load-bearing,
+        // not slack.
+        let mut starved = program.clone();
+        for c in &mut starved.buffer_capacity {
+            *c = 1;
+        }
+        assert!(matches!(
+            run(&starved, &balanced, &env),
+            Err(CodegenError::BufferOverflow { capacity: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn analytic_width_enforcement_matches_the_emitted_peak() {
+        let sdsp = tpn_lang::compile(L2).unwrap();
+        let schedule = analytic_of(&sdsp);
+        let program = emit(&sdsp, &schedule, 20);
+        let env = Env::ramp(&["X", "Y", "W"], 32, |_, i| i as f64);
+        assert!(program.max_width > 1);
+        // The declared peak is achievable...
+        run_with_width(&program, &sdsp, &env, Some(program.max_width)).unwrap();
+        // ...and one unit less is not.
+        assert!(matches!(
+            run_with_width(&program, &sdsp, &env, Some(program.max_width - 1)),
+            Err(CodegenError::TooWide { .. })
+        ));
+    }
+}
+
 mod shape_tests {
     use super::*;
     use crate::shape::{assert_shape_matches_unrolled, CodeShape};

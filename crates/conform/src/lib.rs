@@ -13,6 +13,11 @@
 //! * [`oracle`] — the differential oracle stack cross-checking every
 //!   path on every generated case, plus [`oracle::Mutation`] harnesses
 //!   that prove the stack actually catches injected rate bugs;
+//! * [`exec`] — the semantic execution oracle: emits VLIW programs from
+//!   both scheduling engines, runs them on the verifying machine
+//!   simulator, and demands bit-exact value agreement with the dataflow
+//!   interpreter over seeded deterministic inputs, plus an exhaustive
+//!   initiation-interval optimality cross-check on small nets;
 //! * [`chaos`] — a deterministic fault-injection mode for the compile
 //!   service, asserting byte-identity and cache coherence under
 //!   cancellations, deadline expiries and worker panics.
@@ -21,9 +26,11 @@
 //! cases are dumped as replayable `.sdsp` A-code files.
 
 pub mod chaos;
+pub mod exec;
 pub mod gen;
 pub mod oracle;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
+pub use exec::{build_env, check_exec, env_seed, ExecConfig, ExecReport};
 pub use gen::{generate, Shape};
 pub use oracle::{check_mutated, check_sdsp, CaseReport, Mutation, MutationOutcome, OracleConfig};

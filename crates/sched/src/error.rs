@@ -43,6 +43,15 @@ pub enum SchedError {
     /// The loop has no nodes, so per-node rates (and the SCP resource
     /// bound `1/n`) are undefined.
     EmptyLoop,
+    /// The net exceeds the exhaustive optimality checker's size gate
+    /// ([`crate::exact::EXACT_LIMIT`]); fall back to the polynomial
+    /// analyses.
+    ExactTooLarge {
+        /// Transitions in the offered net.
+        transitions: usize,
+        /// The checker's limit.
+        limit: usize,
+    },
     /// Trace-replay validation found the recorded event stream
     /// inconsistent with the net's semantics or the claimed rates.
     Trace(crate::validate::TraceViolation),
@@ -69,6 +78,10 @@ impl fmt::Display for SchedError {
             SchedError::EmptyLoop => {
                 write!(f, "the loop body is empty; rates are undefined")
             }
+            SchedError::ExactTooLarge { transitions, limit } => write!(
+                f,
+                "net has {transitions} transitions; the exhaustive optimality checker is gated to {limit}"
+            ),
             SchedError::Trace(v) => write!(f, "trace replay failed: {v}"),
         }
     }

@@ -1,0 +1,449 @@
+//! Exact time-optimality checking by exhaustive search on small nets.
+//!
+//! The paper *claims* the earliest-firing schedule is time-optimal, and
+//! [`tpn_petri::ratio::critical_ratio`] *computes* the optimum `α*` by
+//! Howard-style parametric search — but both live inside the machinery
+//! under test. This module re-derives the optimum from first principles
+//! on nets small enough to brute-force (≤ [`EXACT_LIMIT`] transitions),
+//! in the spirit of SMT-based optimal software pipelining: enumerate
+//! every candidate initiation interval, decide feasibility of each with
+//! an independent decision procedure, and certify the winner with a
+//! constructive start-offset witness.
+//!
+//! 1. **Candidate enumeration.** Every simple cycle `C` of the marked
+//!    graph is enumerated by depth-first search; each contributes the
+//!    exact rational `Ω(C)/M(C)` as a candidate initiation interval. A
+//!    periodic schedule with interval `p/q` exists iff `p/q ≥ Ω(C)/M(C)`
+//!    for every `C` (Theorem 3.4.2 territory, but proved here by brute
+//!    force rather than cited), so the optimum is one of the candidates.
+//! 2. **Feasibility decision.** A candidate `p/q` is feasible iff the
+//!    constraint system `σ_v ≥ σ_u + q·τ_u − m·p` over every place
+//!    `u → v` with `m` tokens has a solution, i.e. iff the scaled
+//!    constraint graph has no positive-weight cycle. That is decided by
+//!    longest-path relaxation from an implicit super-source: if an
+//!    `(n+1)`-th Bellman–Ford pass still improves, a positive cycle
+//!    exists and the candidate is rejected. This procedure never looks
+//!    at the enumerated cycle list, so the two legs are independent.
+//! 3. **Witness.** Candidates are tested in ascending order; every
+//!    interval below the optimum is *proven* infeasible, and the first
+//!    feasible one is certified by re-checking the converged offsets
+//!    against every single place constraint. The result is an
+//!    [`ExactOptimum`]: the minimal feasible initiation interval, a
+//!    critical cycle attaining it, and the witness offsets.
+//!
+//! The search is exponential in the worst case (simple cycles), which is
+//! exactly why it is gated to [`EXACT_LIMIT`] transitions and a
+//! [`MAX_CYCLES`] enumeration cap — it is an oracle for conformance
+//! testing, not a production scheduler.
+
+use tpn_dataflow::to_petri::SdspPn;
+use tpn_petri::rational::Ratio;
+use tpn_petri::{Marking, PetriError, PetriNet, TransitionId};
+
+use crate::error::SchedError;
+
+/// Largest net (in transitions) the exhaustive checker accepts.
+pub const EXACT_LIMIT: usize = 12;
+
+/// Cap on enumerated simple cycles, a guard against adversarially dense
+/// multigraphs (the SDSP nets we check are sparse and stay far below it).
+pub const MAX_CYCLES: usize = 1_000_000;
+
+/// The exhaustively certified optimum of a small marked graph.
+#[derive(Clone, Debug)]
+pub struct ExactOptimum {
+    /// The minimal feasible initiation interval `α* = p/q`.
+    pub cycle_time: Ratio,
+    /// Transitions of one simple cycle attaining `Ω(C)/M(C) = α*`.
+    pub critical_cycle: Vec<TransitionId>,
+    /// Total simple cycles enumerated.
+    pub cycles: usize,
+    /// Distinct candidate intervals examined.
+    pub candidates: usize,
+    /// Candidates strictly below the optimum, each proven infeasible.
+    pub rejected: usize,
+    /// Witness start offsets `σ'_t` in units of `1/q` cycles; together
+    /// with `S_t(j) = ⌈(σ'_t + j·p)/q⌉` they form a schedule meeting
+    /// every dependence at interval `α*`.
+    pub offsets: Vec<i128>,
+}
+
+impl ExactOptimum {
+    /// The certified minimal initiation interval.
+    pub fn initiation_interval(&self) -> Ratio {
+        self.cycle_time
+    }
+
+    /// The certified maximal computation rate `1/α*`.
+    pub fn rate(&self) -> Ratio {
+        self.cycle_time.recip()
+    }
+
+    /// Start cycle of the `j`-th firing of `t` under the witness
+    /// schedule: `⌈(σ'_t + j·p)/q⌉`.
+    pub fn start_time(&self, t: TransitionId, j: u64) -> u64 {
+        let q = self.cycle_time.denom() as i128;
+        let v = self.offsets[t.index()] + (j as i128) * (self.cycle_time.numer() as i128);
+        debug_assert!(v >= 0);
+        ((v + q - 1) / q) as u64
+    }
+}
+
+/// One place of the net viewed as a constraint edge `u → v` carrying the
+/// producer's execution time and the place's initial token count.
+#[derive(Clone, Copy, Debug)]
+struct Edge {
+    from: usize,
+    to: usize,
+    tau: u64,
+    tokens: u64,
+}
+
+/// Exhaustively certifies the time-optimal initiation interval of a
+/// small marked graph.
+///
+/// # Errors
+///
+/// * [`SchedError::EmptyLoop`] — no transitions.
+/// * [`SchedError::ExactTooLarge`] — more than [`EXACT_LIMIT`]
+///   transitions; the caller should fall back to the analytic machinery.
+/// * [`SchedError::Petri`] — not a marked graph, zero execution times,
+///   a token-free cycle (not live), no cycle at all, or the
+///   [`MAX_CYCLES`] enumeration cap was exceeded.
+pub fn exact_optimum(net: &PetriNet, marking: &Marking) -> Result<ExactOptimum, SchedError> {
+    let n = net.num_transitions();
+    if n == 0 {
+        return Err(SchedError::EmptyLoop);
+    }
+    if n > EXACT_LIMIT {
+        return Err(SchedError::ExactTooLarge {
+            transitions: n,
+            limit: EXACT_LIMIT,
+        });
+    }
+    net.validate_marked_graph()?;
+    net.validate_times()?;
+
+    let mut edges: Vec<Edge> = Vec::with_capacity(net.num_places() + n);
+    for (pid, place) in net.places() {
+        let from = place.preset()[0];
+        edges.push(Edge {
+            from: from.index(),
+            to: place.postset()[0].index(),
+            tau: net.transition(from).time(),
+            tokens: u64::from(marking.tokens(pid)),
+        });
+    }
+    // The implicit self-loop of Assumption A.6.1: a transition cannot
+    // overlap itself, so every `t` carries a one-token `t → t` edge. It
+    // contributes the candidate `τ_t/1` and the feasibility constraint
+    // `p/q ≥ τ_t` — without it an acyclic or lightly-cycled net would be
+    // "certified" faster than its longest operation.
+    for (t, transition) in net.transitions() {
+        edges.push(Edge {
+            from: t.index(),
+            to: t.index(),
+            tau: transition.time(),
+            tokens: 1,
+        });
+    }
+
+    let cycles = enumerate_simple_cycles(n, &edges)?;
+    if cycles.is_empty() {
+        return Err(SchedError::Petri(PetriError::NoCycle));
+    }
+
+    // Distinct candidate intervals, ascending. Ratio::new reduces to
+    // lowest terms, so equal ratios deduplicate exactly.
+    let mut candidates: Vec<Ratio> = cycles
+        .iter()
+        .map(|c| Ratio::new(c.omega, c.tokens))
+        .collect();
+    candidates.sort();
+    candidates.dedup();
+
+    let mut rejected = 0usize;
+    for &candidate in &candidates {
+        match feasible_offsets(n, &edges, candidate) {
+            Some(offsets) => {
+                let critical_cycle = cycles
+                    .iter()
+                    .find(|c| Ratio::new(c.omega, c.tokens) == candidate)
+                    .map(|c| c.transitions.clone())
+                    .unwrap_or_default();
+                return Ok(ExactOptimum {
+                    cycle_time: candidate,
+                    critical_cycle,
+                    cycles: cycles.len(),
+                    candidates: candidates.len(),
+                    rejected,
+                    offsets,
+                });
+            }
+            None => rejected += 1,
+        }
+    }
+    unreachable!("the largest cycle ratio is always feasible");
+}
+
+/// Convenience entry point for an SDSP-PN.
+///
+/// # Errors
+///
+/// Same conditions as [`exact_optimum`].
+pub fn exact_optimum_sdsp(pn: &SdspPn) -> Result<ExactOptimum, SchedError> {
+    exact_optimum(&pn.net, &pn.marking)
+}
+
+/// A simple cycle with its total execution time and token count.
+struct Cycle {
+    transitions: Vec<TransitionId>,
+    omega: u64,
+    tokens: u64,
+}
+
+/// Enumerates every directed simple cycle of the transition multigraph:
+/// for each root vertex `s` (ascending), DFS over vertices `≥ s` only,
+/// closing a cycle whenever an edge returns to `s`. Each simple cycle is
+/// found exactly once, rooted at its smallest vertex; parallel places
+/// between the same transitions yield distinct cycles, so every
+/// achievable `Ω/M` ratio appears among the candidates.
+fn enumerate_simple_cycles(n: usize, edges: &[Edge]) -> Result<Vec<Cycle>, SchedError> {
+    let mut adjacency: Vec<Vec<&Edge>> = vec![Vec::new(); n];
+    for e in edges {
+        adjacency[e.from].push(e);
+    }
+
+    struct Dfs<'a> {
+        adjacency: &'a [Vec<&'a Edge>],
+        root: usize,
+        on_path: Vec<bool>,
+        path: Vec<usize>,
+        omega: u64,
+        tokens: u64,
+        out: Vec<Cycle>,
+    }
+    impl Dfs<'_> {
+        fn visit(&mut self, v: usize) -> Result<(), SchedError> {
+            for edge in &self.adjacency[v] {
+                if edge.to < self.root {
+                    continue;
+                }
+                if edge.to == self.root {
+                    if self.out.len() >= MAX_CYCLES {
+                        return Err(SchedError::Petri(PetriError::TooManyCycles {
+                            limit: MAX_CYCLES,
+                        }));
+                    }
+                    let transitions: Vec<TransitionId> = self
+                        .path
+                        .iter()
+                        .map(|&t| TransitionId::from_index(t))
+                        .collect();
+                    let omega = self.omega + edge.tau;
+                    let tokens = self.tokens + edge.tokens;
+                    if tokens == 0 {
+                        return Err(SchedError::Petri(PetriError::NotLive {
+                            cycle: transitions,
+                        }));
+                    }
+                    self.out.push(Cycle {
+                        transitions,
+                        omega,
+                        tokens,
+                    });
+                    continue;
+                }
+                if self.on_path[edge.to] {
+                    continue;
+                }
+                self.on_path[edge.to] = true;
+                self.path.push(edge.to);
+                self.omega += edge.tau;
+                self.tokens += edge.tokens;
+                self.visit(edge.to)?;
+                self.tokens -= edge.tokens;
+                self.omega -= edge.tau;
+                self.path.pop();
+                self.on_path[edge.to] = false;
+            }
+            Ok(())
+        }
+    }
+
+    let mut out = Vec::new();
+    for root in 0..n {
+        let mut dfs = Dfs {
+            adjacency: &adjacency,
+            root,
+            on_path: vec![false; n],
+            path: vec![root],
+            omega: 0,
+            tokens: 0,
+            out: std::mem::take(&mut out),
+        };
+        dfs.on_path[root] = true;
+        dfs.visit(root)?;
+        out = dfs.out;
+    }
+    Ok(out)
+}
+
+/// Decides whether interval `p/q` is feasible and, if so, returns the
+/// least non-negative witness offsets. Longest-path relaxation from an
+/// implicit super-source (`σ ≡ 0`): after `n` full passes a further
+/// improvement certifies a positive-weight cycle, i.e. a dependence
+/// cycle demanding a longer interval than `p/q` provides.
+fn feasible_offsets(n: usize, edges: &[Edge], candidate: Ratio) -> Option<Vec<i128>> {
+    let (p, q) = (candidate.numer() as i128, candidate.denom() as i128);
+    let weight = |e: &Edge| -> i128 { q * (e.tau as i128) - (e.tokens as i128) * p };
+    let mut offsets = vec![0i128; n];
+    for _ in 0..n {
+        let mut improved = false;
+        for e in edges {
+            let cand = offsets[e.from] + weight(e);
+            if cand > offsets[e.to] {
+                offsets[e.to] = cand;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    // Certification pass: any remaining violated constraint means the
+    // relaxation had not converged, so a positive cycle exists.
+    for e in edges {
+        if offsets[e.from] + weight(e) > offsets[e.to] {
+            return None;
+        }
+    }
+    Some(offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpn_dataflow::to_petri::to_petri;
+    use tpn_dataflow::{OpKind, Operand, SdspBuilder};
+    use tpn_petri::ratio::critical_ratio;
+
+    fn l2() -> tpn_dataflow::Sdsp {
+        let mut b = SdspBuilder::new();
+        let a = b.node("A", OpKind::Add, [Operand::env("X", 0), Operand::lit(5.0)]);
+        let bb = b.node("B", OpKind::Add, [Operand::env("Y", 0), Operand::node(a)]);
+        let c = b.node("C", OpKind::Add, [Operand::node(a), Operand::lit(0.0)]);
+        let d = b.node("D", OpKind::Add, [Operand::node(bb), Operand::node(c)]);
+        let e = b.node("E", OpKind::Add, [Operand::env("W", 0), Operand::node(d)]);
+        b.set_operand(c, 1, Operand::feedback(e, 1));
+        b.finish().unwrap()
+    }
+
+    fn fractional() -> tpn_dataflow::Sdsp {
+        let mut b = SdspBuilder::new();
+        let u = b.node("u", OpKind::Id, [Operand::lit(0.0)]);
+        let v1 = b.node("v1", OpKind::Id, [Operand::node(u)]);
+        let v2 = b.node("v2", OpKind::Id, [Operand::node(v1)]);
+        let v3 = b.node("v3", OpKind::Id, [Operand::node(v2)]);
+        let w = b.node("w", OpKind::Id, [Operand::feedback(v3, 1)]);
+        b.set_operand(u, 0, Operand::feedback(w, 1));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn integer_optimum_on_l2() {
+        let pn = to_petri(&l2());
+        let exact = exact_optimum_sdsp(&pn).unwrap();
+        assert_eq!(exact.cycle_time, Ratio::new(3, 1));
+        assert_eq!(exact.rate(), Ratio::new(1, 3));
+        assert!(!exact.critical_cycle.is_empty());
+        assert!(exact.cycles >= 1);
+    }
+
+    #[test]
+    fn fractional_optimum_with_rejected_candidates() {
+        let pn = to_petri(&fractional());
+        let exact = exact_optimum_sdsp(&pn).unwrap();
+        assert_eq!(exact.cycle_time, Ratio::new(5, 2));
+        // The implicit self-loops contribute the candidate 1/1, which the
+        // decision procedure must prove infeasible before settling on 5/2.
+        assert!(exact.rejected >= 1, "rejected = {}", exact.rejected);
+        assert!(exact.candidates > exact.rejected);
+        // Self-loops plus the two-token data cycle.
+        assert!(exact.cycles >= 6, "cycles = {}", exact.cycles);
+    }
+
+    #[test]
+    fn witness_offsets_satisfy_every_constraint() {
+        for sdsp in [l2(), fractional()] {
+            let pn = to_petri(&sdsp);
+            let exact = exact_optimum_sdsp(&pn).unwrap();
+            let (p, q) = (
+                exact.cycle_time.numer() as i128,
+                exact.cycle_time.denom() as i128,
+            );
+            for (pid, place) in pn.net.places() {
+                let from = place.preset()[0];
+                let to = place.postset()[0];
+                let tau = pn.net.transition(from).time() as i128;
+                let m = i128::from(pn.marking.tokens(pid));
+                assert!(
+                    exact.offsets[to.index()] >= exact.offsets[from.index()] + q * tau - m * p,
+                    "constraint violated on place {pid:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn witness_start_times_are_periodic() {
+        let pn = to_petri(&fractional());
+        let exact = exact_optimum_sdsp(&pn).unwrap();
+        let (p, q) = (exact.cycle_time.numer(), exact.cycle_time.denom());
+        for t in pn.net.transition_ids() {
+            for j in 0..20 {
+                assert_eq!(exact.start_time(t, j + q), exact.start_time(t, j) + p);
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_the_parametric_analysis() {
+        // Independent machinery, same answer — the whole point.
+        for sdsp in [l2(), fractional()] {
+            let pn = to_petri(&sdsp);
+            let exact = exact_optimum_sdsp(&pn).unwrap();
+            let cr = critical_ratio(&pn.net, &pn.marking).unwrap();
+            assert_eq!(exact.cycle_time, cr.cycle_time);
+        }
+    }
+
+    #[test]
+    fn oversize_nets_are_refused() {
+        let mut b = SdspBuilder::new();
+        let mut prev = b.node("n0", OpKind::Id, [Operand::lit(0.0)]);
+        for i in 1..13 {
+            prev = b.node(format!("n{i}"), OpKind::Id, [Operand::node(prev)]);
+        }
+        let sdsp = b.finish().unwrap();
+        let pn = to_petri(&sdsp);
+        assert!(pn.net.num_transitions() > EXACT_LIMIT);
+        match exact_optimum_sdsp(&pn) {
+            Err(SchedError::ExactTooLarge { transitions, limit }) => {
+                assert!(transitions > limit);
+                assert_eq!(limit, EXACT_LIMIT);
+            }
+            other => panic!("expected ExactTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_loop_is_refused() {
+        let sdsp = SdspBuilder::new().finish().unwrap();
+        let pn = to_petri(&sdsp);
+        assert!(matches!(
+            exact_optimum_sdsp(&pn),
+            Err(SchedError::EmptyLoop)
+        ));
+    }
+}

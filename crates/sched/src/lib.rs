@@ -19,6 +19,12 @@
 //!   exact critical ratio (longest-path start offsets plus the
 //!   balanced-binary-word issue pattern), no simulation; [`SchedulePolicy`]
 //!   dispatches between the engines.
+//! * [`exact`] — an **exhaustive optimality checker** for small nets
+//!   (≤ 12 transitions): enumerates every candidate initiation interval
+//!   from the simple cycles, decides each with an independent
+//!   positive-cycle test, and certifies the minimum with witness
+//!   offsets — the brute-force ground truth the conformance suite holds
+//!   both engines against.
 //! * [`schedule`] — the **time-optimal static schedule** read off the
 //!   frustum (Figure 1(g)): a software-pipelining kernel with iteration
 //!   offsets, plus the prologue, with queries for the start time of any
@@ -75,6 +81,7 @@ pub mod baseline;
 pub mod behavior;
 pub mod bounds;
 pub mod error;
+pub mod exact;
 pub mod frustum;
 pub mod modulo;
 pub mod policy;
@@ -87,6 +94,7 @@ pub mod validate;
 
 pub use analytic::{analytic_schedule, AnalyticSchedule};
 pub use error::SchedError;
+pub use exact::{exact_optimum, exact_optimum_sdsp, ExactOptimum, EXACT_LIMIT};
 pub use frustum::{detect_frustum, detect_frustum_eager, FrustumReport};
 pub use policy::SchedulePolicy;
 pub use schedule::LoopSchedule;

@@ -27,6 +27,7 @@ run latency
 run modulo
 run service
 run conform
+run exec
 run analytic --bench-json BENCH_7.json
 echo "== figures =="
 ./target/release/figures all > "$out/figures.txt"
